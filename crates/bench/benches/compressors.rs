@@ -1,0 +1,88 @@
+//! Compressor throughput: the "compression" phase of Figures 1a and 5.
+//! Cascading's per-hop recompression is benchmarked explicitly to show why
+//! its codec time dominates the round.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use marsit_compress::cascading::cascade_reduce;
+use marsit_compress::compressor::{Compressor, EfSign, PlainSign, Ssdm};
+use marsit_compress::powersgd::PowerSgd;
+use marsit_compress::quantizers::{qsgd, terngrad};
+use marsit_compress::sparsify::TopK;
+use marsit_tensor::rng::FastRng;
+use marsit_tensor::Tensor;
+
+fn gradient(d: usize, seed: u64) -> Vec<f32> {
+    let mut rng = FastRng::new(seed, 0);
+    Tensor::gaussian(1, d, 0.05, &mut rng).into_vec()
+}
+
+fn bench_compressors(c: &mut Criterion) {
+    let d = 1 << 16;
+    let grad = gradient(d, 1);
+    let mut group = c.benchmark_group("compress");
+    group.throughput(Throughput::Elements(d as u64));
+    group.bench_function("plain_sign", |b| {
+        let mut comp = PlainSign::new();
+        let mut rng = FastRng::new(2, 0);
+        b.iter(|| comp.compress(black_box(&grad), &mut rng));
+    });
+    group.bench_function("ef_sign", |b| {
+        let mut comp = EfSign::new();
+        let mut rng = FastRng::new(3, 0);
+        b.iter(|| comp.compress(black_box(&grad), &mut rng));
+    });
+    group.bench_function("ssdm", |b| {
+        let mut comp = Ssdm::new();
+        let mut rng = FastRng::new(4, 0);
+        b.iter(|| comp.compress(black_box(&grad), &mut rng));
+    });
+    group.finish();
+}
+
+fn bench_related_work(c: &mut Criterion) {
+    let d = 1 << 16;
+    let grad = gradient(d, 7);
+    let mut group = c.benchmark_group("related_work_compress");
+    group.throughput(Throughput::Elements(d as u64));
+    group.bench_function("terngrad", |b| {
+        let mut rng = FastRng::new(8, 0);
+        b.iter(|| terngrad(black_box(&grad), &mut rng));
+    });
+    group.bench_function("qsgd_s4", |b| {
+        let mut rng = FastRng::new(9, 0);
+        b.iter(|| qsgd(black_box(&grad), 4, &mut rng));
+    });
+    group.bench_function("topk_1pct", |b| {
+        let mut comp = TopK::new(d / 100);
+        b.iter(|| comp.compress(black_box(&grad)));
+    });
+    group.bench_function("powersgd_r2", |b| {
+        let mut comp = PowerSgd::new(d, 2, 3);
+        b.iter(|| comp.compress(black_box(&grad)));
+    });
+    group.finish();
+}
+
+fn bench_cascade(c: &mut Criterion) {
+    let d = 1 << 14;
+    let mut group = c.benchmark_group("cascade_chain");
+    for &m in &[2usize, 4, 8] {
+        let grads: Vec<Vec<f32>> = (0..m).map(|w| gradient(d, 10 + w as u64)).collect();
+        let refs: Vec<&[f32]> = grads.iter().map(Vec::as_slice).collect();
+        group.throughput(Throughput::Elements((d * m) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(m), &refs, |b, refs| {
+            let mut rng = FastRng::new(5, 0);
+            b.iter(|| cascade_reduce(black_box(refs), &mut rng));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_compressors, bench_related_work, bench_cascade
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Elias-code throughput: the payload compaction used by the MAR-extended
+//! signSGD baselines, and the sign-sum wire-size computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use marsit_compress::{elias, SignSumVec};
+use marsit_tensor::rng::FastRng;
+use marsit_tensor::SignVec;
+
+fn sums(m: usize, d: usize) -> SignSumVec {
+    let mut rng = FastRng::new(1, 0);
+    let mut s = SignSumVec::zeros(d);
+    for _ in 0..m {
+        s.add_signs(&SignVec::bernoulli_uniform(d, 0.5, &mut rng));
+    }
+    s
+}
+
+fn bench_encode_decode(c: &mut Criterion) {
+    let d = 1 << 14;
+    let mut group = c.benchmark_group("elias_signed");
+    for &m in &[2usize, 8, 32] {
+        let s = sums(m, d);
+        let values: Vec<i64> = s.sums().iter().map(|&v| i64::from(v)).collect();
+        group.throughput(Throughput::Elements(d as u64));
+        group.bench_with_input(BenchmarkId::new("encode", m), &values, |b, v| {
+            b.iter(|| elias::encode_signed(black_box(v)));
+        });
+        let bytes = elias::encode_signed(&values);
+        group.bench_with_input(BenchmarkId::new("decode", m), &bytes, |b, bytes| {
+            b.iter(|| elias::decode_signed(black_box(bytes), d));
+        });
+    }
+    group.finish();
+}
+
+fn bench_wire_size(c: &mut Criterion) {
+    let d = 1 << 14;
+    let s = sums(8, d);
+    let mut group = c.benchmark_group("signsum_wire_bits");
+    group.throughput(Throughput::Elements(d as u64));
+    group.bench_function("elias_bits", |b| {
+        b.iter(|| black_box(&s).elias_bits());
+    });
+    group.bench_function("fixed_width_bits", |b| {
+        b.iter(|| black_box(&s).fixed_width_bits());
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_encode_decode, bench_wire_size
+}
+criterion_main!(benches);

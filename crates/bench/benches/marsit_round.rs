@@ -1,0 +1,67 @@
+//! End-to-end cost of one Marsit synchronization round (the paper's core
+//! operation), including the `⊙` combine with its transient vectors, versus
+//! the full-precision round and the cascading alternative.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use marsit_core::ominus::combine_weighted;
+use marsit_core::{Marsit, MarsitConfig, SyncSchedule};
+use marsit_simnet::Topology;
+use marsit_tensor::rng::FastRng;
+use marsit_tensor::SignVec;
+
+fn updates(m: usize, d: usize) -> Vec<Vec<f32>> {
+    let mut rng = FastRng::new(1, 0);
+    (0..m)
+        .map(|_| (0..d).map(|_| 0.01 * (rng.next_f64() as f32 - 0.5)).collect())
+        .collect()
+}
+
+fn bench_combine(c: &mut Criterion) {
+    let d = 1 << 18;
+    let mut rng = FastRng::new(2, 0);
+    let a = SignVec::bernoulli_uniform(d, 0.5, &mut rng);
+    let b2 = SignVec::bernoulli_uniform(d, 0.5, &mut rng);
+    let mut group = c.benchmark_group("ominus_combine");
+    group.throughput(Throughput::Elements(d as u64));
+    group.bench_function("weighted", |bch| {
+        let mut rng = FastRng::new(3, 0);
+        bch.iter(|| combine_weighted(black_box(&a), 3, &b2, 1, &mut rng));
+    });
+    group.finish();
+}
+
+fn bench_sync_round(c: &mut Criterion) {
+    let d = 1 << 16;
+    let mut group = c.benchmark_group("marsit_sync_round");
+    for &m in &[4usize, 8, 16] {
+        let u = updates(m, d);
+        group.throughput(Throughput::Elements((m * d) as u64));
+        group.bench_with_input(BenchmarkId::new("onebit_ring", m), &u, |b, u| {
+            let cfg = MarsitConfig::new(SyncSchedule::never(), 0.01, 7);
+            let mut sync = Marsit::new(cfg, m, d);
+            b.iter(|| sync.synchronize(black_box(u), Topology::ring(m)));
+        });
+        group.bench_with_input(BenchmarkId::new("full_precision_ring", m), &u, |b, u| {
+            let cfg = MarsitConfig::new(SyncSchedule::every(1), 0.01, 7);
+            let mut sync = Marsit::new(cfg, m, d);
+            b.iter(|| sync.synchronize(black_box(u), Topology::ring(m)));
+        });
+    }
+    let u = updates(16, d);
+    group.throughput(Throughput::Elements((16 * d) as u64));
+    group.bench_with_input(BenchmarkId::new("onebit_torus", 16), &u, |b, u| {
+        let cfg = MarsitConfig::new(SyncSchedule::never(), 0.01, 7);
+        let mut sync = Marsit::new(cfg, 16, d);
+        b.iter(|| sync.synchronize(black_box(u), Topology::torus(4, 4)));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(12);
+    targets = bench_combine, bench_sync_round
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Micro-benchmarks of the bit-packed sign-vector substrate: packing,
+//! word-parallel boolean ops, and the Bernoulli transient vector — the
+//! per-hop costs behind Marsit's "compression" sliver in Fig 5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use marsit_tensor::rng::FastRng;
+use marsit_tensor::{SignVec, Tensor};
+
+fn bench_pack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("signvec_pack");
+    for &d in &[1 << 12, 1 << 16, 1 << 20] {
+        let mut rng = FastRng::new(1, 0);
+        let grad = Tensor::gaussian(1, d, 1.0, &mut rng).into_vec();
+        group.throughput(Throughput::Elements(d as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(d), &grad, |b, grad| {
+            b.iter(|| SignVec::from_signs(black_box(grad)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_bitops(c: &mut Criterion) {
+    let d = 1 << 20;
+    let mut rng = FastRng::new(2, 0);
+    let a = SignVec::bernoulli_uniform(d, 0.5, &mut rng);
+    let b2 = SignVec::bernoulli_uniform(d, 0.5, &mut rng);
+    let mut group = c.benchmark_group("signvec_bitops");
+    group.throughput(Throughput::Elements(d as u64));
+    group.bench_function("and_or_xor_chain", |b| {
+        b.iter(|| {
+            let x = black_box(&a).and(&b2);
+            let y = black_box(&a).xor(&b2);
+            x.or(&y)
+        });
+    });
+    group.bench_function("matching_rate", |b| {
+        b.iter(|| black_box(&a).matching_rate(&b2));
+    });
+    group.finish();
+}
+
+fn bench_transient(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transient_vector");
+    for &d in &[1 << 16, 1 << 20] {
+        group.throughput(Throughput::Elements(d as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, &d| {
+            let mut rng = FastRng::new(3, 0);
+            b.iter(|| SignVec::bernoulli_uniform(black_box(d), 0.25, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_pack, bench_bitops, bench_transient
+}
+criterion_main!(benches);

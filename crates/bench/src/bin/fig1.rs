@@ -1,0 +1,90 @@
+//! **Figure 1**: training MNIST over AlexNet with 3 workers.
+//!
+//! (a) Per-iteration time length of existing approaches, split into
+//!     computation / compression / communication.
+//! (b) Sign matching rate against the non-compressed aggregation value.
+//!
+//! ```text
+//! cargo run --release -p marsit-bench --bin fig1
+//! ```
+
+use marsit_bench::{hr, mean_matching_rate, phase_bar};
+use marsit_models::{OptimizerKind, Workload};
+use marsit_simnet::{RateProfile, Topology};
+use marsit_trainsim::{train, StrategyKind, TimingModel, TrainConfig};
+
+fn main() {
+    let m = 3;
+    let workload = Workload::AlexNetMnist;
+
+    // --- Fig 1a: per-iteration time breakdown -------------------------------
+    println!("== Fig 1a: per-iteration time, {} logical params, M = {m} ==\n", workload.logical_params());
+    let settings: Vec<(&str, StrategyKind, Topology)> = vec![
+        ("PSGD / PS", StrategyKind::Psgd, Topology::star(m)),
+        ("PSGD / RAR", StrategyKind::Psgd, Topology::ring(m)),
+        ("SSDM / PS", StrategyKind::Ssdm, Topology::star(m)),
+        ("SSDM / MAR", StrategyKind::Ssdm, Topology::ring(m)),
+        ("Cascading / MAR", StrategyKind::Cascading, Topology::ring(m)),
+        ("Marsit / MAR", StrategyKind::Marsit { k: None }, Topology::ring(m)),
+    ];
+    let timings: Vec<_> = settings
+        .iter()
+        .map(|&(label, strategy, topology)| {
+            let model = TimingModel {
+                rates: RateProfile::public_cloud(),
+                logical_d: workload.logical_params(),
+                topology,
+                flops_per_sample: workload.flops_per_sample(),
+                batch_per_worker: 256 / m,
+                overlap: true,
+            };
+            (label, model.round_time(strategy, false))
+        })
+        .collect();
+    let max_total = timings.iter().map(|(_, p)| p.total()).fold(0.0, f64::max);
+    println!(
+        "{:<18} {:>11} {:>10} {:>9} {:>9}   bar (#=compute %=codec ==comm)",
+        "setting", "compute(ms)", "codec(ms)", "comm(ms)", "total(ms)"
+    );
+    hr(110);
+    for (label, p) in &timings {
+        println!(
+            "{:<18} {:>11.1} {:>10.1} {:>9.1} {:>9.1}   {}",
+            label,
+            p.compute_s * 1e3,
+            p.compression_s * 1e3,
+            p.communication_s * 1e3,
+            p.total() * 1e3,
+            phase_bar(*p, max_total, 48),
+        );
+    }
+
+    // --- Fig 1b: matching rate ----------------------------------------------
+    println!("\n== Fig 1b: sign matching rate vs the non-compressed aggregate ==\n");
+    println!("{:<18} {:>14}", "method", "matching rate");
+    hr(34);
+    for (label, strategy) in [
+        ("PSGD", StrategyKind::Psgd),
+        ("signSGD-MV", StrategyKind::SignMajority),
+        ("EF-signSGD", StrategyKind::EfSign),
+        ("SSDM", StrategyKind::Ssdm),
+        ("Cascading", StrategyKind::Cascading),
+        ("Marsit", StrategyKind::Marsit { k: None }),
+    ] {
+        let mut cfg = TrainConfig::new(workload, Topology::ring(m), strategy);
+        cfg.rounds = 80;
+        cfg.train_examples = 4096;
+        cfg.test_examples = 512;
+        cfg.batch_per_worker = 64;
+        cfg.optimizer = OptimizerKind::Sgd;
+        cfg.local_lr = 0.01;
+        cfg.eval_every = 0;
+        let report = train(&cfg);
+        println!("{label:<18} {:>13.1}%", mean_matching_rate(&report) * 100.0);
+    }
+    println!(
+        "\nExpected shape (paper Fig 1): PSGD/RAR beats PSGD/PS; cascading's bar is\n\
+         dominated by codec time; Marsit has the shortest bar. Cascading's matching\n\
+         rate sits near ~56%, far below every other approach."
+    );
+}

@@ -1,0 +1,92 @@
+//! **Figure 3**: CIFAR-10 over AlexNet with K ∈ {1, 50, 100, 200, ∞}.
+//!
+//! (a) Accuracy as training progresses (printed at evaluation points).
+//! (b) Convergence table: time (min) / final accuracy (%) / average bits.
+//!
+//! Paper's (b): K=1 → 40.18 min, 93.42%, 32 bits; K=50 → 22.05, 92.28,
+//! 1.62; K=100 → 21.34, 91.73, 1.31; K=200 → 22.38, 92.00, 1.16;
+//! K=∞ → 18.78, 90.75, 1.
+//!
+//! ```text
+//! cargo run --release -p marsit-bench --bin fig3
+//! ```
+
+use marsit_bench::{hr, minutes, pct};
+use marsit_models::{OptimizerKind, Workload};
+use marsit_simnet::Topology;
+use marsit_trainsim::{train, StrategyKind, TrainConfig};
+
+const ROUNDS: usize = 400; // the paper's maximum communication rounds
+const EVAL_EVERY: usize = 40;
+
+fn main() {
+    let ks: [Option<u32>; 5] = [Some(1), Some(50), Some(100), Some(200), None];
+    println!("== Fig 3: CIFAR-10-proxy over AlexNet-proxy, ring(8), T = {ROUNDS} ==\n");
+
+    let mut rows = Vec::new();
+    for k in ks {
+        let mut cfg = TrainConfig::new(
+            Workload::AlexNetCifar10,
+            Topology::ring(8),
+            StrategyKind::Marsit { k },
+        );
+        cfg.rounds = ROUNDS;
+        cfg.train_examples = 16_384;
+        cfg.test_examples = 2048;
+        cfg.batch_per_worker = 64;
+        cfg.local_lr = 0.01;
+        cfg.marsit_global_lr = 0.002;
+        cfg.optimizer = OptimizerKind::Momentum(0.9);
+        cfg.eval_every = EVAL_EVERY;
+        let report = train(&cfg);
+        rows.push((k, report));
+    }
+
+    // (a) accuracy vs round.
+    println!("-- Fig 3a: accuracy (%) at evaluation points --\n");
+    print!("{:<8}", "round");
+    for (k, _) in &rows {
+        print!("{:>10}", k.map_or("K=∞".to_owned(), |k| format!("K={k}")));
+    }
+    println!();
+    hr(8 + 10 * rows.len());
+    let eval_points: Vec<usize> = rows[0]
+        .1
+        .records
+        .iter()
+        .filter(|r| r.eval.is_some())
+        .map(|r| r.round)
+        .collect();
+    for &round in &eval_points {
+        print!("{round:<8}");
+        for (_, report) in &rows {
+            let acc = report
+                .records
+                .iter()
+                .find(|r| r.round == round)
+                .and_then(|r| r.eval)
+                .map_or(f64::NAN, |e| e.accuracy);
+            print!("{:>10}", pct(acc));
+        }
+        println!();
+    }
+
+    // (b) convergence table.
+    println!("\n-- Fig 3b: convergence results --\n");
+    println!("{:<8} {:>10} {:>9} {:>7}", "K", "Time(min)", "Acc.(%)", "Bits");
+    hr(38);
+    for (k, report) in &rows {
+        println!(
+            "{:<8} {:>10} {:>9} {:>7.2}",
+            k.map_or("∞".to_owned(), |k| k.to_string()),
+            minutes(report.total_time.total()),
+            pct(report.final_eval.accuracy),
+            report.avg_wire_bits_per_element,
+        );
+    }
+    println!(
+        "\nExpected shape (paper Fig 3b): bits follow 1 + 31/K exactly; K=1 takes\n\
+         the most time and the best accuracy; K=∞ is fastest and cheapest but\n\
+         gives up a couple of accuracy points; intermediate K interpolate."
+    );
+}

@@ -1,0 +1,105 @@
+//! **Table 2**: top-1 accuracy of all approaches on the five
+//! model/dataset workloads.
+//!
+//! Paper's rows (PSGD / signSGD / EF-signSGD / SSDM / Marsit-100 / Marsit):
+//! AlexNet+CIFAR-10: 82.38 / 80.74 / 82.25 / 81.89 / 82.30 / 81.58;
+//! ResNet-20+CIFAR-10: 93.42 / 88.92 / 91.85 / 89.18 / 92.18 / 90.15;
+//! ResNet-18+ImageNet: 69.18 / 67.17 / 68.14 / 68.10 / 68.96 / 68.40;
+//! ResNet-50+ImageNet: 74.87 / 72.74 / 73.89 / 73.35 / 74.35 / 74.10;
+//! DistilBERT+IMDb: 92.16 / 89.12 / 90.57 / 91.41 / 90.13 / 90.26.
+//!
+//! ```text
+//! cargo run --release -p marsit-bench --bin table2
+//! ```
+
+use marsit_bench::{hr, pct};
+use marsit_models::{OptimizerKind, Workload};
+use marsit_simnet::Topology;
+use marsit_trainsim::{train, StrategyKind, TrainConfig};
+
+/// Per-strategy stepsizes (the paper tunes a grid per method; these come
+/// from the same kind of sweep on the proxies — see EXPERIMENTS.md).
+fn local_lr(strategy: StrategyKind, workload: Workload) -> f32 {
+    let adam = matches!(workload, Workload::DistilBertImdb);
+    if adam {
+        // Adam directions are ±O(1) per coordinate; every strategy shares
+        // the paper's 5e-5-style constant scaled to proxy dimensions.
+        return 0.002;
+    }
+    let imagenet = matches!(
+        workload,
+        Workload::ResNet18ImageNet | Workload::ResNet50ImageNet
+    );
+    match strategy {
+        StrategyKind::Psgd => 0.1,
+        // Sign steps random-walk at their stepsize; the longer ImageNet
+        // budget wants a cooler rate.
+        StrategyKind::SignMajority if imagenet => 0.001,
+        StrategyKind::SignMajority => 0.005,
+        StrategyKind::EfSign => 0.01,
+        StrategyKind::Ssdm => 0.001,
+        StrategyKind::Cascading => 0.005,
+        StrategyKind::Marsit { .. } => 0.01,
+        StrategyKind::PowerSgd { .. } => 0.05,
+    }
+}
+
+fn main() {
+    let workloads = [
+        Workload::AlexNetCifar10,
+        Workload::ResNet20Cifar10,
+        Workload::ResNet18ImageNet,
+        Workload::ResNet50ImageNet,
+        Workload::DistilBertImdb,
+    ];
+    let strategies = StrategyKind::TABLE2;
+    let m = 8;
+
+    println!("== Table 2: top-1 accuracy (%), ring({m}), T = 400 (800 for ImageNet) ==\n");
+    print!("{:<24} {:>8}", "Workload", "#params");
+    for s in strategies {
+        print!("{:>12}", s.label());
+    }
+    println!();
+    hr(32 + 12 * strategies.len());
+
+    for workload in workloads {
+        print!(
+            "{:<24} {:>7}",
+            workload.label(),
+            format!("{:.2}M", workload.logical_params() as f64 / 1e6)
+        );
+        let imagenet = matches!(
+            workload,
+            Workload::ResNet18ImageNet | Workload::ResNet50ImageNet
+        );
+        for strategy in strategies {
+            let mut cfg = TrainConfig::new(workload, Topology::ring(m), strategy);
+            cfg.rounds = if imagenet { 800 } else { 400 };
+            cfg.train_examples = 16_384;
+            cfg.test_examples = 2048;
+            cfg.batch_per_worker = 64;
+            cfg.local_lr = local_lr(strategy, workload);
+            cfg.marsit_global_lr = 0.002;
+            cfg.optimizer = if matches!(workload, Workload::DistilBertImdb) {
+                OptimizerKind::Adam
+            } else {
+                OptimizerKind::Momentum(0.9)
+            };
+            cfg.eval_every = 0;
+            let report = train(&cfg);
+            if report.diverged {
+                print!("{:>12}", "div.");
+            } else {
+                print!("{:>12}", pct(report.final_eval.accuracy));
+            }
+        }
+        println!();
+    }
+    hr(32 + 12 * strategies.len());
+    println!(
+        "\nExpected shape (paper Table 2): PSGD leads every row; Marsit-100 and/or\n\
+         Marsit sit within ~1 pp of PSGD and above the signSGD-family baselines;\n\
+         plain signSGD loses the most."
+    );
+}

@@ -1,0 +1,142 @@
+//! Gossip averaging: the decentralized baseline the paper's introduction
+//! contrasts with MAR ("the performance of gossip in terms of convergence
+//! rate is much slower than MAR, especially under sparse connections such
+//! as ring topology").
+//!
+//! One gossip step mixes each worker's vector with its ring neighbours via
+//! a doubly-stochastic weight matrix `W` (here the symmetric three-point
+//! stencil `[⅓, ⅓, ⅓]`). Unlike all-reduce, a single step does *not* reach
+//! consensus — workers only converge geometrically at the rate of `W`'s
+//! spectral gap, which for a ring closes as `O(1/M²)`; that is exactly why
+//! the paper builds on all-reduce instead.
+
+use marsit_tensor::stats::dist_sq;
+
+use crate::trace::Trace;
+
+/// Performs one synchronous gossip step on a ring: each worker replaces its
+/// vector with the average of itself and its two ring neighbours.
+///
+/// Returns the trace: one step in which every worker sends its full vector
+/// to both neighbours (`2M` transfers).
+///
+/// # Panics
+///
+/// Panics if fewer than 3 workers (the stencil needs two distinct
+/// neighbours) or payload lengths differ.
+pub fn gossip_ring_step(data: &mut [Vec<f32>]) -> Trace {
+    let m = data.len();
+    assert!(m >= 3, "ring gossip needs at least 3 workers");
+    let d = data[0].len();
+    assert!(data.iter().all(|v| v.len() == d), "payload lengths differ");
+    let snapshot = data.to_vec();
+    for (w, out) in data.iter_mut().enumerate() {
+        let left = &snapshot[(w + m - 1) % m];
+        let right = &snapshot[(w + 1) % m];
+        let own = &snapshot[w];
+        for (j, x) in out.iter_mut().enumerate() {
+            *x = (left[j] + own[j] + right[j]) / 3.0;
+        }
+    }
+    let mut trace = Trace::new();
+    trace.push_uniform_step(2 * m, d * 4);
+    trace
+}
+
+/// Mean squared disagreement between workers' vectors and their average —
+/// the consensus error that gossip only shrinks geometrically.
+///
+/// # Panics
+///
+/// Panics if `data` is empty or lengths differ.
+#[must_use]
+pub fn consensus_error(data: &[Vec<f32>]) -> f64 {
+    assert!(!data.is_empty(), "no workers");
+    let m = data.len();
+    let d = data[0].len();
+    let mut mean = vec![0.0f32; d];
+    for w in data {
+        assert_eq!(w.len(), d, "payload lengths differ");
+        for (a, &x) in mean.iter_mut().zip(w) {
+            *a += x / m as f32;
+        }
+    }
+    data.iter().map(|w| dist_sq(w, &mean)).sum::<f64>() / m as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marsit_tensor::rng::FastRng;
+
+    fn payloads(m: usize, d: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = FastRng::new(seed, 0);
+        (0..m)
+            .map(|_| (0..d).map(|_| rng.next_f64() as f32 - 0.5).collect())
+            .collect()
+    }
+
+    #[test]
+    fn gossip_preserves_the_mean() {
+        let mut data = payloads(5, 16, 1);
+        let before: Vec<f32> = (0..16)
+            .map(|j| data.iter().map(|w| w[j]).sum::<f32>())
+            .collect();
+        let _ = gossip_ring_step(&mut data);
+        let after: Vec<f32> = (0..16)
+            .map(|j| data.iter().map(|w| w[j]).sum::<f32>())
+            .collect();
+        for (b, a) in before.iter().zip(&after) {
+            assert!((b - a).abs() < 1e-4, "gossip must conserve the sum");
+        }
+    }
+
+    #[test]
+    fn gossip_shrinks_consensus_error_monotonically() {
+        let mut data = payloads(8, 32, 2);
+        let mut prev = consensus_error(&data);
+        assert!(prev > 0.0);
+        for _ in 0..20 {
+            let _ = gossip_ring_step(&mut data);
+            let err = consensus_error(&data);
+            assert!(err <= prev * 1.0001, "error must not grow: {err} after {prev}");
+            prev = err;
+        }
+        assert!(prev < 1e-2, "should be near consensus eventually: {prev}");
+    }
+
+    #[test]
+    fn gossip_is_much_slower_than_allreduce_on_large_rings() {
+        // The intro's claim: one all-reduce reaches exact consensus, while a
+        // ring gossip needs many steps — more as M grows.
+        let steps_to = |m: usize| -> usize {
+            let mut data = payloads(m, 16, 3);
+            let initial = consensus_error(&data);
+            for step in 1..=1000 {
+                let _ = gossip_ring_step(&mut data);
+                if consensus_error(&data) < initial * 1e-3 {
+                    return step;
+                }
+            }
+            1000
+        };
+        let s4 = steps_to(4);
+        let s16 = steps_to(16);
+        assert!(s16 > 3 * s4, "ring gossip must slow down with M: {s4} vs {s16}");
+    }
+
+    #[test]
+    fn single_step_does_not_reach_consensus() {
+        let mut data = payloads(6, 8, 4);
+        let _ = gossip_ring_step(&mut data);
+        assert!(consensus_error(&data) > 1e-4);
+    }
+
+    #[test]
+    fn trace_counts_neighbour_transfers() {
+        let mut data = payloads(4, 10, 5);
+        let trace = gossip_ring_step(&mut data);
+        assert_eq!(trace.num_steps(), 1);
+        assert_eq!(trace.total_bytes(), 2 * 4 * 10 * 4);
+    }
+}

@@ -1,0 +1,138 @@
+//! Parameter-server exchanges (the single-hop baseline).
+//!
+//! Under PS every worker uploads its message to one central server, which
+//! aggregates and broadcasts the result. All traffic shares the server's
+//! link, which is the congestion the paper's Section 1 contrasts against
+//! MAR. Used by the motivation experiments of Figure 1.
+
+use marsit_compress::SignSumVec;
+use marsit_tensor::SignVec;
+
+use crate::trace::Trace;
+
+/// PS all-reduce of `f32` payloads into their elementwise sum.
+///
+/// Returns the sum (the "server state" broadcast back to everyone) and the
+/// trace: one upload step whose transfers all cross the server link, then
+/// one broadcast step.
+///
+/// # Panics
+///
+/// Panics if `data` is empty or lengths differ.
+#[must_use]
+pub fn ps_allreduce_sum(data: &[Vec<f32>]) -> (Vec<f32>, Trace) {
+    assert!(!data.is_empty(), "PS needs at least 1 worker");
+    let d = data[0].len();
+    assert!(data.iter().all(|v| v.len() == d), "payload lengths differ");
+    let mut sum = vec![0.0f32; d];
+    for w in data {
+        for (s, &x) in sum.iter_mut().zip(w) {
+            *s += x;
+        }
+    }
+    let trace = ps_trace(data.len(), d * 4, d * 4);
+    (sum, trace)
+}
+
+/// PS majority vote over workers' sign vectors (signSGD with majority vote,
+/// its native habitat): uploads are one bit per coordinate, the broadcast is
+/// the voted signs.
+///
+/// # Panics
+///
+/// Panics if `signs` is empty or lengths differ.
+#[must_use]
+pub fn ps_majority_vote(signs: &[SignVec]) -> (SignVec, Trace) {
+    assert!(!signs.is_empty(), "PS needs at least 1 worker");
+    let d = signs[0].len();
+    assert!(signs.iter().all(|v| v.len() == d), "sign lengths differ");
+    let mut sums = SignSumVec::zeros(d);
+    for v in signs {
+        sums.add_signs(v);
+    }
+    let bytes = d.div_ceil(8).max(1);
+    (sums.majority_sign(), ps_trace(signs.len(), bytes, bytes))
+}
+
+/// PS collection of workers' sign sums (SSDM-style mean aggregation under
+/// PS): uploads are one bit per coordinate, the broadcast carries the mean
+/// as full-precision values.
+///
+/// # Panics
+///
+/// Panics if `signs` is empty or lengths differ.
+#[must_use]
+pub fn ps_sign_sums(signs: &[SignVec]) -> (SignSumVec, Trace) {
+    assert!(!signs.is_empty(), "PS needs at least 1 worker");
+    let d = signs[0].len();
+    assert!(signs.iter().all(|v| v.len() == d), "sign lengths differ");
+    let mut sums = SignSumVec::zeros(d);
+    for v in signs {
+        sums.add_signs(v);
+    }
+    let up = d.div_ceil(8).max(1);
+    let down = d * 4;
+    let trace = ps_trace(signs.len(), up, down);
+    (sums, trace)
+}
+
+/// Builds the two-step PS trace: `m` uploads sharing the server ingress,
+/// then `m` downloads sharing the egress. Modeled as serialized transfers on
+/// one link per direction — the transfers are recorded in a single step each
+/// but the *sum* of their bytes rides one link, so the per-step entry is one
+/// transfer of `m·bytes`.
+fn ps_trace(m: usize, up_bytes: usize, down_bytes: usize) -> Trace {
+    let mut trace = Trace::new();
+    trace.push_step(vec![m * up_bytes]);
+    trace.push_step(vec![m * down_bytes]);
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marsit_simnet::LinkModel;
+    use marsit_tensor::rng::FastRng;
+
+    #[test]
+    fn sum_matches_manual() {
+        let data = vec![vec![1.0f32, 2.0], vec![0.5, -1.0], vec![0.0, 3.0]];
+        let (sum, trace) = ps_allreduce_sum(&data);
+        assert_eq!(sum, vec![1.5, 4.0]);
+        assert_eq!(trace.num_steps(), 2);
+        assert_eq!(trace.total_bytes(), 3 * 8 + 3 * 8);
+    }
+
+    #[test]
+    fn majority_matches_recount() {
+        let mut rng = FastRng::new(1, 0);
+        let signs: Vec<SignVec> =
+            (0..5).map(|_| SignVec::bernoulli_uniform(40, 0.5, &mut rng)).collect();
+        let (vote, _) = ps_majority_vote(&signs);
+        for j in 0..40 {
+            let s: i32 = signs.iter().map(|v| if v.get(j) { 1 } else { -1 }).sum();
+            assert_eq!(vote.get(j), s >= 0);
+        }
+    }
+
+    #[test]
+    fn ps_is_slower_than_it_looks() {
+        // The server link serializes M payloads; with M workers the PS time
+        // grows linearly in M while a ring's per-step size shrinks.
+        let link = LinkModel::new(0.0, 1.0);
+        let d = 64;
+        let data_small: Vec<Vec<f32>> = (0..2).map(|_| vec![1.0; d]).collect();
+        let data_large: Vec<Vec<f32>> = (0..8).map(|_| vec![1.0; d]).collect();
+        let (_, t2) = ps_allreduce_sum(&data_small);
+        let (_, t8) = ps_allreduce_sum(&data_large);
+        assert!(t8.time(link) > 3.0 * t2.time(link));
+    }
+
+    #[test]
+    fn sign_sums_count_workers() {
+        let signs: Vec<SignVec> = (0..3).map(|_| SignVec::ones(8)).collect();
+        let (sums, _) = ps_sign_sums(&signs);
+        assert_eq!(sums.count(), 3);
+        assert!(sums.sums().iter().all(|&s| s == 3));
+    }
+}

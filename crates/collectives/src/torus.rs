@@ -1,0 +1,448 @@
+//! 2D-torus all-reduce (TAR) schedules.
+//!
+//! The hierarchical collective of Mikami et al. that the paper evaluates
+//! alongside RAR: (1) reduce-scatter along each *row* ring, (2) all-reduce
+//! along each *column* ring on the chunk each worker now owns, (3)
+//! all-gather along the rows. With `M = rows × cols` workers the critical
+//! path shrinks from `2(M−1)` hops to `2(cols−1) + 2(rows−1)`, which is why
+//! every method communicates faster under TAR in Figure 5.
+//!
+//! Workers are indexed row-major: `w = row·cols + col`.
+
+use marsit_compress::SignSumVec;
+use marsit_tensor::SignVec;
+
+use crate::ring::{
+    ring_allreduce_onebit_weighted, ring_allreduce_signsum_parts, segment_ranges, CombineCtx,
+    SumWire,
+};
+use crate::trace::Trace;
+
+/// Validates torus shape against the payload count.
+fn check_shape<T>(items: &[T], rows: usize, cols: usize) {
+    assert!(rows >= 2 && cols >= 2, "torus needs both dimensions >= 2");
+    assert_eq!(items.len(), rows * cols, "worker count must equal rows*cols");
+}
+
+/// Merges the per-step transfers of `sub` (running on disjoint links in
+/// parallel with traces from other rings) into `main`, aligning step indices
+/// starting at `offset`.
+fn merge_parallel(main: &mut Vec<Vec<usize>>, offset: usize, sub: &Trace) {
+    for (i, step) in sub.steps().iter().enumerate() {
+        while main.len() <= offset + i {
+            main.push(Vec::new());
+        }
+        main[offset + i].extend(step.iter().copied());
+    }
+}
+
+/// In-place 2D-torus all-reduce summing `f32` payloads.
+///
+/// On return every `data[w]` holds the elementwise sum over all workers.
+///
+/// # Panics
+///
+/// Panics if the shape is invalid or payload lengths differ.
+pub fn torus_allreduce_sum(data: &mut [Vec<f32>], rows: usize, cols: usize) -> Trace {
+    check_shape(data, rows, cols);
+    let d = data[0].len();
+    assert!(data.iter().all(|v| v.len() == d), "payload lengths differ");
+    let chunks = segment_ranges(d, cols);
+    let mut steps: Vec<Vec<usize>> = Vec::new();
+
+    // Phase 1: horizontal reduce-scatter within each row.
+    for rr in 0..cols - 1 {
+        let mut step = Vec::with_capacity(rows * cols);
+        for row in 0..rows {
+            for c in 0..cols {
+                let w = row * cols + c;
+                let n = row * cols + (c + 1) % cols;
+                let s = (c + cols - (rr % cols)) % cols;
+                let range = chunks[s].clone();
+                step.push(range.len() * 4);
+                let sent: Vec<f32> = data[w][range.clone()].to_vec();
+                for (x, y) in data[n][range].iter_mut().zip(sent) {
+                    *x += y;
+                }
+            }
+        }
+        steps.push(step);
+    }
+
+    // Phase 2: vertical ring all-reduce per column on the owned chunk.
+    let offset = steps.len();
+    for c in 0..cols {
+        let own = (c + 1) % cols;
+        let range = chunks[own].clone();
+        let mut column: Vec<Vec<f32>> = (0..rows)
+            .map(|row| data[row * cols + c][range.clone()].to_vec())
+            .collect();
+        let sub = crate::ring::ring_allreduce_sum(&mut column);
+        for (row, chunk) in column.into_iter().enumerate() {
+            data[row * cols + c][range.clone()].copy_from_slice(&chunk);
+        }
+        merge_parallel(&mut steps, offset, &sub);
+    }
+
+    // Phase 3: horizontal all-gather.
+    for g in 0..cols - 1 {
+        let mut step = Vec::with_capacity(rows * cols);
+        for row in 0..rows {
+            for c in 0..cols {
+                let n_col = (c + 1) % cols;
+                let w = row * cols + c;
+                let n = row * cols + n_col;
+                let s = (c + 1 + cols - (g % cols)) % cols;
+                let range = chunks[s].clone();
+                step.push(range.len() * 4);
+                let sent: Vec<f32> = data[w][range.clone()].to_vec();
+                data[n][range].copy_from_slice(&sent);
+            }
+        }
+        steps.push(step);
+    }
+
+    let mut trace = Trace::new();
+    for s in steps {
+        trace.push_step(s);
+    }
+    trace
+}
+
+/// 2D-torus all-reduce of one-bit payloads with a caller-supplied combine
+/// (Marsit under TAR).
+///
+/// Combine contexts carry the correct aggregate counts: horizontal hops fold
+/// single workers, vertical hops fold whole row-aggregates of `cols` workers.
+/// Every hop is one bit per coordinate. Returns the consensus sign vector
+/// and the trace.
+///
+/// # Panics
+///
+/// Panics if the shape is invalid or sign lengths differ.
+pub fn torus_allreduce_onebit<F>(
+    signs: &[SignVec],
+    rows: usize,
+    cols: usize,
+    mut combine: F,
+) -> (SignVec, Trace)
+where
+    F: FnMut(&SignVec, &SignVec, CombineCtx) -> SignVec,
+{
+    check_shape(signs, rows, cols);
+    let d = signs[0].len();
+    assert!(signs.iter().all(|v| v.len() == d), "sign lengths differ");
+    let chunks = segment_ranges(d, cols);
+    let mut steps: Vec<Vec<usize>> = Vec::new();
+    // state[w][s]: worker w's aggregate of chunk s.
+    let mut state: Vec<Vec<SignVec>> = signs
+        .iter()
+        .map(|v| chunks.iter().map(|r| v.slice(r.start, r.len())).collect())
+        .collect();
+
+    // Phase 1: horizontal reduce-scatter, single-worker units.
+    for rr in 0..cols - 1 {
+        let mut step = Vec::with_capacity(rows * cols);
+        for row in 0..rows {
+            for c in 0..cols {
+                let w = row * cols + c;
+                let n = row * cols + (c + 1) % cols;
+                let s = (c + cols - (rr % cols)) % cols;
+                step.push(chunks[s].len().div_ceil(8).max(1));
+                let ctx = CombineCtx {
+                    step: rr,
+                    receiver: n,
+                    segment: s,
+                    received_count: rr + 1,
+                    local_count: 1,
+                };
+                let received = state[w][s].clone();
+                let merged = combine(&received, &state[n][s], ctx);
+                assert_eq!(merged.len(), chunks[s].len(), "combine changed length");
+                state[n][s] = merged;
+            }
+        }
+        steps.push(step);
+    }
+
+    // Phase 2: vertical one-bit all-reduce per column, units of `cols`.
+    let offset = steps.len();
+    for c in 0..cols {
+        let own = (c + 1) % cols;
+        let column: Vec<SignVec> = (0..rows).map(|row| state[row * cols + c][own].clone()).collect();
+        let (reduced, sub) = ring_allreduce_onebit_weighted(&column, cols, &mut combine);
+        for row in 0..rows {
+            state[row * cols + c][own] = reduced.clone();
+        }
+        merge_parallel(&mut steps, offset, &sub);
+    }
+
+    // Phase 3: horizontal all-gather of the final one-bit chunks.
+    for g in 0..cols - 1 {
+        let mut step = Vec::with_capacity(rows * cols);
+        for row in 0..rows {
+            for c in 0..cols {
+                let w = row * cols + c;
+                let n = row * cols + (c + 1) % cols;
+                let s = (c + 1 + cols - (g % cols)) % cols;
+                step.push(chunks[s].len().div_ceil(8).max(1));
+                let sent = state[w][s].clone();
+                state[n][s] = sent;
+            }
+        }
+        steps.push(step);
+    }
+
+    // All workers now agree; assemble from worker 0.
+    let mut result = SignVec::zeros(d);
+    for (s, range) in chunks.iter().enumerate() {
+        result.splice(range.start, &state[0][s]);
+    }
+    let mut trace = Trace::new();
+    for s in steps {
+        trace.push_step(s);
+    }
+    (result, trace)
+}
+
+/// 2D-torus all-reduce of sign vectors into a global majority vote
+/// (signSGD-MV under TAR): integer sums on the reduce paths, one-bit votes
+/// on the gather paths.
+///
+/// # Panics
+///
+/// Panics if the shape is invalid or sign lengths differ.
+pub fn torus_allreduce_majority(
+    signs: &[SignVec],
+    rows: usize,
+    cols: usize,
+    wire: SumWire,
+) -> (SignVec, Trace) {
+    let (total, mut trace) = torus_reduce_sums(signs, rows, cols, wire);
+    let d = signs[0].len();
+    let vote = total.majority_sign();
+    // Gather: vertical then horizontal, all one-bit chunks.
+    let chunks = segment_ranges(d, cols);
+    let sub_bits = |len: usize| len.div_ceil(8).max(1);
+    for _ in 0..rows - 1 {
+        let step: Vec<usize> = (0..rows * cols)
+            .map(|w| sub_bits(chunks[(w % cols + 1) % cols].len().div_ceil(rows)))
+            .collect();
+        trace.push_step(step);
+    }
+    for _ in 0..cols - 1 {
+        let step: Vec<usize> = (0..rows * cols).map(|w| sub_bits(chunks[w % cols].len())).collect();
+        trace.push_step(step);
+    }
+    (vote, trace)
+}
+
+/// 2D-torus all-reduce of sign vectors into global sign sums (SSDM /
+/// EF-signSGD under TAR).
+///
+/// # Panics
+///
+/// Panics if the shape is invalid or sign lengths differ.
+pub fn torus_allreduce_signsum(
+    signs: &[SignVec],
+    rows: usize,
+    cols: usize,
+    wire: SumWire,
+) -> (SignSumVec, Trace) {
+    let (total, mut trace) = torus_reduce_sums(signs, rows, cols, wire);
+    // Gather phases re-transmit final sums (vertical then horizontal).
+    let per_worker = wire.wire_bytes(&total);
+    for _ in 0..rows - 1 {
+        trace.push_step(vec![per_worker.div_ceil(cols * rows); rows * cols]);
+    }
+    for _ in 0..cols - 1 {
+        trace.push_step(vec![per_worker.div_ceil(cols); rows * cols]);
+    }
+    (total, trace)
+}
+
+/// Shared reduce path: horizontal reduce-scatter of sums, vertical
+/// sum all-reduce. Returns the full-dimension total and the reduce trace.
+fn torus_reduce_sums(
+    signs: &[SignVec],
+    rows: usize,
+    cols: usize,
+    wire: SumWire,
+) -> (SignSumVec, Trace) {
+    check_shape(signs, rows, cols);
+    let d = signs[0].len();
+    assert!(signs.iter().all(|v| v.len() == d), "sign lengths differ");
+    let chunks = segment_ranges(d, cols);
+    let mut steps: Vec<Vec<usize>> = Vec::new();
+    let mut state: Vec<Vec<SignSumVec>> = signs
+        .iter()
+        .map(|v| {
+            chunks
+                .iter()
+                .map(|r| SignSumVec::from_signs(&v.slice(r.start, r.len())))
+                .collect()
+        })
+        .collect();
+
+    // Phase 1: horizontal reduce-scatter of growing sums.
+    for rr in 0..cols - 1 {
+        let mut step = Vec::with_capacity(rows * cols);
+        for row in 0..rows {
+            for c in 0..cols {
+                let w = row * cols + c;
+                let n = row * cols + (c + 1) % cols;
+                let s = (c + cols - (rr % cols)) % cols;
+                step.push(wire.wire_bytes(&state[w][s]));
+                let sent = state[w][s].clone();
+                state[n][s].merge(&sent);
+            }
+        }
+        steps.push(step);
+    }
+
+    // Phase 2: vertical sign-sum all-reduce per column on the owned chunk.
+    let offset = steps.len();
+    // Assemble the full-dimension total (identical across workers).
+    let mut flat = vec![0i32; d];
+    for c in 0..cols {
+        let own = (c + 1) % cols;
+        let column: Vec<SignSumVec> =
+            (0..rows).map(|row| state[row * cols + c][own].clone()).collect();
+        let (reduced, sub) = ring_allreduce_signsum_parts(&column, wire);
+        merge_parallel(&mut steps, offset, &sub);
+        flat[chunks[own].clone()].copy_from_slice(reduced.sums());
+    }
+    let total = SignSumVec::from_parts(flat, (rows * cols) as u32);
+    let mut trace = Trace::new();
+    for s in steps {
+        trace.push_step(s);
+    }
+    (total, trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marsit_tensor::rng::FastRng;
+
+    fn random_payloads(m: usize, d: usize, seed: u64) -> Vec<Vec<f32>> {
+        (0..m)
+            .map(|w| {
+                let mut rng = FastRng::new(seed, w as u64);
+                (0..d).map(|_| rng.next_f64() as f32 * 2.0 - 1.0).collect()
+            })
+            .collect()
+    }
+
+    fn random_signs(m: usize, d: usize, seed: u64) -> Vec<SignVec> {
+        let mut rng = FastRng::new(seed, 0);
+        (0..m).map(|_| SignVec::bernoulli_uniform(d, 0.5, &mut rng)).collect()
+    }
+
+    #[test]
+    fn torus_sum_matches_reference() {
+        for (rows, cols, d) in [(2, 2, 16), (2, 3, 40), (3, 3, 27), (4, 4, 128), (2, 4, 33)] {
+            let m = rows * cols;
+            let mut data = random_payloads(m, d, 11);
+            let mut expected = vec![0.0f32; d];
+            for w in &data {
+                for (e, &x) in expected.iter_mut().zip(w) {
+                    *e += x;
+                }
+            }
+            let _ = torus_allreduce_sum(&mut data, rows, cols);
+            for (w, payload) in data.iter().enumerate() {
+                for (j, (&got, &want)) in payload.iter().zip(&expected).enumerate() {
+                    assert!(
+                        (got - want).abs() < 1e-3,
+                        "{rows}x{cols} d={d} worker {w} coord {j}: {got} vs {want}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn torus_sum_fewer_critical_steps_than_ring() {
+        let m = 16;
+        let d = 1600;
+        let mut ring_data = random_payloads(m, d, 3);
+        let ring_trace = crate::ring::ring_allreduce_sum(&mut ring_data);
+        let mut torus_data = random_payloads(m, d, 3);
+        let torus_trace = torus_allreduce_sum(&mut torus_data, 4, 4);
+        // Both schedules are bandwidth-optimal (~2·D·(M−1)/M bytes on the
+        // critical path); the torus advantage is latency: far fewer steps.
+        assert!(torus_trace.num_steps() < ring_trace.num_steps());
+        assert!(torus_trace.critical_path_bytes() <= ring_trace.critical_path_bytes());
+        use marsit_simnet::LinkModel;
+        let latency_bound = LinkModel::new(1e-3, 1e12);
+        assert!(torus_trace.time(latency_bound) < ring_trace.time(latency_bound));
+    }
+
+    #[test]
+    fn torus_majority_matches_scalar_recount() {
+        let (rows, cols, d) = (2, 3, 60);
+        let signs = random_signs(rows * cols, d, 21);
+        let (vote, _) = torus_allreduce_majority(&signs, rows, cols, SumWire::Elias);
+        for j in 0..d {
+            let sum: i32 = signs.iter().map(|v| if v.get(j) { 1 } else { -1 }).sum();
+            assert_eq!(vote.get(j), sum >= 0, "coord {j}");
+        }
+    }
+
+    #[test]
+    fn torus_signsum_totals() {
+        let (rows, cols, d) = (3, 2, 31);
+        let signs = random_signs(rows * cols, d, 5);
+        let (total, _) = torus_allreduce_signsum(&signs, rows, cols, SumWire::Elias);
+        assert_eq!(total.count(), (rows * cols) as u32);
+        for j in 0..d {
+            let sum: i32 = signs.iter().map(|v| if v.get(j) { 1 } else { -1 }).sum();
+            assert_eq!(total.sums()[j], sum, "coord {j}");
+        }
+    }
+
+    #[test]
+    fn torus_onebit_counts_cover_all_workers() {
+        // With a "keep received" or any combine, the ctx counts must sum the
+        // full worker set by the last vertical step.
+        let (rows, cols, d) = (3, 3, 90);
+        let signs = random_signs(rows * cols, d, 7);
+        let mut max_total = 0;
+        let _ = torus_allreduce_onebit(&signs, rows, cols, |recv, _local, ctx| {
+            max_total = max_total.max(ctx.received_count + ctx.local_count);
+            recv.clone()
+        });
+        assert_eq!(max_total, rows * cols);
+    }
+
+    #[test]
+    fn torus_onebit_hops_are_one_bit() {
+        let (rows, cols, d) = (2, 2, 64);
+        let signs = random_signs(rows * cols, d, 9);
+        let (_, trace) = torus_allreduce_onebit(&signs, rows, cols, |r, _, _| r.clone());
+        // Horizontal chunks: d/cols = 32 coords = 4 bytes; vertical
+        // subchunks: 16 coords = 2 bytes.
+        for step in trace.steps() {
+            for &bytes in step {
+                assert!(bytes == 4 || bytes == 2, "unexpected transfer size {bytes}");
+            }
+        }
+    }
+
+    #[test]
+    fn torus_onebit_consensus_is_deterministic_given_combine() {
+        let (rows, cols, d) = (2, 2, 16);
+        let signs = random_signs(4, d, 13);
+        let (a, _) = torus_allreduce_onebit(&signs, rows, cols, |r, _, _| r.clone());
+        let (b, _) = torus_allreduce_onebit(&signs, rows, cols, |r, _, _| r.clone());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "rows*cols")]
+    fn wrong_worker_count_panics() {
+        let mut data = random_payloads(5, 8, 0);
+        let _ = torus_allreduce_sum(&mut data, 2, 3);
+    }
+}

@@ -1,0 +1,117 @@
+//! Transfer traces: what a collective actually put on the wire.
+//!
+//! Every collective in this crate records, per synchronous step, the byte
+//! count of each in-flight transfer. The simulator prices a trace with the
+//! α–β model (`marsit_simnet::cost::schedule_time`), and the experiment
+//! harness reads total bytes for the communication-budget plots (Fig 4b).
+
+use marsit_simnet::{cost, LinkModel};
+
+/// Per-step record of transfer sizes produced by one collective operation.
+///
+/// Steps are sequential; transfers within a step ride disjoint links in
+/// parallel.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    steps: Vec<Vec<usize>>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a step whose transfers carry the given byte counts.
+    pub fn push_step(&mut self, transfer_bytes: Vec<usize>) {
+        self.steps.push(transfer_bytes);
+    }
+
+    /// Appends a step of `links` parallel transfers of `bytes` each.
+    pub fn push_uniform_step(&mut self, links: usize, bytes: usize) {
+        self.steps.push(vec![bytes; links]);
+    }
+
+    /// Appends all steps of another trace (sequential composition).
+    pub fn extend(&mut self, other: Trace) {
+        self.steps.extend(other.steps);
+    }
+
+    /// Number of sequential steps.
+    #[must_use]
+    pub fn num_steps(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// The per-step transfer sizes.
+    #[must_use]
+    pub fn steps(&self) -> &[Vec<usize>] {
+        &self.steps
+    }
+
+    /// Total bytes moved across all links and steps.
+    #[must_use]
+    pub fn total_bytes(&self) -> usize {
+        self.steps.iter().flatten().sum()
+    }
+
+    /// Bytes moved along the critical path (max transfer per step).
+    #[must_use]
+    pub fn critical_path_bytes(&self) -> usize {
+        self.steps
+            .iter()
+            .map(|s| s.iter().copied().max().unwrap_or(0))
+            .sum()
+    }
+
+    /// Wall-clock time of the trace under `link` (sequential steps, parallel
+    /// transfers within a step).
+    #[must_use]
+    pub fn time(&self, link: LinkModel) -> f64 {
+        cost::schedule_time(link, &self.steps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_critical_path() {
+        let mut t = Trace::new();
+        t.push_step(vec![10, 20, 5]);
+        t.push_uniform_step(2, 7);
+        assert_eq!(t.num_steps(), 2);
+        assert_eq!(t.total_bytes(), 49);
+        assert_eq!(t.critical_path_bytes(), 27);
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut a = Trace::new();
+        a.push_step(vec![1]);
+        let mut b = Trace::new();
+        b.push_step(vec![2]);
+        a.extend(b);
+        assert_eq!(a.num_steps(), 2);
+        assert_eq!(a.total_bytes(), 3);
+    }
+
+    #[test]
+    fn time_matches_schedule_model() {
+        let mut t = Trace::new();
+        t.push_step(vec![100, 50]);
+        t.push_step(vec![25]);
+        let link = LinkModel::new(1.0, 100.0);
+        // step1: 1 + 100/100 = 2; step2: 1 + 25/100 = 1.25.
+        assert!((t.time(link) - 3.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_is_free() {
+        let t = Trace::new();
+        assert_eq!(t.total_bytes(), 0);
+        assert_eq!(t.time(LinkModel::new(1.0, 1.0)), 0.0);
+    }
+}

@@ -1,0 +1,209 @@
+//! LSB-first bit stream reader/writer.
+//!
+//! The wire format for variable-width payloads (Elias-coded sign sums,
+//! packed integers of growing width) — the mechanism the paper refers to as
+//! "dynamically changing the bit length" with Elias coding when extending
+//! signSGD baselines to MAR.
+
+/// Appends variable-width values into a growing bit buffer.
+///
+/// # Examples
+///
+/// ```
+/// use marsit_compress::bitstream::{BitReader, BitWriter};
+///
+/// let mut w = BitWriter::new();
+/// w.write_bits(0b101, 3);
+/// w.write_bits(0xFFFF, 16);
+/// let buf = w.finish();
+/// let mut r = BitReader::new(&buf);
+/// assert_eq!(r.read_bits(3), Some(0b101));
+/// assert_eq!(r.read_bits(16), Some(0xFFFF));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits used in the final byte (0..8); 0 means byte-aligned.
+    bit_pos: u32,
+    total_bits: usize,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the low `width` bits of `value`, LSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64` or if `value` has bits above `width`.
+    pub fn write_bits(&mut self, value: u64, width: u32) {
+        assert!(width <= 64, "width must be <= 64");
+        assert!(
+            width == 64 || value < (1u64 << width),
+            "value {value} does not fit in {width} bits"
+        );
+        let mut remaining = width;
+        let mut v = value;
+        while remaining > 0 {
+            if self.bit_pos == 0 {
+                self.bytes.push(0);
+            }
+            let space = 8 - self.bit_pos;
+            let take = space.min(remaining);
+            let chunk = (v & ((1u64 << take) - 1)) as u8;
+            *self.bytes.last_mut().expect("byte pushed above") |= chunk << self.bit_pos;
+            self.bit_pos = (self.bit_pos + take) % 8;
+            v >>= take;
+            remaining -= take;
+        }
+        self.total_bits += width as usize;
+    }
+
+    /// Appends a single bit.
+    pub fn write_bit(&mut self, bit: bool) {
+        self.write_bits(u64::from(bit), 1);
+    }
+
+    /// Total bits written so far.
+    #[must_use]
+    pub fn bit_len(&self) -> usize {
+        self.total_bits
+    }
+
+    /// Finishes the stream, returning the packed bytes (final byte padded
+    /// with zero bits).
+    #[must_use]
+    pub fn finish(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// Reads variable-width values from a bit buffer produced by [`BitWriter`].
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    bit_idx: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `bytes`.
+    #[must_use]
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, bit_idx: 0 }
+    }
+
+    /// Reads `width` bits (LSB first); `None` if the buffer is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64`.
+    pub fn read_bits(&mut self, width: u32) -> Option<u64> {
+        assert!(width <= 64, "width must be <= 64");
+        if self.bit_idx + width as usize > self.bytes.len() * 8 {
+            return None;
+        }
+        let mut out = 0u64;
+        for i in 0..width {
+            let idx = self.bit_idx + i as usize;
+            let bit = (self.bytes[idx / 8] >> (idx % 8)) & 1;
+            out |= u64::from(bit) << i;
+        }
+        self.bit_idx += width as usize;
+        Some(out)
+    }
+
+    /// Reads one bit.
+    pub fn read_bit(&mut self) -> Option<bool> {
+        self.read_bits(1).map(|b| b == 1)
+    }
+
+    /// Bits consumed so far.
+    #[must_use]
+    pub fn position(&self) -> usize {
+        self.bit_idx
+    }
+
+    /// Bits remaining in the buffer.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() * 8 - self.bit_idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bits_round_trip() {
+        let mut w = BitWriter::new();
+        let pattern = [true, false, true, true, false, false, true, false, true];
+        for &b in &pattern {
+            w.write_bit(b);
+        }
+        assert_eq!(w.bit_len(), 9);
+        let buf = w.finish();
+        assert_eq!(buf.len(), 2);
+        let mut r = BitReader::new(&buf);
+        for &b in &pattern {
+            assert_eq!(r.read_bit(), Some(b));
+        }
+    }
+
+    #[test]
+    fn mixed_width_round_trip() {
+        let mut w = BitWriter::new();
+        let values = [(5u64, 3u32), (0, 1), (1023, 10), (u64::MAX, 64), (7, 5)];
+        for &(v, width) in &values {
+            w.write_bits(v, width);
+        }
+        let buf = w.finish();
+        let mut r = BitReader::new(&buf);
+        for &(v, width) in &values {
+            assert_eq!(r.read_bits(width), Some(v), "width {width}");
+        }
+    }
+
+    #[test]
+    fn read_past_end_returns_none() {
+        let mut w = BitWriter::new();
+        w.write_bits(3, 2);
+        let buf = w.finish();
+        let mut r = BitReader::new(&buf);
+        assert_eq!(r.read_bits(2), Some(3));
+        // Padding bits are readable (zero), but beyond the byte it's None.
+        assert_eq!(r.read_bits(6), Some(0));
+        assert_eq!(r.read_bits(1), None);
+    }
+
+    #[test]
+    fn position_tracking() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b11, 2);
+        w.write_bits(0b1, 1);
+        let buf = w.finish();
+        let mut r = BitReader::new(&buf);
+        let _ = r.read_bits(2);
+        assert_eq!(r.position(), 2);
+        assert_eq!(r.remaining(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_value_panics() {
+        let mut w = BitWriter::new();
+        w.write_bits(8, 3);
+    }
+
+    #[test]
+    fn zero_width_write_is_noop() {
+        let mut w = BitWriter::new();
+        w.write_bits(0, 0);
+        assert_eq!(w.bit_len(), 0);
+        assert!(w.finish().is_empty());
+    }
+}

@@ -1,0 +1,336 @@
+//! Cascading compression: the naive one-bit MAR pipeline the paper rejects.
+//!
+//! To keep every hop at one bit per coordinate, each worker along the ring
+//! must *receive* a compressed message, *recover* it to full precision,
+//! *aggregate* its own gradient, and *re-compress* before sending — the
+//! five-step "receive / recover / aggregate / compress / send" sequence of
+//! Section 3.2. Every re-compression injects a fresh error whose scale is
+//! the ℓ2-norm of the running aggregate, so the error compounds along the
+//! chain (Theorem 3: deviation `O((2D)^M G²/M)` versus `O(DG²)` under PS).
+//!
+//! This module implements the chain exactly so the motivation experiments
+//! (Table 1, Fig 1) can reproduce the divergence.
+
+use marsit_tensor::rng::FastRng;
+
+use crate::compressor::Ssdm;
+use crate::message::SignMessage;
+
+/// Outcome of one cascading-compression reduction over a worker chain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CascadeOutcome {
+    /// Final decoded aggregate (the *sum* over workers; divide by `M` for
+    /// the mean — the paper's `s₃` is this divided by `M`).
+    pub aggregate: Vec<f32>,
+    /// The final compressed message as broadcast in the gather phase.
+    pub final_message: SignMessage,
+    /// Number of compression operations performed (= chain length).
+    pub compressions: usize,
+}
+
+/// Runs SSDM cascading compression along a chain of worker gradients.
+///
+/// Worker 0 compresses its gradient; each subsequent worker recovers the
+/// incoming message, adds its own gradient, and re-compresses. The returned
+/// aggregate is the decode of the *final* message, which is what every
+/// worker ends up applying after the gather phase.
+///
+/// # Panics
+///
+/// Panics if `gradients` is empty or lengths are inconsistent.
+#[must_use]
+pub fn cascade_reduce(gradients: &[&[f32]], rng: &mut FastRng) -> CascadeOutcome {
+    assert!(!gradients.is_empty(), "cascade over empty worker set");
+    let d = gradients[0].len();
+    assert!(
+        gradients.iter().all(|g| g.len() == d),
+        "inconsistent gradient lengths"
+    );
+    // Worker 0: compress own gradient.
+    let mut message = Ssdm::quantize(gradients[0], rng);
+    let mut compressions = 1;
+    let mut recovered = vec![0.0f32; d];
+    // Workers 1..M: recover, aggregate, re-compress.
+    for grad in &gradients[1..] {
+        message.decompress_into(&mut recovered);
+        for (r, &g) in recovered.iter_mut().zip(*grad) {
+            *r += g;
+        }
+        message = Ssdm::quantize(&recovered, rng);
+        compressions += 1;
+    }
+    let aggregate = message.to_values();
+    CascadeOutcome { aggregate, final_message: message, compressions }
+}
+
+/// The *deployable* cascading relay: stochastic SSDM signs at every hop,
+/// but the decode uses the RMS magnitude (`‖w‖/√D` per coordinate) instead
+/// of the appendix's full `‖w‖`, keeping scales bounded so long chains
+/// neither overflow nor blow the model up. The stochastic relay still
+/// destroys nearly all per-coordinate signal (tilt ≈ 1/(2√D) per hop) —
+/// the practical face of Section 3.2's failure mode: the transmitted sign
+/// is "more likely biased to the received one" and the matching rate
+/// collapses toward a coin flip.
+///
+/// # Panics
+///
+/// Panics if `gradients` is empty or lengths are inconsistent.
+#[must_use]
+pub fn cascade_reduce_practical(gradients: &[&[f32]], rng: &mut FastRng) -> CascadeOutcome {
+    assert!(!gradients.is_empty(), "cascade over empty worker set");
+    let d = gradients[0].len();
+    assert!(
+        gradients.iter().all(|g| g.len() == d),
+        "inconsistent gradient lengths"
+    );
+    let rms_rescale = |m: SignMessage| -> SignMessage {
+        let rms = f64::from(m.scale()) / (d as f64).sqrt();
+        SignMessage::new(m.signs().clone(), rms as f32)
+    };
+    let mut message = rms_rescale(Ssdm::quantize(gradients[0], rng));
+    let mut compressions = 1;
+    let mut recovered = vec![0.0f32; d];
+    for grad in &gradients[1..] {
+        message.decompress_into(&mut recovered);
+        for (r, &g) in recovered.iter_mut().zip(*grad) {
+            *r += g;
+        }
+        message = rms_rescale(Ssdm::quantize(&recovered, rng));
+        compressions += 1;
+    }
+    let aggregate = message.to_values();
+    CascadeOutcome { aggregate, final_message: message, compressions }
+}
+
+/// A *deterministic* relay variant: each hop recovers at RMS magnitude and
+/// re-compresses with the plain sign of the aggregate (no stochastic
+/// rounding). Interestingly this repairs much of the cascade when worker
+/// gradients are strongly correlated — the received majority survives each
+/// deterministic hop — which is precisely the information the stochastic
+/// relay randomizes away. Kept as an ablation; see `EXPERIMENTS.md`.
+///
+/// # Panics
+///
+/// Panics if `gradients` is empty or lengths are inconsistent.
+#[must_use]
+pub fn cascade_reduce_deterministic(gradients: &[&[f32]]) -> CascadeOutcome {
+    use marsit_tensor::stats::norm_l2_sq;
+    use marsit_tensor::SignVec;
+
+    assert!(!gradients.is_empty(), "cascade over empty worker set");
+    let d = gradients[0].len();
+    assert!(
+        gradients.iter().all(|g| g.len() == d),
+        "inconsistent gradient lengths"
+    );
+    let rms = |v: &[f32]| (norm_l2_sq(v) / d as f64).sqrt() as f32;
+    let mut message = SignMessage::new(SignVec::from_signs(gradients[0]), rms(gradients[0]));
+    let mut compressions = 1;
+    let mut recovered = vec![0.0f32; d];
+    for grad in &gradients[1..] {
+        message.decompress_into(&mut recovered);
+        for (r, &g) in recovered.iter_mut().zip(*grad) {
+            *r += g;
+        }
+        message = SignMessage::new(SignVec::from_signs(&recovered), rms(&recovered));
+        compressions += 1;
+    }
+    let aggregate = message.to_values();
+    CascadeOutcome { aggregate, final_message: message, compressions }
+}
+
+/// Expectation-preserving reference: the true sum of the gradients
+/// (`M · s₁` in the paper's notation).
+///
+/// # Panics
+///
+/// Panics if `gradients` is empty or lengths are inconsistent.
+#[must_use]
+pub fn exact_sum(gradients: &[&[f32]]) -> Vec<f32> {
+    assert!(!gradients.is_empty(), "sum over empty worker set");
+    let d = gradients[0].len();
+    let mut out = vec![0.0f32; d];
+    for g in gradients {
+        assert_eq!(g.len(), d, "inconsistent gradient lengths");
+        for (o, &x) in out.iter_mut().zip(*g) {
+            *o += x;
+        }
+    }
+    out
+}
+
+/// Streaming codec passes per *hop* of the cascade (recover + aggregate +
+/// ℓ2 norm + pack), used by the compression-time model. Unlike Marsit, these
+/// passes cannot overlap the receive because the recompression depends on
+/// the received payload.
+pub const CODEC_PASSES_PER_HOP: f64 = 4.0;
+
+/// RNG passes per hop (the stochastic re-quantization).
+pub const RNG_PASSES_PER_HOP: f64 = 1.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marsit_tensor::stats::dist_sq;
+    use marsit_tensor::Tensor;
+
+    fn random_gradients(m: usize, d: usize, seed: u64) -> Vec<Vec<f32>> {
+        (0..m)
+            .map(|w| {
+                let mut rng = FastRng::new(seed, w as u64);
+                Tensor::gaussian(1, d, 1.0, &mut rng).into_vec()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_worker_chain_is_plain_ssdm() {
+        let g = [1.0f32, -2.0, 3.0];
+        let mut rng = FastRng::new(0, 0);
+        let out = cascade_reduce(&[&g], &mut rng);
+        assert_eq!(out.compressions, 1);
+        assert_eq!(out.aggregate.len(), 3);
+        // Scale must be ‖g‖₂.
+        let norm = (1.0f32 + 4.0 + 9.0).sqrt();
+        assert!((out.final_message.scale() - norm).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cascade_is_unbiased_in_expectation() {
+        // E[cascade] = exact sum: check on a small chain with many trials.
+        let grads = random_gradients(3, 16, 5);
+        let refs: Vec<&[f32]> = grads.iter().map(Vec::as_slice).collect();
+        let truth = exact_sum(&refs);
+        let trials = 20_000;
+        let mut acc = vec![marsit_tensor::stats::Accumulator::new(); 16];
+        let mut rng = FastRng::new(77, 0);
+        for _ in 0..trials {
+            let out = cascade_reduce(&refs, &mut rng);
+            for (a, v) in acc.iter_mut().zip(&out.aggregate) {
+                a.push(f64::from(*v));
+            }
+        }
+        // The cascade's per-coordinate variance is enormous (the last scale
+        // is ~(√D)^{M−1}·‖g‖), so compare against the empirical standard
+        // error of the mean with a 5σ band.
+        for (j, (&t, a)) in truth.iter().zip(&acc).enumerate() {
+            let sem = a.sample_std() / f64::from(trials as u32).sqrt();
+            assert!(
+                (f64::from(t) - a.mean()).abs() < 5.0 * sem + 1e-6,
+                "coord {j}: mean {} vs truth {t} (sem {sem})",
+                a.mean()
+            );
+        }
+    }
+
+    #[test]
+    fn cascade_deviation_explodes_with_chain_length() {
+        // Theorem 3's qualitative content: per-worker deviation of the
+        // cascade grows much faster with M than the PS deviation.
+        let d = 64;
+        let trials = 200;
+        let mut dev = Vec::new();
+        for m in [2usize, 4, 8] {
+            let grads = random_gradients(m, d, 9);
+            let refs: Vec<&[f32]> = grads.iter().map(Vec::as_slice).collect();
+            let truth = exact_sum(&refs);
+            let mut rng = FastRng::new(13, m as u64);
+            let mut total = 0.0;
+            for _ in 0..trials {
+                let out = cascade_reduce(&refs, &mut rng);
+                // Normalize by M (paper compares s₃ = aggregate/M to s₁).
+                let s3: Vec<f32> = out.aggregate.iter().map(|&x| x / m as f32).collect();
+                let s1: Vec<f32> = truth.iter().map(|&x| x / m as f32).collect();
+                total += dist_sq(&s3, &s1);
+            }
+            dev.push(total / f64::from(trials as u32));
+        }
+        assert!(dev[1] > 1.5 * dev[0], "deviation should grow: {dev:?}");
+        assert!(dev[2] > 1.5 * dev[1], "deviation should keep growing: {dev:?}");
+    }
+
+    #[test]
+    fn practical_cascade_scales_stay_bounded() {
+        // The RMS decode keeps the running scale near the data scale even
+        // for long chains — no overflow, no exploding updates.
+        let m = 32;
+        let d = 256;
+        let grads = random_gradients(m, d, 21);
+        let refs: Vec<&[f32]> = grads.iter().map(Vec::as_slice).collect();
+        let mut rng = FastRng::new(1, 0);
+        let out = cascade_reduce_practical(&refs, &mut rng);
+        let max = out.aggregate.iter().fold(0.0f32, |a, &v| a.max(v.abs()));
+        // Each coordinate is ±RMS of the final aggregate: O(√M) of the
+        // per-worker scale, nowhere near the ‖w‖·(√D)^M blow-up.
+        assert!(max.is_finite());
+        assert!(max < 10.0 * (m as f32).sqrt(), "scale {max}");
+    }
+
+    #[test]
+    fn practical_cascade_matching_is_near_coin_flip() {
+        // Section 3.2.2: the stochastic relay's sign barely correlates with
+        // the true aggregate for large D.
+        use marsit_tensor::SignVec;
+        let m = 4;
+        let d = 4096;
+        let grads = random_gradients(m, d, 5);
+        let refs: Vec<&[f32]> = grads.iter().map(Vec::as_slice).collect();
+        let truth = SignVec::from_signs(&exact_sum(&refs));
+        let mut rng = FastRng::new(3, 0);
+        let out = cascade_reduce_practical(&refs, &mut rng);
+        let rate = out.final_message.signs().matching_rate(&truth);
+        assert!((rate - 0.5).abs() < 0.06, "matching {rate}");
+    }
+
+    #[test]
+    fn deterministic_cascade_preserves_correlated_majorities() {
+        // When all workers agree on every sign, the deterministic relay
+        // passes the consensus through unchanged.
+        use marsit_tensor::SignVec;
+        let d = 128;
+        let mut rng = FastRng::new(7, 0);
+        let base: Vec<f32> = (0..d).map(|_| rng.next_f64() as f32 - 0.5).collect();
+        let grads: Vec<Vec<f32>> = (0..5)
+            .map(|_| base.iter().map(|&x| x * (0.9 + 0.2 * rng.next_f64() as f32)).collect())
+            .collect();
+        let refs: Vec<&[f32]> = grads.iter().map(Vec::as_slice).collect();
+        let out = cascade_reduce_deterministic(&refs);
+        let truth = SignVec::from_signs(&base);
+        assert_eq!(out.final_message.signs().matching_rate(&truth), 1.0);
+    }
+
+    #[test]
+    fn long_unbiased_cascade_saturates_instead_of_panicking() {
+        // The appendix decode overflows f32 once (√D)^M passes 3.4e38; it
+        // must saturate, not crash.
+        let m = 32;
+        let d = 512;
+        let grads = random_gradients(m, d, 9);
+        let refs: Vec<&[f32]> = grads.iter().map(Vec::as_slice).collect();
+        let mut rng = FastRng::new(11, 0);
+        let out = cascade_reduce(&refs, &mut rng);
+        assert!(out.final_message.scale().is_finite());
+        assert_eq!(out.final_message.scale(), f32::MAX);
+    }
+
+    #[test]
+    fn exact_sum_matches_manual() {
+        let a = [1.0f32, 2.0];
+        let b = [0.5f32, -1.0];
+        assert_eq!(exact_sum(&[&a, &b]), vec![1.5, 1.0]);
+    }
+
+    #[test]
+    fn compressions_counted() {
+        let grads = random_gradients(5, 8, 1);
+        let refs: Vec<&[f32]> = grads.iter().map(Vec::as_slice).collect();
+        let out = cascade_reduce(&refs, &mut FastRng::new(0, 0));
+        assert_eq!(out.compressions, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty worker set")]
+    fn empty_chain_panics() {
+        let _ = cascade_reduce(&[], &mut FastRng::new(0, 0));
+    }
+}

@@ -1,0 +1,309 @@
+//! Worker-side gradient compressors.
+//!
+//! Each baseline in the paper's Table 2 compresses the local gradient into a
+//! [`SignMessage`] before synchronization:
+//!
+//! - [`PlainSign`] — signSGD (Bernstein et al.): deterministic signs,
+//!   unit scale; aggregated by majority vote.
+//! - [`EfSign`] — EF-signSGD (Karimireddy et al.): error feedback memory
+//!   `e`, message `(‖p‖₁/D, sign(p))` with `p = g + e`.
+//! - [`Ssdm`] — SSDM (Safaryan & Richtárik): stochastic signs taken with
+//!   probability `½ + v_j/(2‖v‖₂)`, unbiased decode `‖v‖₂·σ`.
+//!
+//! Compressors carry their own state (EF memory) and report their codec
+//! cost in streaming/RNG passes over the gradient, which the simulator
+//! converts into the compression-phase times of Figures 1a and 5.
+
+use marsit_tensor::rng::FastRng;
+use marsit_tensor::stats::norm_l1;
+use marsit_tensor::SignVec;
+
+use crate::message::SignMessage;
+
+/// A stateful worker-side compressor from gradients to sign messages.
+pub trait Compressor: Send {
+    /// Compresses `grad`, possibly updating internal state (error feedback).
+    ///
+    /// `rng` drives any stochastic rounding; deterministic compressors
+    /// ignore it.
+    fn compress(&mut self, grad: &[f32], rng: &mut FastRng) -> SignMessage;
+
+    /// Resets internal state.
+    fn reset(&mut self);
+
+    /// Short name used in reports.
+    fn name(&self) -> &'static str;
+
+    /// Streaming passes over the gradient per compression (norms, sign
+    /// extraction, error update). Used by the compression-time model.
+    fn codec_passes(&self) -> f64;
+
+    /// RNG-driven passes over the gradient per compression.
+    fn rng_passes(&self) -> f64;
+}
+
+/// signSGD: deterministic signs with unit scale.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlainSign;
+
+impl PlainSign {
+    /// Creates the signSGD compressor.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Compressor for PlainSign {
+    fn compress(&mut self, grad: &[f32], _rng: &mut FastRng) -> SignMessage {
+        SignMessage::new(SignVec::from_signs(grad), 1.0)
+    }
+
+    fn reset(&mut self) {}
+
+    fn name(&self) -> &'static str {
+        "signSGD"
+    }
+
+    fn codec_passes(&self) -> f64 {
+        1.0 // sign extraction
+    }
+
+    fn rng_passes(&self) -> f64 {
+        0.0
+    }
+}
+
+/// EF-signSGD: error-feedback sign compression.
+///
+/// Maintains the residual memory `e`; each round compresses `p = g + e` into
+/// `Δ = (‖p‖₁/D)·sign(p)` and stores `e ← p − Δ`. Error feedback is what
+/// restores convergence for biased sign compression.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EfSign {
+    error: Vec<f32>,
+}
+
+impl EfSign {
+    /// Creates an EF-signSGD compressor with zero memory.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current residual memory (empty before the first compression).
+    #[must_use]
+    pub fn error(&self) -> &[f32] {
+        &self.error
+    }
+}
+
+impl Compressor for EfSign {
+    fn compress(&mut self, grad: &[f32], _rng: &mut FastRng) -> SignMessage {
+        if self.error.is_empty() {
+            self.error = vec![0.0; grad.len()];
+        }
+        assert_eq!(self.error.len(), grad.len(), "gradient length changed");
+        let p: Vec<f32> = grad.iter().zip(&self.error).map(|(&g, &e)| g + e).collect();
+        let scale = norm_l1(&p) / p.len() as f32;
+        let signs = SignVec::from_signs(&p);
+        for ((e, &pi), s) in self.error.iter_mut().zip(&p).zip(signs.iter()) {
+            *e = pi - if s { scale } else { -scale };
+        }
+        SignMessage::new(signs, scale)
+    }
+
+    fn reset(&mut self) {
+        self.error.clear();
+    }
+
+    fn name(&self) -> &'static str {
+        "EF-signSGD"
+    }
+
+    fn codec_passes(&self) -> f64 {
+        4.0 // p = g + e, ℓ1 norm, sign extraction, error update
+    }
+
+    fn rng_passes(&self) -> f64 {
+        0.0
+    }
+}
+
+/// SSDM: unbiased stochastic sign compression.
+///
+/// Coordinate `j` is encoded `+1` with probability `½ + v_j/(2‖v‖₂)`, so the
+/// decode `‖v‖₂·σ_j` is an unbiased estimator of `v_j` (the paper's
+/// appendix operator `Q`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Ssdm;
+
+impl Ssdm {
+    /// Creates the SSDM compressor.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Stochastic-sign compression of `values` as a standalone operation —
+    /// the `Q(·)` used by the cascading-compression pipeline and the
+    /// deviation experiments of Theorems 2 and 3.
+    #[must_use]
+    pub fn quantize(values: &[f32], rng: &mut FastRng) -> SignMessage {
+        // The ℓ2-norm is computed in f64 and saturated: cascading
+        // compression inflates the running norm by ~√D per hop, which
+        // overflows f32 within a dozen hops — the method's divergence is a
+        // result we must report, not a crash.
+        let norm = marsit_tensor::stats::norm_l2_sq(values).sqrt();
+        if norm == 0.0 {
+            // Zero vector: any sign decodes to zero via zero scale.
+            return SignMessage::new(SignVec::zeros(values.len()), 0.0);
+        }
+        let inv = 1.0 / (2.0 * norm);
+        let mut signs = SignVec::zeros(values.len());
+        for (j, &v) in values.iter().enumerate() {
+            let p_plus = (0.5 + f64::from(v) * inv).clamp(0.0, 1.0);
+            if rng.bernoulli(p_plus) {
+                signs.set(j, true);
+            }
+        }
+        let scale = if norm.is_finite() && norm < f64::from(f32::MAX) {
+            norm as f32
+        } else {
+            f32::MAX
+        };
+        SignMessage::new(signs, scale)
+    }
+}
+
+impl Compressor for Ssdm {
+    fn compress(&mut self, grad: &[f32], rng: &mut FastRng) -> SignMessage {
+        Self::quantize(grad, rng)
+    }
+
+    fn reset(&mut self) {}
+
+    fn name(&self) -> &'static str {
+        "SSDM"
+    }
+
+    fn codec_passes(&self) -> f64 {
+        1.0 // ℓ2 norm
+    }
+
+    fn rng_passes(&self) -> f64 {
+        1.0 // per-coordinate Bernoulli draw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_sign_unit_scale() {
+        let msg = PlainSign::new().compress(&[0.3, -0.7], &mut FastRng::new(0, 0));
+        assert_eq!(msg.scale(), 1.0);
+        assert_eq!(msg.to_values(), vec![1.0, -1.0]);
+    }
+
+    #[test]
+    fn ef_sign_error_feedback_telescopes() {
+        // After compressing g with memory e, we must have p = Δ + e_new,
+        // i.e. nothing is lost: g + e_old = decoded + e_new.
+        let mut ef = EfSign::new();
+        let g1 = [0.5f32, -1.5, 0.25, 2.0];
+        let msg = ef.compress(&g1, &mut FastRng::new(0, 0));
+        let decoded = msg.to_values();
+        for i in 0..4 {
+            let lhs = g1[i]; // e_old = 0
+            let rhs = decoded[i] + ef.error()[i];
+            assert!((lhs - rhs).abs() < 1e-6, "coord {i}: {lhs} vs {rhs}");
+        }
+    }
+
+    #[test]
+    fn ef_sign_memory_shrinks_repeated_constant_gradient() {
+        // Feeding the same gradient repeatedly, EF's applied sum approaches
+        // the true sum: cumulative decoded ≈ cumulative gradient.
+        let mut ef = EfSign::new();
+        let g = [1.0f32, -0.1, 0.5, -2.0];
+        let mut applied = [0.0f32; 4];
+        let rounds = 200;
+        for _ in 0..rounds {
+            let msg = ef.compress(&g, &mut FastRng::new(0, 0));
+            for (a, d) in applied.iter_mut().zip(msg.to_values()) {
+                *a += d;
+            }
+        }
+        for i in 0..4 {
+            let target = g[i] * rounds as f32;
+            let rel = (applied[i] - target).abs() / target.abs().max(1.0);
+            assert!(rel < 0.05, "coord {i}: applied {} target {}", applied[i], target);
+        }
+    }
+
+    #[test]
+    fn ssdm_is_unbiased() {
+        let v = [1.0f32, -2.0, 0.5, 0.0, -0.25, 3.0];
+        let mut rng = FastRng::new(7, 0);
+        let trials = 30_000;
+        let mut mean = vec![0.0f64; v.len()];
+        for _ in 0..trials {
+            let msg = Ssdm::quantize(&v, &mut rng);
+            for (m, d) in mean.iter_mut().zip(msg.to_values()) {
+                *m += f64::from(d);
+            }
+        }
+        let norm = marsit_tensor::stats::norm_l2(&v);
+        for (j, (&vj, m)) in v.iter().zip(&mean).enumerate() {
+            let est = m / f64::from(trials as u32);
+            // Standard error of the mean is ~norm/sqrt(trials).
+            let tol = 4.0 * f64::from(norm) / f64::from(trials as u32).sqrt();
+            assert!(
+                (est - f64::from(vj)).abs() < tol,
+                "coord {j}: estimate {est} vs true {vj} (tol {tol})"
+            );
+        }
+    }
+
+    #[test]
+    fn ssdm_zero_vector_decodes_to_zero() {
+        let msg = Ssdm::quantize(&[0.0; 8], &mut FastRng::new(0, 0));
+        assert_eq!(msg.scale(), 0.0);
+        assert!(msg.to_values().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn ssdm_probability_clamps_extremes() {
+        // A one-hot vector: that coordinate has p(+1) = 1 exactly.
+        let v = [5.0f32, 0.0, 0.0];
+        let mut rng = FastRng::new(1, 0);
+        for _ in 0..100 {
+            let msg = Ssdm::quantize(&v, &mut rng);
+            assert!(msg.signs().get(0), "dominant coordinate must stay +");
+        }
+    }
+
+    #[test]
+    fn reset_clears_ef_memory() {
+        let mut ef = EfSign::new();
+        let _ = ef.compress(&[1.0, 2.0], &mut FastRng::new(0, 0));
+        assert!(!ef.error().is_empty());
+        ef.reset();
+        assert!(ef.error().is_empty());
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names = [
+            PlainSign::new().name(),
+            EfSign::new().name(),
+            Ssdm::new().name(),
+        ];
+        let mut unique = names.to_vec();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), names.len());
+    }
+}

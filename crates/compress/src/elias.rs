@@ -1,0 +1,232 @@
+//! Elias γ and δ universal codes (Elias, 1975).
+//!
+//! The paper compacts the growing integer payloads of MAR-extended signSGD
+//! baselines with Elias coding ("We also utilize Elias coding [31] to compact
+//! the transmission message among nodes"). γ codes a positive integer `n` as
+//! `⌊log₂n⌋` zeros, then the binary of `n`; δ codes `⌊log₂n⌋+1` with γ and
+//! appends the mantissa. Signed values are mapped to positives with the
+//! zigzag transform.
+
+use crate::bitstream::{BitReader, BitWriter};
+
+/// Zigzag-maps a signed integer to an unsigned one:
+/// `0, −1, 1, −2, 2, … → 0, 1, 2, 3, 4, …`.
+#[inline]
+#[must_use]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+#[must_use]
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Appends the Elias-γ code of `n` to `w`.
+///
+/// # Panics
+///
+/// Panics if `n == 0` (γ codes positive integers only).
+pub fn gamma_encode(n: u64, w: &mut BitWriter) {
+    assert!(n > 0, "Elias gamma requires n > 0");
+    let bits = 64 - n.leading_zeros(); // position of the MSB, 1-based
+    // bits−1 zeros, then the number MSB-first. We emit MSB-first by writing
+    // single bits so the decoder can scan for the first 1.
+    for _ in 0..bits - 1 {
+        w.write_bit(false);
+    }
+    for i in (0..bits).rev() {
+        w.write_bit((n >> i) & 1 == 1);
+    }
+}
+
+/// Reads one Elias-γ code; `None` on exhausted input.
+pub fn gamma_decode(r: &mut BitReader<'_>) -> Option<u64> {
+    let mut zeros = 0u32;
+    while !r.read_bit()? {
+        zeros += 1;
+        if zeros > 63 {
+            return None;
+        }
+    }
+    let mut n = 1u64;
+    for _ in 0..zeros {
+        n = (n << 1) | r.read_bits(1)?;
+    }
+    Some(n)
+}
+
+/// Appends the Elias-δ code of `n` to `w`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn delta_encode(n: u64, w: &mut BitWriter) {
+    assert!(n > 0, "Elias delta requires n > 0");
+    let bits = 64 - n.leading_zeros();
+    gamma_encode(u64::from(bits), w);
+    // Mantissa: the bits of n below the MSB, MSB-first.
+    for i in (0..bits - 1).rev() {
+        w.write_bit((n >> i) & 1 == 1);
+    }
+}
+
+/// Reads one Elias-δ code; `None` on exhausted input.
+pub fn delta_decode(r: &mut BitReader<'_>) -> Option<u64> {
+    let bits = gamma_decode(r)?;
+    if bits == 0 || bits > 64 {
+        return None;
+    }
+    let mut n = 1u64;
+    for _ in 0..bits - 1 {
+        n = (n << 1) | r.read_bits(1)?;
+    }
+    Some(n)
+}
+
+/// Bit length of the γ code of `n`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn gamma_len(n: u64) -> usize {
+    assert!(n > 0, "Elias gamma requires n > 0");
+    let bits = (64 - n.leading_zeros()) as usize;
+    2 * bits - 1
+}
+
+/// Encodes a slice of signed integers (zigzag + γ of `v+1`) into bytes.
+///
+/// Values may be zero or negative; each is zigzagged and shifted by one so
+/// that γ applies.
+#[must_use]
+pub fn encode_signed(values: &[i64]) -> Vec<u8> {
+    let mut w = BitWriter::new();
+    for &v in values {
+        gamma_encode(zigzag(v) + 1, &mut w);
+    }
+    w.finish()
+}
+
+/// Decodes `count` signed integers produced by [`encode_signed`].
+///
+/// Returns `None` if the buffer is malformed or too short.
+#[must_use]
+pub fn decode_signed(bytes: &[u8], count: usize) -> Option<Vec<i64>> {
+    let mut r = BitReader::new(bytes);
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let g = gamma_decode(&mut r)?;
+        out.push(unzigzag(g - 1));
+    }
+    Some(out)
+}
+
+/// Exact bit length of [`encode_signed`] for `values` (before byte padding).
+#[must_use]
+pub fn encoded_bits_signed(values: &[i64]) -> usize {
+    values.iter().map(|&v| gamma_len(zigzag(v) + 1)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_round_trip() {
+        for v in [-1_000_000i64, -3, -1, 0, 1, 2, 7, 1_000_000] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+    }
+
+    #[test]
+    fn gamma_known_codewords() {
+        // γ(1) = "1", γ(2) = "010", γ(5) = "00101" (classic table).
+        let mut w = BitWriter::new();
+        gamma_encode(1, &mut w);
+        assert_eq!(w.bit_len(), 1);
+        let mut w = BitWriter::new();
+        gamma_encode(2, &mut w);
+        assert_eq!(w.bit_len(), 3);
+        let mut w = BitWriter::new();
+        gamma_encode(5, &mut w);
+        assert_eq!(w.bit_len(), 5);
+        assert_eq!(gamma_len(5), 5);
+    }
+
+    #[test]
+    fn gamma_round_trip_many() {
+        let values: Vec<u64> = (1..2000).chain([1 << 20, 1 << 40, u64::MAX >> 1]).collect();
+        let mut w = BitWriter::new();
+        for &v in &values {
+            gamma_encode(v, &mut w);
+        }
+        let buf = w.finish();
+        let mut r = BitReader::new(&buf);
+        for &v in &values {
+            assert_eq!(gamma_decode(&mut r), Some(v), "value {v}");
+        }
+    }
+
+    #[test]
+    fn delta_round_trip_many() {
+        let values: Vec<u64> = (1..500).chain([1 << 16, 1 << 32]).collect();
+        let mut w = BitWriter::new();
+        for &v in &values {
+            delta_encode(v, &mut w);
+        }
+        let buf = w.finish();
+        let mut r = BitReader::new(&buf);
+        for &v in &values {
+            assert_eq!(delta_decode(&mut r), Some(v), "value {v}");
+        }
+    }
+
+    #[test]
+    fn delta_shorter_than_gamma_for_large_values() {
+        let mut wg = BitWriter::new();
+        gamma_encode(1 << 30, &mut wg);
+        let mut wd = BitWriter::new();
+        delta_encode(1 << 30, &mut wd);
+        assert!(wd.bit_len() < wg.bit_len());
+    }
+
+    #[test]
+    fn signed_round_trip() {
+        let values: Vec<i64> = (-50..=50).collect();
+        let bytes = encode_signed(&values);
+        assert_eq!(decode_signed(&bytes, values.len()), Some(values));
+    }
+
+    #[test]
+    fn encoded_bits_matches_actual() {
+        let values: Vec<i64> = vec![0, 1, -1, 5, -8, 100, -1000];
+        let bits = encoded_bits_signed(&values);
+        let mut w = BitWriter::new();
+        for &v in &values {
+            gamma_encode(zigzag(v) + 1, &mut w);
+        }
+        assert_eq!(bits, w.bit_len());
+    }
+
+    #[test]
+    fn small_magnitudes_are_cheap() {
+        // Sign sums near zero (the common case for IID gradients) should
+        // cost only a few bits.
+        assert_eq!(encoded_bits_signed(&[0]), 1);
+        assert!(encoded_bits_signed(&[1]) <= 3);
+        assert!(encoded_bits_signed(&[-1]) <= 3);
+    }
+
+    #[test]
+    fn truncated_buffer_returns_none() {
+        let bytes = encode_signed(&[123456789, -987654321]);
+        assert!(decode_signed(&bytes[..1], 2).is_none());
+    }
+}

@@ -1,0 +1,114 @@
+//! Gradient compression for the Marsit reproduction.
+//!
+//! Implements every compression baseline the paper compares against, plus
+//! the variable-width wire formats their MAR extensions need:
+//!
+//! - [`compressor`]: worker-side compressors — [`PlainSign`] (signSGD),
+//!   [`EfSign`] (EF-signSGD with error feedback), [`Ssdm`] (unbiased
+//!   stochastic sign);
+//! - [`cascading`]: the cascading-compression pipeline of Section 3.2, whose
+//!   compounding error motivates Marsit (Theorem 3);
+//! - [`sums`]: integer sign-sum payloads with the `⌈log₂ M⌉` bit growth of
+//!   Section 3.1, in fixed-width and Elias-coded forms;
+//! - [`elias`] / [`bitstream`]: Elias γ/δ universal codes over an LSB-first
+//!   bit stream (the paper's payload compaction);
+//! - [`message`]: the `(signs, scale)` wire message shared by the sign
+//!   family;
+//! - [`quantizers`]: the related-work multi-level quantizers TernGrad and
+//!   QSGD (unbiased, but more than one bit per coordinate);
+//! - [`powersgd`]: low-rank PowerSGD with error feedback — linear and
+//!   MAR-compatible, but needing two sequential all-reduce passes per
+//!   round (the related-work inefficiency the paper notes);
+//! - [`sparsify`]: Top-K sparsification with error feedback, plus the
+//!   support-union growth measurement explaining why sparsity fits MAR
+//!   poorly.
+//!
+//! # Examples
+//!
+//! Unbiased stochastic sign compression (SSDM), decoded to `‖v‖·σ`:
+//!
+//! ```
+//! use marsit_compress::{Compressor, Ssdm};
+//! use marsit_tensor::rng::FastRng;
+//!
+//! let mut rng = FastRng::new(0, 0);
+//! let grad = [0.5f32, -2.0, 1.0];
+//! let msg = Ssdm::new().compress(&grad, &mut rng);
+//! assert_eq!(msg.wire_bits(), 3 + 32); // one bit per coordinate + scale
+//! ```
+
+pub mod bitstream;
+pub mod cascading;
+pub mod compressor;
+pub mod elias;
+pub mod message;
+pub mod powersgd;
+pub mod quantizers;
+pub mod sparsify;
+pub mod sums;
+
+pub use cascading::{
+    cascade_reduce, cascade_reduce_deterministic, cascade_reduce_practical, exact_sum,
+    CascadeOutcome,
+};
+pub use compressor::{Compressor, EfSign, PlainSign, Ssdm};
+pub use message::SignMessage;
+pub use powersgd::{PowerFactors, PowerSgd};
+pub use quantizers::QuantizedMessage;
+pub use sparsify::{SparseMessage, TopK};
+pub use sums::SignSumVec;
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+
+    use crate::elias;
+    use crate::sums::SignSumVec;
+    use marsit_tensor::SignVec;
+
+    proptest! {
+        /// Elias γ round-trips for arbitrary signed values.
+        #[test]
+        fn elias_signed_round_trip(values in prop::collection::vec(-10_000i64..10_000, 0..200)) {
+            let bytes = elias::encode_signed(&values);
+            prop_assert_eq!(elias::decode_signed(&bytes, values.len()), Some(values));
+        }
+
+        /// Sign-sum merging is order-independent and majority vote matches a
+        /// scalar recount.
+        #[test]
+        fn sign_sum_merge_commutes(bits in prop::collection::vec(
+            prop::collection::vec(any::<bool>(), 16..17), 1..8)) {
+            let vecs: Vec<SignVec> = bits.iter().map(|b| b.iter().copied().collect()).collect();
+            let mut forward = SignSumVec::zeros(16);
+            for v in &vecs {
+                forward.add_signs(v);
+            }
+            let mut backward = SignSumVec::zeros(16);
+            for v in vecs.iter().rev() {
+                backward.add_signs(v);
+            }
+            prop_assert_eq!(&forward, &backward);
+            // Majority recount.
+            for j in 0..16 {
+                let ones = bits.iter().filter(|b| b[j]).count() as i32;
+                let sum = 2 * ones - bits.len() as i32;
+                prop_assert_eq!(forward.majority_sign().get(j), sum >= 0);
+            }
+        }
+
+        /// Elias-coded sign sums round-trip.
+        #[test]
+        fn sign_sum_elias_round_trip(rounds in 1usize..6, seed in any::<u64>()) {
+            use marsit_tensor::rng::FastRng;
+            let mut rng = FastRng::new(seed, 0);
+            let mut sum = SignSumVec::zeros(64);
+            for _ in 0..rounds {
+                sum.add_signs(&SignVec::bernoulli_uniform(64, 0.5, &mut rng));
+            }
+            let bytes = sum.encode_elias();
+            let back = SignSumVec::decode_elias(&bytes, 64, rounds as u32);
+            prop_assert_eq!(back, Some(sum));
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! The scaled-sign wire message shared by all signSGD-family compressors.
+
+use marsit_tensor::SignVec;
+
+/// A compressed gradient: one sign bit per coordinate plus one scalar scale.
+///
+/// Decoding yields `scale · σ_j` per coordinate. Plain signSGD uses
+/// `scale = 1`; EF-signSGD uses `‖p‖₁/D`; SSDM uses `‖v‖₂` (the unbiased
+/// decode of the paper's appendix, `Q(v) = ‖v‖·s̃ign(v)`).
+///
+/// # Examples
+///
+/// ```
+/// use marsit_compress::SignMessage;
+/// use marsit_tensor::SignVec;
+///
+/// let msg = SignMessage::new(SignVec::from_signs(&[2.0, -3.0]), 0.5);
+/// let mut out = [0.0f32; 2];
+/// msg.decompress_into(&mut out);
+/// assert_eq!(out, [0.5, -0.5]);
+/// assert_eq!(msg.wire_bits(), 2 + 32);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SignMessage {
+    signs: SignVec,
+    scale: f32,
+}
+
+impl SignMessage {
+    /// Creates a message from packed signs and a scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is negative or non-finite.
+    #[must_use]
+    pub fn new(signs: SignVec, scale: f32) -> Self {
+        assert!(scale.is_finite() && scale >= 0.0, "scale must be finite and non-negative");
+        Self { signs, scale }
+    }
+
+    /// The packed sign bits.
+    #[must_use]
+    pub fn signs(&self) -> &SignVec {
+        &self.signs
+    }
+
+    /// The scalar scale.
+    #[must_use]
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Number of coordinates.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.signs.len()
+    }
+
+    /// Whether the message covers zero coordinates.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.signs.is_empty()
+    }
+
+    /// Writes the decoded values `scale · σ_j` into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.len()`.
+    pub fn decompress_into(&self, out: &mut [f32]) {
+        self.signs.write_scaled_signs(self.scale, out);
+    }
+
+    /// Decoded values as a fresh vector.
+    #[must_use]
+    pub fn to_values(&self) -> Vec<f32> {
+        let mut out = vec![0.0; self.len()];
+        self.decompress_into(&mut out);
+        out
+    }
+
+    /// Exact wire size: one bit per coordinate plus a 32-bit scale.
+    #[must_use]
+    pub fn wire_bits(&self) -> usize {
+        self.signs.len() + 32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_scales_signs() {
+        let msg = SignMessage::new(SignVec::from_signs(&[1.0, -1.0, 5.0]), 2.0);
+        assert_eq!(msg.to_values(), vec![2.0, -2.0, 2.0]);
+    }
+
+    #[test]
+    fn zero_scale_decodes_to_zero() {
+        let msg = SignMessage::new(SignVec::from_signs(&[1.0, -1.0]), 0.0);
+        assert_eq!(msg.to_values(), vec![0.0, -0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_scale_panics() {
+        let _ = SignMessage::new(SignVec::zeros(1), -1.0);
+    }
+}

@@ -1,0 +1,246 @@
+//! Multi-level stochastic quantizers from the paper's related work:
+//! TernGrad (Wen et al., NeurIPS'17) and QSGD (Alistarh et al., NeurIPS'17).
+//!
+//! Both are *unbiased* like SSDM but spend more than one bit per coordinate;
+//! they ground the related-work claim that quantization approaches trade
+//! precision for bits on a spectrum whose one-bit extreme is the sign
+//! family. Their payloads are small integers, Elias-coded on the wire like
+//! the MAR sign sums.
+
+use marsit_tensor::rng::FastRng;
+
+use crate::elias;
+
+/// A quantized gradient: one scalar scale plus small signed integer levels.
+///
+/// Decodes to `scale · level_j`. TernGrad uses levels in `{−1, 0, +1}`;
+/// QSGD in `{−s, …, +s}`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedMessage {
+    scale: f32,
+    levels: Vec<i8>,
+}
+
+impl QuantizedMessage {
+    /// Creates a message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is negative or non-finite.
+    #[must_use]
+    pub fn new(scale: f32, levels: Vec<i8>) -> Self {
+        assert!(scale.is_finite() && scale >= 0.0, "scale must be finite and non-negative");
+        Self { scale, levels }
+    }
+
+    /// The scalar scale.
+    #[must_use]
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// The per-coordinate integer levels.
+    #[must_use]
+    pub fn levels(&self) -> &[i8] {
+        &self.levels
+    }
+
+    /// Number of coordinates.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Whether the message covers zero coordinates.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+
+    /// Decoded values `scale · level_j`.
+    #[must_use]
+    pub fn to_values(&self) -> Vec<f32> {
+        self.levels.iter().map(|&l| self.scale * f32::from(l)).collect()
+    }
+
+    /// Exact Elias-γ wire size in bits, plus the 32-bit scale.
+    #[must_use]
+    pub fn wire_bits(&self) -> usize {
+        let values: Vec<i64> = self.levels.iter().map(|&l| i64::from(l)).collect();
+        32 + elias::encoded_bits_signed(&values)
+    }
+}
+
+/// TernGrad: ternarize to `s·sign(g_j)·b_j` with `s = max_j |g_j|` and
+/// `b_j ~ Bernoulli(|g_j|/s)` — unbiased by construction.
+///
+/// # Examples
+///
+/// ```
+/// use marsit_compress::quantizers::terngrad;
+/// use marsit_tensor::rng::FastRng;
+///
+/// let mut rng = FastRng::new(0, 0);
+/// let msg = terngrad(&[0.5, -1.0, 0.0], &mut rng);
+/// assert_eq!(msg.scale(), 1.0);
+/// assert!(msg.levels().iter().all(|l| (-1..=1).contains(l)));
+/// ```
+#[must_use]
+pub fn terngrad(values: &[f32], rng: &mut FastRng) -> QuantizedMessage {
+    let s = values.iter().fold(0.0f32, |a, &v| a.max(v.abs()));
+    if s == 0.0 {
+        return QuantizedMessage::new(0.0, vec![0; values.len()]);
+    }
+    let levels = values
+        .iter()
+        .map(|&v| {
+            let p = f64::from(v.abs() / s);
+            if rng.bernoulli(p) {
+                if v >= 0.0 {
+                    1
+                } else {
+                    -1
+                }
+            } else {
+                0
+            }
+        })
+        .collect();
+    QuantizedMessage::new(s, levels)
+}
+
+/// QSGD with `s` levels: `‖g‖₂ · sign(g_j) · ξ_j/s` where `ξ_j`
+/// stochastically rounds `s·|g_j|/‖g‖₂` to a neighbouring integer —
+/// unbiased, with levels concentrated near zero for large `D`.
+///
+/// # Panics
+///
+/// Panics if `s == 0` or `s > 127`.
+#[must_use]
+pub fn qsgd(values: &[f32], s: u8, rng: &mut FastRng) -> QuantizedMessage {
+    assert!(s > 0, "QSGD needs at least one level");
+    let norm = marsit_tensor::stats::norm_l2(values);
+    if norm == 0.0 {
+        return QuantizedMessage::new(0.0, vec![0; values.len()]);
+    }
+    let levels = values
+        .iter()
+        .map(|&v| {
+            let x = f64::from(v.abs() / norm) * f64::from(s);
+            let floor = x.floor();
+            let level = if rng.bernoulli(x - floor) { floor + 1.0 } else { floor };
+            let signed = if v >= 0.0 { level } else { -level };
+            signed as i8
+        })
+        .collect();
+    // Decode is scale·level with scale = ‖g‖/s.
+    QuantizedMessage::new(norm / f32::from(s), levels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marsit_tensor::stats::norm_l2;
+
+    fn mean_decode(f: impl Fn(&mut FastRng) -> QuantizedMessage, d: usize, trials: u32) -> Vec<f64> {
+        let mut rng = FastRng::new(9, 0);
+        let mut mean = vec![0.0f64; d];
+        for _ in 0..trials {
+            let msg = f(&mut rng);
+            for (m, v) in mean.iter_mut().zip(msg.to_values()) {
+                *m += f64::from(v) / f64::from(trials);
+            }
+        }
+        mean
+    }
+
+    #[test]
+    fn terngrad_is_unbiased() {
+        let g = [0.5f32, -1.0, 0.25, 0.0, -0.125, 0.8];
+        let mean = mean_decode(|rng| terngrad(&g, rng), g.len(), 40_000);
+        for (j, (&gj, m)) in g.iter().zip(&mean).enumerate() {
+            assert!((m - f64::from(gj)).abs() < 0.02, "coord {j}: {m} vs {gj}");
+        }
+    }
+
+    #[test]
+    fn qsgd_is_unbiased() {
+        let g = [0.5f32, -1.0, 0.25, 0.0, -0.125, 0.8];
+        for s in [1u8, 4, 16] {
+            let mean = mean_decode(|rng| qsgd(&g, s, rng), g.len(), 40_000);
+            for (j, (&gj, m)) in g.iter().zip(&mean).enumerate() {
+                assert!(
+                    (m - f64::from(gj)).abs() < 0.05,
+                    "s={s} coord {j}: {m} vs {gj}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn qsgd_variance_shrinks_with_levels() {
+        let g: Vec<f32> = (0..64).map(|i| ((i as f32) * 0.3).sin()).collect();
+        let var = |s: u8| -> f64 {
+            let mut rng = FastRng::new(3, u64::from(s));
+            let trials = 3000;
+            let mut total = 0.0;
+            for _ in 0..trials {
+                let msg = qsgd(&g, s, &mut rng);
+                total += marsit_tensor::stats::dist_sq(&msg.to_values(), &g);
+            }
+            total / f64::from(trials)
+        };
+        let v1 = var(1);
+        let v16 = var(16);
+        assert!(v16 < v1 / 8.0, "s=1 var {v1} vs s=16 var {v16}");
+    }
+
+    #[test]
+    fn terngrad_levels_are_ternary_and_max_scale() {
+        let g = [3.0f32, -7.0, 1.0];
+        let mut rng = FastRng::new(1, 0);
+        let msg = terngrad(&g, &mut rng);
+        assert_eq!(msg.scale(), 7.0);
+        assert!(msg.levels().iter().all(|l| (-1..=1).contains(l)));
+        // The max-magnitude coordinate always survives (p = 1).
+        assert_eq!(msg.levels()[1], -1);
+    }
+
+    #[test]
+    fn qsgd_wire_bits_grow_with_levels() {
+        let g: Vec<f32> = (0..512).map(|i| ((i as f32) * 0.17).cos()).collect();
+        let mut rng = FastRng::new(2, 0);
+        let small = qsgd(&g, 1, &mut rng).wire_bits();
+        let large = qsgd(&g, 64, &mut rng).wire_bits();
+        assert!(large > small, "more levels must cost more bits: {small} vs {large}");
+        // And both sit far below fp32.
+        assert!(large < 32 * g.len());
+    }
+
+    #[test]
+    fn qsgd_one_level_decodes_on_norm_grid() {
+        let g = [0.6f32, -0.8];
+        let mut rng = FastRng::new(4, 0);
+        let msg = qsgd(&g, 1, &mut rng);
+        let norm = norm_l2(&g);
+        for v in msg.to_values() {
+            assert!(v.abs() < norm + 1e-6);
+            let k = v / norm;
+            assert!((k - k.round()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn zero_vector_messages_decode_to_zero() {
+        let mut rng = FastRng::new(5, 0);
+        assert!(terngrad(&[0.0; 4], &mut rng).to_values().iter().all(|&v| v == 0.0));
+        assert!(qsgd(&[0.0; 4], 4, &mut rng).to_values().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn qsgd_zero_levels_panics() {
+        let mut rng = FastRng::new(0, 0);
+        let _ = qsgd(&[1.0], 0, &mut rng);
+    }
+}

@@ -1,0 +1,283 @@
+//! Top-K sparsification (related work: Wangni et al., Guo et al. "Tail").
+//!
+//! Keeps the `k` largest-magnitude coordinates with error feedback for the
+//! rest. The interesting property for this paper is *why sparsification
+//! fits MAR poorly*: summing two sparse messages unions their supports, so
+//! the payload grows along the reduction chain unless it is re-truncated at
+//! every hop — re-truncation being exactly the cascading-compression error
+//! pattern Marsit avoids. [`support_union_growth`] measures that growth.
+
+use marsit_tensor::rng::FastRng;
+
+/// A sparse gradient message: sorted `(index, value)` pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseMessage {
+    dim: usize,
+    entries: Vec<(u32, f32)>,
+}
+
+impl SparseMessage {
+    /// Creates a message over a `dim`-dimensional gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if entries are unsorted, duplicated, or out of range.
+    #[must_use]
+    pub fn new(dim: usize, entries: Vec<(u32, f32)>) -> Self {
+        assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "entries must be strictly sorted by index"
+        );
+        assert!(
+            entries.last().is_none_or(|&(i, _)| (i as usize) < dim),
+            "index out of range"
+        );
+        Self { dim, entries }
+    }
+
+    /// Gradient dimensionality.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The retained entries.
+    #[must_use]
+    pub fn entries(&self) -> &[(u32, f32)] {
+        &self.entries
+    }
+
+    /// Number of retained coordinates.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Densifies to a full vector.
+    #[must_use]
+    pub fn to_dense(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.dim];
+        for &(i, v) in &self.entries {
+            out[i as usize] = v;
+        }
+        out
+    }
+
+    /// Wire size: each entry carries a `⌈log₂ D⌉`-bit index and a 32-bit
+    /// value.
+    #[must_use]
+    pub fn wire_bits(&self) -> usize {
+        let idx = (64 - (self.dim.max(2) as u64 - 1).leading_zeros()) as usize;
+        self.entries.len() * (idx + 32)
+    }
+
+    /// Sums two sparse messages (support union).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    #[must_use]
+    pub fn merge(&self, other: &SparseMessage) -> SparseMessage {
+        assert_eq!(self.dim, other.dim, "dimension mismatch");
+        let mut out = Vec::with_capacity(self.entries.len() + other.entries.len());
+        let (mut a, mut b) = (0usize, 0usize);
+        while a < self.entries.len() || b < other.entries.len() {
+            match (self.entries.get(a), other.entries.get(b)) {
+                (Some(&(ia, va)), Some(&(ib, vb))) => {
+                    if ia == ib {
+                        out.push((ia, va + vb));
+                        a += 1;
+                        b += 1;
+                    } else if ia < ib {
+                        out.push((ia, va));
+                        a += 1;
+                    } else {
+                        out.push((ib, vb));
+                        b += 1;
+                    }
+                }
+                (Some(&e), None) => {
+                    out.push(e);
+                    a += 1;
+                }
+                (None, Some(&e)) => {
+                    out.push(e);
+                    b += 1;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+        SparseMessage { dim: self.dim, entries: out }
+    }
+}
+
+/// Top-K compressor with error-feedback memory.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TopK {
+    k: usize,
+    error: Vec<f32>,
+}
+
+impl TopK {
+    /// Creates a compressor retaining `k` coordinates per round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        Self { k, error: Vec::new() }
+    }
+
+    /// The retention count `k`.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Current residual memory.
+    #[must_use]
+    pub fn error(&self) -> &[f32] {
+        &self.error
+    }
+
+    /// Compresses `grad + error`, keeping the `k` largest-magnitude
+    /// coordinates and folding the rest back into the memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gradient length changes across calls.
+    pub fn compress(&mut self, grad: &[f32]) -> SparseMessage {
+        if self.error.is_empty() {
+            self.error = vec![0.0; grad.len()];
+        }
+        assert_eq!(self.error.len(), grad.len(), "gradient length changed");
+        let p: Vec<f32> = grad.iter().zip(&self.error).map(|(&g, &e)| g + e).collect();
+        let k = self.k.min(p.len());
+        // Select the k largest magnitudes.
+        let mut order: Vec<u32> = (0..p.len() as u32).collect();
+        order.select_nth_unstable_by(k.saturating_sub(1), |&a, &b| {
+            p[b as usize]
+                .abs()
+                .partial_cmp(&p[a as usize].abs())
+                .expect("magnitudes are finite")
+        });
+        let mut keep: Vec<u32> = order[..k].to_vec();
+        keep.sort_unstable();
+        let entries: Vec<(u32, f32)> = keep.iter().map(|&i| (i, p[i as usize])).collect();
+        // Residual: everything not transmitted.
+        self.error.copy_from_slice(&p);
+        for &(i, _) in &entries {
+            self.error[i as usize] = 0.0;
+        }
+        SparseMessage::new(grad.len(), entries)
+    }
+
+    /// Resets the memory.
+    pub fn reset(&mut self) {
+        self.error.clear();
+    }
+}
+
+/// Measures how the support (nonzero count) of a sparse aggregate grows as
+/// `m` random Top-K messages are merged along a chain — the reason the
+/// paper's related work dismisses sparsification under MAR.
+///
+/// Returns `nnz` after each merge (length `m`).
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > d`.
+#[must_use]
+pub fn support_union_growth(d: usize, k: usize, m: usize, seed: u64) -> Vec<usize> {
+    assert!(k > 0 && k <= d, "invalid k");
+    let mut rng = FastRng::new(seed, 0);
+    let mut make = |stream: u64| -> SparseMessage {
+        let _ = stream;
+        let mut indices = std::collections::BTreeSet::new();
+        while indices.len() < k {
+            indices.insert(rng.next_range(d as u64) as u32);
+        }
+        SparseMessage::new(d, indices.into_iter().map(|i| (i, 1.0)).collect())
+    };
+    let mut agg = make(0);
+    let mut out = vec![agg.nnz()];
+    for w in 1..m {
+        agg = agg.merge(&make(w as u64));
+        out.push(agg.nnz());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topk_keeps_largest_magnitudes() {
+        let mut c = TopK::new(2);
+        let msg = c.compress(&[0.1, -5.0, 0.2, 3.0]);
+        assert_eq!(msg.nnz(), 2);
+        let dense = msg.to_dense();
+        assert_eq!(dense, vec![0.0, -5.0, 0.0, 3.0]);
+        // Residual holds the rest.
+        assert_eq!(c.error(), &[0.1, 0.0, 0.2, 0.0]);
+    }
+
+    #[test]
+    fn topk_error_feedback_telescopes() {
+        let mut c = TopK::new(1);
+        let g = [1.0f32, 0.9, 0.8];
+        let mut applied = [0.0f32; 3];
+        for _ in 0..30 {
+            let msg = c.compress(&g);
+            for (a, v) in applied.iter_mut().zip(msg.to_dense()) {
+                *a += v;
+            }
+        }
+        // Each coordinate's cumulative applied + residual = cumulative g.
+        for j in 0..3 {
+            let total = applied[j] + c.error()[j];
+            assert!((total - 30.0 * g[j]).abs() < 1e-4, "coord {j}");
+        }
+    }
+
+    #[test]
+    fn merge_unions_supports() {
+        let a = SparseMessage::new(8, vec![(0, 1.0), (3, 2.0)]);
+        let b = SparseMessage::new(8, vec![(3, 1.0), (5, -1.0)]);
+        let m = a.merge(&b);
+        assert_eq!(m.entries(), &[(0, 1.0), (3, 3.0), (5, -1.0)]);
+    }
+
+    #[test]
+    fn support_growth_approaches_dense() {
+        // k = 5% of D, 16 workers: the union covers most of the space,
+        // destroying the sparsity advantage — the MAR incompatibility.
+        let d = 1000;
+        let k = 50;
+        let growth = support_union_growth(d, k, 16, 3);
+        assert_eq!(growth[0], k);
+        let last = *growth.last().expect("non-empty");
+        assert!(last > 8 * k / 2, "support must grow substantially: {growth:?}");
+        assert!(growth.windows(2).all(|w| w[1] >= w[0]), "monotone growth");
+        // Wire size grows proportionally.
+        let first_bits = SparseMessage::new(d, (0..k as u32).map(|i| (i, 1.0)).collect()).wire_bits();
+        let last_bits = first_bits * last / k;
+        assert!(last_bits > 6 * first_bits);
+    }
+
+    #[test]
+    fn wire_bits_counts_indices_and_values() {
+        let msg = SparseMessage::new(1024, vec![(1, 1.0), (2, 2.0)]);
+        // 10-bit indices + 32-bit values.
+        assert_eq!(msg.wire_bits(), 2 * (10 + 32));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly sorted")]
+    fn unsorted_entries_panic() {
+        let _ = SparseMessage::new(4, vec![(2, 1.0), (1, 1.0)]);
+    }
+}

@@ -1,0 +1,263 @@
+//! Integer sign-sum vectors: the growing payload of MAR-extended signSGD.
+//!
+//! Under a parameter server, signSGD-family methods transmit one bit per
+//! coordinate because the server receives each worker's signs separately.
+//! Under multi-hop all-reduce the only linear aggregate is the *sum of
+//! signs*, whose per-coordinate range grows with the number of workers
+//! folded in — the "bit length expansion" of the paper's Section 3.1, upper
+//! bounded by `⌈log₂ M⌉` extra bits. [`SignSumVec`] implements that payload
+//! exactly, with both fixed-width and Elias-coded wire sizes.
+
+use marsit_tensor::SignVec;
+
+use crate::elias;
+
+/// A vector of per-coordinate sign sums `Σ_m σ_m ∈ [−count, count]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignSumVec {
+    sums: Vec<i32>,
+    /// Number of ±1 terms folded into each coordinate.
+    count: u32,
+}
+
+impl SignSumVec {
+    /// Starts a sum from a single worker's sign vector.
+    #[must_use]
+    pub fn from_signs(signs: &SignVec) -> Self {
+        Self {
+            sums: signs.iter().map(|b| if b { 1 } else { -1 }).collect(),
+            count: 1,
+        }
+    }
+
+    /// An all-zero sum over `len` coordinates with no terms folded in.
+    #[must_use]
+    pub fn zeros(len: usize) -> Self {
+        Self { sums: vec![0; len], count: 0 }
+    }
+
+    /// Reassembles a sum vector from raw sums and a term count (used when a
+    /// collective stitches together per-segment results).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sum exceeds `count` in magnitude.
+    #[must_use]
+    pub fn from_parts(sums: Vec<i32>, count: u32) -> Self {
+        assert!(
+            sums.iter().all(|s| s.unsigned_abs() <= count),
+            "sum magnitude exceeds term count"
+        );
+        Self { sums, count }
+    }
+
+    /// Number of coordinates.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sums.len()
+    }
+
+    /// Whether the vector has zero coordinates.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sums.is_empty()
+    }
+
+    /// Number of ±1 terms folded into each coordinate.
+    #[must_use]
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// The raw sums.
+    #[must_use]
+    pub fn sums(&self) -> &[i32] {
+        &self.sums
+    }
+
+    /// Folds another worker's signs into the sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn add_signs(&mut self, signs: &SignVec) {
+        assert_eq!(self.sums.len(), signs.len(), "length mismatch");
+        for (s, b) in self.sums.iter_mut().zip(signs.iter()) {
+            *s += if b { 1 } else { -1 };
+        }
+        self.count += 1;
+    }
+
+    /// Merges another partial sum into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn merge(&mut self, other: &SignSumVec) {
+        assert_eq!(self.sums.len(), other.sums.len(), "length mismatch");
+        for (s, &o) in self.sums.iter_mut().zip(&other.sums) {
+            *s += o;
+        }
+        self.count += other.count;
+    }
+
+    /// Majority vote: the sign of each sum (ties vote `+1`, matching the
+    /// `sgn(0) = +1` convention of [`SignVec::from_signs`]).
+    #[must_use]
+    pub fn majority_sign(&self) -> SignVec {
+        self.sums.iter().map(|&s| s >= 0).collect()
+    }
+
+    /// Mean of the folded signs per coordinate, in `[−1, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no terms have been folded in.
+    #[must_use]
+    pub fn mean_signs(&self) -> Vec<f32> {
+        assert!(self.count > 0, "mean of empty sign sum");
+        let inv = 1.0 / self.count as f32;
+        self.sums.iter().map(|&s| s as f32 * inv).collect()
+    }
+
+    /// Fixed-width wire size in bits: each coordinate needs
+    /// `⌈log₂(2·count + 1)⌉` bits to cover `[−count, count]`.
+    #[must_use]
+    pub fn fixed_width_bits(&self) -> usize {
+        self.len() * Self::bits_per_coord(self.count)
+    }
+
+    /// Bits per coordinate of a fixed-width encoding after folding `count`
+    /// workers: `⌈log₂(2·count + 1)⌉` (1 bit for a single worker).
+    #[must_use]
+    pub fn bits_per_coord(count: u32) -> usize {
+        if count <= 1 {
+            return 1;
+        }
+        let states = 2 * u64::from(count) + 1;
+        (64 - (states - 1).leading_zeros()) as usize
+    }
+
+    /// Exact Elias-γ coded wire size in bits (what the paper's baselines use
+    /// to compact the growing payload).
+    #[must_use]
+    pub fn elias_bits(&self) -> usize {
+        elias::encoded_bits_signed(&self.iter_i64().collect::<Vec<_>>())
+    }
+
+    /// Serializes with Elias-γ; round-trips through
+    /// [`SignSumVec::decode_elias`].
+    #[must_use]
+    pub fn encode_elias(&self) -> Vec<u8> {
+        elias::encode_signed(&self.iter_i64().collect::<Vec<_>>())
+    }
+
+    /// Decodes an Elias-γ payload of `len` coordinates with `count` folded
+    /// terms. Returns `None` on malformed input.
+    #[must_use]
+    pub fn decode_elias(bytes: &[u8], len: usize, count: u32) -> Option<Self> {
+        let sums = elias::decode_signed(bytes, len)?;
+        let sums: Vec<i32> = sums.into_iter().map(|v| v as i32).collect();
+        if sums.iter().any(|&s| s.unsigned_abs() > count) {
+            return None;
+        }
+        Some(Self { sums, count })
+    }
+
+    fn iter_i64(&self) -> impl Iterator<Item = i64> + '_ {
+        self.sums.iter().map(|&s| i64::from(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(bits: &[bool]) -> SignVec {
+        bits.iter().copied().collect()
+    }
+
+    #[test]
+    fn from_signs_and_add() {
+        let mut sum = SignSumVec::from_signs(&sv(&[true, false, true]));
+        sum.add_signs(&sv(&[true, true, false]));
+        assert_eq!(sum.sums(), &[2, 0, 0]);
+        assert_eq!(sum.count(), 2);
+    }
+
+    #[test]
+    fn merge_accumulates_counts() {
+        let a = SignSumVec::from_signs(&sv(&[true, true]));
+        let mut b = SignSumVec::from_signs(&sv(&[false, true]));
+        b.merge(&a);
+        assert_eq!(b.sums(), &[0, 2]);
+        assert_eq!(b.count(), 2);
+    }
+
+    #[test]
+    fn majority_ties_are_positive() {
+        let mut sum = SignSumVec::from_signs(&sv(&[true, false]));
+        sum.add_signs(&sv(&[false, true]));
+        let vote = sum.majority_sign();
+        assert!(vote.get(0));
+        assert!(vote.get(1));
+    }
+
+    #[test]
+    fn mean_signs_range() {
+        let mut sum = SignSumVec::from_signs(&sv(&[true, false, true]));
+        sum.add_signs(&sv(&[true, false, false]));
+        assert_eq!(sum.mean_signs(), vec![1.0, -1.0, 0.0]);
+    }
+
+    #[test]
+    fn bits_per_coord_growth() {
+        // 1 worker: 1 bit. 2 workers: range [−2,2] = 5 states -> 3 bits.
+        // 8 workers: 17 states -> 5 bits. Matches ⌈log2⌉ growth bounded by
+        // ⌈log2 M⌉ + 1 extra bits.
+        assert_eq!(SignSumVec::bits_per_coord(1), 1);
+        assert_eq!(SignSumVec::bits_per_coord(2), 3);
+        assert_eq!(SignSumVec::bits_per_coord(3), 3);
+        assert_eq!(SignSumVec::bits_per_coord(4), 4);
+        assert_eq!(SignSumVec::bits_per_coord(8), 5);
+        assert_eq!(SignSumVec::bits_per_coord(32), 7);
+    }
+
+    #[test]
+    fn elias_round_trip() {
+        let mut sum = SignSumVec::from_signs(&sv(&[true, false, true, true]));
+        sum.add_signs(&sv(&[true, false, false, true]));
+        sum.add_signs(&sv(&[false, false, true, true]));
+        let bytes = sum.encode_elias();
+        let back = SignSumVec::decode_elias(&bytes, 4, 3).expect("decodes");
+        assert_eq!(back, sum);
+    }
+
+    #[test]
+    fn decode_rejects_out_of_range() {
+        let sum = SignSumVec::from_signs(&sv(&[true; 4]));
+        let mut merged = sum.clone();
+        merged.merge(&sum);
+        merged.merge(&sum); // sums of +3, count 3
+        let bytes = merged.encode_elias();
+        assert!(SignSumVec::decode_elias(&bytes, 4, 2).is_none());
+    }
+
+    #[test]
+    fn elias_beats_fixed_width_for_balanced_sums() {
+        // IID signs concentrate near zero, where γ codes are short.
+        use marsit_tensor::rng::FastRng;
+        let mut rng = FastRng::new(3, 0);
+        let mut sum = SignSumVec::zeros(10_000);
+        for s in 0..16 {
+            sum.merge(&SignSumVec::from_signs(&SignVec::bernoulli_uniform(
+                10_000,
+                0.5,
+                &mut FastRng::new(s, 1),
+            )));
+        }
+        let _ = &mut rng;
+        assert!(sum.elias_bits() < sum.fixed_width_bits() * 2);
+        assert!(sum.elias_bits() > sum.len()); // still more than 1 bit/coord
+    }
+}

@@ -1,0 +1,148 @@
+//! The global compensation mechanism (paper Section 4.1.3).
+//!
+//! After a one-bit synchronization the global update `g_t` differs from the
+//! worker's intended update `g_t^{(m)} = η_l·g + c_t^{(m)}`; the difference
+//! is carried forward as the compensation vector
+//! `c_{t+1}^{(m)} = g_t^{(m)} − g_t` and folded into the next round's
+//! gradient (Algorithm 1, lines 1 and 10). A full-precision synchronization
+//! applies the average of the `g_t^{(m)}` exactly, so the residual resets to
+//! zero (line 13).
+
+/// One worker's compensation state.
+///
+/// # Examples
+///
+/// ```
+/// use marsit_core::compensation::Compensation;
+///
+/// let mut c = Compensation::new(3);
+/// let with_comp = c.apply(&[1.0, -2.0, 0.5]);
+/// assert_eq!(with_comp, vec![1.0, -2.0, 0.5]); // c starts at zero
+/// c.absorb_residual(&with_comp, &[0.5, -1.0, 0.25]);
+/// assert_eq!(c.vector(), &[0.5f32, -1.0, 0.25][..]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Compensation {
+    c: Vec<f32>,
+}
+
+impl Compensation {
+    /// Creates a zero compensation vector of dimension `d`
+    /// (Algorithm 2, line 1).
+    #[must_use]
+    pub fn new(d: usize) -> Self {
+        Self { c: vec![0.0; d] }
+    }
+
+    /// Dimension of the compensation vector.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.c.len()
+    }
+
+    /// Whether the vector has zero dimension.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.c.is_empty()
+    }
+
+    /// The current residual.
+    #[must_use]
+    pub fn vector(&self) -> &[f32] {
+        &self.c
+    }
+
+    /// Squared ℓ2-norm of the residual (the quantity bounded in the proof of
+    /// Theorem 1, Eq. 7).
+    #[must_use]
+    pub fn norm_sq(&self) -> f64 {
+        marsit_tensor::stats::norm_l2_sq(&self.c)
+    }
+
+    /// Algorithm 1, line 1: returns `update + c` (the compensated local
+    /// update `g_t^{(m)}`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `update.len()` differs from the state dimension.
+    #[must_use]
+    pub fn apply(&self, update: &[f32]) -> Vec<f32> {
+        assert_eq!(update.len(), self.c.len(), "dimension mismatch");
+        update.iter().zip(&self.c).map(|(&u, &c)| u + c).collect()
+    }
+
+    /// Algorithm 1, line 10: `c ← g^{(m)} − g_t` after a one-bit round.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn absorb_residual(&mut self, compensated_update: &[f32], global_update: &[f32]) {
+        assert_eq!(compensated_update.len(), self.c.len(), "dimension mismatch");
+        assert_eq!(global_update.len(), self.c.len(), "dimension mismatch");
+        for ((c, &h), &g) in self.c.iter_mut().zip(compensated_update).zip(global_update) {
+            *c = h - g;
+        }
+    }
+
+    /// Algorithm 1, line 13: reset after a full-precision round.
+    pub fn reset(&mut self) {
+        self.c.fill(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn residual_telescopes() {
+        // Invariant: c_{t+1} + applied = intended, i.e. nothing is lost.
+        let mut c = Compensation::new(4);
+        let mut intended_total = [0.0f64; 4];
+        let mut applied_total = [0.0f64; 4];
+        for t in 0..50 {
+            let update: Vec<f32> = (0..4).map(|i| ((t * 4 + i) as f32 * 0.7).sin()).collect();
+            let h = c.apply(&update);
+            // Global update: crude sign step (what one-bit sync produces).
+            let g: Vec<f32> = h.iter().map(|&x| 0.05 * x.signum()).collect();
+            c.absorb_residual(&h, &g);
+            for i in 0..4 {
+                intended_total[i] += f64::from(update[i]);
+                applied_total[i] += f64::from(g[i]);
+            }
+        }
+        for (i, (&intended, &applied)) in
+            intended_total.iter().zip(&applied_total).enumerate()
+        {
+            let residual = intended - applied;
+            assert!(
+                (residual - f64::from(c.vector()[i])).abs() < 1e-4,
+                "coord {i}: residual {residual} vs c {}",
+                c.vector()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let mut c = Compensation::new(3);
+        c.absorb_residual(&[1.0, 2.0, 3.0], &[0.0, 0.0, 0.0]);
+        assert!(c.norm_sq() > 0.0);
+        c.reset();
+        assert_eq!(c.norm_sq(), 0.0);
+    }
+
+    #[test]
+    fn apply_adds_residual() {
+        let mut c = Compensation::new(2);
+        c.absorb_residual(&[1.0, 1.0], &[0.25, 0.5]);
+        assert_eq!(c.apply(&[0.0, 0.0]), vec![0.75, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        let c = Compensation::new(2);
+        let _ = c.apply(&[1.0]);
+    }
+}

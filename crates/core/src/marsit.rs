@@ -1,0 +1,411 @@
+//! Marsit's synchronization step (Algorithm 1).
+//!
+//! One [`Marsit`] instance owns the per-worker compensation vectors and the
+//! round counter; each call to [`Marsit::synchronize`] performs one global
+//! model synchronization over the chosen multi-hop topology:
+//!
+//! 1. every worker folds its compensation into the local update
+//!    (line 1: `g ← g + c`);
+//! 2. on a one-bit round, workers exchange sign bits through the ring or
+//!    torus all-reduce using the `⊙` operator, and the global update is
+//!    `g_t = η_s · σ` (lines 4–9); the residual is absorbed into the
+//!    compensation (line 10);
+//! 3. on a full-precision round (`mod(t, K) = 0`), the compensated updates
+//!    are averaged exactly and the compensation resets (lines 11–13).
+//!
+//! All workers deterministically agree on `g_t` — the consensus invariant of
+//! multi-hop all-reduce — which the simulator asserts after every round.
+
+use marsit_collectives::ring::{ring_allreduce_onebit, ring_allreduce_sum};
+use marsit_collectives::torus::{torus_allreduce_onebit, torus_allreduce_sum};
+use marsit_collectives::Trace;
+use marsit_simnet::Topology;
+use marsit_tensor::rng::{split_seed, FastRng};
+use marsit_tensor::SignVec;
+
+use crate::compensation::Compensation;
+use crate::ominus::{combine_unweighted, combine_weighted};
+use crate::schedule::SyncSchedule;
+
+/// Which one-bit combine operator to use (ablation hook).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CombineKind {
+    /// The paper's Eq. (2): keep the received bit w.p. `a/(a+b)` (unbiased).
+    #[default]
+    Weighted,
+    /// Ablation: a plain coin flip per disagreeing bit — biased toward
+    /// late-chain workers; kept to quantify the value of Eq. (2).
+    UnweightedAblation,
+}
+
+/// Configuration for a [`Marsit`] synchronizer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MarsitConfig {
+    /// Full-precision schedule (the paper's `K`).
+    pub schedule: SyncSchedule,
+    /// Global step size `η_s` applied to the sign vector (Algorithm 1,
+    /// line 9).
+    pub global_lr: f32,
+    /// Master seed for the transient vectors; every `(round, receiver,
+    /// segment, step)` tuple derives an independent stream.
+    pub seed: u64,
+    /// Combine operator (ablation hook; defaults to the paper's weighted
+    /// Eq. 2).
+    pub combine: CombineKind,
+}
+
+impl MarsitConfig {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `global_lr` is not finite and positive.
+    #[must_use]
+    pub fn new(schedule: SyncSchedule, global_lr: f32, seed: u64) -> Self {
+        assert!(
+            global_lr.is_finite() && global_lr > 0.0,
+            "global learning rate must be finite and positive"
+        );
+        Self { schedule, global_lr, seed, combine: CombineKind::Weighted }
+    }
+
+    /// Switches to the biased coin-flip combine (ablation).
+    #[must_use]
+    pub fn with_unweighted_combine(mut self) -> Self {
+        self.combine = CombineKind::UnweightedAblation;
+        self
+    }
+}
+
+/// Result of one synchronization round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyncOutcome {
+    /// The consensus global update `g_t` (identical at every worker).
+    pub global_update: Vec<f32>,
+    /// Exact mean of the compensated updates `g_t^{(m)} = η_l·g + c` — the
+    /// quantity the one-bit aggregation estimates; reference for the
+    /// matching-rate metric of Fig 1b.
+    pub compensated_mean: Vec<f32>,
+    /// Whether this round ran in full precision.
+    pub full_precision: bool,
+    /// Transfers performed.
+    pub trace: Trace,
+    /// The round index `t` this outcome belongs to.
+    pub round: u64,
+}
+
+/// The Marsit synchronizer: compensation state for `M` workers plus the
+/// round counter.
+///
+/// # Examples
+///
+/// ```
+/// use marsit_core::{Marsit, MarsitConfig, SyncSchedule};
+/// use marsit_simnet::Topology;
+///
+/// let cfg = MarsitConfig::new(SyncSchedule::never(), 0.01, 42);
+/// let mut marsit = Marsit::new(cfg, 3, 8);
+/// let updates = vec![vec![0.1f32; 8], vec![-0.1f32; 8], vec![0.2f32; 8]];
+/// let out = marsit.synchronize(&updates, Topology::ring(3));
+/// assert_eq!(out.global_update.len(), 8);
+/// assert!(!out.full_precision);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Marsit {
+    cfg: MarsitConfig,
+    compensations: Vec<Compensation>,
+    round: u64,
+}
+
+impl Marsit {
+    /// Creates a synchronizer for `m` workers and `d` parameters with zero
+    /// compensation (Algorithm 2, line 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m < 2` or `d == 0`.
+    #[must_use]
+    pub fn new(cfg: MarsitConfig, m: usize, d: usize) -> Self {
+        assert!(m >= 2, "Marsit needs at least 2 workers");
+        assert!(d > 0, "model dimension must be positive");
+        Self { cfg, compensations: vec![Compensation::new(d); m], round: 0 }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &MarsitConfig {
+        &self.cfg
+    }
+
+    /// Current round index `t`.
+    #[must_use]
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Worker `w`'s compensation state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is out of range.
+    #[must_use]
+    pub fn compensation(&self, w: usize) -> &Compensation {
+        &self.compensations[w]
+    }
+
+    /// Mean squared compensation norm across workers (the error-accumulation
+    /// diagnostic of Theorem 1's proof).
+    #[must_use]
+    pub fn mean_compensation_norm_sq(&self) -> f64 {
+        let m = self.compensations.len() as f64;
+        self.compensations.iter().map(Compensation::norm_sq).sum::<f64>() / m
+    }
+
+    /// Performs one synchronization (Algorithm 1) over `topology`.
+    ///
+    /// `local_updates[w]` is worker `w`'s scaled local gradient
+    /// `η_l·g_t^{(w)}` (Algorithm 2, line 5 hands this in). Advances the
+    /// round counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of updates does not match the worker count, if
+    /// dimensions mismatch, or if `topology` is a star (Marsit is defined
+    /// for multi-hop all-reduce only) or disagrees with the worker count.
+    pub fn synchronize(&mut self, local_updates: &[Vec<f32>], topology: Topology) -> SyncOutcome {
+        let m = self.compensations.len();
+        assert_eq!(local_updates.len(), m, "update count must match workers");
+        assert_eq!(topology.workers(), m, "topology size must match workers");
+        let d = self.compensations[0].len();
+        assert!(
+            local_updates.iter().all(|u| u.len() == d),
+            "update dimensions must match the model"
+        );
+
+        // Line 1: fold compensation into the local update.
+        let compensated: Vec<Vec<f32>> = local_updates
+            .iter()
+            .zip(&self.compensations)
+            .map(|(u, c)| c.apply(u))
+            .collect();
+        let mut compensated_mean = vec![0.0f32; d];
+        for h in &compensated {
+            for (a, &x) in compensated_mean.iter_mut().zip(h) {
+                *a += x / m as f32;
+            }
+        }
+
+        let t = self.round;
+        let full_precision = self.cfg.schedule.is_full_precision(t);
+        let outcome = if full_precision {
+            // Lines 11–13: exact averaging, compensation reset.
+            let mut buffers = compensated.clone();
+            let trace = match topology {
+                Topology::Ring { .. } => ring_allreduce_sum(&mut buffers),
+                Topology::Torus { rows, cols } => torus_allreduce_sum(&mut buffers, rows, cols),
+                Topology::Star { .. } => {
+                    panic!("Marsit is a multi-hop all-reduce framework; star/PS is unsupported")
+                }
+            };
+            let inv_m = 1.0 / m as f32;
+            let global_update: Vec<f32> = buffers[0].iter().map(|&x| x * inv_m).collect();
+            for c in &mut self.compensations {
+                c.reset();
+            }
+            SyncOutcome {
+                compensated_mean,
+                global_update,
+                full_precision: true,
+                trace,
+                round: t,
+            }
+        } else {
+            // Lines 4–9: one-bit synchronization via ⊙.
+            let signs: Vec<SignVec> = compensated
+                .iter()
+                .map(|h| SignVec::from_signs(h))
+                .collect();
+            let round_seed = split_seed(self.cfg.seed, t);
+            let kind = self.cfg.combine;
+            let combine = |recv: &SignVec, local: &SignVec, ctx: marsit_collectives::CombineCtx| {
+                let stream = ((ctx.receiver as u64) << 40)
+                    | ((ctx.segment as u64) << 20)
+                    | ctx.step as u64;
+                let mut rng = FastRng::new(round_seed, stream);
+                match kind {
+                    CombineKind::Weighted => combine_weighted(
+                        recv,
+                        ctx.received_count,
+                        local,
+                        ctx.local_count,
+                        &mut rng,
+                    ),
+                    CombineKind::UnweightedAblation => {
+                        combine_unweighted(recv, local, &mut rng)
+                    }
+                }
+            };
+            let (consensus, trace) = match topology {
+                Topology::Ring { .. } => ring_allreduce_onebit(&signs, combine),
+                Topology::Torus { rows, cols } => {
+                    torus_allreduce_onebit(&signs, rows, cols, combine)
+                }
+                Topology::Star { .. } => {
+                    panic!("Marsit is a multi-hop all-reduce framework; star/PS is unsupported")
+                }
+            };
+            // Line 9: g_t = η_s · σ.
+            let mut global_update = vec![0.0f32; d];
+            consensus.write_scaled_signs(self.cfg.global_lr, &mut global_update);
+            // Line 10: absorb the residual.
+            for (c, h) in self.compensations.iter_mut().zip(&compensated) {
+                c.absorb_residual(h, &global_update);
+            }
+            SyncOutcome {
+                compensated_mean,
+                global_update,
+                full_precision: false,
+                trace,
+                round: t,
+            }
+        };
+        self.round += 1;
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn updates(m: usize, d: usize, seed: u64) -> Vec<Vec<f32>> {
+        (0..m)
+            .map(|w| {
+                let mut rng = FastRng::new(seed, w as u64);
+                (0..d).map(|_| (rng.next_f64() as f32) - 0.5).collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round0_with_finite_k_is_full_precision() {
+        let cfg = MarsitConfig::new(SyncSchedule::every(4), 0.01, 1);
+        let mut marsit = Marsit::new(cfg, 3, 10);
+        let u = updates(3, 10, 0);
+        let out = marsit.synchronize(&u, Topology::ring(3));
+        assert!(out.full_precision);
+        // Exact mean of the updates (compensation is zero initially).
+        for j in 0..10 {
+            let mean: f32 = u.iter().map(|v| v[j]).sum::<f32>() / 3.0;
+            assert!((out.global_update[j] - mean).abs() < 1e-5);
+        }
+        // Next three rounds are one-bit, then full precision again.
+        assert!(!marsit.synchronize(&u, Topology::ring(3)).full_precision);
+        assert!(!marsit.synchronize(&u, Topology::ring(3)).full_precision);
+        assert!(!marsit.synchronize(&u, Topology::ring(3)).full_precision);
+        assert!(marsit.synchronize(&u, Topology::ring(3)).full_precision);
+    }
+
+    #[test]
+    fn onebit_update_is_scaled_signs() {
+        let cfg = MarsitConfig::new(SyncSchedule::never(), 0.05, 2);
+        let mut marsit = Marsit::new(cfg, 4, 16);
+        let out = marsit.synchronize(&updates(4, 16, 1), Topology::ring(4));
+        assert!(!out.full_precision);
+        for &g in &out.global_update {
+            assert!((g.abs() - 0.05).abs() < 1e-7, "entry {g} is not ±η_s");
+        }
+    }
+
+    #[test]
+    fn compensation_tracks_residual() {
+        let cfg = MarsitConfig::new(SyncSchedule::never(), 0.05, 3);
+        let mut marsit = Marsit::new(cfg, 2, 8);
+        let u = updates(2, 8, 2);
+        let out = marsit.synchronize(&u, Topology::ring(2));
+        for (w, u_w) in u.iter().enumerate() {
+            let c = marsit.compensation(w).vector();
+            for j in 0..8 {
+                let expected = u_w[j] - out.global_update[j];
+                assert!((c[j] - expected).abs() < 1e-6, "worker {w} coord {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_precision_resets_compensation() {
+        let cfg = MarsitConfig::new(SyncSchedule::every(2), 0.05, 4);
+        let mut marsit = Marsit::new(cfg, 2, 8);
+        let u = updates(2, 8, 3);
+        let _ = marsit.synchronize(&u, Topology::ring(2)); // t=0 full
+        let _ = marsit.synchronize(&u, Topology::ring(2)); // t=1 one-bit
+        assert!(marsit.mean_compensation_norm_sq() > 0.0);
+        let _ = marsit.synchronize(&u, Topology::ring(2)); // t=2 full
+        assert_eq!(marsit.mean_compensation_norm_sq(), 0.0);
+    }
+
+    #[test]
+    fn synchronize_is_deterministic() {
+        let cfg = MarsitConfig::new(SyncSchedule::never(), 0.05, 7);
+        let u = updates(4, 32, 4);
+        let mut m1 = Marsit::new(cfg, 4, 32);
+        let mut m2 = Marsit::new(cfg, 4, 32);
+        for _ in 0..5 {
+            let a = m1.synchronize(&u, Topology::ring(4));
+            let b = m2.synchronize(&u, Topology::ring(4));
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn torus_topology_works() {
+        let cfg = MarsitConfig::new(SyncSchedule::every(3), 0.05, 9);
+        let mut marsit = Marsit::new(cfg, 4, 20);
+        let u = updates(4, 20, 5);
+        let full = marsit.synchronize(&u, Topology::torus(2, 2));
+        assert!(full.full_precision);
+        let onebit = marsit.synchronize(&u, Topology::torus(2, 2));
+        assert!(!onebit.full_precision);
+        assert_eq!(onebit.global_update.len(), 20);
+    }
+
+    /// The one-bit consensus is unbiased: averaged over rounds with fresh
+    /// seeds, E[g_t/η_s] per coordinate approaches the mean sign.
+    #[test]
+    fn onebit_consensus_is_unbiased_estimate_of_mean_sign() {
+        let m = 4;
+        let d = 32;
+        let u = updates(m, d, 6);
+        let mean_sign: Vec<f64> = (0..d)
+            .map(|j| {
+                u.iter().map(|v| if v[j] >= 0.0 { 1.0 } else { -1.0 }).sum::<f64>() / m as f64
+            })
+            .collect();
+        let trials = 4000;
+        let mut acc = vec![0.0f64; d];
+        for trial in 0..trials {
+            let cfg = MarsitConfig::new(SyncSchedule::never(), 1.0, trial);
+            let mut marsit = Marsit::new(cfg, m, d);
+            let out = marsit.synchronize(&u, Topology::ring(m));
+            for (a, &g) in acc.iter_mut().zip(&out.global_update) {
+                *a += f64::from(g);
+            }
+        }
+        for (j, &a) in acc.iter().enumerate() {
+            let est = a / f64::from(trials as u32);
+            assert!(
+                (est - mean_sign[j]).abs() < 0.1,
+                "coord {j}: estimate {est} vs mean sign {}",
+                mean_sign[j]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "star/PS is unsupported")]
+    fn star_topology_panics() {
+        let cfg = MarsitConfig::new(SyncSchedule::never(), 0.05, 0);
+        let mut marsit = Marsit::new(cfg, 3, 4);
+        let _ = marsit.synchronize(&updates(3, 4, 0), Topology::star(3));
+    }
+}

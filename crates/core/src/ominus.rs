@@ -1,0 +1,267 @@
+//! The `⊙` operator: unbiased one-bit sign aggregation (paper Section 4.1.1).
+//!
+//! Combining a received sign vector `v_i` with the local sign vector `v_i*`
+//! must stay within one bit *and* remain an unbiased estimate of the mean
+//! sign. Marsit achieves this with
+//!
+//! ```text
+//! v_i ⊙ v_i* = (v_i AND v_i*) OR ((v_i XOR v_i*) AND v)
+//! ```
+//!
+//! where the *transient vector* `v` resolves disagreements by a Bernoulli
+//! draw (Eq. 2): when folding the `m`-th worker into an aggregate of `m−1`,
+//! a disagreeing bit keeps the local value with probability `1/m`. By
+//! induction the final bit at every coordinate is the sign of a *uniformly
+//! random* worker — an unbiased one-bit sample of the sign average.
+//!
+//! This module implements the operator in the generalized *weighted* form
+//! needed by 2D-torus all-reduce, where both operands may already aggregate
+//! several workers: `combine_weighted(recv, a, local, b)` keeps the received
+//! bit with probability `a/(a+b)`. Eq. (2) is exactly the `b = 1` case
+//! ([`combine_eq2`]). A deliberately *biased* variant ([`combine_unweighted`])
+//! is provided for the ablation study in `DESIGN.md`.
+
+use marsit_tensor::rng::FastRng;
+use marsit_tensor::SignVec;
+
+/// Combines `received` (an aggregate over `a` workers) with `local` (an
+/// aggregate over `b` workers) into an unbiased one-bit aggregate over
+/// `a + b` workers.
+///
+/// Implements the paper's bit-wise form: matching bits pass through
+/// unchanged; disagreeing bits take the value of the transient vector `v`,
+/// drawn per Eq. (2) generalized to weights: `P(v_j = 1) = a/(a+b)` when the
+/// local bit is 0, and `b/(a+b)` when the local bit is 1 — i.e. the output
+/// bit equals the received bit with probability `a/(a+b)`.
+///
+/// # Panics
+///
+/// Panics if the vectors' lengths differ or `a + b == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use marsit_core::ominus::combine_weighted;
+/// use marsit_tensor::{rng::FastRng, SignVec};
+///
+/// let recv = SignVec::ones(8);
+/// let local = SignVec::ones(8);
+/// let mut rng = FastRng::new(0, 0);
+/// // Agreement passes through regardless of the draw.
+/// let out = combine_weighted(&recv, 3, &local, 1, &mut rng);
+/// assert_eq!(out, SignVec::ones(8));
+/// ```
+#[must_use]
+pub fn combine_weighted(
+    received: &SignVec,
+    a: usize,
+    local: &SignVec,
+    b: usize,
+    rng: &mut FastRng,
+) -> SignVec {
+    assert_eq!(received.len(), local.len(), "sign vector lengths differ");
+    assert!(a + b > 0, "weights must not both be zero");
+    let p_keep_received = a as f64 / (a + b) as f64;
+    // Transient vector v (Eq. 2 generalized): where the local bit is 1 the
+    // disagreeing received bit must be 0, so emitting 1 means keeping
+    // *local* → P = b/(a+b). Where the local bit is 0 the received bit is 1,
+    // so emitting 1 means keeping *received* → P = a/(a+b). Drawing one
+    // Bernoulli(a/(a+b)) mask `keep` and setting v = (local AND NOT keep) OR
+    // (NOT local AND keep) realizes exactly those per-bit probabilities.
+    let keep = SignVec::bernoulli_uniform(received.len(), p_keep_received, rng);
+    let v = local.and(&keep.not()).or(&local.not().and(&keep));
+    // v_i ⊙ v_i* = (v_i AND v_i*) OR ((v_i XOR v_i*) AND v)
+    received
+        .and(local)
+        .or(&received.xor(local).and(&v))
+}
+
+/// The paper's Eq. (2) exactly: folds one worker (`local`) into a received
+/// aggregate of `m − 1` workers.
+///
+/// # Panics
+///
+/// Panics if `m < 2` or the vectors' lengths differ.
+#[must_use]
+pub fn combine_eq2(
+    received: &SignVec,
+    local: &SignVec,
+    m: usize,
+    rng: &mut FastRng,
+) -> SignVec {
+    assert!(m >= 2, "Eq. (2) needs at least two workers in the aggregate");
+    combine_weighted(received, m - 1, local, 1, rng)
+}
+
+/// Ablation: an *unweighted* coin-flip combine (`P(keep received) = ½`
+/// regardless of aggregate sizes).
+///
+/// This looks plausible but is biased: early workers in the chain are
+/// exponentially down-weighted, so the result over-represents late workers.
+/// Kept for the ablation benchmark that quantifies the value of Eq. (2)'s
+/// weighting.
+#[must_use]
+pub fn combine_unweighted(received: &SignVec, local: &SignVec, rng: &mut FastRng) -> SignVec {
+    assert_eq!(received.len(), local.len(), "sign vector lengths differ");
+    let keep = SignVec::bernoulli_uniform(received.len(), 0.5, rng);
+    received
+        .and(local)
+        .or(&received.xor(local).and(&local.and(&keep.not()).or(&local.not().and(&keep))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agreement_always_passes_through() {
+        let mut rng = FastRng::new(1, 0);
+        let v = SignVec::bernoulli_uniform(256, 0.5, &mut rng);
+        for _ in 0..20 {
+            let out = combine_weighted(&v, 5, &v, 3, &mut rng);
+            assert_eq!(out, v);
+        }
+    }
+
+    #[test]
+    fn disagreement_probability_matches_weights() {
+        // recv = all ones, local = all zeros: every bit disagrees; output
+        // bit is 1 iff the received value is kept, expected rate a/(a+b).
+        let n = 200_000;
+        let recv = SignVec::ones(n);
+        let local = SignVec::zeros(n);
+        for (a, b) in [(1usize, 1usize), (3, 1), (7, 1), (4, 4), (12, 4)] {
+            let mut rng = FastRng::new(42, (a * 100 + b) as u64);
+            let out = combine_weighted(&recv, a, &local, b, &mut rng);
+            let rate = out.count_ones() as f64 / n as f64;
+            let expect = a as f64 / (a + b) as f64;
+            assert!(
+                (rate - expect).abs() < 0.005,
+                "a={a} b={b}: rate {rate} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn eq2_matches_weighted_b1_statistics() {
+        let n = 100_000;
+        let recv = SignVec::zeros(n);
+        let local = SignVec::ones(n);
+        let mut rng = FastRng::new(3, 0);
+        let out = combine_eq2(&recv, &local, 4, &mut rng);
+        // Keep local w.p. 1/4.
+        let rate = out.count_ones() as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.006, "rate {rate}");
+    }
+
+    /// The induction behind Theorem 1: chaining Eq. (2) along a ring makes
+    /// the final bit a uniform sample over all workers' signs, i.e.
+    /// `E[final bit] = mean of input bits`.
+    #[test]
+    fn chained_combine_is_unbiased_over_chain() {
+        let m = 6;
+        let n = 64;
+        let mut seed_rng = FastRng::new(9, 0);
+        let inputs: Vec<SignVec> = (0..m)
+            .map(|_| SignVec::bernoulli_uniform(n, 0.5, &mut seed_rng))
+            .collect();
+        let trials = 40_000;
+        let mut ones = vec![0u32; n];
+        let mut rng = FastRng::new(17, 0);
+        for _ in 0..trials {
+            let mut agg = inputs[0].clone();
+            for (i, input) in inputs.iter().enumerate().skip(1) {
+                agg = combine_weighted(&agg, i, input, 1, &mut rng);
+            }
+            for (j, o) in ones.iter_mut().enumerate() {
+                *o += u32::from(agg.get(j));
+            }
+        }
+        for (j, &o) in ones.iter().enumerate() {
+            let measured = f64::from(o) / f64::from(trials as u32);
+            let expected =
+                inputs.iter().filter(|v| v.get(j)).count() as f64 / m as f64;
+            // Binomial standard error ≈ 0.5/√trials ≈ 0.0025; allow 5σ.
+            assert!(
+                (measured - expected).abs() < 0.015,
+                "coord {j}: measured {measured} vs expected {expected}"
+            );
+        }
+    }
+
+    /// Weighted combine keeps unbiasedness when merging two multi-worker
+    /// aggregates (the torus column phase).
+    #[test]
+    fn weighted_merge_of_aggregates_is_unbiased() {
+        let n = 32;
+        let mut seed_rng = FastRng::new(11, 0);
+        let recv = SignVec::bernoulli_uniform(n, 0.5, &mut seed_rng);
+        let local = SignVec::bernoulli_uniform(n, 0.5, &mut seed_rng);
+        let (a, b) = (4usize, 4usize);
+        let trials = 40_000;
+        let mut ones = vec![0u32; n];
+        let mut rng = FastRng::new(23, 0);
+        for _ in 0..trials {
+            let out = combine_weighted(&recv, a, &local, b, &mut rng);
+            for (j, o) in ones.iter_mut().enumerate() {
+                *o += u32::from(out.get(j));
+            }
+        }
+        for (j, &o) in ones.iter().enumerate() {
+            let measured = f64::from(o) / f64::from(trials as u32);
+            let expected = (a as f64 * f64::from(u8::from(recv.get(j)))
+                + b as f64 * f64::from(u8::from(local.get(j))))
+                / (a + b) as f64;
+            assert!(
+                (measured - expected).abs() < 0.015,
+                "coord {j}: measured {measured} vs expected {expected}"
+            );
+        }
+    }
+
+    /// The ablation combine is measurably biased: chaining over M workers
+    /// with equal-weight coin flips over-weights late workers.
+    #[test]
+    fn unweighted_combine_is_biased_toward_late_workers() {
+        let m = 5;
+        let n = 20_000;
+        // Worker 0 says all-ones; everyone else says all-zeros. The true
+        // mean bit is 1/m = 0.2; the coin-flip chain keeps worker 0's bits
+        // with probability 2^-(m-1) = 0.0625.
+        let mut inputs = vec![SignVec::zeros(n); m];
+        inputs[0] = SignVec::ones(n);
+        let mut rng = FastRng::new(31, 0);
+        let trials = 200;
+        let mut total_rate = 0.0;
+        for _ in 0..trials {
+            let mut agg = inputs[0].clone();
+            for input in &inputs[1..] {
+                agg = combine_unweighted(&agg, input, &mut rng);
+            }
+            total_rate += agg.count_ones() as f64 / n as f64;
+        }
+        let rate = total_rate / f64::from(trials as u32);
+        assert!((rate - 0.0625).abs() < 0.01, "rate {rate} should be ~2^-(m-1)");
+        assert!((rate - 0.2).abs() > 0.05, "rate {rate} must differ from unbiased 1/m");
+    }
+
+    #[test]
+    fn determinism_given_same_rng_stream() {
+        let mut r1 = FastRng::new(5, 7);
+        let mut r2 = FastRng::new(5, 7);
+        let mut seed_rng = FastRng::new(1, 1);
+        let a = SignVec::bernoulli_uniform(100, 0.5, &mut seed_rng);
+        let b = SignVec::bernoulli_uniform(100, 0.5, &mut seed_rng);
+        assert_eq!(
+            combine_weighted(&a, 2, &b, 1, &mut r1),
+            combine_weighted(&a, 2, &b, 1, &mut r2)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths differ")]
+    fn length_mismatch_panics() {
+        let mut rng = FastRng::new(0, 0);
+        let _ = combine_weighted(&SignVec::zeros(4), 1, &SignVec::zeros(5), 1, &mut rng);
+    }
+}

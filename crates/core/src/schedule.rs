@@ -1,0 +1,152 @@
+//! The `K`-round synchronization schedule (paper Section 4.1.2 / Figure 3).
+//!
+//! Marsit runs one-bit synchronization every round except that every `K`-th
+//! round (Algorithm 1: `mod(t, K) = 0`) performs a full-precision
+//! synchronization that resets the accumulated compensation error. `K = 1`
+//! degenerates to PSGD (always full precision); `K = ∞` (the paper's plain
+//! "Marsit") never resets. Figure 3 sweeps `K ∈ {1, 50, 100, 200, ∞}` and
+//! reports the average payload of `1 + 31/K` bits per coordinate — which
+//! [`SyncSchedule::average_bits_per_coord`] reproduces exactly.
+
+use std::num::NonZeroU32;
+
+/// When to run full-precision synchronizations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SyncSchedule {
+    /// Full-precision period; `None` means never (`K = ∞`).
+    k: Option<NonZeroU32>,
+}
+
+impl SyncSchedule {
+    /// Full precision every `k` rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn every(k: u32) -> Self {
+        Self { k: Some(NonZeroU32::new(k).expect("K must be positive")) }
+    }
+
+    /// Never synchronize in full precision (the paper's plain "Marsit",
+    /// `K = ∞`).
+    #[must_use]
+    pub fn never() -> Self {
+        Self { k: None }
+    }
+
+    /// The period `K`, or `None` for `∞`.
+    #[must_use]
+    pub fn k(self) -> Option<u32> {
+        self.k.map(NonZeroU32::get)
+    }
+
+    /// Whether round `t` is a full-precision round (Algorithm 1 line 3:
+    /// one-bit iff `mod(t, K) ≠ 0`; with `K = ∞` only when... never —
+    /// every round is one-bit).
+    #[must_use]
+    pub fn is_full_precision(self, t: u64) -> bool {
+        match self.k {
+            Some(k) => t.is_multiple_of(u64::from(k.get())),
+            None => false,
+        }
+    }
+
+    /// Average transmitted bits per coordinate per round over a long run:
+    /// `1 + 31/K` (one-bit rounds cost 1, full-precision rounds cost 32).
+    ///
+    /// Reproduces the "Bits" column of Figure 3: `K=1 → 32`, `50 → 1.62`,
+    /// `100 → 1.31`, `200 → 1.155`, `∞ → 1`.
+    #[must_use]
+    pub fn average_bits_per_coord(self) -> f64 {
+        match self.k {
+            Some(k) => 1.0 + 31.0 / f64::from(k.get()),
+            None => 1.0,
+        }
+    }
+
+    /// Convergence-rate bound of Theorem 1 (up to constants):
+    /// `1/√(MT) + K(K+1)/T`.
+    ///
+    /// With `K = ∞` the second term is dropped — the paper's analysis
+    /// assumes `K ≪ T`, and plain Marsit is analyzed with `K` effectively
+    /// equal to the horizon.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` or `t == 0`.
+    #[must_use]
+    pub fn theorem1_bound(self, m: u64, t: u64) -> f64 {
+        assert!(m > 0 && t > 0, "M and T must be positive");
+        let first = 1.0 / ((m as f64) * (t as f64)).sqrt();
+        let second = match self.k {
+            Some(k) => {
+                let kf = f64::from(k.get());
+                kf * (kf + 1.0) / t as f64
+            }
+            None => 0.0,
+        };
+        first + second
+    }
+}
+
+impl std::fmt::Display for SyncSchedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.k {
+            Some(k) if k.get() == 1 => write!(f, "K=1 (always full precision)"),
+            Some(k) => write!(f, "K={k}"),
+            None => write!(f, "K=∞"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k1_is_always_full_precision() {
+        let s = SyncSchedule::every(1);
+        for t in 0..10 {
+            assert!(s.is_full_precision(t));
+        }
+        assert_eq!(s.average_bits_per_coord(), 32.0);
+    }
+
+    #[test]
+    fn k_infinity_is_never_full_precision() {
+        let s = SyncSchedule::never();
+        for t in 0..1000 {
+            assert!(!s.is_full_precision(t));
+        }
+        assert_eq!(s.average_bits_per_coord(), 1.0);
+    }
+
+    #[test]
+    fn figure3_bits_column() {
+        assert!((SyncSchedule::every(50).average_bits_per_coord() - 1.62).abs() < 1e-9);
+        assert!((SyncSchedule::every(100).average_bits_per_coord() - 1.31).abs() < 1e-9);
+        assert!((SyncSchedule::every(200).average_bits_per_coord() - 1.155).abs() < 1e-9);
+    }
+
+    #[test]
+    fn period_pattern() {
+        let s = SyncSchedule::every(3);
+        let pattern: Vec<bool> = (0..7).map(|t| s.is_full_precision(t)).collect();
+        assert_eq!(pattern, vec![true, false, false, true, false, false, true]);
+    }
+
+    #[test]
+    fn theorem1_bound_decreases_in_m_and_t() {
+        let s = SyncSchedule::every(10);
+        assert!(s.theorem1_bound(8, 1000) < s.theorem1_bound(2, 1000));
+        assert!(s.theorem1_bound(8, 10_000) < s.theorem1_bound(8, 1000));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", SyncSchedule::every(100)), "K=100");
+        assert_eq!(format!("{}", SyncSchedule::never()), "K=∞");
+        assert_eq!(format!("{}", SyncSchedule::every(1)), "K=1 (always full precision)");
+    }
+}

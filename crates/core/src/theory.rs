@@ -1,0 +1,145 @@
+//! Theoretical bounds (Theorems 1–3) and their Monte-Carlo counterparts.
+//!
+//! The appendix bounds the deviation between the compressed and exact
+//! aggregates: `O(DG²)` for SSDM under a parameter server (Theorem 2) versus
+//! `O((2D)^M G²/M)` for cascading compression (Theorem 3) — the exponential
+//! blow-up that motivates Marsit. This module provides the closed-form
+//! bounds plus empirical estimators that the `theory` experiment binary uses
+//! to reproduce the comparison.
+
+use marsit_compress::cascading::{cascade_reduce, exact_sum};
+use marsit_compress::compressor::Ssdm;
+use marsit_tensor::rng::{split_seed, FastRng};
+use marsit_tensor::stats::dist_sq;
+use marsit_tensor::Tensor;
+
+/// Theorem 2 bound: `‖s₂ − s₁‖² ≤ D·G²` for SSDM under PS.
+///
+/// # Panics
+///
+/// Panics if `g < 0`.
+#[must_use]
+pub fn ps_deviation_bound(d: usize, g: f64) -> f64 {
+    assert!(g >= 0.0, "gradient bound must be non-negative");
+    d as f64 * g * g
+}
+
+/// Theorem 3 bound: `‖s₃ − s₁‖² ≤ (2D)^M·G²/M` for cascading compression.
+///
+/// Saturates at `f64::INFINITY` when the power overflows — which is itself
+/// the theorem's message.
+///
+/// # Panics
+///
+/// Panics if `g < 0` or `m == 0`.
+#[must_use]
+pub fn cascading_deviation_bound(d: usize, m: usize, g: f64) -> f64 {
+    assert!(g >= 0.0, "gradient bound must be non-negative");
+    assert!(m > 0, "worker count must be positive");
+    (2.0 * d as f64).powi(i32::try_from(m).unwrap_or(i32::MAX)) * g * g / m as f64
+}
+
+/// Empirical deviations of the two aggregation schemes on random gradients.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DeviationEstimate {
+    /// Mean `‖s₂ − s₁‖²`: SSDM per worker under PS, then averaged.
+    pub ps: f64,
+    /// Mean `‖s₃ − s₁‖²`: SSDM cascading compression along the chain.
+    pub cascading: f64,
+}
+
+/// Monte-Carlo estimate of the Theorem 2 / Theorem 3 deviations.
+///
+/// Draws `m` worker gradients i.i.d. `N(0, I_d)` (so `E‖g‖² = d`, i.e.
+/// `G² ≈ d`), computes the exact mean `s₁`, the PS aggregate
+/// `s₂ = (1/M)ΣQ(g_m)`, and the cascading aggregate `s₃`, and averages the
+/// squared deviations over `trials`.
+///
+/// # Panics
+///
+/// Panics if any size parameter is zero.
+#[must_use]
+pub fn estimate_deviations(d: usize, m: usize, trials: usize, seed: u64) -> DeviationEstimate {
+    assert!(d > 0 && m > 0 && trials > 0, "sizes must be positive");
+    let mut ps_total = 0.0;
+    let mut cascade_total = 0.0;
+    for trial in 0..trials {
+        let trial_seed = split_seed(seed, trial as u64);
+        let grads: Vec<Vec<f32>> = (0..m)
+            .map(|w| {
+                let mut rng = FastRng::new(trial_seed, w as u64);
+                Tensor::gaussian(1, d, 1.0, &mut rng).into_vec()
+            })
+            .collect();
+        let refs: Vec<&[f32]> = grads.iter().map(Vec::as_slice).collect();
+        let sum = exact_sum(&refs);
+        let s1: Vec<f32> = sum.iter().map(|&x| x / m as f32).collect();
+
+        // s₂: independent SSDM per worker, then average.
+        let mut rng = FastRng::new(split_seed(trial_seed, 0x9A), 0);
+        let mut s2 = vec![0.0f32; d];
+        for g in &refs {
+            let msg = Ssdm::quantize(g, &mut rng);
+            for (acc, v) in s2.iter_mut().zip(msg.to_values()) {
+                *acc += v / m as f32;
+            }
+        }
+        ps_total += dist_sq(&s2, &s1);
+
+        // s₃: cascading compression, normalized by M.
+        let mut rng = FastRng::new(split_seed(trial_seed, 0x3C), 0);
+        let out = cascade_reduce(&refs, &mut rng);
+        let s3: Vec<f32> = out.aggregate.iter().map(|&x| x / m as f32).collect();
+        cascade_total += dist_sq(&s3, &s1);
+    }
+    DeviationEstimate {
+        ps: ps_total / trials as f64,
+        cascading: cascade_total / trials as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_known_values() {
+        assert_eq!(ps_deviation_bound(100, 2.0), 400.0);
+        // (2·4)^2 · 1 / 2 = 32.
+        assert_eq!(cascading_deviation_bound(4, 2, 1.0), 32.0);
+    }
+
+    #[test]
+    fn cascading_bound_explodes() {
+        let small = cascading_deviation_bound(64, 2, 1.0);
+        let large = cascading_deviation_bound(64, 8, 1.0);
+        assert!(large / small > 1e10);
+        assert!(cascading_deviation_bound(1000, 300, 1.0).is_infinite());
+    }
+
+    #[test]
+    fn empirical_matches_theory_shape() {
+        // PS deviation roughly flat in M (actually shrinking), cascading
+        // deviation growing rapidly.
+        let d = 32;
+        let e2 = estimate_deviations(d, 2, 100, 5);
+        let e6 = estimate_deviations(d, 6, 100, 5);
+        assert!(e6.cascading > 10.0 * e2.cascading, "{e2:?} vs {e6:?}");
+        assert!(e6.ps < 4.0 * e2.ps, "PS deviation should not explode: {e2:?} vs {e6:?}");
+        // Both under their closed-form bounds (G² ≈ d for standard normals).
+        let g2 = d as f64;
+        assert!(e6.ps < ps_deviation_bound(d, g2.sqrt()) * 2.0);
+        assert!(e6.cascading < cascading_deviation_bound(d, 6, g2.sqrt()));
+    }
+
+    #[test]
+    fn estimates_are_deterministic() {
+        assert_eq!(estimate_deviations(16, 3, 20, 9), estimate_deviations(16, 3, 20, 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "sizes must be positive")]
+    fn zero_sizes_panic() {
+        let _ = estimate_deviations(0, 1, 1, 0);
+    }
+}

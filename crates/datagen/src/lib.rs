@@ -1,0 +1,31 @@
+//! Synthetic datasets and worker sharding for the Marsit reproduction.
+//!
+//! The paper's experiments use MNIST, CIFAR-10, ImageNet and IMDb reviews.
+//! Those datasets (and the GPUs to train on them) are unavailable in this
+//! environment, so this crate provides deterministic synthetic stand-ins
+//! whose difficulty profiles mirror the originals — see
+//! [`synthetic::mnist_like`], [`synthetic::cifar10_like`],
+//! [`synthetic::imagenet_like`] and [`synthetic::imdb_like`], and the
+//! substitution table in `DESIGN.md`.
+//!
+//! [`Dataset`] carries the examples and provides the IID equal-size sharding
+//! the paper assumes for cloud training (Section 3: "all the local datasets
+//! have an equal size").
+//!
+//! # Examples
+//!
+//! ```
+//! use marsit_datagen::synthetic::mnist_like;
+//!
+//! let (train, test) = mnist_like().generate_split(1000, 200, 42);
+//! let shards = train.shard_iid(8, 42); // one shard per worker
+//! assert_eq!(shards.len(), 8);
+//! assert!(shards.iter().all(|s| s.len() == 125));
+//! assert_eq!(test.num_classes(), 10);
+//! ```
+
+pub mod dataset;
+pub mod synthetic;
+
+pub use dataset::Dataset;
+pub use synthetic::{cifar10_like, imagenet_like, imdb_like, mnist_like, ClusterSpec, SentimentSpec};

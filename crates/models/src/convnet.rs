@@ -1,0 +1,437 @@
+//! A small convolutional network with exact manual backpropagation.
+//!
+//! The paper's vision workloads are CNNs (AlexNet, ResNets). [`ConvNet`]
+//! provides a genuine convolutional substrate — single-channel input
+//! interpreted as an `H×W` image, one valid-padding conv layer with ReLU, a
+//! hidden fully-connected ReLU layer, and a softmax head — so that the
+//! synchronization experiments can also be driven by structured CNN
+//! gradients rather than MLP gradients only. Backprop is written out
+//! long-hand and verified against finite differences.
+
+use marsit_datagen::Dataset;
+use marsit_tensor::rng::FastRng;
+use marsit_tensor::Tensor;
+
+use crate::model::{Evaluation, Model};
+
+/// Architecture of a [`ConvNet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvNetSpec {
+    /// Input image height (input dim must equal `height × width`).
+    pub height: usize,
+    /// Input image width.
+    pub width: usize,
+    /// Number of convolution filters.
+    pub channels: usize,
+    /// Square kernel side (valid padding, stride 1).
+    pub kernel: usize,
+    /// Hidden fully-connected width.
+    pub hidden: usize,
+    /// Number of output classes.
+    pub classes: usize,
+}
+
+impl ConvNetSpec {
+    /// A spec for `side × side` images.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit the image or any size is zero.
+    #[must_use]
+    pub fn square(side: usize, channels: usize, kernel: usize, hidden: usize, classes: usize) -> Self {
+        let spec = Self { height: side, width: side, channels, kernel, hidden, classes };
+        spec.validate();
+        spec
+    }
+
+    fn validate(self) {
+        assert!(
+            self.height > 0 && self.width > 0 && self.channels > 0 && self.kernel > 0,
+            "sizes must be positive"
+        );
+        assert!(self.hidden > 0 && self.classes > 0, "sizes must be positive");
+        assert!(
+            self.kernel <= self.height && self.kernel <= self.width,
+            "kernel must fit the image"
+        );
+    }
+
+    /// Input dimensionality (`height × width`).
+    #[must_use]
+    pub fn input_dim(self) -> usize {
+        self.height * self.width
+    }
+
+    /// Convolution output height (valid padding, stride 1).
+    #[must_use]
+    pub fn out_h(self) -> usize {
+        self.height - self.kernel + 1
+    }
+
+    /// Convolution output width.
+    #[must_use]
+    pub fn out_w(self) -> usize {
+        self.width - self.kernel + 1
+    }
+
+    /// Flattened convolution feature count.
+    #[must_use]
+    pub fn conv_features(self) -> usize {
+        self.channels * self.out_h() * self.out_w()
+    }
+
+    /// Total trainable parameter count.
+    #[must_use]
+    pub fn num_params(self) -> usize {
+        let conv = self.channels * self.kernel * self.kernel + self.channels;
+        let fc1 = self.conv_features() * self.hidden + self.hidden;
+        let fc2 = self.hidden * self.classes + self.classes;
+        conv + fc1 + fc2
+    }
+}
+
+/// Parameter-block offsets within the flat buffer.
+#[derive(Debug, Clone, Copy)]
+struct Blocks {
+    conv_w: usize,
+    conv_b: usize,
+    fc1_w: usize,
+    fc1_b: usize,
+    fc2_w: usize,
+    fc2_b: usize,
+    total: usize,
+}
+
+impl Blocks {
+    fn new(spec: ConvNetSpec) -> Self {
+        let conv_w = 0;
+        let conv_b = conv_w + spec.channels * spec.kernel * spec.kernel;
+        let fc1_w = conv_b + spec.channels;
+        let fc1_b = fc1_w + spec.conv_features() * spec.hidden;
+        let fc2_w = fc1_b + spec.hidden;
+        let fc2_b = fc2_w + spec.hidden * spec.classes;
+        let total = fc2_b + spec.classes;
+        Self { conv_w, conv_b, fc1_w, fc1_b, fc2_w, fc2_b, total }
+    }
+}
+
+/// `conv(k×k) → ReLU → fc → ReLU → softmax` on single-channel images.
+///
+/// # Examples
+///
+/// ```
+/// use marsit_models::{ConvNet, ConvNetSpec, Model};
+/// use marsit_datagen::synthetic::mnist_like;
+///
+/// let (train, _) = mnist_like().generate_split(32, 8, 0); // 64-dim = 8×8
+/// let spec = ConvNetSpec::square(8, 4, 3, 16, 10);
+/// let mut model = ConvNet::new(spec, 1);
+/// let mut grad = vec![0.0; model.num_params()];
+/// let loss = model.loss_and_grad(&train, &mut grad);
+/// assert!(loss > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvNet {
+    spec: ConvNetSpec,
+    blocks_total: usize,
+    params: Vec<f32>,
+}
+
+impl ConvNet {
+    /// Creates a network with He-style initialization from `seed`.
+    #[must_use]
+    pub fn new(spec: ConvNetSpec, seed: u64) -> Self {
+        spec.validate();
+        let blocks = Blocks::new(spec);
+        let mut rng = FastRng::new(seed, 0xC0A7);
+        let mut params = vec![0.0f32; blocks.total];
+        // Conv filters: fan-in = k².
+        let conv_std = (2.0 / (spec.kernel * spec.kernel) as f32).sqrt();
+        let conv = Tensor::gaussian(1, blocks.conv_b - blocks.conv_w, conv_std, &mut rng);
+        params[blocks.conv_w..blocks.conv_b].copy_from_slice(conv.as_slice());
+        // FC1: fan-in = conv features.
+        let fc1_std = (2.0 / spec.conv_features() as f32).sqrt();
+        let fc1 = Tensor::gaussian(1, blocks.fc1_b - blocks.fc1_w, fc1_std, &mut rng);
+        params[blocks.fc1_w..blocks.fc1_b].copy_from_slice(fc1.as_slice());
+        // FC2: fan-in = hidden.
+        let fc2_std = (2.0 / spec.hidden as f32).sqrt();
+        let fc2 = Tensor::gaussian(1, blocks.fc2_b - blocks.fc2_w, fc2_std, &mut rng);
+        params[blocks.fc2_w..blocks.fc2_b].copy_from_slice(fc2.as_slice());
+        Self { spec, blocks_total: blocks.total, params }
+    }
+
+    /// The architecture spec.
+    #[must_use]
+    pub fn spec(&self) -> ConvNetSpec {
+        self.spec
+    }
+
+    /// Forward pass for one batch. Returns (conv pre-activations, conv
+    /// activations flattened per example, fc1 activations, logits).
+    #[allow(clippy::type_complexity)]
+    fn forward(&self, x: &Tensor) -> (Vec<Vec<f32>>, Tensor, Tensor, Tensor) {
+        let s = self.spec;
+        let b = Blocks::new(s);
+        let n = x.rows();
+        let (oh, ow) = (s.out_h(), s.out_w());
+        let feat = s.conv_features();
+        let mut conv_pre: Vec<Vec<f32>> = Vec::with_capacity(n);
+        let mut conv_act = Tensor::zeros(n, feat);
+        for i in 0..n {
+            let img = x.row(i);
+            let mut pre = vec![0.0f32; feat];
+            for c in 0..s.channels {
+                let w0 = b.conv_w + c * s.kernel * s.kernel;
+                let bias = self.params[b.conv_b + c];
+                for y in 0..oh {
+                    for xx in 0..ow {
+                        let mut acc = bias;
+                        for ky in 0..s.kernel {
+                            for kx in 0..s.kernel {
+                                acc += self.params[w0 + ky * s.kernel + kx]
+                                    * img[(y + ky) * s.width + (xx + kx)];
+                            }
+                        }
+                        pre[c * oh * ow + y * ow + xx] = acc;
+                    }
+                }
+            }
+            for (o, &p) in conv_act.row_mut(i).iter_mut().zip(&pre) {
+                *o = p.max(0.0);
+            }
+            conv_pre.push(pre);
+        }
+        // FC1.
+        let w1 = Tensor::from_vec(
+            feat,
+            s.hidden,
+            self.params[b.fc1_w..b.fc1_w + feat * s.hidden].to_vec(),
+        );
+        let mut h1 = conv_act.matmul(&w1);
+        h1.add_row_inplace(&self.params[b.fc1_b..b.fc1_b + s.hidden]);
+        let h1_act = h1.map(|v| v.max(0.0));
+        // FC2.
+        let w2 = Tensor::from_vec(
+            s.hidden,
+            s.classes,
+            self.params[b.fc2_w..b.fc2_w + s.hidden * s.classes].to_vec(),
+        );
+        let mut logits = h1_act.matmul(&w2);
+        logits.add_row_inplace(&self.params[b.fc2_b..b.fc2_b + s.classes]);
+        (conv_pre, conv_act, h1_act, logits)
+    }
+
+    fn softmax_xent(logits: &mut Tensor, labels: &[usize]) -> f64 {
+        let n = logits.rows();
+        let mut loss = 0.0f64;
+        for r in 0..n {
+            let row = logits.row_mut(r);
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0f32;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            let inv = 1.0 / sum;
+            for v in row.iter_mut() {
+                *v *= inv;
+            }
+            loss -= f64::from(row[labels[r]].max(1e-12).ln());
+        }
+        loss / n as f64
+    }
+}
+
+impl Model for ConvNet {
+    fn num_params(&self) -> usize {
+        self.blocks_total
+    }
+
+    fn read_params(&self, out: &mut [f32]) {
+        assert_eq!(out.len(), self.params.len(), "parameter length mismatch");
+        out.copy_from_slice(&self.params);
+    }
+
+    fn write_params(&mut self, params: &[f32]) {
+        assert_eq!(params.len(), self.params.len(), "parameter length mismatch");
+        self.params.copy_from_slice(params);
+    }
+
+    fn loss_and_grad(&self, batch: &Dataset, grad_out: &mut [f32]) -> f64 {
+        let s = self.spec;
+        let b = Blocks::new(s);
+        assert_eq!(grad_out.len(), self.params.len(), "gradient length mismatch");
+        assert_eq!(batch.dim(), s.input_dim(), "batch dimensionality mismatch");
+        let n = batch.len();
+        let x = batch.features();
+        let (conv_pre, conv_act, h1_act, mut probs) = self.forward(x);
+        let loss = Self::softmax_xent(&mut probs, batch.labels());
+
+        grad_out.fill(0.0);
+        let inv_n = 1.0 / n as f32;
+        // dlogits.
+        for r in 0..n {
+            let label = batch.labels()[r];
+            let row = probs.row_mut(r);
+            row[label] -= 1.0;
+            for v in row.iter_mut() {
+                *v *= inv_n;
+            }
+        }
+        let dlogits = probs;
+        // FC2 grads: dW2 = h1ᵀ·dlogits, db2 = colsum.
+        let dw2 = h1_act.matmul_tn(&dlogits);
+        grad_out[b.fc2_w..b.fc2_w + s.hidden * s.classes].copy_from_slice(dw2.as_slice());
+        grad_out[b.fc2_b..b.fc2_b + s.classes].copy_from_slice(&dlogits.sum_rows());
+        // Back to h1 through ReLU.
+        let w2 = Tensor::from_vec(
+            s.hidden,
+            s.classes,
+            self.params[b.fc2_w..b.fc2_w + s.hidden * s.classes].to_vec(),
+        );
+        let mut dh1 = dlogits.matmul_nt(&w2);
+        for r in 0..n {
+            let act = h1_act.row(r);
+            for (d, &a) in dh1.row_mut(r).iter_mut().zip(act) {
+                if a <= 0.0 {
+                    *d = 0.0;
+                }
+            }
+        }
+        // FC1 grads.
+        let feat = s.conv_features();
+        let dw1 = conv_act.matmul_tn(&dh1);
+        grad_out[b.fc1_w..b.fc1_w + feat * s.hidden].copy_from_slice(dw1.as_slice());
+        grad_out[b.fc1_b..b.fc1_b + s.hidden].copy_from_slice(&dh1.sum_rows());
+        // Back to conv activations through ReLU.
+        let w1 = Tensor::from_vec(
+            feat,
+            s.hidden,
+            self.params[b.fc1_w..b.fc1_w + feat * s.hidden].to_vec(),
+        );
+        let dconv = dh1.matmul_nt(&w1);
+        let (oh, ow) = (s.out_h(), s.out_w());
+        for (i, pre) in conv_pre.iter().enumerate() {
+            let img = x.row(i);
+            let drow = dconv.row(i);
+            for c in 0..s.channels {
+                let w0 = b.conv_w + c * s.kernel * s.kernel;
+                for y in 0..oh {
+                    for xx in 0..ow {
+                        let idx = c * oh * ow + y * ow + xx;
+                        if pre[idx] <= 0.0 {
+                            continue;
+                        }
+                        let d = drow[idx];
+                        if d == 0.0 {
+                            continue;
+                        }
+                        grad_out[b.conv_b + c] += d;
+                        for ky in 0..s.kernel {
+                            for kx in 0..s.kernel {
+                                grad_out[w0 + ky * s.kernel + kx] +=
+                                    d * img[(y + ky) * s.width + (xx + kx)];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        loss
+    }
+
+    fn evaluate(&self, data: &Dataset) -> Evaluation {
+        let (_, _, _, mut logits) = self.forward(data.features());
+        let mut correct = 0usize;
+        for r in 0..data.len() {
+            if logits.argmax_row(r) == data.labels()[r] {
+                correct += 1;
+            }
+        }
+        let loss = Self::softmax_xent(&mut logits, data.labels());
+        Evaluation { loss, accuracy: correct as f64 / data.len() as f64 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marsit_datagen::synthetic::mnist_like;
+
+    fn small_spec() -> ConvNetSpec {
+        ConvNetSpec::square(8, 3, 3, 12, 10)
+    }
+
+    #[test]
+    fn param_count_matches_layout() {
+        let s = small_spec();
+        // conv: 3·9 + 3; fc1: (3·36)·12 + 12; fc2: 12·10 + 10.
+        assert_eq!(s.num_params(), 27 + 3 + 108 * 12 + 12 + 120 + 10);
+        let model = ConvNet::new(s, 0);
+        assert_eq!(model.num_params(), s.num_params());
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let batch = mnist_like().generate(8, 3, 0);
+        let mut model = ConvNet::new(small_spec(), 7);
+        let d = model.num_params();
+        let mut grad = vec![0.0; d];
+        model.loss_and_grad(&batch, &mut grad);
+        let base = model.params_vec();
+        let eps = 1e-3f32;
+        let mut rng = FastRng::new(5, 0);
+        for _ in 0..40 {
+            let i = rng.next_range(d as u64) as usize;
+            let mut p = base.clone();
+            p[i] += eps;
+            model.write_params(&p);
+            let mut tmp = vec![0.0; d];
+            let lp = model.loss_and_grad(&batch, &mut tmp);
+            p[i] -= 2.0 * eps;
+            model.write_params(&p);
+            let lm = model.loss_and_grad(&batch, &mut tmp);
+            model.write_params(&base);
+            let numeric = (lp - lm) / (2.0 * f64::from(eps));
+            let analytic = f64::from(grad[i]);
+            assert!(
+                (numeric - analytic).abs() < 3e-2 * (1.0 + analytic.abs()),
+                "coord {i}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn convnet_learns_the_image_proxy() {
+        let (train, test) = mnist_like().generate_split(2048, 512, 11);
+        let mut model = ConvNet::new(small_spec(), 2);
+        let mut grad = vec![0.0; model.num_params()];
+        let mut rng = FastRng::new(0, 0);
+        for _ in 0..300 {
+            let batch = train.sample_batch(32, &mut rng);
+            model.loss_and_grad(&batch, &mut grad);
+            let update: Vec<f32> = grad.iter().map(|g| 0.05 * g).collect();
+            model.apply_update(&update);
+        }
+        let eval = model.evaluate(&test);
+        assert!(eval.accuracy > 0.8, "accuracy {}", eval.accuracy);
+    }
+
+    #[test]
+    fn deterministic_init_and_gradients() {
+        let batch = mnist_like().generate(8, 1, 0);
+        let a = ConvNet::new(small_spec(), 9);
+        let b = ConvNet::new(small_spec(), 9);
+        assert_eq!(a.params_vec(), b.params_vec());
+        let mut ga = vec![0.0; a.num_params()];
+        let mut gb = vec![0.0; b.num_params()];
+        assert_eq!(a.loss_and_grad(&batch, &mut ga), b.loss_and_grad(&batch, &mut gb));
+        assert_eq!(ga, gb);
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel must fit")]
+    fn oversized_kernel_panics() {
+        let _ = ConvNetSpec::square(4, 2, 5, 8, 3);
+    }
+}

@@ -1,0 +1,398 @@
+//! Multi-layer perceptron with exact manual backpropagation.
+//!
+//! Fully-connected layers with ReLU activations and a softmax cross-entropy
+//! head. A zero-hidden-layer [`Mlp`] is softmax (multinomial logistic)
+//! regression. Parameters live in one flat buffer so the synchronization
+//! strategies can treat the gradient as a plain `&[f32]`.
+
+use marsit_datagen::Dataset;
+use marsit_tensor::rng::FastRng;
+use marsit_tensor::Tensor;
+
+use crate::model::{Evaluation, Model};
+
+/// Architecture description for an [`Mlp`].
+///
+/// # Examples
+///
+/// ```
+/// use marsit_models::MlpSpec;
+///
+/// let spec = MlpSpec::new(64, vec![32], 10);
+/// // (64*32 + 32) + (32*10 + 10)
+/// assert_eq!(spec.num_params(), 2410);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MlpSpec {
+    input_dim: usize,
+    hidden: Vec<usize>,
+    output_dim: usize,
+}
+
+impl MlpSpec {
+    /// Creates a spec; `hidden` may be empty (softmax regression).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    #[must_use]
+    pub fn new(input_dim: usize, hidden: Vec<usize>, output_dim: usize) -> Self {
+        assert!(input_dim > 0 && output_dim > 0, "dims must be positive");
+        assert!(hidden.iter().all(|&h| h > 0), "hidden dims must be positive");
+        Self { input_dim, hidden, output_dim }
+    }
+
+    /// Input dimensionality.
+    #[must_use]
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Hidden layer widths.
+    #[must_use]
+    pub fn hidden(&self) -> &[usize] {
+        &self.hidden
+    }
+
+    /// Number of output classes.
+    #[must_use]
+    pub fn output_dim(&self) -> usize {
+        self.output_dim
+    }
+
+    /// Layer dimension pairs `(in, out)` from input to output.
+    #[must_use]
+    pub fn layer_dims(&self) -> Vec<(usize, usize)> {
+        let mut dims = Vec::with_capacity(self.hidden.len() + 1);
+        let mut prev = self.input_dim;
+        for &h in &self.hidden {
+            dims.push((prev, h));
+            prev = h;
+        }
+        dims.push((prev, self.output_dim));
+        dims
+    }
+
+    /// Total trainable parameter count `D`.
+    #[must_use]
+    pub fn num_params(&self) -> usize {
+        self.layer_dims().iter().map(|(i, o)| i * o + o).sum()
+    }
+}
+
+/// A fully-connected network: `input → [hidden ReLU]* → softmax`.
+///
+/// # Examples
+///
+/// ```
+/// use marsit_models::{Mlp, MlpSpec, Model};
+/// use marsit_datagen::synthetic::mnist_like;
+///
+/// let (train, _) = mnist_like().generate_split(64, 16, 0);
+/// let mut model = Mlp::new(MlpSpec::new(64, vec![], 10), 7);
+/// let mut grad = vec![0.0; model.num_params()];
+/// let loss = model.loss_and_grad(&train, &mut grad);
+/// assert!(loss > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    spec: MlpSpec,
+    /// Flat parameters: per layer, `W` (in×out row-major) then `b` (out).
+    params: Vec<f32>,
+    /// L2 regularization strength (0 disables).
+    l2_reg: f32,
+}
+
+impl Mlp {
+    /// Creates an MLP with He-style initialization from `seed`.
+    #[must_use]
+    pub fn new(spec: MlpSpec, seed: u64) -> Self {
+        let mut rng = FastRng::new(seed, 0x11117);
+        let mut params = Vec::with_capacity(spec.num_params());
+        for (fan_in, fan_out) in spec.layer_dims() {
+            let std = (2.0 / fan_in as f32).sqrt();
+            let w = Tensor::gaussian(fan_in, fan_out, std, &mut rng);
+            params.extend_from_slice(w.as_slice());
+            params.extend(std::iter::repeat_n(0.0f32, fan_out));
+        }
+        Self { spec, params, l2_reg: 0.0 }
+    }
+
+    /// Sets the L2 regularization coefficient (returns `self` for chaining).
+    #[must_use]
+    pub fn with_l2_reg(mut self, l2: f32) -> Self {
+        self.l2_reg = l2;
+        self
+    }
+
+    /// The architecture spec.
+    #[must_use]
+    pub fn spec(&self) -> &MlpSpec {
+        &self.spec
+    }
+
+    /// Offsets of each layer's `(W, b)` block within the flat buffer.
+    fn layer_offsets(&self) -> Vec<(usize, usize, usize, usize)> {
+        // (w_start, w_len, b_start, b_len)
+        let mut out = Vec::new();
+        let mut off = 0;
+        for (i, o) in self.spec.layer_dims() {
+            out.push((off, i * o, off + i * o, o));
+            off += i * o + o;
+        }
+        out
+    }
+
+    /// Runs the forward pass, returning pre-activations per layer and the
+    /// final logits. `acts[0]` is the input batch.
+    fn forward(&self, x: &Tensor) -> (Vec<Tensor>, Tensor) {
+        let dims = self.spec.layer_dims();
+        let offsets = self.layer_offsets();
+        let mut acts = vec![x.clone()];
+        let mut cur = x.clone();
+        for (layer, &(ws, wl, bs, bl)) in offsets.iter().enumerate() {
+            let (fan_in, fan_out) = dims[layer];
+            let w = Tensor::from_vec(fan_in, fan_out, self.params[ws..ws + wl].to_vec());
+            let b = &self.params[bs..bs + bl];
+            let mut z = cur.matmul(&w);
+            z.add_row_inplace(b);
+            if layer + 1 < offsets.len() {
+                let h = z.map(|v| v.max(0.0));
+                acts.push(h.clone());
+                cur = h;
+            } else {
+                return (acts, z);
+            }
+        }
+        unreachable!("spec always has at least one layer");
+    }
+
+    /// Row-wise softmax of `logits`, in place, returning the mean
+    /// cross-entropy against `labels`.
+    fn softmax_xent(logits: &mut Tensor, labels: &[usize]) -> f64 {
+        let n = logits.rows();
+        let mut loss = 0.0f64;
+        for r in 0..n {
+            let row = logits.row_mut(r);
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0f32;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            let inv = 1.0 / sum;
+            for v in row.iter_mut() {
+                *v *= inv;
+            }
+            loss -= f64::from(row[labels[r]].max(1e-12).ln());
+        }
+        loss / n as f64
+    }
+}
+
+impl Model for Mlp {
+    fn num_params(&self) -> usize {
+        self.params.len()
+    }
+
+    fn read_params(&self, out: &mut [f32]) {
+        assert_eq!(out.len(), self.params.len(), "parameter length mismatch");
+        out.copy_from_slice(&self.params);
+    }
+
+    fn write_params(&mut self, params: &[f32]) {
+        assert_eq!(params.len(), self.params.len(), "parameter length mismatch");
+        self.params.copy_from_slice(params);
+    }
+
+    fn loss_and_grad(&self, batch: &Dataset, grad_out: &mut [f32]) -> f64 {
+        assert_eq!(grad_out.len(), self.params.len(), "gradient length mismatch");
+        assert_eq!(batch.dim(), self.spec.input_dim, "batch dimensionality mismatch");
+        let n = batch.len();
+        let (acts, mut probs) = self.forward(batch.features());
+        let loss = Self::softmax_xent(&mut probs, batch.labels());
+
+        // dL/dlogits = (softmax − onehot) / n
+        let inv_n = 1.0 / n as f32;
+        for r in 0..n {
+            let label = batch.labels()[r];
+            let row = probs.row_mut(r);
+            row[label] -= 1.0;
+            for v in row.iter_mut() {
+                *v *= inv_n;
+            }
+        }
+
+        grad_out.fill(0.0);
+        let dims = self.spec.layer_dims();
+        let offsets = self.layer_offsets();
+        let mut delta = probs; // gradient w.r.t. the current layer's output
+        for layer in (0..offsets.len()).rev() {
+            let (ws, wl, bs, bl) = offsets[layer];
+            let (fan_in, fan_out) = dims[layer];
+            let input = &acts[layer];
+            // dW = inputᵀ · delta ; db = column-sums of delta.
+            let dw = input.matmul_tn(&delta);
+            grad_out[ws..ws + wl].copy_from_slice(dw.as_slice());
+            grad_out[bs..bs + bl].copy_from_slice(&delta.sum_rows());
+            if layer > 0 {
+                // Propagate: d(input) = delta · Wᵀ, gated by ReLU mask.
+                let w = Tensor::from_vec(fan_in, fan_out, self.params[ws..ws + wl].to_vec());
+                let mut dprev = delta.matmul_nt(&w);
+                for r in 0..dprev.rows() {
+                    let mask = acts[layer].row(r);
+                    for (d, &a) in dprev.row_mut(r).iter_mut().zip(mask) {
+                        if a <= 0.0 {
+                            *d = 0.0;
+                        }
+                    }
+                }
+                delta = dprev;
+            }
+        }
+
+        if self.l2_reg > 0.0 {
+            // Regularize weights only, not biases.
+            let mut reg_loss = 0.0f64;
+            for &(ws, wl, _, _) in &offsets {
+                for (g, &p) in grad_out[ws..ws + wl]
+                    .iter_mut()
+                    .zip(&self.params[ws..ws + wl])
+                {
+                    *g += self.l2_reg * p;
+                    reg_loss += 0.5 * f64::from(self.l2_reg) * f64::from(p) * f64::from(p);
+                }
+            }
+            return loss + reg_loss;
+        }
+        loss
+    }
+
+    fn evaluate(&self, data: &Dataset) -> Evaluation {
+        let (_, mut logits) = self.forward(data.features());
+        let mut correct = 0usize;
+        for r in 0..data.len() {
+            if logits.argmax_row(r) == data.labels()[r] {
+                correct += 1;
+            }
+        }
+        let loss = Self::softmax_xent(&mut logits, data.labels());
+        Evaluation { loss, accuracy: correct as f64 / data.len() as f64 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marsit_datagen::synthetic::mnist_like;
+
+    fn small_batch() -> Dataset {
+        mnist_like().generate(16, 3, 0)
+    }
+
+    #[test]
+    fn spec_param_count() {
+        let spec = MlpSpec::new(10, vec![8, 4], 3);
+        assert_eq!(spec.num_params(), 10 * 8 + 8 + 8 * 4 + 4 + 4 * 3 + 3);
+    }
+
+    #[test]
+    fn init_is_deterministic() {
+        let spec = MlpSpec::new(64, vec![16], 10);
+        let a = Mlp::new(spec.clone(), 5);
+        let b = Mlp::new(spec, 5);
+        assert_eq!(a.params_vec(), b.params_vec());
+    }
+
+    #[test]
+    fn params_round_trip() {
+        let mut m = Mlp::new(MlpSpec::new(64, vec![], 10), 1);
+        let mut p = m.params_vec();
+        p[0] = 123.0;
+        m.write_params(&p);
+        assert_eq!(m.params_vec()[0], 123.0);
+    }
+
+    /// Finite-difference check: the analytic gradient must match numerical
+    /// differentiation of the loss. This validates the entire backprop chain.
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let batch = small_batch();
+        for hidden in [vec![], vec![12], vec![10, 7]] {
+            let mut model = Mlp::new(MlpSpec::new(64, hidden, 10), 9).with_l2_reg(0.01);
+            let d = model.num_params();
+            let mut grad = vec![0.0; d];
+            model.loss_and_grad(&batch, &mut grad);
+            let base = model.params_vec();
+            let eps = 1e-3f32;
+            let mut rng = FastRng::new(4, 0);
+            // Check a random subset of coordinates.
+            for _ in 0..30 {
+                let i = rng.next_range(d as u64) as usize;
+                let mut p = base.clone();
+                p[i] += eps;
+                model.write_params(&p);
+                let mut tmp = vec![0.0; d];
+                let lp = model.loss_and_grad(&batch, &mut tmp);
+                p[i] -= 2.0 * eps;
+                model.write_params(&p);
+                let lm = model.loss_and_grad(&batch, &mut tmp);
+                model.write_params(&base);
+                let numeric = (lp - lm) / (2.0 * f64::from(eps));
+                let analytic = f64::from(grad[i]);
+                assert!(
+                    (numeric - analytic).abs() < 2e-2 * (1.0 + analytic.abs()),
+                    "coord {i}: numeric {numeric} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sgd_reduces_loss() {
+        let (train, test) = mnist_like().generate_split(512, 256, 11);
+        let mut model = Mlp::new(MlpSpec::new(64, vec![32], 10), 2);
+        let mut grad = vec![0.0; model.num_params()];
+        let before = model.evaluate(&test);
+        let mut rng = FastRng::new(0, 0);
+        for _ in 0..150 {
+            let batch = train.sample_batch(64, &mut rng);
+            model.loss_and_grad(&batch, &mut grad);
+            let update: Vec<f32> = grad.iter().map(|g| 0.1 * g).collect();
+            model.apply_update(&update);
+        }
+        let after = model.evaluate(&test);
+        assert!(after.loss < before.loss, "{} -> {}", before.loss, after.loss);
+        assert!(after.accuracy > 0.7, "accuracy only {}", after.accuracy);
+    }
+
+    #[test]
+    fn evaluate_random_model_is_chance_level() {
+        let data = mnist_like().generate(1000, 8, 0);
+        let model = Mlp::new(MlpSpec::new(64, vec![], 10), 3);
+        let eval = model.evaluate(&data);
+        assert!(eval.accuracy < 0.35, "untrained accuracy {}", eval.accuracy);
+        assert!(eval.loss > 1.0);
+    }
+
+    #[test]
+    fn deterministic_gradients() {
+        let batch = small_batch();
+        let model = Mlp::new(MlpSpec::new(64, vec![8], 10), 6);
+        let mut g1 = vec![0.0; model.num_params()];
+        let mut g2 = vec![0.0; model.num_params()];
+        let l1 = model.loss_and_grad(&batch, &mut g1);
+        let l2 = model.loss_and_grad(&batch, &mut g2);
+        assert_eq!(l1, l2);
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch dimensionality mismatch")]
+    fn wrong_input_dim_panics() {
+        let model = Mlp::new(MlpSpec::new(32, vec![], 10), 0);
+        let batch = small_batch(); // 64-dimensional
+        let mut g = vec![0.0; model.num_params()];
+        let _ = model.loss_and_grad(&batch, &mut g);
+    }
+}

@@ -1,0 +1,191 @@
+//! Closed-form communication costs for the collectives the paper compares.
+//!
+//! All functions use the α–β model of [`LinkModel`]: a hop of `B` bytes costs
+//! `α + B/β`. Multi-hop collectives execute *steps* sequentially; within a
+//! step every link carries at most one transfer, so the step costs the
+//! maximum of its transfers. These are the standard first-order costs used
+//! in the all-reduce literature (Baidu RAR, Horovod, 2D-torus of Mikami et
+//! al.), which the paper's Section 3.1 bandwidth argument relies on:
+//! RAR moves `2·(M−1)·D/M` weights per worker while PS moves `2·M·D` through
+//! the server link.
+
+use crate::link::LinkModel;
+use crate::topology::Topology;
+
+/// Total time of a sequence of dependent hops (each must finish before the
+/// next starts), each hop carrying the given number of bytes.
+#[must_use]
+pub fn sequential_hops(link: LinkModel, hop_bytes: impl IntoIterator<Item = usize>) -> f64 {
+    hop_bytes.into_iter().map(|b| link.transfer_time(b)).sum()
+}
+
+/// Time of a step-synchronous schedule: `steps[i]` lists the byte counts of
+/// transfers that proceed in parallel on disjoint links during step `i`.
+///
+/// Each step costs `α + max(bytes)/β`; steps are sequential. Empty steps
+/// cost nothing.
+#[must_use]
+pub fn schedule_time(link: LinkModel, steps: &[Vec<usize>]) -> f64 {
+    steps
+        .iter()
+        .filter(|s| !s.is_empty())
+        .map(|s| link.transfer_time(s.iter().copied().max().unwrap_or(0)))
+        .sum()
+}
+
+/// Ring all-reduce of `total_bytes` across `m` workers:
+/// `2(m−1)` steps, each moving a `total_bytes/m` segment on every link.
+///
+/// # Panics
+///
+/// Panics if `m < 2`.
+#[must_use]
+pub fn ring_allreduce_time(link: LinkModel, total_bytes: usize, m: usize) -> f64 {
+    assert!(m >= 2, "ring all-reduce needs at least 2 workers");
+    let seg = total_bytes.div_ceil(m);
+    2.0 * (m - 1) as f64 * link.transfer_time(seg)
+}
+
+/// Ring all-reduce where the payload width varies per hop.
+///
+/// `reduce_hop_bytes[r]` is the per-segment message size at reduce step `r`
+/// (`r ∈ 0..m−1`), and `gather_hop_bytes[g]` likewise for the gather phase.
+/// This models MAR extensions of signSGD where partial sums need
+/// `⌈log₂(r+2)⌉` bits per coordinate, so messages grow along the ring.
+#[must_use]
+pub fn ring_allreduce_time_varying(
+    link: LinkModel,
+    reduce_hop_bytes: &[usize],
+    gather_hop_bytes: &[usize],
+) -> f64 {
+    sequential_hops(link, reduce_hop_bytes.iter().copied())
+        + sequential_hops(link, gather_hop_bytes.iter().copied())
+}
+
+/// 2D-torus all-reduce of `total_bytes` on a `rows × cols` torus
+/// (Mikami et al.): horizontal reduce-scatter, vertical all-reduce,
+/// horizontal all-gather.
+///
+/// # Panics
+///
+/// Panics if either dimension is < 2.
+#[must_use]
+pub fn torus_allreduce_time(link: LinkModel, total_bytes: usize, rows: usize, cols: usize) -> f64 {
+    assert!(rows >= 2 && cols >= 2, "torus needs both dimensions >= 2");
+    let row_seg = total_bytes.div_ceil(cols);
+    // Horizontal reduce-scatter: (cols−1) steps of total/cols.
+    let rs = (cols - 1) as f64 * link.transfer_time(row_seg);
+    // Vertical ring all-reduce on the local row segment.
+    let vert = ring_allreduce_time(link, row_seg, rows);
+    // Horizontal all-gather: (cols−1) steps of total/cols.
+    let ag = (cols - 1) as f64 * link.transfer_time(row_seg);
+    rs + vert + ag
+}
+
+/// Parameter-server exchange: `m` workers each upload `up_bytes` and then
+/// download `down_bytes`, all through the server's single link (the PS
+/// bottleneck the paper's Section 1/3.1 describes).
+///
+/// Uploads are pipelined back-to-back on the server ingress (one α, then the
+/// aggregate payload), and likewise downloads on the egress.
+#[must_use]
+pub fn ps_exchange_time(link: LinkModel, up_bytes: usize, down_bytes: usize, m: usize) -> f64 {
+    assert!(m >= 1, "PS needs at least 1 worker");
+    link.transfer_time(up_bytes * m) + link.transfer_time(down_bytes * m)
+}
+
+/// Dispatches to the matching collective cost for `topology`, all-reducing
+/// `total_bytes` of uniform-width payload.
+///
+/// For [`Topology::Star`] the exchange is `total_bytes` up and down per
+/// worker.
+#[must_use]
+pub fn allreduce_time(link: LinkModel, total_bytes: usize, topology: Topology) -> f64 {
+    match topology {
+        Topology::Ring { workers } => ring_allreduce_time(link, total_bytes, workers),
+        Topology::Torus { rows, cols } => torus_allreduce_time(link, total_bytes, rows, cols),
+        Topology::Star { workers } => ps_exchange_time(link, total_bytes, total_bytes, workers),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_link() -> LinkModel {
+        // 1 byte/s, zero latency: times equal byte counts.
+        LinkModel::new(0.0, 1.0)
+    }
+
+    #[test]
+    fn ring_allreduce_matches_formula() {
+        // 2(M−1) * (B/M): M=4, B=400 -> 6 * 100 = 600.
+        let t = ring_allreduce_time(unit_link(), 400, 4);
+        assert!((t - 600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ring_latency_term_counts_steps() {
+        let link = LinkModel::new(1.0, 1e12);
+        // 2(M−1) steps of ~1s latency each.
+        let t = ring_allreduce_time(link, 8, 5);
+        assert!((t - 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn torus_beats_ring_for_large_m() {
+        let link = LinkModel::new(25e-6, 1.25e9);
+        let bytes = 100 << 20; // 100 MiB
+        let ring = ring_allreduce_time(link, bytes, 16);
+        let torus = torus_allreduce_time(link, bytes, 4, 4);
+        assert!(torus < ring, "torus {torus} should beat ring {ring}");
+    }
+
+    #[test]
+    fn rar_beats_ps_for_uncompressed_payload() {
+        // The paper's Fig 1a observation: non-compressed RAR < non-compressed PS.
+        let link = LinkModel::new(25e-6, 1.25e9);
+        let bytes = 92 << 20; // 23M params * 4 bytes
+        let m = 8;
+        let rar = ring_allreduce_time(link, bytes, m);
+        let ps = ps_exchange_time(link, bytes, bytes, m);
+        assert!(rar < ps, "RAR {rar} should beat PS {ps}");
+    }
+
+    #[test]
+    fn varying_width_sums_hops() {
+        let t = ring_allreduce_time_varying(unit_link(), &[10, 20], &[30, 40]);
+        assert!((t - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn schedule_time_takes_max_per_step() {
+        let steps = vec![vec![10, 30, 20], vec![], vec![5]];
+        assert!((schedule_time(unit_link(), &steps) - 35.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn allreduce_time_dispatch() {
+        let link = unit_link();
+        assert_eq!(
+            allreduce_time(link, 400, Topology::ring(4)),
+            ring_allreduce_time(link, 400, 4)
+        );
+        assert_eq!(
+            allreduce_time(link, 400, Topology::torus(2, 2)),
+            torus_allreduce_time(link, 400, 2, 2)
+        );
+        assert_eq!(
+            allreduce_time(link, 400, Topology::star(4)),
+            ps_exchange_time(link, 400, 400, 4)
+        );
+    }
+
+    #[test]
+    fn torus_equals_components() {
+        let link = unit_link();
+        // rows=2, cols=2, B=80: rs = 1*40, vert = 2*1*20, ag = 1*40 -> 120.
+        let t = torus_allreduce_time(link, 80, 2, 2);
+        assert!((t - 120.0).abs() < 1e-9);
+    }
+}

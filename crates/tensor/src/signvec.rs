@@ -1,0 +1,475 @@
+//! Bit-packed sign vectors.
+//!
+//! A [`SignVec`] stores one bit per gradient coordinate: `1` encodes a
+//! non-negative sign (`+1`) and `0` a negative sign (`−1`). This is the wire
+//! format of every one-bit message in the workspace — Marsit's `⊙` operator
+//! (word-parallel `AND`/`OR`/`XOR`), signSGD's majority vote, and the bit
+//! accounting used by the experiment harness all operate on it.
+//!
+//! Bits are packed little-endian into `u64` words; unused high bits of the
+//! last word are kept at zero as an invariant so that word-level operations
+//! and popcounts need no masking on reads.
+
+use std::fmt;
+
+use crate::rng::FastRng;
+
+const WORD_BITS: usize = 64;
+
+/// A fixed-length, bit-packed vector of signs.
+///
+/// # Examples
+///
+/// ```
+/// use marsit_tensor::SignVec;
+///
+/// let v = SignVec::from_signs(&[1.5, -0.2, 0.0, -7.0]);
+/// assert_eq!(v.to_signs(), vec![1.0, -1.0, 1.0, -1.0]);
+/// assert_eq!(v.count_ones(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct SignVec {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl SignVec {
+    /// Creates a vector of `len` bits, all zero (all-negative signs).
+    #[must_use]
+    pub fn zeros(len: usize) -> Self {
+        Self { len, words: vec![0; len.div_ceil(WORD_BITS)] }
+    }
+
+    /// Creates a vector of `len` bits, all one (all-positive signs).
+    #[must_use]
+    pub fn ones(len: usize) -> Self {
+        let mut v = Self { len, words: vec![u64::MAX; len.div_ceil(WORD_BITS)] };
+        v.mask_tail();
+        v
+    }
+
+    /// Packs the signs of `values`: bit = 1 iff `value >= 0`.
+    ///
+    /// Zero is treated as positive, matching `sgn` conventions in signSGD
+    /// implementations (a zero gradient coordinate transmits `+1`).
+    #[must_use]
+    pub fn from_signs(values: &[f32]) -> Self {
+        let mut v = Self::zeros(values.len());
+        for (i, &x) in values.iter().enumerate() {
+            if x >= 0.0 {
+                v.set(i, true);
+            }
+        }
+        v
+    }
+
+    /// Creates a vector whose bit `j` is drawn Bernoulli(`probs[j]`).
+    ///
+    /// This is the *transient vector* generator of Marsit Eq. (2) in its most
+    /// general form; [`SignVec::bernoulli_uniform`] covers the common case of
+    /// one shared probability.
+    #[must_use]
+    pub fn bernoulli(probs: &[f64], rng: &mut FastRng) -> Self {
+        let mut v = Self::zeros(probs.len());
+        for (i, &p) in probs.iter().enumerate() {
+            if rng.bernoulli(p) {
+                v.set(i, true);
+            }
+        }
+        v
+    }
+
+    /// Creates a vector of `len` i.i.d. Bernoulli(`p`) bits.
+    #[must_use]
+    pub fn bernoulli_uniform(len: usize, p: f64, rng: &mut FastRng) -> Self {
+        let mut v = Self::zeros(len);
+        for word in &mut v.words {
+            let mut w = 0u64;
+            for b in 0..WORD_BITS {
+                if rng.bernoulli(p) {
+                    w |= 1 << b;
+                }
+            }
+            *word = w;
+        }
+        v.mask_tail();
+        v
+    }
+
+    /// Number of bits in the vector.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector has zero bits.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bit at position `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of bounds (len {})", self.len);
+        (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
+    }
+
+    /// Sets bit `i` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of bounds (len {})", self.len);
+        let mask = 1u64 << (i % WORD_BITS);
+        if value {
+            self.words[i / WORD_BITS] |= mask;
+        } else {
+            self.words[i / WORD_BITS] &= !mask;
+        }
+    }
+
+    /// Number of set bits.
+    #[must_use]
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Expands back to a `±1.0` vector.
+    #[must_use]
+    pub fn to_signs(&self) -> Vec<f32> {
+        (0..self.len).map(|i| if self.get(i) { 1.0 } else { -1.0 }).collect()
+    }
+
+    /// Writes `±scale` into `out[j]` for each bit `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.len()`.
+    pub fn write_scaled_signs(&self, scale: f32, out: &mut [f32]) {
+        assert_eq!(out.len(), self.len, "output length mismatch");
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = if self.get(i) { scale } else { -scale };
+        }
+    }
+
+    /// Word-parallel bitwise AND.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    #[must_use]
+    pub fn and(&self, other: &SignVec) -> SignVec {
+        self.zip_words(other, |a, b| a & b)
+    }
+
+    /// Word-parallel bitwise OR.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    #[must_use]
+    pub fn or(&self, other: &SignVec) -> SignVec {
+        self.zip_words(other, |a, b| a | b)
+    }
+
+    /// Word-parallel bitwise XOR.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    #[must_use]
+    pub fn xor(&self, other: &SignVec) -> SignVec {
+        self.zip_words(other, |a, b| a ^ b)
+    }
+
+    /// Bitwise NOT (within the vector length).
+    #[must_use]
+    pub fn not(&self) -> SignVec {
+        let mut out = SignVec {
+            len: self.len,
+            words: self.words.iter().map(|w| !w).collect(),
+        };
+        out.mask_tail();
+        out
+    }
+
+    /// Number of positions where `self` and `other` agree.
+    ///
+    /// Used for the *matching rate* metric of Fig 1b.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    #[must_use]
+    pub fn matching_count(&self, other: &SignVec) -> usize {
+        assert_eq!(self.len, other.len, "length mismatch");
+        self.len - self.xor(other).count_ones()
+    }
+
+    /// Fraction of positions where `self` and `other` agree, in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch or empty vectors.
+    #[must_use]
+    pub fn matching_rate(&self, other: &SignVec) -> f64 {
+        assert!(self.len > 0, "matching rate of empty vector");
+        self.matching_count(other) as f64 / self.len as f64
+    }
+
+    /// Extracts bits `[start, start + count)` into a new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the vector length.
+    #[must_use]
+    pub fn slice(&self, start: usize, count: usize) -> SignVec {
+        assert!(start + count <= self.len, "slice out of bounds");
+        let mut out = SignVec::zeros(count);
+        for i in 0..count {
+            if self.get(start + i) {
+                out.set(i, true);
+            }
+        }
+        out
+    }
+
+    /// Overwrites bits `[start, start + other.len())` with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the vector length.
+    pub fn splice(&mut self, start: usize, other: &SignVec) {
+        assert!(start + other.len <= self.len, "splice out of bounds");
+        for i in 0..other.len {
+            self.set(start + i, other.get(i));
+        }
+    }
+
+    /// Size of the packed payload in bytes (the wire size of this message).
+    #[must_use]
+    pub fn packed_bytes(&self) -> usize {
+        self.len.div_ceil(8)
+    }
+
+    /// Serializes to packed little-endian bytes.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.packed_bytes());
+        for w in &self.words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out.truncate(self.packed_bytes());
+        out
+    }
+
+    /// Deserializes from packed little-endian bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is shorter than `len.div_ceil(8)`.
+    #[must_use]
+    pub fn from_bytes(len: usize, bytes: &[u8]) -> Self {
+        assert!(bytes.len() >= len.div_ceil(8), "byte buffer too short");
+        let mut v = Self::zeros(len);
+        for (i, chunk) in bytes.chunks(8).enumerate().take(v.words.len()) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            v.words[i] = u64::from_le_bytes(buf);
+        }
+        v.mask_tail();
+        v
+    }
+
+    /// Iterator over the bits.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Raw word view (low-level; unused tail bits are guaranteed zero).
+    #[must_use]
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    fn zip_words(&self, other: &SignVec, f: impl Fn(u64, u64) -> u64) -> SignVec {
+        assert_eq!(self.len, other.len, "length mismatch");
+        SignVec {
+            len: self.len,
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    fn mask_tail(&mut self) {
+        let rem = self.len % WORD_BITS;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+}
+
+impl fmt::Debug for SignVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SignVec(len={}, ones={})", self.len, self.count_ones())
+    }
+}
+
+impl fmt::Display for SignVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.len.min(64) {
+            write!(f, "{}", if self.get(i) { '+' } else { '-' })?;
+        }
+        if self.len > 64 {
+            write!(f, "… ({} bits)", self.len)?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<bool> for SignVec {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let bits: Vec<bool> = iter.into_iter().collect();
+        let mut v = SignVec::zeros(bits.len());
+        for (i, b) in bits.into_iter().enumerate() {
+            if b {
+                v.set(i, true);
+            }
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_ones_counts() {
+        assert_eq!(SignVec::zeros(100).count_ones(), 0);
+        assert_eq!(SignVec::ones(100).count_ones(), 100);
+        // Tail bits beyond len must not be counted.
+        assert_eq!(SignVec::ones(65).count_ones(), 65);
+    }
+
+    #[test]
+    fn from_signs_zero_is_positive() {
+        let v = SignVec::from_signs(&[0.0, -0.0, -1.0]);
+        assert!(v.get(0));
+        assert!(v.get(1)); // -0.0 >= 0.0 in IEEE comparison
+        assert!(!v.get(2));
+    }
+
+    #[test]
+    fn round_trip_signs() {
+        let xs = [3.0, -2.0, 0.5, -0.5, 9.0];
+        let v = SignVec::from_signs(&xs);
+        assert_eq!(v.to_signs(), vec![1.0, -1.0, 1.0, -1.0, 1.0]);
+    }
+
+    #[test]
+    fn bitwise_ops_match_scalar() {
+        let a: SignVec = [true, false, true, false].into_iter().collect();
+        let b: SignVec = [true, true, false, false].into_iter().collect();
+        let and = a.and(&b);
+        let or = a.or(&b);
+        let xor = a.xor(&b);
+        assert_eq!(and.iter().collect::<Vec<_>>(), vec![true, false, false, false]);
+        assert_eq!(or.iter().collect::<Vec<_>>(), vec![true, true, true, false]);
+        assert_eq!(xor.iter().collect::<Vec<_>>(), vec![false, true, true, false]);
+    }
+
+    #[test]
+    fn not_masks_tail() {
+        let v = SignVec::zeros(70);
+        let n = v.not();
+        assert_eq!(n.count_ones(), 70);
+        // If tail masking failed, count would be 128.
+    }
+
+    #[test]
+    fn matching_rate_self_is_one() {
+        let v = SignVec::from_signs(&[1.0, -1.0, 1.0]);
+        assert_eq!(v.matching_rate(&v), 1.0);
+        assert_eq!(v.matching_rate(&v.not()), 0.0);
+    }
+
+    #[test]
+    fn slice_and_splice_round_trip() {
+        let mut rng = FastRng::new(7, 0);
+        let v = SignVec::bernoulli_uniform(200, 0.4, &mut rng);
+        let s = v.slice(37, 100);
+        let mut w = SignVec::zeros(200);
+        w.splice(37, &s);
+        for i in 0..100 {
+            assert_eq!(w.get(37 + i), v.get(37 + i));
+        }
+        assert_eq!(w.slice(0, 37).count_ones(), 0);
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let mut rng = FastRng::new(8, 0);
+        for len in [1usize, 7, 8, 63, 64, 65, 1000] {
+            let v = SignVec::bernoulli_uniform(len, 0.5, &mut rng);
+            let bytes = v.to_bytes();
+            assert_eq!(bytes.len(), len.div_ceil(8));
+            assert_eq!(SignVec::from_bytes(len, &bytes), v);
+        }
+    }
+
+    #[test]
+    fn bernoulli_rate_is_respected() {
+        let mut rng = FastRng::new(9, 0);
+        let v = SignVec::bernoulli_uniform(100_000, 0.25, &mut rng);
+        let rate = v.count_ones() as f64 / v.len() as f64;
+        assert!((rate - 0.25).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn bernoulli_per_coordinate_probs() {
+        let mut rng = FastRng::new(10, 0);
+        let probs: Vec<f64> = (0..10_000).map(|i| if i % 2 == 0 { 0.0 } else { 1.0 }).collect();
+        let v = SignVec::bernoulli(&probs, &mut rng);
+        for i in 0..10_000 {
+            assert_eq!(v.get(i), i % 2 == 1);
+        }
+    }
+
+    #[test]
+    fn write_scaled_signs_values() {
+        let v = SignVec::from_signs(&[1.0, -1.0]);
+        let mut out = [0.0f32; 2];
+        v.write_scaled_signs(0.5, &mut out);
+        assert_eq!(out, [0.5, -0.5]);
+    }
+
+    #[test]
+    fn packed_bytes_size() {
+        assert_eq!(SignVec::zeros(0).packed_bytes(), 0);
+        assert_eq!(SignVec::zeros(1).packed_bytes(), 1);
+        assert_eq!(SignVec::zeros(8).packed_bytes(), 1);
+        assert_eq!(SignVec::zeros(9).packed_bytes(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let v = SignVec::zeros(4);
+        let _ = v.get(4);
+    }
+}

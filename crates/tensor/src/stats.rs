@@ -1,0 +1,219 @@
+//! Small statistics helpers shared across the workspace: norms, moments,
+//! and online mean/variance accumulation used by the experiment harness.
+
+/// ℓ1-norm of a slice.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(marsit_tensor::stats::norm_l1(&[1.0, -2.0, 3.0]), 6.0);
+/// ```
+#[must_use]
+pub fn norm_l1(xs: &[f32]) -> f32 {
+    xs.iter().map(|x| x.abs()).sum()
+}
+
+/// ℓ2-norm of a slice.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(marsit_tensor::stats::norm_l2(&[3.0, 4.0]), 5.0);
+/// ```
+#[must_use]
+pub fn norm_l2(xs: &[f32]) -> f32 {
+    xs.iter().map(|x| x * x).sum::<f32>().sqrt()
+}
+
+/// Squared ℓ2-norm of a slice (avoids the square root).
+#[must_use]
+pub fn norm_l2_sq(xs: &[f32]) -> f64 {
+    xs.iter().map(|&x| f64::from(x) * f64::from(x)).sum()
+}
+
+/// Squared Euclidean distance between two slices.
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+#[must_use]
+pub fn dist_sq(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = f64::from(x) - f64::from(y);
+            d * d
+        })
+        .sum()
+}
+
+/// Arithmetic mean of a slice (0.0 for empty input).
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Online mean/variance accumulator (Welford's algorithm).
+///
+/// # Examples
+///
+/// ```
+/// use marsit_tensor::stats::Accumulator;
+///
+/// let mut acc = Accumulator::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     acc.push(x);
+/// }
+/// assert!((acc.mean() - 5.0).abs() < 1e-12);
+/// assert!((acc.population_variance() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Accumulator {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Accumulator {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the observations (0.0 if empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0.0 if fewer than 1 observation).
+    #[must_use]
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample standard deviation (0.0 if fewer than 2 observations).
+    #[must_use]
+    pub fn sample_std(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.count - 1) as f64).sqrt()
+        }
+    }
+
+    /// Minimum observation (∞ if empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation (−∞ if empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+impl Extend<f64> for Accumulator {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for Accumulator {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut acc = Self::new();
+        acc.extend(iter);
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norms_known_values() {
+        assert_eq!(norm_l1(&[1.0, -1.0, 2.0]), 4.0);
+        assert_eq!(norm_l2(&[3.0, -4.0]), 5.0);
+        assert_eq!(norm_l2_sq(&[3.0, -4.0]), 25.0);
+    }
+
+    #[test]
+    fn dist_sq_known() {
+        assert_eq!(dist_sq(&[1.0, 2.0], &[4.0, 6.0]), 25.0);
+        assert_eq!(dist_sq(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn mean_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn accumulator_single_value() {
+        let mut a = Accumulator::new();
+        a.push(3.0);
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.mean(), 3.0);
+        assert_eq!(a.population_variance(), 0.0);
+        assert_eq!(a.sample_std(), 0.0);
+        assert_eq!(a.min(), 3.0);
+        assert_eq!(a.max(), 3.0);
+    }
+
+    #[test]
+    fn accumulator_from_iterator() {
+        let a: Accumulator = [1.0, 2.0, 3.0].into_iter().collect();
+        assert_eq!(a.count(), 3);
+        assert!((a.mean() - 2.0).abs() < 1e-12);
+        assert_eq!(a.min(), 1.0);
+        assert_eq!(a.max(), 3.0);
+    }
+
+    #[test]
+    fn accumulator_matches_two_pass() {
+        let xs: Vec<f64> = (0..1000).map(|i| (f64::from(i) * 0.37).sin() * 5.0).collect();
+        let acc: Accumulator = xs.iter().copied().collect();
+        let m = xs.iter().sum::<f64>() / xs.len() as f64;
+        let v = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((acc.mean() - m).abs() < 1e-9);
+        assert!((acc.population_variance() - v).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,312 @@
+//! The simulated-time model: computation, compression, communication.
+//!
+//! The paper's timing results come from wall-clock measurements on a real
+//! cluster; this module substitutes a first-order model priced against the
+//! *logical* model size (the real architecture's parameter count — see
+//! `Workload::logical_params`), so the time axes of Figures 1a, 4a and 5
+//! have the paper's scale even though the trained proxy is small.
+//!
+//! Per round:
+//!
+//! - **computation** — `batch × FLOPs/sample ÷ accelerator rate`, identical
+//!   across strategies (they share the training substrate);
+//! - **compression** — codec passes priced at streaming/RNG element rates;
+//!   crucially, cascading compression's per-hop recompression is
+//!   *serialized* (`M−1` repetitions), while Marsit's transient-vector
+//!   generation overlaps the receive window (Section 4.1.1 "run in
+//!   parallel") and costs only the non-hidden sign extraction;
+//! - **communication** — α–β costs of the exact hop schedule, including the
+//!   `⌈log₂ M⌉` payload growth of the integer-sum MAR extensions and the
+//!   serialized full-vector hops of cascading compression.
+
+use marsit_compress::SignSumVec;
+use marsit_simnet::{cost, PhaseBreakdown, RateProfile, Topology};
+
+use crate::strategy::StrategyKind;
+
+/// Inputs of the round-time model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingModel {
+    /// Hardware rates (link, accelerator, codec).
+    pub rates: RateProfile,
+    /// Logical model size `D` (real architecture parameter count).
+    pub logical_d: usize,
+    /// Cluster topology.
+    pub topology: Topology,
+    /// Forward+backward FLOPs per training sample.
+    pub flops_per_sample: f64,
+    /// Per-worker minibatch size.
+    pub batch_per_worker: usize,
+    /// Whether Marsit's transient-vector generation overlaps the receive
+    /// window (the paper's design; disable for the ablation).
+    pub overlap: bool,
+}
+
+impl TimingModel {
+    /// Per-round computation time (identical for all strategies).
+    #[must_use]
+    pub fn compute_time(&self) -> f64 {
+        self.rates
+            .compute_time(self.flops_per_sample * self.batch_per_worker as f64)
+    }
+
+    /// Full per-round phase breakdown for `kind`.
+    ///
+    /// `full_precision` selects Marsit's reset rounds (and is ignored by
+    /// strategies without a mixed schedule).
+    #[must_use]
+    pub fn round_time(&self, kind: StrategyKind, full_precision: bool) -> PhaseBreakdown {
+        PhaseBreakdown::new(
+            self.compute_time(),
+            self.compression_time(kind, full_precision),
+            self.communication_time(kind, full_precision),
+        )
+    }
+
+    /// Communication time of one synchronization.
+    #[must_use]
+    pub fn communication_time(&self, kind: StrategyKind, full_precision: bool) -> f64 {
+        let link = self.rates.link;
+        let d = self.logical_d;
+        let m = self.topology.workers();
+        match kind {
+            StrategyKind::Psgd => cost::allreduce_time(link, d * 4, self.topology),
+            StrategyKind::Marsit { .. } => {
+                if full_precision {
+                    cost::allreduce_time(link, d * 4, self.topology)
+                } else {
+                    cost::allreduce_time(link, d.div_ceil(8), self.topology)
+                }
+            }
+            StrategyKind::Cascading => {
+                // Sequential full-vector chain: reduce around the ring, then
+                // broadcast; no segmentation, no parallel links.
+                let hop = link.transfer_time(d.div_ceil(8) + 4);
+                2.0 * (m - 1) as f64 * hop
+            }
+            StrategyKind::SignMajority => self.signsum_time(true),
+            StrategyKind::EfSign | StrategyKind::Ssdm => self.signsum_time(false),
+            StrategyKind::PowerSgd { rank } => {
+                // Two *sequential* all-reduce passes over the factor
+                // matrices P (rows×rank) and Q (cols×rank).
+                let (rows, cols) = marsit_compress::powersgd::matrix_shape(d);
+                let p_bytes = rows * rank as usize * 4;
+                let q_bytes = cols * rank as usize * 4;
+                cost::allreduce_time(link, p_bytes, self.topology)
+                    + cost::allreduce_time(link, q_bytes, self.topology)
+            }
+        }
+    }
+
+    /// Communication time of the integer-sum MAR extensions.
+    /// `onebit_gather` selects a 1-bit gather (majority vote) versus a
+    /// full-width sum gather (mean-of-signs reconstruction).
+    fn signsum_time(&self, onebit_gather: bool) -> f64 {
+        let link = self.rates.link;
+        let d = self.logical_d;
+        let bits = |count: usize| SignSumVec::bits_per_coord(count as u32);
+        match self.topology {
+            Topology::Ring { workers: m } => {
+                let seg = d.div_ceil(m);
+                let reduce: Vec<usize> = (0..m - 1)
+                    .map(|r| (seg * bits(r + 1)).div_ceil(8))
+                    .collect();
+                let gather_bits = if onebit_gather { 1 } else { bits(m) };
+                let gather: Vec<usize> =
+                    (0..m - 1).map(|_| (seg * gather_bits).div_ceil(8)).collect();
+                cost::ring_allreduce_time_varying(link, &reduce, &gather)
+            }
+            Topology::Torus { rows, cols } => {
+                let m = rows * cols;
+                let chunk = d.div_ceil(cols);
+                let sub = chunk.div_ceil(rows);
+                let mut t = 0.0;
+                // Horizontal reduce-scatter: widths grow 1..cols−1.
+                for r in 0..cols - 1 {
+                    t += link.transfer_time((chunk * bits(r + 1)).div_ceil(8));
+                }
+                // Vertical reduce: widths grow in units of `cols`.
+                for r in 0..rows - 1 {
+                    t += link.transfer_time((sub * bits((r + 1) * cols)).div_ceil(8));
+                }
+                // Vertical + horizontal gathers.
+                let gather_bits = if onebit_gather { 1 } else { bits(m) };
+                for _ in 0..rows - 1 {
+                    t += link.transfer_time((sub * gather_bits).div_ceil(8));
+                }
+                for _ in 0..cols - 1 {
+                    t += link.transfer_time((chunk * gather_bits).div_ceil(8));
+                }
+                t
+            }
+            Topology::Star { workers: m } => {
+                let up = d.div_ceil(8);
+                let down = if onebit_gather { d.div_ceil(8) } else { d * 4 };
+                cost::ps_exchange_time(link, up, down, m)
+            }
+        }
+    }
+
+    /// Compression/codec time of one synchronization (per worker; workers
+    /// run in parallel, so this is the round's critical-path codec cost).
+    #[must_use]
+    pub fn compression_time(&self, kind: StrategyKind, full_precision: bool) -> f64 {
+        let d = self.logical_d;
+        let m = self.topology.workers();
+        let r = &self.rates;
+        // Elements each worker relays during the reduce phase of a
+        // segmented MAR schedule (≈ D for a ring).
+        let relayed = match self.topology {
+            Topology::Ring { workers } => d.div_ceil(workers) * (workers - 1),
+            Topology::Torus { rows, cols } => {
+                d.div_ceil(cols) * (cols - 1) + d.div_ceil(cols * rows) * (rows - 1)
+            }
+            Topology::Star { .. } => d, // server-side aggregate pass
+        };
+        match kind {
+            StrategyKind::Psgd => 0.0,
+            StrategyKind::SignMajority => {
+                // Sign extraction + per-hop integer decode/add/encode.
+                r.codec_time(d) + r.codec_time(2 * relayed)
+            }
+            StrategyKind::Ssdm => {
+                // ℓ2 norm + stochastic signs + per-hop integer codec.
+                r.codec_time(d) + r.rng_time(d) + r.codec_time(2 * relayed)
+            }
+            StrategyKind::EfSign => {
+                // p = g+e, ℓ1 norm, signs, error update + per-hop codec.
+                r.codec_time(4 * d) + r.codec_time(2 * relayed)
+            }
+            StrategyKind::Cascading => {
+                // Serialized per-hop recompression along the whole chain:
+                // decompress + aggregate + norm (streaming) and requantize
+                // (RNG) over the full vector at every relay.
+                (m - 1) as f64 * (r.codec_time(3 * d) + r.rng_time(d))
+            }
+            StrategyKind::Marsit { .. } => {
+                if full_precision {
+                    0.0
+                } else if self.overlap {
+                    // Transient vectors hide behind the receive window
+                    // (Section 4.1.1); only sign extraction is exposed.
+                    r.codec_time(d)
+                } else {
+                    r.codec_time(d) + r.rng_time(relayed)
+                }
+            }
+            StrategyKind::PowerSgd { rank } => {
+                // Three dense rank-r products per round (P, Q, Ĝ), run on
+                // the accelerator: ~6·D·r FLOPs.
+                r.compute_time(6.0 * d as f64 * f64::from(rank))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(topology: Topology) -> TimingModel {
+        TimingModel {
+            rates: RateProfile::public_cloud(),
+            logical_d: 23_000_000,
+            topology,
+            flops_per_sample: 2.0e9,
+            batch_per_worker: 32,
+            overlap: true,
+        }
+    }
+
+    #[test]
+    fn marsit_round_is_fastest_onebit() {
+        let m = model(Topology::ring(8));
+        let marsit = m.round_time(StrategyKind::Marsit { k: None }, false).total();
+        for kind in [
+            StrategyKind::Psgd,
+            StrategyKind::SignMajority,
+            StrategyKind::EfSign,
+            StrategyKind::Ssdm,
+            StrategyKind::Cascading,
+        ] {
+            let t = m.round_time(kind, false).total();
+            assert!(marsit < t, "Marsit {marsit} should beat {kind} {t}");
+        }
+    }
+
+    #[test]
+    fn cascading_codec_dominates() {
+        // Fig 1a: cascading's decompression/compression period is large —
+        // bigger than its communication time on a fast-enough link.
+        let m = model(Topology::ring(8));
+        let p = m.round_time(StrategyKind::Cascading, false);
+        assert!(p.compression_s > p.communication_s * 0.5);
+        // And hugely bigger than Marsit's codec cost.
+        let pm = m.round_time(StrategyKind::Marsit { k: None }, false);
+        assert!(p.compression_s > 10.0 * pm.compression_s);
+    }
+
+    #[test]
+    fn signsum_mar_slower_than_marsit_comm() {
+        // Section 3.1: growing bit width makes MAR-extended SSDM spend more
+        // transmission time than a strictly one-bit scheme.
+        let m = model(Topology::ring(8));
+        let ssdm = m.communication_time(StrategyKind::Ssdm, false);
+        let marsit = m.communication_time(StrategyKind::Marsit { k: None }, false);
+        assert!(ssdm > 1.5 * marsit, "ssdm {ssdm} vs marsit {marsit}");
+    }
+
+    #[test]
+    fn tar_faster_than_rar_per_round() {
+        // Fig 5: every method communicates faster under TAR.
+        let ring = model(Topology::ring(16));
+        let torus = model(Topology::square_torus(16));
+        for kind in [
+            StrategyKind::Psgd,
+            StrategyKind::SignMajority,
+            StrategyKind::Ssdm,
+            StrategyKind::Marsit { k: None },
+        ] {
+            let tr = ring.communication_time(kind, false);
+            let tt = torus.communication_time(kind, false);
+            assert!(tt < tr, "{kind}: TAR {tt} should beat RAR {tr}");
+        }
+    }
+
+    #[test]
+    fn full_precision_marsit_round_matches_psgd_comm() {
+        let m = model(Topology::ring(4));
+        assert_eq!(
+            m.communication_time(StrategyKind::Marsit { k: Some(10) }, true),
+            m.communication_time(StrategyKind::Psgd, true)
+        );
+    }
+
+    #[test]
+    fn overlap_ablation_increases_marsit_codec() {
+        let mut m = model(Topology::ring(8));
+        let with = m.compression_time(StrategyKind::Marsit { k: None }, false);
+        m.overlap = false;
+        let without = m.compression_time(StrategyKind::Marsit { k: None }, false);
+        assert!(without > with);
+    }
+
+    #[test]
+    fn compute_time_scales_with_batch() {
+        let mut m = model(Topology::ring(4));
+        let t32 = m.compute_time();
+        m.batch_per_worker = 64;
+        assert!((m.compute_time() - 2.0 * t32).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_compressed_rar_beats_ps_fig1a() {
+        // Fig 1a: PSGD under RAR is faster than PSGD under PS.
+        let ring = model(Topology::ring(8));
+        let star = model(Topology::star(8));
+        assert!(
+            ring.communication_time(StrategyKind::Psgd, true)
+                < star.communication_time(StrategyKind::Psgd, true)
+        );
+    }
+}

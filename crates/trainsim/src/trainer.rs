@@ -1,0 +1,500 @@
+//! The distributed-training simulator: cluster, training loop, and reports.
+//!
+//! [`train`] runs the full pipeline of the paper's experiments: an IID-
+//! sharded synthetic dataset, `M` model replicas computing true stochastic
+//! gradients, a local optimizer per worker, and one of the six
+//! synchronization strategies. Per round it records loss, sign matching
+//! rate, simulated phase times, and exact wire-bit accounting — everything
+//! Figures 1, 3, 4, 5 and Tables 1–2 read out.
+
+use marsit_datagen::synthetic::{cifar10_like, imagenet_like, imdb_like, mnist_like};
+use marsit_datagen::Dataset;
+use marsit_models::{Evaluation, Mlp, Model, Optimizer, OptimizerKind, Workload};
+use marsit_simnet::{PhaseBreakdown, RateProfile, Topology};
+use marsit_tensor::rng::{split_seed, FastRng};
+use marsit_tensor::SignVec;
+
+use crate::strategy::StrategyKind;
+use crate::timing::TimingModel;
+
+/// Configuration of one training run.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Which paper workload (model/dataset pair) to train.
+    pub workload: Workload,
+    /// Cluster topology.
+    pub topology: Topology,
+    /// Synchronization strategy.
+    pub strategy: StrategyKind,
+    /// Number of synchronization rounds `T`.
+    pub rounds: usize,
+    /// Training-set size (split IID across workers).
+    pub train_examples: usize,
+    /// Held-out test-set size.
+    pub test_examples: usize,
+    /// Per-worker minibatch size.
+    pub batch_per_worker: usize,
+    /// Local learning rate `η_l`.
+    pub local_lr: f32,
+    /// Marsit's global learning rate `η_s`.
+    pub marsit_global_lr: f32,
+    /// Local optimizer (the paper uses Momentum for vision, Adam for NLP).
+    pub optimizer: OptimizerKind,
+    /// Master seed.
+    pub seed: u64,
+    /// Evaluate on the test set every this many rounds (0 = final only).
+    pub eval_every: usize,
+    /// Hardware rates for the simulated clock.
+    pub rates: RateProfile,
+    /// Marsit receive/compression overlap (disable for the ablation).
+    pub overlap: bool,
+    /// Multiply `η_l` by this factor at every full-precision round (the
+    /// paper decays by 0.1 at full-precision synchronizations).
+    pub lr_decay_on_full_precision: Option<f32>,
+    /// Assert that all replicas stay bitwise identical after every
+    /// synchronization (the MAR consensus invariant).
+    pub check_consistency: bool,
+    /// Label-skewed (non-IID) sharding with this Dirichlet `alpha`;
+    /// `None` keeps the paper's IID assumption. Used to probe the
+    /// compensation mechanism's IID justification (Section 4.1.3).
+    pub data_skew: Option<f64>,
+}
+
+impl TrainConfig {
+    /// A sensible default configuration for `workload` on `topology` with
+    /// `strategy`; tune fields directly afterwards.
+    #[must_use]
+    pub fn new(workload: Workload, topology: Topology, strategy: StrategyKind) -> Self {
+        Self {
+            workload,
+            topology,
+            strategy,
+            rounds: 300,
+            train_examples: 8192,
+            test_examples: 1024,
+            batch_per_worker: 32,
+            local_lr: 0.01,
+            marsit_global_lr: 0.002,
+            optimizer: OptimizerKind::Momentum(0.9),
+            seed: 42,
+            eval_every: 25,
+            rates: RateProfile::public_cloud(),
+            overlap: true,
+            lr_decay_on_full_precision: None,
+            check_consistency: true,
+            data_skew: None,
+        }
+    }
+
+    /// Generates the `(train, test)` datasets for the workload.
+    #[must_use]
+    pub fn datasets(&self) -> (Dataset, Dataset) {
+        let seed = split_seed(self.seed, 0xDA7A);
+        match self.workload {
+            Workload::AlexNetMnist => {
+                mnist_like().generate_split(self.train_examples, self.test_examples, seed)
+            }
+            Workload::AlexNetCifar10 | Workload::ResNet20Cifar10 => {
+                cifar10_like().generate_split(self.train_examples, self.test_examples, seed)
+            }
+            Workload::ResNet18ImageNet | Workload::ResNet50ImageNet => {
+                imagenet_like().generate_split(self.train_examples, self.test_examples, seed)
+            }
+            Workload::DistilBertImdb => {
+                imdb_like().generate_split(self.train_examples, self.test_examples, seed)
+            }
+        }
+    }
+}
+
+/// Everything recorded about one synchronization round.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RoundRecord {
+    /// Round index `t`.
+    pub round: usize,
+    /// Mean training loss across workers' minibatches.
+    pub train_loss: f64,
+    /// ‖mean of raw worker gradients‖² before the optimizer and learning
+    /// rate — the quantity Theorem 1 bounds.
+    pub mean_grad_norm_sq: f64,
+    /// Fraction of coordinates where the applied update's sign matches the
+    /// exact mean update's sign (Fig 1b's matching rate).
+    pub matching_rate: f64,
+    /// Whether the round synchronized in full precision.
+    pub full_precision: bool,
+    /// Simulated phase times for this round.
+    pub time: PhaseBreakdown,
+    /// Average wire width in bits per transmitted element this round
+    /// (32 for fp32 payloads, 1 for strictly one-bit payloads).
+    pub wire_bits_per_element: f64,
+    /// Cumulative per-worker traffic in megabits since round 0.
+    pub cumulative_megabits_per_worker: f64,
+    /// Test evaluation, when scheduled.
+    pub eval: Option<Evaluation>,
+}
+
+/// Result of a full training run.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct TrainReport {
+    /// Display label of the strategy.
+    pub strategy_label: String,
+    /// Per-round records.
+    pub records: Vec<RoundRecord>,
+    /// Final test evaluation.
+    pub final_eval: Evaluation,
+    /// Total simulated time.
+    pub total_time: PhaseBreakdown,
+    /// Total bytes moved by the collective (all links).
+    pub total_bytes: usize,
+    /// Traffic-weighted average wire bits per element over the run.
+    pub avg_wire_bits_per_element: f64,
+    /// Whether training diverged (non-finite loss observed).
+    pub diverged: bool,
+}
+
+impl TrainReport {
+    /// Best test accuracy observed at any evaluation point.
+    #[must_use]
+    pub fn best_accuracy(&self) -> f64 {
+        self.records
+            .iter()
+            .filter_map(|r| r.eval.map(|e| e.accuracy))
+            .fold(self.final_eval.accuracy, f64::max)
+    }
+
+    /// First round whose evaluation reached `target` accuracy.
+    #[must_use]
+    pub fn rounds_to_accuracy(&self, target: f64) -> Option<usize> {
+        self.records
+            .iter()
+            .find(|r| r.eval.is_some_and(|e| e.accuracy >= target))
+            .map(|r| r.round)
+    }
+
+    /// Simulated time at which `target` accuracy was first reached.
+    #[must_use]
+    pub fn time_to_accuracy(&self, target: f64) -> Option<f64> {
+        let mut elapsed = 0.0;
+        for r in &self.records {
+            elapsed += r.time.total();
+            if r.eval.is_some_and(|e| e.accuracy >= target) {
+                return Some(elapsed);
+            }
+        }
+        None
+    }
+
+    /// Minimum `‖∇F‖²` proxy observed over the run — the left-hand side of
+    /// Theorem 1's bound.
+    #[must_use]
+    pub fn min_grad_norm_sq(&self) -> f64 {
+        self.records
+            .iter()
+            .map(|r| r.mean_grad_norm_sq)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// `(cumulative megabits/worker, accuracy)` series for the
+    /// communication-budget plot (Fig 4b).
+    #[must_use]
+    pub fn accuracy_vs_megabits(&self) -> Vec<(f64, f64)> {
+        self.records
+            .iter()
+            .filter_map(|r| r.eval.map(|e| (r.cumulative_megabits_per_worker, e.accuracy)))
+            .collect()
+    }
+}
+
+/// Elements transferred per synchronization round under `topology` on a
+/// `d`-dimensional payload — the denominator of the wire-width metric.
+#[must_use]
+pub fn elements_per_round(topology: Topology, d: usize) -> usize {
+    match topology {
+        Topology::Ring { workers: m } => 2 * (m - 1) * d,
+        Topology::Torus { rows, cols } => {
+            2 * (cols - 1) * rows * d + 2 * (rows - 1) * d
+        }
+        Topology::Star { workers: m } => 2 * m * d,
+    }
+}
+
+/// Runs one full training experiment.
+///
+/// # Panics
+///
+/// Panics on inconsistent configuration (topology vs worker counts,
+/// zero-sized datasets) and — with `check_consistency` — if the replicas
+/// ever disagree after a synchronization.
+#[must_use]
+pub fn train(cfg: &TrainConfig) -> TrainReport {
+    let m = cfg.topology.workers();
+    assert!(m >= 2, "need at least 2 workers");
+    let (train_set, test_set) = cfg.datasets();
+    let shard_seed = split_seed(cfg.seed, 0x5A4D);
+    let shards = match cfg.data_skew {
+        Some(alpha) => train_set.shard_dirichlet(m, alpha, shard_seed),
+        None => train_set.shard_iid(m, shard_seed),
+    };
+    let spec = cfg.workload.proxy_spec();
+    let d = spec.num_params();
+
+    // Identical replicas (consensus holds by induction from round 0).
+    let reference = Mlp::new(spec, split_seed(cfg.seed, 0x30DE));
+    let mut models: Vec<Mlp> = vec![reference; m];
+    let mut optimizers: Vec<Box<dyn Optimizer>> =
+        (0..m).map(|_| cfg.optimizer.build()).collect();
+    let mut worker_rngs: Vec<FastRng> = (0..m)
+        .map(|w| FastRng::new(split_seed(cfg.seed, a_seed(w)), 1))
+        .collect();
+    let mut sync = cfg.strategy.build(
+        m,
+        d,
+        cfg.local_lr,
+        cfg.marsit_global_lr,
+        split_seed(cfg.seed, 0x57A7),
+    );
+    let timing = TimingModel {
+        rates: cfg.rates,
+        logical_d: cfg.workload.logical_params(),
+        topology: cfg.topology,
+        flops_per_sample: cfg.workload.flops_per_sample(),
+        batch_per_worker: cfg.batch_per_worker,
+        overlap: cfg.overlap,
+    };
+
+    let mut records = Vec::with_capacity(cfg.rounds);
+    let mut total_time = PhaseBreakdown::zero();
+    let mut total_bytes = 0usize;
+    let mut cumulative_bits_per_worker = 0.0f64;
+    let mut total_elements = 0usize;
+    let mut lr = cfg.local_lr;
+    let mut diverged = false;
+    let elements_round = elements_per_round(cfg.topology, d);
+
+    let mut grad = vec![0.0f32; d];
+    for t in 0..cfg.rounds {
+        // Local computation.
+        let mut local_updates: Vec<Vec<f32>> = Vec::with_capacity(m);
+        let mut loss_sum = 0.0f64;
+        let mut raw_grad_mean = vec![0.0f64; d];
+        for w in 0..m {
+            let batch = shards[w].sample_batch(cfg.batch_per_worker, &mut worker_rngs[w]);
+            let loss = models[w].loss_and_grad(&batch, &mut grad);
+            loss_sum += loss;
+            for (acc, &g) in raw_grad_mean.iter_mut().zip(&grad) {
+                *acc += f64::from(g) / m as f64;
+            }
+            optimizers[w].direction(&mut grad);
+            local_updates.push(grad.iter().map(|&g| g * lr).collect());
+        }
+        let mean_grad_norm_sq: f64 = raw_grad_mean.iter().map(|&g| g * g).sum();
+        let train_loss = loss_sum / m as f64;
+        if !train_loss.is_finite() {
+            diverged = true;
+        }
+
+        // Exact mean (free in-process) for the matching-rate metric.
+        let mut exact_mean = vec![0.0f32; d];
+        for u in &local_updates {
+            for (e, &x) in exact_mean.iter_mut().zip(u) {
+                *e += x / m as f32;
+            }
+        }
+
+        // Synchronize.
+        let out = sync.synchronize(&local_updates, cfg.topology);
+        // Matching rate against what the strategy actually aggregated
+        // (compensated updates for Marsit, raw updates otherwise).
+        let reference = out.reference_mean.as_deref().unwrap_or(&exact_mean);
+        let matching_rate = SignVec::from_signs(&out.global_update)
+            .matching_rate(&SignVec::from_signs(reference));
+
+        // Apply the consensus update everywhere.
+        for model in &mut models {
+            model.apply_update(&out.global_update);
+        }
+        if cfg.check_consistency && (t % 16 == 0 || t + 1 == cfg.rounds) {
+            let p0 = models[0].params_vec();
+            for (w, model) in models.iter().enumerate().skip(1) {
+                assert_eq!(
+                    model.params_vec(),
+                    p0,
+                    "replica {w} diverged from consensus at round {t}"
+                );
+            }
+        }
+        if out.full_precision {
+            if let Some(decay) = cfg.lr_decay_on_full_precision {
+                if t > 0 {
+                    lr *= decay;
+                }
+            }
+        }
+
+        // Accounting.
+        let time = timing.round_time(cfg.strategy, out.full_precision);
+        total_time += time;
+        let round_bytes = out.trace.total_bytes();
+        total_bytes += round_bytes;
+        total_elements += elements_round;
+        cumulative_bits_per_worker += round_bytes as f64 * 8.0 / m as f64;
+        let wire_bits_per_element = round_bytes as f64 * 8.0 / elements_round as f64;
+
+        let eval = if (cfg.eval_every > 0 && (t + 1) % cfg.eval_every == 0) || t + 1 == cfg.rounds
+        {
+            Some(models[0].evaluate(&test_set))
+        } else {
+            None
+        };
+        records.push(RoundRecord {
+            round: t,
+            train_loss,
+            mean_grad_norm_sq,
+            matching_rate,
+            full_precision: out.full_precision,
+            time,
+            wire_bits_per_element,
+            cumulative_megabits_per_worker: cumulative_bits_per_worker / 1e6,
+            eval,
+        });
+    }
+
+    let final_eval = models[0].evaluate(&test_set);
+    if !final_eval.loss.is_finite() {
+        diverged = true;
+    }
+    TrainReport {
+        strategy_label: cfg.strategy.label(),
+        records,
+        final_eval,
+        total_time,
+        total_bytes,
+        avg_wire_bits_per_element: total_bytes as f64 * 8.0 / total_elements.max(1) as f64,
+        diverged,
+    }
+}
+
+/// Derives a per-worker seed stream id.
+fn a_seed(w: usize) -> u64 {
+    0xB000 + w as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg(strategy: StrategyKind) -> TrainConfig {
+        let mut cfg = TrainConfig::new(Workload::AlexNetMnist, Topology::ring(4), strategy);
+        cfg.rounds = 60;
+        cfg.train_examples = 2048;
+        cfg.test_examples = 512;
+        cfg.eval_every = 20;
+        cfg.local_lr = 0.1;
+        cfg.marsit_global_lr = 0.01;
+        cfg.optimizer = OptimizerKind::Sgd;
+        cfg
+    }
+
+    #[test]
+    fn psgd_learns_mnist_proxy() {
+        let report = train(&quick_cfg(StrategyKind::Psgd));
+        assert!(!report.diverged);
+        assert!(
+            report.final_eval.accuracy > 0.85,
+            "accuracy {}",
+            report.final_eval.accuracy
+        );
+        assert_eq!(report.records.len(), 60);
+    }
+
+    #[test]
+    fn marsit_learns_mnist_proxy() {
+        let report = train(&quick_cfg(StrategyKind::Marsit { k: Some(50) }));
+        assert!(!report.diverged);
+        assert!(
+            report.final_eval.accuracy > 0.8,
+            "accuracy {}",
+            report.final_eval.accuracy
+        );
+    }
+
+    #[test]
+    fn marsit_wire_bits_are_one() {
+        let mut cfg = quick_cfg(StrategyKind::Marsit { k: None });
+        cfg.rounds = 10;
+        let report = train(&cfg);
+        assert!(
+            report.avg_wire_bits_per_element < 1.2,
+            "bits {}",
+            report.avg_wire_bits_per_element
+        );
+    }
+
+    #[test]
+    fn psgd_wire_bits_are_32() {
+        let mut cfg = quick_cfg(StrategyKind::Psgd);
+        cfg.rounds = 5;
+        let report = train(&cfg);
+        assert!(
+            (report.avg_wire_bits_per_element - 32.0).abs() < 0.5,
+            "bits {}",
+            report.avg_wire_bits_per_element
+        );
+    }
+
+    #[test]
+    fn matching_rate_is_high_for_psgd_and_lower_for_cascading() {
+        let mut psgd_cfg = quick_cfg(StrategyKind::Psgd);
+        psgd_cfg.rounds = 20;
+        let mut casc_cfg = quick_cfg(StrategyKind::Cascading);
+        casc_cfg.rounds = 20;
+        let psgd = train(&psgd_cfg);
+        let casc = train(&casc_cfg);
+        let avg = |r: &TrainReport| {
+            r.records.iter().map(|x| x.matching_rate).sum::<f64>() / r.records.len() as f64
+        };
+        assert!(avg(&psgd) > 0.99, "PSGD matching {}", avg(&psgd));
+        assert!(
+            avg(&casc) < 0.8,
+            "cascading matching should be poor: {}",
+            avg(&casc)
+        );
+    }
+
+    #[test]
+    fn report_helpers_work() {
+        let mut cfg = quick_cfg(StrategyKind::Psgd);
+        cfg.rounds = 40;
+        cfg.eval_every = 10;
+        let report = train(&cfg);
+        assert!(report.best_accuracy() >= report.final_eval.accuracy - 1e-9);
+        if let Some(rounds) = report.rounds_to_accuracy(0.5) {
+            assert!(rounds < 40);
+            assert!(report.time_to_accuracy(0.5).is_some());
+        }
+        assert!(!report.accuracy_vs_megabits().is_empty());
+    }
+
+    #[test]
+    fn torus_training_runs() {
+        let mut cfg = quick_cfg(StrategyKind::Marsit { k: Some(25) });
+        cfg.topology = Topology::torus(2, 2);
+        cfg.rounds = 30;
+        let report = train(&cfg);
+        assert!(!report.diverged);
+        assert!(report.final_eval.accuracy > 0.5);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = {
+            let mut c = quick_cfg(StrategyKind::Ssdm);
+            c.rounds = 15;
+            c
+        };
+        let a = train(&cfg);
+        let b = train(&cfg);
+        assert_eq!(a.final_eval, b.final_eval);
+        assert_eq!(a.total_bytes, b.total_bytes);
+    }
+}

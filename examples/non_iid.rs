@@ -1,0 +1,55 @@
+//! Probing the paper's IID assumption.
+//!
+//! Marsit's global compensation applies an *identical* residual at every
+//! worker, justified by "the independent and identical data distribution on
+//! cloud training" (Section 4.1.3). This example breaks that assumption
+//! with Dirichlet label-skewed shards and measures the cost.
+//!
+//! ```text
+//! cargo run --release --example non_iid
+//! ```
+
+use marsit::prelude::*;
+
+fn run(strategy: StrategyKind, skew: Option<f64>) -> TrainReport {
+    let mut cfg = TrainConfig::new(Workload::AlexNetMnist, Topology::ring(8), strategy);
+    cfg.rounds = 250;
+    cfg.train_examples = 8192;
+    cfg.test_examples = 2048;
+    cfg.batch_per_worker = 32;
+    cfg.local_lr = if matches!(strategy, StrategyKind::Psgd) { 0.1 } else { 0.01 };
+    cfg.marsit_global_lr = 0.002;
+    cfg.eval_every = 0;
+    cfg.data_skew = skew;
+    train(&cfg)
+}
+
+fn main() {
+    println!("== Marsit under IID vs label-skewed shards (ring(8), MNIST proxy) ==\n");
+    println!(
+        "{:<14} {:>10} {:>14} {:>14}",
+        "strategy", "IID acc", "Dir(1.0) acc", "Dir(0.1) acc"
+    );
+    for strategy in [
+        StrategyKind::Psgd,
+        StrategyKind::Marsit { k: Some(50) },
+        StrategyKind::Marsit { k: None },
+        StrategyKind::SignMajority,
+    ] {
+        let iid = run(strategy, None);
+        let mild = run(strategy, Some(1.0));
+        let severe = run(strategy, Some(0.1));
+        println!(
+            "{:<14} {:>9.2}% {:>13.2}% {:>13.2}%",
+            iid.strategy_label,
+            iid.final_eval.accuracy * 100.0,
+            mild.final_eval.accuracy * 100.0,
+            severe.final_eval.accuracy * 100.0,
+        );
+    }
+    println!(
+        "\nExpected: PSGD is indifferent to skew (exact averaging); the sign\n\
+         methods lose accuracy as shards skew, and Marsit's uniform compensation\n\
+         is stressed exactly as Section 4.1.3's IID argument predicts."
+    );
+}

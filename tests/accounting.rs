@@ -1,0 +1,166 @@
+//! Wire-bit and simulated-time accounting across crates: the quantities the
+//! paper's figures plot must come out with the right shapes.
+
+use marsit::core::SyncSchedule;
+use marsit::prelude::*;
+use marsit::trainsim::TimingModel;
+
+fn quick(strategy: StrategyKind, topology: Topology, rounds: usize) -> TrainReport {
+    let mut cfg = TrainConfig::new(Workload::AlexNetMnist, topology, strategy);
+    cfg.rounds = rounds;
+    cfg.train_examples = 1024;
+    cfg.test_examples = 256;
+    cfg.batch_per_worker = 16;
+    cfg.eval_every = 0;
+    train(&cfg)
+}
+
+#[test]
+fn wire_width_psgd_is_32_bits() {
+    for topology in [Topology::ring(4), Topology::torus(2, 2), Topology::star(4)] {
+        let r = quick(StrategyKind::Psgd, topology, 4);
+        assert!(
+            (r.avg_wire_bits_per_element - 32.0).abs() < 0.01,
+            "{topology}: {}",
+            r.avg_wire_bits_per_element
+        );
+    }
+}
+
+#[test]
+fn wire_width_marsit_is_one_bit() {
+    for topology in [Topology::ring(8), Topology::torus(2, 4)] {
+        let r = quick(StrategyKind::Marsit { k: None }, topology, 6);
+        assert!(
+            r.avg_wire_bits_per_element < 1.1,
+            "{topology}: {}",
+            r.avg_wire_bits_per_element
+        );
+    }
+}
+
+#[test]
+fn figure3_bits_column_reproduced_by_measurement() {
+    // The measured traffic-weighted wire width must approach the paper's
+    // closed-form 1 + 31/K column.
+    for (k, expected) in [(1u32, 32.0), (10, 4.1), (25, 2.24)] {
+        let r = quick(StrategyKind::Marsit { k: Some(k) }, Topology::ring(4), 50);
+        assert!(
+            (r.avg_wire_bits_per_element - expected).abs() < 0.35,
+            "K={k}: measured {} vs closed form {expected}",
+            r.avg_wire_bits_per_element
+        );
+        assert!(
+            (SyncSchedule::every(k).average_bits_per_coord() - expected).abs() < 0.15,
+            "closed form itself"
+        );
+    }
+}
+
+#[test]
+fn sign_baselines_sit_between_one_and_32_bits() {
+    // The ⌈log₂ M⌉ growth: integer-sum MAR payloads are >1 bit but far
+    // below fp32.
+    for strategy in [StrategyKind::SignMajority, StrategyKind::Ssdm, StrategyKind::EfSign] {
+        let r = quick(strategy, Topology::ring(8), 6);
+        assert!(
+            r.avg_wire_bits_per_element > 1.2 && r.avg_wire_bits_per_element < 8.0,
+            "{strategy}: {}",
+            r.avg_wire_bits_per_element
+        );
+    }
+}
+
+#[test]
+fn communication_budget_ordering_fig4b() {
+    // Per-worker traffic: Marsit ≲ 10% of PSGD and well under the signSGD
+    // family (paper: ~90% and ~70% reductions).
+    let psgd = quick(StrategyKind::Psgd, Topology::ring(8), 12);
+    let sign = quick(StrategyKind::SignMajority, Topology::ring(8), 12);
+    let marsit = quick(StrategyKind::Marsit { k: None }, Topology::ring(8), 12);
+    let reduction_vs_psgd = 1.0 - marsit.total_bytes as f64 / psgd.total_bytes as f64;
+    let reduction_vs_sign = 1.0 - marsit.total_bytes as f64 / sign.total_bytes as f64;
+    assert!(reduction_vs_psgd > 0.88, "vs PSGD: {reduction_vs_psgd}");
+    assert!(reduction_vs_sign > 0.5, "vs signSGD: {reduction_vs_sign}");
+}
+
+#[test]
+fn time_shape_fig1a() {
+    // Non-compressed RAR < non-compressed PS; SSDM-MAR transmission exceeds
+    // its PS version's; cascading codec dominates.
+    let model = |topology| TimingModel {
+        rates: RateProfile::public_cloud(),
+        logical_d: 23_000_000,
+        topology,
+        flops_per_sample: 2.0e9,
+        batch_per_worker: 32,
+        overlap: true,
+    };
+    let ring = model(Topology::ring(8));
+    let star = model(Topology::star(8));
+    assert!(
+        ring.communication_time(StrategyKind::Psgd, true)
+            < star.communication_time(StrategyKind::Psgd, true)
+    );
+    // The growing-width MAR payload must cost well above a strictly one-bit
+    // MAR scheme (Section 3.1's motivation for Marsit).
+    assert!(
+        ring.communication_time(StrategyKind::Ssdm, false)
+            > 1.5 * ring.communication_time(StrategyKind::Marsit { k: None }, false)
+    );
+    let casc = ring.round_time(StrategyKind::Cascading, false);
+    let marsit = ring.round_time(StrategyKind::Marsit { k: None }, false);
+    assert!(casc.compression_s > 20.0 * marsit.compression_s);
+}
+
+#[test]
+fn time_shape_fig5_tar_vs_rar() {
+    let mk = |topology| TimingModel {
+        rates: RateProfile::public_cloud(),
+        logical_d: 23_000_000,
+        topology,
+        flops_per_sample: 2.0e9,
+        batch_per_worker: 32,
+        overlap: true,
+    };
+    let rar = mk(Topology::ring(16));
+    let tar = mk(Topology::square_torus(16));
+    for strategy in [
+        StrategyKind::Psgd,
+        StrategyKind::SignMajority,
+        StrategyKind::EfSign,
+        StrategyKind::Ssdm,
+        StrategyKind::Marsit { k: None },
+    ] {
+        assert!(
+            tar.communication_time(strategy, false) < rar.communication_time(strategy, false),
+            "{strategy}"
+        );
+    }
+    // Marsit has the least communication under both fabrics.
+    for m in [&rar, &tar] {
+        let marsit = m.communication_time(StrategyKind::Marsit { k: None }, false);
+        for strategy in [StrategyKind::Psgd, StrategyKind::SignMajority, StrategyKind::Ssdm] {
+            assert!(marsit < m.communication_time(strategy, false), "{strategy}");
+        }
+    }
+}
+
+#[test]
+fn trace_time_consistent_with_closed_form() {
+    // The measured trace of a ring fp32 all-reduce must price to the
+    // closed-form cost from simnet.
+    use marsit::collectives::ring::ring_allreduce_sum;
+    use marsit::simnet::cost::ring_allreduce_time;
+    let m = 8;
+    let d = 4096;
+    let mut data: Vec<Vec<f32>> = (0..m).map(|w| vec![w as f32; d]).collect();
+    let trace = ring_allreduce_sum(&mut data);
+    let link = LinkModel::new(25e-6, 1.25e9);
+    let measured = trace.time(link);
+    let closed = ring_allreduce_time(link, d * 4, m);
+    assert!(
+        (measured - closed).abs() / closed < 0.01,
+        "measured {measured} vs closed form {closed}"
+    );
+}

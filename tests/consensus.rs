@@ -1,0 +1,89 @@
+//! Cross-crate integration tests for the MAR consensus invariant:
+//! after every synchronization, all workers must hold the same model.
+
+use marsit::prelude::*;
+
+fn base_cfg(strategy: StrategyKind, topology: Topology) -> TrainConfig {
+    let mut cfg = TrainConfig::new(Workload::AlexNetMnist, topology, strategy);
+    cfg.rounds = 24;
+    cfg.train_examples = 1024;
+    cfg.test_examples = 256;
+    cfg.batch_per_worker = 16;
+    cfg.eval_every = 0;
+    cfg.check_consistency = true; // panics inside train() on divergence
+    cfg
+}
+
+#[test]
+fn all_strategies_reach_consensus_on_ring() {
+    for strategy in [
+        StrategyKind::Psgd,
+        StrategyKind::SignMajority,
+        StrategyKind::EfSign,
+        StrategyKind::Ssdm,
+        StrategyKind::Cascading,
+        StrategyKind::Marsit { k: Some(8) },
+        StrategyKind::Marsit { k: None },
+        StrategyKind::PowerSgd { rank: 2 },
+    ] {
+        let report = train(&base_cfg(strategy, Topology::ring(4)));
+        assert_eq!(report.records.len(), 24, "{strategy}");
+    }
+}
+
+#[test]
+fn all_strategies_reach_consensus_on_torus() {
+    for strategy in [
+        StrategyKind::Psgd,
+        StrategyKind::SignMajority,
+        StrategyKind::EfSign,
+        StrategyKind::Ssdm,
+        StrategyKind::Marsit { k: Some(8) },
+    ] {
+        let report = train(&base_cfg(strategy, Topology::torus(2, 3)));
+        assert_eq!(report.records.len(), 24, "{strategy}");
+    }
+}
+
+#[test]
+fn runs_are_bit_reproducible() {
+    for strategy in [StrategyKind::Marsit { k: Some(8) }, StrategyKind::Ssdm] {
+        let cfg = base_cfg(strategy, Topology::ring(4));
+        let a = train(&cfg);
+        let b = train(&cfg);
+        assert_eq!(a.final_eval, b.final_eval, "{strategy}");
+        assert_eq!(a.total_bytes, b.total_bytes, "{strategy}");
+        for (ra, rb) in a.records.iter().zip(&b.records) {
+            assert_eq!(ra, rb, "{strategy}");
+        }
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let mut cfg = base_cfg(StrategyKind::Marsit { k: None }, Topology::ring(4));
+    let a = train(&cfg);
+    cfg.seed = 43;
+    let b = train(&cfg);
+    assert_ne!(a.final_eval, b.final_eval);
+}
+
+#[test]
+fn marsit_core_consensus_is_identical_across_workers() {
+    // Direct API check: the synchronizer returns ONE update; feeding
+    // different per-worker updates still yields a single consensus vector
+    // whose application keeps replicas equal (checked inside train()), and
+    // repeated synchronization with the same instance advances rounds.
+    use marsit::core::{Marsit, MarsitConfig, SyncSchedule};
+    let cfg = MarsitConfig::new(SyncSchedule::every(3), 0.01, 5);
+    let mut sync = Marsit::new(cfg, 4, 64);
+    let mut rng = FastRng::new(1, 0);
+    for t in 0..9u64 {
+        let updates: Vec<Vec<f32>> = (0..4)
+            .map(|_| (0..64).map(|_| rng.next_f64() as f32 - 0.5).collect())
+            .collect();
+        let out = sync.synchronize(&updates, Topology::ring(4));
+        assert_eq!(out.round, t);
+        assert_eq!(out.full_precision, t % 3 == 0);
+    }
+}

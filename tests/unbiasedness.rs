@@ -1,0 +1,135 @@
+//! System-level statistical properties: the `⊙` pipeline's unbiasedness
+//! through the real collectives, and the theory-module bounds.
+
+use marsit::collectives::ring::ring_allreduce_onebit;
+use marsit::collectives::torus::torus_allreduce_onebit;
+use marsit::core::ominus::combine_weighted;
+use marsit::core::theory;
+use marsit::prelude::*;
+
+/// E[consensus bit] through the full ring pipeline must equal the mean of
+/// the workers' bits — the property Theorem 1 rests on.
+#[test]
+fn ring_onebit_allreduce_is_unbiased() {
+    let m = 5;
+    let d = 40;
+    let mut seed_rng = FastRng::new(3, 0);
+    let signs: Vec<SignVec> = (0..m)
+        .map(|_| SignVec::bernoulli_uniform(d, 0.5, &mut seed_rng))
+        .collect();
+    let trials = 20_000;
+    let mut ones = vec![0u32; d];
+    for trial in 0..trials {
+        let mut rng = FastRng::new(1000 + trial, 0);
+        let (out, _) = ring_allreduce_onebit(&signs, |r, l, ctx| {
+            combine_weighted(r, ctx.received_count, l, ctx.local_count, &mut rng)
+        });
+        for (j, o) in ones.iter_mut().enumerate() {
+            *o += u32::from(out.get(j));
+        }
+    }
+    for (j, &o) in ones.iter().enumerate() {
+        let measured = f64::from(o) / f64::from(trials as u32);
+        let expected = signs.iter().filter(|v| v.get(j)).count() as f64 / m as f64;
+        assert!(
+            (measured - expected).abs() < 0.02,
+            "coord {j}: {measured} vs {expected}"
+        );
+    }
+}
+
+/// Same property through the 2D-torus pipeline with its weighted combines.
+#[test]
+fn torus_onebit_allreduce_is_unbiased() {
+    let (rows, cols) = (2, 3);
+    let m = rows * cols;
+    let d = 24;
+    let mut seed_rng = FastRng::new(8, 0);
+    let signs: Vec<SignVec> = (0..m)
+        .map(|_| SignVec::bernoulli_uniform(d, 0.5, &mut seed_rng))
+        .collect();
+    let trials = 20_000;
+    let mut ones = vec![0u32; d];
+    for trial in 0..trials {
+        let mut rng = FastRng::new(5000 + trial, 0);
+        let (out, _) = torus_allreduce_onebit(&signs, rows, cols, |r, l, ctx| {
+            combine_weighted(r, ctx.received_count, l, ctx.local_count, &mut rng)
+        });
+        for (j, o) in ones.iter_mut().enumerate() {
+            *o += u32::from(out.get(j));
+        }
+    }
+    for (j, &o) in ones.iter().enumerate() {
+        let measured = f64::from(o) / f64::from(trials as u32);
+        let expected = signs.iter().filter(|v| v.get(j)).count() as f64 / m as f64;
+        assert!(
+            (measured - expected).abs() < 0.02,
+            "coord {j}: {measured} vs {expected}"
+        );
+    }
+}
+
+/// Theorems 2 and 3, empirically: PS deviation stays bounded while the
+/// cascading deviation explodes with the chain length.
+#[test]
+fn deviation_bounds_shape() {
+    let d = 48;
+    let mut previous_cascading = 0.0;
+    let mut previous_ps = f64::INFINITY;
+    for m in [2usize, 4, 6, 8] {
+        let est = theory::estimate_deviations(d, m, 60, 7);
+        assert!(est.ps < theory::ps_deviation_bound(d, (d as f64).sqrt()));
+        assert!(est.cascading < theory::cascading_deviation_bound(d, m, (d as f64).sqrt()));
+        assert!(
+            est.cascading > previous_cascading,
+            "cascading deviation must grow with M: {est:?}"
+        );
+        previous_cascading = est.cascading;
+        // PS deviation ≈ D²/M: shrinking in M, never exploding.
+        assert!(
+            est.ps < 1.2 * previous_ps,
+            "PS deviation must not grow with M: {} after {previous_ps}",
+            est.ps
+        );
+        previous_ps = est.ps;
+    }
+}
+
+/// Marsit's compensation keeps the *compensated iterate* on the SGD path:
+/// c_t + Σ applied = Σ intended (the ỹ construction of Theorem 1's proof).
+#[test]
+fn compensation_telescopes_through_full_algorithm() {
+    use marsit::core::{Marsit, MarsitConfig, SyncSchedule};
+    let m = 3;
+    let d = 16;
+    let cfg = MarsitConfig::new(SyncSchedule::never(), 0.01, 11);
+    let mut sync = Marsit::new(cfg, m, d);
+    let mut rng = FastRng::new(2, 0);
+    let mut intended = vec![vec![0.0f64; d]; m];
+    let mut applied = vec![0.0f64; d];
+    for _ in 0..40 {
+        let updates: Vec<Vec<f32>> = (0..m)
+            .map(|_| (0..d).map(|_| 0.02 * (rng.next_f64() as f32 - 0.5)).collect())
+            .collect();
+        for (acc, u) in intended.iter_mut().zip(&updates) {
+            for (a, &x) in acc.iter_mut().zip(u) {
+                *a += f64::from(x);
+            }
+        }
+        let out = sync.synchronize(&updates, Topology::ring(m));
+        for (a, &g) in applied.iter_mut().zip(&out.global_update) {
+            *a += f64::from(g);
+        }
+    }
+    for (w, intended_w) in intended.iter().enumerate() {
+        let c = sync.compensation(w).vector();
+        for j in 0..d {
+            let residual = intended_w[j] - applied[j];
+            assert!(
+                (residual - f64::from(c[j])).abs() < 1e-3,
+                "worker {w} coord {j}: residual {residual} vs c {}",
+                c[j]
+            );
+        }
+    }
+}
