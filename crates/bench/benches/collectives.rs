@@ -22,7 +22,9 @@ fn payloads(m: usize, d: usize) -> Vec<Vec<f32>> {
 
 fn signs(m: usize, d: usize) -> Vec<SignVec> {
     let mut rng = FastRng::new(2, 0);
-    (0..m).map(|_| SignVec::bernoulli_uniform(d, 0.5, &mut rng)).collect()
+    (0..m)
+        .map(|_| SignVec::bernoulli_uniform(d, 0.5, &mut rng))
+        .collect()
 }
 
 fn bench_ring_sum(c: &mut Criterion) {

@@ -14,7 +14,11 @@ use marsit_tensor::SignVec;
 fn updates(m: usize, d: usize) -> Vec<Vec<f32>> {
     let mut rng = FastRng::new(1, 0);
     (0..m)
-        .map(|_| (0..d).map(|_| 0.01 * (rng.next_f64() as f32 - 0.5)).collect())
+        .map(|_| {
+            (0..d)
+                .map(|_| 0.01 * (rng.next_f64() as f32 - 0.5))
+                .collect()
+        })
         .collect()
 }
 

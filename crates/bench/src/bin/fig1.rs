@@ -18,14 +18,25 @@ fn main() {
     let workload = Workload::AlexNetMnist;
 
     // --- Fig 1a: per-iteration time breakdown -------------------------------
-    println!("== Fig 1a: per-iteration time, {} logical params, M = {m} ==\n", workload.logical_params());
+    println!(
+        "== Fig 1a: per-iteration time, {} logical params, M = {m} ==\n",
+        workload.logical_params()
+    );
     let settings: Vec<(&str, StrategyKind, Topology)> = vec![
         ("PSGD / PS", StrategyKind::Psgd, Topology::star(m)),
         ("PSGD / RAR", StrategyKind::Psgd, Topology::ring(m)),
         ("SSDM / PS", StrategyKind::Ssdm, Topology::star(m)),
         ("SSDM / MAR", StrategyKind::Ssdm, Topology::ring(m)),
-        ("Cascading / MAR", StrategyKind::Cascading, Topology::ring(m)),
-        ("Marsit / MAR", StrategyKind::Marsit { k: None }, Topology::ring(m)),
+        (
+            "Cascading / MAR",
+            StrategyKind::Cascading,
+            Topology::ring(m),
+        ),
+        (
+            "Marsit / MAR",
+            StrategyKind::Marsit { k: None },
+            Topology::ring(m),
+        ),
     ];
     let timings: Vec<_> = settings
         .iter()

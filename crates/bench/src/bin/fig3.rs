@@ -73,7 +73,10 @@ fn main() {
 
     // (b) convergence table.
     println!("\n-- Fig 3b: convergence results --\n");
-    println!("{:<8} {:>10} {:>9} {:>7}", "K", "Time(min)", "Acc.(%)", "Bits");
+    println!(
+        "{:<8} {:>10} {:>9} {:>7}",
+        "K", "Time(min)", "Acc.(%)", "Bits"
+    );
     hr(38);
     for (k, report) in &rows {
         println!(

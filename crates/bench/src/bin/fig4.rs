@@ -38,9 +38,7 @@ fn run(strategy: StrategyKind) -> TrainReport {
 }
 
 fn main() {
-    println!(
-        "== Fig 4: ResNet-50-proxy / ImageNet-proxy, ring({M}), T = {ROUNDS} ==\n"
-    );
+    println!("== Fig 4: ResNet-50-proxy / ImageNet-proxy, ring({M}), T = {ROUNDS} ==\n");
     let strategies = StrategyKind::TABLE2;
     let reports: Vec<TrainReport> = strategies.iter().map(|&s| run(s)).collect();
 

@@ -110,7 +110,8 @@ fn main() {
             batch_per_worker: 8,
             overlap: true,
         };
-        let model_ms = model.communication_time(strategy, matches!(strategy, StrategyKind::Psgd)) * 1e3;
+        let model_ms =
+            model.communication_time(strategy, matches!(strategy, StrategyKind::Psgd)) * 1e3;
         println!(
             "{:<12} {:>18.2} {:>18.2} {:>8.2}",
             strategy.label(),

@@ -74,8 +74,7 @@ fn main() {
             let diverged = reports.iter().any(|r| r.diverged)
                 || acc.mean() < 20.0
                 || reports.iter().all(|r| rounds_to_converge(r).is_none());
-            let rounds: Vec<usize> =
-                reports.iter().filter_map(rounds_to_converge).collect();
+            let rounds: Vec<usize> = reports.iter().filter_map(rounds_to_converge).collect();
             let mean_rounds = if rounds.is_empty() {
                 ROUNDS
             } else {

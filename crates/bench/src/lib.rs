@@ -51,12 +51,12 @@ pub fn mean_matching_rate(report: &TrainReport) -> f64 {
 /// Renders a simple ASCII stacked bar for a phase breakdown, scaled so that
 /// `max_total` fills `width` characters. Compute `#`, codec `%`, comm `=`.
 #[must_use]
-pub fn phase_bar(
-    breakdown: marsit_simnet::PhaseBreakdown,
-    max_total: f64,
-    width: usize,
-) -> String {
-    let scale = if max_total > 0.0 { width as f64 / max_total } else { 0.0 };
+pub fn phase_bar(breakdown: marsit_simnet::PhaseBreakdown, max_total: f64, width: usize) -> String {
+    let scale = if max_total > 0.0 {
+        width as f64 / max_total
+    } else {
+        0.0
+    };
     let n = |x: f64| (x * scale).round() as usize;
     format!(
         "{}{}{}",
@@ -84,7 +84,9 @@ pub fn write_round_csv(path: &Path, report: &TrainReport) -> std::io::Result<()>
     );
     writeln!(f, "{header}")?;
     for r in &report.records {
-        let acc = r.eval.map_or(String::new(), |e| format!("{:.6}", e.accuracy));
+        let acc = r
+            .eval
+            .map_or(String::new(), |e| format!("{:.6}", e.accuracy));
         writeln!(
             f,
             "{},{:.6},{:.6e},{:.4},{},{:.6e},{:.6e},{:.6e},{:.4},{:.3},{}",

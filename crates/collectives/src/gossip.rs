@@ -99,7 +99,10 @@ mod tests {
         for _ in 0..20 {
             let _ = gossip_ring_step(&mut data);
             let err = consensus_error(&data);
-            assert!(err <= prev * 1.0001, "error must not grow: {err} after {prev}");
+            assert!(
+                err <= prev * 1.0001,
+                "error must not grow: {err} after {prev}"
+            );
             prev = err;
         }
         assert!(prev < 1e-2, "should be near consensus eventually: {prev}");
@@ -122,7 +125,10 @@ mod tests {
         };
         let s4 = steps_to(4);
         let s16 = steps_to(16);
-        assert!(s16 > 3 * s4, "ring gossip must slow down with M: {s4} vs {s16}");
+        assert!(
+            s16 > 3 * s4,
+            "ring gossip must slow down with M: {s4} vs {s16}"
+        );
     }
 
     #[test]

@@ -106,8 +106,9 @@ mod tests {
     #[test]
     fn majority_matches_recount() {
         let mut rng = FastRng::new(1, 0);
-        let signs: Vec<SignVec> =
-            (0..5).map(|_| SignVec::bernoulli_uniform(40, 0.5, &mut rng)).collect();
+        let signs: Vec<SignVec> = (0..5)
+            .map(|_| SignVec::bernoulli_uniform(40, 0.5, &mut rng))
+            .collect();
         let (vote, _) = ps_majority_vote(&signs);
         for j in 0..40 {
             let s: i32 = signs.iter().map(|v| if v.get(j) { 1 } else { -1 }).sum();

@@ -21,9 +21,10 @@
 use std::ops::Range;
 
 use marsit_compress::SignSumVec;
+use marsit_simnet::FaultInjector;
 use marsit_tensor::SignVec;
 
-use crate::trace::Trace;
+use crate::trace::{FaultyStep, Trace};
 
 /// Splits `d` coordinates into `m` contiguous segments whose sizes differ by
 /// at most one (the first `d mod m` segments get the extra element).
@@ -163,9 +164,7 @@ pub fn ring_allreduce_majority(signs: &[SignVec], wire: SumWire) -> (SignVec, Tr
         result.splice(range.start, &full_seg);
     }
     for _ in 0..m - 1 {
-        let step: Vec<usize> = (0..m)
-            .map(|w| segs[w].len().div_ceil(8).max(1))
-            .collect();
+        let step: Vec<usize> = (0..m).map(|w| segs[w].len().div_ceil(8).max(1)).collect();
         trace.push_step(step);
     }
     (result, trace)
@@ -314,7 +313,11 @@ where
             };
             let received = state[w][s].clone();
             let merged = combine(&received, &state[n][s], ctx);
-            assert_eq!(merged.len(), segs[s].len(), "combine changed segment length");
+            assert_eq!(
+                merged.len(),
+                segs[s].len(),
+                "combine changed segment length"
+            );
             state[n][s] = merged;
         }
         trace.push_step(step_bytes);
@@ -328,6 +331,181 @@ where
     for _ in 0..m - 1 {
         let step: Vec<usize> = (0..m).map(|s| segs[s].len().div_ceil(8).max(1)).collect();
         trace.push_step(step);
+    }
+    (result, trace)
+}
+
+/// [`ring_allreduce_sum`] under fault injection.
+///
+/// Reduce-phase transfers are best-effort: a transfer whose retry budget is
+/// exhausted is omitted (its partial aggregate is simply not folded in, so
+/// the result degrades toward a partial sum). Gather-phase transfers are
+/// reliable — every worker still ends with identical payloads. Retransmitted
+/// attempts appear as extra sub-steps in the trace.
+///
+/// With an inert injector this produces exactly the [`ring_allreduce_sum`]
+/// result and trace.
+///
+/// # Panics
+///
+/// Panics if fewer than 2 workers or payload lengths differ.
+pub fn ring_allreduce_sum_faulty(data: &mut [Vec<f32>], inj: &mut FaultInjector) -> Trace {
+    let m = data.len();
+    assert!(m >= 2, "ring all-reduce needs at least 2 workers");
+    let d = data[0].len();
+    assert!(data.iter().all(|v| v.len() == d), "payload lengths differ");
+    let segs = segment_ranges(d, m);
+    let mut trace = Trace::new();
+
+    for r in 0..m - 1 {
+        let mut fs = FaultyStep::new();
+        for w in 0..m {
+            let n = (w + 1) % m;
+            let s = (w + m - (r % m)) % m;
+            let range = segs[s].clone();
+            let fate = inj.transfer();
+            fs.record(range.len() * 4, fate.attempts);
+            if fate.delivered {
+                let (src, dst) = two_workers(data, w, n);
+                for (x, &y) in dst[range.clone()].iter_mut().zip(&src[range]) {
+                    *x += y;
+                }
+            }
+        }
+        for step in fs.into_steps() {
+            trace.push_step(step);
+        }
+    }
+
+    for g in 0..m - 1 {
+        let mut fs = FaultyStep::new();
+        for w in 0..m {
+            let n = (w + 1) % m;
+            let s = (w + 1 + m - (g % m)) % m;
+            let range = segs[s].clone();
+            let fate = inj.transfer_reliable();
+            fs.record(range.len() * 4, fate.attempts);
+            let (src, dst) = two_workers(data, w, n);
+            dst[range.clone()].copy_from_slice(&src[range]);
+        }
+        for step in fs.into_steps() {
+            trace.push_step(step);
+        }
+    }
+    trace
+}
+
+/// [`ring_allreduce_onebit`] under fault injection.
+///
+/// See [`ring_allreduce_onebit_counted_faulty`]; every input counts as one
+/// worker.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`ring_allreduce_onebit`].
+pub fn ring_allreduce_onebit_faulty<F>(
+    signs: &[SignVec],
+    inj: &mut FaultInjector,
+    combine: F,
+) -> (SignVec, Trace)
+where
+    F: FnMut(&SignVec, &SignVec, CombineCtx) -> SignVec,
+{
+    let counts = vec![1; signs.len()];
+    ring_allreduce_onebit_counted_faulty(signs, &counts, inj, combine)
+}
+
+/// One-bit ring all-reduce under fault injection, with explicit per-input
+/// aggregation counts (`init_counts[w]` = how many workers `signs[w]`
+/// already aggregates; the vertical phase of a faulty torus feeds row
+/// aggregates here).
+///
+/// Unlike the clean schedule, aggregation counts are tracked per
+/// `(worker, segment)` cell rather than derived from the step index: when a
+/// reduce transfer exhausts its retry budget the contribution is *omitted* —
+/// the receiver keeps its current aggregate and its count is unchanged — so
+/// every [`CombineCtx`] still reports the exact number of workers on each
+/// side and the `⊙` combine stays unbiased over what actually arrived.
+/// Gather transfers are reliable, so all workers agree on the result.
+///
+/// With an inert injector this reproduces [`ring_allreduce_onebit_weighted`]
+/// (contexts and all) for uniform `init_counts`.
+///
+/// # Panics
+///
+/// Panics if fewer than 2 workers, a count is zero, input lengths differ, or
+/// the combine returns a vector of the wrong length.
+pub fn ring_allreduce_onebit_counted_faulty<F>(
+    signs: &[SignVec],
+    init_counts: &[usize],
+    inj: &mut FaultInjector,
+    mut combine: F,
+) -> (SignVec, Trace)
+where
+    F: FnMut(&SignVec, &SignVec, CombineCtx) -> SignVec,
+{
+    let m = signs.len();
+    assert!(m >= 2, "ring all-reduce needs at least 2 workers");
+    assert_eq!(init_counts.len(), m, "one count per input");
+    assert!(
+        init_counts.iter().all(|&c| c > 0),
+        "counts must be positive"
+    );
+    let d = signs[0].len();
+    assert!(signs.iter().all(|v| v.len() == d), "sign lengths differ");
+    let segs = segment_ranges(d, m);
+    let mut state: Vec<Vec<SignVec>> = signs
+        .iter()
+        .map(|v| segs.iter().map(|r| v.slice(r.start, r.len())).collect())
+        .collect();
+    // counts[w][s]: workers aggregated in worker w's copy of segment s.
+    let mut counts: Vec<Vec<usize>> = init_counts.iter().map(|&c| vec![c; m]).collect();
+    let mut trace = Trace::new();
+    for r in 0..m - 1 {
+        let mut fs = FaultyStep::new();
+        for w in 0..m {
+            let n = (w + 1) % m;
+            let s = (w + m - (r % m)) % m;
+            let fate = inj.transfer();
+            fs.record(segs[s].len().div_ceil(8).max(1), fate.attempts);
+            if fate.delivered {
+                let ctx = CombineCtx {
+                    step: r,
+                    receiver: n,
+                    segment: s,
+                    received_count: counts[w][s],
+                    local_count: counts[n][s],
+                };
+                let received = state[w][s].clone();
+                let merged = combine(&received, &state[n][s], ctx);
+                assert_eq!(
+                    merged.len(),
+                    segs[s].len(),
+                    "combine changed segment length"
+                );
+                state[n][s] = merged;
+                counts[n][s] += counts[w][s];
+            }
+        }
+        for step in fs.into_steps() {
+            trace.push_step(step);
+        }
+    }
+    // Assemble from each segment's owner, then trace the (reliable) gather.
+    let mut result = SignVec::zeros(d);
+    for s in 0..m {
+        let owner = (s + m - 1) % m;
+        result.splice(segs[s].start, &state[owner][s]);
+    }
+    for _ in 0..m - 1 {
+        let mut fs = FaultyStep::new();
+        for seg in &segs {
+            let fate = inj.transfer_reliable();
+            fs.record(seg.len().div_ceil(8).max(1), fate.attempts);
+        }
+        for step in fs.into_steps() {
+            trace.push_step(step);
+        }
     }
     (result, trace)
 }
@@ -522,5 +700,115 @@ mod tests {
     fn single_worker_panics() {
         let mut data = vec![vec![1.0f32]];
         let _ = ring_allreduce_sum(&mut data);
+    }
+
+    #[test]
+    fn faulty_sum_with_inert_injector_matches_clean() {
+        let m = 5;
+        let d = 47;
+        let mut clean = random_payloads(m, d, 17);
+        let mut faulty = clean.clone();
+        let clean_trace = ring_allreduce_sum(&mut clean);
+        let mut inj = FaultInjector::inert();
+        let faulty_trace = ring_allreduce_sum_faulty(&mut faulty, &mut inj);
+        assert_eq!(clean, faulty);
+        assert_eq!(clean_trace, faulty_trace);
+        assert!(inj.stats().is_clean());
+    }
+
+    #[test]
+    fn faulty_onebit_with_inert_injector_matches_clean() {
+        let m = 4;
+        let d = 36;
+        let mut rng = FastRng::new(19, 0);
+        let signs: Vec<SignVec> = (0..m)
+            .map(|_| SignVec::bernoulli_uniform(d, 0.5, &mut rng))
+            .collect();
+        // Deterministic combine so both runs take identical decisions.
+        let combine = |recv: &SignVec, local: &SignVec, _ctx: CombineCtx| recv.and(local);
+        let (clean, clean_trace) = ring_allreduce_onebit(&signs, combine);
+        let mut inj = FaultInjector::inert();
+        let (faulty, faulty_trace) = ring_allreduce_onebit_faulty(&signs, &mut inj, combine);
+        assert_eq!(clean, faulty);
+        assert_eq!(clean_trace, faulty_trace);
+    }
+
+    #[test]
+    fn faulty_onebit_counts_match_clean_contexts_when_inert() {
+        let m = 5;
+        let d = 25;
+        let signs: Vec<SignVec> = (0..m).map(|_| SignVec::ones(d)).collect();
+        let mut seen = Vec::new();
+        let mut inj = FaultInjector::inert();
+        let _ = ring_allreduce_onebit_faulty(&signs, &mut inj, |recv, _l, ctx| {
+            seen.push((ctx.step, ctx.received_count, ctx.local_count));
+            recv.clone()
+        });
+        assert_eq!(seen.len(), (m - 1) * m);
+        for &(step, rc, lc) in &seen {
+            assert_eq!(rc, step + 1);
+            assert_eq!(lc, 1);
+        }
+    }
+
+    #[test]
+    fn faulty_onebit_counts_stay_exact_under_drops() {
+        use marsit_simnet::FaultPlan;
+        // Heavy loss with no retries: many omissions. Every combine context
+        // must still report the true aggregation counts (each side ≥ 1, sum
+        // ≤ m), and the schedule must stay deterministic per seed.
+        let m = 6;
+        let d = 48;
+        let mut rng = FastRng::new(23, 0);
+        let signs: Vec<SignVec> = (0..m)
+            .map(|_| SignVec::bernoulli_uniform(d, 0.5, &mut rng))
+            .collect();
+        let plan = FaultPlan::seeded(3)
+            .with_link_drop(0.4)
+            .with_retry_policy(0, 1e-4);
+        let run = |plan: &FaultPlan| {
+            let mut inj = plan.injector(0);
+            let mut ctxs = Vec::new();
+            let (out, trace) = ring_allreduce_onebit_faulty(&signs, &mut inj, |recv, _l, ctx| {
+                ctxs.push(ctx);
+                recv.clone()
+            });
+            (out, trace, ctxs, inj.stats())
+        };
+        let (out, trace, ctxs, stats) = run(&plan);
+        assert!(stats.dropped_transfers > 0, "0.4 loss over 30 transfers");
+        for ctx in &ctxs {
+            assert!(ctx.received_count >= 1 && ctx.local_count >= 1);
+            assert!(ctx.received_count + ctx.local_count <= m);
+        }
+        // Fewer combines than the fault-free schedule's (m−1)·m.
+        assert!(ctxs.len() < (m - 1) * m);
+        let again = run(&plan);
+        assert_eq!(out, again.0, "deterministic under fixed seed");
+        assert_eq!(trace, again.1);
+        assert_eq!(ctxs, again.2);
+    }
+
+    #[test]
+    fn faulty_retries_appear_as_extra_trace_steps() {
+        use marsit_simnet::FaultPlan;
+        let m = 4;
+        let d = 64;
+        let mut data = random_payloads(m, d, 29);
+        let baseline_steps = 2 * (m - 1);
+        let plan = FaultPlan::seeded(7)
+            .with_link_drop(0.3)
+            .with_retry_policy(4, 1e-4);
+        let mut inj = plan.injector(0);
+        let trace = ring_allreduce_sum_faulty(&mut data, &mut inj);
+        let stats = inj.stats();
+        assert!(stats.retransmits > 0);
+        assert!(trace.num_steps() > baseline_steps, "retries add sub-steps");
+        // Wire bytes grow by exactly the retransmitted segments.
+        let clean_bytes = 2 * (m - 1) * m * (d / m) * 4;
+        assert_eq!(
+            trace.total_bytes(),
+            clean_bytes + stats.retransmits as usize * (d / m) * 4
+        );
     }
 }

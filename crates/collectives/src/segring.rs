@@ -13,9 +13,13 @@
 //!
 //! With `S = 1` this degenerates to plain ring all-reduce.
 
+use marsit_simnet::FaultInjector;
 use marsit_tensor::SignVec;
 
-use crate::ring::{ring_allreduce_onebit, ring_allreduce_sum, segment_ranges, CombineCtx};
+use crate::ring::{
+    ring_allreduce_onebit, ring_allreduce_onebit_faulty, ring_allreduce_sum, segment_ranges,
+    CombineCtx,
+};
 use crate::trace::Trace;
 
 /// In-place segmented-ring all-reduce summing `f32` payloads.
@@ -39,8 +43,7 @@ pub fn segring_allreduce_sum(data: &mut [Vec<f32>], macro_segments: usize) -> Tr
         if range.is_empty() {
             continue;
         }
-        let mut chunk: Vec<Vec<f32>> =
-            data.iter().map(|w| w[range.clone()].to_vec()).collect();
+        let mut chunk: Vec<Vec<f32>> = data.iter().map(|w| w[range.clone()].to_vec()).collect();
         let sub = ring_allreduce_sum(&mut chunk);
         for (w, c) in chunk.into_iter().enumerate() {
             data[w][range.clone()].copy_from_slice(&c);
@@ -84,9 +87,65 @@ where
         if range.is_empty() {
             continue;
         }
-        let chunk: Vec<SignVec> =
-            signs.iter().map(|v| v.slice(range.start, range.len())).collect();
+        let chunk: Vec<SignVec> = signs
+            .iter()
+            .map(|v| v.slice(range.start, range.len()))
+            .collect();
         let (reduced, sub) = ring_allreduce_onebit(&chunk, |recv, local, ctx| {
+            let shifted = CombineCtx {
+                segment: s * m + ctx.segment,
+                ..ctx
+            };
+            combine(recv, local, shifted)
+        });
+        result.splice(range.start, &reduced);
+        merge_offset(&mut steps, s, &sub);
+    }
+    let mut trace = Trace::new();
+    for s in steps {
+        trace.push_step(s);
+    }
+    (result, trace)
+}
+
+/// [`segring_allreduce_onebit`] under fault injection.
+///
+/// Each macro-segment's ring pass runs [`ring_allreduce_onebit_faulty`] with
+/// the shared injector (pipelines consume the fault stream in macro-segment
+/// order, keeping runs deterministic). Retransmissions appear as extra steps
+/// inside each pipeline's trace before the pipelining shift is applied.
+///
+/// With an inert injector this reproduces [`segring_allreduce_onebit`].
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`segring_allreduce_onebit`].
+pub fn segring_allreduce_onebit_faulty<F>(
+    signs: &[SignVec],
+    macro_segments: usize,
+    inj: &mut FaultInjector,
+    mut combine: F,
+) -> (SignVec, Trace)
+where
+    F: FnMut(&SignVec, &SignVec, CombineCtx) -> SignVec,
+{
+    let m = signs.len();
+    assert!(m >= 2, "segmented ring needs at least 2 workers");
+    assert!(macro_segments > 0, "need at least one macro-segment");
+    let d = signs[0].len();
+    assert!(signs.iter().all(|v| v.len() == d), "sign lengths differ");
+    let ranges = segment_ranges(d, macro_segments);
+    let mut result = SignVec::zeros(d);
+    let mut steps: Vec<Vec<usize>> = Vec::new();
+    for (s, range) in ranges.iter().enumerate() {
+        if range.is_empty() {
+            continue;
+        }
+        let chunk: Vec<SignVec> = signs
+            .iter()
+            .map(|v| v.slice(range.start, range.len()))
+            .collect();
+        let (reduced, sub) = ring_allreduce_onebit_faulty(&chunk, inj, |recv, local, ctx| {
             let shifted = CombineCtx {
                 segment: s * m + ctx.segment,
                 ..ctx
@@ -171,10 +230,13 @@ mod tests {
         let mut plain = payloads(m, d, 2);
         let plain_trace = crate::ring::ring_allreduce_sum(&mut plain);
         let link = LinkModel::new(0.0, 1.0); // pure bandwidth
-        // Critical-path bytes differ by at most the pipeline fill/drain.
+                                             // Critical-path bytes differ by at most the pipeline fill/drain.
         let seg_time = seg_trace.time(link);
         let plain_time = plain_trace.time(link);
-        assert!(seg_time <= plain_time * 1.4, "seg {seg_time} vs plain {plain_time}");
+        assert!(
+            seg_time <= plain_time * 1.4,
+            "seg {seg_time} vs plain {plain_time}"
+        );
     }
 
     #[test]
@@ -229,5 +291,41 @@ mod tests {
     fn zero_segments_panics() {
         let mut data = payloads(2, 8, 0);
         let _ = segring_allreduce_sum(&mut data, 0);
+    }
+
+    #[test]
+    fn faulty_segring_with_inert_injector_matches_clean() {
+        let m = 4;
+        let d = 56;
+        let mut rng = FastRng::new(47, 0);
+        let signs: Vec<SignVec> = (0..m)
+            .map(|_| SignVec::bernoulli_uniform(d, 0.5, &mut rng))
+            .collect();
+        let combine = |r: &SignVec, l: &SignVec, _ctx: CombineCtx| r.or(l);
+        let (clean, clean_trace) = segring_allreduce_onebit(&signs, 3, combine);
+        let mut inj = FaultInjector::inert();
+        let (faulty, faulty_trace) = segring_allreduce_onebit_faulty(&signs, 3, &mut inj, combine);
+        assert_eq!(clean, faulty);
+        assert_eq!(clean_trace, faulty_trace);
+    }
+
+    #[test]
+    fn faulty_segring_is_deterministic_under_drops() {
+        use marsit_simnet::FaultPlan;
+        let m = 3;
+        let d = 60;
+        let mut rng = FastRng::new(53, 0);
+        let signs: Vec<SignVec> = (0..m)
+            .map(|_| SignVec::bernoulli_uniform(d, 0.5, &mut rng))
+            .collect();
+        let plan = FaultPlan::seeded(4).with_link_drop(0.25);
+        let run = || {
+            let mut inj = plan.injector(2);
+            let (out, trace) =
+                segring_allreduce_onebit_faulty(&signs, 2, &mut inj, |r, _l, _| r.clone());
+            (out, trace, inj.stats())
+        };
+        assert_eq!(run(), run());
+        assert!(run().2.retransmits > 0);
     }
 }

@@ -10,18 +10,23 @@
 //! Workers are indexed row-major: `w = row·cols + col`.
 
 use marsit_compress::SignSumVec;
+use marsit_simnet::FaultInjector;
 use marsit_tensor::SignVec;
 
 use crate::ring::{
-    ring_allreduce_onebit_weighted, ring_allreduce_signsum_parts, segment_ranges, CombineCtx,
-    SumWire,
+    ring_allreduce_onebit_counted_faulty, ring_allreduce_onebit_weighted,
+    ring_allreduce_signsum_parts, segment_ranges, CombineCtx, SumWire,
 };
-use crate::trace::Trace;
+use crate::trace::{FaultyStep, Trace};
 
 /// Validates torus shape against the payload count.
 fn check_shape<T>(items: &[T], rows: usize, cols: usize) {
     assert!(rows >= 2 && cols >= 2, "torus needs both dimensions >= 2");
-    assert_eq!(items.len(), rows * cols, "worker count must equal rows*cols");
+    assert_eq!(
+        items.len(),
+        rows * cols,
+        "worker count must equal rows*cols"
+    );
 }
 
 /// Merges the per-step transfers of `sub` (running on disjoint links in
@@ -169,7 +174,9 @@ where
     let offset = steps.len();
     for c in 0..cols {
         let own = (c + 1) % cols;
-        let column: Vec<SignVec> = (0..rows).map(|row| state[row * cols + c][own].clone()).collect();
+        let column: Vec<SignVec> = (0..rows)
+            .map(|row| state[row * cols + c][own].clone())
+            .collect();
         let (reduced, sub) = ring_allreduce_onebit_weighted(&column, cols, &mut combine);
         for row in 0..rows {
             state[row * cols + c][own] = reduced.clone();
@@ -194,6 +201,117 @@ where
     }
 
     // All workers now agree; assemble from worker 0.
+    let mut result = SignVec::zeros(d);
+    for (s, range) in chunks.iter().enumerate() {
+        result.splice(range.start, &state[0][s]);
+    }
+    let mut trace = Trace::new();
+    for s in steps {
+        trace.push_step(s);
+    }
+    (result, trace)
+}
+
+/// [`torus_allreduce_onebit`] under fault injection.
+///
+/// Aggregation counts are tracked per `(worker, chunk)` cell: a reduce
+/// transfer that exhausts its retry budget is omitted (the receiver's
+/// aggregate and count are unchanged), so every [`CombineCtx`] reports the
+/// exact worker counts on both sides and `⊙` stays unbiased over what
+/// arrived. The vertical phase runs
+/// [`ring_allreduce_onebit_counted_faulty`] per column with the actual
+/// row-aggregate counts. All-gather transfers are reliable, so every worker
+/// still agrees on the result. Retransmissions appear as extra trace steps.
+///
+/// With an inert injector this reproduces [`torus_allreduce_onebit`].
+///
+/// # Panics
+///
+/// Panics if the shape is invalid or sign lengths differ.
+pub fn torus_allreduce_onebit_faulty<F>(
+    signs: &[SignVec],
+    rows: usize,
+    cols: usize,
+    inj: &mut FaultInjector,
+    mut combine: F,
+) -> (SignVec, Trace)
+where
+    F: FnMut(&SignVec, &SignVec, CombineCtx) -> SignVec,
+{
+    check_shape(signs, rows, cols);
+    let d = signs[0].len();
+    assert!(signs.iter().all(|v| v.len() == d), "sign lengths differ");
+    let chunks = segment_ranges(d, cols);
+    let mut steps: Vec<Vec<usize>> = Vec::new();
+    let mut state: Vec<Vec<SignVec>> = signs
+        .iter()
+        .map(|v| chunks.iter().map(|r| v.slice(r.start, r.len())).collect())
+        .collect();
+    // counts[w][s]: workers aggregated in worker w's copy of chunk s.
+    let mut counts: Vec<Vec<usize>> = vec![vec![1; cols]; rows * cols];
+
+    // Phase 1: horizontal reduce-scatter with per-cell counts.
+    for rr in 0..cols - 1 {
+        let mut fs = FaultyStep::new();
+        for row in 0..rows {
+            for c in 0..cols {
+                let w = row * cols + c;
+                let n = row * cols + (c + 1) % cols;
+                let s = (c + cols - (rr % cols)) % cols;
+                let fate = inj.transfer();
+                fs.record(chunks[s].len().div_ceil(8).max(1), fate.attempts);
+                if fate.delivered {
+                    let ctx = CombineCtx {
+                        step: rr,
+                        receiver: n,
+                        segment: s,
+                        received_count: counts[w][s],
+                        local_count: counts[n][s],
+                    };
+                    let received = state[w][s].clone();
+                    let merged = combine(&received, &state[n][s], ctx);
+                    assert_eq!(merged.len(), chunks[s].len(), "combine changed length");
+                    state[n][s] = merged;
+                    counts[n][s] += counts[w][s];
+                }
+            }
+        }
+        steps.extend(fs.into_steps());
+    }
+
+    // Phase 2: vertical counted one-bit all-reduce per column.
+    let offset = steps.len();
+    for c in 0..cols {
+        let own = (c + 1) % cols;
+        let column: Vec<SignVec> = (0..rows)
+            .map(|row| state[row * cols + c][own].clone())
+            .collect();
+        let column_counts: Vec<usize> = (0..rows).map(|row| counts[row * cols + c][own]).collect();
+        let (reduced, sub) =
+            ring_allreduce_onebit_counted_faulty(&column, &column_counts, inj, &mut combine);
+        for row in 0..rows {
+            state[row * cols + c][own] = reduced.clone();
+        }
+        merge_parallel(&mut steps, offset, &sub);
+    }
+
+    // Phase 3: horizontal all-gather, reliable.
+    for g in 0..cols - 1 {
+        let mut fs = FaultyStep::new();
+        for row in 0..rows {
+            for c in 0..cols {
+                let w = row * cols + c;
+                let n = row * cols + (c + 1) % cols;
+                let s = (c + 1 + cols - (g % cols)) % cols;
+                let fate = inj.transfer_reliable();
+                fs.record(chunks[s].len().div_ceil(8).max(1), fate.attempts);
+                let sent = state[w][s].clone();
+                state[n][s] = sent;
+            }
+        }
+        steps.extend(fs.into_steps());
+    }
+
     let mut result = SignVec::zeros(d);
     for (s, range) in chunks.iter().enumerate() {
         result.splice(range.start, &state[0][s]);
@@ -231,7 +349,9 @@ pub fn torus_allreduce_majority(
         trace.push_step(step);
     }
     for _ in 0..cols - 1 {
-        let step: Vec<usize> = (0..rows * cols).map(|w| sub_bits(chunks[w % cols].len())).collect();
+        let step: Vec<usize> = (0..rows * cols)
+            .map(|w| sub_bits(chunks[w % cols].len()))
+            .collect();
         trace.push_step(step);
     }
     (vote, trace)
@@ -306,8 +426,9 @@ fn torus_reduce_sums(
     let mut flat = vec![0i32; d];
     for c in 0..cols {
         let own = (c + 1) % cols;
-        let column: Vec<SignSumVec> =
-            (0..rows).map(|row| state[row * cols + c][own].clone()).collect();
+        let column: Vec<SignSumVec> = (0..rows)
+            .map(|row| state[row * cols + c][own].clone())
+            .collect();
         let (reduced, sub) = ring_allreduce_signsum_parts(&column, wire);
         merge_parallel(&mut steps, offset, &sub);
         flat[chunks[own].clone()].copy_from_slice(reduced.sums());
@@ -336,7 +457,9 @@ mod tests {
 
     fn random_signs(m: usize, d: usize, seed: u64) -> Vec<SignVec> {
         let mut rng = FastRng::new(seed, 0);
-        (0..m).map(|_| SignVec::bernoulli_uniform(d, 0.5, &mut rng)).collect()
+        (0..m)
+            .map(|_| SignVec::bernoulli_uniform(d, 0.5, &mut rng))
+            .collect()
     }
 
     #[test]
@@ -444,5 +567,45 @@ mod tests {
     fn wrong_worker_count_panics() {
         let mut data = random_payloads(5, 8, 0);
         let _ = torus_allreduce_sum(&mut data, 2, 3);
+    }
+
+    #[test]
+    fn faulty_torus_with_inert_injector_matches_clean() {
+        let (rows, cols, d) = (2, 4, 64);
+        let signs = random_signs(rows * cols, d, 31);
+        let combine = |recv: &SignVec, local: &SignVec, _ctx: CombineCtx| recv.or(local);
+        let (clean, clean_trace) = torus_allreduce_onebit(&signs, rows, cols, combine);
+        let mut inj = FaultInjector::inert();
+        let (faulty, faulty_trace) =
+            torus_allreduce_onebit_faulty(&signs, rows, cols, &mut inj, combine);
+        assert_eq!(clean, faulty);
+        assert_eq!(clean_trace, faulty_trace);
+    }
+
+    #[test]
+    fn faulty_torus_counts_stay_exact_under_drops() {
+        use marsit_simnet::FaultPlan;
+        let (rows, cols, d) = (3, 3, 90);
+        let m = rows * cols;
+        let signs = random_signs(m, d, 37);
+        let plan = FaultPlan::seeded(5)
+            .with_link_drop(0.3)
+            .with_retry_policy(0, 1e-4);
+        let mut inj = plan.injector(0);
+        let mut max_total = 0;
+        let (out, _) = torus_allreduce_onebit_faulty(&signs, rows, cols, &mut inj, |r, _l, ctx| {
+            assert!(ctx.received_count >= 1 && ctx.local_count >= 1);
+            assert!(ctx.received_count + ctx.local_count <= m);
+            max_total = max_total.max(ctx.received_count + ctx.local_count);
+            r.clone()
+        });
+        assert_eq!(out.len(), d);
+        assert!(inj.stats().dropped_transfers > 0);
+        assert!(max_total <= m);
+        // Determinism under the same seed.
+        let mut inj2 = plan.injector(0);
+        let (out2, _) =
+            torus_allreduce_onebit_faulty(&signs, rows, cols, &mut inj2, |r, _l, _| r.clone());
+        assert_eq!(out, out2);
     }
 }

@@ -73,9 +73,61 @@ impl Trace {
     }
 }
 
+/// Builds one logical collective step plus the retry sub-steps the fault
+/// layer appends behind it: attempt 1 of every transfer rides the main step,
+/// attempt `k ≥ 2` rides the `(k−1)`-th retry sub-step, so retransmissions
+/// show up as extra wire traffic and extra wall-clock steps in the trace.
+#[derive(Debug, Default)]
+pub(crate) struct FaultyStep {
+    first: Vec<usize>,
+    retries: Vec<Vec<usize>>,
+}
+
+impl FaultyStep {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a transfer of `bytes` that took `attempts` wire attempts.
+    pub(crate) fn record(&mut self, bytes: usize, attempts: u32) {
+        self.first.push(bytes);
+        for k in 1..attempts as usize {
+            while self.retries.len() < k {
+                self.retries.push(Vec::new());
+            }
+            self.retries[k - 1].push(bytes);
+        }
+    }
+
+    /// The main step followed by its (non-empty) retry sub-steps.
+    pub(crate) fn into_steps(self) -> Vec<Vec<usize>> {
+        let mut out = vec![self.first];
+        out.extend(self.retries.into_iter().filter(|s| !s.is_empty()));
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn faulty_step_groups_retries() {
+        let mut fs = FaultyStep::new();
+        fs.record(4, 1);
+        fs.record(4, 3);
+        fs.record(4, 2);
+        let steps = fs.into_steps();
+        assert_eq!(steps, vec![vec![4, 4, 4], vec![4, 4], vec![4]]);
+    }
+
+    #[test]
+    fn faulty_step_without_retries_is_one_step() {
+        let mut fs = FaultyStep::new();
+        fs.record(8, 1);
+        fs.record(8, 1);
+        assert_eq!(fs.into_steps(), vec![vec![8, 8]]);
+    }
 
     #[test]
     fn totals_and_critical_path() {

@@ -14,10 +14,11 @@
 //! `combine_weighted(recv, a, local, b)` can.
 
 use marsit_compress::SignSumVec;
+use marsit_simnet::FaultInjector;
 use marsit_tensor::SignVec;
 
 use crate::ring::CombineCtx;
-use crate::trace::Trace;
+use crate::trace::{FaultyStep, Trace};
 
 /// Number of reduce levels of a binary tree over `m` workers.
 #[must_use]
@@ -93,15 +94,19 @@ pub fn tree_allreduce_signsum(signs: &[SignVec]) -> (SignSumVec, Trace) {
     assert!(m >= 2, "tree all-reduce needs at least 2 workers");
     let d = signs[0].len();
     assert!(signs.iter().all(|v| v.len() == d), "sign lengths differ");
-    let mut state: Vec<Option<SignSumVec>> =
-        signs.iter().map(|v| Some(SignSumVec::from_signs(v))).collect();
+    let mut state: Vec<Option<SignSumVec>> = signs
+        .iter()
+        .map(|v| Some(SignSumVec::from_signs(v)))
+        .collect();
     let mut trace = Trace::new();
     let mut stride = 1;
     while stride < m {
         let mut step = Vec::new();
         let mut w = 0;
         while w + stride < m {
-            let sent = state[w + stride].take().expect("child still holds its aggregate");
+            let sent = state[w + stride]
+                .take()
+                .expect("child still holds its aggregate");
             step.push(sent.elias_bits().div_ceil(8));
             state[w]
                 .as_mut()
@@ -184,6 +189,86 @@ where
     (state.swap_remove(0), trace)
 }
 
+/// [`tree_allreduce_onebit`] under fault injection.
+///
+/// An upward (reduce) transfer that exhausts its retry budget is omitted:
+/// the parent keeps its aggregate, the child's whole subtree is excluded
+/// from the consensus, and per-node counts stay exact, so every
+/// [`CombineCtx`] still reports true subtree sizes. Downward (broadcast)
+/// transfers are reliable — all workers end with the root's consensus.
+///
+/// With an inert injector this reproduces [`tree_allreduce_onebit`].
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`tree_allreduce_onebit`].
+pub fn tree_allreduce_onebit_faulty<F>(
+    signs: &[SignVec],
+    inj: &mut FaultInjector,
+    mut combine: F,
+) -> (SignVec, Trace)
+where
+    F: FnMut(&SignVec, &SignVec, CombineCtx) -> SignVec,
+{
+    let m = signs.len();
+    assert!(m >= 2, "tree all-reduce needs at least 2 workers");
+    let d = signs[0].len();
+    assert!(signs.iter().all(|v| v.len() == d), "sign lengths differ");
+    let bytes = d.div_ceil(8).max(1);
+    let mut state: Vec<SignVec> = signs.to_vec();
+    let mut counts: Vec<usize> = vec![1; m];
+    let mut trace = Trace::new();
+    let mut stride = 1;
+    let mut level = 0;
+    while stride < m {
+        let mut fs = FaultyStep::new();
+        let mut w = 0;
+        while w + stride < m {
+            let fate = inj.transfer();
+            fs.record(bytes, fate.attempts);
+            if fate.delivered {
+                let ctx = CombineCtx {
+                    step: level,
+                    receiver: w,
+                    segment: 0,
+                    received_count: counts[w + stride],
+                    local_count: counts[w],
+                };
+                let received = state[w + stride].clone();
+                let merged = combine(&received, &state[w], ctx);
+                assert_eq!(merged.len(), d, "combine changed length");
+                state[w] = merged;
+                counts[w] += counts[w + stride];
+            }
+            w += 2 * stride;
+        }
+        for step in fs.into_steps() {
+            trace.push_step(step);
+        }
+        stride *= 2;
+        level += 1;
+    }
+    debug_assert!(
+        counts[0] <= m,
+        "root cannot aggregate more than all workers"
+    );
+    // Broadcast the root consensus down the tree, reliably.
+    let mut levels = tree_levels(m);
+    while levels > 0 {
+        let transfers = broadcast_transfers(m, levels - 1);
+        let mut fs = FaultyStep::new();
+        for _ in 0..transfers {
+            let fate = inj.transfer_reliable();
+            fs.record(bytes, fate.attempts);
+        }
+        for step in fs.into_steps() {
+            trace.push_step(step);
+        }
+        levels -= 1;
+    }
+    (state.swap_remove(0), trace)
+}
+
 /// Number of transfers at broadcast level `level` (stride `2^level`).
 fn broadcast_transfers(m: usize, level: usize) -> usize {
     let stride = 1usize << level;
@@ -222,7 +307,9 @@ mod tests {
 
     fn signs(m: usize, d: usize, seed: u64) -> Vec<SignVec> {
         let mut rng = FastRng::new(seed, 1);
-        (0..m).map(|_| SignVec::bernoulli_uniform(d, 0.5, &mut rng)).collect()
+        (0..m)
+            .map(|_| SignVec::bernoulli_uniform(d, 0.5, &mut rng))
+            .collect()
     }
 
     #[test]
@@ -264,7 +351,7 @@ mod tests {
         let mut ring_data = payloads(m, d, 1);
         let ring_trace = crate::ring::ring_allreduce_sum(&mut ring_data);
         assert!(tree_trace.num_steps() < ring_trace.num_steps()); // 8 vs 30
-        // But the tree moves the full payload every level: worse bandwidth.
+                                                                  // But the tree moves the full payload every level: worse bandwidth.
         assert!(tree_trace.critical_path_bytes() > ring_trace.critical_path_bytes());
     }
 
@@ -316,8 +403,7 @@ mod tests {
             let (out, _) = tree_allreduce_onebit(&sv, |r, l, ctx| {
                 // combine_weighted lives in marsit-core; emulate it here to
                 // keep the dependency direction (core depends on this crate).
-                let p = ctx.received_count as f64
-                    / (ctx.received_count + ctx.local_count) as f64;
+                let p = ctx.received_count as f64 / (ctx.received_count + ctx.local_count) as f64;
                 let keep = SignVec::bernoulli_uniform(r.len(), p, &mut rng);
                 keep.and(r).or(&keep.not().and(l))
             });
@@ -340,5 +426,36 @@ mod tests {
     fn single_worker_panics() {
         let mut data = vec![vec![1.0f32; 4]];
         let _ = tree_allreduce_sum(&mut data);
+    }
+
+    #[test]
+    fn faulty_tree_with_inert_injector_matches_clean() {
+        for m in [2usize, 5, 8] {
+            let sv = signs(m, 40, 41);
+            let combine = |r: &SignVec, l: &SignVec, _ctx: CombineCtx| r.and(l);
+            let (clean, clean_trace) = tree_allreduce_onebit(&sv, combine);
+            let mut inj = FaultInjector::inert();
+            let (faulty, faulty_trace) = tree_allreduce_onebit_faulty(&sv, &mut inj, combine);
+            assert_eq!(clean, faulty, "m={m}");
+            assert_eq!(clean_trace, faulty_trace, "m={m}");
+        }
+    }
+
+    #[test]
+    fn faulty_tree_drops_exclude_whole_subtrees() {
+        use marsit_simnet::FaultPlan;
+        let m = 8;
+        let sv = signs(m, 32, 43);
+        let plan = FaultPlan::seeded(2)
+            .with_link_drop(0.5)
+            .with_retry_policy(0, 1e-4);
+        let mut inj = plan.injector(0);
+        let mut root_total = 0;
+        let (_, _) = tree_allreduce_onebit_faulty(&sv, &mut inj, |r, _l, ctx| {
+            root_total = root_total.max(ctx.received_count + ctx.local_count);
+            r.clone()
+        });
+        assert!(root_total <= m);
+        assert!(inj.stats().dropped_transfers > 0);
     }
 }

@@ -60,7 +60,11 @@ pub fn cascade_reduce(gradients: &[&[f32]], rng: &mut FastRng) -> CascadeOutcome
         compressions += 1;
     }
     let aggregate = message.to_values();
-    CascadeOutcome { aggregate, final_message: message, compressions }
+    CascadeOutcome {
+        aggregate,
+        final_message: message,
+        compressions,
+    }
 }
 
 /// The *deployable* cascading relay: stochastic SSDM signs at every hop,
@@ -99,7 +103,11 @@ pub fn cascade_reduce_practical(gradients: &[&[f32]], rng: &mut FastRng) -> Casc
         compressions += 1;
     }
     let aggregate = message.to_values();
-    CascadeOutcome { aggregate, final_message: message, compressions }
+    CascadeOutcome {
+        aggregate,
+        final_message: message,
+        compressions,
+    }
 }
 
 /// A *deterministic* relay variant: each hop recovers at RMS magnitude and
@@ -136,7 +144,11 @@ pub fn cascade_reduce_deterministic(gradients: &[&[f32]]) -> CascadeOutcome {
         compressions += 1;
     }
     let aggregate = message.to_values();
-    CascadeOutcome { aggregate, final_message: message, compressions }
+    CascadeOutcome {
+        aggregate,
+        final_message: message,
+        compressions,
+    }
 }
 
 /// Expectation-preserving reference: the true sum of the gradients
@@ -246,7 +258,10 @@ mod tests {
             dev.push(total / f64::from(trials as u32));
         }
         assert!(dev[1] > 1.5 * dev[0], "deviation should grow: {dev:?}");
-        assert!(dev[2] > 1.5 * dev[1], "deviation should keep growing: {dev:?}");
+        assert!(
+            dev[2] > 1.5 * dev[1],
+            "deviation should keep growing: {dev:?}"
+        );
     }
 
     #[test]
@@ -291,7 +306,11 @@ mod tests {
         let mut rng = FastRng::new(7, 0);
         let base: Vec<f32> = (0..d).map(|_| rng.next_f64() as f32 - 0.5).collect();
         let grads: Vec<Vec<f32>> = (0..5)
-            .map(|_| base.iter().map(|&x| x * (0.9 + 0.2 * rng.next_f64() as f32)).collect())
+            .map(|_| {
+                base.iter()
+                    .map(|&x| x * (0.9 + 0.2 * rng.next_f64() as f32))
+                    .collect()
+            })
             .collect();
         let refs: Vec<&[f32]> = grads.iter().map(Vec::as_slice).collect();
         let out = cascade_reduce_deterministic(&refs);

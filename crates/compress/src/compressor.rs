@@ -239,7 +239,12 @@ mod tests {
         for i in 0..4 {
             let target = g[i] * rounds as f32;
             let rel = (applied[i] - target).abs() / target.abs().max(1.0);
-            assert!(rel < 0.05, "coord {i}: applied {} target {}", applied[i], target);
+            assert!(
+                rel < 0.05,
+                "coord {i}: applied {} target {}",
+                applied[i],
+                target
+            );
         }
     }
 

@@ -32,8 +32,8 @@ pub fn unzigzag(v: u64) -> i64 {
 pub fn gamma_encode(n: u64, w: &mut BitWriter) {
     assert!(n > 0, "Elias gamma requires n > 0");
     let bits = 64 - n.leading_zeros(); // position of the MSB, 1-based
-    // bits−1 zeros, then the number MSB-first. We emit MSB-first by writing
-    // single bits so the decoder can scan for the first 1.
+                                       // bits−1 zeros, then the number MSB-first. We emit MSB-first by writing
+                                       // single bits so the decoder can scan for the first 1.
     for _ in 0..bits - 1 {
         w.write_bit(false);
     }

@@ -34,7 +34,10 @@ impl SignMessage {
     /// Panics if `scale` is negative or non-finite.
     #[must_use]
     pub fn new(signs: SignVec, scale: f32) -> Self {
-        assert!(scale.is_finite() && scale >= 0.0, "scale must be finite and non-negative");
+        assert!(
+            scale.is_finite() && scale >= 0.0,
+            "scale must be finite and non-negative"
+        );
         Self { signs, scale }
     }
 

@@ -102,7 +102,14 @@ impl PowerSgd {
         let rank = rank.min(cols).min(rows);
         let mut rng = FastRng::new(seed, 0x90E5);
         let q = Tensor::gaussian(cols, rank, 1.0, &mut rng);
-        Self { rows, cols, rank, d, q, error: vec![0.0; d] }
+        Self {
+            rows,
+            cols,
+            rank,
+            d,
+            q,
+            error: vec![0.0; d],
+        }
     }
 
     /// The rank actually used (clamped to the matrix shape).
@@ -150,13 +157,7 @@ impl PowerSgd {
         // Local reconstruction Ĝ = P·Qᵀ and error update.
         let reconstruction = p.matmul_nt(&q);
         let rec = reconstruction.as_slice();
-        for (i, ((e, &gv), &r)) in self
-            .error
-            .iter_mut()
-            .zip(grad)
-            .zip(rec.iter())
-            .enumerate()
-        {
+        for (i, ((e, &gv), &r)) in self.error.iter_mut().zip(grad).zip(rec.iter()).enumerate() {
             let _ = i;
             *e = gv + *e - r;
         }
@@ -204,7 +205,11 @@ impl PowerSgd {
     /// Panics on dimension mismatch.
     pub fn absorb(&mut self, grad: &[f32], reconstruction: &[f32], q_mean: &Tensor) {
         assert_eq!(grad.len(), self.d, "gradient length mismatch");
-        assert_eq!(reconstruction.len(), self.d, "reconstruction length mismatch");
+        assert_eq!(
+            reconstruction.len(),
+            self.d,
+            "reconstruction length mismatch"
+        );
         for ((e, &g), &r) in self.error.iter_mut().zip(grad).zip(reconstruction) {
             *e = g + *e - r;
         }
@@ -243,7 +248,10 @@ pub fn powersgd_allreduce(workers: &mut [PowerSgd], grads: &[&[f32]]) -> (Vec<f3
     assert_eq!(workers.len(), grads.len(), "worker count mismatch");
     assert!(!workers.is_empty(), "need at least one worker");
     let d = workers[0].d;
-    assert!(grads.iter().all(|g| g.len() == d), "gradient lengths differ");
+    assert!(
+        grads.iter().all(|g| g.len() == d),
+        "gradient lengths differ"
+    );
     let m = workers.len();
     let q_ref = workers[0].q.clone();
     for w in &workers[1..] {
@@ -279,7 +287,10 @@ mod tests {
         for d in [1usize, 7, 64, 1000, 12345] {
             let (r, c) = matrix_shape(d);
             assert!(r * c >= d);
-            assert!(r * c < d + r + c, "shape ({r},{c}) wastes too much for d={d}");
+            assert!(
+                r * c < d + r + c,
+                "shape ({r},{c}) wastes too much for d={d}"
+            );
         }
     }
 
@@ -350,7 +361,11 @@ mod tests {
         let mut comp = PowerSgd::new(d, 2, 1);
         let grad = vec![0.1f32; d];
         let factors = comp.compress(&grad);
-        assert!(factors.wire_bits() < 32 * d / 10, "{} bits", factors.wire_bits());
+        assert!(
+            factors.wire_bits() < 32 * d / 10,
+            "{} bits",
+            factors.wire_bits()
+        );
         assert_eq!(factors.sequential_rounds(), 2);
     }
 

@@ -29,7 +29,10 @@ impl QuantizedMessage {
     /// Panics if `scale` is negative or non-finite.
     #[must_use]
     pub fn new(scale: f32, levels: Vec<i8>) -> Self {
-        assert!(scale.is_finite() && scale >= 0.0, "scale must be finite and non-negative");
+        assert!(
+            scale.is_finite() && scale >= 0.0,
+            "scale must be finite and non-negative"
+        );
         Self { scale, levels }
     }
 
@@ -60,7 +63,10 @@ impl QuantizedMessage {
     /// Decoded values `scale · level_j`.
     #[must_use]
     pub fn to_values(&self) -> Vec<f32> {
-        self.levels.iter().map(|&l| self.scale * f32::from(l)).collect()
+        self.levels
+            .iter()
+            .map(|&l| self.scale * f32::from(l))
+            .collect()
     }
 
     /// Exact Elias-γ wire size in bits, plus the 32-bit scale.
@@ -128,7 +134,11 @@ pub fn qsgd(values: &[f32], s: u8, rng: &mut FastRng) -> QuantizedMessage {
         .map(|&v| {
             let x = f64::from(v.abs() / norm) * f64::from(s);
             let floor = x.floor();
-            let level = if rng.bernoulli(x - floor) { floor + 1.0 } else { floor };
+            let level = if rng.bernoulli(x - floor) {
+                floor + 1.0
+            } else {
+                floor
+            };
             let signed = if v >= 0.0 { level } else { -level };
             signed as i8
         })
@@ -142,7 +152,11 @@ mod tests {
     use super::*;
     use marsit_tensor::stats::norm_l2;
 
-    fn mean_decode(f: impl Fn(&mut FastRng) -> QuantizedMessage, d: usize, trials: u32) -> Vec<f64> {
+    fn mean_decode(
+        f: impl Fn(&mut FastRng) -> QuantizedMessage,
+        d: usize,
+        trials: u32,
+    ) -> Vec<f64> {
         let mut rng = FastRng::new(9, 0);
         let mut mean = vec![0.0f64; d];
         for _ in 0..trials {
@@ -212,7 +226,10 @@ mod tests {
         let mut rng = FastRng::new(2, 0);
         let small = qsgd(&g, 1, &mut rng).wire_bits();
         let large = qsgd(&g, 64, &mut rng).wire_bits();
-        assert!(large > small, "more levels must cost more bits: {small} vs {large}");
+        assert!(
+            large > small,
+            "more levels must cost more bits: {small} vs {large}"
+        );
         // And both sit far below fp32.
         assert!(large < 32 * g.len());
     }
@@ -233,8 +250,14 @@ mod tests {
     #[test]
     fn zero_vector_messages_decode_to_zero() {
         let mut rng = FastRng::new(5, 0);
-        assert!(terngrad(&[0.0; 4], &mut rng).to_values().iter().all(|&v| v == 0.0));
-        assert!(qsgd(&[0.0; 4], 4, &mut rng).to_values().iter().all(|&v| v == 0.0));
+        assert!(terngrad(&[0.0; 4], &mut rng)
+            .to_values()
+            .iter()
+            .all(|&v| v == 0.0));
+        assert!(qsgd(&[0.0; 4], 4, &mut rng)
+            .to_values()
+            .iter()
+            .all(|&v| v == 0.0));
     }
 
     #[test]

@@ -107,7 +107,10 @@ impl SparseMessage {
                 (None, None) => unreachable!(),
             }
         }
-        SparseMessage { dim: self.dim, entries: out }
+        SparseMessage {
+            dim: self.dim,
+            entries: out,
+        }
     }
 }
 
@@ -127,7 +130,10 @@ impl TopK {
     #[must_use]
     pub fn new(k: usize) -> Self {
         assert!(k > 0, "k must be positive");
-        Self { k, error: Vec::new() }
+        Self {
+            k,
+            error: Vec::new(),
+        }
     }
 
     /// The retention count `k`.
@@ -260,10 +266,14 @@ mod tests {
         let growth = support_union_growth(d, k, 16, 3);
         assert_eq!(growth[0], k);
         let last = *growth.last().expect("non-empty");
-        assert!(last > 8 * k / 2, "support must grow substantially: {growth:?}");
+        assert!(
+            last > 8 * k / 2,
+            "support must grow substantially: {growth:?}"
+        );
         assert!(growth.windows(2).all(|w| w[1] >= w[0]), "monotone growth");
         // Wire size grows proportionally.
-        let first_bits = SparseMessage::new(d, (0..k as u32).map(|i| (i, 1.0)).collect()).wire_bits();
+        let first_bits =
+            SparseMessage::new(d, (0..k as u32).map(|i| (i, 1.0)).collect()).wire_bits();
         let last_bits = first_bits * last / k;
         assert!(last_bits > 6 * first_bits);
     }

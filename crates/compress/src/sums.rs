@@ -33,7 +33,10 @@ impl SignSumVec {
     /// An all-zero sum over `len` coordinates with no terms folded in.
     #[must_use]
     pub fn zeros(len: usize) -> Self {
-        Self { sums: vec![0; len], count: 0 }
+        Self {
+            sums: vec![0; len],
+            count: 0,
+        }
     }
 
     /// Reassembles a sum vector from raw sums and a term count (used when a

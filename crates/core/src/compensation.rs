@@ -111,9 +111,7 @@ mod tests {
                 applied_total[i] += f64::from(g[i]);
             }
         }
-        for (i, (&intended, &applied)) in
-            intended_total.iter().zip(&applied_total).enumerate()
-        {
+        for (i, (&intended, &applied)) in intended_total.iter().zip(&applied_total).enumerate() {
             let residual = intended - applied;
             assert!(
                 (residual - f64::from(c.vector()[i])).abs() < 1e-4,

@@ -16,10 +16,15 @@
 //! All workers deterministically agree on `g_t` — the consensus invariant of
 //! multi-hop all-reduce — which the simulator asserts after every round.
 
-use marsit_collectives::ring::{ring_allreduce_onebit, ring_allreduce_sum};
-use marsit_collectives::torus::{torus_allreduce_onebit, torus_allreduce_sum};
+use marsit_collectives::ring::{
+    ring_allreduce_onebit, ring_allreduce_onebit_faulty, ring_allreduce_sum,
+    ring_allreduce_sum_faulty,
+};
+use marsit_collectives::torus::{
+    torus_allreduce_onebit, torus_allreduce_onebit_faulty, torus_allreduce_sum,
+};
 use marsit_collectives::Trace;
-use marsit_simnet::Topology;
+use marsit_simnet::{FaultPlan, FaultStats, Topology};
 use marsit_tensor::rng::{split_seed, FastRng};
 use marsit_tensor::SignVec;
 
@@ -39,7 +44,7 @@ pub enum CombineKind {
 }
 
 /// Configuration for a [`Marsit`] synchronizer.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MarsitConfig {
     /// Full-precision schedule (the paper's `K`).
     pub schedule: SyncSchedule,
@@ -52,6 +57,9 @@ pub struct MarsitConfig {
     /// Combine operator (ablation hook; defaults to the paper's weighted
     /// Eq. 2).
     pub combine: CombineKind,
+    /// Faults to inject into the collectives ([`FaultPlan::none`] by
+    /// default; a none plan takes the exact fault-free code path).
+    pub fault_plan: FaultPlan,
 }
 
 impl MarsitConfig {
@@ -66,13 +74,26 @@ impl MarsitConfig {
             global_lr.is_finite() && global_lr > 0.0,
             "global learning rate must be finite and positive"
         );
-        Self { schedule, global_lr, seed, combine: CombineKind::Weighted }
+        Self {
+            schedule,
+            global_lr,
+            seed,
+            combine: CombineKind::Weighted,
+            fault_plan: FaultPlan::none(),
+        }
     }
 
     /// Switches to the biased coin-flip combine (ablation).
     #[must_use]
     pub fn with_unweighted_combine(mut self) -> Self {
         self.combine = CombineKind::UnweightedAblation;
+        self
+    }
+
+    /// Injects the given faults into every synchronization.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
         self
     }
 }
@@ -92,6 +113,8 @@ pub struct SyncOutcome {
     pub trace: Trace,
     /// The round index `t` this outcome belongs to.
     pub round: u64,
+    /// What the fault layer did this round (all-zero without a fault plan).
+    pub faults: FaultStats,
 }
 
 /// The Marsit synchronizer: compensation state for `M` workers plus the
@@ -128,7 +151,11 @@ impl Marsit {
     pub fn new(cfg: MarsitConfig, m: usize, d: usize) -> Self {
         assert!(m >= 2, "Marsit needs at least 2 workers");
         assert!(d > 0, "model dimension must be positive");
-        Self { cfg, compensations: vec![Compensation::new(d); m], round: 0 }
+        Self {
+            cfg,
+            compensations: vec![Compensation::new(d); m],
+            round: 0,
+        }
     }
 
     /// The configuration.
@@ -153,12 +180,21 @@ impl Marsit {
         &self.compensations[w]
     }
 
+    /// Replaces the fault plan (see [`MarsitConfig::with_fault_plan`]).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.cfg.fault_plan = plan;
+    }
+
     /// Mean squared compensation norm across workers (the error-accumulation
     /// diagnostic of Theorem 1's proof).
     #[must_use]
     pub fn mean_compensation_norm_sq(&self) -> f64 {
         let m = self.compensations.len() as f64;
-        self.compensations.iter().map(Compensation::norm_sq).sum::<f64>() / m
+        self.compensations
+            .iter()
+            .map(Compensation::norm_sq)
+            .sum::<f64>()
+            / m
     }
 
     /// Performs one synchronization (Algorithm 1) over `topology`.
@@ -188,6 +224,13 @@ impl Marsit {
             .zip(&self.compensations)
             .map(|(u, c)| c.apply(u))
             .collect();
+
+        if !self.cfg.fault_plan.is_none() {
+            let outcome = self.synchronize_faulty(&compensated, topology);
+            self.round += 1;
+            return outcome;
+        }
+
         let mut compensated_mean = vec![0.0f32; d];
         for h in &compensated {
             for (a, &x) in compensated_mean.iter_mut().zip(h) {
@@ -218,31 +261,22 @@ impl Marsit {
                 full_precision: true,
                 trace,
                 round: t,
+                faults: FaultStats::default(),
             }
         } else {
             // Lines 4–9: one-bit synchronization via ⊙.
-            let signs: Vec<SignVec> = compensated
-                .iter()
-                .map(|h| SignVec::from_signs(h))
-                .collect();
+            let signs: Vec<SignVec> = compensated.iter().map(|h| SignVec::from_signs(h)).collect();
             let round_seed = split_seed(self.cfg.seed, t);
             let kind = self.cfg.combine;
             let combine = |recv: &SignVec, local: &SignVec, ctx: marsit_collectives::CombineCtx| {
-                let stream = ((ctx.receiver as u64) << 40)
-                    | ((ctx.segment as u64) << 20)
-                    | ctx.step as u64;
+                let stream =
+                    ((ctx.receiver as u64) << 40) | ((ctx.segment as u64) << 20) | ctx.step as u64;
                 let mut rng = FastRng::new(round_seed, stream);
                 match kind {
-                    CombineKind::Weighted => combine_weighted(
-                        recv,
-                        ctx.received_count,
-                        local,
-                        ctx.local_count,
-                        &mut rng,
-                    ),
-                    CombineKind::UnweightedAblation => {
-                        combine_unweighted(recv, local, &mut rng)
+                    CombineKind::Weighted => {
+                        combine_weighted(recv, ctx.received_count, local, ctx.local_count, &mut rng)
                     }
+                    CombineKind::UnweightedAblation => combine_unweighted(recv, local, &mut rng),
                 }
             };
             let (consensus, trace) = match topology {
@@ -267,10 +301,127 @@ impl Marsit {
                 full_precision: false,
                 trace,
                 round: t,
+                faults: FaultStats::default(),
             }
         };
         self.round += 1;
         outcome
+    }
+
+    /// The fault-injected synchronization path (graceful degradation).
+    ///
+    /// Differences from the clean path:
+    ///
+    /// - A worker crashed at or before this round is excluded: collectives
+    ///   re-form over the `M − 1` survivors (a crashed torus repairs to a
+    ///   survivor ring), its compensation is frozen, and `compensated_mean`
+    ///   — the quantity the one-bit consensus estimates — is taken over
+    ///   survivors only.
+    /// - One-bit transfers are best-effort with bounded retries; a transfer
+    ///   that exhausts its budget is an omission, and the counted collectives
+    ///   keep `⊙` unbiased over what actually arrived.
+    /// - Full-precision rounds (the Marsit-K resync that also serves as the
+    ///   post-crash resync point) run over a repaired ring regardless of
+    ///   topology.
+    /// - If fewer than two workers survive, the lone survivor's update is
+    ///   the global update and nothing touches the wire.
+    fn synchronize_faulty(&mut self, compensated: &[Vec<f32>], topology: Topology) -> SyncOutcome {
+        assert!(
+            !matches!(topology, Topology::Star { .. }),
+            "Marsit is a multi-hop all-reduce framework; star/PS is unsupported"
+        );
+        let t = self.round;
+        let m = self.compensations.len();
+        let d = self.compensations[0].len();
+        let plan = self.cfg.fault_plan.clone();
+        let mut stats = FaultStats::default();
+        let crashed = plan.crashed_at(t);
+        if crashed.is_some() {
+            stats.crashed_workers = 1;
+            // The membership change re-forms the topology exactly once.
+            if matches!(plan.crash, Some((_, r)) if r == t) {
+                stats.repairs = 1;
+            }
+        }
+        let survivors: Vec<usize> = (0..m).filter(|&w| Some(w) != crashed).collect();
+        let sm = survivors.len();
+        let mut compensated_mean = vec![0.0f32; d];
+        for &w in &survivors {
+            for (a, &x) in compensated_mean.iter_mut().zip(&compensated[w]) {
+                *a += x / sm as f32;
+            }
+        }
+
+        let full_precision = self.cfg.schedule.is_full_precision(t);
+        let mut inj = plan.injector(t);
+        let (global_update, trace) = if sm < 2 {
+            // Lone survivor: its compensated update is the global update.
+            if full_precision {
+                (compensated[survivors[0]].clone(), Trace::new())
+            } else {
+                let sign = SignVec::from_signs(&compensated[survivors[0]]);
+                let mut g = vec![0.0f32; d];
+                sign.write_scaled_signs(self.cfg.global_lr, &mut g);
+                (g, Trace::new())
+            }
+        } else if full_precision {
+            let mut buffers: Vec<Vec<f32>> =
+                survivors.iter().map(|&w| compensated[w].clone()).collect();
+            let trace = ring_allreduce_sum_faulty(&mut buffers, &mut inj);
+            let inv = 1.0 / sm as f32;
+            (buffers[0].iter().map(|&x| x * inv).collect(), trace)
+        } else {
+            let signs: Vec<SignVec> = survivors
+                .iter()
+                .map(|&w| SignVec::from_signs(&compensated[w]))
+                .collect();
+            let round_seed = split_seed(self.cfg.seed, t);
+            let kind = self.cfg.combine;
+            let combine = |recv: &SignVec, local: &SignVec, ctx: marsit_collectives::CombineCtx| {
+                let stream =
+                    ((ctx.receiver as u64) << 40) | ((ctx.segment as u64) << 20) | ctx.step as u64;
+                let mut rng = FastRng::new(round_seed, stream);
+                match kind {
+                    CombineKind::Weighted => {
+                        combine_weighted(recv, ctx.received_count, local, ctx.local_count, &mut rng)
+                    }
+                    CombineKind::UnweightedAblation => combine_unweighted(recv, local, &mut rng),
+                }
+            };
+            let (consensus, trace) = match (topology, crashed) {
+                // An intact torus keeps its hierarchical schedule.
+                (Topology::Torus { rows, cols }, None) => {
+                    torus_allreduce_onebit_faulty(&signs, rows, cols, &mut inj, combine)
+                }
+                // A crashed torus (rows×cols no longer fits) and any ring
+                // re-form as a ring over the survivors.
+                _ => ring_allreduce_onebit_faulty(&signs, &mut inj, combine),
+            };
+            let mut g = vec![0.0f32; d];
+            consensus.write_scaled_signs(self.cfg.global_lr, &mut g);
+            (g, trace)
+        };
+
+        // Compensation bookkeeping for survivors only; a crashed worker's
+        // compensation is frozen (its state died with it).
+        if full_precision {
+            for &w in &survivors {
+                self.compensations[w].reset();
+            }
+        } else {
+            for &w in &survivors {
+                self.compensations[w].absorb_residual(&compensated[w], &global_update);
+            }
+        }
+        stats.merge(&inj.take_stats());
+        SyncOutcome {
+            compensated_mean,
+            global_update,
+            full_precision,
+            trace,
+            round: t,
+            faults: stats,
+        }
     }
 }
 
@@ -348,7 +499,7 @@ mod tests {
     fn synchronize_is_deterministic() {
         let cfg = MarsitConfig::new(SyncSchedule::never(), 0.05, 7);
         let u = updates(4, 32, 4);
-        let mut m1 = Marsit::new(cfg, 4, 32);
+        let mut m1 = Marsit::new(cfg.clone(), 4, 32);
         let mut m2 = Marsit::new(cfg, 4, 32);
         for _ in 0..5 {
             let a = m1.synchronize(&u, Topology::ring(4));
@@ -378,7 +529,10 @@ mod tests {
         let u = updates(m, d, 6);
         let mean_sign: Vec<f64> = (0..d)
             .map(|j| {
-                u.iter().map(|v| if v[j] >= 0.0 { 1.0 } else { -1.0 }).sum::<f64>() / m as f64
+                u.iter()
+                    .map(|v| if v[j] >= 0.0 { 1.0 } else { -1.0 })
+                    .sum::<f64>()
+                    / m as f64
             })
             .collect();
         let trials = 4000;
@@ -407,5 +561,117 @@ mod tests {
         let cfg = MarsitConfig::new(SyncSchedule::never(), 0.05, 0);
         let mut marsit = Marsit::new(cfg, 3, 4);
         let _ = marsit.synchronize(&updates(3, 4, 0), Topology::star(3));
+    }
+
+    #[test]
+    fn none_fault_plan_outcome_is_identical_to_default() {
+        // A none plan must take the exact fault-free code path.
+        let cfg = MarsitConfig::new(SyncSchedule::every(3), 0.05, 7);
+        let faulted_cfg = cfg.clone().with_fault_plan(FaultPlan::none());
+        let u = updates(4, 32, 4);
+        let mut base = Marsit::new(cfg, 4, 32);
+        let mut with_plan = Marsit::new(faulted_cfg, 4, 32);
+        for _ in 0..6 {
+            let a = base.synchronize(&u, Topology::ring(4));
+            let b = with_plan.synchronize(&u, Topology::ring(4));
+            assert_eq!(a, b);
+            assert!(b.faults.is_clean());
+        }
+    }
+
+    #[test]
+    fn faulty_sync_is_deterministic() {
+        let plan = FaultPlan::seeded(99)
+            .with_link_drop(0.05)
+            .with_straggler(1, 3.0)
+            .with_crash(2, 3);
+        let cfg = MarsitConfig::new(SyncSchedule::every(5), 0.05, 7).with_fault_plan(plan);
+        let u = updates(4, 64, 8);
+        let run = || {
+            let mut sync = Marsit::new(cfg.clone(), 4, 64);
+            (0..8)
+                .map(|_| sync.synchronize(&u, Topology::ring(4)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn crash_excludes_worker_and_counts_one_repair() {
+        let plan = FaultPlan::seeded(5).with_crash(3, 2);
+        let cfg = MarsitConfig::new(SyncSchedule::never(), 0.05, 11).with_fault_plan(plan);
+        let m = 4;
+        let d = 24;
+        let mut sync = Marsit::new(cfg, m, d);
+        let u = updates(m, d, 9);
+        let mut total_repairs = 0;
+        for t in 0..5u64 {
+            let out = sync.synchronize(&u, Topology::ring(m));
+            total_repairs += out.faults.repairs;
+            assert_eq!(out.faults.crashed_workers, u64::from(t >= 2));
+            if t >= 2 {
+                assert!(out.compensated_mean.iter().all(|x| x.is_finite()));
+            }
+        }
+        assert_eq!(total_repairs, 1, "exactly one repair at the crash round");
+        // The crashed worker's compensation froze at its round-1 value.
+        let frozen = sync.compensation(3).vector().to_vec();
+        let _ = sync.synchronize(&u, Topology::ring(m));
+        assert_eq!(sync.compensation(3).vector(), &frozen[..]);
+    }
+
+    #[test]
+    fn crashed_torus_repairs_to_survivor_ring() {
+        let plan = FaultPlan::seeded(21).with_crash(5, 1);
+        let cfg = MarsitConfig::new(SyncSchedule::every(4), 0.05, 13).with_fault_plan(plan);
+        let m = 8;
+        let d = 40;
+        let mut sync = Marsit::new(cfg, m, d);
+        let u = updates(m, d, 10);
+        let t0 = sync.synchronize(&u, Topology::torus(2, 4)); // full, intact
+        assert!(t0.full_precision && t0.faults.crashed_workers == 0);
+        let t1 = sync.synchronize(&u, Topology::torus(2, 4)); // one-bit, crashed
+        assert!(!t1.full_precision);
+        assert_eq!(t1.faults.crashed_workers, 1);
+        assert_eq!(t1.faults.repairs, 1);
+        // A 7-worker survivor ring: 2·(7−1) wall-clock steps (no retries).
+        assert_eq!(t1.trace.num_steps(), 2 * 6);
+        for &g in &t1.global_update {
+            assert!((g.abs() - 0.05).abs() < 1e-7, "±η_s consensus expected");
+        }
+    }
+
+    #[test]
+    fn two_workers_crash_to_lone_survivor() {
+        let plan = FaultPlan::seeded(1).with_crash(1, 1);
+        let cfg = MarsitConfig::new(SyncSchedule::never(), 0.05, 3).with_fault_plan(plan);
+        let mut sync = Marsit::new(cfg, 2, 8);
+        let u = updates(2, 8, 11);
+        let _ = sync.synchronize(&u, Topology::ring(2));
+        let out = sync.synchronize(&u, Topology::ring(2));
+        assert_eq!(out.trace.num_steps(), 0, "lone survivor sends nothing");
+        for (j, &g) in out.global_update.iter().enumerate() {
+            assert!((g.abs() - 0.05).abs() < 1e-7, "coord {j}");
+        }
+    }
+
+    #[test]
+    fn drops_generate_retransmit_stats_and_extra_steps() {
+        let plan = FaultPlan::seeded(17)
+            .with_link_drop(0.2)
+            .with_retry_policy(3, 1e-4);
+        let cfg = MarsitConfig::new(SyncSchedule::never(), 0.05, 5).with_fault_plan(plan);
+        let m = 8;
+        let mut sync = Marsit::new(cfg, m, 64);
+        let u = updates(m, 64, 12);
+        let mut retransmits = 0;
+        let mut max_steps = 0;
+        for _ in 0..4 {
+            let out = sync.synchronize(&u, Topology::ring(m));
+            retransmits += out.faults.retransmits;
+            max_steps = max_steps.max(out.trace.num_steps());
+        }
+        assert!(retransmits > 0);
+        assert!(max_steps > 2 * (m - 1), "retries add trace steps");
     }
 }

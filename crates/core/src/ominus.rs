@@ -71,9 +71,7 @@ pub fn combine_weighted(
     let keep = SignVec::bernoulli_uniform(received.len(), p_keep_received, rng);
     let v = local.and(&keep.not()).or(&local.not().and(&keep));
     // v_i ⊙ v_i* = (v_i AND v_i*) OR ((v_i XOR v_i*) AND v)
-    received
-        .and(local)
-        .or(&received.xor(local).and(&v))
+    received.and(local).or(&received.xor(local).and(&v))
 }
 
 /// The paper's Eq. (2) exactly: folds one worker (`local`) into a received
@@ -83,13 +81,11 @@ pub fn combine_weighted(
 ///
 /// Panics if `m < 2` or the vectors' lengths differ.
 #[must_use]
-pub fn combine_eq2(
-    received: &SignVec,
-    local: &SignVec,
-    m: usize,
-    rng: &mut FastRng,
-) -> SignVec {
-    assert!(m >= 2, "Eq. (2) needs at least two workers in the aggregate");
+pub fn combine_eq2(received: &SignVec, local: &SignVec, m: usize, rng: &mut FastRng) -> SignVec {
+    assert!(
+        m >= 2,
+        "Eq. (2) needs at least two workers in the aggregate"
+    );
     combine_weighted(received, m - 1, local, 1, rng)
 }
 
@@ -104,9 +100,9 @@ pub fn combine_eq2(
 pub fn combine_unweighted(received: &SignVec, local: &SignVec, rng: &mut FastRng) -> SignVec {
     assert_eq!(received.len(), local.len(), "sign vector lengths differ");
     let keep = SignVec::bernoulli_uniform(received.len(), 0.5, rng);
-    received
-        .and(local)
-        .or(&received.xor(local).and(&local.and(&keep.not()).or(&local.not().and(&keep))))
+    received.and(local).or(&received
+        .xor(local)
+        .and(&local.and(&keep.not()).or(&local.not().and(&keep))))
 }
 
 #[cfg(test)]
@@ -179,8 +175,7 @@ mod tests {
         }
         for (j, &o) in ones.iter().enumerate() {
             let measured = f64::from(o) / f64::from(trials as u32);
-            let expected =
-                inputs.iter().filter(|v| v.get(j)).count() as f64 / m as f64;
+            let expected = inputs.iter().filter(|v| v.get(j)).count() as f64 / m as f64;
             // Binomial standard error ≈ 0.5/√trials ≈ 0.0025; allow 5σ.
             assert!(
                 (measured - expected).abs() < 0.015,
@@ -241,8 +236,14 @@ mod tests {
             total_rate += agg.count_ones() as f64 / n as f64;
         }
         let rate = total_rate / f64::from(trials as u32);
-        assert!((rate - 0.0625).abs() < 0.01, "rate {rate} should be ~2^-(m-1)");
-        assert!((rate - 0.2).abs() > 0.05, "rate {rate} must differ from unbiased 1/m");
+        assert!(
+            (rate - 0.0625).abs() < 0.01,
+            "rate {rate} should be ~2^-(m-1)"
+        );
+        assert!(
+            (rate - 0.2).abs() > 0.05,
+            "rate {rate} must differ from unbiased 1/m"
+        );
     }
 
     #[test]
@@ -263,5 +264,142 @@ mod tests {
     fn length_mismatch_panics() {
         let mut rng = FastRng::new(0, 0);
         let _ = combine_weighted(&SignVec::zeros(4), 1, &SignVec::zeros(5), 1, &mut rng);
+    }
+}
+
+#[cfg(test)]
+mod properties {
+    //! Property-based tests of `⊙`'s algebraic invariants: the packed
+    //! bitwise form agrees with the scalar specification on every bit, the
+    //! output is bounded by AND/OR (count conservation), agreements are
+    //! untouched, and the keep/flip split matches the consumed Bernoulli
+    //! mask exactly.
+
+    use proptest::prelude::*;
+
+    use super::*;
+
+    fn signvec_from_bits(bits: &[bool]) -> SignVec {
+        let mut v = SignVec::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                v.set(i, true);
+            }
+        }
+        v
+    }
+
+    proptest! {
+        /// Bitwise identity: `(a AND b) OR ((a XOR b) AND v)` equals the
+        /// scalar spec "agreement passes through; disagreement takes the
+        /// received bit iff the transient draw kept it". The Bernoulli mask
+        /// is replayed by cloning the RNG before the combine.
+        #[test]
+        fn packed_combine_matches_scalar_spec(
+            recv_bits in prop::collection::vec(any::<bool>(), 1..200),
+            local_bits in prop::collection::vec(any::<bool>(), 1..200),
+            a in 1usize..12,
+            b in 1usize..12,
+            seed in any::<u64>(),
+        ) {
+            let n = recv_bits.len().min(local_bits.len());
+            let recv = signvec_from_bits(&recv_bits[..n]);
+            let local = signvec_from_bits(&local_bits[..n]);
+            let mut rng = FastRng::new(seed, 1);
+            // Replay the exact keep-mask the combine will draw.
+            let keep = SignVec::bernoulli_uniform(
+                n,
+                a as f64 / (a + b) as f64,
+                &mut rng.clone(),
+            );
+            let out = combine_weighted(&recv, a, &local, b, &mut rng);
+            for j in 0..n {
+                // Agreement passes through; a disagreement keeps the
+                // received bit iff the transient draw kept it.
+                let expected = if recv.get(j) == local.get(j) || keep.get(j) {
+                    recv.get(j)
+                } else {
+                    local.get(j)
+                };
+                prop_assert_eq!(
+                    out.get(j),
+                    expected,
+                    "bit {} (recv {} local {} keep {})",
+                    j,
+                    recv.get(j),
+                    local.get(j),
+                    keep.get(j)
+                );
+            }
+        }
+
+        /// Count conservation: every output bit is bounded below by
+        /// `a AND b` and above by `a OR b` — `⊙` only ever resolves
+        /// disagreements, never inverts an agreement.
+        #[test]
+        fn output_is_bounded_by_and_and_or(
+            recv_bits in prop::collection::vec(any::<bool>(), 1..300),
+            local_bits in prop::collection::vec(any::<bool>(), 1..300),
+            a in 1usize..20,
+            b in 1usize..20,
+            seed in any::<u64>(),
+        ) {
+            let n = recv_bits.len().min(local_bits.len());
+            let recv = signvec_from_bits(&recv_bits[..n]);
+            let local = signvec_from_bits(&local_bits[..n]);
+            let mut rng = FastRng::new(seed, 2);
+            let out = combine_weighted(&recv, a, &local, b, &mut rng);
+            let floor = recv.and(&local);
+            let ceil = recv.or(&local);
+            // Bitwise: floor ⊆ out ⊆ ceil.
+            prop_assert_eq!(out.and(&floor), floor.clone());
+            prop_assert_eq!(out.or(&ceil), ceil.clone());
+            // Count form of the same fact.
+            prop_assert!(out.count_ones() >= floor.count_ones());
+            prop_assert!(out.count_ones() <= ceil.count_ones());
+            // Agreement bits pass through exactly.
+            let agree = recv.xor(&local).not();
+            prop_assert_eq!(out.and(&agree), recv.and(&agree));
+        }
+
+        /// Swapping operands (and weights) leaves the *expected* output
+        /// unchanged: over many trials the one-rate of `⊙(r,a; l,b)` and
+        /// `⊙(l,b; r,a)` on all-disagreeing inputs both converge to
+        /// `a/(a+b)`, within a 5σ binomial confidence interval.
+        #[test]
+        fn operand_swap_preserves_expectation(
+            a in 1usize..9,
+            b in 1usize..9,
+            seed in any::<u64>(),
+        ) {
+            let n = 4096;
+            let recv = SignVec::ones(n);
+            let local = SignVec::zeros(n);
+            let trials = 8u64;
+            let total = trials * n as u64;
+            let mut fwd_ones = 0usize;
+            let mut swp_ones = 0usize;
+            let mut rng_f = FastRng::new(seed, 10);
+            let mut rng_s = FastRng::new(seed, 11);
+            for _ in 0..trials {
+                fwd_ones +=
+                    combine_weighted(&recv, a, &local, b, &mut rng_f).count_ones();
+                // Swapped: local is now the all-ones aggregate of weight a.
+                swp_ones +=
+                    combine_weighted(&local, b, &recv, a, &mut rng_s).count_ones();
+            }
+            let expect = a as f64 / (a + b) as f64;
+            let hw = marsit_tensor::stats::binomial_ci_halfwidth(expect, total);
+            let fwd = fwd_ones as f64 / total as f64;
+            let swp = swp_ones as f64 / total as f64;
+            prop_assert!(
+                (fwd - expect).abs() <= hw,
+                "forward rate {} vs {} (±{})", fwd, expect, hw
+            );
+            prop_assert!(
+                (swp - expect).abs() <= hw,
+                "swapped rate {} vs {} (±{})", swp, expect, hw
+            );
+        }
     }
 }

@@ -25,7 +25,9 @@ impl SyncSchedule {
     /// Panics if `k == 0`.
     #[must_use]
     pub fn every(k: u32) -> Self {
-        Self { k: Some(NonZeroU32::new(k).expect("K must be positive")) }
+        Self {
+            k: Some(NonZeroU32::new(k).expect("K must be positive")),
+        }
     }
 
     /// Never synchronize in full precision (the paper's plain "Marsit",
@@ -147,6 +149,9 @@ mod tests {
     fn display_formats() {
         assert_eq!(format!("{}", SyncSchedule::every(100)), "K=100");
         assert_eq!(format!("{}", SyncSchedule::never()), "K=∞");
-        assert_eq!(format!("{}", SyncSchedule::every(1)), "K=1 (always full precision)");
+        assert_eq!(
+            format!("{}", SyncSchedule::every(1)),
+            "K=1 (always full precision)"
+        );
     }
 }

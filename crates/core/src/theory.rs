@@ -125,7 +125,10 @@ mod tests {
         let e2 = estimate_deviations(d, 2, 100, 5);
         let e6 = estimate_deviations(d, 6, 100, 5);
         assert!(e6.cascading > 10.0 * e2.cascading, "{e2:?} vs {e6:?}");
-        assert!(e6.ps < 4.0 * e2.ps, "PS deviation should not explode: {e2:?} vs {e6:?}");
+        assert!(
+            e6.ps < 4.0 * e2.ps,
+            "PS deviation should not explode: {e2:?} vs {e6:?}"
+        );
         // Both under their closed-form bounds (G² ≈ d for standard normals).
         let g2 = d as f64;
         assert!(e6.ps < ps_deviation_bound(d, g2.sqrt()) * 2.0);
@@ -134,7 +137,10 @@ mod tests {
 
     #[test]
     fn estimates_are_deterministic() {
-        assert_eq!(estimate_deviations(16, 3, 20, 9), estimate_deviations(16, 3, 20, 9));
+        assert_eq!(
+            estimate_deviations(16, 3, 20, 9),
+            estimate_deviations(16, 3, 20, 9)
+        );
     }
 
     #[test]

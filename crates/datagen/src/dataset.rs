@@ -44,7 +44,11 @@ impl Dataset {
             labels.iter().all(|&l| l < num_classes),
             "label out of range"
         );
-        Self { features, labels, num_classes }
+        Self {
+            features,
+            labels,
+            num_classes,
+        }
     }
 
     /// Number of examples.
@@ -206,7 +210,10 @@ impl Dataset {
                 idx.push(surplus.pop().expect("quota arithmetic guarantees supply"));
             }
         }
-        assignments.into_iter().map(|idx| self.select(&idx)).collect()
+        assignments
+            .into_iter()
+            .map(|idx| self.select(&idx))
+            .collect()
     }
 
     /// Draws a random minibatch of `batch_size` examples (with replacement).
@@ -328,7 +335,10 @@ mod tests {
                 *hist.iter().max().expect("classes") as f64 / s.len() as f64
             })
             .fold(0.0, f64::max);
-        assert!(iid_max < 0.4, "IID sharding should stay balanced: {iid_max}");
+        assert!(
+            iid_max < 0.4,
+            "IID sharding should stay balanced: {iid_max}"
+        );
     }
 
     #[test]

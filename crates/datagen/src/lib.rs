@@ -28,4 +28,6 @@ pub mod dataset;
 pub mod synthetic;
 
 pub use dataset::Dataset;
-pub use synthetic::{cifar10_like, imagenet_like, imdb_like, mnist_like, ClusterSpec, SentimentSpec};
+pub use synthetic::{
+    cifar10_like, imagenet_like, imdb_like, mnist_like, ClusterSpec, SentimentSpec,
+};

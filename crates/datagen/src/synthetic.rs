@@ -44,7 +44,10 @@ impl ClusterSpec {
     /// Panics if `n == 0`, `dim == 0`, or `num_classes == 0`.
     #[must_use]
     pub fn generate(&self, n: usize, seed: u64, stream: u64) -> Dataset {
-        assert!(n > 0 && self.dim > 0 && self.num_classes > 0, "degenerate spec");
+        assert!(
+            n > 0 && self.dim > 0 && self.num_classes > 0,
+            "degenerate spec"
+        );
         let means = self.class_means(seed);
         let mut rng = FastRng::new(split_seed(seed, 0xC1A5), stream);
         let mut feats = Tensor::zeros(n, self.dim);
@@ -64,7 +67,10 @@ impl ClusterSpec {
     /// Generates a `(train, test)` pair sharing the same class means.
     #[must_use]
     pub fn generate_split(&self, train_n: usize, test_n: usize, seed: u64) -> (Dataset, Dataset) {
-        (self.generate(train_n, seed, 1), self.generate(test_n, seed, 2))
+        (
+            self.generate(train_n, seed, 1),
+            self.generate(test_n, seed, 2),
+        )
     }
 
     fn class_means(&self, seed: u64) -> Vec<Vec<f32>> {
@@ -142,7 +148,10 @@ impl SentimentSpec {
     /// Generates a `(train, test)` pair.
     #[must_use]
     pub fn generate_split(&self, train_n: usize, test_n: usize, seed: u64) -> (Dataset, Dataset) {
-        (self.generate(train_n, seed, 1), self.generate(test_n, seed, 2))
+        (
+            self.generate(train_n, seed, 1),
+            self.generate(test_n, seed, 2),
+        )
     }
 }
 
@@ -157,7 +166,12 @@ fn gaussian_vec(n: usize, std: f32, rng: &mut FastRng) -> Vec<f32> {
 /// rows.
 #[must_use]
 pub fn mnist_like() -> ClusterSpec {
-    ClusterSpec { dim: 64, num_classes: 10, separation: 5.0, noise_std: 1.0 }
+    ClusterSpec {
+        dim: 64,
+        num_classes: 10,
+        separation: 5.0,
+        noise_std: 1.0,
+    }
 }
 
 /// CIFAR-10 stand-in: 10 overlapping classes in 256 dimensions.
@@ -166,7 +180,12 @@ pub fn mnist_like() -> ClusterSpec {
 /// visible head-room for compression-induced accuracy drops (Table 2, Fig 3).
 #[must_use]
 pub fn cifar10_like() -> ClusterSpec {
-    ClusterSpec { dim: 256, num_classes: 10, separation: 3.4, noise_std: 1.0 }
+    ClusterSpec {
+        dim: 256,
+        num_classes: 10,
+        separation: 3.4,
+        noise_std: 1.0,
+    }
 }
 
 /// ImageNet stand-in: 50 heavily overlapping classes in 512 dimensions.
@@ -176,13 +195,22 @@ pub fn cifar10_like() -> ClusterSpec {
 /// 80%, as in Table 2's ImageNet rows).
 #[must_use]
 pub fn imagenet_like() -> ClusterSpec {
-    ClusterSpec { dim: 512, num_classes: 50, separation: 4.2, noise_std: 1.0 }
+    ClusterSpec {
+        dim: 512,
+        num_classes: 50,
+        separation: 4.2,
+        noise_std: 1.0,
+    }
 }
 
 /// IMDb stand-in: binary bag-of-words sentiment over a 512-word vocabulary.
 #[must_use]
 pub fn imdb_like() -> SentimentSpec {
-    SentimentSpec { vocab: 512, doc_len: 64, shared: 0.85 }
+    SentimentSpec {
+        vocab: 512,
+        doc_len: 64,
+        shared: 0.85,
+    }
 }
 
 #[cfg(test)]

@@ -38,8 +38,21 @@ impl ConvNetSpec {
     ///
     /// Panics if the kernel does not fit the image or any size is zero.
     #[must_use]
-    pub fn square(side: usize, channels: usize, kernel: usize, hidden: usize, classes: usize) -> Self {
-        let spec = Self { height: side, width: side, channels, kernel, hidden, classes };
+    pub fn square(
+        side: usize,
+        channels: usize,
+        kernel: usize,
+        hidden: usize,
+        classes: usize,
+    ) -> Self {
+        let spec = Self {
+            height: side,
+            width: side,
+            channels,
+            kernel,
+            hidden,
+            classes,
+        };
         spec.validate();
         spec
     }
@@ -49,7 +62,10 @@ impl ConvNetSpec {
             self.height > 0 && self.width > 0 && self.channels > 0 && self.kernel > 0,
             "sizes must be positive"
         );
-        assert!(self.hidden > 0 && self.classes > 0, "sizes must be positive");
+        assert!(
+            self.hidden > 0 && self.classes > 0,
+            "sizes must be positive"
+        );
         assert!(
             self.kernel <= self.height && self.kernel <= self.width,
             "kernel must fit the image"
@@ -111,7 +127,15 @@ impl Blocks {
         let fc2_w = fc1_b + spec.hidden;
         let fc2_b = fc2_w + spec.hidden * spec.classes;
         let total = fc2_b + spec.classes;
-        Self { conv_w, conv_b, fc1_w, fc1_b, fc2_w, fc2_b, total }
+        Self {
+            conv_w,
+            conv_b,
+            fc1_w,
+            fc1_b,
+            fc2_w,
+            fc2_b,
+            total,
+        }
     }
 }
 
@@ -157,7 +181,11 @@ impl ConvNet {
         let fc2_std = (2.0 / spec.hidden as f32).sqrt();
         let fc2 = Tensor::gaussian(1, blocks.fc2_b - blocks.fc2_w, fc2_std, &mut rng);
         params[blocks.fc2_w..blocks.fc2_b].copy_from_slice(fc2.as_slice());
-        Self { spec, blocks_total: blocks.total, params }
+        Self {
+            spec,
+            blocks_total: blocks.total,
+            params,
+        }
     }
 
     /// The architecture spec.
@@ -260,7 +288,11 @@ impl Model for ConvNet {
     fn loss_and_grad(&self, batch: &Dataset, grad_out: &mut [f32]) -> f64 {
         let s = self.spec;
         let b = Blocks::new(s);
-        assert_eq!(grad_out.len(), self.params.len(), "gradient length mismatch");
+        assert_eq!(
+            grad_out.len(),
+            self.params.len(),
+            "gradient length mismatch"
+        );
         assert_eq!(batch.dim(), s.input_dim(), "batch dimensionality mismatch");
         let n = batch.len();
         let x = batch.features();
@@ -349,7 +381,10 @@ impl Model for ConvNet {
             }
         }
         let loss = Self::softmax_xent(&mut logits, data.labels());
-        Evaluation { loss, accuracy: correct as f64 / data.len() as f64 }
+        Evaluation {
+            loss,
+            accuracy: correct as f64 / data.len() as f64,
+        }
     }
 }
 
@@ -425,7 +460,10 @@ mod tests {
         assert_eq!(a.params_vec(), b.params_vec());
         let mut ga = vec![0.0; a.num_params()];
         let mut gb = vec![0.0; b.num_params()];
-        assert_eq!(a.loss_and_grad(&batch, &mut ga), b.loss_and_grad(&batch, &mut gb));
+        assert_eq!(
+            a.loss_and_grad(&batch, &mut ga),
+            b.loss_and_grad(&batch, &mut gb)
+        );
         assert_eq!(ga, gb);
     }
 

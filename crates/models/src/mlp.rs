@@ -38,8 +38,15 @@ impl MlpSpec {
     #[must_use]
     pub fn new(input_dim: usize, hidden: Vec<usize>, output_dim: usize) -> Self {
         assert!(input_dim > 0 && output_dim > 0, "dims must be positive");
-        assert!(hidden.iter().all(|&h| h > 0), "hidden dims must be positive");
-        Self { input_dim, hidden, output_dim }
+        assert!(
+            hidden.iter().all(|&h| h > 0),
+            "hidden dims must be positive"
+        );
+        Self {
+            input_dim,
+            hidden,
+            output_dim,
+        }
     }
 
     /// Input dimensionality.
@@ -115,7 +122,11 @@ impl Mlp {
             params.extend_from_slice(w.as_slice());
             params.extend(std::iter::repeat_n(0.0f32, fan_out));
         }
-        Self { spec, params, l2_reg: 0.0 }
+        Self {
+            spec,
+            params,
+            l2_reg: 0.0,
+        }
     }
 
     /// Sets the L2 regularization coefficient (returns `self` for chaining).
@@ -206,8 +217,16 @@ impl Model for Mlp {
     }
 
     fn loss_and_grad(&self, batch: &Dataset, grad_out: &mut [f32]) -> f64 {
-        assert_eq!(grad_out.len(), self.params.len(), "gradient length mismatch");
-        assert_eq!(batch.dim(), self.spec.input_dim, "batch dimensionality mismatch");
+        assert_eq!(
+            grad_out.len(),
+            self.params.len(),
+            "gradient length mismatch"
+        );
+        assert_eq!(
+            batch.dim(),
+            self.spec.input_dim,
+            "batch dimensionality mismatch"
+        );
         let n = batch.len();
         let (acts, mut probs) = self.forward(batch.features());
         let loss = Self::softmax_xent(&mut probs, batch.labels());
@@ -277,7 +296,10 @@ impl Model for Mlp {
             }
         }
         let loss = Self::softmax_xent(&mut logits, data.labels());
-        Evaluation { loss, accuracy: correct as f64 / data.len() as f64 }
+        Evaluation {
+            loss,
+            accuracy: correct as f64 / data.len() as f64,
+        }
     }
 }
 
@@ -362,7 +384,12 @@ mod tests {
             model.apply_update(&update);
         }
         let after = model.evaluate(&test);
-        assert!(after.loss < before.loss, "{} -> {}", before.loss, after.loss);
+        assert!(
+            after.loss < before.loss,
+            "{} -> {}",
+            before.loss,
+            after.loss
+        );
         assert!(after.accuracy > 0.7, "accuracy only {}", after.accuracy);
     }
 

@@ -87,7 +87,10 @@ mod tests {
 
     #[test]
     fn evaluation_display() {
-        let e = Evaluation { loss: 1.5, accuracy: 0.925 };
+        let e = Evaluation {
+            loss: 1.5,
+            accuracy: 0.925,
+        };
         assert_eq!(format!("{e}"), "loss=1.5000 acc=92.50%");
     }
 }

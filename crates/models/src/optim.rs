@@ -62,7 +62,10 @@ impl Momentum {
     #[must_use]
     pub fn new(mu: f32) -> Self {
         assert!((0.0..1.0).contains(&mu), "momentum must be in [0, 1)");
-        Self { mu, velocity: Vec::new() }
+        Self {
+            mu,
+            velocity: Vec::new(),
+        }
     }
 }
 
@@ -112,9 +115,19 @@ impl Adam {
     /// Panics if betas are outside `[0, 1)` or `eps <= 0`.
     #[must_use]
     pub fn with_betas(beta1: f32, beta2: f32, eps: f32) -> Self {
-        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2), "betas in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2),
+            "betas in [0,1)"
+        );
         assert!(eps > 0.0, "eps must be positive");
-        Self { beta1, beta2, eps, step: 0, m: Vec::new(), v: Vec::new() }
+        Self {
+            beta1,
+            beta2,
+            eps,
+            step: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 }
 

@@ -130,10 +130,19 @@ mod tests {
     #[test]
     fn logical_sizes_preserve_orderings() {
         // The paper's comparisons rely on these orderings.
-        assert!(Workload::ResNet20Cifar10.logical_params() < Workload::ResNet18ImageNet.logical_params());
-        assert!(Workload::ResNet18ImageNet.logical_params() < Workload::AlexNetCifar10.logical_params());
-        assert!(Workload::AlexNetCifar10.logical_params() < Workload::ResNet50ImageNet.logical_params());
-        assert!(Workload::ResNet50ImageNet.logical_params() < Workload::DistilBertImdb.logical_params());
+        assert!(
+            Workload::ResNet20Cifar10.logical_params()
+                < Workload::ResNet18ImageNet.logical_params()
+        );
+        assert!(
+            Workload::ResNet18ImageNet.logical_params() < Workload::AlexNetCifar10.logical_params()
+        );
+        assert!(
+            Workload::AlexNetCifar10.logical_params() < Workload::ResNet50ImageNet.logical_params()
+        );
+        assert!(
+            Workload::ResNet50ImageNet.logical_params() < Workload::DistilBertImdb.logical_params()
+        );
     }
 
     #[test]
@@ -164,6 +173,9 @@ mod tests {
 
     #[test]
     fn display_matches_label() {
-        assert_eq!(format!("{}", Workload::AlexNetCifar10), "AlexNet / CIFAR-10");
+        assert_eq!(
+            format!("{}", Workload::AlexNetCifar10),
+            "AlexNet / CIFAR-10"
+        );
     }
 }

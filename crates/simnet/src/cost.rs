@@ -108,6 +108,22 @@ pub fn allreduce_time(link: LinkModel, total_bytes: usize, topology: Topology) -
     }
 }
 
+/// Wall-clock overhead of `retransmits` retransmissions of a
+/// `payload_bytes` segment: each one first waits out the loss-detection
+/// `timeout_s`, then pays the full α–β transfer cost again.
+///
+/// This is how the fault layer's retries show up in simulated time — see
+/// [`crate::fault`].
+#[must_use]
+pub fn retry_overhead_time(
+    link: LinkModel,
+    payload_bytes: usize,
+    retransmits: u64,
+    timeout_s: f64,
+) -> f64 {
+    retransmits as f64 * (timeout_s + link.transfer_time(payload_bytes))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,5 +203,13 @@ mod tests {
         // rows=2, cols=2, B=80: rs = 1*40, vert = 2*1*20, ag = 1*40 -> 120.
         let t = torus_allreduce_time(link, 80, 2, 2);
         assert!((t - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn retry_overhead_prices_timeout_plus_transfer() {
+        let link = LinkModel::new(2.0, 1.0); // α = 2 s, β = 1 B/s
+                                             // 3 retransmits of 10 bytes with a 5 s timeout: 3 · (5 + 2 + 10).
+        assert!((retry_overhead_time(link, 10, 3, 5.0) - 51.0).abs() < 1e-9);
+        assert_eq!(retry_overhead_time(link, 10, 0, 5.0), 0.0);
     }
 }

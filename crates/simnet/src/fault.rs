@@ -1,0 +1,511 @@
+//! Deterministic fault injection for the simulated fabric.
+//!
+//! The paper's cluster results assume a fault-free network; this module adds
+//! the failure modes a real multi-hop deployment sees — dropped transfers,
+//! detected payload corruption, stragglers, and whole-worker crashes — while
+//! keeping every run bit-reproducible under a fixed seed.
+//!
+//! The model:
+//!
+//! - **Drops** (`link_drop_prob`): a transfer vanishes; the sender times out
+//!   after [`FaultPlan::retry_timeout_s`] and retransmits, up to
+//!   [`FaultPlan::max_retries`] retries. A transfer whose retry budget is
+//!   exhausted is a *permanent omission*: the receiver simply never folds that
+//!   contribution in (the collectives keep explicit aggregation counts so the
+//!   `⊙` combine stays unbiased over what actually arrived).
+//! - **Corruption** (`link_corrupt_prob`): the payload arrives but fails its
+//!   checksum, so the receiver discards it and the sender retransmits exactly
+//!   as for a drop. Delivered payloads are therefore always correct — detected
+//!   corruption costs time, never accuracy.
+//! - **Stragglers** (`stragglers`): listed workers run their local compute
+//!   phase at a `≥ 1×` delay multiplier; the synchronous round waits for the
+//!   slowest worker, so [`FaultPlan::compute_multiplier`] scales the round's
+//!   compute time.
+//! - **Crash** (`crash`): one worker fails permanently at the start of round
+//!   `t` and never returns. The collectives re-form over the `M − 1`
+//!   survivors (torus repairs to a survivor ring).
+//!
+//! Determinism: a [`FaultInjector`] is constructed per round from
+//! `(plan.seed, round)` and consumes randomness in transfer-issue order,
+//! which the collective schedules fix. Same plan + same seed ⇒ byte-identical
+//! traces, stats, and training reports. [`FaultPlan::none`] short-circuits
+//! every draw, so a fault-free plan leaves the clean code paths untouched.
+
+use serde::{Deserialize, Serialize};
+
+/// Declarative description of the faults to inject into a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed for the fault RNG (independent of the training seed).
+    pub seed: u64,
+    /// Per-transfer probability that the payload is dropped in flight.
+    pub link_drop_prob: f64,
+    /// Per-transfer probability that the payload arrives corrupted (and is
+    /// detected by checksum, triggering a retransmit).
+    pub link_corrupt_prob: f64,
+    /// `(worker, multiplier)` pairs: each worker's compute phase runs
+    /// `multiplier ≥ 1` times slower.
+    pub stragglers: Vec<(usize, f64)>,
+    /// `(worker, round)`: the worker crashes permanently at the start of
+    /// `round` (0-based) and is excluded from every later round.
+    pub crash: Option<(usize, u64)>,
+    /// Retransmissions attempted after the first failed try before the
+    /// transfer is abandoned as a permanent omission.
+    pub max_retries: u32,
+    /// Simulated seconds the sender waits before each retransmission
+    /// (the loss-detection timeout).
+    pub retry_timeout_s: f64,
+}
+
+impl FaultPlan {
+    /// The fault-free plan: no drops, no corruption, no stragglers, no crash.
+    ///
+    /// Runs configured with this plan are byte-identical to runs that predate
+    /// the fault layer.
+    #[must_use]
+    pub fn none() -> Self {
+        Self {
+            seed: 0,
+            link_drop_prob: 0.0,
+            link_corrupt_prob: 0.0,
+            stragglers: Vec::new(),
+            crash: None,
+            max_retries: 3,
+            retry_timeout_s: 2e-4,
+        }
+    }
+
+    /// Whether this plan injects any fault at all.
+    #[must_use]
+    pub fn is_none(&self) -> bool {
+        self.link_drop_prob == 0.0
+            && self.link_corrupt_prob == 0.0
+            && self.stragglers.is_empty()
+            && self.crash.is_none()
+    }
+
+    /// Fault-free plan with a specific RNG seed (useful as a builder root).
+    #[must_use]
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::none()
+        }
+    }
+
+    /// Sets the per-transfer drop probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p < 1`.
+    #[must_use]
+    pub fn with_link_drop(mut self, p: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&p),
+            "drop probability must be in [0, 1)"
+        );
+        self.link_drop_prob = p;
+        self
+    }
+
+    /// Sets the per-transfer detected-corruption probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p < 1`.
+    #[must_use]
+    pub fn with_link_corruption(mut self, p: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&p),
+            "corruption probability must be in [0, 1)"
+        );
+        self.link_corrupt_prob = p;
+        self
+    }
+
+    /// Adds a straggler running its compute phase `multiplier` times slower.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `multiplier < 1`.
+    #[must_use]
+    pub fn with_straggler(mut self, worker: usize, multiplier: f64) -> Self {
+        assert!(multiplier >= 1.0, "straggler multiplier must be >= 1");
+        self.stragglers.push((worker, multiplier));
+        self
+    }
+
+    /// Schedules `worker` to crash permanently at the start of `round`.
+    #[must_use]
+    pub fn with_crash(mut self, worker: usize, round: u64) -> Self {
+        self.crash = Some((worker, round));
+        self
+    }
+
+    /// Sets the retry budget and loss-detection timeout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `timeout_s` is negative.
+    #[must_use]
+    pub fn with_retry_policy(mut self, max_retries: u32, timeout_s: f64) -> Self {
+        assert!(timeout_s >= 0.0, "retry timeout must be non-negative");
+        self.max_retries = max_retries;
+        self.retry_timeout_s = timeout_s;
+        self
+    }
+
+    /// The worker that is crashed during `round`, if any.
+    #[must_use]
+    pub fn crashed_at(&self, round: u64) -> Option<usize> {
+        match self.crash {
+            Some((w, r)) if round >= r => Some(w),
+            _ => None,
+        }
+    }
+
+    /// Compute-time multiplier for `round`: the slowest live straggler (the
+    /// synchronous round waits for it). Always `≥ 1`.
+    #[must_use]
+    pub fn compute_multiplier(&self, round: u64) -> f64 {
+        let crashed = self.crashed_at(round);
+        self.stragglers
+            .iter()
+            .filter(|(w, _)| Some(*w) != crashed)
+            .map(|&(_, mult)| mult)
+            .fold(1.0, f64::max)
+    }
+
+    /// Builds the deterministic per-round injector.
+    #[must_use]
+    pub fn injector(&self, round: u64) -> FaultInjector {
+        FaultInjector::for_round(self, round)
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// Counters describing what the fault layer did during a round (or a whole
+/// run — counters add with [`FaultStats::merge`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Retransmissions performed (each adds wire traffic and timeout wait).
+    pub retransmits: u64,
+    /// Transfers abandoned after exhausting the retry budget (permanent
+    /// omissions — the receiver never folded that contribution in).
+    pub dropped_transfers: u64,
+    /// Transfers that arrived corrupted and were detected by checksum.
+    pub corrupted_transfers: u64,
+    /// Topology repair events (e.g. torus → survivor ring after a crash).
+    pub repairs: u64,
+    /// Workers permanently crashed so far.
+    pub crashed_workers: u64,
+    /// Extra simulated seconds spent on retransmissions (timeout waits plus,
+    /// when priced by the trainer, the repeated α–β transfer cost).
+    pub retry_extra_s: f64,
+}
+
+impl FaultStats {
+    /// Adds `other`'s counters into `self`.
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.retransmits += other.retransmits;
+        self.dropped_transfers += other.dropped_transfers;
+        self.corrupted_transfers += other.corrupted_transfers;
+        self.repairs += other.repairs;
+        self.crashed_workers = self.crashed_workers.max(other.crashed_workers);
+        self.retry_extra_s += other.retry_extra_s;
+    }
+
+    /// Whether nothing fault-related happened.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        *self == FaultStats::default()
+    }
+}
+
+/// Outcome of one logical transfer under fault injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferFate {
+    /// Total wire attempts made (1 when fault-free).
+    pub attempts: u32,
+    /// Whether the payload ultimately arrived intact.
+    pub delivered: bool,
+}
+
+impl TransferFate {
+    /// The fault-free outcome: one attempt, delivered.
+    #[must_use]
+    pub fn clean() -> Self {
+        Self {
+            attempts: 1,
+            delivered: true,
+        }
+    }
+}
+
+/// Per-round fault source. Construct with [`FaultPlan::injector`]; call
+/// [`FaultInjector::transfer`] (or [`FaultInjector::transfer_reliable`]) once
+/// per logical transfer, in schedule order.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    state: u64,
+    drop_p: f64,
+    corrupt_p: f64,
+    max_attempts: u32,
+    retry_timeout_s: f64,
+    active: bool,
+    stats: FaultStats,
+}
+
+impl FaultInjector {
+    /// Injector for `round`, seeded from `(plan.seed, round)`.
+    #[must_use]
+    pub fn for_round(plan: &FaultPlan, round: u64) -> Self {
+        // SplitMix64 finalizer over (seed, round) — independent streams per
+        // round, so inserting a round never perturbs another round's faults.
+        let mut z = plan
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(round.wrapping_mul(0xD1B5_4A32_D192_ED03))
+            .wrapping_add(0x2545_F491_4F6C_DD1D);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        Self {
+            state: (z ^ (z >> 31)) | 1,
+            drop_p: plan.link_drop_prob,
+            corrupt_p: plan.link_corrupt_prob,
+            max_attempts: 1 + plan.max_retries,
+            retry_timeout_s: plan.retry_timeout_s,
+            active: plan.link_drop_prob > 0.0 || plan.link_corrupt_prob > 0.0,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Injector that never faults (used for clean comparison paths).
+    #[must_use]
+    pub fn inert() -> Self {
+        Self::for_round(&FaultPlan::none(), 0)
+    }
+
+    #[inline]
+    fn next_f64(&mut self) -> f64 {
+        // xorshift64* — cheap, deterministic, and self-contained.
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// One best-effort transfer: retried on drop/corruption up to the retry
+    /// budget, then abandoned (`delivered == false`, a permanent omission).
+    pub fn transfer(&mut self) -> TransferFate {
+        if !self.active {
+            return TransferFate::clean();
+        }
+        let mut attempts = 1u32;
+        loop {
+            let dropped = self.next_f64() < self.drop_p;
+            let corrupted = !dropped && self.next_f64() < self.corrupt_p;
+            if !dropped && !corrupted {
+                return TransferFate {
+                    attempts,
+                    delivered: true,
+                };
+            }
+            if corrupted {
+                self.stats.corrupted_transfers += 1;
+            }
+            if attempts >= self.max_attempts {
+                self.stats.dropped_transfers += 1;
+                return TransferFate {
+                    attempts,
+                    delivered: false,
+                };
+            }
+            attempts += 1;
+            self.stats.retransmits += 1;
+            self.stats.retry_extra_s += self.retry_timeout_s;
+        }
+    }
+
+    /// One reliable (ACKed) transfer: retried like [`FaultInjector::transfer`]
+    /// but never abandoned — after the retry budget the fabric escalates and
+    /// the final attempt is forced through. Used for gather/broadcast phases,
+    /// where an omission would leave replicas inconsistent.
+    pub fn transfer_reliable(&mut self) -> TransferFate {
+        if !self.active {
+            return TransferFate::clean();
+        }
+        let mut attempts = 1u32;
+        while attempts < self.max_attempts {
+            let dropped = self.next_f64() < self.drop_p;
+            let corrupted = !dropped && self.next_f64() < self.corrupt_p;
+            if !dropped && !corrupted {
+                break;
+            }
+            if corrupted {
+                self.stats.corrupted_transfers += 1;
+            }
+            attempts += 1;
+            self.stats.retransmits += 1;
+            self.stats.retry_extra_s += self.retry_timeout_s;
+        }
+        TransferFate {
+            attempts,
+            delivered: true,
+        }
+    }
+
+    /// Counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// Takes the accumulated counters, resetting them to zero.
+    pub fn take_stats(&mut self) -> FaultStats {
+        std::mem::take(&mut self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_plan_is_none_and_clean() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_none());
+        assert_eq!(plan.compute_multiplier(0), 1.0);
+        assert_eq!(plan.crashed_at(123), None);
+        let mut inj = plan.injector(7);
+        for _ in 0..100 {
+            assert_eq!(inj.transfer(), TransferFate::clean());
+            assert_eq!(inj.transfer_reliable(), TransferFate::clean());
+        }
+        assert!(inj.stats().is_clean());
+    }
+
+    #[test]
+    fn injector_is_deterministic_per_round() {
+        let plan = FaultPlan::seeded(42)
+            .with_link_drop(0.3)
+            .with_link_corruption(0.1);
+        let run = |round| {
+            let mut inj = plan.injector(round);
+            let fates: Vec<_> = (0..200).map(|_| inj.transfer()).collect();
+            (fates, inj.stats())
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5).0, run(6).0, "rounds draw independent streams");
+    }
+
+    #[test]
+    fn drop_rate_matches_probability() {
+        let plan = FaultPlan::seeded(7)
+            .with_link_drop(0.2)
+            .with_retry_policy(0, 1e-4);
+        let mut inj = plan.injector(0);
+        let n = 50_000;
+        let failures = (0..n).filter(|_| !inj.transfer().delivered).count();
+        let rate = failures as f64 / f64::from(n);
+        assert!((rate - 0.2).abs() < 0.02, "observed drop rate {rate}");
+        assert_eq!(inj.stats().dropped_transfers, u64::from(failures as u32));
+        assert_eq!(inj.stats().retransmits, 0, "zero retries configured");
+    }
+
+    #[test]
+    fn retries_mostly_recover_and_are_counted() {
+        let plan = FaultPlan::seeded(9)
+            .with_link_drop(0.3)
+            .with_retry_policy(8, 1e-4);
+        let mut inj = plan.injector(0);
+        let n = 10_000;
+        let delivered = (0..n).filter(|_| inj.transfer().delivered).count();
+        // P(9 consecutive drops) = 0.3^9 ≈ 2e-5.
+        assert!(delivered >= n - 5, "delivered {delivered}/{n}");
+        let stats = inj.stats();
+        assert!(stats.retransmits > 2_000, "expected ~30% retransmit rate");
+        let expected_wait = stats.retransmits as f64 * 1e-4;
+        assert!((stats.retry_extra_s - expected_wait).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reliable_transfer_always_delivers() {
+        let plan = FaultPlan::seeded(11)
+            .with_link_drop(0.5)
+            .with_retry_policy(1, 1e-4);
+        let mut inj = plan.injector(3);
+        for _ in 0..2_000 {
+            let fate = inj.transfer_reliable();
+            assert!(fate.delivered);
+            assert!(fate.attempts <= 2);
+        }
+        assert_eq!(inj.stats().dropped_transfers, 0);
+    }
+
+    #[test]
+    fn corruption_is_detected_and_retried() {
+        let plan = FaultPlan::seeded(13)
+            .with_link_corruption(0.25)
+            .with_retry_policy(6, 1e-4);
+        let mut inj = plan.injector(0);
+        let n = 5_000;
+        let delivered = (0..n).filter(|_| inj.transfer().delivered).count();
+        assert!(
+            delivered >= n - 3,
+            "corruption should almost always be repaired"
+        );
+        assert!(inj.stats().corrupted_transfers > 800);
+    }
+
+    #[test]
+    fn crash_and_straggler_schedules() {
+        let plan = FaultPlan::seeded(1)
+            .with_straggler(2, 4.0)
+            .with_straggler(5, 2.0)
+            .with_crash(5, 10);
+        assert_eq!(plan.crashed_at(9), None);
+        assert_eq!(plan.crashed_at(10), Some(5));
+        assert_eq!(plan.crashed_at(11), Some(5));
+        assert_eq!(plan.compute_multiplier(0), 4.0);
+        // Worker 5's slowdown stops mattering once it is dead.
+        assert_eq!(plan.compute_multiplier(10), 4.0);
+        let plan2 = FaultPlan::seeded(1).with_straggler(2, 4.0).with_crash(2, 3);
+        assert_eq!(plan2.compute_multiplier(2), 4.0);
+        assert_eq!(plan2.compute_multiplier(3), 1.0);
+    }
+
+    #[test]
+    fn stats_merge_adds_counters() {
+        let mut a = FaultStats {
+            retransmits: 2,
+            dropped_transfers: 1,
+            corrupted_transfers: 0,
+            repairs: 1,
+            crashed_workers: 1,
+            retry_extra_s: 0.5,
+        };
+        let b = FaultStats {
+            retransmits: 3,
+            dropped_transfers: 0,
+            corrupted_transfers: 4,
+            repairs: 0,
+            crashed_workers: 1,
+            retry_extra_s: 0.25,
+        };
+        a.merge(&b);
+        assert_eq!(a.retransmits, 5);
+        assert_eq!(a.dropped_transfers, 1);
+        assert_eq!(a.corrupted_transfers, 4);
+        assert_eq!(a.repairs, 1);
+        assert_eq!(a.crashed_workers, 1, "crashed workers are a max, not a sum");
+        assert!((a.retry_extra_s - 0.75).abs() < 1e-12);
+    }
+}

@@ -9,7 +9,9 @@
 //! - [`cost`]: closed-form collective costs (ring/torus all-reduce, PS
 //!   exchange, variable-width hop schedules for bit-growing MAR payloads);
 //! - [`PhaseBreakdown`]: the compute / compression / communication split
-//!   that Figures 1a and 5 plot.
+//!   that Figures 1a and 5 plot;
+//! - [`fault`]: deterministic fault injection (drops, detected corruption,
+//!   stragglers, crashes) with retry/timeout pricing under the α–β model.
 //!
 //! # Examples
 //!
@@ -23,10 +25,12 @@
 //! ```
 
 pub mod cost;
+pub mod fault;
 pub mod link;
 pub mod phase;
 pub mod topology;
 
+pub use fault::{FaultInjector, FaultPlan, FaultStats, TransferFate};
 pub use link::{LinkModel, RateProfile};
 pub use phase::PhaseBreakdown;
 pub use topology::Topology;

@@ -33,7 +33,10 @@ impl LinkModel {
     pub fn new(latency_s: f64, bandwidth_bytes_per_s: f64) -> Self {
         assert!(latency_s >= 0.0, "latency must be non-negative");
         assert!(bandwidth_bytes_per_s > 0.0, "bandwidth must be positive");
-        Self { latency_s, bandwidth_bytes_per_s }
+        Self {
+            latency_s,
+            bandwidth_bytes_per_s,
+        }
     }
 
     /// Link latency α in seconds.
@@ -96,7 +99,10 @@ impl RateProfile {
     /// regime the paper scopes itself away from.
     #[must_use]
     pub fn hpc() -> Self {
-        Self { link: LinkModel::new(5e-6, 12.5e9), ..Self::public_cloud() }
+        Self {
+            link: LinkModel::new(5e-6, 12.5e9),
+            ..Self::public_cloud()
+        }
     }
 
     /// Time to execute `flops` of training compute.

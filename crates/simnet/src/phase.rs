@@ -40,7 +40,11 @@ impl PhaseBreakdown {
             compute_s >= 0.0 && compression_s >= 0.0 && communication_s >= 0.0,
             "durations must be non-negative"
         );
-        Self { compute_s, compression_s, communication_s }
+        Self {
+            compute_s,
+            compression_s,
+            communication_s,
+        }
     }
 
     /// A zero breakdown.

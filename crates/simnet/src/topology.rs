@@ -60,7 +60,11 @@ impl Topology {
     #[must_use]
     pub fn square_torus(workers: usize) -> Self {
         let side = (workers as f64).sqrt().round() as usize;
-        assert_eq!(side * side, workers, "worker count {workers} is not a perfect square");
+        assert_eq!(
+            side * side,
+            workers,
+            "worker count {workers} is not a perfect square"
+        );
         Self::torus(side, side)
     }
 

@@ -30,8 +30,7 @@ use rand::SeedableRng;
 #[must_use]
 pub fn split_seed(seed: u64, stream: u64) -> u64 {
     // SplitMix64 finalizer over the combined state.
-    let mut z = seed
-        .wrapping_add(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(stream.wrapping_add(1)));
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(stream.wrapping_add(1)));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -170,7 +169,9 @@ mod tests {
     fn fast_rng_zero_seed_survives() {
         // A (seed, stream) pair whose splitmix output could be zero must not
         // produce a stuck generator.
-        let mut rng = FastRng { state: 0x9E37_79B9_7F4A_7C15 };
+        let mut rng = FastRng {
+            state: 0x9E37_79B9_7F4A_7C15,
+        };
         let a = rng.next_u64();
         let b = rng.next_u64();
         assert_ne!(a, b);

@@ -37,13 +37,19 @@ impl SignVec {
     /// Creates a vector of `len` bits, all zero (all-negative signs).
     #[must_use]
     pub fn zeros(len: usize) -> Self {
-        Self { len, words: vec![0; len.div_ceil(WORD_BITS)] }
+        Self {
+            len,
+            words: vec![0; len.div_ceil(WORD_BITS)],
+        }
     }
 
     /// Creates a vector of `len` bits, all one (all-positive signs).
     #[must_use]
     pub fn ones(len: usize) -> Self {
-        let mut v = Self { len, words: vec![u64::MAX; len.div_ceil(WORD_BITS)] };
+        let mut v = Self {
+            len,
+            words: vec![u64::MAX; len.div_ceil(WORD_BITS)],
+        };
         v.mask_tail();
         v
     }
@@ -116,7 +122,11 @@ impl SignVec {
     #[inline]
     #[must_use]
     pub fn get(&self, i: usize) -> bool {
-        assert!(i < self.len, "bit index {i} out of bounds (len {})", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of bounds (len {})",
+            self.len
+        );
         (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
     }
 
@@ -127,7 +137,11 @@ impl SignVec {
     /// Panics if `i >= len`.
     #[inline]
     pub fn set(&mut self, i: usize, value: bool) {
-        assert!(i < self.len, "bit index {i} out of bounds (len {})", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of bounds (len {})",
+            self.len
+        );
         let mask = 1u64 << (i % WORD_BITS);
         if value {
             self.words[i / WORD_BITS] |= mask;
@@ -145,7 +159,9 @@ impl SignVec {
     /// Expands back to a `±1.0` vector.
     #[must_use]
     pub fn to_signs(&self) -> Vec<f32> {
-        (0..self.len).map(|i| if self.get(i) { 1.0 } else { -1.0 }).collect()
+        (0..self.len)
+            .map(|i| if self.get(i) { 1.0 } else { -1.0 })
+            .collect()
     }
 
     /// Writes `±scale` into `out[j]` for each bit `j`.
@@ -388,9 +404,15 @@ mod tests {
         let and = a.and(&b);
         let or = a.or(&b);
         let xor = a.xor(&b);
-        assert_eq!(and.iter().collect::<Vec<_>>(), vec![true, false, false, false]);
+        assert_eq!(
+            and.iter().collect::<Vec<_>>(),
+            vec![true, false, false, false]
+        );
         assert_eq!(or.iter().collect::<Vec<_>>(), vec![true, true, true, false]);
-        assert_eq!(xor.iter().collect::<Vec<_>>(), vec![false, true, true, false]);
+        assert_eq!(
+            xor.iter().collect::<Vec<_>>(),
+            vec![false, true, true, false]
+        );
     }
 
     #[test]
@@ -443,7 +465,9 @@ mod tests {
     #[test]
     fn bernoulli_per_coordinate_probs() {
         let mut rng = FastRng::new(10, 0);
-        let probs: Vec<f64> = (0..10_000).map(|i| if i % 2 == 0 { 0.0 } else { 1.0 }).collect();
+        let probs: Vec<f64> = (0..10_000)
+            .map(|i| if i % 2 == 0 { 0.0 } else { 1.0 })
+            .collect();
         let v = SignVec::bernoulli(&probs, &mut rng);
         for i in 0..10_000 {
             assert_eq!(v.get(i), i % 2 == 1);

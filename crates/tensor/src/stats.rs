@@ -58,6 +58,49 @@ pub fn mean(xs: &[f64]) -> f64 {
     }
 }
 
+/// Half-width of a normal-approximation confidence interval for an
+/// empirical Bernoulli(`p`) rate estimated from `n` trials:
+/// `Z · sqrt(p(1−p)/n)`, with a floor of `Z/(2√n)` (the worst case at
+/// `p = ½`) scaled down to `Z/n` when `p(1−p)` is exactly 0, so the
+/// interval never collapses to zero width.
+///
+/// The workspace's statistical tests use `Z = 5` ([`STAT_TEST_Z`]): a
+/// two-sided per-comparison false-positive probability of about
+/// `5.7 × 10⁻⁷`, so even a suite making tens of thousands of such
+/// comparisons flags spuriously less than once in ~100 full runs —
+/// while still catching any real bias several standard errors wide.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]` or `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use marsit_tensor::stats::binomial_ci_halfwidth;
+///
+/// // p = 0.5, n = 10_000: σ = 0.005, half-width = 0.025 at Z = 5.
+/// let hw = binomial_ci_halfwidth(0.5, 10_000);
+/// assert!((hw - 0.025).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn binomial_ci_halfwidth(p: f64, n: u64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p = {p} outside [0, 1]");
+    assert!(n > 0, "need at least one trial");
+    let var = p * (1.0 - p);
+    if var == 0.0 {
+        // Degenerate distribution: allow integer-resolution slack so a
+        // single flipped trial is still within the interval.
+        STAT_TEST_Z / n as f64
+    } else {
+        STAT_TEST_Z * (var / n as f64).sqrt()
+    }
+}
+
+/// The `Z` multiplier used by [`binomial_ci_halfwidth`] — 5 standard
+/// errors, i.e. a two-sided tail mass of ≈ 5.7 × 10⁻⁷ per comparison.
+pub const STAT_TEST_Z: f64 = 5.0;
+
 /// Online mean/variance accumulator (Welford's algorithm).
 ///
 /// # Examples
@@ -85,7 +128,13 @@ impl Accumulator {
     /// Creates an empty accumulator.
     #[must_use]
     pub fn new() -> Self {
-        Self { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds an observation.
@@ -208,8 +257,29 @@ mod tests {
     }
 
     #[test]
+    fn binomial_ci_halfwidth_known_values() {
+        // σ = sqrt(0.25/100) = 0.05 → 0.25 at Z = 5.
+        assert!((binomial_ci_halfwidth(0.5, 100) - 0.25).abs() < 1e-12);
+        // Shrinks as 1/√n.
+        let a = binomial_ci_halfwidth(0.3, 1_000);
+        let b = binomial_ci_halfwidth(0.3, 4_000);
+        assert!((a / b - 2.0).abs() < 1e-9);
+        // Degenerate p never yields a zero-width interval.
+        assert!(binomial_ci_halfwidth(0.0, 1_000) > 0.0);
+        assert!(binomial_ci_halfwidth(1.0, 1_000) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn binomial_ci_rejects_bad_p() {
+        let _ = binomial_ci_halfwidth(1.5, 10);
+    }
+
+    #[test]
     fn accumulator_matches_two_pass() {
-        let xs: Vec<f64> = (0..1000).map(|i| (f64::from(i) * 0.37).sin() * 5.0).collect();
+        let xs: Vec<f64> = (0..1000)
+            .map(|i| (f64::from(i) * 0.37).sin() * 5.0)
+            .collect();
         let acc: Accumulator = xs.iter().copied().collect();
         let m = xs.iter().sum::<f64>() / xs.len() as f64;
         let v = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64;

@@ -54,13 +54,21 @@ impl Tensor {
     /// Creates a `rows × cols` tensor filled with zeros.
     #[must_use]
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a `rows × cols` tensor filled with `value`.
     #[must_use]
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -103,7 +111,11 @@ impl Tensor {
             assert_eq!(r.len(), cols, "all rows must have equal length");
             data.extend_from_slice(r);
         }
-        Self { rows: rows.len(), cols, data }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Creates a tensor with i.i.d. uniform entries in `[-scale, scale)`.
@@ -173,7 +185,10 @@ impl Tensor {
     #[inline]
     #[must_use]
     pub fn get(&self, r: usize, c: usize) -> f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c]
     }
 
@@ -184,7 +199,10 @@ impl Tensor {
     /// Panics if out of bounds.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: f32) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c] = v;
     }
 
@@ -234,7 +252,8 @@ impl Tensor {
     #[must_use]
     pub fn matmul(&self, other: &Tensor) -> Tensor {
         assert_eq!(
-            self.cols, other.rows,
+            self.cols,
+            other.rows,
             "matmul shape mismatch: {:?} x {:?}",
             self.shape(),
             other.shape()
@@ -265,7 +284,8 @@ impl Tensor {
     #[must_use]
     pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
         assert_eq!(
-            self.rows, other.rows,
+            self.rows,
+            other.rows,
             "matmul_tn shape mismatch: {:?} x {:?}",
             self.shape(),
             other.shape()
@@ -295,7 +315,8 @@ impl Tensor {
     #[must_use]
     pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
         assert_eq!(
-            self.cols, other.cols,
+            self.cols,
+            other.cols,
             "matmul_nt shape mismatch: {:?} x {:?}",
             self.shape(),
             other.shape()
@@ -448,7 +469,12 @@ impl Add for &Tensor {
         Tensor {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(&a, &b)| a + b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(&a, &b)| a + b)
+                .collect(),
         }
     }
 }
@@ -461,7 +487,12 @@ impl Sub for &Tensor {
         Tensor {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(&a, &b)| a - b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(&a, &b)| a - b)
+                .collect(),
         }
     }
 }

@@ -100,8 +100,7 @@ pub fn train_gossip(cfg: &TrainConfig) -> GossipReport {
         }
         let _ = gossip_ring_step(&mut params);
         total_time += round_time;
-        let eval = if (cfg.eval_every > 0 && (t + 1) % cfg.eval_every == 0) || t + 1 == cfg.rounds
-        {
+        let eval = if (cfg.eval_every > 0 && (t + 1) % cfg.eval_every == 0) || t + 1 == cfg.rounds {
             Some(evaluate_mean(&mut scratch, &params, &test_set))
         } else {
             None
@@ -167,8 +166,15 @@ mod tests {
     #[test]
     fn gossip_learns_but_keeps_disagreement() {
         let report = train_gossip(&cfg(4, 80));
-        assert!(report.final_eval.accuracy > 0.6, "acc {}", report.final_eval.accuracy);
-        assert!(report.final_consensus_error > 0.0, "gossip never fully agrees");
+        assert!(
+            report.final_eval.accuracy > 0.6,
+            "acc {}",
+            report.final_eval.accuracy
+        );
+        assert!(
+            report.final_consensus_error > 0.0,
+            "gossip never fully agrees"
+        );
     }
 
     #[test]

@@ -33,7 +33,7 @@ use marsit_compress::cascading::cascade_reduce_practical;
 use marsit_compress::compressor::{Compressor, EfSign, Ssdm};
 use marsit_compress::powersgd::{orthonormalize_columns, PowerSgd as PowerSgdState};
 use marsit_core::{Marsit, MarsitConfig, SyncSchedule};
-use marsit_simnet::Topology;
+use marsit_simnet::{FaultPlan, FaultStats, Topology};
 use marsit_tensor::rng::{split_seed, FastRng};
 use marsit_tensor::SignVec;
 
@@ -102,22 +102,40 @@ impl StrategyKind {
     ///
     /// Panics if `m < 2`, `d == 0`, or a learning rate is not positive.
     #[must_use]
-    pub fn build(self, m: usize, d: usize, local_lr: f32, global_lr: f32, seed: u64) -> Synchronizer {
+    pub fn build(
+        self,
+        m: usize,
+        d: usize,
+        local_lr: f32,
+        global_lr: f32,
+        seed: u64,
+    ) -> Synchronizer {
         assert!(m >= 2, "need at least 2 workers");
         assert!(d > 0, "model dimension must be positive");
-        assert!(local_lr > 0.0 && global_lr > 0.0, "learning rates must be positive");
+        assert!(
+            local_lr > 0.0 && global_lr > 0.0,
+            "learning rates must be positive"
+        );
         let state = match self {
             Self::Psgd => State::Psgd,
             Self::SignMajority => State::SignMajority,
-            Self::EfSign => State::EfSign { workers: vec![EfSign::new(); m] },
-            Self::Ssdm => State::Ssdm { velocity: vec![0.0; d] },
+            Self::EfSign => State::EfSign {
+                workers: vec![EfSign::new(); m],
+            },
+            Self::Ssdm => State::Ssdm {
+                velocity: vec![0.0; d],
+            },
             Self::Cascading => State::Cascading,
             Self::Marsit { k } => {
                 let schedule = match k {
                     Some(k) => SyncSchedule::every(k),
                     None => SyncSchedule::never(),
                 };
-                State::Marsit(Marsit::new(MarsitConfig::new(schedule, global_lr, seed), m, d))
+                State::Marsit(Marsit::new(
+                    MarsitConfig::new(schedule, global_lr, seed),
+                    m,
+                    d,
+                ))
             }
             Self::PowerSgd { rank } => State::PowerSgd {
                 workers: (0..m)
@@ -125,7 +143,13 @@ impl StrategyKind {
                     .collect(),
             },
         };
-        Synchronizer { kind: self, state, local_lr, seed, round: 0 }
+        Synchronizer {
+            kind: self,
+            state,
+            local_lr,
+            seed,
+            round: 0,
+        }
     }
 }
 
@@ -149,6 +173,9 @@ pub struct SyncResult {
     /// differs from the raw local updates (Marsit aggregates *compensated*
     /// updates). The matching-rate metric compares signs against this.
     pub reference_mean: Option<Vec<f32>>,
+    /// What the fault layer did this round (all-zero without a fault plan;
+    /// only Marsit supports fault injection).
+    pub faults: FaultStats,
 }
 
 enum State {
@@ -183,6 +210,22 @@ impl Synchronizer {
         self.round
     }
 
+    /// Installs a fault plan on the underlying synchronizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan injects faults and the strategy is not Marsit —
+    /// graceful degradation is implemented for Marsit's collectives only.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        match &mut self.state {
+            State::Marsit(marsit) => marsit.set_fault_plan(plan),
+            _ => assert!(
+                plan.is_none(),
+                "fault injection is only supported for the Marsit strategy"
+            ),
+        }
+    }
+
     /// Performs one global synchronization.
     ///
     /// `local_updates[w]` is worker `w`'s `η_l`-scaled update direction.
@@ -195,7 +238,10 @@ impl Synchronizer {
         let m = local_updates.len();
         assert_eq!(topology.workers(), m, "topology size must match workers");
         let d = local_updates[0].len();
-        assert!(local_updates.iter().all(|u| u.len() == d), "dimension mismatch");
+        assert!(
+            local_updates.iter().all(|u| u.len() == d),
+            "dimension mismatch"
+        );
         let t = self.round;
         self.round += 1;
         let mut rng = FastRng::new(split_seed(self.seed, t), 0xA663);
@@ -209,11 +255,14 @@ impl Synchronizer {
                     trace,
                     full_precision: true,
                     reference_mean: None,
+                    faults: FaultStats::default(),
                 }
             }
             State::SignMajority => {
-                let signs: Vec<SignVec> =
-                    local_updates.iter().map(|u| SignVec::from_signs(u)).collect();
+                let signs: Vec<SignVec> = local_updates
+                    .iter()
+                    .map(|u| SignVec::from_signs(u))
+                    .collect();
                 let (vote, trace) = match topology {
                     Topology::Ring { .. } => ring_allreduce_majority(&signs, SumWire::Elias),
                     Topology::Torus { rows, cols } => {
@@ -223,7 +272,13 @@ impl Synchronizer {
                 };
                 let mut update = vec![0.0f32; d];
                 vote.write_scaled_signs(self.local_lr, &mut update);
-                SyncResult { global_update: update, trace, full_precision: false, reference_mean: None }
+                SyncResult {
+                    global_update: update,
+                    trace,
+                    full_precision: false,
+                    reference_mean: None,
+                    faults: FaultStats::default(),
+                }
             }
             State::EfSign { workers } => {
                 let mut scales = Vec::with_capacity(m);
@@ -233,9 +288,14 @@ impl Synchronizer {
                     scales.push(msg.scale());
                     signs.push(msg.signs().clone());
                 }
-                let (update, trace) =
-                    mean_scaled_signs(&signs, &scales, topology);
-                SyncResult { global_update: update, trace, full_precision: false, reference_mean: None }
+                let (update, trace) = mean_scaled_signs(&signs, &scales, topology);
+                SyncResult {
+                    global_update: update,
+                    trace,
+                    full_precision: false,
+                    reference_mean: None,
+                    faults: FaultStats::default(),
+                }
             }
             State::Ssdm { velocity } => {
                 // SSDM transmits stochastic signs; aggregation is the linear
@@ -264,7 +324,13 @@ impl Synchronizer {
                     *v = 0.9 * *v + mean_sign;
                     update.push(self.local_lr * *v);
                 }
-                SyncResult { global_update: update, trace, full_precision: false, reference_mean: None }
+                SyncResult {
+                    global_update: update,
+                    trace,
+                    full_precision: false,
+                    reference_mean: None,
+                    faults: FaultStats::default(),
+                }
             }
             State::Cascading => {
                 // The practical relay (deterministic sign, RMS scale): the
@@ -286,7 +352,13 @@ impl Synchronizer {
                 for _ in 0..2 * (m - 1) {
                     trace.push_step(vec![hop]);
                 }
-                SyncResult { global_update: update, trace, full_precision: false, reference_mean: None }
+                SyncResult {
+                    global_update: update,
+                    trace,
+                    full_precision: false,
+                    reference_mean: None,
+                    faults: FaultStats::default(),
+                }
             }
             State::Marsit(marsit) => {
                 let out = marsit.synchronize(local_updates, topology);
@@ -295,6 +367,7 @@ impl Synchronizer {
                     trace: out.trace,
                     full_precision: out.full_precision,
                     reference_mean: Some(out.compensated_mean),
+                    faults: out.faults,
                 }
             }
             State::PowerSgd { workers } => {
@@ -332,7 +405,13 @@ impl Synchronizer {
                 }
                 let mut combined = trace_p;
                 combined.extend(std::mem::take(&mut trace));
-                SyncResult { global_update: update, trace: combined, full_precision: false, reference_mean: None }
+                SyncResult {
+                    global_update: update,
+                    trace: combined,
+                    full_precision: false,
+                    reference_mean: None,
+                    faults: FaultStats::default(),
+                }
             }
         }
     }
@@ -357,11 +436,7 @@ fn allreduce_sum(updates: &[Vec<f32>], topology: Topology) -> (Vec<f32>, Trace) 
 
 /// Aggregates scaled-sign messages linearly: `(mean scale) · (mean sign)`,
 /// the MAR extension shared by SSDM and EF-signSGD.
-fn mean_scaled_signs(
-    signs: &[SignVec],
-    scales: &[f32],
-    topology: Topology,
-) -> (Vec<f32>, Trace) {
+fn mean_scaled_signs(signs: &[SignVec], scales: &[f32], topology: Topology) -> (Vec<f32>, Trace) {
     let m = signs.len() as f32;
     let (sums, trace) = match topology {
         Topology::Ring { .. } => ring_allreduce_signsum(signs, SumWire::Elias),
@@ -425,7 +500,10 @@ mod tests {
         // Each coordinate is η·k/4 for k ∈ {−4, −2, 0, 2, 4}.
         for &g in &out.global_update {
             let k = g / 0.1 * 4.0;
-            assert!((k - k.round()).abs() < 1e-4, "entry {g} not on the mean-sign grid");
+            assert!(
+                (k - k.round()).abs() < 1e-4,
+                "entry {g} not on the mean-sign grid"
+            );
             assert!(g.abs() <= 0.1 + 1e-7);
         }
         assert!(!out.full_precision);
@@ -533,7 +611,10 @@ mod tests {
                 *a += f64::from(g);
             }
         }
-        let target: Vec<f64> = mean.iter().map(|&x| f64::from(x) * f64::from(rounds as u32)).collect();
+        let target: Vec<f64> = mean
+            .iter()
+            .map(|&x| f64::from(x) * f64::from(rounds as u32))
+            .collect();
         let err: f64 = applied
             .iter()
             .zip(&target)

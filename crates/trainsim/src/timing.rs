@@ -112,8 +112,9 @@ impl TimingModel {
                     .map(|r| (seg * bits(r + 1)).div_ceil(8))
                     .collect();
                 let gather_bits = if onebit_gather { 1 } else { bits(m) };
-                let gather: Vec<usize> =
-                    (0..m - 1).map(|_| (seg * gather_bits).div_ceil(8)).collect();
+                let gather: Vec<usize> = (0..m - 1)
+                    .map(|_| (seg * gather_bits).div_ceil(8))
+                    .collect();
                 cost::ring_allreduce_time_varying(link, &reduce, &gather)
             }
             Topology::Torus { rows, cols } => {
@@ -221,7 +222,9 @@ mod tests {
     #[test]
     fn marsit_round_is_fastest_onebit() {
         let m = model(Topology::ring(8));
-        let marsit = m.round_time(StrategyKind::Marsit { k: None }, false).total();
+        let marsit = m
+            .round_time(StrategyKind::Marsit { k: None }, false)
+            .total();
         for kind in [
             StrategyKind::Psgd,
             StrategyKind::SignMajority,

@@ -10,7 +10,7 @@
 use marsit_datagen::synthetic::{cifar10_like, imagenet_like, imdb_like, mnist_like};
 use marsit_datagen::Dataset;
 use marsit_models::{Evaluation, Mlp, Model, Optimizer, OptimizerKind, Workload};
-use marsit_simnet::{PhaseBreakdown, RateProfile, Topology};
+use marsit_simnet::{cost, FaultPlan, FaultStats, PhaseBreakdown, RateProfile, Topology};
 use marsit_tensor::rng::{split_seed, FastRng};
 use marsit_tensor::SignVec;
 
@@ -58,6 +58,11 @@ pub struct TrainConfig {
     /// `None` keeps the paper's IID assumption. Used to probe the
     /// compensation mechanism's IID justification (Section 4.1.3).
     pub data_skew: Option<f64>,
+    /// Deterministic fault plan (link drops/corruption, stragglers, a
+    /// scheduled crash). [`FaultPlan::none`] — the default — leaves the
+    /// run byte-identical to a build without the fault layer. Only the
+    /// Marsit strategy supports an active plan.
+    pub fault_plan: FaultPlan,
 }
 
 impl TrainConfig {
@@ -83,6 +88,7 @@ impl TrainConfig {
             lr_decay_on_full_precision: None,
             check_consistency: true,
             data_skew: None,
+            fault_plan: FaultPlan::none(),
         }
     }
 
@@ -134,7 +140,7 @@ pub struct RoundRecord {
 }
 
 /// Result of a full training run.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct TrainReport {
     /// Display label of the strategy.
     pub strategy_label: String,
@@ -150,6 +156,9 @@ pub struct TrainReport {
     pub avg_wire_bits_per_element: f64,
     /// Whether training diverged (non-finite loss observed).
     pub diverged: bool,
+    /// Aggregate fault-layer activity over the run (all-zero when the
+    /// fault plan is [`FaultPlan::none`]).
+    pub faults: FaultStats,
 }
 
 impl TrainReport {
@@ -200,7 +209,10 @@ impl TrainReport {
     pub fn accuracy_vs_megabits(&self) -> Vec<(f64, f64)> {
         self.records
             .iter()
-            .filter_map(|r| r.eval.map(|e| (r.cumulative_megabits_per_worker, e.accuracy)))
+            .filter_map(|r| {
+                r.eval
+                    .map(|e| (r.cumulative_megabits_per_worker, e.accuracy))
+            })
             .collect()
     }
 }
@@ -211,9 +223,7 @@ impl TrainReport {
 pub fn elements_per_round(topology: Topology, d: usize) -> usize {
     match topology {
         Topology::Ring { workers: m } => 2 * (m - 1) * d,
-        Topology::Torus { rows, cols } => {
-            2 * (cols - 1) * rows * d + 2 * (rows - 1) * d
-        }
+        Topology::Torus { rows, cols } => 2 * (cols - 1) * rows * d + 2 * (rows - 1) * d,
         Topology::Star { workers: m } => 2 * m * d,
     }
 }
@@ -241,8 +251,7 @@ pub fn train(cfg: &TrainConfig) -> TrainReport {
     // Identical replicas (consensus holds by induction from round 0).
     let reference = Mlp::new(spec, split_seed(cfg.seed, 0x30DE));
     let mut models: Vec<Mlp> = vec![reference; m];
-    let mut optimizers: Vec<Box<dyn Optimizer>> =
-        (0..m).map(|_| cfg.optimizer.build()).collect();
+    let mut optimizers: Vec<Box<dyn Optimizer>> = (0..m).map(|_| cfg.optimizer.build()).collect();
     let mut worker_rngs: Vec<FastRng> = (0..m)
         .map(|w| FastRng::new(split_seed(cfg.seed, a_seed(w)), 1))
         .collect();
@@ -253,6 +262,7 @@ pub fn train(cfg: &TrainConfig) -> TrainReport {
         cfg.marsit_global_lr,
         split_seed(cfg.seed, 0x57A7),
     );
+    sync.set_fault_plan(cfg.fault_plan.clone());
     let timing = TimingModel {
         rates: cfg.rates,
         logical_d: cfg.workload.logical_params(),
@@ -269,6 +279,7 @@ pub fn train(cfg: &TrainConfig) -> TrainReport {
     let mut total_elements = 0usize;
     let mut lr = cfg.local_lr;
     let mut diverged = false;
+    let mut run_faults = FaultStats::default();
     let elements_round = elements_per_round(cfg.topology, d);
 
     let mut grad = vec![0.0f32; d];
@@ -306,8 +317,8 @@ pub fn train(cfg: &TrainConfig) -> TrainReport {
         // Matching rate against what the strategy actually aggregated
         // (compensated updates for Marsit, raw updates otherwise).
         let reference = out.reference_mean.as_deref().unwrap_or(&exact_mean);
-        let matching_rate = SignVec::from_signs(&out.global_update)
-            .matching_rate(&SignVec::from_signs(reference));
+        let matching_rate =
+            SignVec::from_signs(&out.global_update).matching_rate(&SignVec::from_signs(reference));
 
         // Apply the consensus update everywhere.
         for model in &mut models {
@@ -331,8 +342,25 @@ pub fn train(cfg: &TrainConfig) -> TrainReport {
             }
         }
 
-        // Accounting.
-        let time = timing.round_time(cfg.strategy, out.full_precision);
+        // Accounting. An active fault plan stretches the simulated clock:
+        // stragglers multiply this round's compute, and every retransmit
+        // pays a timeout plus one extra α–β transfer of its payload.
+        let mut time = timing.round_time(cfg.strategy, out.full_precision);
+        let mut round_faults = out.faults;
+        if !cfg.fault_plan.is_none() {
+            time.compute_s *= cfg.fault_plan.compute_multiplier(t as u64);
+            if round_faults.retransmits > 0 {
+                let payload = retry_payload_bytes(timing.logical_d, m, out.full_precision);
+                round_faults.retry_extra_s = cost::retry_overhead_time(
+                    cfg.rates.link,
+                    payload,
+                    round_faults.retransmits,
+                    cfg.fault_plan.retry_timeout_s,
+                );
+                time.communication_s += round_faults.retry_extra_s;
+            }
+            run_faults.merge(&round_faults);
+        }
         total_time += time;
         let round_bytes = out.trace.total_bytes();
         total_bytes += round_bytes;
@@ -340,8 +368,7 @@ pub fn train(cfg: &TrainConfig) -> TrainReport {
         cumulative_bits_per_worker += round_bytes as f64 * 8.0 / m as f64;
         let wire_bits_per_element = round_bytes as f64 * 8.0 / elements_round as f64;
 
-        let eval = if (cfg.eval_every > 0 && (t + 1) % cfg.eval_every == 0) || t + 1 == cfg.rounds
-        {
+        let eval = if (cfg.eval_every > 0 && (t + 1) % cfg.eval_every == 0) || t + 1 == cfg.rounds {
             Some(models[0].evaluate(&test_set))
         } else {
             None
@@ -371,6 +398,19 @@ pub fn train(cfg: &TrainConfig) -> TrainReport {
         total_bytes,
         avg_wire_bits_per_element: total_bytes as f64 * 8.0 / total_elements.max(1) as f64,
         diverged,
+        faults: run_faults,
+    }
+}
+
+/// Bytes of one retransmitted segment at logical model scale: a ring-style
+/// `D/M` segment, one bit per element in compressed rounds and fp32 in
+/// full-precision rounds.
+fn retry_payload_bytes(logical_d: usize, m: usize, full_precision: bool) -> usize {
+    let seg = logical_d.div_ceil(m);
+    if full_precision {
+        seg * 4
+    } else {
+        seg.div_ceil(8)
     }
 }
 
@@ -483,6 +523,57 @@ mod tests {
         let report = train(&cfg);
         assert!(!report.diverged);
         assert!(report.final_eval.accuracy > 0.5);
+    }
+
+    #[test]
+    fn explicit_none_fault_plan_report_is_identical() {
+        let mut cfg = quick_cfg(StrategyKind::Marsit { k: Some(20) });
+        cfg.rounds = 12;
+        let baseline = train(&cfg);
+        cfg.fault_plan = FaultPlan::none();
+        let explicit = train(&cfg);
+        assert_eq!(baseline, explicit);
+        assert!(baseline.faults.is_clean());
+    }
+
+    #[test]
+    fn faulty_run_records_retransmits_and_costs_time() {
+        let mut cfg = quick_cfg(StrategyKind::Marsit { k: Some(20) });
+        cfg.rounds = 12;
+        let clean = train(&cfg);
+        cfg.fault_plan = FaultPlan::seeded(7)
+            .with_link_drop(0.05)
+            .with_straggler(1, 4.0);
+        let faulty = train(&cfg);
+        assert!(faulty.faults.retransmits > 0, "{:?}", faulty.faults);
+        assert!(faulty.faults.retry_extra_s > 0.0);
+        assert!(
+            faulty.total_time.total() > clean.total_time.total(),
+            "faults must stretch the simulated clock"
+        );
+        // Deterministic replay under a fixed plan seed.
+        let again = train(&cfg);
+        assert_eq!(faulty, again);
+    }
+
+    #[test]
+    fn crash_mid_run_repairs_and_converges() {
+        let mut cfg = quick_cfg(StrategyKind::Marsit { k: Some(20) });
+        cfg.rounds = 30;
+        cfg.fault_plan = FaultPlan::seeded(11).with_crash(3, 10);
+        let report = train(&cfg);
+        assert_eq!(report.faults.repairs, 1);
+        assert_eq!(report.faults.crashed_workers, 1);
+        assert!(!report.diverged);
+    }
+
+    #[test]
+    #[should_panic(expected = "only supported for the Marsit strategy")]
+    fn non_marsit_strategy_rejects_fault_plan() {
+        let mut cfg = quick_cfg(StrategyKind::Psgd);
+        cfg.rounds = 2;
+        cfg.fault_plan = FaultPlan::seeded(1).with_link_drop(0.1);
+        let _ = train(&cfg);
     }
 
     #[test]

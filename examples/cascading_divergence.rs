@@ -31,8 +31,8 @@ fn main() {
             ("no compression (PSGD)", StrategyKind::Psgd),
         ] {
             let r = run(strategy, m);
-            let avg_match = r.records.iter().map(|x| x.matching_rate).sum::<f64>()
-                / r.records.len() as f64;
+            let avg_match =
+                r.records.iter().map(|x| x.matching_rate).sum::<f64>() / r.records.len() as f64;
             println!(
                 "{:<24} {:>4} {:>10.2} {:>12.3} {:>12.2}{}",
                 name,

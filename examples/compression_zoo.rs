@@ -13,7 +13,10 @@ fn main() {
     let d = 4096;
     let mut rng = FastRng::new(11, 0);
     let grad = Tensor::gaussian(1, d, 0.02, &mut rng).into_vec();
-    println!("== Compressor zoo on a {d}-dim gradient, ‖g‖₂ = {:.4} ==\n", stats::norm_l2(&grad));
+    println!(
+        "== Compressor zoo on a {d}-dim gradient, ‖g‖₂ = {:.4} ==\n",
+        stats::norm_l2(&grad)
+    );
 
     println!(
         "{:<12} {:>12} {:>14} {:>22}",
@@ -36,7 +39,10 @@ fn main() {
             err
         );
     }
-    println!("(fp32 baseline: {} bits, 32.00 bits/coord, error 0)\n", 32 * d);
+    println!(
+        "(fp32 baseline: {} bits, 32.00 bits/coord, error 0)\n",
+        32 * d
+    );
 
     // Error feedback in action: cumulative decoded ≈ cumulative gradient.
     println!("EF-signSGD memory over 100 identical rounds:");
@@ -50,7 +56,10 @@ fn main() {
         if [0, 9, 99].contains(&round) {
             let target: Vec<f32> = grad.iter().map(|&g| g * (round + 1) as f32).collect();
             let rel = stats::dist_sq(&applied, &target).sqrt() / f64::from(stats::norm_l2(&target));
-            println!("  after round {:>3}: relative error of applied sum = {rel:.4}", round + 1);
+            println!(
+                "  after round {:>3}: relative error of applied sum = {rel:.4}",
+                round + 1
+            );
         }
     }
 

@@ -67,7 +67,9 @@ fn main() {
             overlap: true,
         };
         let psgd = model.round_time(StrategyKind::Psgd, true).total();
-        let marsit = model.round_time(StrategyKind::Marsit { k: None }, false).total();
+        let marsit = model
+            .round_time(StrategyKind::Marsit { k: None }, false)
+            .total();
         let bar = "*".repeat(((psgd / marsit) * 4.0).round() as usize);
         println!("  {gbps:>5} Gb/s: {:>5.2}x {bar}", psgd / marsit);
     }

@@ -17,7 +17,11 @@ fn run(strategy: StrategyKind, skew: Option<f64>) -> TrainReport {
     cfg.train_examples = 8192;
     cfg.test_examples = 2048;
     cfg.batch_per_worker = 32;
-    cfg.local_lr = if matches!(strategy, StrategyKind::Psgd) { 0.1 } else { 0.01 };
+    cfg.local_lr = if matches!(strategy, StrategyKind::Psgd) {
+        0.1
+    } else {
+        0.01
+    };
     cfg.marsit_global_lr = 0.002;
     cfg.eval_every = 0;
     cfg.data_skew = skew;

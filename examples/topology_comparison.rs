@@ -24,7 +24,11 @@ fn main() {
         StrategyKind::Cascading,
         StrategyKind::Marsit { k: None },
     ];
-    for topology in [Topology::ring(16), Topology::square_torus(16), Topology::star(16)] {
+    for topology in [
+        Topology::ring(16),
+        Topology::square_torus(16),
+        Topology::star(16),
+    ] {
         println!("--- {} ({topology}) ---", topology.short_name());
         println!(
             "{:<12} {:>12} {:>12} {:>12} {:>12}",

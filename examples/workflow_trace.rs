@@ -33,7 +33,10 @@ fn main() {
         println!("  worker {}: {}", w + 1, bits(s));
     }
     let segs = segment_ranges(d, m);
-    println!("\nSegments: {:?}\n", segs.iter().map(|r| (r.start, r.end)).collect::<Vec<_>>());
+    println!(
+        "\nSegments: {:?}\n",
+        segs.iter().map(|r| (r.start, r.end)).collect::<Vec<_>>()
+    );
 
     let mut phase = 0usize;
     let mut combine_rng = FastRng::new(7, 0);
@@ -41,7 +44,13 @@ fn main() {
         if ctx.step != phase {
             phase = ctx.step;
         }
-        let out = combine_weighted(recv, ctx.received_count, local, ctx.local_count, &mut combine_rng);
+        let out = combine_weighted(
+            recv,
+            ctx.received_count,
+            local,
+            ctx.local_count,
+            &mut combine_rng,
+        );
         println!(
             "R{} seg {}: worker {} combines received {} (x{}) ⊙ local {} (x1) -> {}",
             ctx.step + 1,
@@ -55,7 +64,10 @@ fn main() {
         out
     });
 
-    println!("\nGather phase: each reduced segment circulates {} hops (1 bit/coord).", m - 1);
+    println!(
+        "\nGather phase: each reduced segment circulates {} hops (1 bit/coord).",
+        m - 1
+    );
     println!("Consensus sign vector: {}", bits(&consensus));
     println!(
         "Wire: {} steps, {} bytes total ({} bits/coordinate/hop).",

@@ -1,0 +1,341 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! The build environment has no crates.io access, so the workspace vendors a
+//! miniature property-testing framework with the same surface syntax:
+//!
+//! - `proptest! { #[test] fn name(x in strategy, ...) { body } }`
+//! - strategies: integer ranges (`2usize..7`), `any::<T>()` for primitives
+//!   and small tuples, and `prop::collection::vec(strategy, len_range)`
+//!   (arbitrarily nested);
+//! - `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`.
+//!
+//! Unlike real proptest there is no shrinking and no persistence file: each
+//! test runs a fixed number of cases drawn from a generator seeded
+//! deterministically from the test's module path and name, so failures are
+//! reproducible across runs and machines by construction. On failure the
+//! panic message includes the case index.
+
+pub mod test_runner {
+    //! Deterministic case generator.
+
+    /// Per-case RNG. Seeded from the test name and case index only, so every
+    //  run of the suite sees identical inputs.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates the RNG for `(test_name, case)`.
+        #[must_use]
+        pub fn deterministic(test_name: &str, case: u64) -> Self {
+            // FNV-1a over the name, then a SplitMix64 mix with the case.
+            let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+            for b in test_name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            let mut z = h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            Self {
+                state: (z ^ (z >> 31)).max(1),
+            }
+        }
+
+        /// Next 64 random bits (xorshift64*).
+        #[inline]
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+
+        /// Uniform integer in `[0, n)`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `n == 0`.
+        #[inline]
+        pub fn below(&mut self, n: u64) -> u64 {
+            assert!(n > 0, "below(0) is empty");
+            ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        #[inline]
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait: how test inputs are drawn.
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let span = (self.end as i128) - (self.start as i128);
+                    assert!(span > 0, "empty range strategy");
+                    let off = rng.below(span as u64) as i128;
+                    ((self.start as i128) + off) as $t
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let span = (*self.end() as i128) - (*self.start() as i128) + 1;
+                    assert!(span > 0, "empty range strategy");
+                    let off = rng.below(span as u64) as i128;
+                    ((*self.start() as i128) + off) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.end > self.start, "empty range strategy");
+            self.start + rng.next_f64() * (self.end - self.start)
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — the type-directed default strategy.
+
+    use core::marker::PhantomData;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a default generation recipe.
+    pub trait Arbitrary: Sized {
+        /// Draws one value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// Strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Any<T>(PhantomData<T>);
+
+    /// The default strategy for `T`.
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                #[allow(clippy::cast_possible_truncation, clippy::cast_lossless)]
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            rng.next_f64()
+        }
+    }
+
+    impl Arbitrary for f32 {
+        #[allow(clippy::cast_possible_truncation)]
+        fn arbitrary(rng: &mut TestRng) -> f32 {
+            rng.next_f64() as f32
+        }
+    }
+
+    macro_rules! tuple_arbitrary {
+        ($($name:ident),+) => {
+            impl<$($name: Arbitrary),+> Arbitrary for ($($name,)+) {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    ($($name::arbitrary(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_arbitrary!(A, B);
+    tuple_arbitrary!(A, B, C);
+    tuple_arbitrary!(A, B, C, D);
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use core::ops::Range;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// `Vec` strategy with `len` drawn uniformly from `len_range`.
+    pub fn vec<S: Strategy>(elem: S, len_range: Range<usize>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            len: len_range,
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = Strategy::sample(&self.len, rng);
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a `proptest!` block needs in scope.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    pub mod prop {
+        //! Namespace mirror (`prop::collection::vec`).
+        pub use crate::collection;
+    }
+}
+
+/// Number of cases each property runs. Fixed (not configurable via env) so
+/// timing and coverage are identical on every machine.
+pub const CASES: u64 = 64;
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running [`CASES`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __test_name = concat!(module_path!(), "::", stringify!($name));
+                for __case in 0..$crate::CASES {
+                    let mut __rng =
+                        $crate::test_runner::TestRng::deterministic(__test_name, __case);
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::sample(&($strat), &mut __rng);
+                    )+
+                    let __run = || -> () { $body };
+                    __run();
+                }
+            }
+        )+
+    };
+}
+
+/// Asserts a condition inside a property (panics with the failing case).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..10, y in -5i64..5) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(v in prop::collection::vec(any::<bool>(), 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+        }
+
+        #[test]
+        fn nested_vec_works(vv in prop::collection::vec(
+            prop::collection::vec(any::<u32>(), 1..4), 1..5)) {
+            prop_assert!(!vv.is_empty());
+            for v in &vv {
+                prop_assert!(!v.is_empty() && v.len() < 4);
+            }
+        }
+
+        #[test]
+        fn tuples_generate(t in any::<(bool, bool)>(), s in any::<u64>()) {
+            let _ = (t.0, t.1, s);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic_across_runs() {
+        let mut a = crate::test_runner::TestRng::deterministic("x::y", 3);
+        let mut b = crate::test_runner::TestRng::deterministic("x::y", 3);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

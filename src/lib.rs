@@ -62,7 +62,9 @@ pub mod prelude {
     pub use marsit_core::{Marsit, MarsitConfig, SyncSchedule};
     pub use marsit_datagen::synthetic::{cifar10_like, imagenet_like, imdb_like, mnist_like};
     pub use marsit_models::{Evaluation, Mlp, MlpSpec, Model, OptimizerKind, Workload};
-    pub use marsit_simnet::{LinkModel, PhaseBreakdown, RateProfile, Topology};
+    pub use marsit_simnet::{
+        FaultPlan, FaultStats, LinkModel, PhaseBreakdown, RateProfile, Topology,
+    };
     pub use marsit_tensor::{rng::FastRng, SignVec, Tensor};
     pub use marsit_trainsim::{train, StrategyKind, TrainConfig, TrainReport};
 }

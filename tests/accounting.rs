@@ -61,7 +61,11 @@ fn figure3_bits_column_reproduced_by_measurement() {
 fn sign_baselines_sit_between_one_and_32_bits() {
     // The ⌈log₂ M⌉ growth: integer-sum MAR payloads are >1 bit but far
     // below fp32.
-    for strategy in [StrategyKind::SignMajority, StrategyKind::Ssdm, StrategyKind::EfSign] {
+    for strategy in [
+        StrategyKind::SignMajority,
+        StrategyKind::Ssdm,
+        StrategyKind::EfSign,
+    ] {
         let r = quick(strategy, Topology::ring(8), 6);
         assert!(
             r.avg_wire_bits_per_element > 1.2 && r.avg_wire_bits_per_element < 8.0,
@@ -140,7 +144,11 @@ fn time_shape_fig5_tar_vs_rar() {
     // Marsit has the least communication under both fabrics.
     for m in [&rar, &tar] {
         let marsit = m.communication_time(StrategyKind::Marsit { k: None }, false);
-        for strategy in [StrategyKind::Psgd, StrategyKind::SignMajority, StrategyKind::Ssdm] {
+        for strategy in [
+            StrategyKind::Psgd,
+            StrategyKind::SignMajority,
+            StrategyKind::Ssdm,
+        ] {
             assert!(marsit < m.communication_time(strategy, false), "{strategy}");
         }
     }

@@ -90,7 +90,12 @@ fn matching_rate_ordering_fig1b() {
     let marsit = train(&cfg(StrategyKind::Marsit { k: None }, 3, 40));
     let cascading = train(&cfg(StrategyKind::Cascading, 3, 40));
     assert!(avg(&psgd) > 0.999, "PSGD match {}", avg(&psgd));
-    assert!(avg(&marsit) > avg(&cascading), "{} vs {}", avg(&marsit), avg(&cascading));
+    assert!(
+        avg(&marsit) > avg(&cascading),
+        "{} vs {}",
+        avg(&marsit),
+        avg(&cascading)
+    );
     assert!(
         avg(&cascading) < 0.75,
         "cascading match rate should be poor: {}",

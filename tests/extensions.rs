@@ -10,6 +10,7 @@ use marsit::compress::quantizers::{qsgd, terngrad};
 use marsit::compress::sparsify::{support_union_growth, TopK};
 use marsit::core::ominus::combine_weighted;
 use marsit::prelude::*;
+use marsit::tensor::stats::binomial_ci_halfwidth;
 use marsit::trainsim::train_gossip;
 
 /// Marsit's ⊙ composes over the tree and segmented-ring paradigms with the
@@ -43,9 +44,11 @@ fn onebit_unbiased_over_tree_and_segring() {
         for (j, &o) in ones.iter().enumerate() {
             let measured = f64::from(o) / trials as f64;
             let expected = signs.iter().filter(|v| v.get(j)).count() as f64 / m as f64;
+            // 5σ binomial interval: per-comparison false-positive ≈ 5.7e-7.
+            let hw = binomial_ci_halfwidth(expected, trials);
             assert!(
-                (measured - expected).abs() < 0.03,
-                "{paradigm} coord {j}: {measured} vs {expected}"
+                (measured - expected).abs() <= hw + 1e-12,
+                "{paradigm} coord {j}: {measured} vs {expected} (±{hw})"
             );
         }
     }
@@ -96,7 +99,11 @@ fn non_iid_shards_stress_sign_methods() {
         cfg.train_examples = 4096;
         cfg.test_examples = 1024;
         cfg.batch_per_worker = 32;
-        cfg.local_lr = if matches!(strategy, StrategyKind::Psgd) { 0.1 } else { 0.01 };
+        cfg.local_lr = if matches!(strategy, StrategyKind::Psgd) {
+            0.1
+        } else {
+            0.01
+        };
         cfg.eval_every = 0;
         cfg.data_skew = skew;
         train(&cfg).final_eval.accuracy
@@ -143,7 +150,10 @@ fn quantizers_unbiased_and_multibit() {
         }
     }
     for (j, &g) in grad.iter().enumerate() {
-        assert!((tern_mean[j] - f64::from(g)).abs() < 0.03, "terngrad coord {j}");
+        assert!(
+            (tern_mean[j] - f64::from(g)).abs() < 0.03,
+            "terngrad coord {j}"
+        );
         assert!((qsgd_mean[j] - f64::from(g)).abs() < 0.03, "qsgd coord {j}");
     }
     assert!(tern_bits > grad.len(), "ternary > 1 bit/coord");

@@ -1,0 +1,150 @@
+//! Acceptance tests for the fault-injection & graceful-degradation layer:
+//! a seeded fault plan (1% link drops, one 4× straggler, one mid-run
+//! crash) must leave Marsit training convergent and consensus-consistent
+//! on both ring and torus topologies, the fault counters must surface in
+//! the report, `FaultPlan::none()` must be byte-identical to a run without
+//! the fault layer, and everything must replay exactly under a fixed seed.
+
+use marsit::collectives::ring::ring_allreduce_onebit_faulty;
+use marsit::core::ominus::combine_weighted;
+use marsit::prelude::*;
+use marsit::tensor::stats::binomial_ci_halfwidth;
+
+fn faulty_cfg(topology: Topology) -> TrainConfig {
+    let mut cfg = TrainConfig::new(
+        Workload::AlexNetMnist,
+        topology,
+        StrategyKind::Marsit { k: Some(10) },
+    );
+    cfg.rounds = 30;
+    cfg.train_examples = 2048;
+    cfg.test_examples = 512;
+    cfg.eval_every = 0;
+    cfg.local_lr = 0.1;
+    cfg.marsit_global_lr = 0.01;
+    cfg.optimizer = OptimizerKind::Sgd;
+    // check_consistency stays on (the default): train() itself asserts
+    // that every replica — including the crashed one, which keeps applying
+    // the survivors' consensus update — stays bitwise identical.
+    cfg.fault_plan = FaultPlan::seeded(0xFA17)
+        .with_link_drop(0.01)
+        .with_straggler(1, 4.0)
+        .with_crash(3, 15);
+    cfg
+}
+
+/// The issue's headline scenario on an 8-worker ring: drops are retried,
+/// the straggler stretches compute, the crash repairs to a 7-worker ring,
+/// and training still converges with all counters visible in the report.
+#[test]
+fn ring8_survives_drops_straggler_and_crash() {
+    let report = train(&faulty_cfg(Topology::ring(8)));
+    assert!(!report.diverged);
+    assert!(
+        report.final_eval.accuracy > 0.6,
+        "accuracy {}",
+        report.final_eval.accuracy
+    );
+    assert!(report.faults.retransmits > 0, "{:?}", report.faults);
+    assert_eq!(report.faults.repairs, 1, "{:?}", report.faults);
+    assert_eq!(report.faults.crashed_workers, 1);
+    assert!(report.faults.retry_extra_s > 0.0);
+
+    // Faults are strictly additive on the simulated clock.
+    let mut clean = faulty_cfg(Topology::ring(8));
+    clean.fault_plan = FaultPlan::none();
+    let clean_report = train(&clean);
+    assert!(clean_report.faults.is_clean());
+    assert!(report.total_time.total() > clean_report.total_time.total());
+}
+
+/// The same plan on a 2×4 torus: the crash degrades the torus schedule to
+/// a ring over the 7 survivors and the run still reaches consensus.
+#[test]
+fn torus2x4_survives_drops_straggler_and_crash() {
+    let report = train(&faulty_cfg(Topology::torus(2, 4)));
+    assert!(!report.diverged);
+    assert!(
+        report.final_eval.accuracy > 0.6,
+        "accuracy {}",
+        report.final_eval.accuracy
+    );
+    assert!(report.faults.retransmits > 0, "{:?}", report.faults);
+    assert_eq!(report.faults.repairs, 1);
+    assert_eq!(report.faults.crashed_workers, 1);
+}
+
+/// `FaultPlan::none()` is free: the report is byte-identical to one from a
+/// config that never mentions the fault layer.
+#[test]
+fn none_plan_report_is_byte_identical() {
+    let mut cfg = faulty_cfg(Topology::ring(4));
+    cfg.fault_plan = FaultPlan::none();
+    let explicit = train(&cfg);
+    let default_cfg = {
+        let mut c = faulty_cfg(Topology::ring(4));
+        c.fault_plan = FaultPlan::default();
+        c
+    };
+    let default_report = train(&default_cfg);
+    assert_eq!(explicit, default_report);
+    assert!(explicit.faults.is_clean());
+}
+
+/// Two runs under the same fault-plan seed replay every drop, retry, and
+/// repair exactly.
+#[test]
+fn faulty_runs_replay_deterministically() {
+    let cfg = faulty_cfg(Topology::ring(8));
+    let a = train(&cfg);
+    let b = train(&cfg);
+    assert_eq!(a, b);
+}
+
+/// Unbiasedness survives the fault layer: with a retry budget deep enough
+/// that no transfer is permanently omitted, `E[consensus bit]` through the
+/// *faulty* ring pipeline over the 7 crash survivors still equals the
+/// survivors' mean sign, within a 5σ binomial interval.
+#[test]
+fn survivor_unbiasedness_under_retried_drops() {
+    let survivors = 7;
+    let d = 16;
+    let mut seed_rng = FastRng::new(21, 0);
+    let signs: Vec<SignVec> = (0..survivors)
+        .map(|_| SignVec::bernoulli_uniform(d, 0.5, &mut seed_rng))
+        .collect();
+    // Drop 10% of transfers but allow 8 retries: the chance of exhausting
+    // the budget (an omission, which *would* bias the estimate toward the
+    // workers that got through) is 1e-9 per transfer — negligible over
+    // this experiment.
+    let plan = FaultPlan::seeded(33)
+        .with_link_drop(0.1)
+        .with_retry_policy(8, 1e-4);
+    let trials: u64 = 6_000;
+    let mut ones = vec![0u32; d];
+    let mut retransmits = 0u64;
+    for trial in 0..trials {
+        let mut inj = plan.injector(trial);
+        let mut rng = FastRng::new(90_000 + trial, 0);
+        let (out, _) = ring_allreduce_onebit_faulty(&signs, &mut inj, |r, l, ctx| {
+            combine_weighted(r, ctx.received_count, l, ctx.local_count, &mut rng)
+        });
+        retransmits += inj.stats().retransmits;
+        for (j, o) in ones.iter_mut().enumerate() {
+            *o += u32::from(out.get(j));
+        }
+    }
+    assert!(
+        retransmits > 0,
+        "the drop rate must actually exercise retries"
+    );
+    for (j, &o) in ones.iter().enumerate() {
+        let measured = f64::from(o) / trials as f64;
+        let expected = signs.iter().filter(|v| v.get(j)).count() as f64 / survivors as f64;
+        let hw = binomial_ci_halfwidth(expected, trials);
+        assert!(
+            (measured - expected).abs() <= hw + 1e-12,
+            "coord {j}: {measured} vs {expected} (±{hw})"
+        );
+    }
+}

@@ -6,6 +6,7 @@ use marsit::collectives::torus::torus_allreduce_onebit;
 use marsit::core::ominus::combine_weighted;
 use marsit::core::theory;
 use marsit::prelude::*;
+use marsit::tensor::stats::binomial_ci_halfwidth;
 
 /// E[consensus bit] through the full ring pipeline must equal the mean of
 /// the workers' bits — the property Theorem 1 rests on.
@@ -31,9 +32,11 @@ fn ring_onebit_allreduce_is_unbiased() {
     for (j, &o) in ones.iter().enumerate() {
         let measured = f64::from(o) / f64::from(trials as u32);
         let expected = signs.iter().filter(|v| v.get(j)).count() as f64 / m as f64;
+        // 5σ binomial interval: per-comparison false-positive ≈ 5.7e-7.
+        let hw = binomial_ci_halfwidth(expected, trials);
         assert!(
-            (measured - expected).abs() < 0.02,
-            "coord {j}: {measured} vs {expected}"
+            (measured - expected).abs() <= hw + 1e-12,
+            "coord {j}: {measured} vs {expected} (±{hw})"
         );
     }
 }
@@ -62,9 +65,11 @@ fn torus_onebit_allreduce_is_unbiased() {
     for (j, &o) in ones.iter().enumerate() {
         let measured = f64::from(o) / f64::from(trials as u32);
         let expected = signs.iter().filter(|v| v.get(j)).count() as f64 / m as f64;
+        // 5σ binomial interval: per-comparison false-positive ≈ 5.7e-7.
+        let hw = binomial_ci_halfwidth(expected, trials);
         assert!(
-            (measured - expected).abs() < 0.02,
-            "coord {j}: {measured} vs {expected}"
+            (measured - expected).abs() <= hw + 1e-12,
+            "coord {j}: {measured} vs {expected} (±{hw})"
         );
     }
 }
@@ -109,7 +114,11 @@ fn compensation_telescopes_through_full_algorithm() {
     let mut applied = vec![0.0f64; d];
     for _ in 0..40 {
         let updates: Vec<Vec<f32>> = (0..m)
-            .map(|_| (0..d).map(|_| 0.02 * (rng.next_f64() as f32 - 0.5)).collect())
+            .map(|_| {
+                (0..d)
+                    .map(|_| 0.02 * (rng.next_f64() as f32 - 0.5))
+                    .collect()
+            })
             .collect();
         for (acc, u) in intended.iter_mut().zip(&updates) {
             for (a, &x) in acc.iter_mut().zip(u) {
