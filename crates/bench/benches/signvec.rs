@@ -45,17 +45,44 @@ fn bench_transient(c: &mut Criterion) {
     let mut group = c.benchmark_group("transient_vector");
     for &d in &[1 << 16, 1 << 20] {
         group.throughput(Throughput::Elements(d as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, &d| {
+        group.bench_with_input(BenchmarkId::new("word_parallel", d), &d, |b, &d| {
             let mut rng = FastRng::new(3, 0);
             b.iter(|| SignVec::bernoulli_uniform(black_box(d), 0.25, &mut rng));
         });
+        group.bench_with_input(BenchmarkId::new("scalar_baseline", d), &d, |b, &d| {
+            let mut rng = FastRng::new(3, 0);
+            b.iter(|| SignVec::bernoulli_uniform_scalar(black_box(d), 0.25, &mut rng));
+        });
+        // Worst case for the word-parallel path: a non-dyadic probability
+        // that needs the full 32-digit expansion.
+        group.bench_with_input(
+            BenchmarkId::new("word_parallel_nondyadic", d),
+            &d,
+            |b, &d| {
+                let mut rng = FastRng::new(3, 0);
+                b.iter(|| SignVec::bernoulli_uniform(black_box(d), 1.0 / 3.0, &mut rng));
+            },
+        );
     }
+    group.finish();
+}
+
+fn bench_unpack(c: &mut Criterion) {
+    let d = 1 << 20;
+    let mut rng = FastRng::new(4, 0);
+    let v = SignVec::bernoulli_uniform(d, 0.5, &mut rng);
+    let mut out = vec![0.0f32; d];
+    let mut group = c.benchmark_group("signvec_unpack");
+    group.throughput(Throughput::Elements(d as u64));
+    group.bench_function("write_scaled_signs", |b| {
+        b.iter(|| black_box(&v).write_scaled_signs(0.01, &mut out));
+    });
     group.finish();
 }
 
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_pack, bench_bitops, bench_transient
+    targets = bench_pack, bench_bitops, bench_transient, bench_unpack
 }
 criterion_main!(benches);

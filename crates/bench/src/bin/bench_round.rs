@@ -1,0 +1,244 @@
+//! **Perf trajectory point**: machine-readable benchmark of the one-bit hot
+//! path and a full Marsit synchronization round.
+//!
+//! Emits `BENCH_round.json` (override with `--out <path>`) with four
+//! sections:
+//!
+//! - `transient` — word-parallel vs scalar Bernoulli transient-vector
+//!   generation (the inner loop of every `⊙` combine), for a dyadic and a
+//!   worst-case non-dyadic probability;
+//! - `pack` — sign extraction (`SignVec::from_signs`) throughput;
+//! - `round` — end-to-end Marsit rounds/sec on a ring, one-bit and
+//!   full-precision, plus the realized wire bits per transmitted element;
+//! - `trainsim` — wall-clock speedup of the thread-per-worker compute phase
+//!   over the sequential one, with a bit-identity check of the reports.
+//!
+//! ```text
+//! cargo run --release -p marsit-bench --bin bench_round [-- --fast] [-- --out PATH]
+//! ```
+//!
+//! `--fast` shrinks problem sizes and sample counts for CI smoke runs; the
+//! JSON schema is identical in both modes (`"mode"` records which ran).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use marsit_core::{Marsit, MarsitConfig, SyncSchedule};
+use marsit_models::{OptimizerKind, Workload};
+use marsit_simnet::Topology;
+use marsit_tensor::rng::FastRng;
+use marsit_tensor::SignVec;
+use marsit_trainsim::{elements_per_round, train, StrategyKind, TrainConfig};
+
+struct Sizes {
+    mode: &'static str,
+    transient_d: usize,
+    round_d: usize,
+    samples: usize,
+    train_rounds: usize,
+}
+
+const FULL: Sizes = Sizes {
+    mode: "full",
+    transient_d: 1 << 20,
+    round_d: 1 << 16,
+    samples: 15,
+    train_rounds: 40,
+};
+
+const FAST: Sizes = Sizes {
+    mode: "fast",
+    transient_d: 1 << 16,
+    round_d: 1 << 13,
+    samples: 5,
+    train_rounds: 6,
+};
+
+/// Median wall time of one call to `f` over `samples` timed runs (after one
+/// warm-up call), in seconds.
+fn median_secs(samples: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut times: Vec<f64> = (0..samples.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn ns_per_elem(secs: f64, elems: usize) -> f64 {
+    secs * 1e9 / elems as f64
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let sizes = if args.iter().any(|a| a == "--fast") {
+        FAST
+    } else {
+        FULL
+    };
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or("BENCH_round.json", String::as_str);
+
+    // --- Transient-vector generation: the per-hop cost of `⊙`. ---
+    let d = sizes.transient_d;
+    let p_dyadic = 0.25;
+    let p_nondyadic = 1.0 / 3.0;
+    let mut rng = FastRng::new(1, 0);
+    let scalar_s = median_secs(sizes.samples, || {
+        black_box(SignVec::bernoulli_uniform_scalar(d, p_dyadic, &mut rng));
+    });
+    let word_s = median_secs(sizes.samples, || {
+        black_box(SignVec::bernoulli_uniform(d, p_dyadic, &mut rng));
+    });
+    let word_nd_s = median_secs(sizes.samples, || {
+        black_box(SignVec::bernoulli_uniform(d, p_nondyadic, &mut rng));
+    });
+    let speedup_dyadic = scalar_s / word_s;
+    let speedup_nondyadic = scalar_s / word_nd_s;
+    println!(
+        "transient d={d}: scalar {:.2} ns/elem, word-parallel {:.3} ns/elem \
+         ({speedup_dyadic:.1}x at p={p_dyadic}, {speedup_nondyadic:.1}x at p=1/3)",
+        ns_per_elem(scalar_s, d),
+        ns_per_elem(word_s, d),
+    );
+
+    // --- Sign packing. ---
+    let grad: Vec<f32> = {
+        let mut g = FastRng::new(2, 0);
+        (0..d).map(|_| (g.next_f64() as f32) - 0.5).collect()
+    };
+    let pack_s = median_secs(sizes.samples, || {
+        black_box(SignVec::from_signs(black_box(&grad)));
+    });
+    println!(
+        "pack d={d}: from_signs {:.3} ns/elem",
+        ns_per_elem(pack_s, d)
+    );
+
+    // --- Full Marsit round on a ring of 8. ---
+    let m = 8;
+    let rd = sizes.round_d;
+    let updates: Vec<Vec<f32>> = {
+        let mut g = FastRng::new(3, 0);
+        (0..m)
+            .map(|_| {
+                (0..rd)
+                    .map(|_| 0.01 * (g.next_f64() as f32 - 0.5))
+                    .collect()
+            })
+            .collect()
+    };
+    let mut onebit = Marsit::new(MarsitConfig::new(SyncSchedule::never(), 0.01, 7), m, rd);
+    let wire_bits_per_element = {
+        let out = onebit.synchronize(&updates, Topology::ring(m));
+        out.trace.total_bytes() as f64 * 8.0 / elements_per_round(Topology::ring(m), rd) as f64
+    };
+    let onebit_s = median_secs(sizes.samples, || {
+        black_box(onebit.synchronize(black_box(&updates), Topology::ring(m)));
+    });
+    let mut fp = Marsit::new(MarsitConfig::new(SyncSchedule::every(1), 0.01, 7), m, rd);
+    let fp_s = median_secs(sizes.samples, || {
+        black_box(fp.synchronize(black_box(&updates), Topology::ring(m)));
+    });
+    println!(
+        "round m={m} d={rd}: one-bit {:.1} rounds/s (wire {:.3} bits/elem), full-precision {:.1} rounds/s",
+        1.0 / onebit_s,
+        wire_bits_per_element,
+        1.0 / fp_s,
+    );
+
+    // --- Parallel vs sequential worker simulation. ---
+    //
+    // The wall-clock speedup scales with `available_parallelism` (recorded
+    // in the JSON): on a single-core host the threaded path can only tie or
+    // lose slightly to the sequential one. The invariant being benchmarked
+    // is bit-identity; the speedup is the trajectory metric.
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut cfg = TrainConfig::new(
+        Workload::AlexNetCifar10,
+        Topology::ring(4),
+        StrategyKind::Marsit { k: Some(20) },
+    );
+    cfg.rounds = sizes.train_rounds;
+    cfg.train_examples = 2048;
+    cfg.test_examples = 256;
+    cfg.batch_per_worker = 128;
+    cfg.eval_every = 0;
+    cfg.optimizer = OptimizerKind::Momentum(0.9);
+    cfg.parallel_workers = false;
+    let t = Instant::now();
+    let sequential = train(&cfg);
+    let seq_s = t.elapsed().as_secs_f64();
+    cfg.parallel_workers = true;
+    let t = Instant::now();
+    let parallel = train(&cfg);
+    let par_s = t.elapsed().as_secs_f64();
+    let bit_identical = sequential == parallel;
+    println!(
+        "trainsim M=4 rounds={}: sequential {seq_s:.2}s, parallel {par_s:.2}s \
+         ({:.2}x, bit-identical: {bit_identical})",
+        sizes.train_rounds,
+        seq_s / par_s,
+    );
+    assert!(
+        bit_identical,
+        "parallel worker simulation diverged from the sequential path"
+    );
+
+    let json = format!(
+        r#"{{
+  "bench": "round",
+  "mode": "{mode}",
+  "transient": {{
+    "d": {d},
+    "p_dyadic": {p_dyadic},
+    "scalar_ns_per_elem": {scalar_ns:.4},
+    "word_parallel_ns_per_elem": {word_ns:.4},
+    "speedup_dyadic": {speedup_dyadic:.2},
+    "p_nondyadic": {p_nondyadic:.6},
+    "word_parallel_nondyadic_ns_per_elem": {word_nd_ns:.4},
+    "speedup_nondyadic": {speedup_nondyadic:.2}
+  }},
+  "pack": {{
+    "d": {d},
+    "from_signs_ns_per_elem": {pack_ns:.4}
+  }},
+  "round": {{
+    "m": {m},
+    "d": {rd},
+    "topology": "ring",
+    "onebit_rounds_per_sec": {onebit_rps:.2},
+    "full_precision_rounds_per_sec": {fp_rps:.2},
+    "wire_bits_per_element": {wire_bits_per_element:.4}
+  }},
+  "trainsim": {{
+    "workers": 4,
+    "host_cores": {cores},
+    "rounds": {train_rounds},
+    "sequential_s": {seq_s:.4},
+    "parallel_s": {par_s:.4},
+    "speedup": {train_speedup:.2},
+    "bit_identical": {bit_identical}
+  }}
+}}
+"#,
+        mode = sizes.mode,
+        scalar_ns = ns_per_elem(scalar_s, d),
+        word_ns = ns_per_elem(word_s, d),
+        word_nd_ns = ns_per_elem(word_nd_s, d),
+        pack_ns = ns_per_elem(pack_s, d),
+        onebit_rps = 1.0 / onebit_s,
+        fp_rps = 1.0 / fp_s,
+        train_rounds = sizes.train_rounds,
+        train_speedup = seq_s / par_s,
+    );
+    std::fs::write(out_path, json).expect("write benchmark JSON");
+    println!("wrote {out_path}");
+}

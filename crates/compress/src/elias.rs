@@ -11,10 +11,15 @@ use crate::bitstream::{BitReader, BitWriter};
 
 /// Zigzag-maps a signed integer to an unsigned one:
 /// `0, −1, 1, −2, 2, … → 0, 1, 2, 3, 4, …`.
+///
+/// Total over all of `i64`: the doubling shift happens in the unsigned
+/// domain, where dropping the sign bit of `i64::MIN` is well-defined
+/// wrapping rather than signed overflow, so `zigzag(i64::MIN) == u64::MAX`
+/// in debug and release builds alike.
 #[inline]
 #[must_use]
 pub fn zigzag(v: i64) -> u64 {
-    ((v << 1) ^ (v >> 63)) as u64
+    ((v as u64) << 1) ^ ((v >> 63) as u64)
 }
 
 /// Inverse of [`zigzag`].
@@ -98,15 +103,70 @@ pub fn gamma_len(n: u64) -> usize {
     2 * bits - 1
 }
 
+/// Appends the γ code of the *successor* `g + 1` to `w`, handling the one
+/// value γ itself cannot represent: `g = u64::MAX`, whose successor `2⁶⁴`
+/// is written as its natural 129-bit γ codeword (64 zeros, then the 65-bit
+/// binary `1` followed by 64 zeros). Makes the signed codec total over
+/// `i64` — `zigzag(i64::MIN) + 1` used to overflow in debug builds.
+fn gamma_encode_succ(g: u64, w: &mut BitWriter) {
+    if g == u64::MAX {
+        for _ in 0..64 {
+            w.write_bit(false);
+        }
+        w.write_bit(true);
+        for _ in 0..64 {
+            w.write_bit(false);
+        }
+    } else {
+        gamma_encode(g + 1, w);
+    }
+}
+
+/// Reads one γ codeword written by [`gamma_encode_succ`] and returns its
+/// *predecessor* (the original `g`); `None` on malformed or short input.
+fn gamma_decode_pred(r: &mut BitReader<'_>) -> Option<u64> {
+    let mut zeros = 0u32;
+    while !r.read_bit()? {
+        zeros += 1;
+        if zeros > 64 {
+            return None;
+        }
+    }
+    if zeros == 64 {
+        // The 2⁶⁴ escape: the 64 mantissa bits must all be zero.
+        for _ in 0..64 {
+            if r.read_bits(1)? != 0 {
+                return None;
+            }
+        }
+        return Some(u64::MAX);
+    }
+    let mut n = 1u64;
+    for _ in 0..zeros {
+        n = (n << 1) | r.read_bits(1)?;
+    }
+    Some(n - 1)
+}
+
+/// Bit length [`gamma_encode_succ`] writes for `g`.
+fn gamma_len_succ(g: u64) -> usize {
+    if g == u64::MAX {
+        129
+    } else {
+        gamma_len(g + 1)
+    }
+}
+
 /// Encodes a slice of signed integers (zigzag + γ of `v+1`) into bytes.
 ///
-/// Values may be zero or negative; each is zigzagged and shifted by one so
-/// that γ applies.
+/// Total over `i64`: values may be zero, negative, or the extremes
+/// `i64::MIN`/`i64::MAX`; each is zigzagged and shifted by one so that γ
+/// applies, with `i64::MIN` taking a 129-bit escape codeword.
 #[must_use]
 pub fn encode_signed(values: &[i64]) -> Vec<u8> {
     let mut w = BitWriter::new();
     for &v in values {
-        gamma_encode(zigzag(v) + 1, &mut w);
+        gamma_encode_succ(zigzag(v), &mut w);
     }
     w.finish()
 }
@@ -119,8 +179,7 @@ pub fn decode_signed(bytes: &[u8], count: usize) -> Option<Vec<i64>> {
     let mut r = BitReader::new(bytes);
     let mut out = Vec::with_capacity(count);
     for _ in 0..count {
-        let g = gamma_decode(&mut r)?;
-        out.push(unzigzag(g - 1));
+        out.push(unzigzag(gamma_decode_pred(&mut r)?));
     }
     Some(out)
 }
@@ -128,7 +187,7 @@ pub fn decode_signed(bytes: &[u8], count: usize) -> Option<Vec<i64>> {
 /// Exact bit length of [`encode_signed`] for `values` (before byte padding).
 #[must_use]
 pub fn encoded_bits_signed(values: &[i64]) -> usize {
-    values.iter().map(|&v| gamma_len(zigzag(v) + 1)).sum()
+    values.iter().map(|&v| gamma_len_succ(zigzag(v))).sum()
 }
 
 #[cfg(test)]
@@ -228,5 +287,97 @@ mod tests {
     fn truncated_buffer_returns_none() {
         let bytes = encode_signed(&[123456789, -987654321]);
         assert!(decode_signed(&bytes[..1], 2).is_none());
+    }
+
+    #[test]
+    fn zigzag_extremes_round_trip() {
+        // i64::MIN used to overflow the doubling shift / the +1 successor.
+        for v in [i64::MIN, i64::MIN + 1, i64::MAX - 1, i64::MAX] {
+            assert_eq!(unzigzag(zigzag(v)), v, "value {v}");
+        }
+        assert_eq!(zigzag(i64::MIN), u64::MAX);
+        assert_eq!(zigzag(i64::MAX), u64::MAX - 1);
+    }
+
+    #[test]
+    fn signed_round_trip_extremes() {
+        let values = vec![i64::MIN, -1, 0, 1, i64::MAX, i64::MIN, 42];
+        let bytes = encode_signed(&values);
+        assert_eq!(decode_signed(&bytes, values.len()), Some(values.clone()));
+        // The MIN escape codeword is 129 bits; accounting must agree with
+        // the writer.
+        let mut w = BitWriter::new();
+        for &v in &values {
+            gamma_encode_succ(zigzag(v), &mut w);
+        }
+        assert_eq!(encoded_bits_signed(&values), w.bit_len());
+    }
+
+    #[test]
+    fn corrupt_min_escape_is_rejected() {
+        // 64 zeros followed by a 1 and a *non-zero* mantissa is not a valid
+        // codeword of the signed alphabet.
+        let mut w = BitWriter::new();
+        for _ in 0..64 {
+            w.write_bit(false);
+        }
+        w.write_bit(true);
+        for i in 0..64 {
+            w.write_bit(i == 0);
+        }
+        let bytes = w.finish();
+        assert_eq!(decode_signed(&bytes, 1), None);
+    }
+}
+
+#[cfg(test)]
+mod properties {
+    //! Property tests of the zigzag transform and the signed codec over the
+    //! full `i64` domain, including the extremes that used to overflow.
+
+    use proptest::prelude::*;
+
+    use super::*;
+
+    /// Folds arbitrary u64s onto a value set dense in the extremes.
+    fn stretch(x: u64) -> i64 {
+        match x % 5 {
+            0 => i64::MIN.wrapping_add((x >> 3) as i64 % 4),
+            1 => i64::MAX.wrapping_sub((x >> 3) as i64 % 4),
+            2 => (x >> 3) as i64 % 100,
+            3 => -((x >> 3) as i64 % 100),
+            _ => x as i64,
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn zigzag_round_trips(x in any::<u64>()) {
+            let v = stretch(x);
+            prop_assert_eq!(unzigzag(zigzag(v)), v);
+        }
+
+        #[test]
+        fn unzigzag_round_trips(u in any::<u64>()) {
+            prop_assert_eq!(zigzag(unzigzag(u)), u);
+        }
+
+        #[test]
+        fn zigzag_preserves_magnitude_order(x in any::<u64>(), y in any::<u64>()) {
+            let (a, b) = (stretch(x), stretch(y));
+            // |a| < |b| ⇒ zigzag(a) < zigzag(b) + 1 (interleaving order),
+            // using unsigned magnitude to stay total at i64::MIN.
+            if a.unsigned_abs() < b.unsigned_abs() {
+                prop_assert!(zigzag(a) < zigzag(b).saturating_add(1));
+            }
+        }
+
+        #[test]
+        fn signed_codec_round_trips(xs in prop::collection::vec(any::<u64>(), 0..20)) {
+            let values: Vec<i64> = xs.into_iter().map(stretch).collect();
+            let bytes = encode_signed(&values);
+            prop_assert_eq!(decode_signed(&bytes, values.len()), Some(values.clone()));
+            prop_assert_eq!(bytes.len(), encoded_bits_signed(&values).div_ceil(8));
+        }
     }
 }

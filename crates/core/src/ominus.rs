@@ -34,6 +34,12 @@ use marsit_tensor::SignVec;
 /// local bit is 0, and `b/(a+b)` when the local bit is 1 — i.e. the output
 /// bit equals the received bit with probability `a/(a+b)`.
 ///
+/// The transient vector is generated word-parallel (64 lanes per RNG word);
+/// whenever `a + b` is a power of two — every step of a power-of-two ring
+/// and both phases of a power-of-two torus — the keep probability is dyadic
+/// and realized *exactly*; otherwise the per-bit bias is below `2⁻³²` (see
+/// [`SignVec::bernoulli_uniform`]).
+///
 /// # Panics
 ///
 /// Panics if the vectors' lengths differ or `a + b == 0`.
@@ -134,6 +140,35 @@ mod tests {
             assert!(
                 (rate - expect).abs() < 0.005,
                 "a={a} b={b}: rate {rate} vs {expect}"
+            );
+        }
+    }
+
+    /// Strongly asymmetric weights (e.g. folding worker 64 into an
+    /// aggregate of 63) must keep the combine unbiased: the keep
+    /// probability 63/64 is dyadic, so the word-parallel transient vector
+    /// realizes it *exactly*, and the empirical rate has to sit inside a 5σ
+    /// binomial interval. Complements the operand-swap property test, which
+    /// only exercises weights up to 8.
+    #[test]
+    fn strongly_asymmetric_weights_stay_unbiased() {
+        let n = 1 << 16;
+        let trials = 16u64;
+        let total = trials * n as u64;
+        let recv = SignVec::ones(n);
+        let local = SignVec::zeros(n);
+        for (a, b) in [(63usize, 1usize), (1, 63), (127, 1), (255, 1)] {
+            let expect = a as f64 / (a + b) as f64;
+            let hw = marsit_tensor::stats::binomial_ci_halfwidth(expect, total);
+            let mut rng = FastRng::new(0xA5, (a * 1000 + b) as u64);
+            let mut ones = 0usize;
+            for _ in 0..trials {
+                ones += combine_weighted(&recv, a, &local, b, &mut rng).count_ones();
+            }
+            let rate = ones as f64 / total as f64;
+            assert!(
+                (rate - expect).abs() <= hw,
+                "a={a} b={b}: rate {rate} vs {expect} (±{hw})"
             );
         }
     }

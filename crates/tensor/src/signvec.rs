@@ -16,6 +16,50 @@ use crate::rng::FastRng;
 
 const WORD_BITS: usize = 64;
 
+/// Fixed-point resolution of the word-parallel Bernoulli sampler: the
+/// probability `p` is rounded to the nearest multiple of `2⁻³²` before
+/// sampling, so any `p` is realized with absolute bias at most `2⁻³³`
+/// (exactly zero for dyadic `p = a/2^k` with `k ≤ 32`, which covers the
+/// `a/(a+b)` combine weights whenever `a + b` is a power of two).
+const BERNOULLI_FIXED_BITS: u32 = 32;
+
+/// Rounds `p` to the fixed-point grid: returns `q ∈ [0, 2³²]` with
+/// `q/2³² ≈ p`. Values outside `[0, 1]` clamp to the endpoints.
+#[inline]
+fn bernoulli_fixed_point(p: f64) -> u64 {
+    if p <= 0.0 {
+        0
+    } else if p >= 1.0 {
+        1 << BERNOULLI_FIXED_BITS
+    } else {
+        // p ∈ (0, 1): the product is ≤ 2³² and rounds exactly for dyadic p.
+        (p * (1u64 << BERNOULLI_FIXED_BITS) as f64).round() as u64
+    }
+}
+
+/// Generates one 64-lane word of i.i.d. Bernoulli(`q/2³²`) bits from
+/// `32 − trailing_zeros(q)` calls to [`FastRng::next_u64`].
+///
+/// Each lane `j` decides `U_j < p` where `U_j` is the uniform number whose
+/// binary digits are bit `j` of successive random words. The comparison is
+/// evaluated for all 64 lanes at once by scanning the fixed-point digits of
+/// `p` from least to most significant: prepending digit `p_i` as the new
+/// most-significant digit updates the partial verdict `r` as
+/// `r ← r | !u` when `p_i = 1` (a zero uniform digit decides "less than"
+/// outright) and `r ← r & !u` when `p_i = 0` (a one uniform digit decides
+/// "not less than"). Digits below the lowest set bit of `q` leave `r = 0`
+/// unchanged and consume no randomness.
+#[inline]
+fn bernoulli_word(q: u64, rng: &mut FastRng) -> u64 {
+    debug_assert!(q > 0 && q < 1 << BERNOULLI_FIXED_BITS);
+    let mut r = 0u64;
+    for i in q.trailing_zeros()..BERNOULLI_FIXED_BITS {
+        let u = rng.next_u64();
+        r = if (q >> i) & 1 == 1 { r | !u } else { r & !u };
+    }
+    r
+}
+
 /// A fixed-length, bit-packed vector of signs.
 ///
 /// # Examples
@@ -56,17 +100,31 @@ impl SignVec {
 
     /// Packs the signs of `values`: bit = 1 iff `value >= 0`.
     ///
-    /// Zero is treated as positive, matching `sgn` conventions in signSGD
-    /// implementations (a zero gradient coordinate transmits `+1`).
+    /// Zero (including `-0.0`) is treated as positive, matching `sgn`
+    /// conventions in signSGD implementations (a zero gradient coordinate
+    /// transmits `+1`). NaN packs by its IEEE sign bit.
+    ///
+    /// Sign extraction is word-parallel: each 64-value chunk is reduced to
+    /// one packed word via `f32::to_bits() >> 31`, with no per-bit
+    /// read-modify-write of the destination.
     #[must_use]
     pub fn from_signs(values: &[f32]) -> Self {
-        let mut v = Self::zeros(values.len());
-        for (i, &x) in values.iter().enumerate() {
-            if x >= 0.0 {
-                v.set(i, true);
+        let mut words = Vec::with_capacity(values.len().div_ceil(WORD_BITS));
+        for chunk in values.chunks(WORD_BITS) {
+            let mut w = 0u64;
+            for (j, &x) in chunk.iter().enumerate() {
+                let bits = x.to_bits();
+                // Clear sign bit ⇒ non-negative; -0.0 carries a set sign
+                // bit but still compares `>= 0`, so it stays positive.
+                let positive = (bits >> 31 == 0) | (bits == 0x8000_0000);
+                w |= u64::from(positive) << j;
             }
+            words.push(w);
         }
-        v
+        Self {
+            len: values.len(),
+            words,
+        }
     }
 
     /// Creates a vector whose bit `j` is drawn Bernoulli(`probs[j]`).
@@ -86,8 +144,59 @@ impl SignVec {
     }
 
     /// Creates a vector of `len` i.i.d. Bernoulli(`p`) bits.
+    ///
+    /// Word-parallel: 64 bits are drawn at once by binary expansion of `p`
+    /// in 32-bit fixed point (see `bernoulli_word`), costing
+    /// [`SignVec::bernoulli_word_draws`]`(p)` ≤ 32 RNG words per 64 lanes
+    /// instead of 64 sequential floating-point draws. `p` is realized
+    /// exactly when it is dyadic with denominator ≤ 2³² (e.g. the `a/(a+b)`
+    /// combine weights with power-of-two aggregate counts); otherwise the
+    /// per-bit bias is at most 2⁻³³ from rounding to the fixed-point grid.
+    ///
+    /// **Draw accounting is word-exact:** the number of `next_u64` calls is
+    /// `bernoulli_word_draws(p) · ⌈len/64⌉`, a function of the *word* count
+    /// only — so payload lengths within the same word (e.g. 63 vs 64) leave
+    /// a shared RNG in the same state, and generating a vector in
+    /// word-aligned segments draws the exact same stream as generating it
+    /// in one call.
     #[must_use]
     pub fn bernoulli_uniform(len: usize, p: f64, rng: &mut FastRng) -> Self {
+        let q = bernoulli_fixed_point(p);
+        if q == 0 {
+            return Self::zeros(len);
+        }
+        if q == 1 << BERNOULLI_FIXED_BITS {
+            return Self::ones(len);
+        }
+        let mut v = Self::zeros(len);
+        for word in &mut v.words {
+            *word = bernoulli_word(q, rng);
+        }
+        v.mask_tail();
+        v
+    }
+
+    /// RNG words consumed per 64 lanes by [`SignVec::bernoulli_uniform`]:
+    /// `32 − trailing_zeros(round(p·2³²))`, or 0 for degenerate `p`.
+    #[must_use]
+    pub fn bernoulli_word_draws(p: f64) -> u32 {
+        let q = bernoulli_fixed_point(p);
+        if q == 0 || q == 1 << BERNOULLI_FIXED_BITS {
+            0
+        } else {
+            BERNOULLI_FIXED_BITS - q.trailing_zeros()
+        }
+    }
+
+    /// Reference implementation of [`SignVec::bernoulli_uniform`]: one
+    /// scalar `f64` draw per bit.
+    ///
+    /// Kept as the baseline the word-parallel generator is benchmarked and
+    /// statistically cross-checked against; it consumes a different RNG
+    /// stream (64 draws per word) and is not bit-compatible with the
+    /// word-parallel path.
+    #[must_use]
+    pub fn bernoulli_uniform_scalar(len: usize, p: f64, rng: &mut FastRng) -> Self {
         let mut v = Self::zeros(len);
         for word in &mut v.words {
             let mut w = 0u64;
@@ -159,20 +268,25 @@ impl SignVec {
     /// Expands back to a `±1.0` vector.
     #[must_use]
     pub fn to_signs(&self) -> Vec<f32> {
-        (0..self.len)
-            .map(|i| if self.get(i) { 1.0 } else { -1.0 })
-            .collect()
+        let mut out = vec![0.0f32; self.len];
+        self.write_scaled_signs(1.0, &mut out);
+        out
     }
 
     /// Writes `±scale` into `out[j]` for each bit `j`.
+    ///
+    /// Word-parallel: expands one packed word into 64 output lanes per
+    /// iteration without per-bit bounds checks.
     ///
     /// # Panics
     ///
     /// Panics if `out.len() != self.len()`.
     pub fn write_scaled_signs(&self, scale: f32, out: &mut [f32]) {
         assert_eq!(out.len(), self.len, "output length mismatch");
-        for (i, o) in out.iter_mut().enumerate() {
-            *o = if self.get(i) { scale } else { -scale };
+        for (chunk, &w) in out.chunks_mut(WORD_BITS).zip(&self.words) {
+            for (j, o) in chunk.iter_mut().enumerate() {
+                *o = if (w >> j) & 1 == 1 { scale } else { -scale };
+            }
         }
     }
 
@@ -495,5 +609,156 @@ mod tests {
     fn get_out_of_bounds_panics() {
         let v = SignVec::zeros(4);
         let _ = v.get(4);
+    }
+
+    #[test]
+    fn word_parallel_bernoulli_rate_within_ci() {
+        // Dyadic probabilities are realized exactly; non-dyadic ones are
+        // rounded to the 2⁻³² grid. Either way the empirical rate must sit
+        // within a 5σ binomial interval.
+        let n = 1 << 20;
+        for (stream, p) in [0.5, 0.25, 63.0 / 64.0, 1.0 / 3.0, 0.2, 0.9]
+            .into_iter()
+            .enumerate()
+        {
+            let mut rng = FastRng::new(77, stream as u64);
+            let v = SignVec::bernoulli_uniform(n, p, &mut rng);
+            let rate = v.count_ones() as f64 / n as f64;
+            let hw = crate::stats::binomial_ci_halfwidth(p, n as u64);
+            assert!((rate - p).abs() <= hw, "p={p}: rate {rate} (±{hw})");
+        }
+    }
+
+    #[test]
+    fn word_parallel_matches_scalar_baseline_statistically() {
+        // Different streams, same distribution: both rates inside the CI.
+        let n = 1 << 20;
+        let p = 0.375;
+        let mut r1 = FastRng::new(5, 1);
+        let mut r2 = FastRng::new(5, 2);
+        let fast = SignVec::bernoulli_uniform(n, p, &mut r1);
+        let slow = SignVec::bernoulli_uniform_scalar(n, p, &mut r2);
+        let hw = crate::stats::binomial_ci_halfwidth(p, n as u64);
+        for (label, v) in [("word-parallel", &fast), ("scalar", &slow)] {
+            let rate = v.count_ones() as f64 / n as f64;
+            assert!((rate - p).abs() <= hw, "{label}: rate {rate} (±{hw})");
+        }
+    }
+
+    #[test]
+    fn bernoulli_degenerate_probabilities_are_exact_and_draw_nothing() {
+        let mut rng = FastRng::new(31, 0);
+        let before = rng.clone();
+        assert_eq!(
+            SignVec::bernoulli_uniform(70, 0.0, &mut rng).count_ones(),
+            0
+        );
+        assert_eq!(
+            SignVec::bernoulli_uniform(70, 1.0, &mut rng).count_ones(),
+            70
+        );
+        // Degenerate p consumes no entropy at all.
+        assert_eq!(rng, before);
+        assert_eq!(SignVec::bernoulli_word_draws(0.0), 0);
+        assert_eq!(SignVec::bernoulli_word_draws(1.0), 0);
+    }
+
+    #[test]
+    fn bernoulli_word_draws_formula() {
+        // Dyadic p consumes one word per significant fractional digit:
+        // 0.5 = 0.1₂ → 1, 0.25 = 0.01₂ → 2, 0.75 = 0.11₂ → 2, 63/64 → 6.
+        assert_eq!(SignVec::bernoulli_word_draws(0.5), 1);
+        assert_eq!(SignVec::bernoulli_word_draws(0.25), 2);
+        assert_eq!(SignVec::bernoulli_word_draws(0.75), 2);
+        assert_eq!(SignVec::bernoulli_word_draws(63.0 / 64.0), 6);
+        // Non-dyadic p uses the full 32-bit expansion (up to rounding).
+        assert!(SignVec::bernoulli_word_draws(1.0 / 3.0) > 16);
+    }
+
+    /// Regression for the tail-entropy bug: payload lengths that pack into
+    /// the same number of words must leave a shared RNG in the same state,
+    /// so downstream draws do not depend on whether a message was 63 or 64
+    /// bits wide.
+    #[test]
+    fn draw_accounting_is_word_exact_across_tail_lengths() {
+        let p = 0.375;
+        let mut r63 = FastRng::new(123, 9);
+        let mut r64 = FastRng::new(123, 9);
+        let _ = SignVec::bernoulli_uniform(63, p, &mut r63);
+        let _ = SignVec::bernoulli_uniform(64, p, &mut r64);
+        assert_eq!(
+            r63.next_u64(),
+            r64.next_u64(),
+            "63- and 64-bit payloads must consume identical entropy"
+        );
+    }
+
+    /// Word-aligned segmentation invariance: generating a vector in two
+    /// 64-aligned segments from one RNG draws the exact same bits as one
+    /// full-length call — segmented collectives stay stream-compatible.
+    #[test]
+    fn word_aligned_segments_match_single_call() {
+        let p = 0.71;
+        let mut whole_rng = FastRng::new(9, 4);
+        let whole = SignVec::bernoulli_uniform(192, p, &mut whole_rng);
+        let mut seg_rng = FastRng::new(9, 4);
+        let head = SignVec::bernoulli_uniform(64, p, &mut seg_rng);
+        let tail = SignVec::bernoulli_uniform(128, p, &mut seg_rng);
+        let mut joined = SignVec::zeros(192);
+        joined.splice(0, &head);
+        joined.splice(64, &tail);
+        assert_eq!(joined, whole);
+        assert_eq!(whole_rng, seg_rng);
+    }
+
+    #[test]
+    fn from_signs_matches_per_bit_reference() {
+        let mut rng = FastRng::new(55, 0);
+        for len in [1usize, 7, 63, 64, 65, 127, 130, 1000] {
+            let values: Vec<f32> = (0..len).map(|_| (rng.next_f64() as f32) - 0.5).collect();
+            let fast = SignVec::from_signs(&values);
+            let mut slow = SignVec::zeros(len);
+            for (i, &x) in values.iter().enumerate() {
+                if x >= 0.0 {
+                    slow.set(i, true);
+                }
+            }
+            assert_eq!(fast, slow, "len {len}");
+        }
+    }
+
+    #[test]
+    fn from_signs_special_values() {
+        let v = SignVec::from_signs(&[
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::MIN_POSITIVE,
+            -f32::MIN_POSITIVE,
+            f32::NAN,
+            -f32::NAN,
+        ]);
+        assert!(v.get(0));
+        assert!(!v.get(1));
+        assert!(v.get(2));
+        assert!(!v.get(3));
+        // NaN packs by its sign bit.
+        assert!(v.get(4));
+        assert!(!v.get(5));
+    }
+
+    #[test]
+    fn to_signs_and_write_scaled_match_per_bit_across_word_boundaries() {
+        let mut rng = FastRng::new(21, 3);
+        for len in [1usize, 63, 64, 65, 200] {
+            let v = SignVec::bernoulli_uniform(len, 0.5, &mut rng);
+            let signs = v.to_signs();
+            let mut scaled = vec![0.0f32; len];
+            v.write_scaled_signs(2.5, &mut scaled);
+            for i in 0..len {
+                let expect = if v.get(i) { 1.0 } else { -1.0 };
+                assert_eq!(signs[i], expect, "len {len} bit {i}");
+                assert_eq!(scaled[i], 2.5 * expect, "len {len} bit {i}");
+            }
+        }
     }
 }

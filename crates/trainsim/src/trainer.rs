@@ -63,6 +63,12 @@ pub struct TrainConfig {
     /// run byte-identical to a build without the fault layer. Only the
     /// Marsit strategy supports an active plan.
     pub fault_plan: FaultPlan,
+    /// Run the per-worker gradient-compute phase on one OS thread per
+    /// worker. Bit-identical to the sequential path: every worker owns its
+    /// model, optimizer, and `split_seed`-derived RNG stream, and the
+    /// results are reduced in worker order on the main thread, so the
+    /// resulting [`TrainReport`] is byte-for-byte the same either way.
+    pub parallel_workers: bool,
 }
 
 impl TrainConfig {
@@ -89,6 +95,7 @@ impl TrainConfig {
             check_consistency: true,
             data_skew: None,
             fault_plan: FaultPlan::none(),
+            parallel_workers: true,
         }
     }
 
@@ -282,21 +289,64 @@ pub fn train(cfg: &TrainConfig) -> TrainReport {
     let mut run_faults = FaultStats::default();
     let elements_round = elements_per_round(cfg.topology, d);
 
-    let mut grad = vec![0.0f32; d];
     for t in 0..cfg.rounds {
-        // Local computation.
-        let mut local_updates: Vec<Vec<f32>> = Vec::with_capacity(m);
+        // Local computation: every worker touches only its own model,
+        // optimizer, and RNG stream, so the phase parallelizes without any
+        // cross-worker synchronization. Reduction stays on the main thread
+        // in worker order, keeping both paths bit-identical.
+        let batch_per_worker = cfg.batch_per_worker;
+        let steps: Vec<WorkerStep> = if cfg.parallel_workers && m > 1 {
+            let mut slots: Vec<Option<WorkerStep>> = Vec::new();
+            slots.resize_with(m, || None);
+            std::thread::scope(|scope| {
+                for ((((slot, model), opt), rng), shard) in slots
+                    .iter_mut()
+                    .zip(&mut models)
+                    .zip(&mut optimizers)
+                    .zip(&mut worker_rngs)
+                    .zip(&shards)
+                {
+                    scope.spawn(move || {
+                        *slot = Some(worker_step(
+                            model,
+                            opt.as_mut(),
+                            rng,
+                            shard,
+                            batch_per_worker,
+                            lr,
+                            d,
+                        ));
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|s| s.expect("worker thread completed"))
+                .collect()
+        } else {
+            (0..m)
+                .map(|w| {
+                    worker_step(
+                        &mut models[w],
+                        optimizers[w].as_mut(),
+                        &mut worker_rngs[w],
+                        &shards[w],
+                        batch_per_worker,
+                        lr,
+                        d,
+                    )
+                })
+                .collect()
+        };
         let mut loss_sum = 0.0f64;
         let mut raw_grad_mean = vec![0.0f64; d];
-        for w in 0..m {
-            let batch = shards[w].sample_batch(cfg.batch_per_worker, &mut worker_rngs[w]);
-            let loss = models[w].loss_and_grad(&batch, &mut grad);
-            loss_sum += loss;
-            for (acc, &g) in raw_grad_mean.iter_mut().zip(&grad) {
+        let mut local_updates: Vec<Vec<f32>> = Vec::with_capacity(m);
+        for step in steps {
+            loss_sum += step.loss;
+            for (acc, &g) in raw_grad_mean.iter_mut().zip(&step.raw_grad) {
                 *acc += f64::from(g) / m as f64;
             }
-            optimizers[w].direction(&mut grad);
-            local_updates.push(grad.iter().map(|&g| g * lr).collect());
+            local_updates.push(step.update);
         }
         let mean_grad_norm_sq: f64 = raw_grad_mean.iter().map(|&g| g * g).sum();
         let train_loss = loss_sum / m as f64;
@@ -399,6 +449,41 @@ pub fn train(cfg: &TrainConfig) -> TrainReport {
         avg_wire_bits_per_element: total_bytes as f64 * 8.0 / total_elements.max(1) as f64,
         diverged,
         faults: run_faults,
+    }
+}
+
+/// One worker's contribution to a round: its minibatch loss, the raw
+/// stochastic gradient (before the optimizer), and the `η_l`-scaled update
+/// direction handed to the synchronization layer.
+struct WorkerStep {
+    loss: f64,
+    raw_grad: Vec<f32>,
+    update: Vec<f32>,
+}
+
+/// The per-worker gradient-compute phase, shared verbatim by the sequential
+/// and the thread-per-worker paths so both produce identical bits.
+fn worker_step(
+    model: &mut Mlp,
+    optimizer: &mut dyn Optimizer,
+    rng: &mut FastRng,
+    shard: &Dataset,
+    batch_per_worker: usize,
+    lr: f32,
+    d: usize,
+) -> WorkerStep {
+    let batch = shard.sample_batch(batch_per_worker, rng);
+    let mut grad = vec![0.0f32; d];
+    let loss = model.loss_and_grad(&batch, &mut grad);
+    let raw_grad = grad.clone();
+    optimizer.direction(&mut grad);
+    for g in &mut grad {
+        *g *= lr;
+    }
+    WorkerStep {
+        loss,
+        raw_grad,
+        update: grad,
     }
 }
 
@@ -574,6 +659,46 @@ mod tests {
         cfg.rounds = 2;
         cfg.fault_plan = FaultPlan::seeded(1).with_link_drop(0.1);
         let _ = train(&cfg);
+    }
+
+    /// Tentpole invariant: the thread-per-worker compute phase must be
+    /// byte-for-byte identical to the sequential one — same
+    /// `SyncOutcome`s, same losses, same wire accounting, same final model.
+    #[test]
+    fn parallel_workers_bit_identical_to_sequential() {
+        for (strategy, topology) in [
+            (StrategyKind::Marsit { k: Some(10) }, Topology::ring(4)),
+            (StrategyKind::Marsit { k: None }, Topology::torus(2, 2)),
+            (StrategyKind::Psgd, Topology::ring(4)),
+            (StrategyKind::Ssdm, Topology::ring(4)),
+        ] {
+            let mut cfg = quick_cfg(strategy);
+            cfg.topology = topology;
+            cfg.rounds = 12;
+            cfg.optimizer = OptimizerKind::Momentum(0.9);
+            cfg.parallel_workers = false;
+            let sequential = train(&cfg);
+            cfg.parallel_workers = true;
+            let parallel = train(&cfg);
+            assert_eq!(
+                sequential, parallel,
+                "{strategy:?} on {topology:?}: parallel compute diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_workers_bit_identical_under_faults() {
+        let mut cfg = quick_cfg(StrategyKind::Marsit { k: Some(20) });
+        cfg.rounds = 12;
+        cfg.fault_plan = FaultPlan::seeded(7)
+            .with_link_drop(0.05)
+            .with_straggler(1, 4.0);
+        cfg.parallel_workers = false;
+        let sequential = train(&cfg);
+        cfg.parallel_workers = true;
+        let parallel = train(&cfg);
+        assert_eq!(sequential, parallel);
     }
 
     #[test]
