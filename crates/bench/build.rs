@@ -1,0 +1,19 @@
+//! Stamps the experiment binaries with `git describe` output so emitted run
+//! metadata (`BENCH_round.json` `meta.git_describe`, telemetry `run_meta`)
+//! identifies the exact tree it came from. Falls back to `"unknown"` outside
+//! a git checkout so builds from a source tarball still work.
+
+use std::process::Command;
+
+fn main() {
+    let describe = Command::new("git")
+        .args(["describe", "--always", "--dirty", "--tags"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    println!("cargo:rustc-env=MARSIT_GIT_DESCRIBE={describe}");
+    println!("cargo:rerun-if-changed=../../.git/HEAD");
+}

@@ -11,7 +11,16 @@
 //! - `round` — end-to-end Marsit rounds/sec on a ring, one-bit and
 //!   full-precision, plus the realized wire bits per transmitted element;
 //! - `trainsim` — wall-clock speedup of the thread-per-worker compute phase
-//!   over the sequential one, with a bit-identity check of the reports.
+//!   over the sequential one, with a bit-identity check of the reports;
+//! - `meta` — run provenance (seed, topology, workers, `git describe` of the
+//!   tree the binary was built from);
+//! - `faults` — aggregate fault-layer stats of a short fault-injected run;
+//! - `telemetry` — proof that the disabled sink records zero events on the
+//!   hot path (hard-asserted), plus the measured overhead ratio of a
+//!   recording sink (informational — never asserted, timing is noisy).
+//!
+//! Set `MARSIT_TELEMETRY=path` to also capture the fault-injected run's
+//! event log (and `<path>.summary.json`) for `telemetry_report`.
 //!
 //! ```text
 //! cargo run --release -p marsit-bench --bin bench_round [-- --fast] [-- --out PATH]
@@ -25,7 +34,8 @@ use std::time::Instant;
 
 use marsit_core::{Marsit, MarsitConfig, SyncSchedule};
 use marsit_models::{OptimizerKind, Workload};
-use marsit_simnet::Topology;
+use marsit_simnet::{FaultPlan, Topology};
+use marsit_telemetry::{scoped, Telemetry};
 use marsit_tensor::rng::FastRng;
 use marsit_tensor::SignVec;
 use marsit_trainsim::{elements_per_round, train, StrategyKind, TrainConfig};
@@ -192,6 +202,59 @@ fn main() {
         "parallel worker simulation diverged from the sequential path"
     );
 
+    // --- Telemetry overhead: the disabled sink must record nothing. ---
+    //
+    // The zero-event claim is deterministic, so it is hard-asserted here;
+    // the overhead ratio of a recording sink is reported but never asserted
+    // (wall-clock ratios are too noisy for CI).
+    let disabled = Telemetry::disabled();
+    let tel_off_s = median_secs(sizes.samples, || {
+        scoped(&disabled, || {
+            black_box(onebit.synchronize(black_box(&updates), Topology::ring(m)));
+        });
+    });
+    assert_eq!(
+        disabled.event_count(),
+        0,
+        "disabled telemetry recorded events on the hot path"
+    );
+    let recording = Telemetry::recording();
+    let tel_on_s = median_secs(sizes.samples, || {
+        scoped(&recording, || {
+            black_box(onebit.synchronize(black_box(&updates), Topology::ring(m)));
+        });
+    });
+    let events_enabled = recording.event_count();
+    let overhead_ratio = tel_on_s / tel_off_s;
+    println!(
+        "telemetry: disabled 0 events ({:.1} rounds/s), recording {events_enabled} events \
+         ({:.1} rounds/s, {overhead_ratio:.2}x)",
+        1.0 / tel_off_s,
+        1.0 / tel_on_s,
+    );
+
+    // --- Aggregate fault stats of a short fault-injected run. ---
+    let mut fault_cfg = cfg.clone();
+    fault_cfg.rounds = sizes.train_rounds;
+    fault_cfg.parallel_workers = true;
+    fault_cfg.fault_plan = FaultPlan::seeded(7)
+        .with_link_drop(0.05)
+        .with_straggler(1, 2.0);
+    fault_cfg.telemetry = Telemetry::from_env();
+    let faulty = train(&fault_cfg);
+    if let Some(path) = fault_cfg
+        .telemetry
+        .flush_env()
+        .expect("write telemetry log")
+    {
+        println!("wrote telemetry to {}", path.display());
+    }
+    let fstats = faulty.faults;
+    println!(
+        "faults (drop 5%, straggler 2x, {} rounds): {} retransmits, {} dropped, {:.4}s retry time",
+        sizes.train_rounds, fstats.retransmits, fstats.dropped_transfers, fstats.retry_extra_s
+    );
+
     let json = format!(
         r#"{{
   "bench": "round",
@@ -226,10 +289,38 @@ fn main() {
     "parallel_s": {par_s:.4},
     "speedup": {train_speedup:.2},
     "bit_identical": {bit_identical}
+  }},
+  "meta": {{
+    "seed": {seed},
+    "topology": "ring",
+    "workers": 4,
+    "git_describe": "{git_describe}"
+  }},
+  "faults": {{
+    "rounds": {train_rounds},
+    "retransmits": {f_retransmits},
+    "dropped_transfers": {f_dropped},
+    "corrupted_transfers": {f_corrupted},
+    "repairs": {f_repairs},
+    "crashed_workers": {f_crashed},
+    "retry_extra_s": {f_retry_s:.6}
+  }},
+  "telemetry": {{
+    "events_disabled": 0,
+    "events_enabled": {events_enabled},
+    "overhead_ratio": {overhead_ratio:.3}
   }}
 }}
 "#,
         mode = sizes.mode,
+        seed = fault_cfg.seed,
+        git_describe = env!("MARSIT_GIT_DESCRIBE"),
+        f_retransmits = fstats.retransmits,
+        f_dropped = fstats.dropped_transfers,
+        f_corrupted = fstats.corrupted_transfers,
+        f_repairs = fstats.repairs,
+        f_crashed = fstats.crashed_workers,
+        f_retry_s = fstats.retry_extra_s,
         scalar_ns = ns_per_elem(scalar_s, d),
         word_ns = ns_per_elem(word_s, d),
         word_nd_ns = ns_per_elem(word_nd_s, d),

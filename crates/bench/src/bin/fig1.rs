@@ -7,10 +7,14 @@
 //! ```text
 //! cargo run --release -p marsit-bench --bin fig1
 //! ```
+//!
+//! Set `MARSIT_TELEMETRY=path.jsonl` to capture the Marsit matching-rate
+//! run's event log for `telemetry_report`.
 
 use marsit_bench::{hr, mean_matching_rate, phase_bar};
 use marsit_models::{OptimizerKind, Workload};
 use marsit_simnet::{RateProfile, Topology};
+use marsit_telemetry::Telemetry;
 use marsit_trainsim::{train, StrategyKind, TimingModel, TrainConfig};
 
 fn main() {
@@ -74,6 +78,8 @@ fn main() {
     println!("\n== Fig 1b: sign matching rate vs the non-compressed aggregate ==\n");
     println!("{:<18} {:>14}", "method", "matching rate");
     hr(34);
+    // Only the Marsit row records telemetry — one simulated clock per log.
+    let tel = Telemetry::from_env();
     for (label, strategy) in [
         ("PSGD", StrategyKind::Psgd),
         ("signSGD-MV", StrategyKind::SignMajority),
@@ -90,8 +96,14 @@ fn main() {
         cfg.optimizer = OptimizerKind::Sgd;
         cfg.local_lr = 0.01;
         cfg.eval_every = 0;
+        if matches!(strategy, StrategyKind::Marsit { .. }) {
+            cfg.telemetry = tel.clone();
+        }
         let report = train(&cfg);
         println!("{label:<18} {:>13.1}%", mean_matching_rate(&report) * 100.0);
+    }
+    if let Some(path) = tel.flush_env().expect("write telemetry log") {
+        println!("wrote telemetry to {}", path.display());
     }
     println!(
         "\nExpected shape (paper Fig 1): PSGD/RAR beats PSGD/PS; cascading's bar is\n\

@@ -9,10 +9,14 @@
 //! ```text
 //! cargo run --release -p marsit-bench --bin fig5
 //! ```
+//!
+//! Set `MARSIT_TELEMETRY=path.jsonl` to capture the Marsit cross-check
+//! run's event log for `telemetry_report`.
 
 use marsit_bench::{hr, phase_bar};
 use marsit_models::Workload;
 use marsit_simnet::{PhaseBreakdown, RateProfile, Topology};
+use marsit_telemetry::Telemetry;
 use marsit_trainsim::{train, StrategyKind, TimingModel, TrainConfig};
 
 const M: usize = 16;
@@ -82,6 +86,9 @@ fn main() {
         "method", "trace comm (ms)", "model comm (ms)", "ratio"
     );
     hr(60);
+    // Only the Marsit cross-check run records telemetry — one simulated
+    // clock per log.
+    let tel = Telemetry::from_env();
     for strategy in strategies() {
         let mut cfg = TrainConfig::new(workload, Topology::ring(M), strategy);
         cfg.rounds = 4;
@@ -89,6 +96,9 @@ fn main() {
         cfg.test_examples = 256;
         cfg.batch_per_worker = 8;
         cfg.eval_every = 0;
+        if matches!(strategy, StrategyKind::Marsit { .. }) {
+            cfg.telemetry = tel.clone();
+        }
         let report = train(&cfg);
         let d_actual = workload.proxy_spec().num_params();
         let scale = workload.logical_params() as f64 / d_actual as f64;
@@ -119,6 +129,9 @@ fn main() {
             model_ms,
             trace_ms / model_ms
         );
+    }
+    if let Some(path) = tel.flush_env().expect("write telemetry log") {
+        println!("wrote telemetry to {}", path.display());
     }
     println!(
         "\nExpected shape (paper Fig 5): communication shrinks under TAR for every\n\

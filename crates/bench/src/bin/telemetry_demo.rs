@@ -1,0 +1,68 @@
+//! Short fault-injected Marsit training run with the telemetry sink on:
+//! writes the JSONL event log plus its `<path>.summary.json` snapshot — the
+//! input `telemetry_report` consumes in CI and in the README transcript.
+//!
+//! ```text
+//! telemetry_demo [--out PATH] [--rounds N]
+//! ```
+//!
+//! The sink path defaults to `$MARSIT_TELEMETRY`, then `telemetry_demo.jsonl`.
+//! Fully deterministic: same arguments, byte-identical log.
+
+use marsit_models::{OptimizerKind, Workload};
+use marsit_simnet::{FaultPlan, Topology};
+use marsit_telemetry::Telemetry;
+use marsit_trainsim::{train, StrategyKind, TrainConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let out = flag("--out")
+        .or_else(|| std::env::var(marsit_telemetry::ENV_VAR).ok())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "telemetry_demo.jsonl".to_string());
+    let rounds: usize = flag("--rounds").map_or(12, |s| s.parse().expect("--rounds N"));
+
+    let tel = Telemetry::recording_to(&out);
+    let mut cfg = TrainConfig::new(
+        Workload::AlexNetMnist,
+        Topology::ring(4),
+        StrategyKind::Marsit { k: Some(10) },
+    );
+    cfg.rounds = rounds;
+    cfg.train_examples = 2048;
+    cfg.test_examples = 256;
+    cfg.eval_every = 0;
+    cfg.local_lr = 0.1;
+    cfg.marsit_global_lr = 0.01;
+    cfg.optimizer = OptimizerKind::Sgd;
+    cfg.fault_plan = FaultPlan::seeded(7)
+        .with_link_drop(0.05)
+        .with_straggler(1, 3.0)
+        .with_crash(3, rounds.saturating_sub(4) as u64);
+    cfg.telemetry = tel.clone();
+
+    let report = train(&cfg);
+    let path = tel
+        .flush_env()
+        .expect("write telemetry log")
+        .expect("recording_to always has a sink path");
+    println!(
+        "trained {} rounds (final accuracy {:.3}), faults: {} retransmits, {} crashed",
+        rounds,
+        report.final_eval.accuracy,
+        report.faults.retransmits,
+        report.faults.crashed_workers
+    );
+    println!(
+        "wrote {} events to {} (+ {}.summary.json)",
+        tel.event_count(),
+        path.display(),
+        path.display()
+    );
+}

@@ -22,9 +22,28 @@ use std::ops::Range;
 
 use marsit_compress::SignSumVec;
 use marsit_simnet::FaultInjector;
+use marsit_telemetry::{Hop, HopRecorder};
 use marsit_tensor::SignVec;
 
 use crate::trace::{FaultyStep, Trace};
+
+/// Emits one telemetry `hop` event per wire attempt of a (possibly retried)
+/// transfer. `proto.expanded_step` is the slot of the *first* attempt;
+/// attempt `a` rides `a − 1` slots later, mirroring how
+/// [`FaultyStep::record`] lays retries out behind the main step. Only the
+/// final attempt of a delivered transfer is marked delivered.
+pub(crate) fn emit_attempts(rec: &mut HopRecorder, proto: &Hop, attempts: u32, delivered: bool) {
+    if !rec.is_active() {
+        return;
+    }
+    for a in 1..=attempts {
+        let mut hop = proto.clone();
+        hop.expanded_step = proto.expanded_step + (a as usize - 1);
+        hop.attempt = a;
+        hop.delivered = delivered && a == attempts;
+        rec.hop(&hop);
+    }
+}
 
 /// Splits `d` coordinates into `m` contiguous segments whose sizes differ by
 /// at most one (the first `d mod m` segments get the extra element).
@@ -100,6 +119,7 @@ pub fn ring_allreduce_sum(data: &mut [Vec<f32>]) -> Trace {
     assert!(data.iter().all(|v| v.len() == d), "payload lengths differ");
     let segs = segment_ranges(d, m);
     let mut trace = Trace::new();
+    let mut rec = HopRecorder::begin();
 
     // Reduce phase: after step r, segment (n−1−r) at worker n aggregates
     // r+2 workers.
@@ -110,6 +130,18 @@ pub fn ring_allreduce_sum(data: &mut [Vec<f32>]) -> Trace {
             let s = (w + m - (r % m)) % m;
             let range = segs[s].clone();
             step_bytes.push(range.len() * 4);
+            rec.hop(&Hop {
+                expanded_step: r,
+                step: r,
+                phase: "reduce",
+                sender: w,
+                receiver: n,
+                segment: s,
+                elems: range.len(),
+                bytes: range.len() * 4,
+                attempt: 1,
+                delivered: true,
+            });
             // Sender w's segment s is never the one w updates this step
             // ((w−r) ≠ (w−1−r) mod m), so in-place accumulation is safe.
             let (src, dst) = two_workers(data, w, n);
@@ -128,6 +160,18 @@ pub fn ring_allreduce_sum(data: &mut [Vec<f32>]) -> Trace {
             let s = (w + 1 + m - (g % m)) % m;
             let range = segs[s].clone();
             step_bytes.push(range.len() * 4);
+            rec.hop(&Hop {
+                expanded_step: (m - 1) + g,
+                step: g,
+                phase: "gather",
+                sender: w,
+                receiver: n,
+                segment: s,
+                elems: range.len(),
+                bytes: range.len() * 4,
+                attempt: 1,
+                delivered: true,
+            });
             let (src, dst) = two_workers(data, w, n);
             dst[range.clone()].copy_from_slice(&src[range]);
         }
@@ -298,12 +342,26 @@ where
         .map(|v| segs.iter().map(|r| v.slice(r.start, r.len())).collect())
         .collect();
     let mut trace = Trace::new();
+    let mut rec = HopRecorder::begin();
     for r in 0..m - 1 {
         let mut step_bytes = Vec::with_capacity(m);
         for w in 0..m {
             let n = (w + 1) % m;
             let s = (w + m - (r % m)) % m;
-            step_bytes.push(segs[s].len().div_ceil(8).max(1));
+            let bytes = segs[s].len().div_ceil(8).max(1);
+            step_bytes.push(bytes);
+            rec.hop(&Hop {
+                expanded_step: r,
+                step: r,
+                phase: "reduce",
+                sender: w,
+                receiver: n,
+                segment: s,
+                elems: segs[s].len(),
+                bytes,
+                attempt: 1,
+                delivered: true,
+            });
             let ctx = CombineCtx {
                 step: r,
                 receiver: n,
@@ -328,8 +386,28 @@ where
         let owner = (s + m - 1) % m;
         result.splice(segs[s].start, &state[owner][s]);
     }
-    for _ in 0..m - 1 {
-        let step: Vec<usize> = (0..m).map(|s| segs[s].len().div_ceil(8).max(1)).collect();
+    // Gather step g circulates segment s from sender (s+g+m−1) mod m — the
+    // inverse of the sum-gather's s = (w+1−g) mod m — so the traced byte list
+    // (indexed by segment) and the emitted endpoints agree.
+    for g in 0..m - 1 {
+        let mut step = Vec::with_capacity(m);
+        for (s, seg) in segs.iter().enumerate() {
+            let bytes = seg.len().div_ceil(8).max(1);
+            step.push(bytes);
+            let w = (s + g + m - 1) % m;
+            rec.hop(&Hop {
+                expanded_step: (m - 1) + g,
+                step: g,
+                phase: "gather",
+                sender: w,
+                receiver: (w + 1) % m,
+                segment: s,
+                elems: seg.len(),
+                bytes,
+                attempt: 1,
+                delivered: true,
+            });
+        }
         trace.push_step(step);
     }
     (result, trace)
@@ -356,8 +434,10 @@ pub fn ring_allreduce_sum_faulty(data: &mut [Vec<f32>], inj: &mut FaultInjector)
     assert!(data.iter().all(|v| v.len() == d), "payload lengths differ");
     let segs = segment_ranges(d, m);
     let mut trace = Trace::new();
+    let mut rec = HopRecorder::begin();
 
     for r in 0..m - 1 {
+        let step_base = trace.num_steps();
         let mut fs = FaultyStep::new();
         for w in 0..m {
             let n = (w + 1) % m;
@@ -365,6 +445,23 @@ pub fn ring_allreduce_sum_faulty(data: &mut [Vec<f32>], inj: &mut FaultInjector)
             let range = segs[s].clone();
             let fate = inj.transfer();
             fs.record(range.len() * 4, fate.attempts);
+            emit_attempts(
+                &mut rec,
+                &Hop {
+                    expanded_step: step_base,
+                    step: r,
+                    phase: "reduce",
+                    sender: w,
+                    receiver: n,
+                    segment: s,
+                    elems: range.len(),
+                    bytes: range.len() * 4,
+                    attempt: 1,
+                    delivered: true,
+                },
+                fate.attempts,
+                fate.delivered,
+            );
             if fate.delivered {
                 let (src, dst) = two_workers(data, w, n);
                 for (x, &y) in dst[range.clone()].iter_mut().zip(&src[range]) {
@@ -378,6 +475,7 @@ pub fn ring_allreduce_sum_faulty(data: &mut [Vec<f32>], inj: &mut FaultInjector)
     }
 
     for g in 0..m - 1 {
+        let step_base = trace.num_steps();
         let mut fs = FaultyStep::new();
         for w in 0..m {
             let n = (w + 1) % m;
@@ -385,6 +483,23 @@ pub fn ring_allreduce_sum_faulty(data: &mut [Vec<f32>], inj: &mut FaultInjector)
             let range = segs[s].clone();
             let fate = inj.transfer_reliable();
             fs.record(range.len() * 4, fate.attempts);
+            emit_attempts(
+                &mut rec,
+                &Hop {
+                    expanded_step: step_base,
+                    step: g,
+                    phase: "gather",
+                    sender: w,
+                    receiver: n,
+                    segment: s,
+                    elems: range.len(),
+                    bytes: range.len() * 4,
+                    attempt: 1,
+                    delivered: true,
+                },
+                fate.attempts,
+                fate.delivered,
+            );
             let (src, dst) = two_workers(data, w, n);
             dst[range.clone()].copy_from_slice(&src[range]);
         }
@@ -461,13 +576,32 @@ where
     // counts[w][s]: workers aggregated in worker w's copy of segment s.
     let mut counts: Vec<Vec<usize>> = init_counts.iter().map(|&c| vec![c; m]).collect();
     let mut trace = Trace::new();
+    let mut rec = HopRecorder::begin();
     for r in 0..m - 1 {
+        let step_base = trace.num_steps();
         let mut fs = FaultyStep::new();
         for w in 0..m {
             let n = (w + 1) % m;
             let s = (w + m - (r % m)) % m;
             let fate = inj.transfer();
             fs.record(segs[s].len().div_ceil(8).max(1), fate.attempts);
+            emit_attempts(
+                &mut rec,
+                &Hop {
+                    expanded_step: step_base,
+                    step: r,
+                    phase: "reduce",
+                    sender: w,
+                    receiver: n,
+                    segment: s,
+                    elems: segs[s].len(),
+                    bytes: segs[s].len().div_ceil(8).max(1),
+                    attempt: 1,
+                    delivered: true,
+                },
+                fate.attempts,
+                fate.delivered,
+            );
             if fate.delivered {
                 let ctx = CombineCtx {
                     step: r,
@@ -497,11 +631,30 @@ where
         let owner = (s + m - 1) % m;
         result.splice(segs[s].start, &state[owner][s]);
     }
-    for _ in 0..m - 1 {
+    for g in 0..m - 1 {
+        let step_base = trace.num_steps();
         let mut fs = FaultyStep::new();
-        for seg in &segs {
+        for (s, seg) in segs.iter().enumerate() {
             let fate = inj.transfer_reliable();
             fs.record(seg.len().div_ceil(8).max(1), fate.attempts);
+            let w = (s + g + m - 1) % m;
+            emit_attempts(
+                &mut rec,
+                &Hop {
+                    expanded_step: step_base,
+                    step: g,
+                    phase: "gather",
+                    sender: w,
+                    receiver: (w + 1) % m,
+                    segment: s,
+                    elems: seg.len(),
+                    bytes: seg.len().div_ceil(8).max(1),
+                    attempt: 1,
+                    delivered: true,
+                },
+                fate.attempts,
+                fate.delivered,
+            );
         }
         for step in fs.into_steps() {
             trace.push_step(step);

@@ -11,13 +11,21 @@
 
 use marsit_compress::SignSumVec;
 use marsit_simnet::FaultInjector;
+use marsit_telemetry::{Hop, HopRecorder};
 use marsit_tensor::SignVec;
 
 use crate::ring::{
-    ring_allreduce_onebit_counted_faulty, ring_allreduce_onebit_weighted,
+    emit_attempts, ring_allreduce_onebit_counted_faulty, ring_allreduce_onebit_weighted,
     ring_allreduce_signsum_parts, segment_ranges, CombineCtx, SumWire,
 };
 use crate::trace::{FaultyStep, Trace};
+
+/// Worker ids of column `c` in row-major order — the relabeling map handed
+/// to [`HopRecorder::column_frame`] so a vertical sub-ring's local worker
+/// `row` reports as global worker `row·cols + c`.
+fn column_workers(rows: usize, cols: usize, c: usize) -> Vec<usize> {
+    (0..rows).map(|row| row * cols + c).collect()
+}
 
 /// Validates torus shape against the payload count.
 fn check_shape<T>(items: &[T], rows: usize, cols: usize) {
@@ -54,9 +62,11 @@ pub fn torus_allreduce_sum(data: &mut [Vec<f32>], rows: usize, cols: usize) -> T
     assert!(data.iter().all(|v| v.len() == d), "payload lengths differ");
     let chunks = segment_ranges(d, cols);
     let mut steps: Vec<Vec<usize>> = Vec::new();
+    let mut rec = HopRecorder::begin();
 
     // Phase 1: horizontal reduce-scatter within each row.
     for rr in 0..cols - 1 {
+        let expanded = steps.len();
         let mut step = Vec::with_capacity(rows * cols);
         for row in 0..rows {
             for c in 0..cols {
@@ -65,6 +75,18 @@ pub fn torus_allreduce_sum(data: &mut [Vec<f32>], rows: usize, cols: usize) -> T
                 let s = (c + cols - (rr % cols)) % cols;
                 let range = chunks[s].clone();
                 step.push(range.len() * 4);
+                rec.hop(&Hop {
+                    expanded_step: expanded,
+                    step: rr,
+                    phase: "reduce",
+                    sender: w,
+                    receiver: n,
+                    segment: s,
+                    elems: range.len(),
+                    bytes: range.len() * 4,
+                    attempt: 1,
+                    delivered: true,
+                });
                 let sent: Vec<f32> = data[w][range.clone()].to_vec();
                 for (x, y) in data[n][range].iter_mut().zip(sent) {
                     *x += y;
@@ -82,7 +104,10 @@ pub fn torus_allreduce_sum(data: &mut [Vec<f32>], rows: usize, cols: usize) -> T
         let mut column: Vec<Vec<f32>> = (0..rows)
             .map(|row| data[row * cols + c][range.clone()].to_vec())
             .collect();
-        let sub = crate::ring::ring_allreduce_sum(&mut column);
+        let sub = {
+            let _frame = rec.column_frame(offset, column_workers(rows, cols, c));
+            crate::ring::ring_allreduce_sum(&mut column)
+        };
         for (row, chunk) in column.into_iter().enumerate() {
             data[row * cols + c][range.clone()].copy_from_slice(&chunk);
         }
@@ -91,6 +116,7 @@ pub fn torus_allreduce_sum(data: &mut [Vec<f32>], rows: usize, cols: usize) -> T
 
     // Phase 3: horizontal all-gather.
     for g in 0..cols - 1 {
+        let expanded = steps.len();
         let mut step = Vec::with_capacity(rows * cols);
         for row in 0..rows {
             for c in 0..cols {
@@ -100,6 +126,18 @@ pub fn torus_allreduce_sum(data: &mut [Vec<f32>], rows: usize, cols: usize) -> T
                 let s = (c + 1 + cols - (g % cols)) % cols;
                 let range = chunks[s].clone();
                 step.push(range.len() * 4);
+                rec.hop(&Hop {
+                    expanded_step: expanded,
+                    step: g,
+                    phase: "gather",
+                    sender: w,
+                    receiver: n,
+                    segment: s,
+                    elems: range.len(),
+                    bytes: range.len() * 4,
+                    attempt: 1,
+                    delivered: true,
+                });
                 let sent: Vec<f32> = data[w][range.clone()].to_vec();
                 data[n][range].copy_from_slice(&sent);
             }
@@ -146,7 +184,9 @@ where
         .collect();
 
     // Phase 1: horizontal reduce-scatter, single-worker units.
+    let mut rec = HopRecorder::begin();
     for rr in 0..cols - 1 {
+        let expanded = steps.len();
         let mut step = Vec::with_capacity(rows * cols);
         for row in 0..rows {
             for c in 0..cols {
@@ -154,6 +194,18 @@ where
                 let n = row * cols + (c + 1) % cols;
                 let s = (c + cols - (rr % cols)) % cols;
                 step.push(chunks[s].len().div_ceil(8).max(1));
+                rec.hop(&Hop {
+                    expanded_step: expanded,
+                    step: rr,
+                    phase: "reduce",
+                    sender: w,
+                    receiver: n,
+                    segment: s,
+                    elems: chunks[s].len(),
+                    bytes: chunks[s].len().div_ceil(8).max(1),
+                    attempt: 1,
+                    delivered: true,
+                });
                 let ctx = CombineCtx {
                     step: rr,
                     receiver: n,
@@ -177,7 +229,10 @@ where
         let column: Vec<SignVec> = (0..rows)
             .map(|row| state[row * cols + c][own].clone())
             .collect();
-        let (reduced, sub) = ring_allreduce_onebit_weighted(&column, cols, &mut combine);
+        let (reduced, sub) = {
+            let _frame = rec.column_frame(offset, column_workers(rows, cols, c));
+            ring_allreduce_onebit_weighted(&column, cols, &mut combine)
+        };
         for row in 0..rows {
             state[row * cols + c][own] = reduced.clone();
         }
@@ -186,6 +241,7 @@ where
 
     // Phase 3: horizontal all-gather of the final one-bit chunks.
     for g in 0..cols - 1 {
+        let expanded = steps.len();
         let mut step = Vec::with_capacity(rows * cols);
         for row in 0..rows {
             for c in 0..cols {
@@ -193,6 +249,18 @@ where
                 let n = row * cols + (c + 1) % cols;
                 let s = (c + 1 + cols - (g % cols)) % cols;
                 step.push(chunks[s].len().div_ceil(8).max(1));
+                rec.hop(&Hop {
+                    expanded_step: expanded,
+                    step: g,
+                    phase: "gather",
+                    sender: w,
+                    receiver: n,
+                    segment: s,
+                    elems: chunks[s].len(),
+                    bytes: chunks[s].len().div_ceil(8).max(1),
+                    attempt: 1,
+                    delivered: true,
+                });
                 let sent = state[w][s].clone();
                 state[n][s] = sent;
             }
@@ -251,7 +319,9 @@ where
     let mut counts: Vec<Vec<usize>> = vec![vec![1; cols]; rows * cols];
 
     // Phase 1: horizontal reduce-scatter with per-cell counts.
+    let mut rec = HopRecorder::begin();
     for rr in 0..cols - 1 {
+        let step_base = steps.len();
         let mut fs = FaultyStep::new();
         for row in 0..rows {
             for c in 0..cols {
@@ -260,6 +330,23 @@ where
                 let s = (c + cols - (rr % cols)) % cols;
                 let fate = inj.transfer();
                 fs.record(chunks[s].len().div_ceil(8).max(1), fate.attempts);
+                emit_attempts(
+                    &mut rec,
+                    &Hop {
+                        expanded_step: step_base,
+                        step: rr,
+                        phase: "reduce",
+                        sender: w,
+                        receiver: n,
+                        segment: s,
+                        elems: chunks[s].len(),
+                        bytes: chunks[s].len().div_ceil(8).max(1),
+                        attempt: 1,
+                        delivered: true,
+                    },
+                    fate.attempts,
+                    fate.delivered,
+                );
                 if fate.delivered {
                     let ctx = CombineCtx {
                         step: rr,
@@ -287,8 +374,10 @@ where
             .map(|row| state[row * cols + c][own].clone())
             .collect();
         let column_counts: Vec<usize> = (0..rows).map(|row| counts[row * cols + c][own]).collect();
-        let (reduced, sub) =
-            ring_allreduce_onebit_counted_faulty(&column, &column_counts, inj, &mut combine);
+        let (reduced, sub) = {
+            let _frame = rec.column_frame(offset, column_workers(rows, cols, c));
+            ring_allreduce_onebit_counted_faulty(&column, &column_counts, inj, &mut combine)
+        };
         for row in 0..rows {
             state[row * cols + c][own] = reduced.clone();
         }
@@ -297,6 +386,7 @@ where
 
     // Phase 3: horizontal all-gather, reliable.
     for g in 0..cols - 1 {
+        let step_base = steps.len();
         let mut fs = FaultyStep::new();
         for row in 0..rows {
             for c in 0..cols {
@@ -305,6 +395,23 @@ where
                 let s = (c + 1 + cols - (g % cols)) % cols;
                 let fate = inj.transfer_reliable();
                 fs.record(chunks[s].len().div_ceil(8).max(1), fate.attempts);
+                emit_attempts(
+                    &mut rec,
+                    &Hop {
+                        expanded_step: step_base,
+                        step: g,
+                        phase: "gather",
+                        sender: w,
+                        receiver: n,
+                        segment: s,
+                        elems: chunks[s].len(),
+                        bytes: chunks[s].len().div_ceil(8).max(1),
+                        attempt: 1,
+                        delivered: true,
+                    },
+                    fate.attempts,
+                    fate.delivered,
+                );
                 let sent = state[w][s].clone();
                 state[n][s] = sent;
             }

@@ -167,3 +167,59 @@ mod tests {
         assert_eq!(t.time(LinkModel::new(1.0, 1.0)), 0.0);
     }
 }
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Every wire attempt of every transfer lands in exactly one
+        /// sub-step: total bytes across the expanded steps equals
+        /// Σ bytes × attempts, and no sub-step is empty.
+        #[test]
+        fn faulty_step_preserves_total_bytes(
+            transfers in prop::collection::vec((1usize..5000, 1u32..6), 1..40)
+        ) {
+            let mut fs = FaultyStep::new();
+            let mut expected = 0usize;
+            for &(bytes, attempts) in &transfers {
+                fs.record(bytes, attempts);
+                expected += bytes * attempts as usize;
+            }
+            let steps = fs.into_steps();
+            let total: usize = steps.iter().flatten().sum();
+            prop_assert_eq!(total, expected);
+            // The first slot always exists; retry slots are filtered to be
+            // non-empty, so the expansion never prices a zero-transfer step.
+            for sub in steps.iter().skip(1) {
+                prop_assert!(!sub.is_empty());
+            }
+        }
+
+        /// Adding one more wire attempt to any transfer can only push the
+        /// priced schedule time up (or leave it unchanged), never down.
+        #[test]
+        fn trace_time_monotone_in_retry_count(
+            transfers in prop::collection::vec((1usize..5000, 1u32..5), 1..30),
+            bump in any::<u64>()
+        ) {
+            let build = |extra_at: Option<usize>| {
+                let mut fs = FaultyStep::new();
+                for (i, &(bytes, attempts)) in transfers.iter().enumerate() {
+                    let extra = u32::from(extra_at == Some(i));
+                    fs.record(bytes, attempts + extra);
+                }
+                let mut t = Trace::new();
+                for sub in fs.into_steps() {
+                    t.push_step(sub);
+                }
+                t
+            };
+            let base = build(None);
+            let more = build(Some(bump as usize % transfers.len()));
+            let link = LinkModel::new(1e-3, 1e6);
+            prop_assert!(more.time(link) >= base.time(link));
+        }
+    }
+}

@@ -1,6 +1,6 @@
 //! Tree all-reduce: the extension paradigm the paper names alongside TAR
 //! ("Marsit can be easily extended to other all-reduce paradigms including
-//! segmented-ring all-reduce [25] and tree all-reduce [24]", Section 5).
+//! segmented-ring all-reduce \[25\] and tree all-reduce \[24\]", Section 5).
 //!
 //! A binary reduction tree: `⌈log₂ M⌉` *reduce* levels fold pairs of
 //! aggregates upward to worker 0, then the same number of *broadcast*

@@ -1,7 +1,7 @@
 //! Elias γ and δ universal codes (Elias, 1975).
 //!
 //! The paper compacts the growing integer payloads of MAR-extended signSGD
-//! baselines with Elias coding ("We also utilize Elias coding [31] to compact
+//! baselines with Elias coding ("We also utilize Elias coding \[31\] to compact
 //! the transmission message among nodes"). γ codes a positive integer `n` as
 //! `⌊log₂n⌋` zeros, then the binary of `n`; δ codes `⌊log₂n⌋+1` with γ and
 //! appends the mantissa. Signed values are mapped to positives with the

@@ -1,5 +1,5 @@
 //! PowerSGD: practical low-rank gradient compression (Vogels et al.,
-//! NeurIPS'19 — the paper's related work [24]).
+//! NeurIPS'19 — the paper's related work \[24\]).
 //!
 //! The gradient is viewed as a matrix `G (n×m)` and approximated as
 //! `P Qᵀ` with rank `r`, refreshed by one power iteration per round:

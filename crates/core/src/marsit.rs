@@ -16,6 +16,8 @@
 //! All workers deterministically agree on `g_t` — the consensus invariant of
 //! multi-hop all-reduce — which the simulator asserts after every round.
 
+use std::cell::Cell;
+
 use marsit_collectives::ring::{
     ring_allreduce_onebit, ring_allreduce_onebit_faulty, ring_allreduce_sum,
     ring_allreduce_sum_faulty,
@@ -240,6 +242,8 @@ impl Marsit {
 
         let t = self.round;
         let full_precision = self.cfg.schedule.is_full_precision(t);
+        let combines = Cell::new(0u64);
+        let rng_draws = Cell::new(0u64);
         let outcome = if full_precision {
             // Lines 11–13: exact averaging, compensation reset.
             let mut buffers = compensated.clone();
@@ -272,12 +276,15 @@ impl Marsit {
                 let stream =
                     ((ctx.receiver as u64) << 40) | ((ctx.segment as u64) << 20) | ctx.step as u64;
                 let mut rng = FastRng::new(round_seed, stream);
-                match kind {
+                let out = match kind {
                     CombineKind::Weighted => {
                         combine_weighted(recv, ctx.received_count, local, ctx.local_count, &mut rng)
                     }
                     CombineKind::UnweightedAblation => combine_unweighted(recv, local, &mut rng),
-                }
+                };
+                combines.set(combines.get() + 1);
+                rng_draws.set(rng_draws.get() + rng.draws());
+                out
             };
             let (consensus, trace) = match topology {
                 Topology::Ring { .. } => ring_allreduce_onebit(&signs, combine),
@@ -304,8 +311,45 @@ impl Marsit {
                 faults: FaultStats::default(),
             }
         };
+        self.emit_sync_event(&outcome, combines.get(), rng_draws.get());
         self.round += 1;
         outcome
+    }
+
+    /// Reports one completed round to the ambient telemetry scope, if any.
+    ///
+    /// Compensation-norm work happens only when a scope is active, so the
+    /// clean path pays nothing beyond the thread-local lookup.
+    fn emit_sync_event(&self, outcome: &SyncOutcome, combines: u64, rng_draws: u64) {
+        let Some(tel) = marsit_telemetry::active() else {
+            return;
+        };
+        let comp_norm_sq = self.mean_compensation_norm_sq();
+        tel.counter_add("marsit.rounds", 1);
+        if outcome.full_precision {
+            tel.counter_add("marsit.full_precision_rounds", 1);
+        }
+        tel.counter_add("marsit.combines", combines);
+        tel.counter_add("marsit.rng_draws", rng_draws);
+        tel.observe("marsit.comp_norm_sq", comp_norm_sq);
+        tel.emit(
+            "marsit_sync",
+            vec![
+                ("round", outcome.round.into()),
+                ("full_precision", outcome.full_precision.into()),
+                ("combines", combines.into()),
+                ("rng_draws", rng_draws.into()),
+                ("bytes", outcome.trace.total_bytes().into()),
+                ("steps", outcome.trace.num_steps().into()),
+                ("comp_norm_sq", comp_norm_sq.into()),
+                ("retransmits", outcome.faults.retransmits.into()),
+                ("dropped", outcome.faults.dropped_transfers.into()),
+                ("corrupted", outcome.faults.corrupted_transfers.into()),
+                ("repairs", outcome.faults.repairs.into()),
+                ("crashed", outcome.faults.crashed_workers.into()),
+                ("retry_extra_s", outcome.faults.retry_extra_s.into()),
+            ],
+        );
     }
 
     /// The fault-injected synchronization path (graceful degradation).
@@ -353,6 +397,8 @@ impl Marsit {
         }
 
         let full_precision = self.cfg.schedule.is_full_precision(t);
+        let combines = Cell::new(0u64);
+        let rng_draws = Cell::new(0u64);
         let mut inj = plan.injector(t);
         let (global_update, trace) = if sm < 2 {
             // Lone survivor: its compensated update is the global update.
@@ -381,12 +427,15 @@ impl Marsit {
                 let stream =
                     ((ctx.receiver as u64) << 40) | ((ctx.segment as u64) << 20) | ctx.step as u64;
                 let mut rng = FastRng::new(round_seed, stream);
-                match kind {
+                let out = match kind {
                     CombineKind::Weighted => {
                         combine_weighted(recv, ctx.received_count, local, ctx.local_count, &mut rng)
                     }
                     CombineKind::UnweightedAblation => combine_unweighted(recv, local, &mut rng),
-                }
+                };
+                combines.set(combines.get() + 1);
+                rng_draws.set(rng_draws.get() + rng.draws());
+                out
             };
             let (consensus, trace) = match (topology, crashed) {
                 // An intact torus keeps its hierarchical schedule.
@@ -414,14 +463,16 @@ impl Marsit {
             }
         }
         stats.merge(&inj.take_stats());
-        SyncOutcome {
+        let outcome = SyncOutcome {
             compensated_mean,
             global_update,
             full_precision,
             trace,
             round: t,
             faults: stats,
-        }
+        };
+        self.emit_sync_event(&outcome, combines.get(), rng_draws.get());
+        outcome
     }
 }
 

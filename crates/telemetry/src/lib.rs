@@ -1,0 +1,668 @@
+//! Deterministic observability for the Marsit reproduction.
+//!
+//! Everything in this crate is driven by the *simulated* clock (the α–β cost
+//! model's seconds), never the wall clock, so a run replayed with the same
+//! seed produces a byte-identical event log. The pieces:
+//!
+//! - [`Telemetry`]: a cheaply clonable handle that is either *disabled* (the
+//!   no-op sink — every operation is a branch on `None` and returns
+//!   immediately, recording nothing) or *recording* into a shared in-memory
+//!   state of events, counters, gauges, and log2-bucket [`Histogram`]s;
+//! - [`Event`]/[`Value`]: the schema-light event record, serialized as one
+//!   JSON object per line ([`Telemetry::events_jsonl`]);
+//! - [`scope`]: a thread-local ambient scope so deep call sites (the
+//!   collectives' per-hop loops) can emit without threading a handle through
+//!   every signature, plus the [`scope::HopRecorder`] that assigns each wire
+//!   attempt its absolute expanded-step sequence number — including across
+//!   the 2D-torus vertical phase, where per-column sub-rings share step slots;
+//! - [`report`]: parsing and reconstruction — rebuilds the exact
+//!   `Trace`-equivalent step structure from hop events and reprices it with
+//!   the same α–β arithmetic;
+//! - [`json`]: a minimal hand-rolled JSON writer/parser (the workspace's
+//!   serde shim is a no-op, so all machine-readable output is hand-encoded).
+//!
+//! # Determinism contract
+//!
+//! With the same seed and configuration, two recording runs produce
+//! byte-identical JSONL event logs and summary snapshots. Event timestamps
+//! are whatever the *producer* last passed to [`Telemetry::set_time`]
+//! (trainsim sets it to the cumulative simulated time at the start of each
+//! round); floats are formatted with Rust's shortest-roundtrip formatter,
+//! which is platform-independent.
+//!
+//! # Example
+//!
+//! ```
+//! use marsit_telemetry::{Telemetry, Value};
+//!
+//! let t = Telemetry::recording();
+//! t.set_time(0.5);
+//! t.emit("round", vec![("round", Value::U64(0)), ("loss", Value::F64(2.3))]);
+//! t.counter_add("rounds", 1);
+//! t.observe("loss", 2.3);
+//! assert_eq!(t.event_count(), 1);
+//! assert!(t.events_jsonl().starts_with(r#"{"t":0.5,"ev":"round""#));
+//!
+//! let off = Telemetry::disabled();
+//! off.emit("round", vec![]);
+//! assert_eq!(off.event_count(), 0); // the no-op sink records nothing
+//! ```
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod report;
+pub mod scope;
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+pub use metrics::Histogram;
+pub use scope::{active, scoped, Hop, HopRecorder};
+
+/// A dynamically typed event-field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer (counts, indices, byte totals).
+    U64(u64),
+    /// Floating point (simulated seconds, norms, rates).
+    F64(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// Short string (labels, phase names).
+    Str(String),
+}
+
+impl Value {
+    /// The value as `u64`, if it is an integer (or an integral float, as
+    /// produced by round-tripping through JSON).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(v) => Some(*v),
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            Value::F64(v) if *v >= 0.0 && v.fract() == 0.0 && *v <= 2f64.powi(53) => {
+                Some(*v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::U64(v) => Some(*v as f64),
+            Value::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as `bool`, if boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(u64::from(v))
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// One recorded event: a simulated timestamp, a name, and ordered fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Simulated time in seconds when the event was recorded (the last value
+    /// passed to [`Telemetry::set_time`] before emission).
+    pub time_s: f64,
+    /// Event name (`"hop"`, `"marsit_sync"`, `"round"`, …).
+    pub name: String,
+    /// Ordered `(key, value)` fields; order is preserved in the JSONL line.
+    pub fields: Vec<(String, Value)>,
+}
+
+impl Event {
+    /// Look up a field by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Field as `u64`, `None` if absent or mistyped.
+    pub fn u64_field(&self, key: &str) -> Option<u64> {
+        self.get(key).and_then(Value::as_u64)
+    }
+
+    /// Field as `f64`, `None` if absent or mistyped.
+    pub fn f64_field(&self, key: &str) -> Option<f64> {
+        self.get(key).and_then(Value::as_f64)
+    }
+
+    /// Field as `bool`, `None` if absent or mistyped.
+    pub fn bool_field(&self, key: &str) -> Option<bool> {
+        self.get(key).and_then(Value::as_bool)
+    }
+
+    /// Field as `&str`, `None` if absent or mistyped.
+    pub fn str_field(&self, key: &str) -> Option<&str> {
+        self.get(key).and_then(Value::as_str)
+    }
+
+    /// Append this event as one JSON object (no trailing newline) to `out`.
+    ///
+    /// The timestamp is written first as `"t"`, the name as `"ev"`, then the
+    /// fields in recorded order — so logs are byte-stable.
+    pub fn write_jsonl(&self, out: &mut String) {
+        out.push_str("{\"t\":");
+        json::write_f64(out, self.time_s);
+        out.push_str(",\"ev\":");
+        json::write_str(out, &self.name);
+        for (k, v) in &self.fields {
+            out.push(',');
+            json::write_str(out, k);
+            out.push(':');
+            match v {
+                Value::U64(n) => {
+                    out.push_str(&n.to_string());
+                }
+                Value::F64(x) => json::write_f64(out, *x),
+                Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+                Value::Str(s) => json::write_str(out, s),
+            }
+        }
+        out.push('}');
+    }
+
+    /// Parse one JSONL line back into an [`Event`].
+    ///
+    /// Numbers become [`Value::U64`] when they are non-negative integers
+    /// (lossless below 2⁵³) and [`Value::F64`] otherwise.
+    pub fn parse_jsonl(line: &str) -> Result<Event, String> {
+        let v = json::parse(line)?;
+        let json::Json::Obj(pairs) = v else {
+            return Err("event line is not a JSON object".to_string());
+        };
+        let mut time_s = None;
+        let mut name = None;
+        let mut fields = Vec::new();
+        for (k, v) in pairs {
+            match (k.as_str(), &v) {
+                ("t", _) => {
+                    time_s = Some(v.as_f64().ok_or("\"t\" is not a number")?);
+                }
+                ("ev", json::Json::Str(s)) => name = Some(s.clone()),
+                ("ev", _) => return Err("\"ev\" is not a string".to_string()),
+                _ => {
+                    let val = match v {
+                        json::Json::Bool(b) => Value::Bool(b),
+                        json::Json::Str(s) => Value::Str(s),
+                        json::Json::Num(x) => {
+                            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                            if x >= 0.0 && x.fract() == 0.0 && x <= 2f64.powi(53) {
+                                Value::U64(x as u64)
+                            } else {
+                                Value::F64(x)
+                            }
+                        }
+                        other => {
+                            return Err(format!("field {k:?} has unsupported type: {other:?}"))
+                        }
+                    };
+                    fields.push((k, val));
+                }
+            }
+        }
+        Ok(Event {
+            time_s: time_s.ok_or("event line is missing \"t\"")?,
+            name: name.ok_or("event line is missing \"ev\"")?,
+            fields,
+        })
+    }
+}
+
+/// Shared mutable state behind a recording [`Telemetry`] handle.
+#[derive(Debug, Default)]
+struct State {
+    now_s: f64,
+    next_seq: u64,
+    events: Vec<Event>,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// Handle to the telemetry sink: either disabled (no-op) or recording.
+///
+/// Clones share the same underlying state, so a handle can be stored in a
+/// config struct, passed across layers, and flushed once at the end.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Mutex<State>>>,
+    /// Where [`Telemetry::flush_env`] writes the JSONL log, if anywhere.
+    sink_path: Option<Arc<PathBuf>>,
+}
+
+/// Environment variable checked by [`Telemetry::from_env`]: when set to a
+/// non-empty path, binaries record telemetry and flush the JSONL log there
+/// (plus a `<path>.summary.json` snapshot).
+pub const ENV_VAR: &str = "MARSIT_TELEMETRY";
+
+impl Telemetry {
+    /// The no-op sink: records nothing, every operation returns immediately.
+    pub fn disabled() -> Self {
+        Telemetry::default()
+    }
+
+    /// A recording sink with fresh, empty in-memory state.
+    pub fn recording() -> Self {
+        Telemetry {
+            inner: Some(Arc::new(Mutex::new(State::default()))),
+            sink_path: None,
+        }
+    }
+
+    /// A recording sink that remembers `path` as its flush destination.
+    pub fn recording_to(path: impl Into<PathBuf>) -> Self {
+        Telemetry {
+            inner: Some(Arc::new(Mutex::new(State::default()))),
+            sink_path: Some(Arc::new(path.into())),
+        }
+    }
+
+    /// Recording sink if the [`ENV_VAR`] environment variable names a path,
+    /// disabled otherwise.
+    pub fn from_env() -> Self {
+        match std::env::var(ENV_VAR) {
+            Ok(path) if !path.is_empty() => Telemetry::recording_to(path),
+            _ => Telemetry::disabled(),
+        }
+    }
+
+    /// Whether this handle records anything at all.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn state(&self) -> Option<MutexGuard<'_, State>> {
+        self.inner
+            .as_ref()
+            .map(|m| m.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Advance the simulated clock; subsequent events are stamped with `now_s`.
+    pub fn set_time(&self, now_s: f64) {
+        if let Some(mut st) = self.state() {
+            st.now_s = now_s;
+        }
+    }
+
+    /// Current simulated time (0.0 when disabled or never set).
+    pub fn now_s(&self) -> f64 {
+        self.state().map_or(0.0, |st| st.now_s)
+    }
+
+    /// Record an event stamped with the current simulated time.
+    pub fn emit(&self, name: &str, fields: Vec<(&'static str, Value)>) {
+        if let Some(mut st) = self.state() {
+            let ev = Event {
+                time_s: st.now_s,
+                name: name.to_string(),
+                fields: fields
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), v))
+                    .collect(),
+            };
+            st.events.push(ev);
+        }
+    }
+
+    /// Add `delta` to the named monotone counter.
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        if let Some(mut st) = self.state() {
+            *st.counters.entry(name.to_string()).or_default() += delta;
+        }
+    }
+
+    /// Set the named gauge to its latest value.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        if let Some(mut st) = self.state() {
+            st.gauges.insert(name.to_string(), value);
+        }
+    }
+
+    /// Observe one sample into the named log2-bucket histogram.
+    pub fn observe(&self, name: &str, value: f64) {
+        if let Some(mut st) = self.state() {
+            st.histograms
+                .entry(name.to_string())
+                .or_default()
+                .observe(value);
+        }
+    }
+
+    /// Current value of a counter (0 when disabled or never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.state()
+            .and_then(|st| st.counters.get(name).copied())
+            .unwrap_or(0)
+    }
+
+    /// Snapshot of a histogram, if it has been observed into.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.state().and_then(|st| st.histograms.get(name).cloned())
+    }
+
+    /// Number of recorded events (0 when disabled — the no-op guarantee).
+    pub fn event_count(&self) -> usize {
+        self.state().map_or(0, |st| st.events.len())
+    }
+
+    /// Clone of all recorded events, in emission order.
+    pub fn events(&self) -> Vec<Event> {
+        self.state().map_or_else(Vec::new, |st| st.events.clone())
+    }
+
+    /// Start a span at the current simulated time; finish it with
+    /// [`Span::end`].
+    pub fn span(&self, name: &'static str) -> Span {
+        Span {
+            name,
+            start_s: self.now_s(),
+        }
+    }
+
+    /// The full event log as JSONL (one event object per line, trailing
+    /// newline after each). Empty string when disabled.
+    pub fn events_jsonl(&self) -> String {
+        let Some(st) = self.state() else {
+            return String::new();
+        };
+        let mut out = String::new();
+        for ev in &st.events {
+            ev.write_jsonl(&mut out);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Deterministic JSON snapshot of counters, gauges, and histogram
+    /// percentiles (schema `marsit-telemetry-summary/1`).
+    pub fn summary_json(&self) -> String {
+        let Some(st) = self.state() else {
+            return "{\"schema\":\"marsit-telemetry-summary/1\",\"events\":0,\
+                    \"counters\":{},\"gauges\":{},\"histograms\":{}}\n"
+                .to_string();
+        };
+        let mut out = String::from("{\"schema\":\"marsit-telemetry-summary/1\",\"events\":");
+        out.push_str(&st.events.len().to_string());
+        out.push_str(",\"counters\":{");
+        for (i, (k, v)) in st.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_str(&mut out, k);
+            out.push(':');
+            out.push_str(&v.to_string());
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in st.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_str(&mut out, k);
+            out.push(':');
+            json::write_f64(&mut out, *v);
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, h)) in st.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_str(&mut out, k);
+            out.push(':');
+            h.write_json(&mut out);
+        }
+        out.push_str("}}\n");
+        out
+    }
+
+    /// Write the JSONL event log to `path`.
+    pub fn write_jsonl(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.events_jsonl())
+    }
+
+    /// Write the summary snapshot to `path`.
+    pub fn write_summary(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.summary_json())
+    }
+
+    /// If this handle was created with a sink path ([`Telemetry::from_env`]
+    /// or [`Telemetry::recording_to`]), write the JSONL log there and the
+    /// summary to `<path>.summary.json`, returning the event-log path.
+    pub fn flush_env(&self) -> std::io::Result<Option<PathBuf>> {
+        let Some(path) = self.sink_path.as_deref() else {
+            return Ok(None);
+        };
+        self.write_jsonl(path)?;
+        let mut summary = path.as_os_str().to_owned();
+        summary.push(".summary.json");
+        self.write_summary(Path::new(&summary))?;
+        Ok(Some(path.clone()))
+    }
+
+    /// Next unassigned expanded-step sequence number (scope bookkeeping).
+    pub(crate) fn peek_seq(&self) -> u64 {
+        self.state().map_or(0, |st| st.next_seq)
+    }
+
+    /// Raise the sequence floor to `seq` (never lowers it).
+    pub(crate) fn advance_seq(&self, seq: u64) {
+        if let Some(mut st) = self.state() {
+            st.next_seq = st.next_seq.max(seq);
+        }
+    }
+
+    /// Record one wire attempt under a single lock: the `hop` event plus the
+    /// derived counters and histograms.
+    pub(crate) fn record_hop(&self, seq: u64, send: usize, recv: usize, hop: &Hop) {
+        let Some(mut st) = self.state() else { return };
+        let ev = Event {
+            time_s: st.now_s,
+            name: "hop".to_string(),
+            fields: vec![
+                ("seq".to_string(), Value::U64(seq)),
+                ("phase".to_string(), Value::Str(hop.phase.to_string())),
+                ("step".to_string(), Value::U64(hop.step as u64)),
+                ("send".to_string(), Value::U64(send as u64)),
+                ("recv".to_string(), Value::U64(recv as u64)),
+                ("seg".to_string(), Value::U64(hop.segment as u64)),
+                ("elems".to_string(), Value::U64(hop.elems as u64)),
+                ("bytes".to_string(), Value::U64(hop.bytes as u64)),
+                ("attempt".to_string(), Value::U64(u64::from(hop.attempt))),
+                ("delivered".to_string(), Value::Bool(hop.delivered)),
+            ],
+        };
+        st.events.push(ev);
+        *st.counters.entry("hop.events".to_string()).or_default() += 1;
+        *st.counters.entry("hop.bytes".to_string()).or_default() += hop.bytes as u64;
+        if hop.attempt > 1 {
+            *st.counters
+                .entry("hop.retransmits".to_string())
+                .or_default() += 1;
+        }
+        if !hop.delivered {
+            *st.counters
+                .entry("hop.undelivered".to_string())
+                .or_default() += 1;
+        }
+        st.histograms
+            .entry("hop.bytes".to_string())
+            .or_default()
+            .observe(hop.bytes as f64);
+        if hop.elems > 0 {
+            st.histograms
+                .entry("hop.wire_bits_per_elem".to_string())
+                .or_default()
+                .observe(hop.bytes as f64 * 8.0 / hop.elems as f64);
+        }
+    }
+}
+
+/// An open span; [`Span::end`] emits a `"span"` event with the simulated
+/// duration. See [`Telemetry::span`].
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    start_s: f64,
+}
+
+impl Span {
+    /// Close the span against `t`, emitting `{"ev":"span","span":name,
+    /// "start_s":…,"dur_s":…}` with the simulated elapsed time.
+    pub fn end(self, t: &Telemetry) {
+        t.emit(
+            "span",
+            vec![
+                ("span", Value::Str(self.name.to_string())),
+                ("start_s", Value::F64(self.start_s)),
+                ("dur_s", Value::F64(t.now_s() - self.start_s)),
+            ],
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let t = Telemetry::disabled();
+        t.set_time(1.0);
+        t.emit("x", vec![("a", Value::U64(1))]);
+        t.counter_add("c", 5);
+        t.observe("h", 2.0);
+        assert_eq!(t.event_count(), 0);
+        assert_eq!(t.counter("c"), 0);
+        assert_eq!(t.events_jsonl(), "");
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn jsonl_roundtrip() {
+        let t = Telemetry::recording();
+        t.set_time(0.125);
+        t.emit(
+            "round",
+            vec![
+                ("round", Value::U64(3)),
+                ("loss", Value::F64(0.75)),
+                ("label", Value::Str("a\"b\\c\n".to_string())),
+                ("ok", Value::Bool(true)),
+            ],
+        );
+        let log = t.events_jsonl();
+        let ev = Event::parse_jsonl(log.trim_end()).unwrap();
+        assert_eq!(ev.time_s, 0.125);
+        assert_eq!(ev.name, "round");
+        assert_eq!(ev.u64_field("round"), Some(3));
+        assert_eq!(ev.f64_field("loss"), Some(0.75));
+        assert_eq!(ev.str_field("label"), Some("a\"b\\c\n"));
+        assert_eq!(ev.bool_field("ok"), Some(true));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let t = Telemetry::recording();
+        let u = t.clone();
+        u.counter_add("c", 2);
+        t.counter_add("c", 3);
+        assert_eq!(t.counter("c"), 5);
+        assert_eq!(u.counter("c"), 5);
+    }
+
+    #[test]
+    fn identical_inputs_identical_logs() {
+        let run = || {
+            let t = Telemetry::recording();
+            for i in 0..10u64 {
+                t.set_time(i as f64 * 0.1);
+                t.emit(
+                    "e",
+                    vec![
+                        ("i", Value::U64(i)),
+                        ("x", Value::F64(1.0 / (i + 1) as f64)),
+                    ],
+                );
+                t.observe("x", 1.0 / (i + 1) as f64);
+            }
+            (t.events_jsonl(), t.summary_json())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn summary_contains_histogram_percentiles() {
+        let t = Telemetry::recording();
+        for v in 1..=100 {
+            t.observe("lat", f64::from(v));
+        }
+        let s = t.summary_json();
+        let parsed = json::parse(&s).unwrap();
+        let h = parsed.get("histograms").and_then(|h| h.get("lat")).unwrap();
+        assert_eq!(h.get("count").and_then(json::Json::as_f64), Some(100.0));
+        assert!(h.get("p50").is_some() && h.get("p99").is_some());
+    }
+
+    #[test]
+    fn span_measures_simulated_time() {
+        let t = Telemetry::recording();
+        t.set_time(1.0);
+        let sp = t.span("phase");
+        t.set_time(3.5);
+        sp.end(&t);
+        let ev = &t.events()[0];
+        assert_eq!(ev.name, "span");
+        assert_eq!(ev.f64_field("dur_s"), Some(2.5));
+    }
+}

@@ -57,9 +57,31 @@ pub fn rng_for(seed: u64, stream: u64) -> StdRng {
 /// Bernoulli draws) where constructing a full `StdRng` would dominate.
 ///
 /// Not cryptographic; statistically adequate for Monte-Carlo use.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+///
+/// The generator also counts how many `u64` words it has produced
+/// ([`FastRng::draws`]) so the telemetry layer can account for entropy
+/// consumption exactly. The counter is bookkeeping only: equality and
+/// hashing consider the generator *state* alone, so two generators that
+/// will produce the same future stream compare equal regardless of how
+/// they got there.
+#[derive(Debug, Clone)]
 pub struct FastRng {
     state: u64,
+    draws: u64,
+}
+
+impl PartialEq for FastRng {
+    fn eq(&self, other: &Self) -> bool {
+        self.state == other.state
+    }
+}
+
+impl Eq for FastRng {}
+
+impl std::hash::Hash for FastRng {
+    fn hash<H: std::hash::Hasher>(&self, hasher: &mut H) {
+        self.state.hash(hasher);
+    }
 }
 
 impl FastRng {
@@ -81,7 +103,7 @@ impl FastRng {
         if state == 0 {
             state = 0x9E37_79B9_7F4A_7C15;
         }
-        Self { state }
+        Self { state, draws: 0 }
     }
 
     /// Returns the next 64 pseudo-random bits.
@@ -93,7 +115,28 @@ impl FastRng {
         x ^= x << 25;
         x ^= x >> 27;
         self.state = x;
+        self.draws += 1;
         x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Number of `u64` words drawn since construction — the generator's
+    /// exact entropy consumption, surfaced as an RNG-draw counter by the
+    /// telemetry layer.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use marsit_tensor::rng::FastRng;
+    ///
+    /// let mut rng = FastRng::new(1, 0);
+    /// assert_eq!(rng.draws(), 0);
+    /// rng.next_u64();
+    /// rng.next_f64(); // one word each
+    /// assert_eq!(rng.draws(), 2);
+    /// ```
+    #[must_use]
+    pub fn draws(&self) -> u64 {
+        self.draws
     }
 
     /// Returns a uniform `f64` in `[0, 1)`.
@@ -171,6 +214,7 @@ mod tests {
         // produce a stuck generator.
         let mut rng = FastRng {
             state: 0x9E37_79B9_7F4A_7C15,
+            draws: 0,
         };
         let a = rng.next_u64();
         let b = rng.next_u64();

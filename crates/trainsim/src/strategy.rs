@@ -56,7 +56,7 @@ pub enum StrategyKind {
         /// Full-precision period `K`.
         k: Option<u32>,
     },
-    /// PowerSGD low-rank compression (related work [24]): linear and
+    /// PowerSGD low-rank compression (related work \[24\]): linear and
     /// MAR-compatible, but needs two sequential all-reduce passes per
     /// round.
     PowerSgd {

@@ -11,6 +11,7 @@ use marsit_datagen::synthetic::{cifar10_like, imagenet_like, imdb_like, mnist_li
 use marsit_datagen::Dataset;
 use marsit_models::{Evaluation, Mlp, Model, Optimizer, OptimizerKind, Workload};
 use marsit_simnet::{cost, FaultPlan, FaultStats, PhaseBreakdown, RateProfile, Topology};
+use marsit_telemetry::{scoped, Telemetry};
 use marsit_tensor::rng::{split_seed, FastRng};
 use marsit_tensor::SignVec;
 
@@ -69,6 +70,12 @@ pub struct TrainConfig {
     /// results are reduced in worker order on the main thread, so the
     /// resulting [`TrainReport`] is byte-for-byte the same either way.
     pub parallel_workers: bool,
+    /// Telemetry handle. The default ([`Telemetry::disabled`]) records
+    /// nothing and adds no per-round work; an enabled handle receives a
+    /// `run_meta` event, per-round `round`/`worker`/`marsit_sync` events,
+    /// per-hop wire events from the collectives, and phase/matching-rate
+    /// histograms — all stamped with the simulated clock.
+    pub telemetry: Telemetry,
 }
 
 impl TrainConfig {
@@ -96,6 +103,7 @@ impl TrainConfig {
             data_skew: None,
             fault_plan: FaultPlan::none(),
             parallel_workers: true,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -178,26 +186,38 @@ impl TrainReport {
             .fold(self.final_eval.accuracy, f64::max)
     }
 
+    /// Simulated time elapsed at the *end* of each round — one cumulative
+    /// pass over the records that both `*_to_accuracy` helpers derive from.
+    #[must_use]
+    pub fn cumulative_time(&self) -> Vec<f64> {
+        self.records
+            .iter()
+            .scan(0.0, |elapsed, r| {
+                *elapsed += r.time.total();
+                Some(*elapsed)
+            })
+            .collect()
+    }
+
+    /// Index of the first record whose evaluation reached `target` accuracy.
+    fn first_record_reaching(&self, target: f64) -> Option<usize> {
+        self.records
+            .iter()
+            .position(|r| r.eval.is_some_and(|e| e.accuracy >= target))
+    }
+
     /// First round whose evaluation reached `target` accuracy.
     #[must_use]
     pub fn rounds_to_accuracy(&self, target: f64) -> Option<usize> {
-        self.records
-            .iter()
-            .find(|r| r.eval.is_some_and(|e| e.accuracy >= target))
-            .map(|r| r.round)
+        self.first_record_reaching(target)
+            .map(|i| self.records[i].round)
     }
 
     /// Simulated time at which `target` accuracy was first reached.
     #[must_use]
     pub fn time_to_accuracy(&self, target: f64) -> Option<f64> {
-        let mut elapsed = 0.0;
-        for r in &self.records {
-            elapsed += r.time.total();
-            if r.eval.is_some_and(|e| e.accuracy >= target) {
-                return Some(elapsed);
-            }
-        }
-        None
+        let i = self.first_record_reaching(target)?;
+        Some(self.cumulative_time()[i])
     }
 
     /// Minimum `‖∇F‖²` proxy observed over the run — the left-hand side of
@@ -289,7 +309,37 @@ pub fn train(cfg: &TrainConfig) -> TrainReport {
     let mut run_faults = FaultStats::default();
     let elements_round = elements_per_round(cfg.topology, d);
 
+    let tel = &cfg.telemetry;
+    if tel.is_enabled() {
+        tel.set_time(0.0);
+        tel.emit(
+            "run_meta",
+            vec![
+                ("schema", "marsit-telemetry/1".into()),
+                ("seed", cfg.seed.into()),
+                ("strategy", cfg.strategy.label().into()),
+                ("topology", format!("{:?}", cfg.topology).into()),
+                ("workers", m.into()),
+                ("d", d.into()),
+                ("rounds", cfg.rounds.into()),
+                ("alpha_s", cfg.rates.link.latency_s().into()),
+                (
+                    "beta_bytes_per_s",
+                    cfg.rates.link.bandwidth_bytes_per_s().into(),
+                ),
+            ],
+        );
+    }
+
     for t in 0..cfg.rounds {
+        // Telemetry rides the simulated clock: every event this round is
+        // stamped with the time elapsed before the round started.
+        tel.set_time(total_time.total());
+        let draws_before: Vec<u64> = if tel.is_enabled() {
+            worker_rngs.iter().map(FastRng::draws).collect()
+        } else {
+            Vec::new()
+        };
         // Local computation: every worker touches only its own model,
         // optimizer, and RNG stream, so the phase parallelizes without any
         // cross-worker synchronization. Reduction stays on the main thread
@@ -362,8 +412,9 @@ pub fn train(cfg: &TrainConfig) -> TrainReport {
             }
         }
 
-        // Synchronize.
-        let out = sync.synchronize(&local_updates, cfg.topology);
+        // Synchronize, with the telemetry scope installed so the collectives
+        // and the Marsit core report per-hop and per-sync events.
+        let out = scoped(tel, || sync.synchronize(&local_updates, cfg.topology));
         // Matching rate against what the strategy actually aggregated
         // (compensated updates for Marsit, raw updates otherwise).
         let reference = out.reference_mean.as_deref().unwrap_or(&exact_mean);
@@ -396,6 +447,7 @@ pub fn train(cfg: &TrainConfig) -> TrainReport {
         // stragglers multiply this round's compute, and every retransmit
         // pays a timeout plus one extra α–β transfer of its payload.
         let mut time = timing.round_time(cfg.strategy, out.full_precision);
+        let base_compute_s = time.compute_s;
         let mut round_faults = out.faults;
         if !cfg.fault_plan.is_none() {
             time.compute_s *= cfg.fault_plan.compute_multiplier(t as u64);
@@ -434,7 +486,55 @@ pub fn train(cfg: &TrainConfig) -> TrainReport {
             cumulative_megabits_per_worker: cumulative_bits_per_worker / 1e6,
             eval,
         });
+
+        if tel.is_enabled() {
+            let crashed = cfg.fault_plan.crashed_at(t as u64);
+            for (w, &before) in draws_before.iter().enumerate() {
+                let straggler_mult = cfg
+                    .fault_plan
+                    .stragglers
+                    .iter()
+                    .filter(|&&(ww, _)| ww == w)
+                    .map(|&(_, f)| f)
+                    .fold(1.0, f64::max);
+                let worker_compute_s = base_compute_s * straggler_mult;
+                tel.observe("train.worker_compute_s", worker_compute_s);
+                tel.emit(
+                    "worker",
+                    vec![
+                        ("round", t.into()),
+                        ("worker", w.into()),
+                        ("compute_s", worker_compute_s.into()),
+                        ("straggler_mult", straggler_mult.into()),
+                        ("rng_draws", (worker_rngs[w].draws() - before).into()),
+                        ("crashed", (crashed == Some(w)).into()),
+                    ],
+                );
+            }
+            tel.emit(
+                "round",
+                vec![
+                    ("round", t.into()),
+                    ("full_precision", out.full_precision.into()),
+                    ("loss", train_loss.into()),
+                    ("matching_rate", matching_rate.into()),
+                    ("compute_s", time.compute_s.into()),
+                    ("compression_s", time.compression_s.into()),
+                    ("communication_s", time.communication_s.into()),
+                    ("bytes", round_bytes.into()),
+                    ("wire_bits_per_elem", wire_bits_per_element.into()),
+                ],
+            );
+            tel.counter_add("train.rounds", 1);
+            tel.counter_add("train.bytes", round_bytes as u64);
+            tel.observe("train.compute_s", time.compute_s);
+            tel.observe("train.compression_s", time.compression_s);
+            tel.observe("train.communication_s", time.communication_s);
+            tel.observe("train.matching_rate", matching_rate);
+            tel.observe("train.wire_bits_per_elem", wire_bits_per_element);
+        }
     }
+    tel.set_time(total_time.total());
 
     let final_eval = models[0].evaluate(&test_set);
     if !final_eval.loss.is_finite() {

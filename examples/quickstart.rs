@@ -6,6 +6,9 @@
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
+//!
+//! Set `MARSIT_TELEMETRY=path.jsonl` to capture the first (Marsit-50) run's
+//! event log for `telemetry_report`.
 
 use marsit::prelude::*;
 
@@ -25,6 +28,11 @@ fn main() {
     cfg.optimizer = OptimizerKind::Momentum(0.9);
     cfg.eval_every = 50;
 
+    // Record only the first run when MARSIT_TELEMETRY is set — a second
+    // training run would restart the simulated clock mid-log.
+    let tel = Telemetry::from_env();
+    cfg.telemetry = tel.clone();
+
     let mut reports = Vec::new();
     // Per-strategy stepsizes, tuned as the paper tunes its grid: Marsit's
     // η_s must track the per-coordinate scale of the intended updates so the
@@ -38,6 +46,7 @@ fn main() {
         cfg.local_lr = local_lr;
         cfg.marsit_global_lr = 0.002;
         let report = train(&cfg);
+        cfg.telemetry = Telemetry::disabled();
         println!(
             "{:<12} acc {:>6.2}%  sim-time {:>7.2}s  traffic {:>8.1} MiB  wire width {:>5.2} bits/elem",
             report.strategy_label,
@@ -58,4 +67,7 @@ fn main() {
         psgd.total_time.total() / marsit.total_time.total(),
         (marsit.final_eval.accuracy - psgd.final_eval.accuracy) * 100.0,
     );
+    if let Some(path) = tel.flush_env().expect("write telemetry log") {
+        println!("wrote telemetry to {}", path.display());
+    }
 }

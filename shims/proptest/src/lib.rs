@@ -5,8 +5,8 @@
 //!
 //! - `proptest! { #[test] fn name(x in strategy, ...) { body } }`
 //! - strategies: integer ranges (`2usize..7`), `any::<T>()` for primitives
-//!   and small tuples, and `prop::collection::vec(strategy, len_range)`
-//!   (arbitrarily nested);
+//!   and small tuples, tuples of strategies (`(1usize..9, 0f64..1.0)`), and
+//!   `prop::collection::vec(strategy, len_range)` (arbitrarily nested);
 //! - `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`.
 //!
 //! Unlike real proptest there is no shrinking and no persistence file: each
@@ -123,6 +123,24 @@ pub mod strategy {
             self.start + rng.next_f64() * (self.end - self.start)
         }
     }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
 }
 
 pub mod arbitrary {

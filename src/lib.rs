@@ -47,6 +47,7 @@
 //! | [`datagen`] | `marsit-datagen` | synthetic MNIST/CIFAR/ImageNet/IMDb stand-ins |
 //! | [`simnet`] | `marsit-simnet` | topologies, α–β link model, phase accounting |
 //! | [`tensor`] | `marsit-tensor` | dense tensors, bit-packed sign vectors, RNG |
+//! | [`telemetry`] | `marsit-telemetry` | deterministic event tracing, metrics, run reports |
 
 pub use marsit_collectives as collectives;
 pub use marsit_compress as compress;
@@ -54,6 +55,7 @@ pub use marsit_core as core;
 pub use marsit_datagen as datagen;
 pub use marsit_models as models;
 pub use marsit_simnet as simnet;
+pub use marsit_telemetry as telemetry;
 pub use marsit_tensor as tensor;
 pub use marsit_trainsim as trainsim;
 
@@ -65,6 +67,7 @@ pub mod prelude {
     pub use marsit_simnet::{
         FaultPlan, FaultStats, LinkModel, PhaseBreakdown, RateProfile, Topology,
     };
+    pub use marsit_telemetry::Telemetry;
     pub use marsit_tensor::{rng::FastRng, SignVec, Tensor};
     pub use marsit_trainsim::{train, StrategyKind, TrainConfig, TrainReport};
 }

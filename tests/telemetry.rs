@@ -1,0 +1,237 @@
+//! Telemetry acceptance tests: the observability layer must be invisible
+//! when disabled and *exact* when enabled.
+//!
+//! - The no-op sink records zero events and leaves results byte-identical
+//!   to a run without any telemetry plumbing.
+//! - Two runs with the same seed produce byte-identical JSONL event logs.
+//! - Replaying the per-hop events of an instrumented collective rebuilds
+//!   its `Trace` exactly — same step structure, same total bytes, and a
+//!   bit-for-bit identical α–β schedule time — for ring(8) and torus(2,4),
+//!   on both the clean and the fault-injected paths.
+
+use marsit::collectives::ring::{
+    ring_allreduce_onebit, ring_allreduce_onebit_faulty, ring_allreduce_sum,
+    ring_allreduce_sum_faulty,
+};
+use marsit::collectives::torus::{
+    torus_allreduce_onebit, torus_allreduce_onebit_faulty, torus_allreduce_sum,
+};
+use marsit::collectives::{CombineCtx, Trace};
+use marsit::prelude::*;
+use marsit::telemetry::report::{analyze, parse_jsonl, schedule_time, validate};
+use marsit::telemetry::{scoped, Telemetry};
+
+fn random_data(m: usize, d: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = FastRng::new(seed, 0);
+    (0..m)
+        .map(|_| (0..d).map(|_| (rng.next_f64() as f32) - 0.5).collect())
+        .collect()
+}
+
+fn random_signs(m: usize, d: usize, seed: u64) -> Vec<SignVec> {
+    let mut rng = FastRng::new(seed, 1);
+    (0..m)
+        .map(|_| SignVec::bernoulli_uniform(d, 0.5, &mut rng))
+        .collect()
+}
+
+/// A deterministic stand-in combine: keep the received aggregate.
+fn keep_received(recv: &SignVec, _local: &SignVec, _ctx: CombineCtx) -> SignVec {
+    recv.clone()
+}
+
+/// Replays the recorded hop events and asserts they rebuild `trace` exactly:
+/// step structure, total bytes, and bit-identical schedule time.
+fn assert_reconstructs(tel: &Telemetry, trace: &Trace) {
+    let analysis = analyze(&tel.events()).expect("hop events analyze cleanly");
+    assert_eq!(
+        analysis.steps.as_slice(),
+        trace.steps(),
+        "rebuilt step structure differs from the collective's trace"
+    );
+    assert_eq!(analysis.total_bytes() as usize, trace.total_bytes());
+    let link = LinkModel::new(25e-6, 1.25e9);
+    let rebuilt = schedule_time(25e-6, 1.25e9, &analysis.steps);
+    assert_eq!(
+        rebuilt.to_bits(),
+        trace.time(link).to_bits(),
+        "rebuilt schedule time must match Trace::time bit-for-bit"
+    );
+}
+
+#[test]
+fn ring_sum_reconstructs_exactly() {
+    let tel = Telemetry::recording();
+    let mut data = random_data(8, 1000, 1);
+    let trace = scoped(&tel, || ring_allreduce_sum(&mut data));
+    assert_reconstructs(&tel, &trace);
+}
+
+#[test]
+fn ring_onebit_reconstructs_exactly() {
+    let tel = Telemetry::recording();
+    let signs = random_signs(8, 1000, 2);
+    let (_, trace) = scoped(&tel, || ring_allreduce_onebit(&signs, keep_received));
+    assert_reconstructs(&tel, &trace);
+}
+
+#[test]
+fn torus_sum_reconstructs_exactly() {
+    let tel = Telemetry::recording();
+    let mut data = random_data(8, 1000, 3);
+    let trace = scoped(&tel, || torus_allreduce_sum(&mut data, 2, 4));
+    assert_reconstructs(&tel, &trace);
+}
+
+#[test]
+fn torus_onebit_reconstructs_exactly() {
+    let tel = Telemetry::recording();
+    let signs = random_signs(8, 1000, 4);
+    let (_, trace) = scoped(&tel, || torus_allreduce_onebit(&signs, 2, 4, keep_received));
+    assert_reconstructs(&tel, &trace);
+}
+
+#[test]
+fn faulty_ring_sum_reconstructs_with_retries() {
+    let plan = FaultPlan::seeded(9)
+        .with_link_drop(0.2)
+        .with_retry_policy(4, 1e-4);
+    let tel = Telemetry::recording();
+    let mut data = random_data(8, 1000, 5);
+    let mut inj = plan.injector(0);
+    let trace = scoped(&tel, || ring_allreduce_sum_faulty(&mut data, &mut inj));
+    assert!(
+        trace.num_steps() > 2 * 7,
+        "want retries in this scenario so the expanded-step path is exercised"
+    );
+    assert_reconstructs(&tel, &trace);
+}
+
+#[test]
+fn faulty_ring_onebit_reconstructs_with_retries() {
+    let plan = FaultPlan::seeded(11)
+        .with_link_drop(0.2)
+        .with_retry_policy(4, 1e-4);
+    let tel = Telemetry::recording();
+    let signs = random_signs(8, 1000, 6);
+    let mut inj = plan.injector(0);
+    let (_, trace) = scoped(&tel, || {
+        ring_allreduce_onebit_faulty(&signs, &mut inj, keep_received)
+    });
+    assert_reconstructs(&tel, &trace);
+}
+
+#[test]
+fn faulty_torus_onebit_reconstructs_with_retries() {
+    let plan = FaultPlan::seeded(13)
+        .with_link_drop(0.2)
+        .with_retry_policy(4, 1e-4);
+    let tel = Telemetry::recording();
+    let signs = random_signs(8, 1000, 7);
+    let mut inj = plan.injector(0);
+    let (_, trace) = scoped(&tel, || {
+        torus_allreduce_onebit_faulty(&signs, 2, 4, &mut inj, keep_received)
+    });
+    assert_reconstructs(&tel, &trace);
+}
+
+/// Consecutive collectives in one scope share the global `seq` counter, so
+/// the concatenated rebuild equals the concatenated traces.
+#[test]
+fn consecutive_collectives_concatenate() {
+    let tel = Telemetry::recording();
+    let (mut combined, second) = scoped(&tel, || {
+        let mut data = random_data(8, 500, 8);
+        let first = ring_allreduce_sum(&mut data);
+        let signs = random_signs(8, 500, 9);
+        let (_, second) = torus_allreduce_onebit(&signs, 2, 4, keep_received);
+        (first, second)
+    });
+    combined.extend(second);
+    assert_reconstructs(&tel, &combined);
+}
+
+fn short_train_cfg() -> TrainConfig {
+    let mut cfg = TrainConfig::new(
+        Workload::AlexNetMnist,
+        Topology::ring(4),
+        StrategyKind::Marsit { k: Some(5) },
+    );
+    cfg.rounds = 8;
+    cfg.train_examples = 512;
+    cfg.test_examples = 128;
+    cfg.eval_every = 0;
+    cfg.local_lr = 0.1;
+    cfg.marsit_global_lr = 0.01;
+    cfg.optimizer = OptimizerKind::Sgd;
+    cfg
+}
+
+/// The no-op sink records nothing, and threading it through a training run
+/// changes no result bit.
+#[test]
+fn disabled_sink_is_invisible() {
+    let baseline = train(&short_train_cfg());
+    let disabled = Telemetry::disabled();
+    let mut cfg = short_train_cfg();
+    cfg.telemetry = disabled.clone();
+    let with_disabled = train(&cfg);
+    assert_eq!(
+        disabled.event_count(),
+        0,
+        "no-op sink must emit zero events"
+    );
+    assert_eq!(disabled.events_jsonl(), "");
+    assert_eq!(baseline, with_disabled);
+}
+
+/// Recording telemetry observes a run without perturbing it, and the full
+/// event log is byte-stable across same-seed runs — including under fault
+/// injection.
+#[test]
+fn same_seed_runs_are_byte_identical() {
+    let run = || {
+        let tel = Telemetry::recording();
+        let mut cfg = short_train_cfg();
+        cfg.fault_plan = FaultPlan::seeded(7)
+            .with_link_drop(0.05)
+            .with_straggler(1, 2.0);
+        cfg.telemetry = tel.clone();
+        let report = train(&cfg);
+        (report, tel.events_jsonl(), tel.summary_json())
+    };
+    let (report_a, jsonl_a, summary_a) = run();
+    let (report_b, jsonl_b, summary_b) = run();
+    assert_eq!(report_a, report_b);
+    assert!(!jsonl_a.is_empty());
+    assert_eq!(jsonl_a, jsonl_b, "event logs must be byte-identical");
+    assert_eq!(summary_a, summary_b, "summaries must be byte-identical");
+
+    // The recorded run is also unperturbed relative to a silent one.
+    let mut silent_cfg = short_train_cfg();
+    silent_cfg.fault_plan = FaultPlan::seeded(7)
+        .with_link_drop(0.05)
+        .with_straggler(1, 2.0);
+    let silent = train(&silent_cfg);
+    assert_eq!(silent, report_a);
+}
+
+/// A full training run's log round-trips through JSONL, passes schema
+/// validation, and its hop events account for every byte the report counted.
+#[test]
+fn train_log_roundtrips_validates_and_accounts_bytes() {
+    let tel = Telemetry::recording();
+    let mut cfg = short_train_cfg();
+    cfg.telemetry = tel.clone();
+    let report = train(&cfg);
+
+    let jsonl = tel.events_jsonl();
+    let events = parse_jsonl(&jsonl).expect("log parses");
+    assert_eq!(events.len(), tel.event_count());
+    assert_eq!(validate(&events), Vec::<String>::new());
+
+    let analysis = analyze(&events).expect("log analyzes");
+    assert_eq!(analysis.total_bytes() as usize, report.total_bytes);
+    assert_eq!(analysis.phases.rounds as usize, cfg.rounds);
+    assert!((analysis.phases.total_s() - report.total_time.total()).abs() < 1e-9);
+}
