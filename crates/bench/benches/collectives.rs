@@ -92,7 +92,7 @@ fn bench_sign_payloads(c: &mut Criterion) {
         b.iter(|| ring_allreduce_majority(black_box(&sv), SumWire::FixedWidth));
     });
     group.bench_function("onebit_keep_received", |b| {
-        b.iter(|| ring_allreduce_onebit(black_box(&sv), |r, _, _| r.clone()));
+        b.iter(|| ring_allreduce_onebit(black_box(&sv), |r, l, _| l.copy_from(r)));
     });
     group.finish();
 }

@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
-use marsit_core::ominus::combine_weighted;
+use marsit_core::ominus::{combine_weighted, combine_weighted_assign};
 use marsit_core::{Marsit, MarsitConfig, SyncSchedule};
 use marsit_simnet::Topology;
 use marsit_tensor::rng::FastRng;
@@ -33,6 +33,33 @@ fn bench_combine(c: &mut Criterion) {
         let mut rng = FastRng::new(3, 0);
         bch.iter(|| combine_weighted(black_box(&a), 3, &b2, 1, &mut rng));
     });
+    group.finish();
+}
+
+/// Fused in-place `⊙` versus the allocating reference, at a dyadic weight
+/// ratio (3:1 → two RNG draws per word) and the worst-case non-dyadic ratio
+/// (4:3 → a full 32-draw digit recurrence per word).
+fn bench_combine_fused(c: &mut Criterion) {
+    let d = 1 << 18;
+    let mut rng = FastRng::new(2, 0);
+    let recv = SignVec::bernoulli_uniform(d, 0.5, &mut rng);
+    let local = SignVec::bernoulli_uniform(d, 0.5, &mut rng);
+    let mut group = c.benchmark_group("ominus_fused");
+    group.throughput(Throughput::Elements(d as u64));
+    for (label, a, b2) in [("dyadic_3_1", 3usize, 1usize), ("nondyadic_4_3", 4, 3)] {
+        group.bench_function(BenchmarkId::new("reference", label), |bch| {
+            let mut rng = FastRng::new(3, 0);
+            bch.iter(|| combine_weighted(black_box(&recv), a, &local, b2, &mut rng));
+        });
+        group.bench_function(BenchmarkId::new("fused_assign", label), |bch| {
+            let mut rng = FastRng::new(3, 0);
+            let mut dst = local.clone();
+            bch.iter(|| {
+                combine_weighted_assign(black_box(&recv), a, &mut dst, b2, &mut rng);
+                black_box(&dst);
+            });
+        });
+    }
     group.finish();
 }
 
@@ -66,6 +93,6 @@ fn bench_sync_round(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(12);
-    targets = bench_combine, bench_sync_round
+    targets = bench_combine, bench_combine_fused, bench_sync_round
 }
 criterion_main!(benches);

@@ -9,7 +9,10 @@
 //!   worst-case non-dyadic probability;
 //! - `pack` — sign extraction (`SignVec::from_signs`) throughput;
 //! - `round` — end-to-end Marsit rounds/sec on a ring, one-bit and
-//!   full-precision, plus the realized wire bits per transmitted element;
+//!   full-precision, their ratio, the realized wire bits per transmitted
+//!   element, steady-state heap allocations per round (via a counting
+//!   global allocator), and a non-dyadic-weight ring (`m = 7`) whose
+//!   transient masks need worst-case RNG draws;
 //! - `trainsim` — wall-clock speedup of the thread-per-worker compute phase
 //!   over the sequential one, with a bit-identity check of the reports;
 //! - `meta` — run provenance (seed, topology, workers, `git describe` of the
@@ -29,7 +32,9 @@
 //! `--fast` shrinks problem sizes and sample counts for CI smoke runs; the
 //! JSON schema is identical in both modes (`"mode"` records which ran).
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use marsit_core::{Marsit, MarsitConfig, SyncSchedule};
@@ -39,6 +44,45 @@ use marsit_telemetry::{scoped, Telemetry};
 use marsit_tensor::rng::FastRng;
 use marsit_tensor::SignVec;
 use marsit_trainsim::{elements_per_round, train, StrategyKind, TrainConfig};
+
+/// Heap-allocation counter wrapped around the system allocator: the
+/// steady-state `round` section reports allocations per synchronize call,
+/// making the workspace-reuse claim measurable instead of anecdotal.
+/// Counts `alloc`/`realloc` events only — frees are irrelevant to the
+/// "does the hot path still hit the allocator" question.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocator calls per invocation of `f`, averaged over `n` calls.
+fn allocs_per_call(n: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up: let every reusable buffer reach steady-state capacity
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    for _ in 0..n.max(1) {
+        f();
+    }
+    let after = ALLOC_CALLS.load(Ordering::Relaxed);
+    (after - before) as f64 / n.max(1) as f64
+}
 
 struct Sizes {
     mode: &'static str,
@@ -157,11 +201,49 @@ fn main() {
     let fp_s = median_secs(sizes.samples, || {
         black_box(fp.synchronize(black_box(&updates), Topology::ring(m)));
     });
+    let onebit_vs_full_ratio = fp_s / onebit_s;
+
+    // Steady-state allocator traffic of the reused-workspace path. Escaping
+    // outcome vectors (`global_update`, `compensated_mean`, trace/telemetry
+    // bookkeeping) are real allocations and are counted honestly; the
+    // workspace keeps the per-hop and per-worker scratch out of this number.
+    let alloc_iters = sizes.samples.max(10);
+    let onebit_allocs = allocs_per_call(alloc_iters, || {
+        black_box(onebit.synchronize(black_box(&updates), Topology::ring(m)));
+    });
+    let fp_allocs = allocs_per_call(alloc_iters, || {
+        black_box(fp.synchronize(black_box(&updates), Topology::ring(m)));
+    });
     println!(
-        "round m={m} d={rd}: one-bit {:.1} rounds/s (wire {:.3} bits/elem), full-precision {:.1} rounds/s",
+        "round m={m} d={rd}: one-bit {:.1} rounds/s (wire {:.3} bits/elem, {onebit_allocs:.0} allocs), \
+         full-precision {:.1} rounds/s ({fp_allocs:.0} allocs), ratio {onebit_vs_full_ratio:.2}x",
         1.0 / onebit_s,
         wire_bits_per_element,
         1.0 / fp_s,
+    );
+
+    // Non-dyadic weights: a 7-worker ring drives the weighted ⊙ through
+    // keep-probabilities like 2/3, 4/5, 5/6, 6/7 whose fixed-point q has a
+    // full 32-bit tail, so every transient word costs the worst-case number
+    // of RNG draws. This is the fused kernel's hardest steady-state case.
+    let m_nd = 7;
+    let updates_nd: Vec<Vec<f32>> = {
+        let mut g = FastRng::new(4, 0);
+        (0..m_nd)
+            .map(|_| {
+                (0..rd)
+                    .map(|_| 0.01 * (g.next_f64() as f32 - 0.5))
+                    .collect()
+            })
+            .collect()
+    };
+    let mut onebit_nd = Marsit::new(MarsitConfig::new(SyncSchedule::never(), 0.01, 7), m_nd, rd);
+    let onebit_nd_s = median_secs(sizes.samples, || {
+        black_box(onebit_nd.synchronize(black_box(&updates_nd), Topology::ring(m_nd)));
+    });
+    println!(
+        "round m={m_nd} d={rd} (non-dyadic weights): one-bit {:.1} rounds/s",
+        1.0 / onebit_nd_s,
     );
 
     // --- Parallel vs sequential worker simulation. ---
@@ -279,7 +361,12 @@ fn main() {
     "topology": "ring",
     "onebit_rounds_per_sec": {onebit_rps:.2},
     "full_precision_rounds_per_sec": {fp_rps:.2},
-    "wire_bits_per_element": {wire_bits_per_element:.4}
+    "onebit_vs_full_ratio": {onebit_vs_full_ratio:.3},
+    "wire_bits_per_element": {wire_bits_per_element:.4},
+    "allocations_per_round_onebit": {onebit_allocs:.1},
+    "allocations_per_round_full_precision": {fp_allocs:.1},
+    "nondyadic_m": {m_nd},
+    "onebit_nondyadic_rounds_per_sec": {onebit_nd_rps:.2}
   }},
   "trainsim": {{
     "workers": 4,
@@ -327,6 +414,7 @@ fn main() {
         pack_ns = ns_per_elem(pack_s, d),
         onebit_rps = 1.0 / onebit_s,
         fp_rps = 1.0 / fp_s,
+        onebit_nd_rps = 1.0 / onebit_nd_s,
         train_rounds = sizes.train_rounds,
         train_speedup = seq_s / par_s,
     );

@@ -36,7 +36,7 @@ pub mod torus;
 pub mod trace;
 pub mod tree;
 
-pub use ring::{CombineCtx, SumWire};
+pub use ring::{CombineCtx, PlannedHop, SumWire};
 pub use trace::Trace;
 
 #[cfg(test)]

@@ -81,6 +81,22 @@ pub struct CombineCtx {
     pub local_count: usize,
 }
 
+/// One upcoming combine of a reduce step, announced to a step-begin hook
+/// before any of the step's combines run (see
+/// [`ring_allreduce_onebit_weighted_hooked`]).
+///
+/// The hook sees exactly the [`CombineCtx`] values the combine closure will
+/// receive, in call order, plus each segment's bit length — enough to
+/// pre-draw per-hop randomness for the whole step (the hops of one step
+/// touch disjoint state and carry independent RNG streams).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedHop {
+    /// The context the combine closure will be called with.
+    pub ctx: CombineCtx,
+    /// Length of the combined segment in bits (coordinates).
+    pub elems: usize,
+}
+
 /// Wire encoding for integer sign-sum payloads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SumWire {
@@ -299,17 +315,18 @@ fn ring_reduce_scatter_sums(parts: &[SignSumVec], wire: SumWire) -> (Vec<SignSum
 ///
 /// This is Marsit's communication schedule: every reduce hop transmits
 /// exactly one bit per coordinate; `combine(received, local, ctx)` merges the
-/// incoming aggregate (over `ctx.received_count` workers) with the local
-/// vector. The gather phase circulates the final one-bit segments. Returns
-/// the consensus sign vector and the trace.
+/// incoming aggregate (over `ctx.received_count` workers) *into* the local
+/// vector in place — the hot loop performs no clone of the received segment
+/// and no allocation per hop. The gather phase circulates the final one-bit
+/// segments. Returns the consensus sign vector and the trace.
 ///
 /// # Panics
 ///
 /// Panics if fewer than 2 workers, sign lengths differ, or the combine
-/// returns a vector of the wrong length.
+/// changes the local vector's length.
 pub fn ring_allreduce_onebit<F>(signs: &[SignVec], combine: F) -> (SignVec, Trace)
 where
-    F: FnMut(&SignVec, &SignVec, CombineCtx) -> SignVec,
+    F: FnMut(&SignVec, &mut SignVec, CombineCtx),
 {
     ring_allreduce_onebit_weighted(signs, 1, combine)
 }
@@ -322,14 +339,42 @@ where
 /// # Panics
 ///
 /// Panics if fewer than 2 workers, `unit == 0`, sign lengths differ, or the
-/// combine returns a vector of the wrong length.
+/// combine changes the local vector's length.
 pub fn ring_allreduce_onebit_weighted<F>(
     signs: &[SignVec],
     unit: usize,
+    combine: F,
+) -> (SignVec, Trace)
+where
+    F: FnMut(&SignVec, &mut SignVec, CombineCtx),
+{
+    ring_allreduce_onebit_weighted_hooked(signs, unit, |_| {}, combine)
+}
+
+/// [`ring_allreduce_onebit_weighted`] with a *step-begin hook*: before each
+/// reduce step's combines run, `step_begin` receives the step's full hop
+/// plan ([`PlannedHop`] per combine, in call order).
+///
+/// The `m` combines of one reduce step write disjoint segments and consume
+/// independent per-hop RNG streams, so a caller that derives its randomness
+/// from the [`CombineCtx`] can pre-sample all of a step's transient masks in
+/// one interleaved batch (several xorshift chains in flight instead of one)
+/// and have the combines apply them — bit-identical outputs, much less
+/// latency-bound sampling. The plain entry points pass a no-op hook.
+///
+/// # Panics
+///
+/// Panics if fewer than 2 workers, `unit == 0`, sign lengths differ, or the
+/// combine changes the local vector's length.
+pub fn ring_allreduce_onebit_weighted_hooked<G, F>(
+    signs: &[SignVec],
+    unit: usize,
+    mut step_begin: G,
     mut combine: F,
 ) -> (SignVec, Trace)
 where
-    F: FnMut(&SignVec, &SignVec, CombineCtx) -> SignVec,
+    G: FnMut(&[PlannedHop]),
+    F: FnMut(&SignVec, &mut SignVec, CombineCtx),
 {
     assert!(unit > 0, "unit must be positive");
     let m = signs.len();
@@ -343,7 +388,23 @@ where
         .collect();
     let mut trace = Trace::new();
     let mut rec = HopRecorder::begin();
+    let mut plan: Vec<PlannedHop> = Vec::with_capacity(m);
     for r in 0..m - 1 {
+        plan.clear();
+        plan.extend((0..m).map(|w| {
+            let s = (w + m - (r % m)) % m;
+            PlannedHop {
+                ctx: CombineCtx {
+                    step: r,
+                    receiver: (w + 1) % m,
+                    segment: s,
+                    received_count: (r + 1) * unit,
+                    local_count: unit,
+                },
+                elems: segs[s].len(),
+            }
+        }));
+        step_begin(&plan);
         let mut step_bytes = Vec::with_capacity(m);
         for w in 0..m {
             let n = (w + 1) % m;
@@ -369,14 +430,15 @@ where
                 received_count: (r + 1) * unit,
                 local_count: unit,
             };
-            let received = state[w][s].clone();
-            let merged = combine(&received, &state[n][s], ctx);
+            // Split borrow: sender w's segment is read in place while
+            // receiver n's is combined into — no clone per hop.
+            let (src, dst) = split_pair(&mut state, w, n);
+            combine(&src[s], &mut dst[s], ctx);
             assert_eq!(
-                merged.len(),
+                dst[s].len(),
                 segs[s].len(),
                 "combine changed segment length"
             );
-            state[n][s] = merged;
         }
         trace.push_step(step_bytes);
     }
@@ -524,7 +586,7 @@ pub fn ring_allreduce_onebit_faulty<F>(
     combine: F,
 ) -> (SignVec, Trace)
 where
-    F: FnMut(&SignVec, &SignVec, CombineCtx) -> SignVec,
+    F: FnMut(&SignVec, &mut SignVec, CombineCtx),
 {
     let counts = vec![1; signs.len()];
     ring_allreduce_onebit_counted_faulty(signs, &counts, inj, combine)
@@ -549,7 +611,7 @@ where
 /// # Panics
 ///
 /// Panics if fewer than 2 workers, a count is zero, input lengths differ, or
-/// the combine returns a vector of the wrong length.
+/// the combine changes the local vector's length.
 pub fn ring_allreduce_onebit_counted_faulty<F>(
     signs: &[SignVec],
     init_counts: &[usize],
@@ -557,7 +619,7 @@ pub fn ring_allreduce_onebit_counted_faulty<F>(
     mut combine: F,
 ) -> (SignVec, Trace)
 where
-    F: FnMut(&SignVec, &SignVec, CombineCtx) -> SignVec,
+    F: FnMut(&SignVec, &mut SignVec, CombineCtx),
 {
     let m = signs.len();
     assert!(m >= 2, "ring all-reduce needs at least 2 workers");
@@ -610,14 +672,13 @@ where
                     received_count: counts[w][s],
                     local_count: counts[n][s],
                 };
-                let received = state[w][s].clone();
-                let merged = combine(&received, &state[n][s], ctx);
+                let (src, dst) = split_pair(&mut state, w, n);
+                combine(&src[s], &mut dst[s], ctx);
                 assert_eq!(
-                    merged.len(),
+                    dst[s].len(),
                     segs[s].len(),
                     "combine changed segment length"
                 );
-                state[n][s] = merged;
                 counts[n][s] += counts[w][s];
             }
         }
@@ -663,16 +724,24 @@ where
     (result, trace)
 }
 
-/// Borrows worker `src` immutably and worker `dst` mutably from `data`.
-fn two_workers(data: &mut [Vec<f32>], src: usize, dst: usize) -> (&[f32], &mut [f32]) {
+/// Borrows `items[src]` immutably and `items[dst]` mutably — the split
+/// borrow that lets a hop combine a received payload into the receiver's
+/// state in place, with no clone of the sent data.
+pub(crate) fn split_pair<T>(items: &mut [T], src: usize, dst: usize) -> (&T, &mut T) {
     assert_ne!(src, dst, "src and dst must differ");
     if src < dst {
-        let (a, b) = data.split_at_mut(dst);
+        let (a, b) = items.split_at_mut(dst);
         (&a[src], &mut b[0])
     } else {
-        let (a, b) = data.split_at_mut(src);
+        let (a, b) = items.split_at_mut(src);
         (&b[0], &mut a[dst])
     }
+}
+
+/// Borrows worker `src` immutably and worker `dst` mutably from `data`.
+fn two_workers(data: &mut [Vec<f32>], src: usize, dst: usize) -> (&[f32], &mut [f32]) {
+    let (src, dst) = split_pair(data, src, dst);
+    (src.as_slice(), dst.as_mut_slice())
 }
 
 #[cfg(test)]
@@ -799,7 +868,7 @@ mod tests {
             .map(|_| SignVec::bernoulli_uniform(d, 0.5, &mut rng))
             .collect();
         // "Keep received" combine: result is well-defined; we check the trace.
-        let (_, trace) = ring_allreduce_onebit(&signs, |recv, _local, _ctx| recv.clone());
+        let (_, trace) = ring_allreduce_onebit(&signs, |recv, local, _ctx| local.copy_from(recv));
         // Every transfer must be exactly seg_len/8 bytes.
         for step in trace.steps() {
             for &bytes in step {
@@ -820,7 +889,7 @@ mod tests {
         let signs: Vec<SignVec> = (0..m)
             .map(|_| SignVec::bernoulli_uniform(d, 0.5, &mut rng))
             .collect();
-        let (result, _) = ring_allreduce_onebit(&signs, |_recv, local, _ctx| local.clone());
+        let (result, _) = ring_allreduce_onebit(&signs, |_recv, _local, _ctx| {});
         let segs = segment_ranges(d, m);
         for (s, seg) in segs.iter().enumerate() {
             let owner = (s + m - 1) % m;
@@ -836,9 +905,9 @@ mod tests {
         let d = 25;
         let signs: Vec<SignVec> = (0..m).map(|_| SignVec::ones(d)).collect();
         let mut seen = Vec::new();
-        let _ = ring_allreduce_onebit(&signs, |recv, _local, ctx| {
+        let _ = ring_allreduce_onebit(&signs, |recv, local, ctx| {
             seen.push((ctx.step, ctx.received_count, ctx.local_count));
-            recv.clone()
+            local.copy_from(recv);
         });
         // m−1 steps × m combines; at step r received_count = r+1.
         assert_eq!(seen.len(), (m - 1) * m);
@@ -878,7 +947,8 @@ mod tests {
             .map(|_| SignVec::bernoulli_uniform(d, 0.5, &mut rng))
             .collect();
         // Deterministic combine so both runs take identical decisions.
-        let combine = |recv: &SignVec, local: &SignVec, _ctx: CombineCtx| recv.and(local);
+        let combine =
+            |recv: &SignVec, local: &mut SignVec, _ctx: CombineCtx| local.and_assign(recv);
         let (clean, clean_trace) = ring_allreduce_onebit(&signs, combine);
         let mut inj = FaultInjector::inert();
         let (faulty, faulty_trace) = ring_allreduce_onebit_faulty(&signs, &mut inj, combine);
@@ -893,9 +963,9 @@ mod tests {
         let signs: Vec<SignVec> = (0..m).map(|_| SignVec::ones(d)).collect();
         let mut seen = Vec::new();
         let mut inj = FaultInjector::inert();
-        let _ = ring_allreduce_onebit_faulty(&signs, &mut inj, |recv, _l, ctx| {
+        let _ = ring_allreduce_onebit_faulty(&signs, &mut inj, |recv, local, ctx| {
             seen.push((ctx.step, ctx.received_count, ctx.local_count));
-            recv.clone()
+            local.copy_from(recv);
         });
         assert_eq!(seen.len(), (m - 1) * m);
         for &(step, rc, lc) in &seen {
@@ -922,10 +992,11 @@ mod tests {
         let run = |plan: &FaultPlan| {
             let mut inj = plan.injector(0);
             let mut ctxs = Vec::new();
-            let (out, trace) = ring_allreduce_onebit_faulty(&signs, &mut inj, |recv, _l, ctx| {
-                ctxs.push(ctx);
-                recv.clone()
-            });
+            let (out, trace) =
+                ring_allreduce_onebit_faulty(&signs, &mut inj, |recv, local, ctx| {
+                    ctxs.push(ctx);
+                    local.copy_from(recv);
+                });
             (out, trace, ctxs, inj.stats())
         };
         let (out, trace, ctxs, stats) = run(&plan);

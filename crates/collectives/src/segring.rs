@@ -73,7 +73,7 @@ pub fn segring_allreduce_onebit<F>(
     mut combine: F,
 ) -> (SignVec, Trace)
 where
-    F: FnMut(&SignVec, &SignVec, CombineCtx) -> SignVec,
+    F: FnMut(&SignVec, &mut SignVec, CombineCtx),
 {
     let m = signs.len();
     assert!(m >= 2, "segmented ring needs at least 2 workers");
@@ -91,7 +91,7 @@ where
             .iter()
             .map(|v| v.slice(range.start, range.len()))
             .collect();
-        let (reduced, sub) = ring_allreduce_onebit(&chunk, |recv, local, ctx| {
+        let (reduced, sub) = ring_allreduce_onebit(&chunk, |recv, local: &mut SignVec, ctx| {
             let shifted = CombineCtx {
                 segment: s * m + ctx.segment,
                 ..ctx
@@ -127,7 +127,7 @@ pub fn segring_allreduce_onebit_faulty<F>(
     mut combine: F,
 ) -> (SignVec, Trace)
 where
-    F: FnMut(&SignVec, &SignVec, CombineCtx) -> SignVec,
+    F: FnMut(&SignVec, &mut SignVec, CombineCtx),
 {
     let m = signs.len();
     assert!(m >= 2, "segmented ring needs at least 2 workers");
@@ -145,13 +145,14 @@ where
             .iter()
             .map(|v| v.slice(range.start, range.len()))
             .collect();
-        let (reduced, sub) = ring_allreduce_onebit_faulty(&chunk, inj, |recv, local, ctx| {
-            let shifted = CombineCtx {
-                segment: s * m + ctx.segment,
-                ..ctx
-            };
-            combine(recv, local, shifted)
-        });
+        let (reduced, sub) =
+            ring_allreduce_onebit_faulty(&chunk, inj, |recv, local: &mut SignVec, ctx| {
+                let shifted = CombineCtx {
+                    segment: s * m + ctx.segment,
+                    ..ctx
+                };
+                combine(recv, local, shifted)
+            });
         result.splice(range.start, &reduced);
         merge_offset(&mut steps, s, &sub);
     }
@@ -248,7 +249,7 @@ mod tests {
             .map(|_| SignVec::bernoulli_uniform(d, 0.5, &mut rng))
             .collect();
         // "Keep local" combine: deterministic, so we can check ownership.
-        let (out, trace) = segring_allreduce_onebit(&signs, 2, |_r, l, _ctx| l.clone());
+        let (out, trace) = segring_allreduce_onebit(&signs, 2, |_r, _l, _ctx| {});
         assert_eq!(out.len(), d);
         // Every hop is one bit per coordinate of its macro-chunk.
         for step in trace.steps() {
@@ -267,9 +268,9 @@ mod tests {
             .map(|_| SignVec::bernoulli_uniform(d, 0.5, &mut rng))
             .collect();
         let mut seen = std::collections::HashSet::new();
-        let _ = segring_allreduce_onebit(&signs, 2, |r, _l, ctx| {
+        let _ = segring_allreduce_onebit(&signs, 2, |r, l, ctx| {
             seen.insert((ctx.segment, ctx.step, ctx.receiver));
-            r.clone()
+            l.copy_from(r);
         });
         // 2 macro-segments × (m−1) steps × m combines, all distinct.
         assert_eq!(seen.len(), 2 * (m - 1) * m);
@@ -301,7 +302,7 @@ mod tests {
         let signs: Vec<SignVec> = (0..m)
             .map(|_| SignVec::bernoulli_uniform(d, 0.5, &mut rng))
             .collect();
-        let combine = |r: &SignVec, l: &SignVec, _ctx: CombineCtx| r.or(l);
+        let combine = |r: &SignVec, l: &mut SignVec, _ctx: CombineCtx| l.or_assign(r);
         let (clean, clean_trace) = segring_allreduce_onebit(&signs, 3, combine);
         let mut inj = FaultInjector::inert();
         let (faulty, faulty_trace) = segring_allreduce_onebit_faulty(&signs, 3, &mut inj, combine);
@@ -322,7 +323,7 @@ mod tests {
         let run = || {
             let mut inj = plan.injector(2);
             let (out, trace) =
-                segring_allreduce_onebit_faulty(&signs, 2, &mut inj, |r, _l, _| r.clone());
+                segring_allreduce_onebit_faulty(&signs, 2, &mut inj, |r, l, _| l.copy_from(r));
             (out, trace, inj.stats())
         };
         assert_eq!(run(), run());

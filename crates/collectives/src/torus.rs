@@ -15,8 +15,8 @@ use marsit_telemetry::{Hop, HopRecorder};
 use marsit_tensor::SignVec;
 
 use crate::ring::{
-    emit_attempts, ring_allreduce_onebit_counted_faulty, ring_allreduce_onebit_weighted,
-    ring_allreduce_signsum_parts, segment_ranges, CombineCtx, SumWire,
+    emit_attempts, ring_allreduce_onebit_counted_faulty, ring_allreduce_onebit_weighted_hooked,
+    ring_allreduce_signsum_parts, segment_ranges, split_pair, CombineCtx, PlannedHop, SumWire,
 };
 use crate::trace::{FaultyStep, Trace};
 
@@ -157,20 +157,49 @@ pub fn torus_allreduce_sum(data: &mut [Vec<f32>], rows: usize, cols: usize) -> T
 ///
 /// Combine contexts carry the correct aggregate counts: horizontal hops fold
 /// single workers, vertical hops fold whole row-aggregates of `cols` workers.
-/// Every hop is one bit per coordinate. Returns the consensus sign vector
-/// and the trace.
+/// Every hop is one bit per coordinate; `combine(received, local, ctx)`
+/// merges the incoming aggregate *into* the local chunk in place, so the hot
+/// loop performs no clone of the received data. Returns the consensus sign
+/// vector and the trace.
 ///
 /// # Panics
 ///
-/// Panics if the shape is invalid or sign lengths differ.
+/// Panics if the shape is invalid, sign lengths differ, or the combine
+/// changes the local chunk's length.
 pub fn torus_allreduce_onebit<F>(
     signs: &[SignVec],
     rows: usize,
     cols: usize,
+    combine: F,
+) -> (SignVec, Trace)
+where
+    F: FnMut(&SignVec, &mut SignVec, CombineCtx),
+{
+    torus_allreduce_onebit_hooked(signs, rows, cols, |_| {}, combine)
+}
+
+/// [`torus_allreduce_onebit`] with a *step-begin hook* (see
+/// [`ring_allreduce_onebit_weighted_hooked`]): before each horizontal
+/// reduce step and each vertical sub-ring step, `step_begin` receives that
+/// step's hop plan so per-hop randomness can be pre-sampled in one
+/// interleaved batch. Contexts in the plan are exactly those the combine
+/// will see (vertical hops report sub-ring-local receivers, as the combine
+/// does today).
+///
+/// # Panics
+///
+/// Panics if the shape is invalid, sign lengths differ, or the combine
+/// changes the local chunk's length.
+pub fn torus_allreduce_onebit_hooked<G, F>(
+    signs: &[SignVec],
+    rows: usize,
+    cols: usize,
+    mut step_begin: G,
     mut combine: F,
 ) -> (SignVec, Trace)
 where
-    F: FnMut(&SignVec, &SignVec, CombineCtx) -> SignVec,
+    G: FnMut(&[PlannedHop]),
+    F: FnMut(&SignVec, &mut SignVec, CombineCtx),
 {
     check_shape(signs, rows, cols);
     let d = signs[0].len();
@@ -185,7 +214,25 @@ where
 
     // Phase 1: horizontal reduce-scatter, single-worker units.
     let mut rec = HopRecorder::begin();
+    let mut plan: Vec<PlannedHop> = Vec::with_capacity(rows * cols);
     for rr in 0..cols - 1 {
+        plan.clear();
+        for row in 0..rows {
+            for c in 0..cols {
+                let s = (c + cols - (rr % cols)) % cols;
+                plan.push(PlannedHop {
+                    ctx: CombineCtx {
+                        step: rr,
+                        receiver: row * cols + (c + 1) % cols,
+                        segment: s,
+                        received_count: rr + 1,
+                        local_count: 1,
+                    },
+                    elems: chunks[s].len(),
+                });
+            }
+        }
+        step_begin(&plan);
         let expanded = steps.len();
         let mut step = Vec::with_capacity(rows * cols);
         for row in 0..rows {
@@ -213,10 +260,9 @@ where
                     received_count: rr + 1,
                     local_count: 1,
                 };
-                let received = state[w][s].clone();
-                let merged = combine(&received, &state[n][s], ctx);
-                assert_eq!(merged.len(), chunks[s].len(), "combine changed length");
-                state[n][s] = merged;
+                let (src, dst) = split_pair(&mut state, w, n);
+                combine(&src[s], &mut dst[s], ctx);
+                assert_eq!(dst[s].len(), chunks[s].len(), "combine changed length");
             }
         }
         steps.push(step);
@@ -231,10 +277,10 @@ where
             .collect();
         let (reduced, sub) = {
             let _frame = rec.column_frame(offset, column_workers(rows, cols, c));
-            ring_allreduce_onebit_weighted(&column, cols, &mut combine)
+            ring_allreduce_onebit_weighted_hooked(&column, cols, &mut step_begin, &mut combine)
         };
         for row in 0..rows {
-            state[row * cols + c][own] = reduced.clone();
+            state[row * cols + c][own].copy_from(&reduced);
         }
         merge_parallel(&mut steps, offset, &sub);
     }
@@ -261,8 +307,8 @@ where
                     attempt: 1,
                     delivered: true,
                 });
-                let sent = state[w][s].clone();
-                state[n][s] = sent;
+                let (src, dst) = split_pair(&mut state, w, n);
+                dst[s].copy_from(&src[s]);
             }
         }
         steps.push(step);
@@ -304,7 +350,7 @@ pub fn torus_allreduce_onebit_faulty<F>(
     mut combine: F,
 ) -> (SignVec, Trace)
 where
-    F: FnMut(&SignVec, &SignVec, CombineCtx) -> SignVec,
+    F: FnMut(&SignVec, &mut SignVec, CombineCtx),
 {
     check_shape(signs, rows, cols);
     let d = signs[0].len();
@@ -355,10 +401,9 @@ where
                         received_count: counts[w][s],
                         local_count: counts[n][s],
                     };
-                    let received = state[w][s].clone();
-                    let merged = combine(&received, &state[n][s], ctx);
-                    assert_eq!(merged.len(), chunks[s].len(), "combine changed length");
-                    state[n][s] = merged;
+                    let (src, dst) = split_pair(&mut state, w, n);
+                    combine(&src[s], &mut dst[s], ctx);
+                    assert_eq!(dst[s].len(), chunks[s].len(), "combine changed length");
                     counts[n][s] += counts[w][s];
                 }
             }
@@ -379,7 +424,7 @@ where
             ring_allreduce_onebit_counted_faulty(&column, &column_counts, inj, &mut combine)
         };
         for row in 0..rows {
-            state[row * cols + c][own] = reduced.clone();
+            state[row * cols + c][own].copy_from(&reduced);
         }
         merge_parallel(&mut steps, offset, &sub);
     }
@@ -412,8 +457,8 @@ where
                     fate.attempts,
                     fate.delivered,
                 );
-                let sent = state[w][s].clone();
-                state[n][s] = sent;
+                let (src, dst) = split_pair(&mut state, w, n);
+                dst[s].copy_from(&src[s]);
             }
         }
         steps.extend(fs.into_steps());
@@ -639,9 +684,9 @@ mod tests {
         let (rows, cols, d) = (3, 3, 90);
         let signs = random_signs(rows * cols, d, 7);
         let mut max_total = 0;
-        let _ = torus_allreduce_onebit(&signs, rows, cols, |recv, _local, ctx| {
+        let _ = torus_allreduce_onebit(&signs, rows, cols, |recv, local, ctx| {
             max_total = max_total.max(ctx.received_count + ctx.local_count);
-            recv.clone()
+            local.copy_from(recv);
         });
         assert_eq!(max_total, rows * cols);
     }
@@ -650,7 +695,7 @@ mod tests {
     fn torus_onebit_hops_are_one_bit() {
         let (rows, cols, d) = (2, 2, 64);
         let signs = random_signs(rows * cols, d, 9);
-        let (_, trace) = torus_allreduce_onebit(&signs, rows, cols, |r, _, _| r.clone());
+        let (_, trace) = torus_allreduce_onebit(&signs, rows, cols, |r, l, _| l.copy_from(r));
         // Horizontal chunks: d/cols = 32 coords = 4 bytes; vertical
         // subchunks: 16 coords = 2 bytes.
         for step in trace.steps() {
@@ -664,8 +709,8 @@ mod tests {
     fn torus_onebit_consensus_is_deterministic_given_combine() {
         let (rows, cols, d) = (2, 2, 16);
         let signs = random_signs(4, d, 13);
-        let (a, _) = torus_allreduce_onebit(&signs, rows, cols, |r, _, _| r.clone());
-        let (b, _) = torus_allreduce_onebit(&signs, rows, cols, |r, _, _| r.clone());
+        let (a, _) = torus_allreduce_onebit(&signs, rows, cols, |r, l, _| l.copy_from(r));
+        let (b, _) = torus_allreduce_onebit(&signs, rows, cols, |r, l, _| l.copy_from(r));
         assert_eq!(a, b);
     }
 
@@ -680,7 +725,7 @@ mod tests {
     fn faulty_torus_with_inert_injector_matches_clean() {
         let (rows, cols, d) = (2, 4, 64);
         let signs = random_signs(rows * cols, d, 31);
-        let combine = |recv: &SignVec, local: &SignVec, _ctx: CombineCtx| recv.or(local);
+        let combine = |recv: &SignVec, local: &mut SignVec, _ctx: CombineCtx| local.or_assign(recv);
         let (clean, clean_trace) = torus_allreduce_onebit(&signs, rows, cols, combine);
         let mut inj = FaultInjector::inert();
         let (faulty, faulty_trace) =
@@ -700,11 +745,11 @@ mod tests {
             .with_retry_policy(0, 1e-4);
         let mut inj = plan.injector(0);
         let mut max_total = 0;
-        let (out, _) = torus_allreduce_onebit_faulty(&signs, rows, cols, &mut inj, |r, _l, ctx| {
+        let (out, _) = torus_allreduce_onebit_faulty(&signs, rows, cols, &mut inj, |r, l, ctx| {
             assert!(ctx.received_count >= 1 && ctx.local_count >= 1);
             assert!(ctx.received_count + ctx.local_count <= m);
             max_total = max_total.max(ctx.received_count + ctx.local_count);
-            r.clone()
+            l.copy_from(r);
         });
         assert_eq!(out.len(), d);
         assert!(inj.stats().dropped_transfers > 0);
@@ -712,7 +757,7 @@ mod tests {
         // Determinism under the same seed.
         let mut inj2 = plan.injector(0);
         let (out2, _) =
-            torus_allreduce_onebit_faulty(&signs, rows, cols, &mut inj2, |r, _l, _| r.clone());
+            torus_allreduce_onebit_faulty(&signs, rows, cols, &mut inj2, |r, l, _| l.copy_from(r));
         assert_eq!(out, out2);
     }
 }

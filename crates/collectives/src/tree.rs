@@ -17,7 +17,7 @@ use marsit_compress::SignSumVec;
 use marsit_simnet::FaultInjector;
 use marsit_tensor::SignVec;
 
-use crate::ring::CombineCtx;
+use crate::ring::{split_pair, CombineCtx};
 use crate::trace::{FaultyStep, Trace};
 
 /// Number of reduce levels of a binary tree over `m` workers.
@@ -53,7 +53,7 @@ pub fn tree_allreduce_sum(data: &mut [Vec<f32>]) -> Trace {
         while w + stride < m {
             step.push(bytes);
             let (src, dst) = split_pair(data, w + stride, w);
-            for (x, &y) in dst.iter_mut().zip(src) {
+            for (x, &y) in dst.iter_mut().zip(src.iter()) {
                 *x += y;
             }
             w += 2 * stride;
@@ -136,14 +136,16 @@ pub fn tree_allreduce_signsum(signs: &[SignVec]) -> (SignSumVec, Trace) {
 /// subtree sizes: at stride `s`, the received aggregate covers up to `s`
 /// workers and the local aggregate up to `s` workers (exact counts are
 /// tracked per node, handling non-power-of-two `m`).
+/// `combine(received, local, ctx)` merges the child's aggregate *into* the
+/// parent's in place — no clone per merge.
 ///
 /// # Panics
 ///
 /// Panics if fewer than 2 workers, sign lengths differ, or the combine
-/// returns a vector of the wrong length.
+/// changes the local vector's length.
 pub fn tree_allreduce_onebit<F>(signs: &[SignVec], mut combine: F) -> (SignVec, Trace)
 where
-    F: FnMut(&SignVec, &SignVec, CombineCtx) -> SignVec,
+    F: FnMut(&SignVec, &mut SignVec, CombineCtx),
 {
     let m = signs.len();
     assert!(m >= 2, "tree all-reduce needs at least 2 workers");
@@ -167,10 +169,9 @@ where
                 received_count: counts[w + stride],
                 local_count: counts[w],
             };
-            let received = state[w + stride].clone();
-            let merged = combine(&received, &state[w], ctx);
-            assert_eq!(merged.len(), d, "combine changed length");
-            state[w] = merged;
+            let (src, dst) = split_pair(&mut state, w + stride, w);
+            combine(src, dst, ctx);
+            assert_eq!(dst.len(), d, "combine changed length");
             counts[w] += counts[w + stride];
             w += 2 * stride;
         }
@@ -208,7 +209,7 @@ pub fn tree_allreduce_onebit_faulty<F>(
     mut combine: F,
 ) -> (SignVec, Trace)
 where
-    F: FnMut(&SignVec, &SignVec, CombineCtx) -> SignVec,
+    F: FnMut(&SignVec, &mut SignVec, CombineCtx),
 {
     let m = signs.len();
     assert!(m >= 2, "tree all-reduce needs at least 2 workers");
@@ -234,10 +235,9 @@ where
                     received_count: counts[w + stride],
                     local_count: counts[w],
                 };
-                let received = state[w + stride].clone();
-                let merged = combine(&received, &state[w], ctx);
-                assert_eq!(merged.len(), d, "combine changed length");
-                state[w] = merged;
+                let (src, dst) = split_pair(&mut state, w + stride, w);
+                combine(src, dst, ctx);
+                assert_eq!(dst.len(), d, "combine changed length");
                 counts[w] += counts[w + stride];
             }
             w += 2 * stride;
@@ -279,18 +279,6 @@ fn broadcast_transfers(m: usize, level: usize) -> usize {
         w += 2 * stride;
     }
     transfers
-}
-
-/// Borrows `data[src]` immutably and `data[dst]` mutably.
-fn split_pair(data: &mut [Vec<f32>], src: usize, dst: usize) -> (&[f32], &mut [f32]) {
-    assert_ne!(src, dst);
-    if src < dst {
-        let (a, b) = data.split_at_mut(dst);
-        (&a[src], &mut b[0])
-    } else {
-        let (a, b) = data.split_at_mut(src);
-        (&b[0], &mut a[dst])
-    }
 }
 
 #[cfg(test)]
@@ -375,9 +363,9 @@ mod tests {
         for m in [2usize, 3, 6, 8, 11] {
             let sv = signs(m, 24, 9);
             let mut max_total = 0;
-            let (_, trace) = tree_allreduce_onebit(&sv, |r, _l, ctx| {
+            let (_, trace) = tree_allreduce_onebit(&sv, |r, l, ctx| {
                 max_total = max_total.max(ctx.received_count + ctx.local_count);
-                r.clone()
+                l.copy_from(r);
             });
             assert_eq!(max_total, m, "m={m}");
             // Every transfer is 1 bit/coordinate.
@@ -405,7 +393,8 @@ mod tests {
                 // keep the dependency direction (core depends on this crate).
                 let p = ctx.received_count as f64 / (ctx.received_count + ctx.local_count) as f64;
                 let keep = SignVec::bernoulli_uniform(r.len(), p, &mut rng);
-                keep.and(r).or(&keep.not().and(l))
+                let merged = keep.and(r).or(&keep.not().and(l));
+                l.copy_from(&merged);
             });
             for (j, o) in ones.iter_mut().enumerate() {
                 *o += u32::from(out.get(j));
@@ -432,7 +421,7 @@ mod tests {
     fn faulty_tree_with_inert_injector_matches_clean() {
         for m in [2usize, 5, 8] {
             let sv = signs(m, 40, 41);
-            let combine = |r: &SignVec, l: &SignVec, _ctx: CombineCtx| r.and(l);
+            let combine = |r: &SignVec, l: &mut SignVec, _ctx: CombineCtx| l.and_assign(r);
             let (clean, clean_trace) = tree_allreduce_onebit(&sv, combine);
             let mut inj = FaultInjector::inert();
             let (faulty, faulty_trace) = tree_allreduce_onebit_faulty(&sv, &mut inj, combine);
@@ -451,9 +440,9 @@ mod tests {
             .with_retry_policy(0, 1e-4);
         let mut inj = plan.injector(0);
         let mut root_total = 0;
-        let (_, _) = tree_allreduce_onebit_faulty(&sv, &mut inj, |r, _l, ctx| {
+        let (_, _) = tree_allreduce_onebit_faulty(&sv, &mut inj, |r, l, ctx| {
             root_total = root_total.max(ctx.received_count + ctx.local_count);
-            r.clone()
+            l.copy_from(r);
         });
         assert!(root_total <= m);
         assert!(inj.stats().dropped_transfers > 0);

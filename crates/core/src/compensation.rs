@@ -71,6 +71,18 @@ impl Compensation {
         update.iter().zip(&self.c).map(|(&u, &c)| u + c).collect()
     }
 
+    /// [`Compensation::apply`] into a caller-owned buffer, reusing its
+    /// capacity (the round-workspace path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `update.len()` differs from the state dimension.
+    pub fn apply_into(&self, update: &[f32], out: &mut Vec<f32>) {
+        assert_eq!(update.len(), self.c.len(), "dimension mismatch");
+        out.clear();
+        out.extend(update.iter().zip(&self.c).map(|(&u, &c)| u + c));
+    }
+
     /// Algorithm 1, line 10: `c ← g^{(m)} − g_t` after a one-bit round.
     ///
     /// # Panics
@@ -135,6 +147,19 @@ mod tests {
         let mut c = Compensation::new(2);
         c.absorb_residual(&[1.0, 1.0], &[0.25, 0.5]);
         assert_eq!(c.apply(&[0.0, 0.0]), vec![0.75, 0.5]);
+    }
+
+    #[test]
+    fn apply_into_matches_apply_and_reuses_buffer() {
+        let mut c = Compensation::new(3);
+        c.absorb_residual(&[1.0, -2.0, 0.5], &[0.25, 0.5, -0.5]);
+        let update = [0.1f32, 0.2, 0.3];
+        let mut buf = Vec::with_capacity(8);
+        buf.extend_from_slice(&[9.0, 9.0]); // stale contents must be cleared
+        let ptr = buf.as_ptr();
+        c.apply_into(&update, &mut buf);
+        assert_eq!(buf, c.apply(&update));
+        assert_eq!(buf.as_ptr(), ptr, "capacity was reused, not reallocated");
     }
 
     #[test]

@@ -16,22 +16,22 @@
 //! All workers deterministically agree on `g_t` — the consensus invariant of
 //! multi-hop all-reduce — which the simulator asserts after every round.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 
 use marsit_collectives::ring::{
-    ring_allreduce_onebit, ring_allreduce_onebit_faulty, ring_allreduce_sum,
+    ring_allreduce_onebit_faulty, ring_allreduce_onebit_weighted_hooked, ring_allreduce_sum,
     ring_allreduce_sum_faulty,
 };
 use marsit_collectives::torus::{
-    torus_allreduce_onebit, torus_allreduce_onebit_faulty, torus_allreduce_sum,
+    torus_allreduce_onebit_faulty, torus_allreduce_onebit_hooked, torus_allreduce_sum,
 };
-use marsit_collectives::Trace;
+use marsit_collectives::{CombineCtx, PlannedHop, Trace};
 use marsit_simnet::{FaultPlan, FaultStats, Topology};
 use marsit_tensor::rng::{split_seed, FastRng};
-use marsit_tensor::SignVec;
+use marsit_tensor::{fill_bernoulli_mask_words, MaskLane, SignVec};
 
 use crate::compensation::Compensation;
-use crate::ominus::{combine_unweighted, combine_weighted};
+use crate::ominus::{combine_unweighted_assign, combine_weighted_assign};
 use crate::schedule::SyncSchedule;
 
 /// Which one-bit combine operator to use (ablation hook).
@@ -119,6 +119,331 @@ pub struct SyncOutcome {
     pub faults: FaultStats,
 }
 
+/// Reusable per-round scratch (DESIGN.md §9 workspace ownership rules):
+/// owned by the [`Marsit`] instance and recycled across rounds, so the
+/// steady-state synchronize path re-fills existing buffers instead of
+/// allocating `Vec<Vec<f32>>` + `Vec<SignVec>` every call. Only buffers that
+/// never escape live here; outcome vectors (`global_update`,
+/// `compensated_mean`) move into [`SyncOutcome`] and are freshly allocated.
+#[derive(Debug, Clone, Default)]
+struct RoundWorkspace {
+    /// Per-worker compensated updates `η_l·g + c` (Algorithm 1, line 1).
+    compensated: Vec<Vec<f32>>,
+    /// Full-precision all-reduce buffers.
+    fp_buffers: Vec<Vec<f32>>,
+    /// Per-worker packed sign vectors for one-bit rounds.
+    signs: Vec<SignVec>,
+    /// Per-worker word staging for the fused prologue's sign packing.
+    word_scratch: Vec<u64>,
+}
+
+/// The residual a clean one-bit round leaves behind, absorbed lazily.
+///
+/// Eagerly materializing `c_{t+1} = g_t^{(m)} − g_t` costs a full
+/// read-modify-write pass over `M·D` floats every round; but the very next
+/// thing that happens to `c` is being added back to the next update. So the
+/// clean hot path stores only the consensus bits plus the scale — `g_t` is
+/// reconstructed per element in registers — and the next round's apply pass
+/// computes `h ← u + (h − g_t)` directly, producing bit-identical floats
+/// (the intermediate `h − g` rounds exactly like the stored `c` did).
+///
+/// While a residual is pending, `self.compensations` is stale; every
+/// observer goes through [`Marsit::compensation`] (which flushes) or
+/// [`Marsit::mean_compensation_norm_sq`] (which evaluates the deferred form
+/// directly). The fault path flushes before running, since crashes freeze
+/// per-worker compensation state that must then exist materially.
+#[derive(Debug, Clone)]
+struct PendingResidual {
+    /// Consensus sign bits of the round that produced the residual.
+    consensus: SignVec,
+    /// The global learning rate that scaled them into `g_t`.
+    scale: f32,
+}
+
+/// Reconstructs `g` from a consensus bit and a scale, exactly as
+/// [`SignVec::write_scaled_signs`] does: bit 1 ⇒ `+scale`, bit 0 ⇒ `−scale`
+/// via IEEE sign-bit injection.
+#[inline]
+fn scaled_sign(scale_bits: u32, word: u64, j: usize) -> f32 {
+    let flip = (((word >> j) & 1) ^ 1) as u32;
+    f32::from_bits(scale_bits ^ (flip << 31))
+}
+
+/// The fused round-prologue pass over one worker, deferred-residual form:
+/// in a single sweep per 64-element chunk it (a) applies
+/// `h ← u + (h − g_prev)` with `g_prev` rebuilt from consensus bits in
+/// registers, (b) accumulates the still-hot chunk into the running
+/// compensated-mean numerator, and (c) packs the chunk's sign word when the
+/// round is one-bit. Fusing (b) and (c) into (a) removes two full re-reads
+/// of `h` per worker from the hot path.
+///
+/// Bit-identity: (a) performs the exact f32 expression of the eager
+/// two-pass form (`c = h − g` stored, then `u + c` next round); (b) adds
+/// each worker's elements into the accumulator in the same worker-major
+/// order as the former standalone mean pass; (c) packs the same values
+/// [`SignVec::assign_from_signs`] would read back from memory.
+fn prepare_deferred(
+    update: &[f32],
+    h: &mut [f32],
+    consensus: &SignVec,
+    scale: f32,
+    mean_acc: &mut [f32],
+    word_scratch: &mut Vec<u64>,
+    sign_out: Option<&mut SignVec>,
+) {
+    debug_assert_eq!(update.len(), h.len());
+    debug_assert_eq!(consensus.len(), h.len());
+    debug_assert_eq!(mean_acc.len(), h.len());
+    let scale_bits = scale.to_bits();
+    let pack = sign_out.is_some();
+    word_scratch.clear();
+    // Per-byte expansion table: row `b` holds the eight `±scale` values the
+    // bits of `b` select. Rebuilding `g` through it keeps the apply loop
+    // free of per-lane bit tests (which defeat auto-vectorization) while
+    // producing the exact same floats as [`scaled_sign`]: `+scale` verbatim,
+    // `−scale` by IEEE sign-bit flip.
+    let pos = f32::from_bits(scale_bits);
+    let neg = f32::from_bits(scale_bits ^ (1 << 31));
+    let mut lut = [[0.0f32; 8]; 256];
+    for (b, row) in lut.iter_mut().enumerate() {
+        for (i, e) in row.iter_mut().enumerate() {
+            *e = if (b >> i) & 1 == 1 { pos } else { neg };
+        }
+    }
+    for (((hc, uc), mc), &w) in h
+        .chunks_mut(64)
+        .zip(update.chunks(64))
+        .zip(mean_acc.chunks_mut(64))
+        .zip(consensus.as_words())
+    {
+        if hc.len() == 64 {
+            for k in 0..8 {
+                let row = &lut[((w >> (8 * k)) & 0xff) as usize];
+                let h8 = &mut hc[k * 8..k * 8 + 8];
+                let u8 = &uc[k * 8..k * 8 + 8];
+                for i in 0..8 {
+                    h8[i] = u8[i] + (h8[i] - row[i]);
+                }
+            }
+        } else {
+            for (j, (hj, &uj)) in hc.iter_mut().zip(uc).enumerate() {
+                *hj = uj + (*hj - scaled_sign(scale_bits, w, j));
+            }
+        }
+        for (a, &x) in mc.iter_mut().zip(&*hc) {
+            *a += x;
+        }
+        if pack {
+            word_scratch.push(SignVec::pack_word(hc));
+        }
+    }
+    if let Some(out) = sign_out {
+        out.assign_from_words(h.len(), word_scratch);
+    }
+}
+
+/// [`prepare_deferred`] for the materialized-compensation form (round 0,
+/// post-full-precision, post-fault): `h` already holds `u + c`; this pass
+/// accumulates it into the mean numerator and optionally packs its signs
+/// while it is cache-hot.
+fn accumulate_and_pack(
+    h: &[f32],
+    mean_acc: &mut [f32],
+    word_scratch: &mut Vec<u64>,
+    sign_out: Option<&mut SignVec>,
+) {
+    debug_assert_eq!(mean_acc.len(), h.len());
+    let pack = sign_out.is_some();
+    word_scratch.clear();
+    for (hc, mc) in h.chunks(64).zip(mean_acc.chunks_mut(64)) {
+        for (a, &x) in mc.iter_mut().zip(hc) {
+            *a += x;
+        }
+        if pack {
+            word_scratch.push(SignVec::pack_word(hc));
+        }
+    }
+    if let Some(out) = sign_out {
+        out.assign_from_words(h.len(), word_scratch);
+    }
+}
+
+/// The per-hop RNG stream id, a frozen contract: every `(receiver, segment,
+/// step)` tuple of a round derives an independent transient-vector stream.
+#[inline]
+fn stream_for(ctx: &CombineCtx) -> u64 {
+    ((ctx.receiver as u64) << 40) | ((ctx.segment as u64) << 20) | ctx.step as u64
+}
+
+/// The keep-received probability the combine kernel will use for `ctx`.
+#[inline]
+fn keep_probability(kind: CombineKind, ctx: &CombineCtx) -> f64 {
+    match kind {
+        CombineKind::Weighted => {
+            ctx.received_count as f64 / (ctx.received_count + ctx.local_count) as f64
+        }
+        CombineKind::UnweightedAblation => 0.5,
+    }
+}
+
+/// Pre-sampled transient masks for the clean one-bit path.
+///
+/// The combines of one reduce step touch disjoint segments and consume
+/// independent RNG streams, but sampling them one hop at a time leaves a
+/// single serial xorshift chain on the critical path — at non-dyadic keep
+/// probabilities (32 dependent draws per word) that chain alone costs more
+/// than the combines' bit math. The planner receives each step's hop plan
+/// via the collective's step-begin hook, draws all of the step's masks with
+/// [`fill_bernoulli_mask_words`] (up to 8 chains in flight), and the combine
+/// closure replays them via [`SignVec::transient_combine_assign_masked`].
+///
+/// Per stream the words, draw counts, and final RNG states are bit-identical
+/// to the unbatched path, so consensus outputs and telemetry are unchanged.
+struct MaskSpan {
+    start: usize,
+    words: usize,
+    draws: u64,
+    ctx: CombineCtx,
+}
+
+struct MaskPlanner {
+    round_seed: u64,
+    kind: CombineKind,
+    /// Flattened mask words of the current step, windowed by `spans`.
+    masks: Vec<u64>,
+    spans: Vec<MaskSpan>,
+    /// Per-step lane generators (reused allocation).
+    rngs: Vec<FastRng>,
+    cursor: usize,
+}
+
+impl MaskPlanner {
+    fn new(round_seed: u64, kind: CombineKind) -> Self {
+        Self {
+            round_seed,
+            kind,
+            masks: Vec::new(),
+            spans: Vec::new(),
+            rngs: Vec::new(),
+            cursor: 0,
+        }
+    }
+
+    /// Draws every mask the upcoming step's combines will consume.
+    fn plan_step(&mut self, plan: &[PlannedHop]) {
+        self.spans.clear();
+        self.cursor = 0;
+        let mut total = 0usize;
+        for hop in plan {
+            let p = keep_probability(self.kind, &hop.ctx);
+            let draws_per_word = SignVec::bernoulli_word_draws(p);
+            // Degenerate probabilities draw nothing; their combines fall
+            // back to the drawing kernel (which is a copy either way).
+            let words = if draws_per_word == 0 {
+                0
+            } else {
+                hop.elems.div_ceil(64)
+            };
+            self.spans.push(MaskSpan {
+                start: total,
+                words,
+                draws: words as u64 * u64::from(draws_per_word),
+                ctx: hop.ctx,
+            });
+            total += words;
+        }
+        self.masks.clear();
+        self.masks.resize(total, 0);
+        let kind = self.kind;
+        let round_seed = self.round_seed;
+        // Window the flat buffer per hop, then batch hops that share a keep
+        // probability (all of them, within one clean reduce step).
+        let mut windows: Vec<Option<&mut [u64]>> = Vec::with_capacity(plan.len());
+        let mut rest = self.masks.as_mut_slice();
+        for sp in &self.spans {
+            let (head, tail) = rest.split_at_mut(sp.words);
+            windows.push(Some(head));
+            rest = tail;
+        }
+        for i in 0..plan.len() {
+            if self.spans[i].words == 0 {
+                continue;
+            }
+            let Some(first) = windows[i].take() else {
+                continue;
+            };
+            let p = keep_probability(kind, &plan[i].ctx);
+            self.rngs.clear();
+            self.rngs
+                .push(FastRng::new(round_seed, stream_for(&plan[i].ctx)));
+            let mut group: Vec<&mut [u64]> = vec![first];
+            for (j, hop) in plan.iter().enumerate().skip(i + 1) {
+                if self.spans[j].words > 0
+                    && keep_probability(kind, &hop.ctx).to_bits() == p.to_bits()
+                {
+                    if let Some(w) = windows[j].take() {
+                        group.push(w);
+                        self.rngs
+                            .push(FastRng::new(round_seed, stream_for(&hop.ctx)));
+                    }
+                }
+            }
+            let mut lanes: Vec<MaskLane<'_>> = self
+                .rngs
+                .iter_mut()
+                .zip(group)
+                .map(|(rng, out)| MaskLane { rng, out })
+                .collect();
+            fill_bernoulli_mask_words(p, &mut lanes);
+        }
+    }
+
+    /// Applies the next planned combine; returns the RNG draws it consumed.
+    fn apply(&mut self, recv: &SignVec, local: &mut SignVec, ctx: CombineCtx) -> u64 {
+        let sp = &self.spans[self.cursor];
+        self.cursor += 1;
+        debug_assert_eq!(sp.ctx, ctx, "combine order diverged from the plan");
+        if sp.words == 0 {
+            // Degenerate keep probability: the drawing kernel consumes no
+            // randomness; run it directly for exact parity.
+            let mut rng = FastRng::new(self.round_seed, stream_for(&ctx));
+            match self.kind {
+                CombineKind::Weighted => combine_weighted_assign(
+                    recv,
+                    ctx.received_count,
+                    local,
+                    ctx.local_count,
+                    &mut rng,
+                ),
+                CombineKind::UnweightedAblation => combine_unweighted_assign(recv, local, &mut rng),
+            }
+            rng.draws()
+        } else {
+            SignVec::transient_combine_assign_masked(
+                recv,
+                local,
+                &self.masks[sp.start..sp.start + sp.words],
+            );
+            sp.draws
+        }
+    }
+}
+
+/// `‖h − g‖²` in the same accumulation order as
+/// `norm_l2_sq(&materialized_c)`: per-element f32 difference, squared and
+/// summed in f64.
+fn deferred_residual_norm_sq(h: &[f32], consensus: &SignVec, scale: f32) -> f64 {
+    let scale_bits = scale.to_bits();
+    let mut total = 0.0f64;
+    for (hc, &w) in h.chunks(64).zip(consensus.as_words()) {
+        for (j, &hj) in hc.iter().enumerate() {
+            let c = hj - scaled_sign(scale_bits, w, j);
+            total += f64::from(c) * f64::from(c);
+        }
+    }
+    total
+}
+
 /// The Marsit synchronizer: compensation state for `M` workers plus the
 /// round counter.
 ///
@@ -140,6 +465,11 @@ pub struct Marsit {
     cfg: MarsitConfig,
     compensations: Vec<Compensation>,
     round: u64,
+    workspace: RoundWorkspace,
+    /// Residual of the last clean one-bit round, not yet folded into
+    /// `compensations` (see [`PendingResidual`]). `None` after construction,
+    /// a full-precision round, a faulty round, or a flush.
+    pending: Option<PendingResidual>,
 }
 
 impl Marsit {
@@ -157,6 +487,8 @@ impl Marsit {
             cfg,
             compensations: vec![Compensation::new(d); m],
             round: 0,
+            workspace: RoundWorkspace::default(),
+            pending: None,
         }
     }
 
@@ -174,12 +506,34 @@ impl Marsit {
 
     /// Worker `w`'s compensation state.
     ///
+    /// Takes `&mut self` because the clean one-bit path defers the residual
+    /// absorb (see `PendingResidual`); reading the state materializes any
+    /// pending residual first. The values observed are bit-identical to the
+    /// eager bookkeeping's.
+    ///
     /// # Panics
     ///
     /// Panics if `w` is out of range.
     #[must_use]
-    pub fn compensation(&self, w: usize) -> &Compensation {
+    pub fn compensation(&mut self, w: usize) -> &Compensation {
+        self.flush_pending();
         &self.compensations[w]
+    }
+
+    /// Folds any deferred residual into `compensations`, exactly as the
+    /// eager absorb would have: `c_w = h_w − g` with `g` materialized once.
+    fn flush_pending(&mut self) {
+        let Some(p) = self.pending.take() else {
+            return;
+        };
+        let g = p.consensus.scaled_signs(p.scale);
+        for (c, h) in self
+            .compensations
+            .iter_mut()
+            .zip(&self.workspace.compensated)
+        {
+            c.absorb_residual(h, &g);
+        }
     }
 
     /// Replaces the fault plan (see [`MarsitConfig::with_fault_plan`]).
@@ -192,6 +546,17 @@ impl Marsit {
     #[must_use]
     pub fn mean_compensation_norm_sq(&self) -> f64 {
         let m = self.compensations.len() as f64;
+        if let Some(p) = &self.pending {
+            // Deferred form: evaluate ‖h_w − g‖² without materializing c,
+            // in the exact accumulation order of the eager path.
+            let total: f64 = self
+                .workspace
+                .compensated
+                .iter()
+                .map(|h| deferred_residual_norm_sq(h, &p.consensus, p.scale))
+                .sum();
+            return total / m;
+        }
         self.compensations
             .iter()
             .map(Compensation::norm_sq)
@@ -220,42 +585,106 @@ impl Marsit {
             "update dimensions must match the model"
         );
 
-        // Line 1: fold compensation into the local update.
-        let compensated: Vec<Vec<f32>> = local_updates
-            .iter()
-            .zip(&self.compensations)
-            .map(|(u, c)| c.apply(u))
-            .collect();
-
+        // The fault path freezes per-worker compensation on a crash, so it
+        // needs the residual materialized before anything else runs.
         if !self.cfg.fault_plan.is_none() {
-            let outcome = self.synchronize_faulty(&compensated, topology);
+            self.flush_pending();
+        }
+
+        // Detach the workspace so its buffers can be borrowed alongside
+        // `self`; it is stored back before returning on every path.
+        let mut ws = std::mem::take(&mut self.workspace);
+
+        // Fault path: plain materialized apply (the flush above cleared any
+        // pending residual), then hand off — the fault layer computes its
+        // own survivor-only mean and packs signs per surviving worker.
+        if !self.cfg.fault_plan.is_none() {
+            debug_assert!(self.pending.is_none(), "flush_pending ran above");
+            ws.compensated.resize_with(m, Vec::new);
+            for ((buf, u), c) in ws
+                .compensated
+                .iter_mut()
+                .zip(local_updates)
+                .zip(&self.compensations)
+            {
+                c.apply_into(u, buf);
+            }
+            let outcome = self.synchronize_faulty(&mut ws, topology);
+            self.workspace = ws;
             self.round += 1;
             return outcome;
         }
 
-        let mut compensated_mean = vec![0.0f32; d];
-        for h in &compensated {
-            for (a, &x) in compensated_mean.iter_mut().zip(h) {
-                *a += x / m as f32;
-            }
-        }
-
         let t = self.round;
         let full_precision = self.cfg.schedule.is_full_precision(t);
+        let inv_m = 1.0 / m as f32;
+        let RoundWorkspace {
+            compensated,
+            fp_buffers,
+            signs,
+            word_scratch,
+        } = &mut ws;
+
+        // Line 1 (fused prologue): fold compensation into the local update,
+        // accumulate the compensated-mean numerator, and — on one-bit rounds
+        // — pack each worker's sign words, all while the chunk is cache-hot.
+        let mut compensated_mean = vec![0.0f32; d];
+        if !full_precision {
+            signs.resize_with(m, || SignVec::zeros(0));
+        }
+        if let Some(p) = self.pending.take() {
+            // Deferred residual: `h ← u + (h − g_prev)` in the same pass.
+            debug_assert_eq!(compensated.len(), m);
+            for (w, (h, u)) in compensated.iter_mut().zip(local_updates).enumerate() {
+                let sign_out = if full_precision {
+                    None
+                } else {
+                    Some(&mut signs[w])
+                };
+                prepare_deferred(
+                    u,
+                    h,
+                    &p.consensus,
+                    p.scale,
+                    &mut compensated_mean,
+                    word_scratch,
+                    sign_out,
+                );
+            }
+        } else {
+            compensated.resize_with(m, Vec::new);
+            for (w, (h, u)) in compensated.iter_mut().zip(local_updates).enumerate() {
+                self.compensations[w].apply_into(u, h);
+                let sign_out = if full_precision {
+                    None
+                } else {
+                    Some(&mut signs[w])
+                };
+                accumulate_and_pack(h, &mut compensated_mean, word_scratch, sign_out);
+            }
+        }
+        for a in &mut compensated_mean {
+            *a *= inv_m;
+        }
+
         let combines = Cell::new(0u64);
         let rng_draws = Cell::new(0u64);
+        let mut new_pending = None;
         let outcome = if full_precision {
             // Lines 11–13: exact averaging, compensation reset.
-            let mut buffers = compensated.clone();
+            fp_buffers.resize_with(m, Vec::new);
+            for (buf, src) in fp_buffers.iter_mut().zip(&*compensated) {
+                buf.clear();
+                buf.extend_from_slice(src);
+            }
             let trace = match topology {
-                Topology::Ring { .. } => ring_allreduce_sum(&mut buffers),
-                Topology::Torus { rows, cols } => torus_allreduce_sum(&mut buffers, rows, cols),
+                Topology::Ring { .. } => ring_allreduce_sum(fp_buffers),
+                Topology::Torus { rows, cols } => torus_allreduce_sum(fp_buffers, rows, cols),
                 Topology::Star { .. } => {
                     panic!("Marsit is a multi-hop all-reduce framework; star/PS is unsupported")
                 }
             };
-            let inv_m = 1.0 / m as f32;
-            let global_update: Vec<f32> = buffers[0].iter().map(|&x| x * inv_m).collect();
+            let global_update: Vec<f32> = fp_buffers[0].iter().map(|&x| x * inv_m).collect();
             for c in &mut self.compensations {
                 c.reset();
             }
@@ -268,40 +697,38 @@ impl Marsit {
                 faults: FaultStats::default(),
             }
         } else {
-            // Lines 4–9: one-bit synchronization via ⊙.
-            let signs: Vec<SignVec> = compensated.iter().map(|h| SignVec::from_signs(h)).collect();
+            // Lines 4–9: one-bit synchronization via ⊙. Sign buffers were
+            // packed by the fused prologue; the planner pre-draws each
+            // step's transient masks with interleaved RNG chains and the
+            // combine closure replays them bit-identically.
             let round_seed = split_seed(self.cfg.seed, t);
-            let kind = self.cfg.combine;
-            let combine = |recv: &SignVec, local: &SignVec, ctx: marsit_collectives::CombineCtx| {
-                let stream =
-                    ((ctx.receiver as u64) << 40) | ((ctx.segment as u64) << 20) | ctx.step as u64;
-                let mut rng = FastRng::new(round_seed, stream);
-                let out = match kind {
-                    CombineKind::Weighted => {
-                        combine_weighted(recv, ctx.received_count, local, ctx.local_count, &mut rng)
-                    }
-                    CombineKind::UnweightedAblation => combine_unweighted(recv, local, &mut rng),
-                };
+            let planner = RefCell::new(MaskPlanner::new(round_seed, self.cfg.combine));
+            let step_begin = |plan: &[PlannedHop]| planner.borrow_mut().plan_step(plan);
+            let combine = |recv: &SignVec, local: &mut SignVec, ctx: CombineCtx| {
+                let draws = planner.borrow_mut().apply(recv, local, ctx);
                 combines.set(combines.get() + 1);
-                rng_draws.set(rng_draws.get() + rng.draws());
-                out
+                rng_draws.set(rng_draws.get() + draws);
             };
             let (consensus, trace) = match topology {
-                Topology::Ring { .. } => ring_allreduce_onebit(&signs, combine),
+                Topology::Ring { .. } => {
+                    ring_allreduce_onebit_weighted_hooked(signs, 1, step_begin, combine)
+                }
                 Topology::Torus { rows, cols } => {
-                    torus_allreduce_onebit(&signs, rows, cols, combine)
+                    torus_allreduce_onebit_hooked(signs, rows, cols, step_begin, combine)
                 }
                 Topology::Star { .. } => {
                     panic!("Marsit is a multi-hop all-reduce framework; star/PS is unsupported")
                 }
             };
-            // Line 9: g_t = η_s · σ.
-            let mut global_update = vec![0.0f32; d];
-            consensus.write_scaled_signs(self.cfg.global_lr, &mut global_update);
-            // Line 10: absorb the residual.
-            for (c, h) in self.compensations.iter_mut().zip(&compensated) {
-                c.absorb_residual(h, &global_update);
-            }
+            // Line 9: g_t = η_s · σ (written once, no zero-fill pass).
+            let global_update = consensus.scaled_signs(self.cfg.global_lr);
+            // Line 10: the residual absorb is deferred — the consensus bits
+            // and scale fully determine `g_t`, and the next round's apply
+            // folds `h − g_t` in without a dedicated M·D pass.
+            new_pending = Some(PendingResidual {
+                consensus,
+                scale: self.cfg.global_lr,
+            });
             SyncOutcome {
                 compensated_mean,
                 global_update,
@@ -311,6 +738,8 @@ impl Marsit {
                 faults: FaultStats::default(),
             }
         };
+        self.workspace = ws;
+        self.pending = new_pending;
         self.emit_sync_event(&outcome, combines.get(), rng_draws.get());
         self.round += 1;
         outcome
@@ -369,11 +798,17 @@ impl Marsit {
     ///   topology.
     /// - If fewer than two workers survive, the lone survivor's update is
     ///   the global update and nothing touches the wire.
-    fn synchronize_faulty(&mut self, compensated: &[Vec<f32>], topology: Topology) -> SyncOutcome {
+    fn synchronize_faulty(&mut self, ws: &mut RoundWorkspace, topology: Topology) -> SyncOutcome {
         assert!(
             !matches!(topology, Topology::Star { .. }),
             "Marsit is a multi-hop all-reduce framework; star/PS is unsupported"
         );
+        let RoundWorkspace {
+            compensated,
+            fp_buffers,
+            signs,
+            ..
+        } = ws;
         let t = self.round;
         let m = self.compensations.len();
         let d = self.compensations[0].len();
@@ -392,8 +827,12 @@ impl Marsit {
         let mut compensated_mean = vec![0.0f32; d];
         for &w in &survivors {
             for (a, &x) in compensated_mean.iter_mut().zip(&compensated[w]) {
-                *a += x / sm as f32;
+                *a += x;
             }
+        }
+        let inv_sm = 1.0 / sm as f32;
+        for a in &mut compensated_mean {
+            *a *= inv_sm;
         }
 
         let full_precision = self.cfg.schedule.is_full_precision(t);
@@ -411,40 +850,49 @@ impl Marsit {
                 (g, Trace::new())
             }
         } else if full_precision {
-            let mut buffers: Vec<Vec<f32>> =
-                survivors.iter().map(|&w| compensated[w].clone()).collect();
-            let trace = ring_allreduce_sum_faulty(&mut buffers, &mut inj);
-            let inv = 1.0 / sm as f32;
-            (buffers[0].iter().map(|&x| x * inv).collect(), trace)
+            fp_buffers.resize_with(sm, Vec::new);
+            for (buf, &w) in fp_buffers.iter_mut().zip(&survivors) {
+                buf.clear();
+                buf.extend_from_slice(&compensated[w]);
+            }
+            let trace = ring_allreduce_sum_faulty(fp_buffers, &mut inj);
+            (fp_buffers[0].iter().map(|&x| x * inv_sm).collect(), trace)
         } else {
-            let signs: Vec<SignVec> = survivors
-                .iter()
-                .map(|&w| SignVec::from_signs(&compensated[w]))
-                .collect();
+            signs.resize_with(sm, || SignVec::zeros(0));
+            for (sv, &w) in signs.iter_mut().zip(&survivors) {
+                sv.assign_from_signs(&compensated[w]);
+            }
             let round_seed = split_seed(self.cfg.seed, t);
             let kind = self.cfg.combine;
-            let combine = |recv: &SignVec, local: &SignVec, ctx: marsit_collectives::CombineCtx| {
+            let combine = |recv: &SignVec,
+                           local: &mut SignVec,
+                           ctx: marsit_collectives::CombineCtx| {
                 let stream =
                     ((ctx.receiver as u64) << 40) | ((ctx.segment as u64) << 20) | ctx.step as u64;
                 let mut rng = FastRng::new(round_seed, stream);
-                let out = match kind {
-                    CombineKind::Weighted => {
-                        combine_weighted(recv, ctx.received_count, local, ctx.local_count, &mut rng)
+                match kind {
+                    CombineKind::Weighted => combine_weighted_assign(
+                        recv,
+                        ctx.received_count,
+                        local,
+                        ctx.local_count,
+                        &mut rng,
+                    ),
+                    CombineKind::UnweightedAblation => {
+                        combine_unweighted_assign(recv, local, &mut rng)
                     }
-                    CombineKind::UnweightedAblation => combine_unweighted(recv, local, &mut rng),
-                };
+                }
                 combines.set(combines.get() + 1);
                 rng_draws.set(rng_draws.get() + rng.draws());
-                out
             };
             let (consensus, trace) = match (topology, crashed) {
                 // An intact torus keeps its hierarchical schedule.
                 (Topology::Torus { rows, cols }, None) => {
-                    torus_allreduce_onebit_faulty(&signs, rows, cols, &mut inj, combine)
+                    torus_allreduce_onebit_faulty(signs, rows, cols, &mut inj, combine)
                 }
                 // A crashed torus (rows×cols no longer fits) and any ring
                 // re-form as a ring over the survivors.
-                _ => ring_allreduce_onebit_faulty(&signs, &mut inj, combine),
+                _ => ring_allreduce_onebit_faulty(signs, &mut inj, combine),
             };
             let mut g = vec![0.0f32; d];
             consensus.write_scaled_signs(self.cfg.global_lr, &mut g);

@@ -67,13 +67,57 @@ pub fn combine_weighted(
 ) -> SignVec {
     assert_eq!(received.len(), local.len(), "sign vector lengths differ");
     assert!(a + b > 0, "weights must not both be zero");
-    let p_keep_received = a as f64 / (a + b) as f64;
     // Transient vector v (Eq. 2 generalized): where the local bit is 1 the
     // disagreeing received bit must be 0, so emitting 1 means keeping
     // *local* → P = b/(a+b). Where the local bit is 0 the received bit is 1,
-    // so emitting 1 means keeping *received* → P = a/(a+b). Drawing one
-    // Bernoulli(a/(a+b)) mask `keep` and setting v = (local AND NOT keep) OR
-    // (NOT local AND keep) realizes exactly those per-bit probabilities.
+    // so emitting 1 means keeping *received* → P = a/(a+b). One
+    // Bernoulli(a/(a+b)) mask `keep` with v = local XOR keep realizes
+    // exactly those per-bit probabilities; the fused kernel evaluates the
+    // whole ⊙ expression in a single word pass on the same RNG stream as
+    // the composed form ([`combine_weighted_reference`]).
+    let mut out = SignVec::zeros(received.len());
+    SignVec::transient_combine_into(received, local, a as f64 / (a + b) as f64, rng, &mut out);
+    out
+}
+
+/// In-place [`combine_weighted`]: folds `received` into `local`, which
+/// becomes the combined aggregate. Bit- and RNG-stream-identical to the
+/// functional form, with zero allocations.
+///
+/// # Panics
+///
+/// Panics if the vectors' lengths differ or `a + b == 0`.
+pub fn combine_weighted_assign(
+    received: &SignVec,
+    a: usize,
+    local: &mut SignVec,
+    b: usize,
+    rng: &mut FastRng,
+) {
+    assert_eq!(received.len(), local.len(), "sign vector lengths differ");
+    assert!(a + b > 0, "weights must not both be zero");
+    SignVec::transient_combine_assign(received, local, a as f64 / (a + b) as f64, rng);
+}
+
+/// The original composed implementation of [`combine_weighted`], retained
+/// verbatim as the differential-testing reference: ~8 intermediate
+/// `SignVec`s, but the exact semantics (and RNG stream) the fused kernel
+/// must reproduce bit for bit.
+///
+/// # Panics
+///
+/// Panics if the vectors' lengths differ or `a + b == 0`.
+#[must_use]
+pub fn combine_weighted_reference(
+    received: &SignVec,
+    a: usize,
+    local: &SignVec,
+    b: usize,
+    rng: &mut FastRng,
+) -> SignVec {
+    assert_eq!(received.len(), local.len(), "sign vector lengths differ");
+    assert!(a + b > 0, "weights must not both be zero");
+    let p_keep_received = a as f64 / (a + b) as f64;
     let keep = SignVec::bernoulli_uniform(received.len(), p_keep_received, rng);
     let v = local.and(&keep.not()).or(&local.not().and(&keep));
     // v_i ⊙ v_i* = (v_i AND v_i*) OR ((v_i XOR v_i*) AND v)
@@ -104,6 +148,35 @@ pub fn combine_eq2(received: &SignVec, local: &SignVec, m: usize, rng: &mut Fast
 /// weighting.
 #[must_use]
 pub fn combine_unweighted(received: &SignVec, local: &SignVec, rng: &mut FastRng) -> SignVec {
+    assert_eq!(received.len(), local.len(), "sign vector lengths differ");
+    let mut out = SignVec::zeros(received.len());
+    SignVec::transient_combine_into(received, local, 0.5, rng, &mut out);
+    out
+}
+
+/// In-place [`combine_unweighted`]: folds `received` into `local`.
+/// Bit- and RNG-stream-identical to the functional form.
+///
+/// # Panics
+///
+/// Panics if the vectors' lengths differ.
+pub fn combine_unweighted_assign(received: &SignVec, local: &mut SignVec, rng: &mut FastRng) {
+    assert_eq!(received.len(), local.len(), "sign vector lengths differ");
+    SignVec::transient_combine_assign(received, local, 0.5, rng);
+}
+
+/// The original composed implementation of [`combine_unweighted`], retained
+/// as the differential-testing reference.
+///
+/// # Panics
+///
+/// Panics if the vectors' lengths differ.
+#[must_use]
+pub fn combine_unweighted_reference(
+    received: &SignVec,
+    local: &SignVec,
+    rng: &mut FastRng,
+) -> SignVec {
     assert_eq!(received.len(), local.len(), "sign vector lengths differ");
     let keep = SignVec::bernoulli_uniform(received.len(), 0.5, rng);
     received.and(local).or(&received
@@ -395,6 +468,62 @@ mod properties {
             // Agreement bits pass through exactly.
             let agree = recv.xor(&local).not();
             prop_assert_eq!(out.and(&agree), recv.and(&agree));
+        }
+
+        /// Differential: the fused `combine_weighted` is bit-identical to
+        /// the retained composed reference AND consumes the same number of
+        /// RNG draws, across random lengths, weights up to 255, and seeds.
+        /// This is the contract that lets every pre-fusion statistical and
+        /// fault-tolerance guarantee carry over unchanged.
+        #[test]
+        fn fused_weighted_matches_reference_bit_for_bit(
+            len in 1usize..=300,
+            a in 1usize..=255,
+            b in 1usize..=255,
+            seed in any::<u64>(),
+            input_seed in any::<u64>(),
+        ) {
+            let mut seed_rng = FastRng::new(input_seed, 0);
+            let recv = SignVec::bernoulli_uniform(len, 0.5, &mut seed_rng);
+            let local = SignVec::bernoulli_uniform(len, 0.5, &mut seed_rng);
+            let mut ref_rng = FastRng::new(seed, 3);
+            let expected = combine_weighted_reference(&recv, a, &local, b, &mut ref_rng);
+            let mut fused_rng = FastRng::new(seed, 3);
+            let fused = combine_weighted(&recv, a, &local, b, &mut fused_rng);
+            prop_assert_eq!(&fused, &expected, "fused output differs");
+            prop_assert_eq!(
+                fused_rng.draws(), ref_rng.draws(),
+                "fused draw count differs"
+            );
+            prop_assert_eq!(&fused_rng, &ref_rng, "fused RNG state differs");
+            let mut assign_rng = FastRng::new(seed, 3);
+            let mut merged = local.clone();
+            combine_weighted_assign(&recv, a, &mut merged, b, &mut assign_rng);
+            prop_assert_eq!(&merged, &expected, "assign output differs");
+            prop_assert_eq!(&assign_rng, &ref_rng, "assign RNG state differs");
+        }
+
+        /// Differential: same contract for the unweighted ablation combine.
+        #[test]
+        fn fused_unweighted_matches_reference_bit_for_bit(
+            len in 1usize..=300,
+            seed in any::<u64>(),
+            input_seed in any::<u64>(),
+        ) {
+            let mut seed_rng = FastRng::new(input_seed, 1);
+            let recv = SignVec::bernoulli_uniform(len, 0.5, &mut seed_rng);
+            let local = SignVec::bernoulli_uniform(len, 0.5, &mut seed_rng);
+            let mut ref_rng = FastRng::new(seed, 4);
+            let expected = combine_unweighted_reference(&recv, &local, &mut ref_rng);
+            let mut fused_rng = FastRng::new(seed, 4);
+            let fused = combine_unweighted(&recv, &local, &mut fused_rng);
+            prop_assert_eq!(&fused, &expected, "fused output differs");
+            prop_assert_eq!(&fused_rng, &ref_rng, "fused RNG state differs");
+            let mut assign_rng = FastRng::new(seed, 4);
+            let mut merged = local.clone();
+            combine_unweighted_assign(&recv, &mut merged, &mut assign_rng);
+            prop_assert_eq!(&merged, &expected, "assign output differs");
+            prop_assert_eq!(&assign_rng, &ref_rng, "assign RNG state differs");
         }
 
         /// Swapping operands (and weights) leaves the *expected* output

@@ -32,7 +32,7 @@ pub mod signvec;
 pub mod stats;
 pub mod tensor;
 
-pub use signvec::SignVec;
+pub use signvec::{fill_bernoulli_mask_words, MaskLane, SignVec};
 pub use tensor::{ShapeError, Tensor};
 
 #[cfg(test)]

@@ -110,12 +110,45 @@ impl FastRng {
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
         // xorshift64*
-        let mut x = self.state;
+        let out = Self::step_raw(&mut self.state);
+        self.draws += 1;
+        out
+    }
+
+    /// Current raw generator state. Together with [`FastRng::set_raw_state`]
+    /// and [`FastRng::add_draws`] this lets batch samplers hoist several
+    /// independent generators into local registers, interleave their chains
+    /// for instruction-level parallelism, and write back states and draw
+    /// counts that are indistinguishable from sequential stepping.
+    #[inline]
+    #[must_use]
+    pub(crate) fn raw_state(&self) -> u64 {
+        self.state
+    }
+
+    /// Restores a state previously advanced outside the struct (see
+    /// [`FastRng::raw_state`]).
+    #[inline]
+    pub(crate) fn set_raw_state(&mut self, state: u64) {
+        self.state = state;
+    }
+
+    /// Credits `n` draws performed on the raw state outside the struct.
+    #[inline]
+    pub(crate) fn add_draws(&mut self, n: u64) {
+        self.draws += n;
+    }
+
+    /// Advances the raw state by one xorshift64* step and returns the output
+    /// word — the loop body of [`FastRng::next_u64`] for hoisted states.
+    #[inline]
+    #[must_use]
+    pub(crate) fn step_raw(state: &mut u64) -> u64 {
+        let mut x = *state;
         x ^= x >> 12;
         x ^= x << 25;
         x ^= x >> 27;
-        self.state = x;
-        self.draws += 1;
+        *state = x;
         x.wrapping_mul(0x2545_F491_4F6C_DD1D)
     }
 

@@ -60,6 +60,143 @@ fn bernoulli_word(q: u64, rng: &mut FastRng) -> u64 {
     r
 }
 
+/// Packs one ≤64-value chunk into a sign word (bit = 1 iff `value >= 0`).
+#[inline]
+fn pack_sign_word(chunk: &[f32]) -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    if chunk.len() == WORD_BITS {
+        // SAFETY: SSE2 is part of the x86_64 baseline and the chunk holds
+        // exactly 64 values.
+        return unsafe { pack_sign_word_sse2(chunk) };
+    }
+    pack_sign_word_scalar(chunk)
+}
+
+/// Portable packing path: also the reference the SIMD path is tested
+/// against, and the tail path for chunks shorter than a word.
+#[inline]
+fn pack_sign_word_scalar(chunk: &[f32]) -> u64 {
+    let mut w = 0u64;
+    for (j, &x) in chunk.iter().enumerate() {
+        let bits = x.to_bits();
+        // Clear sign bit ⇒ non-negative; -0.0 carries a set sign
+        // bit but still compares `>= 0`, so it stays positive.
+        let positive = (bits >> 31 == 0) | (bits == 0x8000_0000);
+        w |= u64::from(positive) << j;
+    }
+    w
+}
+
+/// SSE2 packing of one full 64-value chunk: 4 lanes per compare, sign bits
+/// gathered with `movmskps`. "Positive" is `bits ≤ 0x8000_0000` (every
+/// clear-sign pattern plus `-0.0`), evaluated as the signed comparison
+/// `(bits ^ 0x8000_0000) < 1` so a single SSE2 `pcmpgtd` decides all lanes.
+///
+/// # Safety
+///
+/// `chunk` must hold exactly 64 values. SSE2 is unconditionally available
+/// on `x86_64`, so there is no runtime feature requirement.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+unsafe fn pack_sign_word_sse2(chunk: &[f32]) -> u64 {
+    use std::arch::x86_64::{
+        __m128i, _mm_castsi128_ps, _mm_cmplt_epi32, _mm_loadu_si128, _mm_movemask_ps,
+        _mm_set1_epi32, _mm_xor_si128,
+    };
+    debug_assert_eq!(chunk.len(), WORD_BITS);
+    let flip = _mm_set1_epi32(i32::MIN);
+    let one = _mm_set1_epi32(1);
+    let mut w = 0u64;
+    for (i, quad) in chunk.chunks_exact(4).enumerate() {
+        // SAFETY: `quad` points at 4 f32s = 16 readable bytes; loadu has no
+        // alignment requirement.
+        let v = unsafe { _mm_loadu_si128(quad.as_ptr().cast::<__m128i>()) };
+        let positive = _mm_cmplt_epi32(_mm_xor_si128(v, flip), one);
+        let mask = _mm_movemask_ps(_mm_castsi128_ps(positive)) as u64;
+        w |= mask << (4 * i);
+    }
+    w
+}
+
+/// One lane of [`fill_bernoulli_mask_words`]: an independent RNG stream and
+/// the word buffer its Bernoulli mask words are written into.
+pub struct MaskLane<'a> {
+    /// The lane's generator; advanced exactly as if `bernoulli_word` had
+    /// been called sequentially for every output word.
+    pub rng: &'a mut FastRng,
+    /// Destination for the lane's mask words (64 Bernoulli lanes per word;
+    /// tail bits beyond a vector's length are arbitrary, as in
+    /// [`SignVec::transient_combine_into`]).
+    pub out: &'a mut [u64],
+}
+
+/// Chains interleaved per register batch: enough to hide the xorshift
+/// dependency latency on superscalar cores, small enough that states and
+/// accumulators stay in registers.
+const MASK_BATCH_LANES: usize = 8;
+
+/// Fills each lane's buffer with Bernoulli(`p`) mask words, drawing the
+/// lanes' independent RNG streams in an interleaved schedule.
+///
+/// Per lane this is *bit-identical* to the sequential loop
+/// `for w in out { *w = bernoulli_word(q, rng) }` — the same words land in
+/// `out` and the generator finishes in the same state with the same draw
+/// count. Only the inter-lane execution order differs: up to
+/// 8 independent xorshift chains advance round-robin per fixed-point digit,
+/// which breaks the single-chain latency serialization that dominates
+/// non-dyadic sampling (32 dependent draws per word).
+///
+/// # Panics
+///
+/// Panics if `p` rounds to a degenerate fixed-point probability (0 or 1);
+/// degenerate combines draw nothing and must be handled by the caller, as
+/// in [`SignVec::transient_combine_assign`].
+pub fn fill_bernoulli_mask_words(p: f64, lanes: &mut [MaskLane<'_>]) {
+    let q = bernoulli_fixed_point(p);
+    assert!(
+        q > 0 && q < 1 << BERNOULLI_FIXED_BITS,
+        "degenerate probability draws nothing; handle it before batching"
+    );
+    let tz = q.trailing_zeros();
+    let draws_per_word = u64::from(BERNOULLI_FIXED_BITS - tz);
+    for group in lanes.chunks_mut(MASK_BATCH_LANES) {
+        let n = group.len();
+        // Hoist the states into a register-resident array; the lanes below
+        // `common` words advance together, stragglers finish sequentially.
+        let mut st = [0u64; MASK_BATCH_LANES];
+        for (s, lane) in st.iter_mut().zip(group.iter()) {
+            *s = lane.rng.raw_state();
+        }
+        let common = group.iter().map(|l| l.out.len()).min().unwrap_or(0);
+        for w in 0..common {
+            let mut acc = [0u64; MASK_BATCH_LANES];
+            for i in tz..BERNOULLI_FIXED_BITS {
+                // Same digit recurrence as `bernoulli_word`, applied to all
+                // lanes before the next (dependent) digit of any lane.
+                let keep_one = (q >> i) & 1 == 1;
+                for (a, s) in acc[..n].iter_mut().zip(&mut st[..n]) {
+                    let u = FastRng::step_raw(s);
+                    *a = if keep_one { *a | !u } else { *a & !u };
+                }
+            }
+            for (lane, &a) in group.iter_mut().zip(&acc[..n]) {
+                lane.out[w] = a;
+            }
+        }
+        for (lane, &s) in group.iter_mut().zip(&st[..n]) {
+            lane.rng.set_raw_state(s);
+            lane.rng.add_draws(common as u64 * draws_per_word);
+        }
+        // Ragged tails (segment word counts can differ by one) fall back to
+        // the sequential sampler on the written-back states.
+        for lane in group.iter_mut() {
+            for w in common..lane.out.len() {
+                lane.out[w] = bernoulli_word(q, lane.rng);
+            }
+        }
+    }
+}
+
 /// A fixed-length, bit-packed vector of signs.
 ///
 /// # Examples
@@ -109,22 +246,57 @@ impl SignVec {
     /// read-modify-write of the destination.
     #[must_use]
     pub fn from_signs(values: &[f32]) -> Self {
-        let mut words = Vec::with_capacity(values.len().div_ceil(WORD_BITS));
-        for chunk in values.chunks(WORD_BITS) {
-            let mut w = 0u64;
-            for (j, &x) in chunk.iter().enumerate() {
-                let bits = x.to_bits();
-                // Clear sign bit ⇒ non-negative; -0.0 carries a set sign
-                // bit but still compares `>= 0`, so it stays positive.
-                let positive = (bits >> 31 == 0) | (bits == 0x8000_0000);
-                w |= u64::from(positive) << j;
-            }
-            words.push(w);
-        }
-        Self {
-            len: values.len(),
-            words,
-        }
+        let mut v = Self {
+            len: 0,
+            words: Vec::with_capacity(values.len().div_ceil(WORD_BITS)),
+        };
+        v.assign_from_signs(values);
+        v
+    }
+
+    /// Re-packs `values` into this vector in place, reusing the word buffer
+    /// (same packing rules as [`SignVec::from_signs`]). The vector takes the
+    /// length of `values`.
+    pub fn assign_from_signs(&mut self, values: &[f32]) {
+        self.len = values.len();
+        self.words.clear();
+        self.words
+            .extend(values.chunks(WORD_BITS).map(pack_sign_word));
+    }
+
+    /// Packs up to 64 values into one sign word (bit `j` = 1 iff
+    /// `values[j] >= 0`, with `-0.0` counting as non-negative) — the
+    /// word-level building block of [`SignVec::from_signs`], exposed so
+    /// fused pipelines can pack a freshly computed chunk while it is still
+    /// cache-hot and assemble the vector with
+    /// [`SignVec::assign_from_words`]. Bits beyond `values.len()` are zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` holds more than 64 values.
+    #[must_use]
+    pub fn pack_word(values: &[f32]) -> u64 {
+        assert!(values.len() <= WORD_BITS, "chunk exceeds one word");
+        pack_sign_word(values)
+    }
+
+    /// Replaces this vector with `len` bits taken from packed `words`,
+    /// reusing the word buffer. Bits of the final word at or above `len`
+    /// are cleared to keep the tail invariant.
+    ///
+    /// Together with [`SignVec::pack_word`] this is exactly
+    /// [`SignVec::assign_from_signs`] split into per-chunk packing and
+    /// assembly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len() != ⌈len/64⌉`.
+    pub fn assign_from_words(&mut self, len: usize, words: &[u64]) {
+        assert_eq!(words.len(), len.div_ceil(WORD_BITS), "word count mismatch");
+        self.len = len;
+        self.words.clear();
+        self.words.extend_from_slice(words);
+        self.mask_tail();
     }
 
     /// Creates a vector whose bit `j` is drawn Bernoulli(`probs[j]`).
@@ -281,11 +453,32 @@ impl SignVec {
     /// # Panics
     ///
     /// Panics if `out.len() != self.len()`.
+    /// [`SignVec::write_scaled_signs`] into a freshly collected `Vec`,
+    /// writing each element exactly once (no zero-fill pass). Produces
+    /// bit-identical values to `write_scaled_signs`.
+    #[must_use]
+    pub fn scaled_signs(&self, scale: f32) -> Vec<f32> {
+        let scale_bits = scale.to_bits();
+        let mut out = Vec::with_capacity(self.len);
+        for (start, &w) in (0..self.len).step_by(WORD_BITS).zip(&self.words) {
+            let n = WORD_BITS.min(self.len - start);
+            out.extend((0..n).map(|j| {
+                let flip = (((w >> j) & 1) ^ 1) as u32;
+                f32::from_bits(scale_bits ^ (flip << 31))
+            }));
+        }
+        out
+    }
+
     pub fn write_scaled_signs(&self, scale: f32, out: &mut [f32]) {
         assert_eq!(out.len(), self.len, "output length mismatch");
+        // Branchless sign injection: bit 1 keeps `scale`, bit 0 flips its
+        // IEEE sign bit — exact for any `scale`, and vectorizable.
+        let scale_bits = scale.to_bits();
         for (chunk, &w) in out.chunks_mut(WORD_BITS).zip(&self.words) {
             for (j, o) in chunk.iter_mut().enumerate() {
-                *o = if (w >> j) & 1 == 1 { scale } else { -scale };
+                let flip = (((w >> j) & 1) ^ 1) as u32;
+                *o = f32::from_bits(scale_bits ^ (flip << 31));
             }
         }
     }
@@ -331,6 +524,160 @@ impl SignVec {
         out
     }
 
+    /// In-place bitwise AND: `self &= other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn and_assign(&mut self, other: &SignVec) {
+        assert_eq!(self.len, other.len, "length mismatch");
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place bitwise OR: `self |= other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn or_assign(&mut self, other: &SignVec) {
+        assert_eq!(self.len, other.len, "length mismatch");
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place bitwise XOR: `self ^= other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn xor_assign(&mut self, other: &SignVec) {
+        assert_eq!(self.len, other.len, "length mismatch");
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            *a ^= b;
+        }
+    }
+
+    /// In-place bitwise NOT (within the vector length).
+    pub fn not_assign(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        self.mask_tail();
+    }
+
+    /// Overwrites `self` with `other`'s bits without reallocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn copy_from(&mut self, other: &SignVec) {
+        assert_eq!(self.len, other.len, "length mismatch");
+        self.words.copy_from_slice(&other.words);
+    }
+
+    /// Fused Marsit `⊙` kernel: writes `(r AND l) OR ((r XOR l) AND v)` into
+    /// `out` in one pass over the packed words, where the transient vector is
+    /// `v = l XOR keep` (identical to `(l AND NOT keep) OR (NOT l AND keep)`)
+    /// and `keep` is a word-parallel Bernoulli(`p_keep_received`) mask — no
+    /// intermediate vectors are materialized. `out` is resized to the operand
+    /// length, reusing its word buffer.
+    ///
+    /// **RNG stream compatibility** (frozen contract): the keep-mask words
+    /// are drawn in the same word-major order and with the same per-word
+    /// draw count as [`SignVec::bernoulli_uniform`], and degenerate
+    /// probabilities draw nothing (`p ≤ 0` yields `local`, `p ≥ 1` yields
+    /// `received` — the algebraic limits of the composed form). A shared RNG
+    /// therefore ends in exactly the state the composed implementation
+    /// leaves it in, bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands' lengths differ.
+    pub fn transient_combine_into(
+        received: &SignVec,
+        local: &SignVec,
+        p_keep_received: f64,
+        rng: &mut FastRng,
+        out: &mut SignVec,
+    ) {
+        assert_eq!(received.len, local.len, "length mismatch");
+        out.len = received.len;
+        out.words.clear();
+        out.words.resize(received.words.len(), 0);
+        let q = bernoulli_fixed_point(p_keep_received);
+        if q == 0 {
+            out.words.copy_from_slice(&local.words);
+            return;
+        }
+        if q == 1 << BERNOULLI_FIXED_BITS {
+            out.words.copy_from_slice(&received.words);
+            return;
+        }
+        for ((o, &r), &l) in out.words.iter_mut().zip(&received.words).zip(&local.words) {
+            let keep = bernoulli_word(q, rng);
+            // Tail bits of r and l are zero, so the output tail is zero
+            // without masking even though `keep`'s tail lanes are arbitrary.
+            *o = (r & l) | ((r ^ l) & (l ^ keep));
+        }
+    }
+
+    /// In-place variant of [`SignVec::transient_combine_into`]: folds
+    /// `received` into `local`, which becomes the combined aggregate. Same
+    /// RNG stream contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands' lengths differ.
+    pub fn transient_combine_assign(
+        received: &SignVec,
+        local: &mut SignVec,
+        p_keep_received: f64,
+        rng: &mut FastRng,
+    ) {
+        assert_eq!(received.len, local.len, "length mismatch");
+        let q = bernoulli_fixed_point(p_keep_received);
+        if q == 0 {
+            return; // keep local; the composed form draws nothing either
+        }
+        if q == 1 << BERNOULLI_FIXED_BITS {
+            local.words.copy_from_slice(&received.words);
+            return;
+        }
+        for (l, &r) in local.words.iter_mut().zip(&received.words) {
+            let keep = bernoulli_word(q, rng);
+            *l = (r & *l) | ((r ^ *l) & (*l ^ keep));
+        }
+    }
+
+    /// [`SignVec::transient_combine_assign`] with a precomputed keep mask:
+    /// applies `⊙` word-parallel using `keep_words[w]` where the in-place
+    /// form would have drawn `bernoulli_word` for word `w`. With masks from
+    /// [`fill_bernoulli_mask_words`] on the combine's RNG stream, the result
+    /// is bit-identical to the drawing form; the split lets several
+    /// independent streams be sampled interleaved before their combines run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands' lengths differ or the mask has fewer words
+    /// than the operands.
+    pub fn transient_combine_assign_masked(
+        received: &SignVec,
+        local: &mut SignVec,
+        keep_words: &[u64],
+    ) {
+        assert_eq!(received.len, local.len, "length mismatch");
+        assert!(
+            keep_words.len() >= local.words.len(),
+            "keep mask shorter than operands"
+        );
+        for ((l, &r), &keep) in local.words.iter_mut().zip(&received.words).zip(keep_words) {
+            *l = (r & *l) | ((r ^ *l) & (*l ^ keep));
+        }
+    }
+
     /// Number of positions where `self` and `other` agree.
     ///
     /// Used for the *matching rate* metric of Fig 1b.
@@ -357,6 +704,10 @@ impl SignVec {
 
     /// Extracts bits `[start, start + count)` into a new vector.
     ///
+    /// Word-aligned `start` takes a `copy_from_slice` fast path over whole
+    /// words (the segmented collectives cut at 64-bit boundaries whenever
+    /// `d/m` is a multiple of 64); other offsets fall back to per-bit moves.
+    ///
     /// # Panics
     ///
     /// Panics if the range exceeds the vector length.
@@ -364,6 +715,13 @@ impl SignVec {
     pub fn slice(&self, start: usize, count: usize) -> SignVec {
         assert!(start + count <= self.len, "slice out of bounds");
         let mut out = SignVec::zeros(count);
+        if start.is_multiple_of(WORD_BITS) {
+            let first = start / WORD_BITS;
+            let nw = out.words.len();
+            out.words.copy_from_slice(&self.words[first..first + nw]);
+            out.mask_tail();
+            return out;
+        }
         for i in 0..count {
             if self.get(start + i) {
                 out.set(i, true);
@@ -374,11 +732,29 @@ impl SignVec {
 
     /// Overwrites bits `[start, start + other.len())` with `other`.
     ///
+    /// Word-aligned `start` copies whole words (merging the final partial
+    /// word with a mask); other offsets fall back to per-bit moves.
+    ///
     /// # Panics
     ///
     /// Panics if the range exceeds the vector length.
     pub fn splice(&mut self, start: usize, other: &SignVec) {
         assert!(start + other.len <= self.len, "splice out of bounds");
+        if start.is_multiple_of(WORD_BITS) {
+            let first = start / WORD_BITS;
+            let nw = other.words.len();
+            let rem = other.len % WORD_BITS;
+            if rem == 0 {
+                self.words[first..first + nw].copy_from_slice(&other.words);
+            } else {
+                self.words[first..first + nw - 1].copy_from_slice(&other.words[..nw - 1]);
+                // Keep the destination bits above the spliced range.
+                let mask = (1u64 << rem) - 1;
+                let dst = &mut self.words[first + nw - 1];
+                *dst = (*dst & !mask) | (other.words[nw - 1] & mask);
+            }
+            return;
+        }
         for i in 0..other.len {
             self.set(start + i, other.get(i));
         }
@@ -675,6 +1051,98 @@ mod tests {
         assert!(SignVec::bernoulli_word_draws(1.0 / 3.0) > 16);
     }
 
+    /// Interleaved batch sampling is a pure scheduling change: every lane's
+    /// mask words, final RNG state, and draw count must equal sequential
+    /// `bernoulli_word` calls, across lane counts that exercise partial
+    /// batches, full batches, multiple batches, and ragged word counts.
+    #[test]
+    fn interleaved_mask_batch_matches_sequential() {
+        for p in [0.5, 0.25, 2.0 / 3.0, 7.0 / 8.0, 0.123] {
+            let q = bernoulli_fixed_point(p);
+            for lane_count in [1usize, 3, 8, 11, 17] {
+                // Ragged: lane i gets 5 + (i % 3) words.
+                let word_counts: Vec<usize> = (0..lane_count).map(|i| 5 + i % 3).collect();
+                let mut expected_words: Vec<Vec<u64>> = Vec::new();
+                let mut expected_rngs: Vec<FastRng> = Vec::new();
+                for (i, &wc) in word_counts.iter().enumerate() {
+                    let mut rng = FastRng::new(777, i as u64);
+                    let words: Vec<u64> = (0..wc).map(|_| bernoulli_word(q, &mut rng)).collect();
+                    expected_words.push(words);
+                    expected_rngs.push(rng);
+                }
+                let mut rngs: Vec<FastRng> = (0..lane_count)
+                    .map(|i| FastRng::new(777, i as u64))
+                    .collect();
+                let mut outs: Vec<Vec<u64>> = word_counts.iter().map(|&wc| vec![0; wc]).collect();
+                let mut lanes: Vec<MaskLane<'_>> = rngs
+                    .iter_mut()
+                    .zip(outs.iter_mut())
+                    .map(|(rng, out)| MaskLane {
+                        rng,
+                        out: out.as_mut_slice(),
+                    })
+                    .collect();
+                fill_bernoulli_mask_words(p, &mut lanes);
+                for i in 0..lane_count {
+                    assert_eq!(outs[i], expected_words[i], "p={p} lane {i}: words differ");
+                    assert_eq!(
+                        rngs[i], expected_rngs[i],
+                        "p={p} lane {i}: RNG state differs"
+                    );
+                    assert_eq!(
+                        rngs[i].draws(),
+                        expected_rngs[i].draws(),
+                        "p={p} lane {i}: draw count differs"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The masked combine applied with masks from the combine's own stream
+    /// is bit-identical to the drawing combine, RNG state included.
+    #[test]
+    fn masked_combine_matches_drawing_combine() {
+        let mut seed_rng = FastRng::new(3, 3);
+        for len in [1usize, 64, 100, 192, 300] {
+            for p in [0.5, 2.0 / 3.0, 0.9] {
+                let recv = SignVec::bernoulli_uniform(len, 0.5, &mut seed_rng);
+                let local0 = SignVec::bernoulli_uniform(len, 0.5, &mut seed_rng);
+                let mut drawn = local0.clone();
+                let mut draw_rng = FastRng::new(55, len as u64);
+                SignVec::transient_combine_assign(&recv, &mut drawn, p, &mut draw_rng);
+                let mut mask_rng = FastRng::new(55, len as u64);
+                let mut masks = vec![0u64; len.div_ceil(64)];
+                fill_bernoulli_mask_words(
+                    p,
+                    &mut [MaskLane {
+                        rng: &mut mask_rng,
+                        out: &mut masks,
+                    }],
+                );
+                let mut masked = local0.clone();
+                SignVec::transient_combine_assign_masked(&recv, &mut masked, &masks);
+                assert_eq!(masked, drawn, "len={len} p={p}: outputs differ");
+                assert_eq!(mask_rng, draw_rng, "len={len} p={p}: RNG state differs");
+                assert_eq!(mask_rng.draws(), draw_rng.draws());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate probability")]
+    fn degenerate_mask_batch_panics() {
+        let mut rng = FastRng::new(0, 0);
+        let mut out = [0u64; 1];
+        fill_bernoulli_mask_words(
+            1.0,
+            &mut [MaskLane {
+                rng: &mut rng,
+                out: &mut out,
+            }],
+        );
+    }
+
     /// Regression for the tail-entropy bug: payload lengths that pack into
     /// the same number of words must leave a shared RNG in the same state,
     /// so downstream draws do not depend on whether a message was 63 or 64
@@ -712,6 +1180,134 @@ mod tests {
     }
 
     #[test]
+    fn assign_ops_match_functional_ops() {
+        let mut rng = FastRng::new(61, 0);
+        for len in [1usize, 63, 64, 65, 200] {
+            let a = SignVec::bernoulli_uniform(len, 0.5, &mut rng);
+            let b = SignVec::bernoulli_uniform(len, 0.3, &mut rng);
+            let mut x = a.clone();
+            x.and_assign(&b);
+            assert_eq!(x, a.and(&b), "and len {len}");
+            let mut x = a.clone();
+            x.or_assign(&b);
+            assert_eq!(x, a.or(&b), "or len {len}");
+            let mut x = a.clone();
+            x.xor_assign(&b);
+            assert_eq!(x, a.xor(&b), "xor len {len}");
+            let mut x = a.clone();
+            x.not_assign();
+            assert_eq!(x, a.not(), "not len {len}");
+            let mut x = SignVec::zeros(len);
+            x.copy_from(&b);
+            assert_eq!(x, b, "copy len {len}");
+        }
+    }
+
+    #[test]
+    fn assign_from_signs_reuses_buffer_and_matches_from_signs() {
+        let mut rng = FastRng::new(62, 0);
+        let mut v = SignVec::zeros(0);
+        for len in [200usize, 64, 65, 1, 130] {
+            let values: Vec<f32> = (0..len).map(|_| (rng.next_f64() as f32) - 0.5).collect();
+            v.assign_from_signs(&values);
+            assert_eq!(v, SignVec::from_signs(&values), "len {len}");
+        }
+    }
+
+    #[test]
+    fn word_aligned_slice_splice_match_bitwise_fallback() {
+        let mut rng = FastRng::new(63, 0);
+        let v = SignVec::bernoulli_uniform(300, 0.5, &mut rng);
+        for (start, count) in [
+            (0usize, 300usize),
+            (64, 100),
+            (128, 172),
+            (64, 64),
+            (192, 1),
+        ] {
+            let fast = v.slice(start, count);
+            let mut slow = SignVec::zeros(count);
+            for i in 0..count {
+                slow.set(i, v.get(start + i));
+            }
+            assert_eq!(fast, slow, "slice start={start} count={count}");
+
+            let patch = SignVec::bernoulli_uniform(count, 0.4, &mut rng);
+            let mut fast_dst = v.clone();
+            fast_dst.splice(start, &patch);
+            let mut slow_dst = v.clone();
+            for i in 0..count {
+                slow_dst.set(start + i, patch.get(i));
+            }
+            assert_eq!(fast_dst, slow_dst, "splice start={start} count={count}");
+        }
+    }
+
+    #[test]
+    fn fused_transient_combine_matches_composed_form() {
+        let mut seed_rng = FastRng::new(64, 0);
+        for len in [1usize, 63, 64, 65, 200, 300] {
+            for p in [0.5, 0.25, 2.0 / 3.0, 0.0, 1.0, 7.0 / 8.0] {
+                let r = SignVec::bernoulli_uniform(len, 0.5, &mut seed_rng);
+                let l = SignVec::bernoulli_uniform(len, 0.5, &mut seed_rng);
+                // Composed reference with its own RNG clone.
+                let mut ref_rng = FastRng::new(99, len as u64);
+                let keep = SignVec::bernoulli_uniform(len, p, &mut ref_rng);
+                let v = l.and(&keep.not()).or(&l.not().and(&keep));
+                let composed = r.and(&l).or(&r.xor(&l).and(&v));
+                // Fused destination form.
+                let mut fused_rng = FastRng::new(99, len as u64);
+                let mut out = SignVec::zeros(0);
+                SignVec::transient_combine_into(&r, &l, p, &mut fused_rng, &mut out);
+                assert_eq!(out, composed, "into len {len} p {p}");
+                assert_eq!(fused_rng, ref_rng, "rng state len {len} p {p}");
+                // Fused in-place form.
+                let mut local = l.clone();
+                let mut assign_rng = FastRng::new(99, len as u64);
+                SignVec::transient_combine_assign(&r, &mut local, p, &mut assign_rng);
+                assert_eq!(local, composed, "assign len {len} p {p}");
+                assert_eq!(assign_rng, ref_rng, "assign rng len {len} p {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn simd_pack_matches_scalar_reference() {
+        let mut rng = FastRng::new(77, 0);
+        for trial in 0..200 {
+            let chunk: Vec<f32> = (0..WORD_BITS)
+                .map(|_| (rng.next_f64() as f32) - 0.5)
+                .collect();
+            assert_eq!(
+                pack_sign_word(&chunk),
+                pack_sign_word_scalar(&chunk),
+                "trial {trial}"
+            );
+        }
+        // Special values in every lane position.
+        let specials = [
+            0.0f32,
+            -0.0,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::NAN,
+            -f32::NAN,
+            f32::MIN_POSITIVE,
+            -f32::MIN_POSITIVE,
+        ];
+        for (rot, _) in specials.iter().enumerate() {
+            let chunk: Vec<f32> = (0..WORD_BITS)
+                .map(|j| specials[(j + rot) % specials.len()])
+                .collect();
+            assert_eq!(
+                pack_sign_word(&chunk),
+                pack_sign_word_scalar(&chunk),
+                "rotation {rot}"
+            );
+        }
+    }
+
+    #[test]
     fn from_signs_matches_per_bit_reference() {
         let mut rng = FastRng::new(55, 0);
         for len in [1usize, 7, 63, 64, 65, 127, 130, 1000] {
@@ -744,6 +1340,23 @@ mod tests {
         // NaN packs by its sign bit.
         assert!(v.get(4));
         assert!(!v.get(5));
+    }
+
+    #[test]
+    fn scaled_signs_matches_write_scaled_signs_bitwise() {
+        let mut rng = FastRng::new(91, 0);
+        for len in [1usize, 63, 64, 65, 200, 300] {
+            let v = SignVec::bernoulli_uniform(len, 0.5, &mut rng);
+            for scale in [0.01f32, -2.5, 0.0] {
+                let mut written = vec![7.0f32; len];
+                v.write_scaled_signs(scale, &mut written);
+                let collected = v.scaled_signs(scale);
+                assert_eq!(collected.len(), len);
+                for (i, (a, b)) in collected.iter().zip(&written).enumerate() {
+                    assert_eq!(a.to_bits(), b.to_bits(), "len {len} scale {scale} idx {i}");
+                }
+            }
+        }
     }
 
     #[test]

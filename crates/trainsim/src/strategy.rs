@@ -131,11 +131,11 @@ impl StrategyKind {
                     Some(k) => SyncSchedule::every(k),
                     None => SyncSchedule::never(),
                 };
-                State::Marsit(Marsit::new(
+                State::Marsit(Box::new(Marsit::new(
                     MarsitConfig::new(schedule, global_lr, seed),
                     m,
                     d,
-                ))
+                )))
             }
             Self::PowerSgd { rank } => State::PowerSgd {
                 workers: (0..m)
@@ -184,7 +184,7 @@ enum State {
     EfSign { workers: Vec<EfSign> },
     Ssdm { velocity: Vec<f32> },
     Cascading,
-    Marsit(Marsit),
+    Marsit(Box<Marsit>),
     PowerSgd { workers: Vec<PowerSgdState> },
 }
 

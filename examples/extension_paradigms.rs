@@ -10,7 +10,7 @@
 use marsit::collectives::ring::ring_allreduce_onebit;
 use marsit::collectives::segring::segring_allreduce_onebit;
 use marsit::collectives::tree::tree_allreduce_onebit;
-use marsit::core::ominus::combine_weighted;
+use marsit::core::ominus::combine_weighted_assign;
 use marsit::prelude::*;
 use marsit::trainsim::train_gossip;
 
@@ -42,9 +42,10 @@ fn one_bit_over_every_paradigm() {
         let mut ones = vec![0u32; d];
         for trial in 0..trials {
             let mut rng = FastRng::new(100 + trial, 0);
-            let mut combine = |r: &SignVec, l: &SignVec, ctx: marsit::collectives::CombineCtx| {
-                combine_weighted(r, ctx.received_count, l, ctx.local_count, &mut rng)
-            };
+            let mut combine =
+                |r: &SignVec, l: &mut SignVec, ctx: marsit::collectives::CombineCtx| {
+                    combine_weighted_assign(r, ctx.received_count, l, ctx.local_count, &mut rng);
+                };
             let (out, trace) = match paradigm {
                 "ring (RAR)" => ring_allreduce_onebit(&signs, &mut combine),
                 "segmented ring" => segring_allreduce_onebit(&signs, 4, &mut combine),

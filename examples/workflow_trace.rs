@@ -9,7 +9,7 @@
 //! ```
 
 use marsit::collectives::ring::{ring_allreduce_onebit, segment_ranges};
-use marsit::core::ominus::combine_weighted;
+use marsit::core::ominus::combine_weighted_assign;
 use marsit::prelude::*;
 
 fn bits(v: &SignVec) -> String {
@@ -44,7 +44,8 @@ fn main() {
         if ctx.step != phase {
             phase = ctx.step;
         }
-        let out = combine_weighted(
+        let before = bits(local);
+        combine_weighted_assign(
             recv,
             ctx.received_count,
             local,
@@ -58,10 +59,9 @@ fn main() {
             ctx.receiver + 1,
             bits(recv),
             ctx.received_count,
+            before,
             bits(local),
-            bits(&out),
         );
-        out
     });
 
     println!(

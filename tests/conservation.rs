@@ -64,7 +64,7 @@ fn ring_onebit_wire_bytes_match_closed_form() {
     // equality: total = 2(M−1) · D/8 bytes.
     for (m, d) in [(4usize, 64usize), (5, 240), (8, 1024)] {
         let signs = random_signs(m, d, 7);
-        let (_, trace) = ring_allreduce_onebit(&signs, |r, l, _ctx: CombineCtx| r.and(l));
+        let (_, trace) = ring_allreduce_onebit(&signs, |r, l, _ctx: CombineCtx| l.and_assign(r));
         assert_eq!(trace.num_steps(), 2 * (m - 1), "ring({m}) steps");
         assert_eq!(
             trace.total_bytes(),
@@ -80,7 +80,7 @@ fn torus_onebit_wire_bytes_within_bounds() {
     for (rows, cols, d) in [(2usize, 3usize, 48usize), (2, 4, 64), (3, 3, 90)] {
         let signs = random_signs(rows * cols, d, 11);
         let (_, trace) =
-            torus_allreduce_onebit(&signs, rows, cols, |r, l, _ctx: CombineCtx| r.or(l));
+            torus_allreduce_onebit(&signs, rows, cols, |r, l, _ctx: CombineCtx| l.or_assign(r));
         let elements = 2 * (cols - 1) * rows * d + 2 * (rows - 1) * d;
         assert_bit_conservation(&trace, elements, &format!("torus({rows}x{cols}, d={d})"));
     }
@@ -92,7 +92,7 @@ fn tree_onebit_wire_bytes_match_closed_form() {
     // the result exactly once: 2(M−1) transfers of ⌈D/8⌉ bytes.
     for (m, d) in [(2usize, 32usize), (5, 80), (8, 128)] {
         let signs = random_signs(m, d, 13);
-        let mut combine = |r: &SignVec, l: &SignVec, _ctx: CombineCtx| r.and(l);
+        let mut combine = |r: &SignVec, l: &mut SignVec, _ctx: CombineCtx| l.and_assign(r);
         let (_, trace) = tree_allreduce_onebit(&signs, &mut combine);
         assert_eq!(transfer_count(&trace), 2 * (m - 1), "tree({m}) transfers");
         assert_eq!(
@@ -110,7 +110,10 @@ fn segring_onebit_wire_bytes_within_bounds() {
     // elements; the union moves 2(M−1)·D.
     for (m, s, d) in [(4usize, 2usize, 64usize), (6, 3, 90), (5, 4, 77)] {
         let signs = random_signs(m, d, 17);
-        let mut combine = |r: &SignVec, l: &SignVec, _ctx: CombineCtx| r.xor(l).not();
+        let mut combine = |r: &SignVec, l: &mut SignVec, _ctx: CombineCtx| {
+            l.xor_assign(r);
+            l.not_assign();
+        };
         let (_, trace) = segring_allreduce_onebit(&signs, s, &mut combine);
         assert_bit_conservation(
             &trace,
@@ -132,15 +135,15 @@ proptest! {
     ) {
         let signs = random_signs(m, d, seed);
 
-        let (_, ring) = ring_allreduce_onebit(&signs, |r, l, _ctx: CombineCtx| r.and(l));
+        let (_, ring) = ring_allreduce_onebit(&signs, |r, l, _ctx: CombineCtx| l.and_assign(r));
         assert_bit_conservation(&ring, 2 * (m - 1) * d, "ring");
 
-        let mut combine = |r: &SignVec, l: &SignVec, _ctx: CombineCtx| r.or(l);
+        let mut combine = |r: &SignVec, l: &mut SignVec, _ctx: CombineCtx| l.or_assign(r);
         let (_, tree) = tree_allreduce_onebit(&signs, &mut combine);
         assert_bit_conservation(&tree, 2 * (m - 1) * d, "tree");
 
         let macro_segments = 1 + m % 3;
-        let mut combine = |r: &SignVec, l: &SignVec, _ctx: CombineCtx| r.and(l);
+        let mut combine = |r: &SignVec, l: &mut SignVec, _ctx: CombineCtx| l.and_assign(r);
         let (_, seg) = segring_allreduce_onebit(&signs, macro_segments, &mut combine);
         assert_bit_conservation(&seg, 2 * (m - 1) * d, "segring");
     }
@@ -155,7 +158,7 @@ proptest! {
     ) {
         let signs = random_signs(rows * cols, d, seed);
         let (_, trace) =
-            torus_allreduce_onebit(&signs, rows, cols, |r, l, _ctx: CombineCtx| r.or(l));
+            torus_allreduce_onebit(&signs, rows, cols, |r, l, _ctx: CombineCtx| l.or_assign(r));
         let elements = 2 * (cols - 1) * rows * d + 2 * (rows - 1) * d;
         assert_bit_conservation(&trace, elements, "torus");
     }

@@ -8,7 +8,7 @@ use marsit::collectives::tree::tree_allreduce_onebit;
 use marsit::compress::powersgd::PowerSgd;
 use marsit::compress::quantizers::{qsgd, terngrad};
 use marsit::compress::sparsify::{support_union_growth, TopK};
-use marsit::core::ominus::combine_weighted;
+use marsit::core::ominus::combine_weighted_assign;
 use marsit::prelude::*;
 use marsit::tensor::stats::binomial_ci_halfwidth;
 use marsit::trainsim::train_gossip;
@@ -28,9 +28,10 @@ fn onebit_unbiased_over_tree_and_segring() {
         let mut ones = vec![0u32; d];
         for trial in 0..trials {
             let mut rng = FastRng::new(10_000 + trial, 0);
-            let mut combine = |r: &SignVec, l: &SignVec, ctx: marsit::collectives::CombineCtx| {
-                combine_weighted(r, ctx.received_count, l, ctx.local_count, &mut rng)
-            };
+            let mut combine =
+                |r: &SignVec, l: &mut SignVec, ctx: marsit::collectives::CombineCtx| {
+                    combine_weighted_assign(r, ctx.received_count, l, ctx.local_count, &mut rng);
+                };
             let (out, trace) = if paradigm == "tree" {
                 tree_allreduce_onebit(&signs, &mut combine)
             } else {

@@ -6,7 +6,7 @@
 //! the fault layer, and everything must replay exactly under a fixed seed.
 
 use marsit::collectives::ring::ring_allreduce_onebit_faulty;
-use marsit::core::ominus::combine_weighted;
+use marsit::core::ominus::combine_weighted_assign;
 use marsit::prelude::*;
 use marsit::tensor::stats::binomial_ci_halfwidth;
 
@@ -127,7 +127,7 @@ fn survivor_unbiasedness_under_retried_drops() {
         let mut inj = plan.injector(trial);
         let mut rng = FastRng::new(90_000 + trial, 0);
         let (out, _) = ring_allreduce_onebit_faulty(&signs, &mut inj, |r, l, ctx| {
-            combine_weighted(r, ctx.received_count, l, ctx.local_count, &mut rng)
+            combine_weighted_assign(r, ctx.received_count, l, ctx.local_count, &mut rng);
         });
         retransmits += inj.stats().retransmits;
         for (j, o) in ones.iter_mut().enumerate() {

@@ -36,8 +36,8 @@ fn random_signs(m: usize, d: usize, seed: u64) -> Vec<SignVec> {
 }
 
 /// A deterministic stand-in combine: keep the received aggregate.
-fn keep_received(recv: &SignVec, _local: &SignVec, _ctx: CombineCtx) -> SignVec {
-    recv.clone()
+fn keep_received(recv: &SignVec, local: &mut SignVec, _ctx: CombineCtx) {
+    local.copy_from(recv);
 }
 
 /// Replays the recorded hop events and asserts they rebuild `trace` exactly:

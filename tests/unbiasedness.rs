@@ -3,7 +3,7 @@
 
 use marsit::collectives::ring::ring_allreduce_onebit;
 use marsit::collectives::torus::torus_allreduce_onebit;
-use marsit::core::ominus::combine_weighted;
+use marsit::core::ominus::combine_weighted_assign;
 use marsit::core::theory;
 use marsit::prelude::*;
 use marsit::tensor::stats::binomial_ci_halfwidth;
@@ -23,7 +23,7 @@ fn ring_onebit_allreduce_is_unbiased() {
     for trial in 0..trials {
         let mut rng = FastRng::new(1000 + trial, 0);
         let (out, _) = ring_allreduce_onebit(&signs, |r, l, ctx| {
-            combine_weighted(r, ctx.received_count, l, ctx.local_count, &mut rng)
+            combine_weighted_assign(r, ctx.received_count, l, ctx.local_count, &mut rng);
         });
         for (j, o) in ones.iter_mut().enumerate() {
             *o += u32::from(out.get(j));
@@ -56,7 +56,7 @@ fn torus_onebit_allreduce_is_unbiased() {
     for trial in 0..trials {
         let mut rng = FastRng::new(5000 + trial, 0);
         let (out, _) = torus_allreduce_onebit(&signs, rows, cols, |r, l, ctx| {
-            combine_weighted(r, ctx.received_count, l, ctx.local_count, &mut rng)
+            combine_weighted_assign(r, ctx.received_count, l, ctx.local_count, &mut rng);
         });
         for (j, o) in ones.iter_mut().enumerate() {
             *o += u32::from(out.get(j));

@@ -1,0 +1,119 @@
+//! Regression tests for the reusable round workspace.
+//!
+//! `Marsit` keeps a private `RoundWorkspace` (compensated updates,
+//! full-precision buffers, packed sign vectors) alive across rounds so the
+//! steady-state synchronize path re-fills buffers instead of reallocating
+//! them. That reuse must be invisible: a long-lived instance whose buffers
+//! are warm with round `t−1` data must produce byte-identical
+//! [`SyncOutcome`]s and telemetry streams to a fresh instance whose cold
+//! workspace replays the same prefix of rounds. Shape changes are the
+//! dangerous case, so the suite alternates topologies mid-run and crashes a
+//! worker (which shrinks the workspace to the survivor count and regrows it
+//! on the next clean round).
+
+use marsit::core::SyncOutcome;
+use marsit::prelude::*;
+use marsit::telemetry::{scoped, Telemetry};
+
+const ROUNDS: usize = 10;
+
+/// Per-round, per-worker updates: distinct every round so stale buffer
+/// contents from round `t−1` can never masquerade as round `t` inputs.
+fn round_updates(m: usize, d: usize, seed: u64, t: u64) -> Vec<Vec<f32>> {
+    (0..m)
+        .map(|w| {
+            let mut rng = FastRng::new(seed.wrapping_add(t), w as u64);
+            (0..d).map(|_| (rng.next_f64() as f32) - 0.5).collect()
+        })
+        .collect()
+}
+
+fn cfg(seed: u64) -> MarsitConfig {
+    MarsitConfig::new(SyncSchedule::every(3), 0.01, seed)
+}
+
+fn faulty_cfg(seed: u64) -> MarsitConfig {
+    let plan = FaultPlan::seeded(0xBADC)
+        .with_link_drop(0.05)
+        .with_straggler(1, 2.0)
+        .with_crash(2, 4);
+    cfg(seed).with_fault_plan(plan)
+}
+
+/// Runs `rounds` on a single long-lived instance; for every `t`, a fresh
+/// instance replays rounds `0..=t` and its round-`t` outcome must be
+/// byte-identical to the long-lived one's. Telemetry is byte-compared too:
+/// the replay's full JSONL must be a prefix of the long-lived run's log.
+fn assert_reuse_invisible(
+    cfg: MarsitConfig,
+    m: usize,
+    d: usize,
+    seed: u64,
+    topology_for: impl Fn(u64) -> Topology,
+) {
+    let long_tel = Telemetry::recording();
+    let mut long_lived = Marsit::new(cfg.clone(), m, d);
+    let long_outcomes: Vec<SyncOutcome> = scoped(&long_tel, || {
+        (0..ROUNDS as u64)
+            .map(|t| long_lived.synchronize(&round_updates(m, d, seed, t), topology_for(t)))
+            .collect()
+    });
+    let long_jsonl = long_tel.events_jsonl();
+    assert!(!long_jsonl.is_empty(), "the run must actually log events");
+
+    for t in 0..ROUNDS as u64 {
+        let fresh_tel = Telemetry::recording();
+        let mut fresh = Marsit::new(cfg.clone(), m, d);
+        let outcome = scoped(&fresh_tel, || {
+            (0..=t)
+                .map(|r| fresh.synchronize(&round_updates(m, d, seed, r), topology_for(r)))
+                .last()
+                .expect("at least one round")
+        });
+        assert_eq!(
+            outcome, long_outcomes[t as usize],
+            "round {t}: cold-workspace replay disagrees with warm long-lived instance"
+        );
+        let fresh_jsonl = fresh_tel.events_jsonl();
+        assert!(
+            long_jsonl.starts_with(&fresh_jsonl),
+            "round {t}: replay telemetry is not a byte-prefix of the long-lived log"
+        );
+    }
+}
+
+#[test]
+fn ring_clean_rounds_reuse_is_invisible() {
+    assert_reuse_invisible(cfg(42), 8, 300, 5, |_| Topology::ring(8));
+}
+
+#[test]
+fn torus_clean_rounds_reuse_is_invisible() {
+    assert_reuse_invisible(cfg(42), 8, 257, 5, |_| Topology::torus(2, 4));
+}
+
+/// A crash at round 4 shrinks the one-bit and full-precision buffers to the
+/// seven survivors; later rounds regrow them. The warm instance must agree
+/// with cold replays through the shrink *and* the regrow.
+#[test]
+fn ring_faulty_rounds_reuse_is_invisible() {
+    assert_reuse_invisible(faulty_cfg(7), 8, 129, 8, |_| Topology::ring(8));
+}
+
+#[test]
+fn torus_faulty_rounds_reuse_is_invisible() {
+    assert_reuse_invisible(faulty_cfg(7), 8, 129, 8, |_| Topology::torus(2, 4));
+}
+
+/// Alternating ring/torus on one instance reshapes the workspace every
+/// round — the harshest shape churn the driver can produce.
+#[test]
+fn mixed_topology_reuse_is_invisible() {
+    assert_reuse_invisible(cfg(42), 8, 300, 5, |t| {
+        if t % 2 == 0 {
+            Topology::ring(8)
+        } else {
+            Topology::torus(2, 4)
+        }
+    });
+}
