@@ -13,6 +13,9 @@
 //! - [`gossip`]: decentralized neighbour averaging, the slow-consensus
 //!   baseline the introduction contrasts with MAR;
 //! - [`ps`]: parameter-server exchanges for the single-hop baselines;
+//! - [`reconfigure`]: elastic-membership topology re-formation (torus →
+//!   survivor ring, ring re-expansion, lone-survivor and empty terminal
+//!   modes) plus the typed [`SyncError`] the faulty paths surface;
 //! - [`trace`]: what actually crossed the wire, priceable with
 //!   `marsit_simnet`'s α–β model.
 //!
@@ -30,12 +33,14 @@
 
 pub mod gossip;
 pub mod ps;
+pub mod reconfigure;
 pub mod ring;
 pub mod segring;
 pub mod torus;
 pub mod trace;
 pub mod tree;
 
+pub use reconfigure::{DegradedMode, EffectiveTopology, SyncError, TopologyReconfigurer};
 pub use ring::{CombineCtx, PlannedHop, SumWire};
 pub use trace::Trace;
 

@@ -25,6 +25,7 @@ use marsit_simnet::FaultInjector;
 use marsit_telemetry::{Hop, HopRecorder};
 use marsit_tensor::SignVec;
 
+use crate::reconfigure::SyncError;
 use crate::trace::{FaultyStep, Trace};
 
 /// Emits one telemetry `hop` event per wire attempt of a (possibly retried)
@@ -486,14 +487,25 @@ where
 /// With an inert injector this produces exactly the [`ring_allreduce_sum`]
 /// result and trace.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if fewer than 2 workers or payload lengths differ.
-pub fn ring_allreduce_sum_faulty(data: &mut [Vec<f32>], inj: &mut FaultInjector) -> Trace {
+/// Returns [`SyncError::TooFewWorkers`] for fewer than 2 workers and
+/// [`SyncError::LengthMismatch`] if payload lengths differ.
+pub fn ring_allreduce_sum_faulty(
+    data: &mut [Vec<f32>],
+    inj: &mut FaultInjector,
+) -> Result<Trace, SyncError> {
     let m = data.len();
-    assert!(m >= 2, "ring all-reduce needs at least 2 workers");
+    if m < 2 {
+        return Err(SyncError::TooFewWorkers { needed: 2, got: m });
+    }
     let d = data[0].len();
-    assert!(data.iter().all(|v| v.len() == d), "payload lengths differ");
+    if let Some(bad) = data.iter().find(|v| v.len() != d) {
+        return Err(SyncError::LengthMismatch {
+            expected: d,
+            got: bad.len(),
+        });
+    }
     let segs = segment_ranges(d, m);
     let mut trace = Trace::new();
     let mut rec = HopRecorder::begin();
@@ -569,7 +581,7 @@ pub fn ring_allreduce_sum_faulty(data: &mut [Vec<f32>], inj: &mut FaultInjector)
             trace.push_step(step);
         }
     }
-    trace
+    Ok(trace)
 }
 
 /// [`ring_allreduce_onebit`] under fault injection.
@@ -577,14 +589,15 @@ pub fn ring_allreduce_sum_faulty(data: &mut [Vec<f32>], inj: &mut FaultInjector)
 /// See [`ring_allreduce_onebit_counted_faulty`]; every input counts as one
 /// worker.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics under the same conditions as [`ring_allreduce_onebit`].
+/// Fails under the same conditions as
+/// [`ring_allreduce_onebit_counted_faulty`].
 pub fn ring_allreduce_onebit_faulty<F>(
     signs: &[SignVec],
     inj: &mut FaultInjector,
     combine: F,
-) -> (SignVec, Trace)
+) -> Result<(SignVec, Trace), SyncError>
 where
     F: FnMut(&SignVec, &mut SignVec, CombineCtx),
 {
@@ -608,28 +621,44 @@ where
 /// With an inert injector this reproduces [`ring_allreduce_onebit_weighted`]
 /// (contexts and all) for uniform `init_counts`.
 ///
+/// # Errors
+///
+/// Returns a [`SyncError`] if fewer than 2 workers, a count is zero, the
+/// count slice is the wrong length, or input lengths differ.
+///
 /// # Panics
 ///
-/// Panics if fewer than 2 workers, a count is zero, input lengths differ, or
-/// the combine changes the local vector's length.
+/// Panics if the combine changes the local vector's length (a programmer
+/// error in the closure, not a runtime condition).
 pub fn ring_allreduce_onebit_counted_faulty<F>(
     signs: &[SignVec],
     init_counts: &[usize],
     inj: &mut FaultInjector,
     mut combine: F,
-) -> (SignVec, Trace)
+) -> Result<(SignVec, Trace), SyncError>
 where
     F: FnMut(&SignVec, &mut SignVec, CombineCtx),
 {
     let m = signs.len();
-    assert!(m >= 2, "ring all-reduce needs at least 2 workers");
-    assert_eq!(init_counts.len(), m, "one count per input");
-    assert!(
-        init_counts.iter().all(|&c| c > 0),
-        "counts must be positive"
-    );
+    if m < 2 {
+        return Err(SyncError::TooFewWorkers { needed: 2, got: m });
+    }
+    if init_counts.len() != m {
+        return Err(SyncError::CountMismatch {
+            expected: m,
+            got: init_counts.len(),
+        });
+    }
+    if let Some(worker) = init_counts.iter().position(|&c| c == 0) {
+        return Err(SyncError::ZeroCount { worker });
+    }
     let d = signs[0].len();
-    assert!(signs.iter().all(|v| v.len() == d), "sign lengths differ");
+    if let Some(bad) = signs.iter().find(|v| v.len() != d) {
+        return Err(SyncError::LengthMismatch {
+            expected: d,
+            got: bad.len(),
+        });
+    }
     let segs = segment_ranges(d, m);
     let mut state: Vec<Vec<SignVec>> = signs
         .iter()
@@ -721,7 +750,7 @@ where
             trace.push_step(step);
         }
     }
-    (result, trace)
+    Ok((result, trace))
 }
 
 /// Borrows `items[src]` immutably and `items[dst]` mutably — the split
@@ -932,7 +961,7 @@ mod tests {
         let mut faulty = clean.clone();
         let clean_trace = ring_allreduce_sum(&mut clean);
         let mut inj = FaultInjector::inert();
-        let faulty_trace = ring_allreduce_sum_faulty(&mut faulty, &mut inj);
+        let faulty_trace = ring_allreduce_sum_faulty(&mut faulty, &mut inj).expect("valid inputs");
         assert_eq!(clean, faulty);
         assert_eq!(clean_trace, faulty_trace);
         assert!(inj.stats().is_clean());
@@ -951,7 +980,8 @@ mod tests {
             |recv: &SignVec, local: &mut SignVec, _ctx: CombineCtx| local.and_assign(recv);
         let (clean, clean_trace) = ring_allreduce_onebit(&signs, combine);
         let mut inj = FaultInjector::inert();
-        let (faulty, faulty_trace) = ring_allreduce_onebit_faulty(&signs, &mut inj, combine);
+        let (faulty, faulty_trace) =
+            ring_allreduce_onebit_faulty(&signs, &mut inj, combine).expect("valid inputs");
         assert_eq!(clean, faulty);
         assert_eq!(clean_trace, faulty_trace);
     }
@@ -996,7 +1026,8 @@ mod tests {
                 ring_allreduce_onebit_faulty(&signs, &mut inj, |recv, local, ctx| {
                     ctxs.push(ctx);
                     local.copy_from(recv);
-                });
+                })
+                .expect("valid inputs");
             (out, trace, ctxs, inj.stats())
         };
         let (out, trace, ctxs, stats) = run(&plan);
@@ -1024,7 +1055,7 @@ mod tests {
             .with_link_drop(0.3)
             .with_retry_policy(4, 1e-4);
         let mut inj = plan.injector(0);
-        let trace = ring_allreduce_sum_faulty(&mut data, &mut inj);
+        let trace = ring_allreduce_sum_faulty(&mut data, &mut inj).expect("valid inputs");
         let stats = inj.stats();
         assert!(stats.retransmits > 0);
         assert!(trace.num_steps() > baseline_steps, "retries add sub-steps");

@@ -16,6 +16,7 @@
 use marsit_simnet::FaultInjector;
 use marsit_tensor::SignVec;
 
+use crate::reconfigure::SyncError;
 use crate::ring::{
     ring_allreduce_onebit, ring_allreduce_onebit_faulty, ring_allreduce_sum, segment_ranges,
     CombineCtx,
@@ -117,23 +118,33 @@ where
 ///
 /// With an inert injector this reproduces [`segring_allreduce_onebit`].
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics under the same conditions as [`segring_allreduce_onebit`].
+/// Returns a [`SyncError`] if fewer than 2 workers, zero macro-segments, or
+/// sign lengths differ.
 pub fn segring_allreduce_onebit_faulty<F>(
     signs: &[SignVec],
     macro_segments: usize,
     inj: &mut FaultInjector,
     mut combine: F,
-) -> (SignVec, Trace)
+) -> Result<(SignVec, Trace), SyncError>
 where
     F: FnMut(&SignVec, &mut SignVec, CombineCtx),
 {
     let m = signs.len();
-    assert!(m >= 2, "segmented ring needs at least 2 workers");
-    assert!(macro_segments > 0, "need at least one macro-segment");
+    if m < 2 {
+        return Err(SyncError::TooFewWorkers { needed: 2, got: m });
+    }
+    if macro_segments == 0 {
+        return Err(SyncError::ZeroSegments);
+    }
     let d = signs[0].len();
-    assert!(signs.iter().all(|v| v.len() == d), "sign lengths differ");
+    if let Some(bad) = signs.iter().find(|v| v.len() != d) {
+        return Err(SyncError::LengthMismatch {
+            expected: d,
+            got: bad.len(),
+        });
+    }
     let ranges = segment_ranges(d, macro_segments);
     let mut result = SignVec::zeros(d);
     let mut steps: Vec<Vec<usize>> = Vec::new();
@@ -152,7 +163,7 @@ where
                     ..ctx
                 };
                 combine(recv, local, shifted)
-            });
+            })?;
         result.splice(range.start, &reduced);
         merge_offset(&mut steps, s, &sub);
     }
@@ -160,7 +171,7 @@ where
     for s in steps {
         trace.push_step(s);
     }
-    (result, trace)
+    Ok((result, trace))
 }
 
 /// Merges `sub`'s steps into `main` starting at wall-clock step `offset`
@@ -305,7 +316,8 @@ mod tests {
         let combine = |r: &SignVec, l: &mut SignVec, _ctx: CombineCtx| l.or_assign(r);
         let (clean, clean_trace) = segring_allreduce_onebit(&signs, 3, combine);
         let mut inj = FaultInjector::inert();
-        let (faulty, faulty_trace) = segring_allreduce_onebit_faulty(&signs, 3, &mut inj, combine);
+        let (faulty, faulty_trace) =
+            segring_allreduce_onebit_faulty(&signs, 3, &mut inj, combine).expect("valid inputs");
         assert_eq!(clean, faulty);
         assert_eq!(clean_trace, faulty_trace);
     }
@@ -323,7 +335,8 @@ mod tests {
         let run = || {
             let mut inj = plan.injector(2);
             let (out, trace) =
-                segring_allreduce_onebit_faulty(&signs, 2, &mut inj, |r, l, _| l.copy_from(r));
+                segring_allreduce_onebit_faulty(&signs, 2, &mut inj, |r, l, _| l.copy_from(r))
+                    .expect("valid inputs");
             (out, trace, inj.stats())
         };
         assert_eq!(run(), run());

@@ -14,6 +14,7 @@ use marsit_simnet::FaultInjector;
 use marsit_telemetry::{Hop, HopRecorder};
 use marsit_tensor::SignVec;
 
+use crate::reconfigure::SyncError;
 use crate::ring::{
     emit_attempts, ring_allreduce_onebit_counted_faulty, ring_allreduce_onebit_weighted_hooked,
     ring_allreduce_signsum_parts, segment_ranges, split_pair, CombineCtx, PlannedHop, SumWire,
@@ -339,22 +340,39 @@ where
 ///
 /// With an inert injector this reproduces [`torus_allreduce_onebit`].
 ///
+/// # Errors
+///
+/// Returns [`SyncError::BadShape`] for an invalid torus shape and
+/// [`SyncError::LengthMismatch`] if sign lengths differ.
+///
 /// # Panics
 ///
-/// Panics if the shape is invalid or sign lengths differ.
+/// Panics if the combine changes a chunk's length (a programmer error in
+/// the closure, not a runtime condition).
 pub fn torus_allreduce_onebit_faulty<F>(
     signs: &[SignVec],
     rows: usize,
     cols: usize,
     inj: &mut FaultInjector,
     mut combine: F,
-) -> (SignVec, Trace)
+) -> Result<(SignVec, Trace), SyncError>
 where
     F: FnMut(&SignVec, &mut SignVec, CombineCtx),
 {
-    check_shape(signs, rows, cols);
+    if rows < 2 || cols < 2 || signs.len() != rows * cols {
+        return Err(SyncError::BadShape {
+            rows,
+            cols,
+            workers: signs.len(),
+        });
+    }
     let d = signs[0].len();
-    assert!(signs.iter().all(|v| v.len() == d), "sign lengths differ");
+    if let Some(bad) = signs.iter().find(|v| v.len() != d) {
+        return Err(SyncError::LengthMismatch {
+            expected: d,
+            got: bad.len(),
+        });
+    }
     let chunks = segment_ranges(d, cols);
     let mut steps: Vec<Vec<usize>> = Vec::new();
     let mut state: Vec<Vec<SignVec>> = signs
@@ -421,7 +439,7 @@ where
         let column_counts: Vec<usize> = (0..rows).map(|row| counts[row * cols + c][own]).collect();
         let (reduced, sub) = {
             let _frame = rec.column_frame(offset, column_workers(rows, cols, c));
-            ring_allreduce_onebit_counted_faulty(&column, &column_counts, inj, &mut combine)
+            ring_allreduce_onebit_counted_faulty(&column, &column_counts, inj, &mut combine)?
         };
         for row in 0..rows {
             state[row * cols + c][own].copy_from(&reduced);
@@ -472,7 +490,7 @@ where
     for s in steps {
         trace.push_step(s);
     }
-    (result, trace)
+    Ok((result, trace))
 }
 
 /// 2D-torus all-reduce of sign vectors into a global majority vote
@@ -729,7 +747,8 @@ mod tests {
         let (clean, clean_trace) = torus_allreduce_onebit(&signs, rows, cols, combine);
         let mut inj = FaultInjector::inert();
         let (faulty, faulty_trace) =
-            torus_allreduce_onebit_faulty(&signs, rows, cols, &mut inj, combine);
+            torus_allreduce_onebit_faulty(&signs, rows, cols, &mut inj, combine)
+                .expect("valid inputs");
         assert_eq!(clean, faulty);
         assert_eq!(clean_trace, faulty_trace);
     }
@@ -750,14 +769,16 @@ mod tests {
             assert!(ctx.received_count + ctx.local_count <= m);
             max_total = max_total.max(ctx.received_count + ctx.local_count);
             l.copy_from(r);
-        });
+        })
+        .expect("valid inputs");
         assert_eq!(out.len(), d);
         assert!(inj.stats().dropped_transfers > 0);
         assert!(max_total <= m);
         // Determinism under the same seed.
         let mut inj2 = plan.injector(0);
         let (out2, _) =
-            torus_allreduce_onebit_faulty(&signs, rows, cols, &mut inj2, |r, l, _| l.copy_from(r));
+            torus_allreduce_onebit_faulty(&signs, rows, cols, &mut inj2, |r, l, _| l.copy_from(r))
+                .expect("valid inputs");
         assert_eq!(out, out2);
     }
 }

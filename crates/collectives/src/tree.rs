@@ -17,6 +17,7 @@ use marsit_compress::SignSumVec;
 use marsit_simnet::FaultInjector;
 use marsit_tensor::SignVec;
 
+use crate::reconfigure::SyncError;
 use crate::ring::{split_pair, CombineCtx};
 use crate::trace::{FaultyStep, Trace};
 
@@ -200,21 +201,33 @@ where
 ///
 /// With an inert injector this reproduces [`tree_allreduce_onebit`].
 ///
+/// # Errors
+///
+/// Returns a [`SyncError`] if fewer than 2 workers or sign lengths differ.
+///
 /// # Panics
 ///
-/// Panics under the same conditions as [`tree_allreduce_onebit`].
+/// Panics if the combine changes the local vector's length (a programmer
+/// error in the closure, not a runtime condition).
 pub fn tree_allreduce_onebit_faulty<F>(
     signs: &[SignVec],
     inj: &mut FaultInjector,
     mut combine: F,
-) -> (SignVec, Trace)
+) -> Result<(SignVec, Trace), SyncError>
 where
     F: FnMut(&SignVec, &mut SignVec, CombineCtx),
 {
     let m = signs.len();
-    assert!(m >= 2, "tree all-reduce needs at least 2 workers");
+    if m < 2 {
+        return Err(SyncError::TooFewWorkers { needed: 2, got: m });
+    }
     let d = signs[0].len();
-    assert!(signs.iter().all(|v| v.len() == d), "sign lengths differ");
+    if let Some(bad) = signs.iter().find(|v| v.len() != d) {
+        return Err(SyncError::LengthMismatch {
+            expected: d,
+            got: bad.len(),
+        });
+    }
     let bytes = d.div_ceil(8).max(1);
     let mut state: Vec<SignVec> = signs.to_vec();
     let mut counts: Vec<usize> = vec![1; m];
@@ -266,7 +279,7 @@ where
         }
         levels -= 1;
     }
-    (state.swap_remove(0), trace)
+    Ok((state.swap_remove(0), trace))
 }
 
 /// Number of transfers at broadcast level `level` (stride `2^level`).
@@ -424,7 +437,8 @@ mod tests {
             let combine = |r: &SignVec, l: &mut SignVec, _ctx: CombineCtx| l.and_assign(r);
             let (clean, clean_trace) = tree_allreduce_onebit(&sv, combine);
             let mut inj = FaultInjector::inert();
-            let (faulty, faulty_trace) = tree_allreduce_onebit_faulty(&sv, &mut inj, combine);
+            let (faulty, faulty_trace) =
+                tree_allreduce_onebit_faulty(&sv, &mut inj, combine).expect("valid inputs");
             assert_eq!(clean, faulty, "m={m}");
             assert_eq!(clean_trace, faulty_trace, "m={m}");
         }
@@ -443,7 +457,8 @@ mod tests {
         let (_, _) = tree_allreduce_onebit_faulty(&sv, &mut inj, |r, l, ctx| {
             root_total = root_total.max(ctx.received_count + ctx.local_count);
             l.copy_from(r);
-        });
+        })
+        .expect("valid inputs");
         assert!(root_total <= m);
         assert!(inj.stats().dropped_transfers > 0);
     }

@@ -100,6 +100,17 @@ impl Compensation {
     pub fn reset(&mut self) {
         self.c.fill(0.0);
     }
+
+    /// Overwrites the residual with checkpointed values (the restore half of
+    /// deterministic checkpointing; see `Marsit::restore`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn restore(&mut self, values: &[f32]) {
+        assert_eq!(values.len(), self.c.len(), "dimension mismatch");
+        self.c.copy_from_slice(values);
+    }
 }
 
 #[cfg(test)]

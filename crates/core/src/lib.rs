@@ -42,7 +42,7 @@ pub mod schedule;
 pub mod theory;
 
 pub use compensation::Compensation;
-pub use marsit::{CombineKind, Marsit, MarsitConfig, SyncOutcome};
+pub use marsit::{CombineKind, Marsit, MarsitConfig, MarsitSnapshot, SyncOutcome};
 pub use schedule::SyncSchedule;
 
 #[cfg(test)]

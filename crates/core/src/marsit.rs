@@ -25,7 +25,9 @@ use marsit_collectives::ring::{
 use marsit_collectives::torus::{
     torus_allreduce_onebit_faulty, torus_allreduce_onebit_hooked, torus_allreduce_sum,
 };
-use marsit_collectives::{CombineCtx, PlannedHop, Trace};
+use marsit_collectives::{
+    CombineCtx, DegradedMode, EffectiveTopology, PlannedHop, TopologyReconfigurer, Trace,
+};
 use marsit_simnet::{FaultPlan, FaultStats, Topology};
 use marsit_tensor::rng::{split_seed, FastRng};
 use marsit_tensor::{fill_bernoulli_mask_words, MaskLane, SignVec};
@@ -117,6 +119,9 @@ pub struct SyncOutcome {
     pub round: u64,
     /// What the fault layer did this round (all-zero without a fault plan).
     pub faults: FaultStats,
+    /// How (and whether) the round deviated from the configured topology
+    /// ([`DegradedMode::None`] on every clean/full-membership round).
+    pub degraded: DegradedMode,
 }
 
 /// Reusable per-round scratch (DESIGN.md §9 workspace ownership rules):
@@ -600,6 +605,14 @@ impl Marsit {
         // own survivor-only mean and packs signs per surviving worker.
         if !self.cfg.fault_plan.is_none() {
             debug_assert!(self.pending.is_none(), "flush_pending ran above");
+            // A rejoining worker restarts from the last full-precision
+            // barrier: its compensation state died with the crash, so it
+            // re-enters with a zero residual before the prologue folds
+            // compensation into its local update.
+            let rejoined = self.cfg.fault_plan.rejoined_at(m, self.round);
+            for &w in &rejoined {
+                self.compensations[w].reset();
+            }
             ws.compensated.resize_with(m, Vec::new);
             for ((buf, u), c) in ws
                 .compensated
@@ -609,7 +622,7 @@ impl Marsit {
             {
                 c.apply_into(u, buf);
             }
-            let outcome = self.synchronize_faulty(&mut ws, topology);
+            let outcome = self.synchronize_faulty(&mut ws, topology, rejoined.len() as u64);
             self.workspace = ws;
             self.round += 1;
             return outcome;
@@ -695,6 +708,7 @@ impl Marsit {
                 trace,
                 round: t,
                 faults: FaultStats::default(),
+                degraded: DegradedMode::None,
             }
         } else {
             // Lines 4–9: one-bit synchronization via ⊙. Sign buffers were
@@ -736,6 +750,7 @@ impl Marsit {
                 trace,
                 round: t,
                 faults: FaultStats::default(),
+                degraded: DegradedMode::None,
             }
         };
         self.workspace = ws;
@@ -760,6 +775,12 @@ impl Marsit {
         }
         tel.counter_add("marsit.combines", combines);
         tel.counter_add("marsit.rng_draws", rng_draws);
+        if outcome.faults.forced_deliveries > 0 {
+            tel.counter_add("marsit.forced_deliveries", outcome.faults.forced_deliveries);
+        }
+        if outcome.faults.rejoins > 0 {
+            tel.counter_add("marsit.rejoins", outcome.faults.rejoins);
+        }
         tel.observe("marsit.comp_norm_sq", comp_norm_sq);
         tel.emit(
             "marsit_sync",
@@ -776,6 +797,8 @@ impl Marsit {
                 ("corrupted", outcome.faults.corrupted_transfers.into()),
                 ("repairs", outcome.faults.repairs.into()),
                 ("crashed", outcome.faults.crashed_workers.into()),
+                ("forced", outcome.faults.forced_deliveries.into()),
+                ("rejoins", outcome.faults.rejoins.into()),
                 ("retry_extra_s", outcome.faults.retry_extra_s.into()),
             ],
         );
@@ -785,20 +808,30 @@ impl Marsit {
     ///
     /// Differences from the clean path:
     ///
-    /// - A worker crashed at or before this round is excluded: collectives
-    ///   re-form over the `M − 1` survivors (a crashed torus repairs to a
-    ///   survivor ring), its compensation is frozen, and `compensated_mean`
-    ///   — the quantity the one-bit consensus estimates — is taken over
-    ///   survivors only.
+    /// - The membership schedule decides who is live this round: crashed
+    ///   workers are excluded (their compensation frozen — it died with
+    ///   them), rejoined workers re-enter with reset compensation, and the
+    ///   collectives re-form over the live set via [`TopologyReconfigurer`]
+    ///   (a partial torus degrades to a survivor ring; a shrunken ring
+    ///   re-expands when workers rejoin). `compensated_mean` — the quantity
+    ///   the one-bit consensus estimates — is taken over live workers only.
     /// - One-bit transfers are best-effort with bounded retries; a transfer
     ///   that exhausts its budget is an omission, and the counted collectives
     ///   keep `⊙` unbiased over what actually arrived.
     /// - Full-precision rounds (the Marsit-K resync that also serves as the
     ///   post-crash resync point) run over a repaired ring regardless of
     ///   topology.
-    /// - If fewer than two workers survive, the lone survivor's update is
-    ///   the global update and nothing touches the wire.
-    fn synchronize_faulty(&mut self, ws: &mut RoundWorkspace, topology: Topology) -> SyncOutcome {
+    /// - Terminal live sets are defined, not panics: one live worker runs a
+    ///   degenerate local-only round; zero live workers is a no-op round.
+    ///   A typed [`SyncError`](marsit_collectives::SyncError) from a
+    ///   collective likewise falls back to a degenerate local round,
+    ///   reported as [`DegradedMode::Error`].
+    fn synchronize_faulty(
+        &mut self,
+        ws: &mut RoundWorkspace,
+        topology: Topology,
+        rejoins: u64,
+    ) -> SyncOutcome {
         assert!(
             !matches!(topology, Topology::Star { .. }),
             "Marsit is a multi-hop all-reduce framework; star/PS is unsupported"
@@ -813,100 +846,127 @@ impl Marsit {
         let m = self.compensations.len();
         let d = self.compensations[0].len();
         let plan = self.cfg.fault_plan.clone();
-        let mut stats = FaultStats::default();
-        let crashed = plan.crashed_at(t);
-        if crashed.is_some() {
-            stats.crashed_workers = 1;
-            // The membership change re-forms the topology exactly once.
-            if matches!(plan.crash, Some((_, r)) if r == t) {
-                stats.repairs = 1;
-            }
-        }
-        let survivors: Vec<usize> = (0..m).filter(|&w| Some(w) != crashed).collect();
-        let sm = survivors.len();
+        let live = plan.live_set(m, t);
+        let mut stats = FaultStats {
+            rejoins,
+            crashed_workers: (m - live.len()) as u64,
+            // Each membership change (a crash or rejoin taking effect)
+            // re-forms the topology exactly once.
+            repairs: u64::from(plan.membership_changed_at(m, t)),
+            ..FaultStats::default()
+        };
+        let lm = live.len();
         let mut compensated_mean = vec![0.0f32; d];
-        for &w in &survivors {
+        for &w in &live {
             for (a, &x) in compensated_mean.iter_mut().zip(&compensated[w]) {
                 *a += x;
             }
         }
-        let inv_sm = 1.0 / sm as f32;
-        for a in &mut compensated_mean {
-            *a *= inv_sm;
+        if lm > 0 {
+            let inv_lm = 1.0 / lm as f32;
+            for a in &mut compensated_mean {
+                *a *= inv_lm;
+            }
         }
 
         let full_precision = self.cfg.schedule.is_full_precision(t);
         let combines = Cell::new(0u64);
         let rng_draws = Cell::new(0u64);
         let mut inj = plan.injector(t);
-        let (global_update, trace) = if sm < 2 {
-            // Lone survivor: its compensated update is the global update.
+        let (effective, mut degraded) = TopologyReconfigurer::new(topology, m).effective(&live);
+        // Fallback for terminal/error modes: a degenerate local-only round
+        // seeded from the first live worker (no wire traffic).
+        let local_only = |worker: usize, compensated: &[Vec<f32>]| {
             if full_precision {
-                (compensated[survivors[0]].clone(), Trace::new())
+                compensated[worker].clone()
             } else {
-                let sign = SignVec::from_signs(&compensated[survivors[0]]);
+                let sign = SignVec::from_signs(&compensated[worker]);
                 let mut g = vec![0.0f32; d];
                 sign.write_scaled_signs(self.cfg.global_lr, &mut g);
-                (g, Trace::new())
+                g
             }
-        } else if full_precision {
-            fp_buffers.resize_with(sm, Vec::new);
-            for (buf, &w) in fp_buffers.iter_mut().zip(&survivors) {
-                buf.clear();
-                buf.extend_from_slice(&compensated[w]);
-            }
-            let trace = ring_allreduce_sum_faulty(fp_buffers, &mut inj);
-            (fp_buffers[0].iter().map(|&x| x * inv_sm).collect(), trace)
-        } else {
-            signs.resize_with(sm, || SignVec::zeros(0));
-            for (sv, &w) in signs.iter_mut().zip(&survivors) {
-                sv.assign_from_signs(&compensated[w]);
-            }
-            let round_seed = split_seed(self.cfg.seed, t);
-            let kind = self.cfg.combine;
-            let combine = |recv: &SignVec,
-                           local: &mut SignVec,
-                           ctx: marsit_collectives::CombineCtx| {
-                let stream =
-                    ((ctx.receiver as u64) << 40) | ((ctx.segment as u64) << 20) | ctx.step as u64;
-                let mut rng = FastRng::new(round_seed, stream);
-                match kind {
-                    CombineKind::Weighted => combine_weighted_assign(
-                        recv,
-                        ctx.received_count,
-                        local,
-                        ctx.local_count,
-                        &mut rng,
-                    ),
-                    CombineKind::UnweightedAblation => {
-                        combine_unweighted_assign(recv, local, &mut rng)
+        };
+        let (global_update, trace) = match effective {
+            // All workers crashed: a defined no-op round.
+            EffectiveTopology::Empty => (vec![0.0f32; d], Trace::new()),
+            // Lone survivor: its compensated update is the global update.
+            EffectiveTopology::Lone { worker } => (local_only(worker, compensated), Trace::new()),
+            _ if full_precision => {
+                fp_buffers.resize_with(lm, Vec::new);
+                for (buf, &w) in fp_buffers.iter_mut().zip(&live) {
+                    buf.clear();
+                    buf.extend_from_slice(&compensated[w]);
+                }
+                match ring_allreduce_sum_faulty(fp_buffers, &mut inj) {
+                    Ok(trace) => {
+                        let inv_lm = 1.0 / lm as f32;
+                        (fp_buffers[0].iter().map(|&x| x * inv_lm).collect(), trace)
+                    }
+                    Err(e) => {
+                        degraded = DegradedMode::Error(e);
+                        (local_only(live[0], compensated), Trace::new())
                     }
                 }
-                combines.set(combines.get() + 1);
-                rng_draws.set(rng_draws.get() + rng.draws());
-            };
-            let (consensus, trace) = match (topology, crashed) {
-                // An intact torus keeps its hierarchical schedule.
-                (Topology::Torus { rows, cols }, None) => {
-                    torus_allreduce_onebit_faulty(signs, rows, cols, &mut inj, combine)
+            }
+            _ => {
+                signs.resize_with(lm, || SignVec::zeros(0));
+                for (sv, &w) in signs.iter_mut().zip(&live) {
+                    sv.assign_from_signs(&compensated[w]);
                 }
-                // A crashed torus (rows×cols no longer fits) and any ring
-                // re-form as a ring over the survivors.
-                _ => ring_allreduce_onebit_faulty(signs, &mut inj, combine),
-            };
-            let mut g = vec![0.0f32; d];
-            consensus.write_scaled_signs(self.cfg.global_lr, &mut g);
-            (g, trace)
+                let round_seed = split_seed(self.cfg.seed, t);
+                let kind = self.cfg.combine;
+                let combine =
+                    |recv: &SignVec, local: &mut SignVec, ctx: marsit_collectives::CombineCtx| {
+                        let stream = ((ctx.receiver as u64) << 40)
+                            | ((ctx.segment as u64) << 20)
+                            | ctx.step as u64;
+                        let mut rng = FastRng::new(round_seed, stream);
+                        match kind {
+                            CombineKind::Weighted => combine_weighted_assign(
+                                recv,
+                                ctx.received_count,
+                                local,
+                                ctx.local_count,
+                                &mut rng,
+                            ),
+                            CombineKind::UnweightedAblation => {
+                                combine_unweighted_assign(recv, local, &mut rng)
+                            }
+                        }
+                        combines.set(combines.get() + 1);
+                        rng_draws.set(rng_draws.get() + rng.draws());
+                    };
+                let result = match effective {
+                    // A full-membership torus keeps its hierarchical
+                    // schedule; any partial live set re-forms as a ring
+                    // over the live workers.
+                    EffectiveTopology::Torus { rows, cols } => {
+                        torus_allreduce_onebit_faulty(signs, rows, cols, &mut inj, combine)
+                    }
+                    _ => ring_allreduce_onebit_faulty(signs, &mut inj, combine),
+                };
+                match result {
+                    Ok((consensus, trace)) => {
+                        let mut g = vec![0.0f32; d];
+                        consensus.write_scaled_signs(self.cfg.global_lr, &mut g);
+                        (g, trace)
+                    }
+                    Err(e) => {
+                        degraded = DegradedMode::Error(e);
+                        (local_only(live[0], compensated), Trace::new())
+                    }
+                }
+            }
         };
 
-        // Compensation bookkeeping for survivors only; a crashed worker's
+        // Compensation bookkeeping for live workers only; a crashed worker's
         // compensation is frozen (its state died with it).
         if full_precision {
-            for &w in &survivors {
+            for &w in &live {
                 self.compensations[w].reset();
             }
         } else {
-            for &w in &survivors {
+            for &w in &live {
                 self.compensations[w].absorb_residual(&compensated[w], &global_update);
             }
         }
@@ -918,10 +978,60 @@ impl Marsit {
             trace,
             round: t,
             faults: stats,
+            degraded,
         };
         self.emit_sync_event(&outcome, combines.get(), rng_draws.get());
         outcome
     }
+
+    /// Captures a deterministic checkpoint of the synchronizer: the round
+    /// counter plus every worker's materialized compensation vector.
+    ///
+    /// Takes `&mut self` because any deferred residual is flushed first —
+    /// bit-identical to the eager bookkeeping, so snapshotting mid-run does
+    /// not perturb the trajectory (the workspace-reuse invariant).
+    #[must_use]
+    pub fn snapshot(&mut self) -> MarsitSnapshot {
+        self.flush_pending();
+        MarsitSnapshot {
+            round: self.round,
+            compensations: self
+                .compensations
+                .iter()
+                .map(|c| c.vector().to_vec())
+                .collect(),
+        }
+    }
+
+    /// Restores the synchronizer to a [`MarsitSnapshot`]: a restored
+    /// instance continues the run bit-identically to one that never stopped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's worker count or dimensions disagree with
+    /// this instance.
+    pub fn restore(&mut self, snapshot: &MarsitSnapshot) {
+        assert_eq!(
+            snapshot.compensations.len(),
+            self.compensations.len(),
+            "snapshot worker count must match"
+        );
+        self.pending = None;
+        for (c, v) in self.compensations.iter_mut().zip(&snapshot.compensations) {
+            c.restore(v);
+        }
+        self.round = snapshot.round;
+    }
+}
+
+/// A deterministic checkpoint of a [`Marsit`] synchronizer (see
+/// [`Marsit::snapshot`] / [`Marsit::restore`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarsitSnapshot {
+    /// The round counter `t` at capture time.
+    pub round: u64,
+    /// Per-worker materialized compensation vectors.
+    pub compensations: Vec<Vec<f32>>,
 }
 
 #[cfg(test)]
@@ -1151,6 +1261,120 @@ mod tests {
         assert_eq!(out.trace.num_steps(), 0, "lone survivor sends nothing");
         for (j, &g) in out.global_update.iter().enumerate() {
             assert!((g.abs() - 0.05).abs() < 1e-7, "coord {j}");
+        }
+    }
+
+    #[test]
+    fn rejoin_resets_compensation_and_reexpands_ring() {
+        // Worker 2 crashes at round 1 and rejoins at round 3: the ring
+        // shrinks to 4 survivors, then re-expands to all 5.
+        let plan = FaultPlan::seeded(7)
+            .with_crash_event(2, 1)
+            .with_rejoin(2, 3);
+        let cfg = MarsitConfig::new(SyncSchedule::never(), 0.05, 19).with_fault_plan(plan);
+        let m = 5;
+        let d = 32;
+        let mut sync = Marsit::new(cfg, m, d);
+        let u = updates(m, d, 14);
+        let r0 = sync.synchronize(&u, Topology::ring(m));
+        assert!(r0.degraded.is_none());
+        assert_eq!(r0.trace.num_steps(), 2 * (m - 1));
+        let r1 = sync.synchronize(&u, Topology::ring(m));
+        assert_eq!(r1.faults.crashed_workers, 1);
+        assert_eq!(r1.faults.repairs, 1, "crash re-forms the ring once");
+        assert_eq!(r1.degraded, DegradedMode::PartialRing { live: 4 });
+        assert_eq!(r1.trace.num_steps(), 2 * 3, "4-survivor ring");
+        let frozen = sync.compensation(2).vector().to_vec();
+        let r2 = sync.synchronize(&u, Topology::ring(m));
+        assert_eq!(r2.faults.repairs, 0, "stable membership, no repair");
+        assert_eq!(
+            sync.compensation(2).vector(),
+            &frozen[..],
+            "frozen while dead"
+        );
+        let r3 = sync.synchronize(&u, Topology::ring(m));
+        assert_eq!(r3.faults.crashed_workers, 0);
+        assert_eq!(r3.faults.rejoins, 1);
+        assert_eq!(r3.faults.repairs, 1, "rejoin re-forms the ring once");
+        assert!(r3.degraded.is_none(), "full membership restored");
+        assert_eq!(r3.trace.num_steps(), 2 * (m - 1), "ring re-expanded");
+        // The rejoiner re-entered with zero compensation, then absorbed
+        // this round's residual like everyone else.
+        let h: Vec<f32> = u[2].clone();
+        let c = sync.compensation(2).vector();
+        for j in 0..d {
+            let expected = h[j] - r3.global_update[j];
+            assert!((c[j] - expected).abs() < 1e-6, "coord {j}");
+        }
+    }
+
+    #[test]
+    fn torus_degrades_to_ring_and_reforms_on_rejoin() {
+        let plan = FaultPlan::seeded(3)
+            .with_crash_event(6, 1)
+            .with_rejoin(6, 2);
+        let cfg = MarsitConfig::new(SyncSchedule::never(), 0.05, 23).with_fault_plan(plan);
+        let mut sync = Marsit::new(cfg, 8, 48);
+        let u = updates(8, 48, 15);
+        let r0 = sync.synchronize(&u, Topology::torus(2, 4));
+        assert!(r0.degraded.is_none());
+        let r1 = sync.synchronize(&u, Topology::torus(2, 4));
+        assert_eq!(r1.degraded, DegradedMode::TorusToRing { live: 7 });
+        assert_eq!(r1.trace.num_steps(), 2 * 6, "7-survivor ring");
+        let r2 = sync.synchronize(&u, Topology::torus(2, 4));
+        assert!(r2.degraded.is_none(), "torus re-forms at full membership");
+        assert_eq!(r2.faults.rejoins, 1);
+    }
+
+    #[test]
+    fn all_crashed_round_is_a_defined_noop() {
+        let plan = FaultPlan::seeded(2)
+            .with_crash_event(0, 1)
+            .with_crash_event(1, 1);
+        let cfg = MarsitConfig::new(SyncSchedule::never(), 0.05, 29).with_fault_plan(plan);
+        let mut sync = Marsit::new(cfg, 2, 8);
+        let u = updates(2, 8, 16);
+        let _ = sync.synchronize(&u, Topology::ring(2));
+        let out = sync.synchronize(&u, Topology::ring(2));
+        assert_eq!(out.degraded, DegradedMode::AllCrashed);
+        assert_eq!(out.faults.crashed_workers, 2);
+        assert_eq!(out.trace.num_steps(), 0);
+        assert!(out.global_update.iter().all(|&g| g == 0.0));
+        assert!(out.compensated_mean.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identically() {
+        for plan in [
+            FaultPlan::none(),
+            FaultPlan::seeded(99)
+                .with_link_drop(0.05)
+                .with_crash_event(2, 3)
+                .with_rejoin(2, 5),
+        ] {
+            let cfg =
+                MarsitConfig::new(SyncSchedule::every(4), 0.05, 31).with_fault_plan(plan.clone());
+            let u = updates(4, 40, 17);
+            // Straight run: 8 rounds.
+            let mut straight = Marsit::new(cfg.clone(), 4, 40);
+            let all: Vec<SyncOutcome> = (0..8)
+                .map(|_| straight.synchronize(&u, Topology::ring(4)))
+                .collect();
+            // Interrupted run: 4 rounds, snapshot, restore into a fresh
+            // instance, 4 more rounds.
+            let mut first = Marsit::new(cfg.clone(), 4, 40);
+            for _ in 0..4 {
+                let _ = first.synchronize(&u, Topology::ring(4));
+            }
+            let snap = first.snapshot();
+            assert_eq!(snap.round, 4);
+            drop(first);
+            let mut resumed = Marsit::new(cfg, 4, 40);
+            resumed.restore(&snap);
+            for expected in &all[4..] {
+                let out = resumed.synchronize(&u, Topology::ring(4));
+                assert_eq!(&out, expected, "resumed round diverged");
+            }
         }
     }
 

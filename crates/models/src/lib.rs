@@ -34,5 +34,5 @@ pub mod proxy;
 pub use convnet::{ConvNet, ConvNetSpec};
 pub use mlp::{Mlp, MlpSpec};
 pub use model::{Evaluation, Model};
-pub use optim::{Adam, Momentum, Optimizer, OptimizerKind, Sgd};
+pub use optim::{Adam, Momentum, Optimizer, OptimizerKind, OptimizerState, Sgd};
 pub use proxy::Workload;

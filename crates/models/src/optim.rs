@@ -22,6 +22,39 @@ pub trait Optimizer: Send {
 
     /// Human-readable name for reports.
     fn name(&self) -> &'static str;
+
+    /// Captures the internal state for deterministic checkpointing.
+    fn state(&self) -> OptimizerState;
+
+    /// Restores state captured by [`Optimizer::state`].
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `state` was captured from a different
+    /// optimizer kind.
+    fn load_state(&mut self, state: &OptimizerState);
+}
+
+/// Serializable internal state of an [`Optimizer`] (deterministic
+/// checkpoint/restore: a restored optimizer continues bit-identically).
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptimizerState {
+    /// Plain SGD carries no state.
+    Sgd,
+    /// Momentum's velocity buffer (empty before the first step).
+    Momentum {
+        /// The heavy-ball velocity `v`.
+        velocity: Vec<f32>,
+    },
+    /// Adam's step counter and first/second moment buffers.
+    Adam {
+        /// Steps taken so far (drives bias correction).
+        step: u32,
+        /// First-moment estimate.
+        m: Vec<f32>,
+        /// Second-moment estimate.
+        v: Vec<f32>,
+    },
 }
 
 /// Plain stochastic gradient descent: the direction is the gradient itself.
@@ -43,6 +76,17 @@ impl Optimizer for Sgd {
 
     fn name(&self) -> &'static str {
         "sgd"
+    }
+
+    fn state(&self) -> OptimizerState {
+        OptimizerState::Sgd
+    }
+
+    fn load_state(&mut self, state: &OptimizerState) {
+        assert!(
+            matches!(state, OptimizerState::Sgd),
+            "state kind mismatch: expected Sgd"
+        );
     }
 }
 
@@ -87,6 +131,19 @@ impl Optimizer for Momentum {
 
     fn name(&self) -> &'static str {
         "momentum"
+    }
+
+    fn state(&self) -> OptimizerState {
+        OptimizerState::Momentum {
+            velocity: self.velocity.clone(),
+        }
+    }
+
+    fn load_state(&mut self, state: &OptimizerState) {
+        let OptimizerState::Momentum { velocity } = state else {
+            panic!("state kind mismatch: expected Momentum");
+        };
+        self.velocity = velocity.clone();
     }
 }
 
@@ -164,6 +221,23 @@ impl Optimizer for Adam {
 
     fn name(&self) -> &'static str {
         "adam"
+    }
+
+    fn state(&self) -> OptimizerState {
+        OptimizerState::Adam {
+            step: self.step,
+            m: self.m.clone(),
+            v: self.v.clone(),
+        }
+    }
+
+    fn load_state(&mut self, state: &OptimizerState) {
+        let OptimizerState::Adam { step, m, v } = state else {
+            panic!("state kind mismatch: expected Adam");
+        };
+        self.step = *step;
+        self.m = m.clone();
+        self.v = v.clone();
     }
 }
 
@@ -250,6 +324,38 @@ mod tests {
         assert_eq!(OptimizerKind::Sgd.build().name(), "sgd");
         assert_eq!(OptimizerKind::Momentum(0.9).build().name(), "momentum");
         assert_eq!(OptimizerKind::Adam.build().name(), "adam");
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_bit_identically() {
+        for kind in [
+            OptimizerKind::Sgd,
+            OptimizerKind::Momentum(0.9),
+            OptimizerKind::Adam,
+        ] {
+            let mut warm = kind.build();
+            for step in 0..5 {
+                let mut g: Vec<f32> = (0..6).map(|i| ((i + step) as f32 * 0.3).sin()).collect();
+                warm.direction(&mut g);
+            }
+            let snap = warm.state();
+            let mut restored = kind.build();
+            restored.load_state(&snap);
+            for step in 5..10 {
+                let mut a: Vec<f32> = (0..6).map(|i| ((i + step) as f32 * 0.3).sin()).collect();
+                let mut b = a.clone();
+                warm.direction(&mut a);
+                restored.direction(&mut b);
+                assert_eq!(a, b, "{kind:?} diverged after restore at step {step}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "state kind mismatch")]
+    fn cross_kind_state_load_panics() {
+        let snap = Momentum::new(0.9).state();
+        Adam::new().load_state(&snap);
     }
 
     #[test]

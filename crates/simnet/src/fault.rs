@@ -21,9 +21,15 @@
 //!   phase at a `≥ 1×` delay multiplier; the synchronous round waits for the
 //!   slowest worker, so [`FaultPlan::compute_multiplier`] scales the round's
 //!   compute time.
-//! - **Crash** (`crash`): one worker fails permanently at the start of round
-//!   `t` and never returns. The collectives re-form over the `M − 1`
-//!   survivors (torus repairs to a survivor ring).
+//! - **Membership** (`membership`): a [`MembershipSchedule`] of
+//!   `Crash { worker, round }` and `Rejoin { worker, round }` events —
+//!   arbitrarily many of each. A worker's liveness at round `t` is decided by
+//!   its latest event with `round ≤ t` (later-listed events win ties); workers
+//!   with no applicable event are live. The collectives re-form over whatever
+//!   live set results (torus degrades to a survivor ring, rings re-expand on
+//!   rejoin, a lone survivor runs a degenerate local-only round). The legacy
+//!   single-crash field (`crash`) is kept as a deprecated convenience that
+//!   desugars into the same event model.
 //!
 //! Determinism: a [`FaultInjector`] is constructed per round from
 //! `(plan.seed, round)` and consumes randomness in transfer-issue order,
@@ -32,6 +38,170 @@
 //! every draw, so a fault-free plan leaves the clean code paths untouched.
 
 use serde::{Deserialize, Serialize};
+
+/// One membership-change event in a [`MembershipSchedule`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MembershipEvent {
+    /// `worker` is dead from the start of `round` (0-based) onward, until a
+    /// later `Rejoin` revives it.
+    Crash {
+        /// Worker index.
+        worker: usize,
+        /// First round the worker is absent.
+        round: u64,
+    },
+    /// `worker` is live again from the start of `round` onward. The sync
+    /// layer treats this as a restore from the last full-precision barrier
+    /// plus a reliable catch-up transfer (priced by the trainer).
+    Rejoin {
+        /// Worker index.
+        worker: usize,
+        /// First round the worker is back.
+        round: u64,
+    },
+}
+
+impl MembershipEvent {
+    /// The worker this event concerns.
+    #[must_use]
+    pub fn worker(&self) -> usize {
+        match *self {
+            Self::Crash { worker, .. } | Self::Rejoin { worker, .. } => worker,
+        }
+    }
+
+    /// The round this event takes effect (at the start of).
+    #[must_use]
+    pub fn round(&self) -> u64 {
+        match *self {
+            Self::Crash { round, .. } | Self::Rejoin { round, .. } => round,
+        }
+    }
+
+    /// Whether the affected worker is live after this event.
+    #[must_use]
+    pub fn live(&self) -> bool {
+        matches!(self, Self::Rejoin { .. })
+    }
+}
+
+/// An ordered list of crash/rejoin events describing elastic membership.
+///
+/// Liveness of worker `w` at round `t` is decided by `w`'s latest applicable
+/// event (`round ≤ t`); among events with the same round, the one listed
+/// later wins. Workers with no applicable event are live — an empty schedule
+/// means full membership forever.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MembershipSchedule {
+    /// The events, in declaration order.
+    pub events: Vec<MembershipEvent>,
+}
+
+impl MembershipSchedule {
+    /// The empty schedule: every worker live in every round.
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether the schedule contains no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Appends a crash event.
+    #[must_use]
+    pub fn crash(mut self, worker: usize, round: u64) -> Self {
+        self.events.push(MembershipEvent::Crash { worker, round });
+        self
+    }
+
+    /// Appends a rejoin event.
+    #[must_use]
+    pub fn rejoin(mut self, worker: usize, round: u64) -> Self {
+        self.events.push(MembershipEvent::Rejoin { worker, round });
+        self
+    }
+
+    /// Whether `worker` is live during `round` under this schedule alone.
+    #[must_use]
+    pub fn is_live(&self, worker: usize, round: u64) -> bool {
+        let mut live = true;
+        let mut best: Option<u64> = None;
+        for ev in &self.events {
+            if ev.worker() == worker && ev.round() <= round && best.is_none_or(|b| ev.round() >= b)
+            {
+                best = Some(ev.round());
+                live = ev.live();
+            }
+        }
+        live
+    }
+
+    /// Generates a seeded random storm of `crashes + rejoins` events over
+    /// `[1, rounds)`, guaranteed to keep at least two workers live at every
+    /// round (so no storm ever empties the cluster, and consensus remains
+    /// meaningful). Deterministic in `(seed, m, rounds, crashes, rejoins)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m < 3` (a storm needs room to crash somebody while keeping
+    /// two live) or `rounds < 2`.
+    #[must_use]
+    pub fn storm(seed: u64, m: usize, rounds: u64, crashes: usize, rejoins: usize) -> Self {
+        assert!(m >= 3, "storm needs at least 3 workers");
+        assert!(rounds >= 2, "storm needs at least 2 rounds");
+        // Self-contained SplitMix64 → xorshift64* chain, mirroring the
+        // injector's derivation so the schedule is reproducible everywhere.
+        let mut z = seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(0xD1B5_4A32_D192_ED03);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        let mut state = (z ^ (z >> 31)) | 1;
+        let mut next = move |n: u64| -> u64 {
+            let mut x = state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            state = x;
+            ((u128::from(x.wrapping_mul(0x2545_F491_4F6C_DD1D)) * u128::from(n)) >> 64) as u64
+        };
+        let mut live: Vec<bool> = vec![true; m];
+        let mut schedule = Self::none();
+        let (mut crashes_left, mut rejoins_left) = (crashes, rejoins);
+        let total = (crashes + rejoins) as u64;
+        // Monotone event rounds spread across the window, so the liveness
+        // simulation below walks the storm in causal order.
+        let stride = ((rounds - 1) / (total + 1)).max(1);
+        let mut round = 0u64;
+        while crashes_left + rejoins_left > 0 {
+            round = (round + 1 + next(stride)).min(rounds - 1);
+            let live_count = live.iter().filter(|&&l| l).count();
+            let dead: Vec<usize> = (0..m).filter(|&w| !live[w]).collect();
+            let want_rejoin = rejoins_left > 0 && !dead.is_empty() && next(2) == 0;
+            let must_rejoin = crashes_left == 0 || live_count <= 2;
+            if (want_rejoin || must_rejoin) && !dead.is_empty() && rejoins_left > 0 {
+                let w = dead[next(dead.len() as u64) as usize];
+                live[w] = true;
+                schedule = schedule.rejoin(w, round);
+                rejoins_left -= 1;
+            } else if crashes_left > 0 && live_count > 2 {
+                let alive: Vec<usize> = (0..m).filter(|&w| live[w]).collect();
+                let w = alive[next(alive.len() as u64) as usize];
+                live[w] = false;
+                schedule = schedule.crash(w, round);
+                crashes_left -= 1;
+            } else {
+                // Nothing legal to schedule (e.g. rejoins requested with no
+                // dead workers and no crashes left): drop the remainder.
+                break;
+            }
+        }
+        schedule
+    }
+}
 
 /// Declarative description of the faults to inject into a run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -48,7 +218,14 @@ pub struct FaultPlan {
     pub stragglers: Vec<(usize, f64)>,
     /// `(worker, round)`: the worker crashes permanently at the start of
     /// `round` (0-based) and is excluded from every later round.
+    ///
+    /// Deprecated single-crash convenience, kept so pre-elastic configs and
+    /// tests keep compiling; it participates in [`FaultPlan::live_at`]
+    /// exactly as a leading `MembershipEvent::Crash` would. New code should
+    /// use [`FaultPlan::with_membership`] (or the crash/rejoin builders).
     pub crash: Option<(usize, u64)>,
+    /// Elastic-membership schedule: any number of crash and rejoin events.
+    pub membership: MembershipSchedule,
     /// Retransmissions attempted after the first failed try before the
     /// transfer is abandoned as a permanent omission.
     pub max_retries: u32,
@@ -70,6 +247,7 @@ impl FaultPlan {
             link_corrupt_prob: 0.0,
             stragglers: Vec::new(),
             crash: None,
+            membership: MembershipSchedule::none(),
             max_retries: 3,
             retry_timeout_s: 2e-4,
         }
@@ -82,6 +260,7 @@ impl FaultPlan {
             && self.link_corrupt_prob == 0.0
             && self.stragglers.is_empty()
             && self.crash.is_none()
+            && self.membership.is_empty()
     }
 
     /// Fault-free plan with a specific RNG seed (useful as a builder root).
@@ -93,16 +272,18 @@ impl FaultPlan {
         }
     }
 
-    /// Sets the per-transfer drop probability.
+    /// Sets the per-transfer drop probability. `p = 1.0` is allowed: every
+    /// best-effort transfer is then a permanent omission and every reliable
+    /// transfer a forced delivery.
     ///
     /// # Panics
     ///
-    /// Panics unless `0 ≤ p < 1`.
+    /// Panics unless `0 ≤ p ≤ 1`.
     #[must_use]
     pub fn with_link_drop(mut self, p: f64) -> Self {
         assert!(
-            (0.0..1.0).contains(&p),
-            "drop probability must be in [0, 1)"
+            (0.0..=1.0).contains(&p),
+            "drop probability must be in [0, 1]"
         );
         self.link_drop_prob = p;
         self
@@ -112,12 +293,12 @@ impl FaultPlan {
     ///
     /// # Panics
     ///
-    /// Panics unless `0 ≤ p < 1`.
+    /// Panics unless `0 ≤ p ≤ 1`.
     #[must_use]
     pub fn with_link_corruption(mut self, p: f64) -> Self {
         assert!(
-            (0.0..1.0).contains(&p),
-            "corruption probability must be in [0, 1)"
+            (0.0..=1.0).contains(&p),
+            "corruption probability must be in [0, 1]"
         );
         self.link_corrupt_prob = p;
         self
@@ -136,9 +317,36 @@ impl FaultPlan {
     }
 
     /// Schedules `worker` to crash permanently at the start of `round`.
+    ///
+    /// Deprecated convenience: this is the pre-elastic single-crash API,
+    /// retained so existing plans stay byte-identical. It desugars into the
+    /// event model — `with_crash(w, r)` and
+    /// `with_membership(MembershipSchedule::none().crash(w, r))` describe
+    /// the same liveness trajectory.
     #[must_use]
     pub fn with_crash(mut self, worker: usize, round: u64) -> Self {
         self.crash = Some((worker, round));
+        self
+    }
+
+    /// Replaces the elastic-membership schedule.
+    #[must_use]
+    pub fn with_membership(mut self, schedule: MembershipSchedule) -> Self {
+        self.membership = schedule;
+        self
+    }
+
+    /// Appends a crash event to the membership schedule.
+    #[must_use]
+    pub fn with_crash_event(mut self, worker: usize, round: u64) -> Self {
+        self.membership = self.membership.crash(worker, round);
+        self
+    }
+
+    /// Appends a rejoin event to the membership schedule.
+    #[must_use]
+    pub fn with_rejoin(mut self, worker: usize, round: u64) -> Self {
+        self.membership = self.membership.rejoin(worker, round);
         self
     }
 
@@ -155,7 +363,10 @@ impl FaultPlan {
         self
     }
 
-    /// The worker that is crashed during `round`, if any.
+    /// The worker the *legacy* single-crash field kills during `round`, if
+    /// any. Deprecated alongside [`FaultPlan::crash`]; elastic callers should
+    /// use [`FaultPlan::live_at`] / [`FaultPlan::live_set`], which also see
+    /// the membership schedule.
     #[must_use]
     pub fn crashed_at(&self, round: u64) -> Option<usize> {
         match self.crash {
@@ -164,14 +375,66 @@ impl FaultPlan {
         }
     }
 
+    /// Whether `worker` is live during `round`, merging the legacy crash
+    /// field (treated as a leading `Crash` event) with the membership
+    /// schedule: the latest applicable event wins, later entries break ties,
+    /// no applicable event means live.
+    #[must_use]
+    pub fn live_at(&self, worker: usize, round: u64) -> bool {
+        let mut live = true;
+        let mut best: Option<u64> = None;
+        let legacy = self.crash.map(|(w, r)| MembershipEvent::Crash {
+            worker: w,
+            round: r,
+        });
+        for ev in legacy.iter().chain(&self.membership.events) {
+            if ev.worker() == worker && ev.round() <= round && best.is_none_or(|b| ev.round() >= b)
+            {
+                best = Some(ev.round());
+                live = ev.live();
+            }
+        }
+        live
+    }
+
+    /// The sorted live set among workers `0..m` during `round`.
+    #[must_use]
+    pub fn live_set(&self, m: usize, round: u64) -> Vec<usize> {
+        (0..m).filter(|&w| self.live_at(w, round)).collect()
+    }
+
+    /// Workers that are live at `round` but were dead at `round − 1` (empty
+    /// at round 0 — nobody can rejoin a run that has not started).
+    #[must_use]
+    pub fn rejoined_at(&self, m: usize, round: u64) -> Vec<usize> {
+        if round == 0 {
+            return Vec::new();
+        }
+        (0..m)
+            .filter(|&w| self.live_at(w, round) && !self.live_at(w, round - 1))
+            .collect()
+    }
+
+    /// Whether the live set at `round` differs from the previous round's
+    /// (round 0 compares against full membership), i.e. whether the topology
+    /// must be re-formed at the start of `round`.
+    #[must_use]
+    pub fn membership_changed_at(&self, m: usize, round: u64) -> bool {
+        let now = self.live_set(m, round);
+        if round == 0 {
+            now.len() < m
+        } else {
+            now != self.live_set(m, round - 1)
+        }
+    }
+
     /// Compute-time multiplier for `round`: the slowest live straggler (the
     /// synchronous round waits for it). Always `≥ 1`.
     #[must_use]
     pub fn compute_multiplier(&self, round: u64) -> f64 {
-        let crashed = self.crashed_at(round);
         self.stragglers
             .iter()
-            .filter(|(w, _)| Some(*w) != crashed)
+            .filter(|&&(w, _)| self.live_at(w, round))
             .map(|&(_, mult)| mult)
             .fold(1.0, f64::max)
     }
@@ -204,9 +467,18 @@ pub struct FaultStats {
     pub repairs: u64,
     /// Workers permanently crashed so far.
     pub crashed_workers: u64,
+    /// Reliable transfers escalated past the retry budget and forced through
+    /// (the fabric's last-resort delivery on gather/broadcast phases).
+    pub forced_deliveries: u64,
+    /// Workers that rejoined the live set (each one is a restore from the
+    /// last full-precision barrier plus a catch-up transfer).
+    pub rejoins: u64,
     /// Extra simulated seconds spent on retransmissions (timeout waits plus,
     /// when priced by the trainer, the repeated α–β transfer cost).
     pub retry_extra_s: f64,
+    /// Extra simulated seconds spent on rejoin catch-up transfers (full
+    /// model state over the α–β link, priced by the trainer).
+    pub catchup_extra_s: f64,
 }
 
 impl FaultStats {
@@ -217,7 +489,10 @@ impl FaultStats {
         self.corrupted_transfers += other.corrupted_transfers;
         self.repairs += other.repairs;
         self.crashed_workers = self.crashed_workers.max(other.crashed_workers);
+        self.forced_deliveries += other.forced_deliveries;
+        self.rejoins += other.rejoins;
         self.retry_extra_s += other.retry_extra_s;
+        self.catchup_extra_s += other.catchup_extra_s;
     }
 
     /// Whether nothing fault-related happened.
@@ -343,11 +618,24 @@ impl FaultInjector {
             return TransferFate::clean();
         }
         let mut attempts = 1u32;
-        while attempts < self.max_attempts {
+        loop {
+            if attempts >= self.max_attempts {
+                // Retry budget exhausted: the fabric escalates and forces
+                // this attempt through without consulting the link RNG (the
+                // draw sequence matches the pre-escalation implementation).
+                self.stats.forced_deliveries += 1;
+                return TransferFate {
+                    attempts,
+                    delivered: true,
+                };
+            }
             let dropped = self.next_f64() < self.drop_p;
             let corrupted = !dropped && self.next_f64() < self.corrupt_p;
             if !dropped && !corrupted {
-                break;
+                return TransferFate {
+                    attempts,
+                    delivered: true,
+                };
             }
             if corrupted {
                 self.stats.corrupted_transfers += 1;
@@ -355,10 +643,6 @@ impl FaultInjector {
             attempts += 1;
             self.stats.retransmits += 1;
             self.stats.retry_extra_s += self.retry_timeout_s;
-        }
-        TransferFate {
-            attempts,
-            delivered: true,
         }
     }
 
@@ -490,7 +774,10 @@ mod tests {
             corrupted_transfers: 0,
             repairs: 1,
             crashed_workers: 1,
+            forced_deliveries: 2,
+            rejoins: 1,
             retry_extra_s: 0.5,
+            catchup_extra_s: 0.125,
         };
         let b = FaultStats {
             retransmits: 3,
@@ -498,7 +785,10 @@ mod tests {
             corrupted_transfers: 4,
             repairs: 0,
             crashed_workers: 1,
+            forced_deliveries: 1,
+            rejoins: 2,
             retry_extra_s: 0.25,
+            catchup_extra_s: 0.25,
         };
         a.merge(&b);
         assert_eq!(a.retransmits, 5);
@@ -506,6 +796,132 @@ mod tests {
         assert_eq!(a.corrupted_transfers, 4);
         assert_eq!(a.repairs, 1);
         assert_eq!(a.crashed_workers, 1, "crashed workers are a max, not a sum");
+        assert_eq!(a.forced_deliveries, 3);
+        assert_eq!(a.rejoins, 3);
         assert!((a.retry_extra_s - 0.75).abs() < 1e-12);
+        assert!((a.catchup_extra_s - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn membership_latest_event_wins() {
+        let sched = MembershipSchedule::none()
+            .crash(2, 3)
+            .rejoin(2, 7)
+            .crash(4, 5);
+        assert!(sched.is_live(2, 0));
+        assert!(!sched.is_live(2, 3));
+        assert!(!sched.is_live(2, 6));
+        assert!(sched.is_live(2, 7), "rejoin revives the worker");
+        assert!(sched.is_live(2, 100));
+        assert!(!sched.is_live(4, 5));
+        assert!(sched.is_live(0, 50), "untouched workers stay live");
+        // Same-round conflict: the later-listed event wins.
+        let tie = MembershipSchedule::none().crash(1, 4).rejoin(1, 4);
+        assert!(tie.is_live(1, 4));
+        let tie2 = MembershipSchedule::none().rejoin(1, 4).crash(1, 4);
+        assert!(!tie2.is_live(1, 4));
+    }
+
+    #[test]
+    fn plan_live_set_merges_legacy_crash_with_membership() {
+        let plan = FaultPlan::seeded(3)
+            .with_crash(2, 3)
+            .with_rejoin(2, 6)
+            .with_crash_event(5, 4);
+        assert_eq!(plan.live_set(8, 0), vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(plan.live_set(8, 3), vec![0, 1, 3, 4, 5, 6, 7]);
+        assert_eq!(plan.live_set(8, 4), vec![0, 1, 3, 4, 6, 7]);
+        assert_eq!(plan.live_set(8, 6), vec![0, 1, 2, 3, 4, 6, 7]);
+        assert_eq!(plan.rejoined_at(8, 6), vec![2]);
+        assert!(plan.rejoined_at(8, 5).is_empty());
+        assert!(plan.membership_changed_at(8, 3));
+        assert!(plan.membership_changed_at(8, 4));
+        assert!(!plan.membership_changed_at(8, 5));
+        assert!(plan.membership_changed_at(8, 6));
+        assert!(!plan.is_none());
+    }
+
+    #[test]
+    fn legacy_crash_matches_equivalent_membership_event() {
+        let legacy = FaultPlan::seeded(1).with_crash(3, 5);
+        let elastic = FaultPlan::seeded(1).with_crash_event(3, 5);
+        for t in 0..12 {
+            for w in 0..6 {
+                assert_eq!(legacy.live_at(w, t), elastic.live_at(w, t), "w={w} t={t}");
+            }
+            assert_eq!(legacy.live_set(6, t), elastic.live_set(6, t));
+        }
+    }
+
+    #[test]
+    fn storm_is_deterministic_and_keeps_two_live() {
+        let m = 8;
+        let rounds = 200;
+        let a = MembershipSchedule::storm(0xC405, m, rounds, 3, 2);
+        let b = MembershipSchedule::storm(0xC405, m, rounds, 3, 2);
+        assert_eq!(a, b, "storms must replay under the same seed");
+        let crashes = a
+            .events
+            .iter()
+            .filter(|e| matches!(e, MembershipEvent::Crash { .. }))
+            .count();
+        let rejoins = a.events.len() - crashes;
+        assert!(crashes >= 2, "storm scheduled {crashes} crashes");
+        assert!(rejoins >= 1, "storm scheduled {rejoins} rejoins");
+        for t in 0..rounds {
+            let live = (0..m).filter(|&w| a.is_live(w, t)).count();
+            assert!(live >= 2, "round {t}: only {live} live workers");
+        }
+        // Event rounds are causally ordered.
+        for pair in a.events.windows(2) {
+            assert!(pair[0].round() <= pair[1].round());
+        }
+    }
+
+    #[test]
+    fn reliable_transfer_under_certain_drop_is_forced() {
+        let plan = FaultPlan::seeded(21)
+            .with_link_drop(1.0)
+            .with_retry_policy(2, 1e-4);
+        let mut inj = plan.injector(0);
+        for _ in 0..50 {
+            let fate = inj.transfer_reliable();
+            assert!(fate.delivered, "reliable transfers always deliver");
+            assert_eq!(fate.attempts, 3, "budget exhausted before escalation");
+        }
+        let stats = inj.stats();
+        assert_eq!(stats.forced_deliveries, 50);
+        assert_eq!(stats.retransmits, 100);
+        assert_eq!(stats.dropped_transfers, 0);
+        // Best-effort transfers under the same plan are permanent omissions.
+        let mut inj2 = plan.injector(0);
+        let fate = inj2.transfer();
+        assert!(!fate.delivered);
+        assert_eq!(inj2.stats().dropped_transfers, 1);
+        assert_eq!(inj2.stats().forced_deliveries, 0);
+    }
+
+    #[test]
+    fn reliable_draw_sequence_unchanged_by_escalation_counter() {
+        // The forced-delivery restructure must not move any RNG draw: a
+        // mixed best-effort/reliable interleave replays exactly.
+        let plan = FaultPlan::seeded(31)
+            .with_link_drop(0.4)
+            .with_link_corruption(0.1)
+            .with_retry_policy(2, 1e-4);
+        let run = || {
+            let mut inj = plan.injector(9);
+            let fates: Vec<TransferFate> = (0..400)
+                .map(|i| {
+                    if i % 3 == 0 {
+                        inj.transfer_reliable()
+                    } else {
+                        inj.transfer()
+                    }
+                })
+                .collect();
+            (fates, inj.stats())
+        };
+        assert_eq!(run(), run());
     }
 }

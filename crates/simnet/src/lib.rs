@@ -30,7 +30,9 @@ pub mod link;
 pub mod phase;
 pub mod topology;
 
-pub use fault::{FaultInjector, FaultPlan, FaultStats, TransferFate};
+pub use fault::{
+    FaultInjector, FaultPlan, FaultStats, MembershipEvent, MembershipSchedule, TransferFate,
+};
 pub use link::{LinkModel, RateProfile};
 pub use phase::PhaseBreakdown;
 pub use topology::Topology;

@@ -248,13 +248,22 @@ impl Parser<'_> {
                         }
                     }
                 }
+                _ if b < 0x80 => out.push(b as char),
                 _ => {
-                    // Re-synchronize on UTF-8 boundaries: step back and take
-                    // the full character.
+                    // Multibyte character: step back and decode just this
+                    // sequence (at most 4 bytes — validating the whole
+                    // remaining input here would make parsing quadratic).
                     self.pos -= 1;
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| "invalid UTF-8 in string")?;
-                    let c = rest.chars().next().ok_or("unterminated string")?;
+                    let end = (self.pos + 4).min(self.bytes.len());
+                    let slice = &self.bytes[self.pos..end];
+                    let valid = match std::str::from_utf8(slice) {
+                        Ok(s) => s,
+                        Err(e) if e.valid_up_to() > 0 => {
+                            std::str::from_utf8(&slice[..e.valid_up_to()]).expect("validated")
+                        }
+                        Err(_) => return Err("invalid UTF-8 in string".to_string()),
+                    };
+                    let c = valid.chars().next().ok_or("unterminated string")?;
                     out.push(c);
                     self.pos += c.len_utf8();
                 }

@@ -31,11 +31,15 @@
 //! ```
 
 pub mod decentralized;
+pub mod snapshot;
 pub mod strategy;
 pub mod timing;
 pub mod trainer;
 
 pub use decentralized::{train_gossip, GossipReport, GossipRound};
-pub use strategy::{StrategyKind, SyncResult, Synchronizer};
+pub use snapshot::{TrainSnapshot, SNAPSHOT_SCHEMA};
+pub use strategy::{
+    StrategyKind, SyncResult, Synchronizer, SynchronizerSnapshot, SynchronizerState,
+};
 pub use timing::TimingModel;
-pub use trainer::{elements_per_round, train, RoundRecord, TrainConfig, TrainReport};
+pub use trainer::{elements_per_round, train, RoundRecord, TrainConfig, TrainReport, TrainerState};

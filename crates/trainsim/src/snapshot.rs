@@ -1,0 +1,586 @@
+//! Deterministic training checkpoints: [`TrainSnapshot`] and its JSON wire
+//! format (schema `marsit-checkpoint/1`).
+//!
+//! A snapshot captures everything that evolves during a run — the consensus
+//! parameter vector, per-worker optimizer and RNG states, the synchronizer's
+//! cross-round state (Marsit compensation residuals), the per-round records,
+//! and the run accumulators. Restoring it with
+//! [`TrainerState::restore`](crate::trainer::TrainerState::restore) resumes
+//! **bit-identically**, so the serialization must round-trip every float and
+//! counter *exactly*. JSON numbers cannot do that (an `f64` bit pattern or a
+//! `u64` above 2⁵³ loses bits through a decimal literal), so every
+//! bit-sensitive scalar is encoded as a fixed-width lowercase hex string of
+//! its bit pattern — 8 hex chars per `f32`, 16 per `f64`/`u64` — and vectors
+//! as the concatenation of their elements' hex words. Structural small
+//! integers (round indices, optimizer step counts) stay plain JSON numbers.
+//!
+//! The writer emits keys in a fixed order, so serialization is
+//! byte-deterministic: equal snapshots produce equal strings.
+
+use marsit_models::OptimizerState;
+use marsit_simnet::{FaultStats, PhaseBreakdown};
+use marsit_telemetry::json::{self, Json};
+
+use crate::strategy::{SynchronizerSnapshot, SynchronizerState};
+use crate::trainer::RoundRecord;
+use marsit_models::Evaluation;
+
+/// Schema tag written into (and required from) every serialized snapshot.
+pub const SNAPSHOT_SCHEMA: &str = "marsit-checkpoint/1";
+
+/// The complete evolving state of a training run at a round boundary.
+///
+/// Produced by [`TrainerState::snapshot`](crate::trainer::TrainerState::snapshot);
+/// consumed by [`TrainerState::restore`](crate::trainer::TrainerState::restore).
+/// Serializes to deterministic JSON with [`TrainSnapshot::to_json`] and back
+/// with [`TrainSnapshot::from_json`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainSnapshot {
+    /// Rounds completed before the capture (the next round to run).
+    pub round: u64,
+    /// Current local learning rate (after any full-precision decays).
+    pub lr: f32,
+    /// The consensus parameter vector shared by every replica.
+    pub params: Vec<f32>,
+    /// Per-worker optimizer states.
+    pub optimizers: Vec<OptimizerState>,
+    /// Per-worker RNG streams as `(state, draws)` pairs.
+    pub worker_rngs: Vec<(u64, u64)>,
+    /// The synchronizer's cross-round state.
+    pub sync: SynchronizerSnapshot,
+    /// Per-round records completed so far.
+    pub records: Vec<RoundRecord>,
+    /// Accumulated simulated phase times.
+    pub total_time: PhaseBreakdown,
+    /// Total bytes moved by the collectives so far.
+    pub total_bytes: u64,
+    /// Cumulative per-worker wire bits.
+    pub cumulative_bits_per_worker: f64,
+    /// Total elements transferred (wire-width denominator).
+    pub total_elements: u64,
+    /// Whether a non-finite loss has been observed.
+    pub diverged: bool,
+    /// Aggregate fault-layer activity so far.
+    pub run_faults: FaultStats,
+}
+
+// --- hex bit-pattern codec --------------------------------------------------
+
+const HEX_DIGITS: &[u8; 16] = b"0123456789abcdef";
+
+/// Appends `nibbles` lowercase hex digits of `bits` (most significant
+/// first). Hand-rolled because snapshots hex-encode millions of parameter
+/// words — a `format!` per element dominates serialization time.
+fn push_hex(out: &mut String, bits: u64, nibbles: u32) {
+    for i in (0..nibbles).rev() {
+        out.push(HEX_DIGITS[((bits >> (4 * i)) & 0xF) as usize] as char);
+    }
+}
+
+fn hex_u64(v: u64) -> String {
+    let mut out = String::with_capacity(16);
+    push_hex(&mut out, v, 16);
+    out
+}
+
+fn hex_f64(v: f64) -> String {
+    hex_u64(v.to_bits())
+}
+
+fn hex_f32s(values: &[f32]) -> String {
+    let mut out = String::with_capacity(values.len() * 8);
+    for v in values {
+        push_hex(&mut out, u64::from(v.to_bits()), 8);
+    }
+    out
+}
+
+fn parse_hex_u64(s: &str) -> Result<u64, String> {
+    if s.len() != 16 {
+        return Err(format!("expected 16 hex chars, got {:?}", s));
+    }
+    u64::from_str_radix(s, 16).map_err(|e| format!("bad hex u64 {s:?}: {e}"))
+}
+
+fn parse_hex_f64(s: &str) -> Result<f64, String> {
+    parse_hex_u64(s).map(f64::from_bits)
+}
+
+fn parse_hex_f32s(s: &str) -> Result<Vec<f32>, String> {
+    if !s.len().is_multiple_of(8) {
+        return Err(format!("f32 vector hex length {} is not 8k", s.len()));
+    }
+    s.as_bytes()
+        .chunks(8)
+        .map(|chunk| {
+            let word = std::str::from_utf8(chunk).map_err(|e| e.to_string())?;
+            u32::from_str_radix(word, 16)
+                .map(f32::from_bits)
+                .map_err(|e| format!("bad hex f32 {word:?}: {e}"))
+        })
+        .collect()
+}
+
+// --- JSON navigation helpers ------------------------------------------------
+
+fn field<'a>(v: &'a Json, key: &str) -> Result<&'a Json, String> {
+    v.get(key).ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn str_field<'a>(v: &'a Json, key: &str) -> Result<&'a str, String> {
+    field(v, key)?
+        .as_str()
+        .ok_or_else(|| format!("field {key:?} is not a string"))
+}
+
+fn u64_field(v: &Json, key: &str) -> Result<u64, String> {
+    field(v, key)?
+        .as_u64()
+        .ok_or_else(|| format!("field {key:?} is not an integer"))
+}
+
+fn bool_field(v: &Json, key: &str) -> Result<bool, String> {
+    field(v, key)?
+        .as_bool()
+        .ok_or_else(|| format!("field {key:?} is not a bool"))
+}
+
+fn arr_field<'a>(v: &'a Json, key: &str) -> Result<&'a [Json], String> {
+    field(v, key)?
+        .as_arr()
+        .ok_or_else(|| format!("field {key:?} is not an array"))
+}
+
+fn hex_u64_field(v: &Json, key: &str) -> Result<u64, String> {
+    parse_hex_u64(str_field(v, key)?)
+}
+
+fn hex_f64_field(v: &Json, key: &str) -> Result<f64, String> {
+    parse_hex_f64(str_field(v, key)?)
+}
+
+fn hex_f32s_field(v: &Json, key: &str) -> Result<Vec<f32>, String> {
+    parse_hex_f32s(str_field(v, key)?)
+}
+
+// --- writer -----------------------------------------------------------------
+
+fn write_phase(out: &mut String, time: &PhaseBreakdown) {
+    out.push('[');
+    json::write_str(out, &hex_f64(time.compute_s));
+    out.push(',');
+    json::write_str(out, &hex_f64(time.compression_s));
+    out.push(',');
+    json::write_str(out, &hex_f64(time.communication_s));
+    out.push(']');
+}
+
+fn write_optimizer(out: &mut String, state: &OptimizerState) {
+    match state {
+        OptimizerState::Sgd => out.push_str(r#"{"kind":"sgd"}"#),
+        OptimizerState::Momentum { velocity } => {
+            out.push_str(r#"{"kind":"momentum","velocity":"#);
+            json::write_str(out, &hex_f32s(velocity));
+            out.push('}');
+        }
+        OptimizerState::Adam { step, m, v } => {
+            out.push_str(&format!(r#"{{"kind":"adam","step":{step},"m":"#));
+            json::write_str(out, &hex_f32s(m));
+            out.push_str(r#","v":"#);
+            json::write_str(out, &hex_f32s(v));
+            out.push('}');
+        }
+    }
+}
+
+fn write_sync(out: &mut String, sync: &SynchronizerSnapshot) {
+    out.push_str(&format!(r#"{{"round":{},"#, sync.round));
+    match &sync.state {
+        SynchronizerState::Stateless => out.push_str(r#""kind":"stateless"}"#),
+        SynchronizerState::Ssdm { velocity } => {
+            out.push_str(r#""kind":"ssdm","velocity":"#);
+            json::write_str(out, &hex_f32s(velocity));
+            out.push('}');
+        }
+        SynchronizerState::Marsit(m) => {
+            out.push_str(&format!(
+                r#""kind":"marsit","marsit_round":{},"compensations":["#,
+                m.round
+            ));
+            for (i, c) in m.compensations.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                json::write_str(out, &hex_f32s(c));
+            }
+            out.push_str("]}");
+        }
+    }
+}
+
+fn write_record(out: &mut String, r: &RoundRecord) {
+    out.push_str(&format!(r#"{{"round":{},"train_loss":"#, r.round));
+    json::write_str(out, &hex_f64(r.train_loss));
+    out.push_str(r#","mean_grad_norm_sq":"#);
+    json::write_str(out, &hex_f64(r.mean_grad_norm_sq));
+    out.push_str(r#","matching_rate":"#);
+    json::write_str(out, &hex_f64(r.matching_rate));
+    out.push_str(&format!(
+        r#","full_precision":{},"time":"#,
+        r.full_precision
+    ));
+    write_phase(out, &r.time);
+    out.push_str(r#","wire_bits_per_element":"#);
+    json::write_str(out, &hex_f64(r.wire_bits_per_element));
+    out.push_str(r#","cumulative_megabits_per_worker":"#);
+    json::write_str(out, &hex_f64(r.cumulative_megabits_per_worker));
+    out.push_str(r#","eval":"#);
+    match &r.eval {
+        None => out.push_str("null"),
+        Some(e) => {
+            out.push('[');
+            json::write_str(out, &hex_f64(e.loss));
+            out.push(',');
+            json::write_str(out, &hex_f64(e.accuracy));
+            out.push(']');
+        }
+    }
+    out.push('}');
+}
+
+fn write_faults(out: &mut String, f: &FaultStats) {
+    let counters = [
+        ("retransmits", f.retransmits),
+        ("dropped_transfers", f.dropped_transfers),
+        ("corrupted_transfers", f.corrupted_transfers),
+        ("repairs", f.repairs),
+        ("crashed_workers", f.crashed_workers),
+        ("forced_deliveries", f.forced_deliveries),
+        ("rejoins", f.rejoins),
+    ];
+    out.push('{');
+    for (key, value) in counters {
+        out.push_str(&format!(r#""{key}":"#));
+        json::write_str(out, &hex_u64(value));
+        out.push(',');
+    }
+    out.push_str(r#""retry_extra_s":"#);
+    json::write_str(out, &hex_f64(f.retry_extra_s));
+    out.push_str(r#","catchup_extra_s":"#);
+    json::write_str(out, &hex_f64(f.catchup_extra_s));
+    out.push('}');
+}
+
+// --- reader -----------------------------------------------------------------
+
+fn read_phase(v: &Json) -> Result<PhaseBreakdown, String> {
+    let arr = v.as_arr().ok_or("phase breakdown is not an array")?;
+    if arr.len() != 3 {
+        return Err(format!("phase breakdown has {} entries, want 3", arr.len()));
+    }
+    let part = |i: usize| -> Result<f64, String> {
+        parse_hex_f64(arr[i].as_str().ok_or("phase entry is not a string")?)
+    };
+    Ok(PhaseBreakdown {
+        compute_s: part(0)?,
+        compression_s: part(1)?,
+        communication_s: part(2)?,
+    })
+}
+
+fn read_optimizer(v: &Json) -> Result<OptimizerState, String> {
+    match str_field(v, "kind")? {
+        "sgd" => Ok(OptimizerState::Sgd),
+        "momentum" => Ok(OptimizerState::Momentum {
+            velocity: hex_f32s_field(v, "velocity")?,
+        }),
+        "adam" => Ok(OptimizerState::Adam {
+            step: u32::try_from(u64_field(v, "step")?).map_err(|e| e.to_string())?,
+            m: hex_f32s_field(v, "m")?,
+            v: hex_f32s_field(v, "v")?,
+        }),
+        other => Err(format!("unknown optimizer kind {other:?}")),
+    }
+}
+
+fn read_sync(v: &Json) -> Result<SynchronizerSnapshot, String> {
+    let round = u64_field(v, "round")?;
+    let state = match str_field(v, "kind")? {
+        "stateless" => SynchronizerState::Stateless,
+        "ssdm" => SynchronizerState::Ssdm {
+            velocity: hex_f32s_field(v, "velocity")?,
+        },
+        "marsit" => SynchronizerState::Marsit(marsit_core::MarsitSnapshot {
+            round: u64_field(v, "marsit_round")?,
+            compensations: arr_field(v, "compensations")?
+                .iter()
+                .map(|c| parse_hex_f32s(c.as_str().ok_or("compensation is not a string")?))
+                .collect::<Result<_, _>>()?,
+        }),
+        other => return Err(format!("unknown synchronizer kind {other:?}")),
+    };
+    Ok(SynchronizerSnapshot { round, state })
+}
+
+fn read_record(v: &Json) -> Result<RoundRecord, String> {
+    let eval = match field(v, "eval")? {
+        Json::Null => None,
+        Json::Arr(pair) if pair.len() == 2 => Some(Evaluation {
+            loss: parse_hex_f64(pair[0].as_str().ok_or("eval loss is not a string")?)?,
+            accuracy: parse_hex_f64(pair[1].as_str().ok_or("eval accuracy is not a string")?)?,
+        }),
+        _ => return Err("eval is neither null nor a 2-array".to_string()),
+    };
+    Ok(RoundRecord {
+        round: usize::try_from(u64_field(v, "round")?).map_err(|e| e.to_string())?,
+        train_loss: hex_f64_field(v, "train_loss")?,
+        mean_grad_norm_sq: hex_f64_field(v, "mean_grad_norm_sq")?,
+        matching_rate: hex_f64_field(v, "matching_rate")?,
+        full_precision: bool_field(v, "full_precision")?,
+        time: read_phase(field(v, "time")?)?,
+        wire_bits_per_element: hex_f64_field(v, "wire_bits_per_element")?,
+        cumulative_megabits_per_worker: hex_f64_field(v, "cumulative_megabits_per_worker")?,
+        eval,
+    })
+}
+
+fn read_faults(v: &Json) -> Result<FaultStats, String> {
+    Ok(FaultStats {
+        retransmits: hex_u64_field(v, "retransmits")?,
+        dropped_transfers: hex_u64_field(v, "dropped_transfers")?,
+        corrupted_transfers: hex_u64_field(v, "corrupted_transfers")?,
+        repairs: hex_u64_field(v, "repairs")?,
+        crashed_workers: hex_u64_field(v, "crashed_workers")?,
+        forced_deliveries: hex_u64_field(v, "forced_deliveries")?,
+        rejoins: hex_u64_field(v, "rejoins")?,
+        retry_extra_s: hex_f64_field(v, "retry_extra_s")?,
+        catchup_extra_s: hex_f64_field(v, "catchup_extra_s")?,
+    })
+}
+
+impl TrainSnapshot {
+    /// Serializes to one deterministic JSON document (no trailing newline).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            r#"{{"schema":"{SNAPSHOT_SCHEMA}","round":{},"lr":"#,
+            self.round
+        ));
+        json::write_str(&mut out, &format!("{:08x}", self.lr.to_bits()));
+        out.push_str(r#","params":"#);
+        json::write_str(&mut out, &hex_f32s(&self.params));
+        out.push_str(r#","optimizers":["#);
+        for (i, opt) in self.optimizers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_optimizer(&mut out, opt);
+        }
+        out.push_str(r#"],"worker_rngs":["#);
+        for (i, &(state, draws)) in self.worker_rngs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            json::write_str(&mut out, &hex_u64(state));
+            out.push(',');
+            json::write_str(&mut out, &hex_u64(draws));
+            out.push(']');
+        }
+        out.push_str(r#"],"sync":"#);
+        write_sync(&mut out, &self.sync);
+        out.push_str(r#","records":["#);
+        for (i, r) in self.records.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_record(&mut out, r);
+        }
+        out.push_str(r#"],"total_time":"#);
+        write_phase(&mut out, &self.total_time);
+        out.push_str(r#","total_bytes":"#);
+        json::write_str(&mut out, &hex_u64(self.total_bytes));
+        out.push_str(r#","cumulative_bits_per_worker":"#);
+        json::write_str(&mut out, &hex_f64(self.cumulative_bits_per_worker));
+        out.push_str(r#","total_elements":"#);
+        json::write_str(&mut out, &hex_u64(self.total_elements));
+        out.push_str(&format!(r#","diverged":{},"run_faults":"#, self.diverged));
+        write_faults(&mut out, &self.run_faults);
+        out.push('}');
+        out
+    }
+
+    /// Parses a document written by [`TrainSnapshot::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first syntax error, schema mismatch,
+    /// or malformed field.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let v = json::parse(text)?;
+        let schema = str_field(&v, "schema")?;
+        if schema != SNAPSHOT_SCHEMA {
+            return Err(format!(
+                "unsupported snapshot schema {schema:?} (want {SNAPSHOT_SCHEMA:?})"
+            ));
+        }
+        let lr_hex = str_field(&v, "lr")?;
+        if lr_hex.len() != 8 {
+            return Err(format!("lr: expected 8 hex chars, got {lr_hex:?}"));
+        }
+        let lr = u32::from_str_radix(lr_hex, 16)
+            .map(f32::from_bits)
+            .map_err(|e| format!("bad hex f32 {lr_hex:?}: {e}"))?;
+        Ok(Self {
+            round: u64_field(&v, "round")?,
+            lr,
+            params: hex_f32s_field(&v, "params")?,
+            optimizers: arr_field(&v, "optimizers")?
+                .iter()
+                .map(read_optimizer)
+                .collect::<Result<_, _>>()?,
+            worker_rngs: arr_field(&v, "worker_rngs")?
+                .iter()
+                .map(|pair| {
+                    let pair = pair.as_arr().ok_or("rng entry is not an array")?;
+                    if pair.len() != 2 {
+                        return Err("rng entry is not a 2-array".to_string());
+                    }
+                    let word = |i: usize| -> Result<u64, String> {
+                        parse_hex_u64(pair[i].as_str().ok_or("rng word is not a string")?)
+                    };
+                    Ok((word(0)?, word(1)?))
+                })
+                .collect::<Result<_, _>>()?,
+            sync: read_sync(field(&v, "sync")?)?,
+            records: arr_field(&v, "records")?
+                .iter()
+                .map(read_record)
+                .collect::<Result<_, _>>()?,
+            total_time: read_phase(field(&v, "total_time")?)?,
+            total_bytes: hex_u64_field(&v, "total_bytes")?,
+            cumulative_bits_per_worker: hex_f64_field(&v, "cumulative_bits_per_worker")?,
+            total_elements: hex_u64_field(&v, "total_elements")?,
+            diverged: bool_field(&v, "diverged")?,
+            run_faults: read_faults(field(&v, "run_faults")?)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marsit_core::MarsitSnapshot;
+
+    fn sample_snapshot() -> TrainSnapshot {
+        TrainSnapshot {
+            round: 7,
+            lr: 0.1,
+            params: vec![1.5, -2.25, 1e-30, f32::MIN_POSITIVE],
+            optimizers: vec![
+                OptimizerState::Sgd,
+                OptimizerState::Momentum {
+                    velocity: vec![0.25, -0.75],
+                },
+                OptimizerState::Adam {
+                    step: 9,
+                    m: vec![0.125],
+                    v: vec![3.5],
+                },
+            ],
+            worker_rngs: vec![(0xDEAD_BEEF_0000_0001, 42), (u64::MAX, 2u64.pow(60))],
+            sync: SynchronizerSnapshot {
+                round: 7,
+                state: SynchronizerState::Marsit(MarsitSnapshot {
+                    round: 7,
+                    compensations: vec![vec![0.5, -0.5], vec![0.0, 1.0]],
+                }),
+            },
+            records: vec![RoundRecord {
+                round: 6,
+                train_loss: 0.123_456_789,
+                mean_grad_norm_sq: 1e-17,
+                matching_rate: 0.875,
+                full_precision: true,
+                time: PhaseBreakdown {
+                    compute_s: 0.001,
+                    compression_s: 2e-5,
+                    communication_s: 0.25,
+                },
+                wire_bits_per_element: 1.0,
+                cumulative_megabits_per_worker: 12.5,
+                eval: Some(Evaluation {
+                    loss: 0.5,
+                    accuracy: 0.75,
+                }),
+            }],
+            total_time: PhaseBreakdown {
+                compute_s: 0.25,
+                compression_s: 0.125,
+                communication_s: 1.0,
+            },
+            total_bytes: (1 << 55) + 3,
+            cumulative_bits_per_worker: 1e9 + 0.5,
+            total_elements: 10_000,
+            diverged: false,
+            run_faults: FaultStats {
+                retransmits: 3,
+                rejoins: 1,
+                retry_extra_s: 0.125,
+                catchup_extra_s: 1e-300,
+                ..FaultStats::default()
+            },
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_is_exact() {
+        let snap = sample_snapshot();
+        let text = snap.to_json();
+        let back = TrainSnapshot::from_json(&text).expect("parses");
+        assert_eq!(snap, back);
+        // Determinism: re-serializing the parsed snapshot is byte-identical.
+        assert_eq!(text, back.to_json());
+    }
+
+    #[test]
+    fn u64_beyond_2_53_survives() {
+        // The motivating case for hex encoding: a JSON number would lose
+        // the low bits of this value.
+        let snap = sample_snapshot();
+        assert_eq!(snap.total_bytes % 8, 3);
+        let back = TrainSnapshot::from_json(&snap.to_json()).expect("parses");
+        assert_eq!(back.total_bytes, (1 << 55) + 3);
+        assert_eq!(back.worker_rngs[1], (u64::MAX, 2u64.pow(60)));
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let text = sample_snapshot()
+            .to_json()
+            .replace("marsit-checkpoint/1", "marsit-checkpoint/0");
+        let err = TrainSnapshot::from_json(&text).expect_err("must reject");
+        assert!(err.contains("unsupported snapshot schema"), "{err}");
+    }
+
+    #[test]
+    fn truncated_document_is_rejected() {
+        let text = sample_snapshot().to_json();
+        assert!(TrainSnapshot::from_json(&text[..text.len() - 2]).is_err());
+    }
+
+    #[test]
+    fn negative_zero_and_subnormals_roundtrip() {
+        let mut snap = sample_snapshot();
+        snap.params = vec![-0.0, f32::from_bits(1), f32::INFINITY, -f32::NAN];
+        snap.cumulative_bits_per_worker = -0.0;
+        let back = TrainSnapshot::from_json(&snap.to_json()).expect("parses");
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&snap.params), bits(&back.params));
+        assert_eq!(
+            snap.cumulative_bits_per_worker.to_bits(),
+            back.cumulative_bits_per_worker.to_bits()
+        );
+    }
+}

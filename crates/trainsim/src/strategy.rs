@@ -32,7 +32,7 @@ use marsit_collectives::{SumWire, Trace};
 use marsit_compress::cascading::cascade_reduce_practical;
 use marsit_compress::compressor::{Compressor, EfSign, Ssdm};
 use marsit_compress::powersgd::{orthonormalize_columns, PowerSgd as PowerSgdState};
-use marsit_core::{Marsit, MarsitConfig, SyncSchedule};
+use marsit_core::{Marsit, MarsitConfig, MarsitSnapshot, SyncSchedule};
 use marsit_simnet::{FaultPlan, FaultStats, Topology};
 use marsit_tensor::rng::{split_seed, FastRng};
 use marsit_tensor::SignVec;
@@ -197,6 +197,31 @@ pub struct Synchronizer {
     round: u64,
 }
 
+/// Serializable cross-round state of a [`Synchronizer`] (deterministic
+/// checkpoint/restore; see [`Synchronizer::snapshot`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SynchronizerState {
+    /// PSGD, signSGD majority, and cascading carry no cross-round state.
+    Stateless,
+    /// SSDM's namesake momentum buffer.
+    Ssdm {
+        /// The smoothing velocity `v`.
+        velocity: Vec<f32>,
+    },
+    /// Marsit's compensation state and round counter.
+    Marsit(MarsitSnapshot),
+}
+
+/// A deterministic checkpoint of a [`Synchronizer`]: the round counter plus
+/// the strategy's cross-round state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynchronizerSnapshot {
+    /// Rounds synchronized before the capture.
+    pub round: u64,
+    /// Strategy-specific state.
+    pub state: SynchronizerState,
+}
+
 impl Synchronizer {
     /// The strategy kind this synchronizer implements.
     #[must_use]
@@ -208,6 +233,60 @@ impl Synchronizer {
     #[must_use]
     pub fn round(&self) -> u64 {
         self.round
+    }
+
+    /// Captures a deterministic checkpoint: the round counter plus the
+    /// strategy's cross-round state. A restored synchronizer continues
+    /// bit-identically to one that never stopped.
+    ///
+    /// Takes `&mut self` because Marsit materializes its deferred residual
+    /// first (bit-identical to the eager bookkeeping).
+    ///
+    /// # Panics
+    ///
+    /// Panics for EF-signSGD and PowerSGD, whose per-worker error states are
+    /// not checkpointable yet.
+    #[must_use]
+    pub fn snapshot(&mut self) -> SynchronizerSnapshot {
+        let state = match &mut self.state {
+            State::Psgd | State::SignMajority | State::Cascading => SynchronizerState::Stateless,
+            State::Ssdm { velocity } => SynchronizerState::Ssdm {
+                velocity: velocity.clone(),
+            },
+            State::Marsit(marsit) => SynchronizerState::Marsit(marsit.snapshot()),
+            State::EfSign { .. } | State::PowerSgd { .. } => {
+                panic!("checkpointing is not supported for {}", self.kind.label())
+            }
+        };
+        SynchronizerSnapshot {
+            round: self.round,
+            state,
+        }
+    }
+
+    /// Restores state captured by [`Synchronizer::snapshot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot was captured from a different strategy kind
+    /// or with mismatched dimensions.
+    pub fn restore(&mut self, snapshot: &SynchronizerSnapshot) {
+        match (&mut self.state, &snapshot.state) {
+            (
+                State::Psgd | State::SignMajority | State::Cascading,
+                SynchronizerState::Stateless,
+            ) => {}
+            (State::Ssdm { velocity }, SynchronizerState::Ssdm { velocity: saved }) => {
+                assert_eq!(velocity.len(), saved.len(), "dimension mismatch");
+                velocity.copy_from_slice(saved);
+            }
+            (State::Marsit(marsit), SynchronizerState::Marsit(saved)) => marsit.restore(saved),
+            _ => panic!(
+                "snapshot kind mismatch: cannot restore {} from this state",
+                self.kind.label()
+            ),
+        }
+        self.round = snapshot.round;
     }
 
     /// Installs a fault plan on the underlying synchronizer.

@@ -15,7 +15,8 @@ use marsit_telemetry::{scoped, Telemetry};
 use marsit_tensor::rng::{split_seed, FastRng};
 use marsit_tensor::SignVec;
 
-use crate::strategy::StrategyKind;
+use crate::snapshot::TrainSnapshot;
+use crate::strategy::{StrategyKind, Synchronizer};
 use crate::timing::TimingModel;
 
 /// Configuration of one training run.
@@ -257,6 +258,10 @@ pub fn elements_per_round(topology: Topology, d: usize) -> usize {
 
 /// Runs one full training experiment.
 ///
+/// Thin wrapper over [`TrainerState`]: builds the state, steps every round,
+/// and finalizes the report. Interruptible runs drive [`TrainerState`]
+/// directly and checkpoint with [`TrainerState::snapshot`].
+///
 /// # Panics
 ///
 /// Panics on inconsistent configuration (topology vs worker counts,
@@ -264,79 +269,190 @@ pub fn elements_per_round(topology: Topology, d: usize) -> usize {
 /// ever disagree after a synchronization.
 #[must_use]
 pub fn train(cfg: &TrainConfig) -> TrainReport {
-    let m = cfg.topology.workers();
-    assert!(m >= 2, "need at least 2 workers");
-    let (train_set, test_set) = cfg.datasets();
-    let shard_seed = split_seed(cfg.seed, 0x5A4D);
-    let shards = match cfg.data_skew {
-        Some(alpha) => train_set.shard_dirichlet(m, alpha, shard_seed),
-        None => train_set.shard_iid(m, shard_seed),
-    };
-    let spec = cfg.workload.proxy_spec();
-    let d = spec.num_params();
+    let mut state = TrainerState::new(cfg);
+    while !state.is_done() {
+        state.step();
+    }
+    state.finish()
+}
 
-    // Identical replicas (consensus holds by induction from round 0).
-    let reference = Mlp::new(spec, split_seed(cfg.seed, 0x30DE));
-    let mut models: Vec<Mlp> = vec![reference; m];
-    let mut optimizers: Vec<Box<dyn Optimizer>> = (0..m).map(|_| cfg.optimizer.build()).collect();
-    let mut worker_rngs: Vec<FastRng> = (0..m)
-        .map(|w| FastRng::new(split_seed(cfg.seed, a_seed(w)), 1))
-        .collect();
-    let mut sync = cfg.strategy.build(
-        m,
-        d,
-        cfg.local_lr,
-        cfg.marsit_global_lr,
-        split_seed(cfg.seed, 0x57A7),
-    );
-    sync.set_fault_plan(cfg.fault_plan.clone());
-    let timing = TimingModel {
-        rates: cfg.rates,
-        logical_d: cfg.workload.logical_params(),
-        topology: cfg.topology,
-        flops_per_sample: cfg.workload.flops_per_sample(),
-        batch_per_worker: cfg.batch_per_worker,
-        overlap: cfg.overlap,
-    };
+/// A resumable training run: the full mutable state of [`train`], stepped
+/// one synchronization round at a time.
+///
+/// Everything derivable from the [`TrainConfig`] (datasets, shards, the
+/// timing model) is rebuilt on construction; everything that evolves
+/// (replicas, optimizer/synchronizer state, RNG streams, accumulators,
+/// round records) lives here and is captured by [`TrainerState::snapshot`].
+/// A run restored from a snapshot continues **bit-identically** to one that
+/// never stopped — same outcome words, same records, same telemetry events
+/// (the restored run emits no fresh `run_meta`, so an uninterrupted event
+/// log equals the prefix + resumed concatenation).
+pub struct TrainerState {
+    cfg: TrainConfig,
+    shards: Vec<Dataset>,
+    test_set: Dataset,
+    d: usize,
+    models: Vec<Mlp>,
+    optimizers: Vec<Box<dyn Optimizer>>,
+    worker_rngs: Vec<FastRng>,
+    sync: Synchronizer,
+    timing: TimingModel,
+    elements_round: usize,
+    round: usize,
+    lr: f32,
+    records: Vec<RoundRecord>,
+    total_time: PhaseBreakdown,
+    total_bytes: usize,
+    cumulative_bits_per_worker: f64,
+    total_elements: usize,
+    diverged: bool,
+    run_faults: FaultStats,
+}
 
-    let mut records = Vec::with_capacity(cfg.rounds);
-    let mut total_time = PhaseBreakdown::zero();
-    let mut total_bytes = 0usize;
-    let mut cumulative_bits_per_worker = 0.0f64;
-    let mut total_elements = 0usize;
-    let mut lr = cfg.local_lr;
-    let mut diverged = false;
-    let mut run_faults = FaultStats::default();
-    let elements_round = elements_per_round(cfg.topology, d);
-
-    let tel = &cfg.telemetry;
-    if tel.is_enabled() {
-        tel.set_time(0.0);
-        tel.emit(
-            "run_meta",
-            vec![
-                ("schema", "marsit-telemetry/1".into()),
-                ("seed", cfg.seed.into()),
-                ("strategy", cfg.strategy.label().into()),
-                ("topology", format!("{:?}", cfg.topology).into()),
-                ("workers", m.into()),
-                ("d", d.into()),
-                ("rounds", cfg.rounds.into()),
-                ("alpha_s", cfg.rates.link.latency_s().into()),
-                (
-                    "beta_bytes_per_s",
-                    cfg.rates.link.bandwidth_bytes_per_s().into(),
-                ),
-            ],
-        );
+impl TrainerState {
+    /// Builds the run state for round 0 and emits the `run_meta` telemetry
+    /// event.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent configuration (see [`train`]).
+    #[must_use]
+    pub fn new(cfg: &TrainConfig) -> Self {
+        let state = Self::build(cfg);
+        let tel = &state.cfg.telemetry;
+        if tel.is_enabled() {
+            tel.set_time(0.0);
+            tel.emit(
+                "run_meta",
+                vec![
+                    ("schema", "marsit-telemetry/1".into()),
+                    ("seed", cfg.seed.into()),
+                    ("strategy", cfg.strategy.label().into()),
+                    ("topology", format!("{:?}", cfg.topology).into()),
+                    ("workers", state.models.len().into()),
+                    ("d", state.d.into()),
+                    ("rounds", cfg.rounds.into()),
+                    ("alpha_s", cfg.rates.link.latency_s().into()),
+                    (
+                        "beta_bytes_per_s",
+                        cfg.rates.link.bandwidth_bytes_per_s().into(),
+                    ),
+                ],
+            );
+        }
+        state
     }
 
-    for t in 0..cfg.rounds {
+    /// Everything deterministically derivable from the configuration, with
+    /// zeroed run-state accumulators. Shared by [`TrainerState::new`] and
+    /// [`TrainerState::restore`].
+    fn build(cfg: &TrainConfig) -> Self {
+        let m = cfg.topology.workers();
+        assert!(m >= 2, "need at least 2 workers");
+        let (train_set, test_set) = cfg.datasets();
+        let shard_seed = split_seed(cfg.seed, 0x5A4D);
+        let shards = match cfg.data_skew {
+            Some(alpha) => train_set.shard_dirichlet(m, alpha, shard_seed),
+            None => train_set.shard_iid(m, shard_seed),
+        };
+        let spec = cfg.workload.proxy_spec();
+        let d = spec.num_params();
+
+        // Identical replicas (consensus holds by induction from round 0).
+        let reference = Mlp::new(spec, split_seed(cfg.seed, 0x30DE));
+        let models: Vec<Mlp> = vec![reference; m];
+        let optimizers: Vec<Box<dyn Optimizer>> = (0..m).map(|_| cfg.optimizer.build()).collect();
+        let worker_rngs: Vec<FastRng> = (0..m)
+            .map(|w| FastRng::new(split_seed(cfg.seed, a_seed(w)), 1))
+            .collect();
+        let mut sync = cfg.strategy.build(
+            m,
+            d,
+            cfg.local_lr,
+            cfg.marsit_global_lr,
+            split_seed(cfg.seed, 0x57A7),
+        );
+        sync.set_fault_plan(cfg.fault_plan.clone());
+        let timing = TimingModel {
+            rates: cfg.rates,
+            logical_d: cfg.workload.logical_params(),
+            topology: cfg.topology,
+            flops_per_sample: cfg.workload.flops_per_sample(),
+            batch_per_worker: cfg.batch_per_worker,
+            overlap: cfg.overlap,
+        };
+
+        Self {
+            shards,
+            test_set,
+            d,
+            models,
+            optimizers,
+            worker_rngs,
+            sync,
+            timing,
+            elements_round: elements_per_round(cfg.topology, d),
+            round: 0,
+            lr: cfg.local_lr,
+            records: Vec::with_capacity(cfg.rounds),
+            total_time: PhaseBreakdown::zero(),
+            total_bytes: 0,
+            cumulative_bits_per_worker: 0.0,
+            total_elements: 0,
+            diverged: false,
+            run_faults: FaultStats::default(),
+            cfg: cfg.clone(),
+        }
+    }
+
+    /// The next round index to run (also: rounds completed so far).
+    #[must_use]
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// Whether every configured round has run.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.round >= self.cfg.rounds
+    }
+
+    /// Per-round records completed so far.
+    #[must_use]
+    pub fn records(&self) -> &[RoundRecord] {
+        &self.records
+    }
+
+    /// Whether every replica currently holds bit-identical parameters (the
+    /// MAR consensus invariant).
+    #[must_use]
+    pub fn replicas_consistent(&self) -> bool {
+        let p0 = self.models[0].params_vec();
+        self.models
+            .iter()
+            .skip(1)
+            .all(|model| model.params_vec() == p0)
+    }
+
+    /// Runs one synchronization round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run is already done, or — with `check_consistency` —
+    /// if the replicas disagree after the synchronization.
+    pub fn step(&mut self) {
+        assert!(!self.is_done(), "all configured rounds have run");
+        let cfg = self.cfg.clone();
+        let m = self.models.len();
+        let d = self.d;
+        let t = self.round;
+        let lr = self.lr;
+        let tel = &cfg.telemetry;
         // Telemetry rides the simulated clock: every event this round is
         // stamped with the time elapsed before the round started.
-        tel.set_time(total_time.total());
+        tel.set_time(self.total_time.total());
         let draws_before: Vec<u64> = if tel.is_enabled() {
-            worker_rngs.iter().map(FastRng::draws).collect()
+            self.worker_rngs.iter().map(FastRng::draws).collect()
         } else {
             Vec::new()
         };
@@ -351,10 +467,10 @@ pub fn train(cfg: &TrainConfig) -> TrainReport {
             std::thread::scope(|scope| {
                 for ((((slot, model), opt), rng), shard) in slots
                     .iter_mut()
-                    .zip(&mut models)
-                    .zip(&mut optimizers)
-                    .zip(&mut worker_rngs)
-                    .zip(&shards)
+                    .zip(&mut self.models)
+                    .zip(&mut self.optimizers)
+                    .zip(&mut self.worker_rngs)
+                    .zip(&self.shards)
                 {
                     scope.spawn(move || {
                         *slot = Some(worker_step(
@@ -377,10 +493,10 @@ pub fn train(cfg: &TrainConfig) -> TrainReport {
             (0..m)
                 .map(|w| {
                     worker_step(
-                        &mut models[w],
-                        optimizers[w].as_mut(),
-                        &mut worker_rngs[w],
-                        &shards[w],
+                        &mut self.models[w],
+                        self.optimizers[w].as_mut(),
+                        &mut self.worker_rngs[w],
+                        &self.shards[w],
                         batch_per_worker,
                         lr,
                         d,
@@ -401,7 +517,7 @@ pub fn train(cfg: &TrainConfig) -> TrainReport {
         let mean_grad_norm_sq: f64 = raw_grad_mean.iter().map(|&g| g * g).sum();
         let train_loss = loss_sum / m as f64;
         if !train_loss.is_finite() {
-            diverged = true;
+            self.diverged = true;
         }
 
         // Exact mean (free in-process) for the matching-rate metric.
@@ -414,7 +530,7 @@ pub fn train(cfg: &TrainConfig) -> TrainReport {
 
         // Synchronize, with the telemetry scope installed so the collectives
         // and the Marsit core report per-hop and per-sync events.
-        let out = scoped(tel, || sync.synchronize(&local_updates, cfg.topology));
+        let out = scoped(tel, || self.sync.synchronize(&local_updates, cfg.topology));
         // Matching rate against what the strategy actually aggregated
         // (compensated updates for Marsit, raw updates otherwise).
         let reference = out.reference_mean.as_deref().unwrap_or(&exact_mean);
@@ -422,12 +538,12 @@ pub fn train(cfg: &TrainConfig) -> TrainReport {
             SignVec::from_signs(&out.global_update).matching_rate(&SignVec::from_signs(reference));
 
         // Apply the consensus update everywhere.
-        for model in &mut models {
+        for model in &mut self.models {
             model.apply_update(&out.global_update);
         }
-        if cfg.check_consistency && (t % 16 == 0 || t + 1 == cfg.rounds) {
-            let p0 = models[0].params_vec();
-            for (w, model) in models.iter().enumerate().skip(1) {
+        if cfg.check_consistency && (t.is_multiple_of(16) || t + 1 == cfg.rounds) {
+            let p0 = self.models[0].params_vec();
+            for (w, model) in self.models.iter().enumerate().skip(1) {
                 assert_eq!(
                     model.params_vec(),
                     p0,
@@ -438,21 +554,22 @@ pub fn train(cfg: &TrainConfig) -> TrainReport {
         if out.full_precision {
             if let Some(decay) = cfg.lr_decay_on_full_precision {
                 if t > 0 {
-                    lr *= decay;
+                    self.lr *= decay;
                 }
             }
         }
 
         // Accounting. An active fault plan stretches the simulated clock:
-        // stragglers multiply this round's compute, and every retransmit
-        // pays a timeout plus one extra α–β transfer of its payload.
-        let mut time = timing.round_time(cfg.strategy, out.full_precision);
+        // stragglers multiply this round's compute, every retransmit pays a
+        // timeout plus one extra α–β transfer of its payload, and every
+        // rejoining worker pays a full-precision catch-up state transfer.
+        let mut time = self.timing.round_time(cfg.strategy, out.full_precision);
         let base_compute_s = time.compute_s;
         let mut round_faults = out.faults;
         if !cfg.fault_plan.is_none() {
             time.compute_s *= cfg.fault_plan.compute_multiplier(t as u64);
             if round_faults.retransmits > 0 {
-                let payload = retry_payload_bytes(timing.logical_d, m, out.full_precision);
+                let payload = retry_payload_bytes(self.timing.logical_d, m, out.full_precision);
                 round_faults.retry_extra_s = cost::retry_overhead_time(
                     cfg.rates.link,
                     payload,
@@ -461,21 +578,26 @@ pub fn train(cfg: &TrainConfig) -> TrainReport {
                 );
                 time.communication_s += round_faults.retry_extra_s;
             }
-            run_faults.merge(&round_faults);
+            if round_faults.rejoins > 0 {
+                round_faults.catchup_extra_s = round_faults.rejoins as f64
+                    * cfg.rates.link.transfer_time(self.timing.logical_d * 4);
+                time.communication_s += round_faults.catchup_extra_s;
+            }
+            self.run_faults.merge(&round_faults);
         }
-        total_time += time;
+        self.total_time += time;
         let round_bytes = out.trace.total_bytes();
-        total_bytes += round_bytes;
-        total_elements += elements_round;
-        cumulative_bits_per_worker += round_bytes as f64 * 8.0 / m as f64;
-        let wire_bits_per_element = round_bytes as f64 * 8.0 / elements_round as f64;
+        self.total_bytes += round_bytes;
+        self.total_elements += self.elements_round;
+        self.cumulative_bits_per_worker += round_bytes as f64 * 8.0 / m as f64;
+        let wire_bits_per_element = round_bytes as f64 * 8.0 / self.elements_round as f64;
 
-        let eval = if (cfg.eval_every > 0 && (t + 1) % cfg.eval_every == 0) || t + 1 == cfg.rounds {
-            Some(models[0].evaluate(&test_set))
+        let eval = if (cfg.eval_every > 0 && (t + 1).is_multiple_of(cfg.eval_every)) || t + 1 == cfg.rounds {
+            Some(self.models[0].evaluate(&self.test_set))
         } else {
             None
         };
-        records.push(RoundRecord {
+        self.records.push(RoundRecord {
             round: t,
             train_loss,
             mean_grad_norm_sq,
@@ -483,12 +605,11 @@ pub fn train(cfg: &TrainConfig) -> TrainReport {
             full_precision: out.full_precision,
             time,
             wire_bits_per_element,
-            cumulative_megabits_per_worker: cumulative_bits_per_worker / 1e6,
+            cumulative_megabits_per_worker: self.cumulative_bits_per_worker / 1e6,
             eval,
         });
 
         if tel.is_enabled() {
-            let crashed = cfg.fault_plan.crashed_at(t as u64);
             for (w, &before) in draws_before.iter().enumerate() {
                 let straggler_mult = cfg
                     .fault_plan
@@ -506,8 +627,8 @@ pub fn train(cfg: &TrainConfig) -> TrainReport {
                         ("worker", w.into()),
                         ("compute_s", worker_compute_s.into()),
                         ("straggler_mult", straggler_mult.into()),
-                        ("rng_draws", (worker_rngs[w].draws() - before).into()),
-                        ("crashed", (crashed == Some(w)).into()),
+                        ("rng_draws", (self.worker_rngs[w].draws() - before).into()),
+                        ("crashed", (!cfg.fault_plan.live_at(w, t as u64)).into()),
                     ],
                 );
             }
@@ -533,22 +654,107 @@ pub fn train(cfg: &TrainConfig) -> TrainReport {
             tel.observe("train.matching_rate", matching_rate);
             tel.observe("train.wire_bits_per_elem", wire_bits_per_element);
         }
+        self.round += 1;
     }
-    tel.set_time(total_time.total());
 
-    let final_eval = models[0].evaluate(&test_set);
-    if !final_eval.loss.is_finite() {
-        diverged = true;
+    /// Consumes the state into the final [`TrainReport`].
+    #[must_use]
+    pub fn finish(self) -> TrainReport {
+        let tel = &self.cfg.telemetry;
+        tel.set_time(self.total_time.total());
+
+        let final_eval = self.models[0].evaluate(&self.test_set);
+        let diverged = self.diverged || !final_eval.loss.is_finite();
+        TrainReport {
+            strategy_label: self.cfg.strategy.label(),
+            records: self.records,
+            final_eval,
+            total_time: self.total_time,
+            total_bytes: self.total_bytes,
+            avg_wire_bits_per_element: self.total_bytes as f64 * 8.0
+                / self.total_elements.max(1) as f64,
+            diverged,
+            faults: self.run_faults,
+        }
     }
-    TrainReport {
-        strategy_label: cfg.strategy.label(),
-        records,
-        final_eval,
-        total_time,
-        total_bytes,
-        avg_wire_bits_per_element: total_bytes as f64 * 8.0 / total_elements.max(1) as f64,
-        diverged,
-        faults: run_faults,
+
+    /// Captures every evolving quantity at the current round boundary.
+    ///
+    /// Because the consensus update is applied to all replicas each round,
+    /// the replicas are bit-identical; the snapshot stores a *single*
+    /// parameter vector alongside per-worker optimizer states and RNG
+    /// streams, the synchronizer state, and the run accumulators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replicas have diverged from consensus, or if the
+    /// strategy does not support checkpointing (see
+    /// [`Synchronizer::snapshot`](crate::strategy::Synchronizer::snapshot)).
+    #[must_use]
+    pub fn snapshot(&mut self) -> TrainSnapshot {
+        assert!(
+            self.replicas_consistent(),
+            "cannot snapshot: replicas have diverged from consensus"
+        );
+        TrainSnapshot {
+            round: self.round as u64,
+            lr: self.lr,
+            params: self.models[0].params_vec(),
+            optimizers: self.optimizers.iter().map(|o| o.state()).collect(),
+            worker_rngs: self.worker_rngs.iter().map(FastRng::snapshot).collect(),
+            sync: self.sync.snapshot(),
+            records: self.records.clone(),
+            total_time: self.total_time,
+            total_bytes: self.total_bytes as u64,
+            cumulative_bits_per_worker: self.cumulative_bits_per_worker,
+            total_elements: self.total_elements as u64,
+            diverged: self.diverged,
+            run_faults: self.run_faults,
+        }
+    }
+
+    /// Rebuilds a run from `cfg` and a snapshot captured by
+    /// [`TrainerState::snapshot`]; the resumed run continues bit-identically.
+    ///
+    /// Emits **no** fresh `run_meta` event: concatenating the original run's
+    /// telemetry prefix with the resumed run's events reproduces the
+    /// uninterrupted log byte-for-byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's shapes disagree with the configuration
+    /// (worker count, parameter dimension, synchronizer kind).
+    #[must_use]
+    pub fn restore(cfg: &TrainConfig, snapshot: &TrainSnapshot) -> Self {
+        let mut state = Self::build(cfg);
+        let m = state.models.len();
+        assert_eq!(snapshot.optimizers.len(), m, "worker count mismatch");
+        assert_eq!(snapshot.worker_rngs.len(), m, "worker count mismatch");
+        assert_eq!(
+            snapshot.params.len(),
+            state.d,
+            "parameter dimension mismatch"
+        );
+        for model in &mut state.models {
+            model.write_params(&snapshot.params);
+        }
+        for (opt, s) in state.optimizers.iter_mut().zip(&snapshot.optimizers) {
+            opt.load_state(s);
+        }
+        for (rng, &pair) in state.worker_rngs.iter_mut().zip(&snapshot.worker_rngs) {
+            *rng = FastRng::from_snapshot(pair);
+        }
+        state.sync.restore(&snapshot.sync);
+        state.round = snapshot.round as usize;
+        state.lr = snapshot.lr;
+        state.records.clone_from(&snapshot.records);
+        state.total_time = snapshot.total_time;
+        state.total_bytes = snapshot.total_bytes as usize;
+        state.cumulative_bits_per_worker = snapshot.cumulative_bits_per_worker;
+        state.total_elements = snapshot.total_elements as usize;
+        state.diverged = snapshot.diverged;
+        state.run_faults = snapshot.run_faults;
+        state
     }
 }
 

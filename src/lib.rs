@@ -61,13 +61,17 @@ pub use marsit_trainsim as trainsim;
 
 /// The items needed by a typical experiment, importable in one line.
 pub mod prelude {
-    pub use marsit_core::{Marsit, MarsitConfig, SyncSchedule};
+    pub use marsit_collectives::{DegradedMode, SyncError, TopologyReconfigurer};
+    pub use marsit_core::{Marsit, MarsitConfig, MarsitSnapshot, SyncSchedule};
     pub use marsit_datagen::synthetic::{cifar10_like, imagenet_like, imdb_like, mnist_like};
     pub use marsit_models::{Evaluation, Mlp, MlpSpec, Model, OptimizerKind, Workload};
     pub use marsit_simnet::{
-        FaultPlan, FaultStats, LinkModel, PhaseBreakdown, RateProfile, Topology,
+        FaultPlan, FaultStats, LinkModel, MembershipEvent, MembershipSchedule, PhaseBreakdown,
+        RateProfile, Topology,
     };
     pub use marsit_telemetry::Telemetry;
     pub use marsit_tensor::{rng::FastRng, SignVec, Tensor};
-    pub use marsit_trainsim::{train, StrategyKind, TrainConfig, TrainReport};
+    pub use marsit_trainsim::{
+        train, StrategyKind, TrainConfig, TrainReport, TrainSnapshot, TrainerState,
+    };
 }

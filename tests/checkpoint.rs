@@ -1,0 +1,225 @@
+//! Deterministic checkpoint/restore acceptance tests.
+//!
+//! A run interrupted at any round, snapshotted, serialized through the
+//! `marsit-checkpoint/1` JSON format, and restored into a fresh
+//! [`TrainerState`] must be **byte-identical** to the run that never
+//! stopped: same `TrainReport` (every word of every record), same RNG draw
+//! counts, and the same telemetry JSONL — the restored half appends to the
+//! prefix with no fresh `run_meta`, so the concatenation equals the
+//! uninterrupted log. Property-tested across topology (ring(8), torus(2,4)),
+//! strategy state (Marsit with and without the K-periodic schedule, SSDM),
+//! fault plans (clean and crash/rejoin/drop storms), and split points.
+
+use marsit::prelude::*;
+use marsit::trainsim::snapshot::SNAPSHOT_SCHEMA;
+use proptest::prelude::*;
+
+fn base_cfg(topology: Topology, strategy: StrategyKind) -> TrainConfig {
+    let mut cfg = TrainConfig::new(Workload::AlexNetMnist, topology, strategy);
+    cfg.rounds = 10;
+    cfg.train_examples = 512;
+    cfg.test_examples = 128;
+    cfg.eval_every = 4;
+    cfg.local_lr = 0.1;
+    cfg.marsit_global_lr = 0.01;
+    cfg.optimizer = OptimizerKind::Momentum(0.9);
+    cfg
+}
+
+/// The oracle: run uninterrupted; then run to `split`, snapshot, round-trip
+/// the snapshot through JSON, restore into a fresh state sharing the same
+/// telemetry handle, and finish. Reports and event logs must match exactly.
+fn assert_resume_bit_identical(cfg: &TrainConfig, split: usize) {
+    let tel_full = Telemetry::recording();
+    let mut cfg_full = cfg.clone();
+    cfg_full.telemetry = tel_full.clone();
+    let full = train(&cfg_full);
+
+    let tel_split = Telemetry::recording();
+    let mut cfg_split = cfg.clone();
+    cfg_split.telemetry = tel_split.clone();
+    let mut state = TrainerState::new(&cfg_split);
+    for _ in 0..split {
+        state.step();
+    }
+    let snap = state.snapshot();
+    let json = snap.to_json();
+    let parsed = TrainSnapshot::from_json(&json).expect("snapshot JSON parses");
+    assert_eq!(snap, parsed, "JSON round-trip must be lossless");
+    assert_eq!(
+        json,
+        parsed.to_json(),
+        "serialization must be deterministic"
+    );
+    drop(state);
+
+    let mut resumed = TrainerState::restore(&cfg_split, &parsed);
+    assert_eq!(resumed.round(), split);
+    while !resumed.is_done() {
+        resumed.step();
+    }
+    let report = resumed.finish();
+    assert_eq!(full, report, "resumed report diverged (split at {split})");
+    assert_eq!(
+        tel_full.events_jsonl(),
+        tel_split.events_jsonl(),
+        "prefix + resumed telemetry must equal the uninterrupted log"
+    );
+}
+
+#[test]
+fn resume_is_bit_identical_ring_clean_and_faulty() {
+    let clean = base_cfg(Topology::ring(8), StrategyKind::Marsit { k: Some(4) });
+    assert_resume_bit_identical(&clean, 5);
+
+    let mut faulty = clean.clone();
+    faulty.fault_plan = FaultPlan::seeded(31)
+        .with_link_drop(0.05)
+        .with_straggler(2, 3.0)
+        .with_crash_event(3, 2)
+        .with_rejoin(3, 6);
+    // Split before, at, and after the membership events.
+    for split in [1, 4, 7] {
+        assert_resume_bit_identical(&faulty, split);
+    }
+}
+
+#[test]
+fn resume_is_bit_identical_torus_clean_and_faulty() {
+    let clean = base_cfg(Topology::torus(2, 4), StrategyKind::Marsit { k: None });
+    assert_resume_bit_identical(&clean, 3);
+
+    let mut faulty = clean.clone();
+    faulty.fault_plan = FaultPlan::seeded(47)
+        .with_link_drop(0.05)
+        .with_crash_event(5, 3)
+        .with_rejoin(5, 7);
+    assert_resume_bit_identical(&faulty, 5);
+}
+
+/// Shrinks a config to property-test scale: the 64 deterministic cases per
+/// property each run ~2.5 short trainings, so keep rounds and data tiny.
+fn prop_cfg(topology: Topology, strategy: StrategyKind, seed: u64) -> TrainConfig {
+    let mut cfg = base_cfg(topology, strategy);
+    cfg.rounds = 6;
+    cfg.train_examples = 256;
+    cfg.test_examples = 64;
+    cfg.eval_every = 3;
+    cfg.seed = seed;
+    cfg
+}
+
+proptest! {
+    /// Checkpoint/resume is lossless for random split points across
+    /// topologies, Marsit schedules, and clean/faulty plans.
+    #[test]
+    fn resume_roundtrip_holds_for_random_configs(
+        case in any::<u64>(),
+        split in 1usize..6,
+    ) {
+        let torus = case.is_multiple_of(2);
+        let with_k = case % 4 < 2;
+        let faulty = case % 8 < 4;
+        let topology = if torus {
+            Topology::torus(2, 2)
+        } else {
+            Topology::ring(4)
+        };
+        let k = if with_k { Some(3) } else { None };
+        let mut cfg = prop_cfg(topology, StrategyKind::Marsit { k }, case);
+        if faulty {
+            cfg.fault_plan = FaultPlan::seeded(case ^ 0xC0FFEE)
+                .with_link_drop(0.05)
+                .with_crash_event(1, 2)
+                .with_rejoin(1, 4);
+        }
+        assert_resume_bit_identical(&cfg, split);
+    }
+
+    /// SSDM's velocity buffer checkpoints losslessly too (the non-Marsit
+    /// stateful strategy).
+    #[test]
+    fn ssdm_resume_roundtrip_holds(seed in any::<u64>(), split in 1usize..6) {
+        let cfg = prop_cfg(Topology::ring(4), StrategyKind::Ssdm, seed);
+        assert_resume_bit_identical(&cfg, split);
+    }
+}
+
+/// Restoring from a snapshot and continuing does not perturb the state that
+/// produced the snapshot: the donor run keeps producing the same rounds.
+#[test]
+fn snapshot_is_side_effect_free() {
+    let cfg = base_cfg(Topology::ring(4), StrategyKind::Marsit { k: Some(4) });
+    let baseline = train(&cfg);
+    let mut state = TrainerState::new(&cfg);
+    for i in 0..cfg.rounds {
+        if i == 3 || i == 7 {
+            let _ = state.snapshot(); // mid-run captures must be harmless
+        }
+        state.step();
+    }
+    assert_eq!(baseline, state.finish());
+}
+
+/// Golden fixture pinning the `marsit-checkpoint/1` wire format: a
+/// hand-built snapshot serializes to exactly this string. Any change here is
+/// a format break and needs a schema bump.
+#[test]
+fn snapshot_format_golden() {
+    use marsit::models::OptimizerState;
+    use marsit::trainsim::{SynchronizerSnapshot, SynchronizerState};
+
+    let snap = TrainSnapshot {
+        round: 2,
+        lr: 0.5,
+        params: vec![1.0, -2.0],
+        optimizers: vec![
+            OptimizerState::Sgd,
+            OptimizerState::Momentum {
+                velocity: vec![0.5],
+            },
+        ],
+        worker_rngs: vec![(1, 2), (0xABCD, 3)],
+        sync: SynchronizerSnapshot {
+            round: 2,
+            state: SynchronizerState::Marsit(MarsitSnapshot {
+                round: 2,
+                compensations: vec![vec![0.25], vec![-0.25]],
+            }),
+        },
+        records: vec![],
+        total_time: PhaseBreakdown {
+            compute_s: 1.0,
+            compression_s: 0.0,
+            communication_s: 2.0,
+        },
+        total_bytes: 4096,
+        cumulative_bits_per_worker: 16384.0,
+        total_elements: 1024,
+        diverged: false,
+        run_faults: FaultStats::default(),
+    };
+    let expected = concat!(
+        r#"{"schema":"marsit-checkpoint/1","round":2,"lr":"3f000000","#,
+        r#""params":"3f800000c0000000","#,
+        r#""optimizers":[{"kind":"sgd"},{"kind":"momentum","velocity":"3f000000"}],"#,
+        r#""worker_rngs":[["0000000000000001","0000000000000002"],["000000000000abcd","0000000000000003"]],"#,
+        r#""sync":{"round":2,"kind":"marsit","marsit_round":2,"compensations":["3e800000","be800000"]},"#,
+        r#""records":[],"#,
+        r#""total_time":["3ff0000000000000","0000000000000000","4000000000000000"],"#,
+        r#""total_bytes":"0000000000001000","#,
+        r#""cumulative_bits_per_worker":"40d0000000000000","#,
+        r#""total_elements":"0000000000000400","diverged":false,"#,
+        r#""run_faults":{"retransmits":"0000000000000000","dropped_transfers":"0000000000000000","#,
+        r#""corrupted_transfers":"0000000000000000","repairs":"0000000000000000","#,
+        r#""crashed_workers":"0000000000000000","forced_deliveries":"0000000000000000","#,
+        r#""rejoins":"0000000000000000","retry_extra_s":"0000000000000000","#,
+        r#""catchup_extra_s":"0000000000000000"}}"#,
+    );
+    assert_eq!(snap.to_json(), expected);
+    assert_eq!(
+        TrainSnapshot::from_json(expected).expect("golden parses"),
+        snap
+    );
+    assert!(expected.contains(SNAPSHOT_SCHEMA));
+}

@@ -128,7 +128,8 @@ fn survivor_unbiasedness_under_retried_drops() {
         let mut rng = FastRng::new(90_000 + trial, 0);
         let (out, _) = ring_allreduce_onebit_faulty(&signs, &mut inj, |r, l, ctx| {
             combine_weighted_assign(r, ctx.received_count, l, ctx.local_count, &mut rng);
-        });
+        })
+        .expect("valid inputs");
         retransmits += inj.stats().retransmits;
         for (j, o) in ones.iter_mut().enumerate() {
             *o += u32::from(out.get(j));

@@ -99,7 +99,9 @@ fn faulty_ring_sum_reconstructs_with_retries() {
     let tel = Telemetry::recording();
     let mut data = random_data(8, 1000, 5);
     let mut inj = plan.injector(0);
-    let trace = scoped(&tel, || ring_allreduce_sum_faulty(&mut data, &mut inj));
+    let trace = scoped(&tel, || {
+        ring_allreduce_sum_faulty(&mut data, &mut inj).expect("valid inputs")
+    });
     assert!(
         trace.num_steps() > 2 * 7,
         "want retries in this scenario so the expanded-step path is exercised"
@@ -116,7 +118,7 @@ fn faulty_ring_onebit_reconstructs_with_retries() {
     let signs = random_signs(8, 1000, 6);
     let mut inj = plan.injector(0);
     let (_, trace) = scoped(&tel, || {
-        ring_allreduce_onebit_faulty(&signs, &mut inj, keep_received)
+        ring_allreduce_onebit_faulty(&signs, &mut inj, keep_received).expect("valid inputs")
     });
     assert_reconstructs(&tel, &trace);
 }
@@ -130,7 +132,7 @@ fn faulty_torus_onebit_reconstructs_with_retries() {
     let signs = random_signs(8, 1000, 7);
     let mut inj = plan.injector(0);
     let (_, trace) = scoped(&tel, || {
-        torus_allreduce_onebit_faulty(&signs, 2, 4, &mut inj, keep_received)
+        torus_allreduce_onebit_faulty(&signs, 2, 4, &mut inj, keep_received).expect("valid inputs")
     });
     assert_reconstructs(&tel, &trace);
 }
