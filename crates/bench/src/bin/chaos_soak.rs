@@ -13,6 +13,12 @@
 //! - **convergence** — the chaos run still trains: its final loss is finite
 //!   and the clean-vs-chaos loss gap is recorded (and sanity-bounded).
 //!
+//! A second storm runs on the **multi-process transport backend**: one OS
+//! process per rank (this binary re-execs itself as the worker), `SIGKILL`
+//! for one of them mid-session, and the assertions that the survivors
+//! degrade to a typed failure — never a hang — and that a fresh process
+//! rejoining under the same rank restores bit-exact consensus.
+//!
 //! Emits `BENCH_chaos.json` (override with `--out <path>`). `--fast`
 //! shrinks the storm for CI smoke runs; the JSON schema is identical in
 //! both modes (`"mode"` records which ran).
@@ -23,8 +29,13 @@
 
 use std::time::Instant;
 
+use marsit_collectives::SyncError;
+use marsit_core::transport::{drive_round, Scenario, TopoKind};
+use marsit_core::CombineKind;
 use marsit_models::{OptimizerKind, Workload};
-use marsit_simnet::{FaultPlan, MembershipEvent, MembershipSchedule, Topology};
+use marsit_simnet::{
+    FaultPlan, Frame, FrameKind, MembershipEvent, MembershipSchedule, Topology, WireHub, DRIVER,
+};
 use marsit_trainsim::{train, StrategyKind, TrainConfig, TrainSnapshot, TrainerState};
 
 struct Storm {
@@ -80,7 +91,97 @@ fn soak_cfg(storm: &Storm) -> TrainConfig {
     cfg
 }
 
+/// What the multi-process kill/rejoin storm observed.
+struct ProcessSoak {
+    workers: usize,
+    killed_rank: usize,
+    round_before_kill_ok: bool,
+    kill_surfaced_as_disconnect: bool,
+    round_after_rejoin_ok: bool,
+}
+
+/// The process-backend storm: ring(4) of real OS processes (re-execs of this
+/// binary) behind a [`WireHub`]. One clean round, then `SIGKILL` a rank and
+/// drive a round that must fail **typed** on every survivor, then spawn a
+/// replacement under the same rank and drive a round that must again match
+/// the simulator bit-for-bit.
+fn process_soak(storm_seed: u64) -> ProcessSoak {
+    let exe = std::env::current_exe().expect("current exe");
+    let exe = exe.to_str().expect("utf-8 exe path");
+    let sc = Scenario {
+        topo: TopoKind::Ring,
+        world: 4,
+        d: 1024,
+        seed: storm_seed,
+        round: 0,
+        drop_p: None,
+        combine: CombineKind::Weighted,
+    };
+    let reference = sc.run_simulator().expect("simulator reference");
+    let matches_reference = |words: &[u64], combines: u64, draws: u64| {
+        words == reference.consensus_words()
+            && combines == reference.combines
+            && draws == reference.rng_draws
+    };
+
+    let hub = WireHub::bind(sc.world).expect("bind chaos hub");
+    let addr = hub.addr().expect("hub addr").to_string();
+    let mut children: Vec<std::process::Child> = (0..sc.world)
+        .map(|rank| sc.spawn_worker(exe, &addr, rank))
+        .collect();
+    for _ in 0..sc.world {
+        hub.accept_worker().expect("worker hello");
+    }
+
+    // Clean round: four processes agree with the simulator word-for-word.
+    let (words, combines, draws) = drive_round(&hub, &sc).expect("clean process round");
+    let round_before_kill_ok = matches_reference(&words, combines, draws);
+    assert!(round_before_kill_ok, "process consensus diverged pre-kill");
+
+    // SIGKILL one rank; the next round must degrade to a typed failure on
+    // the driver (survivors report `failed`, nobody hangs).
+    let killed_rank = 1;
+    children[killed_rank].kill().expect("kill worker");
+    let _ = children[killed_rank].wait();
+    let kill_surfaced_as_disconnect = matches!(
+        drive_round(&hub, &sc),
+        Err(SyncError::PeerDisconnected { .. })
+    );
+    assert!(
+        kill_surfaced_as_disconnect,
+        "killed worker did not surface as a typed disconnect"
+    );
+
+    // A fresh process rejoins under the same rank; consensus is restored.
+    children[killed_rank] = sc.spawn_worker(exe, &addr, killed_rank);
+    assert_eq!(
+        hub.accept_worker().expect("rejoin hello"),
+        killed_rank,
+        "replacement connected under the wrong rank"
+    );
+    let (words, combines, draws) = drive_round(&hub, &sc).expect("post-rejoin round");
+    let round_after_rejoin_ok = matches_reference(&words, combines, draws);
+    assert!(round_after_rejoin_ok, "post-rejoin consensus diverged");
+
+    hub.broadcast(&Frame::control(FrameKind::Stop, DRIVER, DRIVER));
+    for child in &mut children {
+        let _ = child.wait();
+    }
+    ProcessSoak {
+        workers: sc.world,
+        killed_rank,
+        round_before_kill_ok,
+        kill_surfaced_as_disconnect,
+        round_after_rejoin_ok,
+    }
+}
+
 fn main() {
+    // A copy of this binary doubles as one rank of the process-backend storm
+    // (see `process_soak`); the worker environment routes it there.
+    if marsit_core::transport::maybe_run_worker_from_env() {
+        return;
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let storm = if args.iter().any(|a| a == "--fast") {
         FAST
@@ -198,6 +299,16 @@ fn main() {
         snapshot_json.len() as f64 / (1024.0 * 1024.0),
     );
 
+    // --- The process-backend storm: real processes, a real SIGKILL. ---
+    let proc_soak = process_soak(storm.storm_seed);
+    println!(
+        "process storm on ring({}): kill rank {} -> typed disconnect: {}; rejoin -> consensus: {}",
+        proc_soak.workers,
+        proc_soak.killed_rank,
+        proc_soak.kill_surfaced_as_disconnect,
+        proc_soak.round_after_rejoin_ok,
+    );
+
     let f = chaos.faults;
     let json = format!(
         r#"{{
@@ -247,6 +358,14 @@ fn main() {
     "retry_extra_s": {retry_s:.6},
     "catchup_extra_s": {catchup_s:.6}
   }},
+  "process": {{
+    "workers": {proc_workers},
+    "topology": "ring",
+    "killed_rank": {proc_killed_rank},
+    "round_before_kill_ok": {proc_before_ok},
+    "kill_surfaced_as_disconnect": {proc_disconnect},
+    "round_after_rejoin_ok": {proc_rejoin_ok}
+  }},
   "meta": {{
     "clean_wall_s": {clean_s:.3},
     "chaos_wall_s": {chaos_s:.3},
@@ -273,6 +392,11 @@ fn main() {
         rejoins = f.rejoins,
         retry_s = f.retry_extra_s,
         catchup_s = f.catchup_extra_s,
+        proc_workers = proc_soak.workers,
+        proc_killed_rank = proc_soak.killed_rank,
+        proc_before_ok = proc_soak.round_before_kill_ok,
+        proc_disconnect = proc_soak.kill_surfaced_as_disconnect,
+        proc_rejoin_ok = proc_soak.round_after_rejoin_ok,
         git_describe = env!("MARSIT_GIT_DESCRIBE"),
     );
     std::fs::write(out_path, json).expect("write chaos soak JSON");

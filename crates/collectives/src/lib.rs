@@ -31,6 +31,7 @@
 //! assert_eq!(trace.num_steps(), 2); // 2(M−1) with M = 2
 //! ```
 
+pub mod engine;
 pub mod gossip;
 pub mod ps;
 pub mod reconfigure;
@@ -40,6 +41,9 @@ pub mod torus;
 pub mod trace;
 pub mod tree;
 
+pub use engine::{
+    compile_plan, run_lockstep, run_rank, run_threaded, EnginePlan, PlanTopology, PlannedTransfer,
+};
 pub use reconfigure::{DegradedMode, EffectiveTopology, SyncError, TopologyReconfigurer};
 pub use ring::{CombineCtx, PlannedHop, SumWire};
 pub use trace::Trace;

@@ -65,6 +65,13 @@ pub enum SyncError {
     },
     /// A segmented ring was requested with zero macro-segments.
     ZeroSegments,
+    /// A hop's peer vanished mid-collective (dead thread, crashed process,
+    /// closed socket). The round degrades through the reconfiguration path —
+    /// the next round re-forms over the survivors — instead of aborting.
+    PeerDisconnected {
+        /// Rank of the vanished peer.
+        peer: usize,
+    },
 }
 
 impl std::fmt::Display for SyncError {
@@ -88,6 +95,9 @@ impl std::fmt::Display for SyncError {
                 workers,
             } => write!(f, "torus {rows}x{cols} cannot host {workers} workers"),
             Self::ZeroSegments => write!(f, "segmented ring needs >= 1 macro-segment"),
+            Self::PeerDisconnected { peer } => {
+                write!(f, "peer {peer} disconnected mid-collective")
+            }
         }
     }
 }

@@ -40,10 +40,14 @@ pub mod marsit;
 pub mod ominus;
 pub mod schedule;
 pub mod theory;
+pub mod transport;
 
 pub use compensation::Compensation;
 pub use marsit::{CombineKind, Marsit, MarsitConfig, MarsitSnapshot, SyncOutcome};
 pub use schedule::SyncSchedule;
+pub use transport::{
+    maybe_run_worker_from_env, process_worker_main, RunArtifacts, Scenario, TopoKind,
+};
 
 #[cfg(test)]
 mod proptests {

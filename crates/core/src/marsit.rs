@@ -17,7 +17,9 @@
 //! multi-hop all-reduce — which the simulator asserts after every round.
 
 use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, Ordering};
 
+use marsit_collectives::engine::{compile_plan, run_threaded, PlanTopology};
 use marsit_collectives::ring::{
     ring_allreduce_onebit_faulty, ring_allreduce_onebit_weighted_hooked, ring_allreduce_sum,
     ring_allreduce_sum_faulty,
@@ -26,9 +28,9 @@ use marsit_collectives::torus::{
     torus_allreduce_onebit_faulty, torus_allreduce_onebit_hooked, torus_allreduce_sum,
 };
 use marsit_collectives::{
-    CombineCtx, DegradedMode, EffectiveTopology, PlannedHop, TopologyReconfigurer, Trace,
+    CombineCtx, DegradedMode, EffectiveTopology, PlannedHop, SyncError, TopologyReconfigurer, Trace,
 };
-use marsit_simnet::{FaultPlan, FaultStats, Topology};
+use marsit_simnet::{Backend, FaultInjector, FaultPlan, FaultStats, LinkModel, Topology};
 use marsit_tensor::rng::{split_seed, FastRng};
 use marsit_tensor::{fill_bernoulli_mask_words, MaskLane, SignVec};
 
@@ -64,6 +66,15 @@ pub struct MarsitConfig {
     /// Faults to inject into the collectives ([`FaultPlan::none`] by
     /// default; a none plan takes the exact fault-free code path).
     pub fault_plan: FaultPlan,
+    /// Which transport backend executes the one-bit collectives.
+    /// [`Backend::Simulator`] (the default) runs the legacy in-process
+    /// schedules; [`Backend::Threaded`] compiles the same schedule to an
+    /// engine plan and runs one OS thread per worker over in-process
+    /// channels — bit-identical consensus, traces, and telemetry via the
+    /// ctx-addressed RNG contract. [`Backend::Process`] cannot run inside
+    /// one `Marsit` instance (workers are separate OS processes); drive it
+    /// through `marsit_core::transport` instead.
+    pub backend: Backend,
 }
 
 impl MarsitConfig {
@@ -84,7 +95,25 @@ impl MarsitConfig {
             seed,
             combine: CombineKind::Weighted,
             fault_plan: FaultPlan::none(),
+            backend: Backend::Simulator,
         }
+    }
+
+    /// Runs the one-bit collectives on the given transport backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`Backend::Process`]: separate worker processes cannot live
+    /// inside one `Marsit` instance — use `marsit_core::transport` to drive
+    /// a multi-process round.
+    #[must_use]
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        assert!(
+            backend != Backend::Process,
+            "the process backend is driven externally (marsit_core::transport)"
+        );
+        self.backend = backend;
+        self
     }
 
     /// Switches to the biased coin-flip combine (ablation).
@@ -449,6 +478,128 @@ fn deferred_residual_norm_sq(h: &[f32], consensus: &SignVec, scale: f32) -> f64 
     total
 }
 
+/// The link every in-process engine backend prices its fabric with. Only the
+/// simulator clock reads it, so the choice never perturbs payload bits; the
+/// public-cloud α–β profile keeps simulated timings consistent with the
+/// legacy collectives' pricing.
+pub(crate) fn engine_link() -> LinkModel {
+    marsit_simnet::RateProfile::public_cloud().link
+}
+
+/// The ctx-derived combine closure the engine backends run on every rank:
+/// bit-identical to the unbatched faulty closure and — via the planner
+/// equivalence invariant — to the clean path's [`MaskPlanner`]. The RNG
+/// stream is a pure function of `(receiver, segment, step)`, so per-rank
+/// execution order cannot perturb the masks.
+pub(crate) fn engine_combine<'a>(
+    round_seed: u64,
+    kind: CombineKind,
+    combines: &'a AtomicU64,
+    rng_draws: &'a AtomicU64,
+) -> impl FnMut(&SignVec, &mut SignVec, CombineCtx) + Send + 'a {
+    move |recv: &SignVec, local: &mut SignVec, ctx: CombineCtx| {
+        let mut rng = FastRng::new(round_seed, stream_for(&ctx));
+        match kind {
+            CombineKind::Weighted => {
+                combine_weighted_assign(recv, ctx.received_count, local, ctx.local_count, &mut rng)
+            }
+            CombineKind::UnweightedAblation => combine_unweighted_assign(recv, local, &mut rng),
+        }
+        combines.fetch_add(1, Ordering::Relaxed);
+        rng_draws.fetch_add(rng.draws(), Ordering::Relaxed);
+    }
+}
+
+/// Runs a clean one-bit round on the threaded engine backend.
+///
+/// The [`Trace`] and per-hop telemetry come from a zero-payload walk of the
+/// *legacy* schedule on the caller thread — both depend only on shapes and
+/// schedules, never payload bits, so they are byte-identical to the
+/// simulator backend. The sign words themselves flow rank-per-OS-thread over
+/// a `ChannelFabric`, combined with the frozen per-hop RNG streams; the
+/// engine also executes the gather the legacy path only traces, so every
+/// rank (rank 0 included) lands on the legacy consensus.
+fn engine_onebit_clean(
+    signs: &[SignVec],
+    topology: Topology,
+    round_seed: u64,
+    kind: CombineKind,
+    combines: &Cell<u64>,
+    rng_draws: &Cell<u64>,
+) -> (SignVec, Trace) {
+    let m = signs.len();
+    let d = signs[0].len();
+    let plan_topology = match topology {
+        Topology::Ring { .. } => PlanTopology::Ring,
+        Topology::Torus { rows, cols } => PlanTopology::Torus { rows, cols },
+        Topology::Star { .. } => {
+            panic!("Marsit is a multi-hop all-reduce framework; star/PS is unsupported")
+        }
+    };
+    let plan = compile_plan(plan_topology, m, d, None)
+        .expect("full-membership clean plans always compile");
+    let dummy: Vec<SignVec> = vec![SignVec::zeros(d); m];
+    let (_, trace) = match topology {
+        Topology::Ring { .. } => {
+            ring_allreduce_onebit_weighted_hooked(&dummy, 1, |_| {}, |_, _, _| {})
+        }
+        Topology::Torus { rows, cols } => {
+            torus_allreduce_onebit_hooked(&dummy, rows, cols, |_| {}, |_, _, _| {})
+        }
+        Topology::Star { .. } => unreachable!(),
+    };
+    let total_combines = AtomicU64::new(0);
+    let total_draws = AtomicU64::new(0);
+    let mut states = run_threaded(&plan, signs, engine_link(), |_rank| {
+        engine_combine(round_seed, kind, &total_combines, &total_draws)
+    })
+    .expect("clean engine runs cannot fail");
+    combines.set(combines.get() + total_combines.load(Ordering::Relaxed));
+    rng_draws.set(rng_draws.get() + total_draws.load(Ordering::Relaxed));
+    (states.swap_remove(0), trace)
+}
+
+/// Runs a faulty one-bit round on the threaded engine backend.
+///
+/// `compile_plan` consumes `inj` in the legacy canonical order, so transfer
+/// fates, retry stats, and the injector's RNG position all match the
+/// sequential path exactly; a pre-compile clone replays the same fates
+/// through a zero-payload walk of the legacy schedule for the byte-identical
+/// [`Trace`] and hop telemetry.
+fn engine_onebit_faulty(
+    signs: &[SignVec],
+    effective: EffectiveTopology,
+    inj: &mut FaultInjector,
+    round_seed: u64,
+    kind: CombineKind,
+    combines: &Cell<u64>,
+    rng_draws: &Cell<u64>,
+) -> Result<(SignVec, Trace), SyncError> {
+    let m = signs.len();
+    let d = signs[0].len();
+    let plan_topology = match effective {
+        EffectiveTopology::Torus { rows, cols } => PlanTopology::Torus { rows, cols },
+        _ => PlanTopology::Ring,
+    };
+    let mut walk_inj = inj.clone();
+    let plan = compile_plan(plan_topology, m, d, Some(inj))?;
+    let dummy: Vec<SignVec> = vec![SignVec::zeros(d); m];
+    let (_, trace) = match plan_topology {
+        PlanTopology::Torus { rows, cols } => {
+            torus_allreduce_onebit_faulty(&dummy, rows, cols, &mut walk_inj, |_, _, _| {})?
+        }
+        _ => ring_allreduce_onebit_faulty(&dummy, &mut walk_inj, |_, _, _| {})?,
+    };
+    let total_combines = AtomicU64::new(0);
+    let total_draws = AtomicU64::new(0);
+    let mut states = run_threaded(&plan, signs, engine_link(), |_rank| {
+        engine_combine(round_seed, kind, &total_combines, &total_draws)
+    })?;
+    combines.set(combines.get() + total_combines.load(Ordering::Relaxed));
+    rng_draws.set(rng_draws.get() + total_draws.load(Ordering::Relaxed));
+    Ok((states.swap_remove(0), trace))
+}
+
 /// The Marsit synchronizer: compensation state for `M` workers plus the
 /// round counter.
 ///
@@ -544,6 +695,19 @@ impl Marsit {
     /// Replaces the fault plan (see [`MarsitConfig::with_fault_plan`]).
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
         self.cfg.fault_plan = plan;
+    }
+
+    /// Replaces the collective backend (see [`MarsitConfig::with_backend`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`Backend::Process`] — see [`MarsitConfig::with_backend`].
+    pub fn set_backend(&mut self, backend: Backend) {
+        assert!(
+            backend != Backend::Process,
+            "the process backend is driven externally (marsit_core::transport)"
+        );
+        self.cfg.backend = backend;
     }
 
     /// Mean squared compensation norm across workers (the error-accumulation
@@ -716,22 +880,33 @@ impl Marsit {
             // step's transient masks with interleaved RNG chains and the
             // combine closure replays them bit-identically.
             let round_seed = split_seed(self.cfg.seed, t);
-            let planner = RefCell::new(MaskPlanner::new(round_seed, self.cfg.combine));
-            let step_begin = |plan: &[PlannedHop]| planner.borrow_mut().plan_step(plan);
-            let combine = |recv: &SignVec, local: &mut SignVec, ctx: CombineCtx| {
-                let draws = planner.borrow_mut().apply(recv, local, ctx);
-                combines.set(combines.get() + 1);
-                rng_draws.set(rng_draws.get() + draws);
-            };
-            let (consensus, trace) = match topology {
-                Topology::Ring { .. } => {
-                    ring_allreduce_onebit_weighted_hooked(signs, 1, step_begin, combine)
-                }
-                Topology::Torus { rows, cols } => {
-                    torus_allreduce_onebit_hooked(signs, rows, cols, step_begin, combine)
-                }
-                Topology::Star { .. } => {
-                    panic!("Marsit is a multi-hop all-reduce framework; star/PS is unsupported")
+            let (consensus, trace) = if self.cfg.backend == Backend::Threaded {
+                engine_onebit_clean(
+                    signs,
+                    topology,
+                    round_seed,
+                    self.cfg.combine,
+                    &combines,
+                    &rng_draws,
+                )
+            } else {
+                let planner = RefCell::new(MaskPlanner::new(round_seed, self.cfg.combine));
+                let step_begin = |plan: &[PlannedHop]| planner.borrow_mut().plan_step(plan);
+                let combine = |recv: &SignVec, local: &mut SignVec, ctx: CombineCtx| {
+                    let draws = planner.borrow_mut().apply(recv, local, ctx);
+                    combines.set(combines.get() + 1);
+                    rng_draws.set(rng_draws.get() + draws);
+                };
+                match topology {
+                    Topology::Ring { .. } => {
+                        ring_allreduce_onebit_weighted_hooked(signs, 1, step_begin, combine)
+                    }
+                    Topology::Torus { rows, cols } => {
+                        torus_allreduce_onebit_hooked(signs, rows, cols, step_begin, combine)
+                    }
+                    Topology::Star { .. } => {
+                        panic!("Marsit is a multi-hop all-reduce framework; star/PS is unsupported")
+                    }
                 }
             };
             // Line 9: g_t = η_s · σ (written once, no zero-fill pass).
@@ -936,14 +1111,20 @@ impl Marsit {
                         combines.set(combines.get() + 1);
                         rng_draws.set(rng_draws.get() + rng.draws());
                     };
-                let result = match effective {
-                    // A full-membership torus keeps its hierarchical
-                    // schedule; any partial live set re-forms as a ring
-                    // over the live workers.
-                    EffectiveTopology::Torus { rows, cols } => {
-                        torus_allreduce_onebit_faulty(signs, rows, cols, &mut inj, combine)
+                let result = if self.cfg.backend == Backend::Threaded {
+                    engine_onebit_faulty(
+                        signs, effective, &mut inj, round_seed, kind, &combines, &rng_draws,
+                    )
+                } else {
+                    match effective {
+                        // A full-membership torus keeps its hierarchical
+                        // schedule; any partial live set re-forms as a ring
+                        // over the live workers.
+                        EffectiveTopology::Torus { rows, cols } => {
+                            torus_allreduce_onebit_faulty(signs, rows, cols, &mut inj, combine)
+                        }
+                        _ => ring_allreduce_onebit_faulty(signs, &mut inj, combine),
                     }
-                    _ => ring_allreduce_onebit_faulty(signs, &mut inj, combine),
                 };
                 match result {
                     Ok((consensus, trace)) => {

@@ -1,0 +1,610 @@
+//! Cross-backend conformance scenarios and the multi-process round driver.
+//!
+//! One [`Scenario`] pins a collective run completely: topology, world size,
+//! dimension, seeds, fault probability, combine kind. Running it on any
+//! backend must produce **bit-identical** consensus words and RNG draw
+//! counts, because every source of nondeterminism is derived from the
+//! scenario, never from execution order:
+//!
+//! - worker inputs are per-rank RNG streams (`FastRng::new(seed, rank)`);
+//! - transient combine masks are per-hop streams keyed by
+//!   `(receiver, segment, step)` (the DESIGN.md §9 frozen contract);
+//! - transfer fates come from a seeded [`FaultInjector`] consumed in the
+//!   legacy canonical schedule order by [`compile_plan`].
+//!
+//! Three runners share that contract:
+//!
+//! - [`Scenario::run_simulator`] — the legacy sequential collectives,
+//!   unchanged (the deterministic-simulator backend);
+//! - [`Scenario::run_threaded`] — the compiled engine over an in-process
+//!   channel fabric, one OS thread per rank;
+//! - [`Scenario::run_process`] — one OS *process* per rank speaking
+//!   `marsit-wire/1` over localhost TCP through a [`WireHub`], with
+//!   [`process_worker_main`] as the worker entry point.
+//!
+//! The process driver doubles as the crash/rejoin harness: killing a worker
+//! process surfaces as [`SyncError::PeerDisconnected`] on its peers (never a
+//! hang), and a fresh process reconnecting under the same rank rejoins the
+//! next round.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use marsit_collectives::engine::{compile_plan, run_rank, run_threaded, PlanTopology};
+use marsit_collectives::ring::{
+    ring_allreduce_onebit_faulty, ring_allreduce_onebit_weighted_hooked,
+};
+use marsit_collectives::segring::{segring_allreduce_onebit, segring_allreduce_onebit_faulty};
+use marsit_collectives::torus::{torus_allreduce_onebit_faulty, torus_allreduce_onebit_hooked};
+use marsit_collectives::tree::{tree_allreduce_onebit, tree_allreduce_onebit_faulty};
+use marsit_collectives::{CombineCtx, SyncError, Trace};
+use marsit_simnet::{
+    Backend, FaultInjector, FaultPlan, Frame, FrameKind, HubEvent, ProcessTransport, WireHub,
+    DRIVER,
+};
+use marsit_tensor::rng::{split_seed, FastRng};
+use marsit_tensor::SignVec;
+
+use crate::marsit::{engine_combine, engine_link};
+use crate::CombineKind;
+
+/// How long the driver waits for worker results / the worker waits for its
+/// next control frame before declaring the session wedged.
+const SESSION_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// The collective paradigm a conformance scenario runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopoKind {
+    /// Ring all-reduce over all ranks.
+    Ring,
+    /// 2D-torus all-reduce.
+    Torus {
+        /// Vertical ring length.
+        rows: usize,
+        /// Horizontal ring length.
+        cols: usize,
+    },
+    /// Binary-tree all-reduce.
+    Tree,
+    /// Segmented-ring all-reduce.
+    SegRing {
+        /// Pipeline macro-segments.
+        macro_segments: usize,
+    },
+}
+
+impl TopoKind {
+    /// The engine plan topology this paradigm compiles to.
+    #[must_use]
+    pub fn plan(self) -> PlanTopology {
+        match self {
+            Self::Ring => PlanTopology::Ring,
+            Self::Torus { rows, cols } => PlanTopology::Torus { rows, cols },
+            Self::Tree => PlanTopology::Tree,
+            Self::SegRing { macro_segments } => PlanTopology::SegRing { macro_segments },
+        }
+    }
+
+    /// Stable text form, also the env-var encoding (`ring`, `torus:2x4`,
+    /// `tree`, `segring:3`).
+    #[must_use]
+    pub fn encode(self) -> String {
+        match self {
+            Self::Ring => "ring".into(),
+            Self::Torus { rows, cols } => format!("torus:{rows}x{cols}"),
+            Self::Tree => "tree".into(),
+            Self::SegRing { macro_segments } => format!("segring:{macro_segments}"),
+        }
+    }
+
+    /// Parses [`Self::encode`]'s output.
+    #[must_use]
+    pub fn decode(s: &str) -> Option<Self> {
+        match s {
+            "ring" => Some(Self::Ring),
+            "tree" => Some(Self::Tree),
+            _ => {
+                if let Some(shape) = s.strip_prefix("torus:") {
+                    let (r, c) = shape.split_once('x')?;
+                    Some(Self::Torus {
+                        rows: r.parse().ok()?,
+                        cols: c.parse().ok()?,
+                    })
+                } else if let Some(ms) = s.strip_prefix("segring:") {
+                    Some(Self::SegRing {
+                        macro_segments: ms.parse().ok()?,
+                    })
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// One fully-pinned conformance run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scenario {
+    /// Collective paradigm.
+    pub topo: TopoKind,
+    /// Number of ranks.
+    pub world: usize,
+    /// Sign-vector dimension.
+    pub d: usize,
+    /// Master seed: derives worker inputs, combine masks, and fault fates.
+    pub seed: u64,
+    /// Round index (selects the per-round mask seed and injector stream).
+    pub round: u64,
+    /// Per-transfer drop probability; `None` runs the clean schedule.
+    pub drop_p: Option<f64>,
+    /// The `⊙` flavour.
+    pub combine: CombineKind,
+}
+
+/// What a backend produced for a scenario; the conformance contract is that
+/// every field except `trace` timings is byte-identical across backends
+/// (and `trace` is too, since it comes from the same schedule walk).
+#[derive(Debug, Clone)]
+pub struct RunArtifacts {
+    /// The consensus sign vector (identical on every rank).
+    pub consensus: SignVec,
+    /// Total `⊙` applications across all ranks.
+    pub combines: u64,
+    /// Total transient-mask RNG draws across all ranks.
+    pub rng_draws: u64,
+    /// The wire trace of the schedule.
+    pub trace: Trace,
+}
+
+impl RunArtifacts {
+    /// The packed consensus words (the cross-backend identity the
+    /// conformance suite compares).
+    #[must_use]
+    pub fn consensus_words(&self) -> &[u64] {
+        self.consensus.as_words()
+    }
+}
+
+/// Runs `f` under the legacy one-bit collective selected by `topo`,
+/// clean or faulty. This is both the reference backend and the
+/// trace/telemetry walk the engine backends replay on zero payloads.
+fn legacy_onebit<F>(
+    topo: TopoKind,
+    signs: &[SignVec],
+    inj: Option<&mut FaultInjector>,
+    combine: F,
+) -> Result<(SignVec, Trace), SyncError>
+where
+    F: FnMut(&SignVec, &mut SignVec, CombineCtx),
+{
+    match (topo, inj) {
+        (TopoKind::Ring, None) => Ok(ring_allreduce_onebit_weighted_hooked(
+            signs,
+            1,
+            |_| {},
+            combine,
+        )),
+        (TopoKind::Ring, Some(inj)) => ring_allreduce_onebit_faulty(signs, inj, combine),
+        (TopoKind::Torus { rows, cols }, None) => Ok(torus_allreduce_onebit_hooked(
+            signs,
+            rows,
+            cols,
+            |_| {},
+            combine,
+        )),
+        (TopoKind::Torus { rows, cols }, Some(inj)) => {
+            torus_allreduce_onebit_faulty(signs, rows, cols, inj, combine)
+        }
+        (TopoKind::Tree, None) => Ok(tree_allreduce_onebit(signs, combine)),
+        (TopoKind::Tree, Some(inj)) => tree_allreduce_onebit_faulty(signs, inj, combine),
+        (TopoKind::SegRing { macro_segments }, None) => {
+            Ok(segring_allreduce_onebit(signs, macro_segments, combine))
+        }
+        (TopoKind::SegRing { macro_segments }, Some(inj)) => {
+            segring_allreduce_onebit_faulty(signs, macro_segments, inj, combine)
+        }
+    }
+}
+
+/// Tags the ambient telemetry scope (if any) with the backend identity, so
+/// per-hop events record which transport produced them and which clock its
+/// endpoints report.
+fn tag_telemetry(backend: Backend) {
+    if let Some(tel) = marsit_telemetry::active() {
+        tel.set_transport_tag(backend.name(), backend.clock_kind());
+    }
+}
+
+impl Scenario {
+    /// Every rank's input sign vector: an independent per-rank RNG stream of
+    /// the master seed, so driver and worker processes regenerate identical
+    /// inputs without shipping payloads.
+    #[must_use]
+    pub fn inputs(&self) -> Vec<SignVec> {
+        (0..self.world)
+            .map(|w| {
+                let mut rng = FastRng::new(self.seed, w as u64);
+                SignVec::bernoulli_uniform(self.d, 0.5, &mut rng)
+            })
+            .collect()
+    }
+
+    /// The per-round mask seed (the same `split_seed` derivation the Marsit
+    /// synchronizer uses).
+    #[must_use]
+    pub fn round_seed(&self) -> u64 {
+        split_seed(self.seed, self.round)
+    }
+
+    /// A fresh injector for this scenario's round, or `None` when clean.
+    #[must_use]
+    pub fn injector(&self) -> Option<FaultInjector> {
+        self.drop_p.map(|p| {
+            FaultPlan::seeded(self.seed)
+                .with_link_drop(p)
+                .injector(self.round)
+        })
+    }
+
+    /// Reference run: the legacy sequential collectives (the simulator
+    /// backend), with the ctx-derived unbatched combine.
+    ///
+    /// # Errors
+    ///
+    /// Returns the legacy collective's typed error for impossible shapes.
+    pub fn run_simulator(&self) -> Result<RunArtifacts, SyncError> {
+        tag_telemetry(Backend::Simulator);
+        let combines = AtomicU64::new(0);
+        let draws = AtomicU64::new(0);
+        let combine = engine_combine(self.round_seed(), self.combine, &combines, &draws);
+        let mut inj = self.injector();
+        let (consensus, trace) = legacy_onebit(self.topo, &self.inputs(), inj.as_mut(), combine)?;
+        Ok(RunArtifacts {
+            consensus,
+            combines: combines.load(Ordering::Relaxed),
+            rng_draws: draws.load(Ordering::Relaxed),
+            trace,
+        })
+    }
+
+    /// Zero-payload walk of the legacy schedule: emits the byte-identical
+    /// [`Trace`] and per-hop telemetry for an engine-backed run without
+    /// duplicating any emission code (both depend only on shapes and
+    /// transfer fates, never payload bits).
+    fn walk_trace(&self) -> Result<Trace, SyncError> {
+        let dummy = vec![SignVec::zeros(self.d); self.world];
+        let mut inj = self.injector();
+        let (_, trace) = legacy_onebit(self.topo, &dummy, inj.as_mut(), |_, _, _| {})?;
+        Ok(trace)
+    }
+
+    /// Threaded backend: the compiled engine over an in-process channel
+    /// fabric, one OS thread per rank.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same typed errors as [`Self::run_simulator`].
+    pub fn run_threaded(&self) -> Result<RunArtifacts, SyncError> {
+        tag_telemetry(Backend::Threaded);
+        let trace = self.walk_trace()?;
+        let mut inj = self.injector();
+        let plan = compile_plan(self.topo.plan(), self.world, self.d, inj.as_mut())?;
+        let combines = AtomicU64::new(0);
+        let draws = AtomicU64::new(0);
+        let round_seed = self.round_seed();
+        let kind = self.combine;
+        let mut states = run_threaded(&plan, &self.inputs(), engine_link(), |_rank| {
+            engine_combine(round_seed, kind, &combines, &draws)
+        })?;
+        // Every rank converged on the consensus (the engine executes the
+        // gather/broadcast copies); report rank 0's words.
+        let consensus = states.swap_remove(0);
+        Ok(RunArtifacts {
+            consensus,
+            combines: combines.load(Ordering::Relaxed),
+            rng_draws: draws.load(Ordering::Relaxed),
+            trace,
+        })
+    }
+
+    /// Process backend: spawns one OS process per rank running `worker_exe`
+    /// (a binary that calls [`maybe_run_worker_from_env`] first thing),
+    /// drives one round through a [`WireHub`], and validates that every rank
+    /// reported the same consensus words.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SyncError::PeerDisconnected`] if any worker failed or died
+    /// mid-round.
+    ///
+    /// # Panics
+    ///
+    /// Panics on harness-level failures: the hub cannot bind, a worker
+    /// cannot be spawned, or the session times out.
+    pub fn run_process(&self, worker_exe: &str) -> Result<RunArtifacts, SyncError> {
+        tag_telemetry(Backend::Process);
+        let hub = WireHub::bind(self.world).expect("bind conformance hub");
+        let addr = hub.addr().expect("hub addr").to_string();
+        let mut children: Vec<std::process::Child> = (0..self.world)
+            .map(|rank| self.spawn_worker(worker_exe, &addr, rank))
+            .collect();
+        for _ in 0..self.world {
+            hub.accept_worker().expect("worker hello");
+        }
+        let result = drive_round(&hub, self);
+        hub.broadcast(&Frame::control(FrameKind::Stop, DRIVER, DRIVER));
+        for child in &mut children {
+            let _ = child.wait();
+        }
+        let (consensus_words, combines, rng_draws) = result?;
+        let mut consensus = SignVec::zeros(self.d);
+        consensus.assign_from_words(self.d, &consensus_words);
+        Ok(RunArtifacts {
+            consensus,
+            combines,
+            rng_draws,
+            trace: self.walk_trace()?,
+        })
+    }
+
+    /// Spawns one worker process for `rank`, pointed at the hub.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process cannot be spawned.
+    #[must_use]
+    pub fn spawn_worker(&self, worker_exe: &str, addr: &str, rank: usize) -> std::process::Child {
+        let mut cmd = std::process::Command::new(worker_exe);
+        cmd.env("MARSIT_TW_ADDR", addr)
+            .env("MARSIT_TW_RANK", rank.to_string())
+            .env("MARSIT_TW_WORLD", self.world.to_string())
+            .env("MARSIT_TW_TOPO", self.topo.encode())
+            .env("MARSIT_TW_D", self.d.to_string())
+            .env("MARSIT_TW_SEED", self.seed.to_string())
+            .env("MARSIT_TW_ROUND", self.round.to_string())
+            .env(
+                "MARSIT_TW_COMBINE",
+                match self.combine {
+                    CombineKind::Weighted => "weighted",
+                    CombineKind::UnweightedAblation => "unweighted",
+                },
+            );
+        // f64 → hex bit pattern: exact round-trip, locale-proof.
+        if let Some(p) = self.drop_p {
+            cmd.env("MARSIT_TW_DROP", format!("{:016x}", p.to_bits()));
+        }
+        cmd.spawn().expect("spawn transport worker")
+    }
+
+    /// Reads a scenario back out of the worker environment
+    /// ([`Self::spawn_worker`]'s counterpart).
+    ///
+    /// # Panics
+    ///
+    /// Panics on missing or malformed variables — a worker launched with a
+    /// broken environment cannot do anything useful.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let get = |k: &str| std::env::var(k).unwrap_or_else(|_| panic!("missing env {k}"));
+        Self {
+            topo: TopoKind::decode(&get("MARSIT_TW_TOPO")).expect("bad MARSIT_TW_TOPO"),
+            world: get("MARSIT_TW_WORLD").parse().expect("bad MARSIT_TW_WORLD"),
+            d: get("MARSIT_TW_D").parse().expect("bad MARSIT_TW_D"),
+            seed: get("MARSIT_TW_SEED").parse().expect("bad MARSIT_TW_SEED"),
+            round: get("MARSIT_TW_ROUND").parse().expect("bad MARSIT_TW_ROUND"),
+            drop_p: std::env::var("MARSIT_TW_DROP").ok().map(|hex| {
+                f64::from_bits(u64::from_str_radix(&hex, 16).expect("bad MARSIT_TW_DROP"))
+            }),
+            combine: match get("MARSIT_TW_COMBINE").as_str() {
+                "weighted" => CombineKind::Weighted,
+                "unweighted" => CombineKind::UnweightedAblation,
+                other => panic!("bad MARSIT_TW_COMBINE {other:?}"),
+            },
+        }
+    }
+}
+
+/// Broadcasts one `round` and collects every rank's `result`/`failed`.
+/// Returns rank 0's consensus words plus the summed `⊙`/RNG-draw counters.
+///
+/// Public so fault harnesses (the chaos soak's process mode) can drive the
+/// kill → degrade → rejoin choreography round by round on a hub they manage
+/// themselves; [`Scenario::run_process`] wraps it for the one-shot case.
+///
+/// # Errors
+///
+/// Returns [`SyncError::PeerDisconnected`] if any worker reported a failed
+/// collective or died mid-round.
+///
+/// # Panics
+///
+/// Panics if the session times out, a result frame is malformed, or ranks
+/// disagree on the consensus words (harness-level failures, not faults).
+pub fn drive_round(hub: &WireHub, sc: &Scenario) -> Result<(Vec<u64>, u64, u64), SyncError> {
+    hub.broadcast(&Frame::control(FrameKind::Round, DRIVER, DRIVER));
+    let mut consensus: Vec<Option<Vec<u64>>> = vec![None; sc.world];
+    let mut combines = 0u64;
+    let mut rng_draws = 0u64;
+    let mut failure: Option<SyncError> = None;
+    let mut responded = vec![false; sc.world];
+    while responded.iter().any(|r| !r) {
+        match hub.next_event_timeout(SESSION_TIMEOUT) {
+            Some(HubEvent::Frame(frame)) => {
+                let rank = frame.from as usize;
+                match frame.kind {
+                    FrameKind::Result => {
+                        let mut words = match frame.payload {
+                            marsit_simnet::Payload::Words(w) => w,
+                            _ => panic!("result frame without words"),
+                        };
+                        assert!(words.len() >= 2, "result payload too short");
+                        combines += words[0];
+                        rng_draws += words[1];
+                        let body = words.split_off(2);
+                        consensus[rank] = Some(body);
+                        responded[rank] = true;
+                    }
+                    FrameKind::Failed => {
+                        let peer = match &frame.payload {
+                            marsit_simnet::Payload::Words(w) if !w.is_empty() => w[0] as usize,
+                            _ => usize::MAX,
+                        };
+                        failure.get_or_insert(SyncError::PeerDisconnected { peer });
+                        responded[rank] = true;
+                    }
+                    _ => {}
+                }
+            }
+            Some(HubEvent::Disconnected(rank)) => {
+                failure.get_or_insert(SyncError::PeerDisconnected { peer: rank });
+                responded[rank] = true;
+            }
+            None => panic!("conformance session timed out waiting for results"),
+        }
+    }
+    if let Some(err) = failure {
+        return Err(err);
+    }
+    let first = consensus[0].clone().expect("rank 0 responded");
+    for (rank, words) in consensus.iter().enumerate() {
+        assert_eq!(
+            words.as_ref().expect("rank responded"),
+            &first,
+            "rank {rank} disagrees with rank 0's consensus words"
+        );
+    }
+    Ok((first, combines, rng_draws))
+}
+
+/// Worker entry point: connects to the hub named by the environment and
+/// serves `round` frames until `stop`. Each round recompiles the scenario's
+/// plan locally (deterministic, so all ranks agree on it without any
+/// coordination) and runs this rank's slice over the TCP transport.
+///
+/// A vanished peer surfaces as a `failed` frame to the driver — the worker
+/// stays up and serves the next round, where a rejoined peer (announced by
+/// the hub's `hello`) is usable again.
+///
+/// # Panics
+///
+/// Panics if the hub connection cannot be established or drops, or on a
+/// non-disconnect collective error (both mean the harness itself is broken).
+pub fn process_worker_main() {
+    let sc = Scenario::from_env();
+    let rank: usize = std::env::var("MARSIT_TW_RANK")
+        .expect("missing env MARSIT_TW_RANK")
+        .parse()
+        .expect("bad MARSIT_TW_RANK");
+    let addr = std::env::var("MARSIT_TW_ADDR").expect("missing env MARSIT_TW_ADDR");
+    let mut transport = ProcessTransport::connect(&addr, rank, sc.world, engine_link())
+        .expect("connect to conformance hub");
+    loop {
+        let frame = transport.recv_control().expect("hub connection");
+        match frame.kind {
+            FrameKind::Stop => return,
+            FrameKind::Round => {
+                transport.reset_round();
+                let inputs = sc.inputs();
+                let mut inj = sc.injector();
+                let plan = compile_plan(sc.topo.plan(), sc.world, sc.d, inj.as_mut())
+                    .expect("scenario plan compiles");
+                let combines = AtomicU64::new(0);
+                let draws = AtomicU64::new(0);
+                let combine = engine_combine(sc.round_seed(), sc.combine, &combines, &draws);
+                match run_rank(&plan, &inputs[rank], &mut transport, combine) {
+                    Ok(state) => {
+                        let mut words = vec![
+                            combines.load(Ordering::Relaxed),
+                            draws.load(Ordering::Relaxed),
+                        ];
+                        words.extend_from_slice(state.as_words());
+                        transport
+                            .send_frame(&Frame::words(
+                                FrameKind::Result,
+                                rank as u32,
+                                DRIVER,
+                                words,
+                            ))
+                            .expect("send result");
+                    }
+                    Err(SyncError::PeerDisconnected { peer }) => {
+                        transport
+                            .send_frame(&Frame::words(
+                                FrameKind::Failed,
+                                rank as u32,
+                                DRIVER,
+                                vec![peer as u64],
+                            ))
+                            .expect("send failure report");
+                    }
+                    Err(e) => panic!("conformance collective failed: {e}"),
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Runs [`process_worker_main`] if the worker environment is present.
+/// Binaries that can host a transport worker call this first thing in
+/// `main` and exit when it returns `true`.
+#[must_use]
+pub fn maybe_run_worker_from_env() -> bool {
+    if std::env::var("MARSIT_TW_ADDR").is_err() {
+        return false;
+    }
+    process_worker_main();
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topo_kind_env_round_trips() {
+        for topo in [
+            TopoKind::Ring,
+            TopoKind::Torus { rows: 2, cols: 4 },
+            TopoKind::Tree,
+            TopoKind::SegRing { macro_segments: 3 },
+        ] {
+            assert_eq!(TopoKind::decode(&topo.encode()), Some(topo));
+        }
+        assert_eq!(TopoKind::decode("hypercube"), None);
+        assert_eq!(TopoKind::decode("torus:2"), None);
+    }
+
+    #[test]
+    fn threaded_matches_simulator_all_topologies() {
+        for (topo, world) in [
+            (TopoKind::Ring, 8),
+            (TopoKind::Torus { rows: 2, cols: 4 }, 8),
+            (TopoKind::Tree, 6),
+            (TopoKind::SegRing { macro_segments: 3 }, 4),
+        ] {
+            for drop_p in [None, Some(0.25)] {
+                let sc = Scenario {
+                    topo,
+                    world,
+                    d: 257,
+                    seed: 0xC0FFEE,
+                    round: 3,
+                    drop_p,
+                    combine: CombineKind::Weighted,
+                };
+                let reference = sc.run_simulator().unwrap();
+                let threaded = sc.run_threaded().unwrap();
+                assert_eq!(
+                    reference.consensus_words(),
+                    threaded.consensus_words(),
+                    "{topo:?} drop={drop_p:?}"
+                );
+                assert_eq!(reference.combines, threaded.combines);
+                assert_eq!(reference.rng_draws, threaded.rng_draws);
+                assert_eq!(reference.trace.total_bytes(), threaded.trace.total_bytes());
+                assert_eq!(reference.trace.num_steps(), threaded.trace.num_steps());
+            }
+        }
+    }
+}

@@ -28,11 +28,17 @@ pub mod cost;
 pub mod fault;
 pub mod link;
 pub mod phase;
+pub mod process;
 pub mod topology;
+pub mod transport;
+pub mod wire;
 
 pub use fault::{
     FaultInjector, FaultPlan, FaultStats, MembershipEvent, MembershipSchedule, TransferFate,
 };
 pub use link::{LinkModel, RateProfile};
 pub use phase::PhaseBreakdown;
+pub use process::{HubEvent, ProcessTransport, WireHub};
 pub use topology::Topology;
+pub use transport::{Backend, ChannelFabric, ChannelTransport, Transport, TransportError};
+pub use wire::{Frame, FrameKind, Payload, WireError, DRIVER, WIRE_SCHEMA};

@@ -1,0 +1,567 @@
+//! Multi-process transport: one OS process per rank, `marsit-wire/1` over
+//! localhost TCP.
+//!
+//! The fabric is hub-and-spoke: a driver process binds a [`WireHub`] on
+//! `127.0.0.1`, each worker process opens one [`ProcessTransport`] connection
+//! to it and announces itself with a `hello` frame, and the hub routes `data`
+//! frames between workers. A star instead of a full mesh keeps connection
+//! setup O(world) and gives the driver a single place to observe liveness:
+//! when a worker's socket reaches EOF (clean exit or SIGKILL alike) the hub
+//! broadcasts `down <rank>` to the survivors, whose next receive from that
+//! rank fails with [`TransportError::PeerDisconnected`] and degrades through
+//! the reconfiguration path instead of hanging.
+//!
+//! Round orchestration rides the same connection: the driver sends `round`
+//! frames to start a collective, workers answer `result` (consensus words +
+//! counters) or `failed` (the vanished peer), and `stop` shuts a worker down.
+//! Every frame is one ASCII line (see [`crate::wire`]), so a session is
+//! replayable from a packet capture.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::link::LinkModel;
+use crate::transport::{Backend, Transport, TransportError};
+use crate::wire::{Frame, FrameKind, WireError, DRIVER};
+
+fn io_err(e: std::io::Error) -> TransportError {
+    TransportError::Io(e.to_string())
+}
+
+fn write_frame(stream: &mut TcpStream, frame: &Frame) -> Result<(), TransportError> {
+    stream.write_all(frame.encode().as_bytes()).map_err(io_err)
+}
+
+/// Reads one frame off a buffered socket. `Ok(None)` means clean EOF.
+fn read_frame(reader: &mut BufReader<TcpStream>) -> Result<Option<Frame>, TransportError> {
+    let mut line = String::new();
+    let n = reader.read_line(&mut line).map_err(io_err)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    Ok(Some(Frame::decode(&line)?))
+}
+
+/// Something the hub observed on its worker connections.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HubEvent {
+    /// A frame addressed to the driver (`hello`, `result`, `failed`).
+    Frame(Frame),
+    /// A worker's socket closed (exit or crash).
+    Disconnected(usize),
+}
+
+struct HubShared {
+    /// Writer half per rank; `None` while that rank is down.
+    conns: Mutex<Vec<Option<TcpStream>>>,
+    inbox: Mutex<VecDeque<HubEvent>>,
+    signal: Condvar,
+}
+
+impl HubShared {
+    fn push(&self, event: HubEvent) {
+        self.inbox.lock().expect("hub inbox").push_back(event);
+        self.signal.notify_all();
+    }
+
+    /// Writes `frame` to `rank` if it is up. Returns whether it was up.
+    fn route_to(&self, rank: usize, frame: &Frame) -> bool {
+        let mut conns = self.conns.lock().expect("hub conns");
+        if let Some(Some(stream)) = conns.get_mut(rank) {
+            if write_frame(stream, frame).is_ok() {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn broadcast(&self, frame: &Frame) {
+        let mut conns = self.conns.lock().expect("hub conns");
+        for stream in conns.iter_mut().flatten() {
+            let _ = write_frame(stream, frame);
+        }
+    }
+
+    fn drop_rank(&self, rank: usize) {
+        let mut conns = self.conns.lock().expect("hub conns");
+        if let Some(slot) = conns.get_mut(rank) {
+            *slot = None;
+        }
+        drop(conns);
+        self.broadcast(&Frame::control(FrameKind::Down, rank as u32, DRIVER));
+        self.push(HubEvent::Disconnected(rank));
+    }
+}
+
+/// Driver-side hub: routes `data` frames between worker processes and
+/// surfaces driver-addressed frames and disconnects as [`HubEvent`]s.
+pub struct WireHub {
+    listener: TcpListener,
+    world: usize,
+    shared: Arc<HubShared>,
+}
+
+impl WireHub {
+    /// Binds a hub for `world` ranks on an ephemeral localhost port.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the loopback listener cannot be bound.
+    pub fn bind(world: usize) -> Result<Self, TransportError> {
+        assert!(world > 0, "hub needs at least one rank");
+        let listener = TcpListener::bind(("127.0.0.1", 0)).map_err(io_err)?;
+        Ok(Self {
+            listener,
+            world,
+            shared: Arc::new(HubShared {
+                conns: Mutex::new((0..world).map(|_| None).collect()),
+                inbox: Mutex::new(VecDeque::new()),
+                signal: Condvar::new(),
+            }),
+        })
+    }
+
+    /// Number of ranks this hub serves.
+    #[must_use]
+    pub fn world(&self) -> usize {
+        self.world
+    }
+
+    /// The `host:port` workers should connect to.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the local address cannot be read back from the socket.
+    pub fn addr(&self) -> Result<SocketAddr, TransportError> {
+        self.listener.local_addr().map_err(io_err)
+    }
+
+    /// Accepts one worker connection: waits for its `hello`, registers the
+    /// writer (replacing any dead connection for that rank — this is how a
+    /// crashed worker rejoins), and spawns its reader thread. Returns the
+    /// worker's rank.
+    ///
+    /// # Errors
+    ///
+    /// Fails on socket errors, a malformed first frame, or a rank outside
+    /// `0..world`.
+    pub fn accept_worker(&self) -> Result<usize, TransportError> {
+        let (stream, _) = self.listener.accept().map_err(io_err)?;
+        stream.set_nodelay(true).map_err(io_err)?;
+        let mut reader = BufReader::new(stream.try_clone().map_err(io_err)?);
+        let hello = read_frame(&mut reader)?
+            .ok_or_else(|| TransportError::Io("worker closed before hello".into()))?;
+        if hello.kind != FrameKind::Hello {
+            return Err(TransportError::Wire(WireError::BadPayload {
+                reason: format!("expected hello, got {:?}", hello.kind),
+            }));
+        }
+        let rank = hello.from as usize;
+        if rank >= self.world {
+            return Err(TransportError::Wire(WireError::BadRank {
+                found: hello.from.to_string(),
+            }));
+        }
+        self.shared.conns.lock().expect("hub conns")[rank] = Some(stream);
+        self.shared.push(HubEvent::Frame(hello));
+        // Announce the (re)joined rank to every worker: a `hello` control
+        // frame clears the rank from their dead sets, so a rejoined peer is
+        // usable again from the next round on.
+        self.shared
+            .broadcast(&Frame::control(FrameKind::Hello, rank as u32, DRIVER));
+        let shared = Arc::clone(&self.shared);
+        std::thread::spawn(move || hub_reader(&shared, rank, reader));
+        Ok(rank)
+    }
+
+    /// Sends a driver frame (`round`, `stop`, …) to one worker.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`TransportError::PeerDisconnected`] if the rank is down.
+    pub fn send_to(&self, rank: usize, frame: &Frame) -> Result<(), TransportError> {
+        if self.shared.route_to(rank, frame) {
+            Ok(())
+        } else {
+            Err(TransportError::PeerDisconnected { peer: rank })
+        }
+    }
+
+    /// Sends a driver frame to every live worker.
+    pub fn broadcast(&self, frame: &Frame) {
+        self.shared.broadcast(frame);
+    }
+
+    /// Next driver-addressed frame or disconnect, blocking.
+    #[must_use]
+    pub fn next_event(&self) -> HubEvent {
+        let mut inbox = self.shared.inbox.lock().expect("hub inbox");
+        loop {
+            if let Some(event) = inbox.pop_front() {
+                return event;
+            }
+            inbox = self.shared.signal.wait(inbox).expect("hub wait");
+        }
+    }
+
+    /// Like [`Self::next_event`] but gives up after `timeout`.
+    #[must_use]
+    pub fn next_event_timeout(&self, timeout: Duration) -> Option<HubEvent> {
+        let deadline = Instant::now() + timeout;
+        let mut inbox = self.shared.inbox.lock().expect("hub inbox");
+        loop {
+            if let Some(event) = inbox.pop_front() {
+                return Some(event);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) = self
+                .shared
+                .signal
+                .wait_timeout(inbox, deadline - now)
+                .expect("hub wait");
+            inbox = guard;
+        }
+    }
+
+    /// Whether `rank` currently has a live connection.
+    #[must_use]
+    pub fn is_up(&self, rank: usize) -> bool {
+        self.shared.conns.lock().expect("hub conns")[rank].is_some()
+    }
+}
+
+/// Per-connection reader: routes worker frames until EOF, then reports the
+/// rank down.
+fn hub_reader(shared: &HubShared, rank: usize, mut reader: BufReader<TcpStream>) {
+    loop {
+        match read_frame(&mut reader) {
+            Ok(Some(frame)) => {
+                let to = frame.to;
+                if to == DRIVER {
+                    shared.push(HubEvent::Frame(frame));
+                } else if !shared.route_to(to as usize, &frame) {
+                    // Target is down: bounce a `down` back so the sender's
+                    // next receive from it fails instead of blocking.
+                    shared.route_to(rank, &Frame::control(FrameKind::Down, to, rank as u32));
+                }
+            }
+            Ok(None) | Err(_) => {
+                shared.drop_rank(rank);
+                return;
+            }
+        }
+    }
+}
+
+/// Worker-side endpoint: one TCP connection to the driver's [`WireHub`].
+pub struct ProcessTransport {
+    rank: usize,
+    world: usize,
+    link: LinkModel,
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    /// `data` payloads queued per sender (FIFO), filled while draining the
+    /// socket for something else.
+    inbox: Vec<VecDeque<Vec<u64>>>,
+    /// Driver control frames (`round`, `stop`) queued the same way.
+    control: VecDeque<Frame>,
+    dead: Vec<bool>,
+    started: Instant,
+}
+
+impl ProcessTransport {
+    /// Connects to the hub at `addr` and announces `rank`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the connection or the `hello` write fails.
+    pub fn connect(
+        addr: &str,
+        rank: usize,
+        world: usize,
+        link: LinkModel,
+    ) -> Result<Self, TransportError> {
+        let stream = TcpStream::connect(addr).map_err(io_err)?;
+        stream.set_nodelay(true).map_err(io_err)?;
+        let reader = BufReader::new(stream.try_clone().map_err(io_err)?);
+        let mut writer = stream;
+        write_frame(
+            &mut writer,
+            &Frame::control(FrameKind::Hello, rank as u32, DRIVER),
+        )?;
+        Ok(Self {
+            rank,
+            world,
+            link,
+            reader,
+            writer,
+            inbox: (0..world).map(|_| VecDeque::new()).collect(),
+            control: VecDeque::new(),
+            dead: vec![false; world],
+            started: Instant::now(),
+        })
+    }
+
+    /// Reads one frame and files it (data → per-sender inbox, down → dead
+    /// set, control → control queue).
+    fn pump(&mut self) -> Result<(), TransportError> {
+        let frame = read_frame(&mut self.reader)?
+            .ok_or_else(|| TransportError::Io("hub connection closed".into()))?;
+        match frame.kind {
+            FrameKind::Data => {
+                let from = frame.from as usize;
+                if from < self.world {
+                    if let crate::wire::Payload::Words(words) = frame.payload {
+                        self.inbox[from].push_back(words);
+                    }
+                }
+            }
+            FrameKind::Down => {
+                let rank = frame.from as usize;
+                if rank < self.world {
+                    self.dead[rank] = true;
+                }
+            }
+            // The hub announces every (re)joined rank with a `hello`; the
+            // rank is reachable again.
+            FrameKind::Hello => {
+                let rank = frame.from as usize;
+                if rank < self.world {
+                    self.dead[rank] = false;
+                }
+            }
+            _ => self.control.push_back(frame),
+        }
+        Ok(())
+    }
+
+    /// Next driver control frame (`round`, `stop`, …), blocking. Data
+    /// frames that arrive first — a faster peer already running the next
+    /// round — are buffered, not lost.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the hub connection drops or a frame fails to decode.
+    pub fn recv_control(&mut self) -> Result<Frame, TransportError> {
+        loop {
+            if let Some(frame) = self.control.pop_front() {
+                return Ok(frame);
+            }
+            self.pump()?;
+        }
+    }
+
+    /// Sends a driver-addressed frame (`result`, `failed`).
+    ///
+    /// # Errors
+    ///
+    /// Fails on socket errors.
+    pub fn send_frame(&mut self, frame: &Frame) -> Result<(), TransportError> {
+        write_frame(&mut self.writer, frame)
+    }
+
+    /// Forgets that `rank` was seen down (call when the driver announces a
+    /// rejoin before the next round).
+    pub fn clear_dead(&mut self, rank: usize) {
+        if rank < self.world {
+            self.dead[rank] = false;
+        }
+    }
+
+    /// Discards all buffered data payloads. Call on a `round` frame: the
+    /// hub writes `round` to this connection *after* everything the aborted
+    /// previous round routed here, so whatever sits in the inbox at that
+    /// point is stale. Dead-set state is kept — liveness is tracked by
+    /// `down`/`hello` announcements, not by rounds.
+    pub fn reset_round(&mut self) {
+        for q in &mut self.inbox {
+            q.clear();
+        }
+    }
+}
+
+impl Transport for ProcessTransport {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn world(&self) -> usize {
+        self.world
+    }
+
+    fn backend(&self) -> Backend {
+        Backend::Process
+    }
+
+    fn link(&self) -> LinkModel {
+        self.link
+    }
+
+    fn clock_s(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    fn send_words(&mut self, to: usize, words: &[u64]) -> Result<(), TransportError> {
+        if to >= self.world || self.dead[to] {
+            return Err(TransportError::PeerDisconnected { peer: to });
+        }
+        write_frame(
+            &mut self.writer,
+            &Frame::words(FrameKind::Data, self.rank as u32, to as u32, words.to_vec()),
+        )
+    }
+
+    fn recv_words(&mut self, from: usize) -> Result<Vec<u64>, TransportError> {
+        if from >= self.world {
+            return Err(TransportError::PeerDisconnected { peer: from });
+        }
+        loop {
+            if let Some(words) = self.inbox[from].pop_front() {
+                return Ok(words);
+            }
+            // Any death dooms the whole collective (every plan spans all
+            // ranks), so abort on the first one we learn of — even when the
+            // immediate sender is alive, somebody upstream of it stopped
+            // forwarding, and waiting on this socket would hang forever.
+            if let Some(peer) = (0..self.world).find(|&r| self.dead[r]) {
+                return Err(TransportError::PeerDisconnected { peer });
+            }
+            self.pump()?;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link() -> LinkModel {
+        LinkModel::new(25e-6, 1.25e9)
+    }
+
+    #[test]
+    fn two_workers_exchange_words_through_hub() {
+        let hub = WireHub::bind(2).unwrap();
+        let addr = hub.addr().unwrap().to_string();
+        let workers: Vec<_> = (0..2)
+            .map(|rank| {
+                let addr = addr.clone();
+                std::thread::spawn(move || {
+                    let mut t = ProcessTransport::connect(&addr, rank, 2, link()).unwrap();
+                    // Wait for the driver's go signal: peers may not have
+                    // registered with the hub yet, and a send to an
+                    // unregistered rank bounces as `down`.
+                    assert_eq!(t.recv_control().unwrap().kind, FrameKind::Round);
+                    let peer = 1 - rank;
+                    t.send_words(peer, &[rank as u64 + 100, 0x8000_0000_0000_0000])
+                        .unwrap();
+                    let got = t.recv_words(peer).unwrap();
+                    assert_eq!(got, vec![peer as u64 + 100, 0x8000_0000_0000_0000]);
+                    t.send_frame(&Frame::words(FrameKind::Result, rank as u32, DRIVER, got))
+                        .unwrap();
+                })
+            })
+            .collect();
+        hub.accept_worker().unwrap();
+        hub.accept_worker().unwrap();
+        hub.broadcast(&Frame::control(FrameKind::Round, DRIVER, DRIVER));
+        let mut results = 0;
+        while results < 2 {
+            match hub.next_event_timeout(Duration::from_secs(30)) {
+                Some(HubEvent::Frame(f)) if f.kind == FrameKind::Result => results += 1,
+                Some(_) => {}
+                None => panic!("timed out waiting for worker results"),
+            }
+        }
+        for w in workers {
+            w.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn dead_peer_surfaces_as_peer_disconnected() {
+        let hub = WireHub::bind(2).unwrap();
+        let addr = hub.addr().unwrap().to_string();
+        let survivor = {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut t = ProcessTransport::connect(&addr, 0, 2, link()).unwrap();
+                t.recv_words(1)
+            })
+        };
+        let doomed = ProcessTransport::connect(&addr, 1, 2, link()).unwrap();
+        hub.accept_worker().unwrap();
+        hub.accept_worker().unwrap();
+        drop(doomed); // socket EOF → hub broadcasts `down 1`
+        assert_eq!(
+            survivor.join().unwrap(),
+            Err(TransportError::PeerDisconnected { peer: 1 })
+        );
+        // The hub saw the disconnect too.
+        let mut saw_down = false;
+        while let Some(ev) = hub.next_event_timeout(Duration::from_secs(5)) {
+            if ev == HubEvent::Disconnected(1) {
+                saw_down = true;
+                break;
+            }
+        }
+        assert!(saw_down);
+        assert!(!hub.is_up(1));
+    }
+
+    #[test]
+    fn any_death_unblocks_survivors_waiting_on_live_peers() {
+        let hub = WireHub::bind(3).unwrap();
+        let addr = hub.addr().unwrap().to_string();
+        let waiter = {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut t = ProcessTransport::connect(&addr, 2, 3, link()).unwrap();
+                // Rank 0 is alive but silent; rank 1's death must still
+                // abort this receive (the collective is doomed either way),
+                // and the error names the rank that actually died.
+                t.recv_words(0)
+            })
+        };
+        let silent = ProcessTransport::connect(&addr, 0, 3, link()).unwrap();
+        let doomed = ProcessTransport::connect(&addr, 1, 3, link()).unwrap();
+        for _ in 0..3 {
+            hub.accept_worker().unwrap();
+        }
+        drop(doomed);
+        assert_eq!(
+            waiter.join().unwrap(),
+            Err(TransportError::PeerDisconnected { peer: 1 })
+        );
+        drop(silent);
+    }
+
+    #[test]
+    fn crashed_rank_can_rejoin() {
+        let hub = WireHub::bind(2).unwrap();
+        let addr = hub.addr().unwrap().to_string();
+        let first = ProcessTransport::connect(&addr, 1, 2, link()).unwrap();
+        hub.accept_worker().unwrap();
+        drop(first);
+        loop {
+            match hub.next_event_timeout(Duration::from_secs(30)) {
+                Some(HubEvent::Disconnected(1)) => break,
+                Some(_) => {}
+                None => panic!("timed out waiting for the disconnect"),
+            }
+        }
+        // Same rank, fresh process (modeled by a fresh connection).
+        let mut second = ProcessTransport::connect(&addr, 1, 2, link()).unwrap();
+        assert_eq!(hub.accept_worker().unwrap(), 1);
+        assert!(hub.is_up(1));
+        hub.send_to(1, &Frame::control(FrameKind::Stop, DRIVER, 1))
+            .unwrap();
+        assert_eq!(second.recv_control().unwrap().kind, FrameKind::Stop);
+    }
+}

@@ -1,0 +1,371 @@
+//! The `marsit-wire/1` frame format: versioned, line-delimited, hex-framed.
+//!
+//! Frames carry packed sign words and small control metadata between worker
+//! processes over localhost TCP (see [`crate::process`]). Like
+//! `marsit-checkpoint/1`, every bit-sensitive scalar crosses the wire as the
+//! fixed-width lowercase hex of its bit pattern — 16 hex chars per
+//! `u64`, 8 per `f32` — so `−0.0`, NaN payloads, and subnormals survive
+//! byte-for-byte and the encoding is ASCII-diffable in a packet capture.
+//!
+//! One frame per line:
+//!
+//! ```text
+//! marsit-wire/1 <kind> <from> <to> <payload-tag><hex>\n
+//! ```
+//!
+//! where `<payload-tag>` is `w` (u64 words), `f` (f32 bit patterns), or `-`
+//! (empty). Decoding never panics: every malformed input — truncated line,
+//! wrong magic, unsupported version, unknown kind, ragged hex — maps to a
+//! typed [`WireError`].
+
+use std::fmt;
+
+/// Schema tag at the start of every frame.
+pub const WIRE_SCHEMA: &str = "marsit-wire/1";
+
+/// What a frame means to the hub/worker protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Worker → hub: `from` announces its rank.
+    Hello,
+    /// Worker ↔ worker (routed through the hub): collective payload.
+    Data,
+    /// Hub → worker: begin a collective round (`to` is the target rank,
+    /// payload words parameterize the round).
+    Round,
+    /// Worker → hub: round finished; payload = result words + counters.
+    Result,
+    /// Worker → hub: round aborted; payload word 0 = peer that vanished.
+    Failed,
+    /// Hub → workers: rank `from` disconnected.
+    Down,
+    /// Hub → worker: shut down cleanly.
+    Stop,
+}
+
+impl FrameKind {
+    fn tag(self) -> &'static str {
+        match self {
+            Self::Hello => "hello",
+            Self::Data => "data",
+            Self::Round => "round",
+            Self::Result => "result",
+            Self::Failed => "failed",
+            Self::Down => "down",
+            Self::Stop => "stop",
+        }
+    }
+
+    fn from_tag(tag: &str) -> Option<Self> {
+        Some(match tag {
+            "hello" => Self::Hello,
+            "data" => Self::Data,
+            "round" => Self::Round,
+            "result" => Self::Result,
+            "failed" => Self::Failed,
+            "down" => Self::Down,
+            "stop" => Self::Stop,
+            _ => return None,
+        })
+    }
+}
+
+/// Frame payload: bit-exact word or float vectors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// Nothing (control frames).
+    Empty,
+    /// Packed sign words / counters, 16 hex chars each on the wire.
+    Words(Vec<u64>),
+    /// `f32` bit patterns, 8 hex chars each on the wire.
+    Floats(Vec<f32>),
+}
+
+/// One `marsit-wire/1` frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// Frame meaning.
+    pub kind: FrameKind,
+    /// Originating rank (or [`DRIVER`] for the hub).
+    pub from: u32,
+    /// Destination rank (or [`DRIVER`] for the hub).
+    pub to: u32,
+    /// Bit-exact payload.
+    pub payload: Payload,
+}
+
+/// Pseudo-rank the hub/driver uses in `from`/`to` fields.
+pub const DRIVER: u32 = u32::MAX;
+
+/// Typed decode failures. Decoding never panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The line does not start with `marsit-wire/…`.
+    BadMagic {
+        /// What was found instead of the schema tag.
+        found: String,
+    },
+    /// The schema tag names a version this decoder does not speak.
+    UnsupportedVersion {
+        /// The full schema tag found.
+        found: String,
+    },
+    /// The line ended before all five fields were present.
+    Truncated,
+    /// The kind field is not a known frame kind.
+    UnknownKind {
+        /// The unrecognized kind tag.
+        found: String,
+    },
+    /// A rank field is not a decimal `u32`.
+    BadRank {
+        /// The malformed field text.
+        found: String,
+    },
+    /// The payload tag or hex body is malformed.
+    BadPayload {
+        /// What is wrong with it.
+        reason: String,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadMagic { found } => write!(f, "bad wire magic {found:?}"),
+            Self::UnsupportedVersion { found } => {
+                write!(
+                    f,
+                    "unsupported wire version {found:?} (want {WIRE_SCHEMA:?})"
+                )
+            }
+            Self::Truncated => write!(f, "truncated wire frame"),
+            Self::UnknownKind { found } => write!(f, "unknown frame kind {found:?}"),
+            Self::BadRank { found } => write!(f, "bad rank field {found:?}"),
+            Self::BadPayload { reason } => write!(f, "bad payload: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+const HEX_DIGITS: &[u8; 16] = b"0123456789abcdef";
+
+fn push_hex(out: &mut String, bits: u64, nibbles: u32) {
+    for i in (0..nibbles).rev() {
+        out.push(HEX_DIGITS[((bits >> (4 * i)) & 0xF) as usize] as char);
+    }
+}
+
+fn parse_hex_words(s: &str, nibbles: usize) -> Result<Vec<u64>, WireError> {
+    if !s.len().is_multiple_of(nibbles) {
+        return Err(WireError::BadPayload {
+            reason: format!("hex length {} is not a multiple of {nibbles}", s.len()),
+        });
+    }
+    s.as_bytes()
+        .chunks(nibbles)
+        .map(|chunk| {
+            let word = std::str::from_utf8(chunk).map_err(|e| WireError::BadPayload {
+                reason: e.to_string(),
+            })?;
+            u64::from_str_radix(word, 16).map_err(|_| WireError::BadPayload {
+                reason: format!("bad hex word {word:?}"),
+            })
+        })
+        .collect()
+}
+
+impl Frame {
+    /// Convenience constructor for a words-payload frame.
+    #[must_use]
+    pub fn words(kind: FrameKind, from: u32, to: u32, words: Vec<u64>) -> Self {
+        Self {
+            kind,
+            from,
+            to,
+            payload: Payload::Words(words),
+        }
+    }
+
+    /// Convenience constructor for a control frame without payload.
+    #[must_use]
+    pub fn control(kind: FrameKind, from: u32, to: u32) -> Self {
+        Self {
+            kind,
+            from,
+            to,
+            payload: Payload::Empty,
+        }
+    }
+
+    /// Serializes to one wire line, trailing `\n` included.
+    #[must_use]
+    pub fn encode(&self) -> String {
+        let mut out = String::with_capacity(
+            WIRE_SCHEMA.len()
+                + 32
+                + match &self.payload {
+                    Payload::Empty => 1,
+                    Payload::Words(w) => 1 + w.len() * 16,
+                    Payload::Floats(v) => 1 + v.len() * 8,
+                },
+        );
+        out.push_str(WIRE_SCHEMA);
+        out.push(' ');
+        out.push_str(self.kind.tag());
+        out.push(' ');
+        out.push_str(&self.from.to_string());
+        out.push(' ');
+        out.push_str(&self.to.to_string());
+        out.push(' ');
+        match &self.payload {
+            Payload::Empty => out.push('-'),
+            Payload::Words(words) => {
+                out.push('w');
+                for &w in words {
+                    push_hex(&mut out, w, 16);
+                }
+            }
+            Payload::Floats(values) => {
+                out.push('f');
+                for &v in values {
+                    push_hex(&mut out, u64::from(v.to_bits()), 8);
+                }
+            }
+        }
+        out.push('\n');
+        out
+    }
+
+    /// Parses one wire line (with or without the trailing newline).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`WireError`] describing why the line is not a
+    /// valid `marsit-wire/1` frame. Never panics on any input.
+    pub fn decode(line: &str) -> Result<Self, WireError> {
+        let line = line.strip_suffix('\n').unwrap_or(line);
+        let mut fields = line.splitn(5, ' ');
+        let magic = fields.next().unwrap_or("");
+        if magic != WIRE_SCHEMA {
+            return if magic.starts_with("marsit-wire/") {
+                Err(WireError::UnsupportedVersion {
+                    found: magic.to_string(),
+                })
+            } else {
+                Err(WireError::BadMagic {
+                    found: magic.chars().take(32).collect(),
+                })
+            };
+        }
+        let kind_tag = fields.next().ok_or(WireError::Truncated)?;
+        let kind = FrameKind::from_tag(kind_tag).ok_or_else(|| WireError::UnknownKind {
+            found: kind_tag.to_string(),
+        })?;
+        let parse_rank = |s: &str| {
+            s.parse::<u32>().map_err(|_| WireError::BadRank {
+                found: s.to_string(),
+            })
+        };
+        let from = parse_rank(fields.next().ok_or(WireError::Truncated)?)?;
+        let to = parse_rank(fields.next().ok_or(WireError::Truncated)?)?;
+        let body = fields.next().ok_or(WireError::Truncated)?;
+        let payload = match body.split_at_checked(1) {
+            Some(("-", "")) => Payload::Empty,
+            Some(("w", hex)) => Payload::Words(parse_hex_words(hex, 16)?),
+            Some(("f", hex)) => Payload::Floats(
+                parse_hex_words(hex, 8)?
+                    .into_iter()
+                    .map(|bits| f32::from_bits(bits as u32))
+                    .collect(),
+            ),
+            _ => {
+                return Err(WireError::BadPayload {
+                    reason: format!(
+                        "unknown payload tag in {body:?}",
+                        body = body.chars().take(8).collect::<String>()
+                    ),
+                })
+            }
+        };
+        Ok(Self {
+            kind,
+            from,
+            to,
+            payload,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_fixture_words_frame() {
+        // Pinned wire bytes: if this moves, marsit-wire/1 is broken.
+        let frame = Frame::words(FrameKind::Data, 3, 1, vec![0xDEAD_BEEF_0000_0001, 7]);
+        assert_eq!(
+            frame.encode(),
+            "marsit-wire/1 data 3 1 wdeadbeef000000010000000000000007\n"
+        );
+        assert_eq!(Frame::decode(&frame.encode()).unwrap(), frame);
+    }
+
+    #[test]
+    fn golden_fixture_control_frame() {
+        let frame = Frame::control(FrameKind::Stop, DRIVER, 2);
+        assert_eq!(frame.encode(), "marsit-wire/1 stop 4294967295 2 -\n");
+        assert_eq!(Frame::decode(&frame.encode()).unwrap(), frame);
+    }
+
+    #[test]
+    fn float_bit_patterns_roundtrip() {
+        let values = vec![-0.0f32, f32::NAN, f32::from_bits(1), f32::NEG_INFINITY];
+        let frame = Frame {
+            kind: FrameKind::Data,
+            from: 0,
+            to: 1,
+            payload: Payload::Floats(values.clone()),
+        };
+        let back = Frame::decode(&frame.encode()).unwrap();
+        let Payload::Floats(got) = back.payload else {
+            panic!("payload kind changed");
+        };
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&values), bits(&got));
+    }
+
+    #[test]
+    fn typed_errors_never_panic() {
+        assert!(matches!(
+            Frame::decode("garbage"),
+            Err(WireError::BadMagic { .. })
+        ));
+        assert!(matches!(
+            Frame::decode("marsit-wire/9 data 0 1 w00"),
+            Err(WireError::UnsupportedVersion { .. })
+        ));
+        assert!(matches!(
+            Frame::decode("marsit-wire/1 data 0"),
+            Err(WireError::Truncated)
+        ));
+        assert!(matches!(
+            Frame::decode("marsit-wire/1 teleport 0 1 -"),
+            Err(WireError::UnknownKind { .. })
+        ));
+        assert!(matches!(
+            Frame::decode("marsit-wire/1 data x 1 -"),
+            Err(WireError::BadRank { .. })
+        ));
+        assert!(matches!(
+            Frame::decode("marsit-wire/1 data 0 1 w123"),
+            Err(WireError::BadPayload { .. })
+        ));
+        assert!(matches!(
+            Frame::decode("marsit-wire/1 data 0 1 zff"),
+            Err(WireError::BadPayload { .. })
+        ));
+    }
+}

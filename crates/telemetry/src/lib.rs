@@ -269,6 +269,10 @@ struct State {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
     histograms: BTreeMap<String, Histogram>,
+    /// `(backend, clock-kind)` tag appended to every `hop` event when set
+    /// via [`Telemetry::set_transport_tag`]. `None` (the default) keeps hop
+    /// events byte-identical to their pre-transport schema.
+    transport_tag: Option<(String, String)>,
 }
 
 /// Handle to the telemetry sink: either disabled (no-op) or recording.
@@ -490,6 +494,22 @@ impl Telemetry {
         Ok(Some(path.clone()))
     }
 
+    /// Tag every subsequent `hop` event with the transport backend that
+    /// carried it (`"simulator"`, `"threaded"`, `"process"`) and which kind
+    /// of clock its run is timed on (`"simulated"` or `"real"`). Off by
+    /// default, so logs from untagged runs stay byte-identical to the
+    /// pre-transport schema; [`report::validate`] accepts both forms.
+    pub fn set_transport_tag(&self, backend: &str, clock_kind: &str) {
+        if let Some(mut st) = self.state() {
+            st.transport_tag = Some((backend.to_string(), clock_kind.to_string()));
+        }
+    }
+
+    /// The `(backend, clock-kind)` transport tag, if one is set.
+    pub fn transport_tag(&self) -> Option<(String, String)> {
+        self.state().and_then(|st| st.transport_tag.clone())
+    }
+
     /// Next unassigned expanded-step sequence number (scope bookkeeping).
     pub(crate) fn peek_seq(&self) -> u64 {
         self.state().map_or(0, |st| st.next_seq)
@@ -506,21 +526,26 @@ impl Telemetry {
     /// derived counters and histograms.
     pub(crate) fn record_hop(&self, seq: u64, send: usize, recv: usize, hop: &Hop) {
         let Some(mut st) = self.state() else { return };
+        let mut fields = vec![
+            ("seq".to_string(), Value::U64(seq)),
+            ("phase".to_string(), Value::Str(hop.phase.to_string())),
+            ("step".to_string(), Value::U64(hop.step as u64)),
+            ("send".to_string(), Value::U64(send as u64)),
+            ("recv".to_string(), Value::U64(recv as u64)),
+            ("seg".to_string(), Value::U64(hop.segment as u64)),
+            ("elems".to_string(), Value::U64(hop.elems as u64)),
+            ("bytes".to_string(), Value::U64(hop.bytes as u64)),
+            ("attempt".to_string(), Value::U64(u64::from(hop.attempt))),
+            ("delivered".to_string(), Value::Bool(hop.delivered)),
+        ];
+        if let Some((backend, clock)) = &st.transport_tag {
+            fields.push(("backend".to_string(), Value::Str(backend.clone())));
+            fields.push(("clock".to_string(), Value::Str(clock.clone())));
+        }
         let ev = Event {
             time_s: st.now_s,
             name: "hop".to_string(),
-            fields: vec![
-                ("seq".to_string(), Value::U64(seq)),
-                ("phase".to_string(), Value::Str(hop.phase.to_string())),
-                ("step".to_string(), Value::U64(hop.step as u64)),
-                ("send".to_string(), Value::U64(send as u64)),
-                ("recv".to_string(), Value::U64(recv as u64)),
-                ("seg".to_string(), Value::U64(hop.segment as u64)),
-                ("elems".to_string(), Value::U64(hop.elems as u64)),
-                ("bytes".to_string(), Value::U64(hop.bytes as u64)),
-                ("attempt".to_string(), Value::U64(u64::from(hop.attempt))),
-                ("delivered".to_string(), Value::Bool(hop.delivered)),
-            ],
+            fields,
         };
         st.events.push(ev);
         *st.counters.entry("hop.events".to_string()).or_default() += 1;

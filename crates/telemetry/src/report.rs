@@ -272,6 +272,16 @@ pub fn validate(events: &[Event]) -> Vec<String> {
             if let Some(seq) = ev.u64_field("seq") {
                 seqs.push(seq);
             }
+            // The transport tag is optional (absent on legacy logs), but a
+            // present tag must name a known backend and clock kind, together.
+            match (ev.str_field("backend"), ev.str_field("clock")) {
+                (None, None) => {}
+                (Some("simulator"), Some("simulated"))
+                | (Some("threaded" | "process"), Some("real")) => {}
+                (backend, clock) => errors.push(format!(
+                    "event {i}: bad transport tag backend={backend:?} clock={clock:?}"
+                )),
+            }
         }
     }
     seqs.sort_unstable();

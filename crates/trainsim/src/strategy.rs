@@ -33,7 +33,7 @@ use marsit_compress::cascading::cascade_reduce_practical;
 use marsit_compress::compressor::{Compressor, EfSign, Ssdm};
 use marsit_compress::powersgd::{orthonormalize_columns, PowerSgd as PowerSgdState};
 use marsit_core::{Marsit, MarsitConfig, MarsitSnapshot, SyncSchedule};
-use marsit_simnet::{FaultPlan, FaultStats, Topology};
+use marsit_simnet::{Backend, FaultPlan, FaultStats, Topology};
 use marsit_tensor::rng::{split_seed, FastRng};
 use marsit_tensor::SignVec;
 
@@ -301,6 +301,24 @@ impl Synchronizer {
             _ => assert!(
                 plan.is_none(),
                 "fault injection is only supported for the Marsit strategy"
+            ),
+        }
+    }
+
+    /// Selects the transport backend for the underlying collectives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a non-default backend is requested for a strategy other
+    /// than Marsit — only Marsit's collectives compile to transport plans —
+    /// or on [`Backend::Process`], which is driven externally (see
+    /// `marsit_core::transport`).
+    pub fn set_collective_backend(&mut self, backend: Backend) {
+        match &mut self.state {
+            State::Marsit(marsit) => marsit.set_backend(backend),
+            _ => assert!(
+                backend == Backend::Simulator,
+                "non-default transport backends are only supported for the Marsit strategy"
             ),
         }
     }

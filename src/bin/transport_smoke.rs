@@ -1,0 +1,84 @@
+//! CI smoke for the multi-process transport backend.
+//!
+//! Launches a short ring(4) one-bit all-reduce with one OS process per rank
+//! (re-execs of this binary speaking `marsit-wire/1` over localhost TCP),
+//! asserts the consensus words and `⊙`/RNG-draw counters match the
+//! deterministic simulator bit-for-bit, and writes the run's telemetry
+//! JSONL — hop events tagged `backend:"process"` — for schema validation by
+//! `telemetry_report --validate`.
+//!
+//! ```text
+//! cargo run --release --bin transport_smoke [-- --out PATH]
+//! ```
+
+use marsit::core::transport::Scenario;
+use marsit::core::{CombineKind, TopoKind};
+use marsit::telemetry::{scoped, Telemetry};
+
+fn main() {
+    // A copy of this binary doubles as one rank of the process backend; the
+    // worker environment routes it there.
+    if marsit::core::transport::maybe_run_worker_from_env() {
+        return;
+    }
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or("transport_smoke.jsonl", String::as_str);
+
+    let exe = std::env::current_exe().expect("current exe");
+    let sc = Scenario {
+        topo: TopoKind::Ring,
+        world: 4,
+        d: 2048,
+        seed: 0x0051_10BE,
+        round: 1,
+        drop_p: Some(0.1),
+        combine: CombineKind::Weighted,
+    };
+    let reference = sc.run_simulator().expect("simulator reference");
+
+    let tel = Telemetry::recording();
+    tel.set_time(0.0);
+    tel.emit(
+        "run_meta",
+        vec![
+            ("schema", "marsit-telemetry/1".into()),
+            ("seed", sc.seed.into()),
+            ("strategy", "transport_smoke".into()),
+            ("topology", sc.topo.encode().into()),
+            ("workers", sc.world.into()),
+            ("d", sc.d.into()),
+            ("rounds", 1usize.into()),
+        ],
+    );
+    let process = scoped(&tel, || {
+        sc.run_process(exe.to_str().expect("utf-8 exe path"))
+            .expect("process round")
+    });
+
+    assert_eq!(
+        reference.consensus_words(),
+        process.consensus_words(),
+        "process consensus diverged from the simulator"
+    );
+    assert_eq!(reference.combines, process.combines, "combine count");
+    assert_eq!(reference.rng_draws, process.rng_draws, "rng draws");
+    let jsonl = tel.events_jsonl();
+    assert!(
+        jsonl.contains("\"backend\":\"process\""),
+        "hop events must carry the process transport tag"
+    );
+
+    std::fs::write(out_path, jsonl).expect("write telemetry");
+    println!(
+        "process ring({}) matched the simulator bit-for-bit ({} consensus words, {} combines); \
+         {} events -> {out_path}",
+        sc.world,
+        process.consensus_words().len(),
+        process.combines,
+        tel.event_count(),
+    );
+}

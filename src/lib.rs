@@ -66,8 +66,8 @@ pub mod prelude {
     pub use marsit_datagen::synthetic::{cifar10_like, imagenet_like, imdb_like, mnist_like};
     pub use marsit_models::{Evaluation, Mlp, MlpSpec, Model, OptimizerKind, Workload};
     pub use marsit_simnet::{
-        FaultPlan, FaultStats, LinkModel, MembershipEvent, MembershipSchedule, PhaseBreakdown,
-        RateProfile, Topology,
+        Backend, FaultPlan, FaultStats, LinkModel, MembershipEvent, MembershipSchedule,
+        PhaseBreakdown, RateProfile, Topology,
     };
     pub use marsit_telemetry::Telemetry;
     pub use marsit_tensor::{rng::FastRng, SignVec, Tensor};

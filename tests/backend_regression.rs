@@ -1,0 +1,169 @@
+//! Backend-equivalence regression suite for full training runs.
+//!
+//! The pinned contract: a training run with
+//! [`TrainConfig::collective_backend`] set to [`Backend::Threaded`] is
+//! **bit-identical** to the default simulator run — every word of every
+//! [`TrainReport`] record, every telemetry event (up to the `backend`/`clock`
+//! tag naming the transport), clean and under a mid-run fault storm,
+//! with and without `parallel_workers`, and across a mid-storm
+//! snapshot→resume split exactly as `tests/checkpoint.rs` pins for the
+//! simulator.
+
+use marsit::prelude::*;
+
+fn base_cfg() -> TrainConfig {
+    let mut cfg = TrainConfig::new(
+        Workload::AlexNetMnist,
+        Topology::ring(8),
+        StrategyKind::Marsit { k: Some(4) },
+    );
+    cfg.rounds = 8;
+    cfg.train_examples = 512;
+    cfg.test_examples = 128;
+    cfg.eval_every = 4;
+    cfg.local_lr = 0.1;
+    cfg.marsit_global_lr = 0.01;
+    cfg
+}
+
+fn storm() -> FaultPlan {
+    FaultPlan::seeded(31)
+        .with_link_drop(0.05)
+        .with_straggler(2, 3.0)
+        .with_crash_event(3, 2)
+        .with_rejoin(3, 6)
+}
+
+/// Strips the transport tag from telemetry JSONL so logs produced by
+/// different backends become comparable; the tag values themselves are
+/// asserted separately.
+fn normalize(jsonl: &str) -> String {
+    jsonl
+        .replace(",\"backend\":\"threaded\",\"clock\":\"real\"", "")
+        .replace(",\"backend\":\"simulator\",\"clock\":\"simulated\"", "")
+}
+
+fn run_tagged(cfg: &TrainConfig) -> (TrainReport, String) {
+    let tel = Telemetry::recording();
+    let mut cfg = cfg.clone();
+    cfg.telemetry = tel.clone();
+    let report = train(&cfg);
+    (report, tel.events_jsonl())
+}
+
+fn assert_threaded_matches_simulator(cfg: &TrainConfig) {
+    let (reference, ref_log) = run_tagged(cfg);
+
+    let mut threaded_cfg = cfg.clone();
+    threaded_cfg.collective_backend = Backend::Threaded;
+    let (threaded, thr_log) = run_tagged(&threaded_cfg);
+
+    assert_eq!(reference, threaded, "reports diverged across backends");
+    assert_eq!(
+        normalize(&ref_log),
+        normalize(&thr_log),
+        "telemetry diverged across backends"
+    );
+    // The threaded log must actually be tagged (ring runs emit hop events).
+    assert!(thr_log.contains("\"backend\":\"threaded\""));
+    assert!(!ref_log.contains("\"backend\":"));
+}
+
+#[test]
+fn threaded_training_is_bit_identical_clean() {
+    assert_threaded_matches_simulator(&base_cfg());
+}
+
+#[test]
+fn threaded_training_is_bit_identical_under_fault_storm() {
+    let mut cfg = base_cfg();
+    cfg.fault_plan = storm();
+    assert_threaded_matches_simulator(&cfg);
+}
+
+#[test]
+fn threaded_training_is_bit_identical_on_torus_without_schedule() {
+    let mut cfg = base_cfg();
+    cfg.topology = Topology::torus(2, 4);
+    cfg.strategy = StrategyKind::Marsit { k: None };
+    cfg.fault_plan = FaultPlan::seeded(47).with_link_drop(0.05);
+    assert_threaded_matches_simulator(&cfg);
+}
+
+/// `parallel_workers` parallelizes the gradient phase; the threaded backend
+/// parallelizes the collective. Composing them must still be bit-identical
+/// to the fully sequential run.
+#[test]
+fn threaded_backend_composes_with_parallel_workers() {
+    let mut sequential = base_cfg();
+    sequential.fault_plan = storm();
+    sequential.parallel_workers = false;
+    let (reference, ref_log) = run_tagged(&sequential);
+
+    let mut both = sequential.clone();
+    both.parallel_workers = true;
+    both.collective_backend = Backend::Threaded;
+    let (got, got_log) = run_tagged(&both);
+
+    assert_eq!(reference, got, "parallel+threaded diverged from sequential");
+    assert_eq!(normalize(&ref_log), normalize(&got_log));
+}
+
+/// Mid-storm snapshot→resume on the threaded backend, following the
+/// `tests/checkpoint.rs` oracle: interrupt inside the crash window, restore
+/// into a fresh state sharing the telemetry handle, and finish. The resumed
+/// run must equal the uninterrupted threaded run — which itself equals the
+/// simulator run by the tests above.
+#[test]
+fn threaded_resume_is_bit_identical_mid_storm() {
+    let mut cfg = base_cfg();
+    cfg.fault_plan = storm();
+    cfg.collective_backend = Backend::Threaded;
+
+    let (full, full_log) = run_tagged(&cfg);
+
+    for split in [2, 4] {
+        let tel = Telemetry::recording();
+        let mut split_cfg = cfg.clone();
+        split_cfg.telemetry = tel.clone();
+        let mut state = TrainerState::new(&split_cfg);
+        for _ in 0..split {
+            state.step();
+        }
+        let snap = state.snapshot();
+        let parsed = TrainSnapshot::from_json(&snap.to_json()).expect("snapshot parses");
+        drop(state);
+
+        let mut resumed = TrainerState::restore(&split_cfg, &parsed);
+        while !resumed.is_done() {
+            resumed.step();
+        }
+        assert_eq!(
+            full,
+            resumed.finish(),
+            "threaded resume diverged (split at {split})"
+        );
+        assert_eq!(
+            full_log,
+            tel.events_jsonl(),
+            "threaded resume telemetry diverged (split at {split})"
+        );
+    }
+}
+
+#[test]
+#[should_panic(expected = "only supported for the Marsit strategy")]
+fn non_marsit_strategy_rejects_threaded_backend() {
+    let mut cfg = base_cfg();
+    cfg.strategy = StrategyKind::Psgd;
+    cfg.collective_backend = Backend::Threaded;
+    let _ = train(&cfg);
+}
+
+#[test]
+#[should_panic(expected = "process backend is driven externally")]
+fn process_backend_is_rejected_by_the_trainer() {
+    let mut cfg = base_cfg();
+    cfg.collective_backend = Backend::Process;
+    let _ = train(&cfg);
+}

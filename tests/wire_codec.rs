@@ -1,0 +1,170 @@
+//! Property and golden-fixture tests for the `marsit-wire/1` codec.
+//!
+//! The framing discipline follows `marsit-checkpoint/1`: every numeric field
+//! is a hex **bit pattern**, so encode→decode is exact for every `u64` word
+//! and every `f32` — including `−0.0`, NaNs, and subnormals — and `decode`
+//! returns typed [`WireError`]s for truncated, corrupt, or wrong-version
+//! input instead of panicking.
+
+use marsit::simnet::{Frame, FrameKind, Payload, WireError, DRIVER};
+use proptest::prelude::*;
+
+/// All frame kinds, for exhaustive sweeps.
+const KINDS: [FrameKind; 7] = [
+    FrameKind::Hello,
+    FrameKind::Data,
+    FrameKind::Round,
+    FrameKind::Result,
+    FrameKind::Failed,
+    FrameKind::Down,
+    FrameKind::Stop,
+];
+
+#[test]
+fn golden_fixture_lines_are_pinned() {
+    // The wire format is a protocol: these exact byte strings must keep
+    // decoding forever, and the frames must keep encoding to them.
+    let cases: &[(&str, Frame)] = &[
+        (
+            "marsit-wire/1 data 3 1 wdeadbeef000000010000000000000007\n",
+            Frame::words(
+                FrameKind::Data,
+                3,
+                1,
+                vec![0xdead_beef_0000_0001, 0x0000_0000_0000_0007],
+            ),
+        ),
+        (
+            "marsit-wire/1 stop 4294967295 2 -\n",
+            Frame::control(FrameKind::Stop, DRIVER, 2),
+        ),
+        (
+            "marsit-wire/1 hello 5 4294967295 -\n",
+            Frame::control(FrameKind::Hello, 5, DRIVER),
+        ),
+    ];
+    for (line, frame) in cases {
+        assert_eq!(&frame.encode(), line);
+        assert_eq!(&Frame::decode(line).unwrap(), frame);
+    }
+}
+
+#[test]
+fn float_special_values_round_trip_bit_exact() {
+    let specials: [f32; 8] = [
+        0.0,
+        -0.0,
+        f32::NAN,
+        f32::INFINITY,
+        f32::NEG_INFINITY,
+        f32::MIN_POSITIVE / 2.0,     // subnormal
+        f32::from_bits(0x0000_0001), // smallest subnormal
+        f32::from_bits(0xffc0_0001), // negative quiet NaN with payload
+    ];
+    let frame = Frame {
+        kind: FrameKind::Result,
+        from: 0,
+        to: DRIVER,
+        payload: Payload::Floats(specials.to_vec()),
+    };
+    let decoded = Frame::decode(&frame.encode()).unwrap();
+    let Payload::Floats(got) = decoded.payload else {
+        panic!("payload kind changed in flight");
+    };
+    for (a, b) in specials.iter().zip(&got) {
+        assert_eq!(a.to_bits(), b.to_bits(), "bit pattern not preserved");
+    }
+}
+
+#[test]
+fn typed_errors_for_malformed_frames() {
+    type ErrCheck = fn(&WireError) -> bool;
+    let cases: &[(&str, ErrCheck)] = &[
+        ("", |e| matches!(e, WireError::BadMagic { .. })),
+        ("marsit-wire/1 data 3", |e| {
+            matches!(e, WireError::Truncated)
+        }),
+        ("not-marsit hello 0 1 -", |e| {
+            matches!(e, WireError::BadMagic { .. })
+        }),
+        ("marsit-wire/9 data 0 1 -", |e| {
+            matches!(e, WireError::UnsupportedVersion { .. })
+        }),
+        ("marsit-wire/1 teleport 0 1 -", |e| {
+            matches!(e, WireError::UnknownKind { .. })
+        }),
+        ("marsit-wire/1 data zero 1 -", |e| {
+            matches!(e, WireError::BadRank { .. })
+        }),
+        ("marsit-wire/1 data 0 1 wdeadbee", |e| {
+            matches!(e, WireError::BadPayload { .. })
+        }),
+        ("marsit-wire/1 data 0 1 qdeadbeef00000001", |e| {
+            matches!(e, WireError::BadPayload { .. })
+        }),
+    ];
+    for (line, matches_expected) in cases {
+        let err = Frame::decode(line).expect_err(line);
+        assert!(matches_expected(&err), "{line}: got {err:?}");
+    }
+}
+
+proptest! {
+    /// Any words frame round-trips exactly: kind, endpoints, and every
+    /// 64-bit pattern in the payload.
+    #[test]
+    fn words_frames_round_trip(
+        kind_ix in 0usize..7,
+        from in any::<u32>(),
+        to in any::<u32>(),
+        words in proptest::collection::vec(any::<u64>(), 0..17),
+    ) {
+        let frame = Frame::words(KINDS[kind_ix], from, to, words);
+        let line = frame.encode();
+        prop_assert!(line.ends_with('\n'));
+        prop_assert_eq!(Frame::decode(&line).unwrap(), frame);
+    }
+
+    /// Any float payload round-trips bit-exactly, whatever the bit pattern
+    /// (we synthesize floats from raw bits, hitting NaNs and subnormals).
+    #[test]
+    fn float_frames_round_trip_all_bit_patterns(
+        bits in proptest::collection::vec(any::<u32>(), 1..9),
+    ) {
+        let floats: Vec<f32> = bits.iter().map(|&b| f32::from_bits(b)).collect();
+        let frame = Frame {
+            kind: FrameKind::Result,
+            from: 1,
+            to: DRIVER,
+            payload: Payload::Floats(floats),
+        };
+        let decoded = Frame::decode(&frame.encode()).unwrap();
+        let Payload::Floats(got) = decoded.payload else {
+            panic!("payload kind changed in flight");
+        };
+        for (b, f) in bits.iter().zip(&got) {
+            prop_assert_eq!(*b, f.to_bits());
+        }
+    }
+
+    /// Truncating a valid frame anywhere yields a typed error or — when the
+    /// cut removes trailing payload words cleanly — a shorter valid frame.
+    /// It never panics.
+    #[test]
+    fn truncation_never_panics(
+        words in proptest::collection::vec(any::<u64>(), 1..9),
+        cut_seed in any::<u64>(),
+    ) {
+        let line = Frame::words(FrameKind::Data, 2, 5, words).encode();
+        let cut = (cut_seed % line.len() as u64) as usize;
+        // Cut on a char boundary (the frame is ASCII, so every byte is one).
+        let _ = Frame::decode(&line[..cut]);
+    }
+
+    /// Arbitrary garbage bytes never panic the decoder.
+    #[test]
+    fn garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..120)) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = Frame::decode(&text);
+    }
+}
