@@ -2,7 +2,16 @@
 //! metadata (`BENCH_round.json` `meta.git_describe`, telemetry `run_meta`)
 //! identifies the exact tree it came from. Falls back to `"unknown"` outside
 //! a git checkout so builds from a source tarball still work.
+//!
+//! The stamp is a *fallback*: a compile-time `-dirty` suffix goes stale the
+//! moment the worktree is edited (or cleaned) without this crate rebuilding,
+//! so `bench_round` re-probes `git describe` at run time and only uses the
+//! baked value when the binary runs outside the checkout. The rerun triggers
+//! below keep the fallback as fresh as cargo can know about: HEAD moves on
+//! commit/branch switch, the index moves on staging, and the ref file HEAD
+//! points at moves on commit.
 
+use std::path::Path;
 use std::process::Command;
 
 fn main() {
@@ -16,4 +25,13 @@ fn main() {
         .unwrap_or_else(|| "unknown".to_string());
     println!("cargo:rustc-env=MARSIT_GIT_DESCRIBE={describe}");
     println!("cargo:rerun-if-changed=../../.git/HEAD");
+    println!("cargo:rerun-if-changed=../../.git/index");
+    if let Ok(head) = std::fs::read_to_string("../../.git/HEAD") {
+        if let Some(rf) = head.trim().strip_prefix("ref: ") {
+            let p = Path::new("../../.git").join(rf);
+            if p.exists() {
+                println!("cargo:rerun-if-changed={}", p.display());
+            }
+        }
+    }
 }

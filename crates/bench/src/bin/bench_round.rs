@@ -127,6 +127,46 @@ fn ns_per_elem(secs: f64, elems: usize) -> f64 {
     secs * 1e9 / elems as f64
 }
 
+/// `git describe` of the tree this binary *runs* in, falling back to the
+/// build-time stamp when the binary runs outside the checkout. The runtime
+/// probe exists because a compile-time `-dirty` suffix goes stale the moment
+/// the worktree is edited (or cleaned) without this crate rebuilding.
+fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty", "--tags"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| env!("MARSIT_GIT_DESCRIBE").to_string())
+}
+
+/// Process CPU seconds (user + system) from `/proc/self/stat`, so the
+/// trainsim section can report wall *and* CPU time — on a one-core host the
+/// threaded path cannot beat wall clock, and the CPU column makes that
+/// honest instead of mysterious. `None` off Linux or on a parse failure.
+fn cpu_time_s() -> Option<f64> {
+    let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
+    // `comm` (field 2) may contain spaces; everything after the closing
+    // paren is whitespace-delimited, starting at field 3 (`state`).
+    let rest = stat.rsplit(')').next()?;
+    let mut fields = rest.split_whitespace();
+    let utime: f64 = fields.nth(11)?.parse().ok()?; // field 14
+    let stime: f64 = fields.next()?.parse().ok()?; // field 15
+                                                   // Linux fixes USER_HZ at 100 for these fields regardless of kernel HZ.
+    Some((utime + stime) / 100.0)
+}
+
+/// CPU seconds consumed by `f`, or `-1.0` when `/proc` is unavailable.
+fn cpu_secs_of(f: impl FnOnce()) -> f64 {
+    let before = cpu_time_s();
+    f();
+    cpu_time_s()
+        .zip(before)
+        .map_or(-1.0, |(after, before)| after - before)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let sizes = if args.iter().any(|a| a == "--fast") {
@@ -265,16 +305,19 @@ fn main() {
     cfg.eval_every = 0;
     cfg.optimizer = OptimizerKind::Momentum(0.9);
     cfg.parallel_workers = false;
+    let mut sequential = None;
     let t = Instant::now();
-    let sequential = train(&cfg);
+    let seq_cpu_s = cpu_secs_of(|| sequential = Some(train(&cfg)));
     let seq_s = t.elapsed().as_secs_f64();
     cfg.parallel_workers = true;
+    let mut parallel = None;
     let t = Instant::now();
-    let parallel = train(&cfg);
+    let par_cpu_s = cpu_secs_of(|| parallel = Some(train(&cfg)));
     let par_s = t.elapsed().as_secs_f64();
     let bit_identical = sequential == parallel;
     println!(
-        "trainsim M=4 rounds={}: sequential {seq_s:.2}s, parallel {par_s:.2}s \
+        "trainsim M=4 rounds={} on {cores} core(s): sequential {seq_s:.2}s wall \
+         ({seq_cpu_s:.2}s cpu), parallel {par_s:.2}s wall ({par_cpu_s:.2}s cpu) \
          ({:.2}x, bit-identical: {bit_identical})",
         sizes.train_rounds,
         seq_s / par_s,
@@ -374,6 +417,8 @@ fn main() {
     "rounds": {train_rounds},
     "sequential_s": {seq_s:.4},
     "parallel_s": {par_s:.4},
+    "sequential_cpu_s": {seq_cpu_s:.4},
+    "parallel_cpu_s": {par_cpu_s:.4},
     "speedup": {train_speedup:.2},
     "bit_identical": {bit_identical}
   }},
@@ -401,7 +446,7 @@ fn main() {
 "#,
         mode = sizes.mode,
         seed = fault_cfg.seed,
-        git_describe = env!("MARSIT_GIT_DESCRIBE"),
+        git_describe = git_describe(),
         f_retransmits = fstats.retransmits,
         f_dropped = fstats.dropped_transfers,
         f_corrupted = fstats.corrupted_transfers,

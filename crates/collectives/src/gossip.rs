@@ -12,6 +12,7 @@
 
 use marsit_tensor::stats::dist_sq;
 
+use crate::reconfigure::SyncError;
 use crate::trace::Trace;
 
 /// Performs one synchronous gossip step on a ring: each worker replaces its
@@ -20,15 +21,25 @@ use crate::trace::Trace;
 /// Returns the trace: one step in which every worker sends its full vector
 /// to both neighbours (`2M` transfers).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if fewer than 3 workers (the stencil needs two distinct
-/// neighbours) or payload lengths differ.
-pub fn gossip_ring_step(data: &mut [Vec<f32>]) -> Trace {
+/// Returns [`SyncError::TooFewWorkers`] for fewer than 3 workers (the
+/// stencil needs two distinct neighbours) and [`SyncError::LengthMismatch`]
+/// if payload lengths differ — degenerate memberships an elastic cluster
+/// can reach, so they degrade like the faulty collectives instead of
+/// panicking.
+pub fn gossip_ring_step(data: &mut [Vec<f32>]) -> Result<Trace, SyncError> {
     let m = data.len();
-    assert!(m >= 3, "ring gossip needs at least 3 workers");
+    if m < 3 {
+        return Err(SyncError::TooFewWorkers { needed: 3, got: m });
+    }
     let d = data[0].len();
-    assert!(data.iter().all(|v| v.len() == d), "payload lengths differ");
+    if let Some(bad) = data.iter().find(|v| v.len() != d) {
+        return Err(SyncError::LengthMismatch {
+            expected: d,
+            got: bad.len(),
+        });
+    }
     let snapshot = data.to_vec();
     for (w, out) in data.iter_mut().enumerate() {
         let left = &snapshot[(w + m - 1) % m];
@@ -40,28 +51,35 @@ pub fn gossip_ring_step(data: &mut [Vec<f32>]) -> Trace {
     }
     let mut trace = Trace::new();
     trace.push_uniform_step(2 * m, d * 4);
-    trace
+    Ok(trace)
 }
 
 /// Mean squared disagreement between workers' vectors and their average —
 /// the consensus error that gossip only shrinks geometrically.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `data` is empty or lengths differ.
-#[must_use]
-pub fn consensus_error(data: &[Vec<f32>]) -> f64 {
-    assert!(!data.is_empty(), "no workers");
+/// Returns [`SyncError::TooFewWorkers`] if `data` is empty and
+/// [`SyncError::LengthMismatch`] if lengths differ.
+pub fn consensus_error(data: &[Vec<f32>]) -> Result<f64, SyncError> {
+    if data.is_empty() {
+        return Err(SyncError::TooFewWorkers { needed: 1, got: 0 });
+    }
     let m = data.len();
     let d = data[0].len();
     let mut mean = vec![0.0f32; d];
     for w in data {
-        assert_eq!(w.len(), d, "payload lengths differ");
+        if w.len() != d {
+            return Err(SyncError::LengthMismatch {
+                expected: d,
+                got: w.len(),
+            });
+        }
         for (a, &x) in mean.iter_mut().zip(w) {
             *a += x / m as f32;
         }
     }
-    data.iter().map(|w| dist_sq(w, &mean)).sum::<f64>() / m as f64
+    Ok(data.iter().map(|w| dist_sq(w, &mean)).sum::<f64>() / m as f64)
 }
 
 #[cfg(test)]
@@ -82,7 +100,7 @@ mod tests {
         let before: Vec<f32> = (0..16)
             .map(|j| data.iter().map(|w| w[j]).sum::<f32>())
             .collect();
-        let _ = gossip_ring_step(&mut data);
+        gossip_ring_step(&mut data).unwrap();
         let after: Vec<f32> = (0..16)
             .map(|j| data.iter().map(|w| w[j]).sum::<f32>())
             .collect();
@@ -94,11 +112,11 @@ mod tests {
     #[test]
     fn gossip_shrinks_consensus_error_monotonically() {
         let mut data = payloads(8, 32, 2);
-        let mut prev = consensus_error(&data);
+        let mut prev = consensus_error(&data).unwrap();
         assert!(prev > 0.0);
         for _ in 0..20 {
-            let _ = gossip_ring_step(&mut data);
-            let err = consensus_error(&data);
+            gossip_ring_step(&mut data).unwrap();
+            let err = consensus_error(&data).unwrap();
             assert!(
                 err <= prev * 1.0001,
                 "error must not grow: {err} after {prev}"
@@ -114,10 +132,10 @@ mod tests {
         // ring gossip needs many steps — more as M grows.
         let steps_to = |m: usize| -> usize {
             let mut data = payloads(m, 16, 3);
-            let initial = consensus_error(&data);
+            let initial = consensus_error(&data).unwrap();
             for step in 1..=1000 {
-                let _ = gossip_ring_step(&mut data);
-                if consensus_error(&data) < initial * 1e-3 {
+                gossip_ring_step(&mut data).unwrap();
+                if consensus_error(&data).unwrap() < initial * 1e-3 {
                     return step;
                 }
             }
@@ -134,15 +152,49 @@ mod tests {
     #[test]
     fn single_step_does_not_reach_consensus() {
         let mut data = payloads(6, 8, 4);
-        let _ = gossip_ring_step(&mut data);
-        assert!(consensus_error(&data) > 1e-4);
+        gossip_ring_step(&mut data).unwrap();
+        assert!(consensus_error(&data).unwrap() > 1e-4);
     }
 
     #[test]
     fn trace_counts_neighbour_transfers() {
         let mut data = payloads(4, 10, 5);
-        let trace = gossip_ring_step(&mut data);
+        let trace = gossip_ring_step(&mut data).unwrap();
         assert_eq!(trace.num_steps(), 1);
         assert_eq!(trace.total_bytes(), 2 * 4 * 10 * 4);
+    }
+
+    /// Degenerate memberships surface as typed errors, not panics: a
+    /// two-worker ring has no distinct second neighbour, an empty cluster
+    /// has no consensus, and ragged payloads name the offending length.
+    #[test]
+    fn degenerate_membership_returns_typed_errors() {
+        let mut lone = payloads(1, 4, 6);
+        assert_eq!(
+            gossip_ring_step(&mut lone),
+            Err(SyncError::TooFewWorkers { needed: 3, got: 1 })
+        );
+        let mut pair = payloads(2, 4, 6);
+        assert_eq!(
+            gossip_ring_step(&mut pair),
+            Err(SyncError::TooFewWorkers { needed: 3, got: 2 })
+        );
+        let mut ragged = payloads(3, 4, 7);
+        ragged[2].truncate(2);
+        assert_eq!(
+            gossip_ring_step(&mut ragged),
+            Err(SyncError::LengthMismatch {
+                expected: 4,
+                got: 2
+            })
+        );
+        assert_eq!(
+            consensus_error(&[]),
+            Err(SyncError::TooFewWorkers { needed: 1, got: 0 })
+        );
+        let zero_len = vec![Vec::new(), Vec::new(), Vec::new()];
+        // Zero-length segments are well-defined for gossip (nothing to mix);
+        // the consensus error of empty vectors is exactly zero.
+        assert_eq!(consensus_error(&zero_len), Ok(0.0));
     }
 }

@@ -45,7 +45,7 @@ pub use engine::{
     compile_plan, run_lockstep, run_rank, run_threaded, EnginePlan, PlanTopology, PlannedTransfer,
 };
 pub use reconfigure::{DegradedMode, EffectiveTopology, SyncError, TopologyReconfigurer};
-pub use ring::{CombineCtx, PlannedHop, SumWire};
+pub use ring::{CombineCtx, PlannedHop, RingOnebitScratch, StepCombine, SumWire};
 pub use trace::Trace;
 
 #[cfg(test)]

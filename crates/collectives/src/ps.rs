@@ -8,6 +8,7 @@
 use marsit_compress::SignSumVec;
 use marsit_tensor::SignVec;
 
+use crate::reconfigure::SyncError;
 use crate::trace::Trace;
 
 /// PS all-reduce of `f32` payloads into their elementwise sum.
@@ -16,14 +17,12 @@ use crate::trace::Trace;
 /// trace: one upload step whose transfers all cross the server link, then
 /// one broadcast step.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `data` is empty or lengths differ.
-#[must_use]
-pub fn ps_allreduce_sum(data: &[Vec<f32>]) -> (Vec<f32>, Trace) {
-    assert!(!data.is_empty(), "PS needs at least 1 worker");
-    let d = data[0].len();
-    assert!(data.iter().all(|v| v.len() == d), "payload lengths differ");
+/// Returns [`SyncError::TooFewWorkers`] if `data` is empty and
+/// [`SyncError::LengthMismatch`] if payload lengths differ.
+pub fn ps_allreduce_sum(data: &[Vec<f32>]) -> Result<(Vec<f32>, Trace), SyncError> {
+    let d = check_payloads(data.iter().map(Vec::len))?;
     let mut sum = vec![0.0f32; d];
     for w in data {
         for (s, &x) in sum.iter_mut().zip(w) {
@@ -31,41 +30,37 @@ pub fn ps_allreduce_sum(data: &[Vec<f32>]) -> (Vec<f32>, Trace) {
         }
     }
     let trace = ps_trace(data.len(), d * 4, d * 4);
-    (sum, trace)
+    Ok((sum, trace))
 }
 
 /// PS majority vote over workers' sign vectors (signSGD with majority vote,
 /// its native habitat): uploads are one bit per coordinate, the broadcast is
 /// the voted signs.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `signs` is empty or lengths differ.
-#[must_use]
-pub fn ps_majority_vote(signs: &[SignVec]) -> (SignVec, Trace) {
-    assert!(!signs.is_empty(), "PS needs at least 1 worker");
-    let d = signs[0].len();
-    assert!(signs.iter().all(|v| v.len() == d), "sign lengths differ");
+/// Returns [`SyncError::TooFewWorkers`] if `signs` is empty and
+/// [`SyncError::LengthMismatch`] if sign lengths differ.
+pub fn ps_majority_vote(signs: &[SignVec]) -> Result<(SignVec, Trace), SyncError> {
+    let d = check_payloads(signs.iter().map(SignVec::len))?;
     let mut sums = SignSumVec::zeros(d);
     for v in signs {
         sums.add_signs(v);
     }
     let bytes = d.div_ceil(8).max(1);
-    (sums.majority_sign(), ps_trace(signs.len(), bytes, bytes))
+    Ok((sums.majority_sign(), ps_trace(signs.len(), bytes, bytes)))
 }
 
 /// PS collection of workers' sign sums (SSDM-style mean aggregation under
 /// PS): uploads are one bit per coordinate, the broadcast carries the mean
 /// as full-precision values.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `signs` is empty or lengths differ.
-#[must_use]
-pub fn ps_sign_sums(signs: &[SignVec]) -> (SignSumVec, Trace) {
-    assert!(!signs.is_empty(), "PS needs at least 1 worker");
-    let d = signs[0].len();
-    assert!(signs.iter().all(|v| v.len() == d), "sign lengths differ");
+/// Returns [`SyncError::TooFewWorkers`] if `signs` is empty and
+/// [`SyncError::LengthMismatch`] if sign lengths differ.
+pub fn ps_sign_sums(signs: &[SignVec]) -> Result<(SignSumVec, Trace), SyncError> {
+    let d = check_payloads(signs.iter().map(SignVec::len))?;
     let mut sums = SignSumVec::zeros(d);
     for v in signs {
         sums.add_signs(v);
@@ -73,7 +68,22 @@ pub fn ps_sign_sums(signs: &[SignVec]) -> (SignSumVec, Trace) {
     let up = d.div_ceil(8).max(1);
     let down = d * 4;
     let trace = ps_trace(signs.len(), up, down);
-    (sums, trace)
+    Ok((sums, trace))
+}
+
+/// Validates a PS membership: at least one worker, all payloads the same
+/// length. Returns that common length.
+fn check_payloads(mut lens: impl Iterator<Item = usize>) -> Result<usize, SyncError> {
+    let Some(d) = lens.next() else {
+        return Err(SyncError::TooFewWorkers { needed: 1, got: 0 });
+    };
+    if let Some(bad) = lens.find(|&l| l != d) {
+        return Err(SyncError::LengthMismatch {
+            expected: d,
+            got: bad,
+        });
+    }
+    Ok(d)
 }
 
 /// Builds the two-step PS trace: `m` uploads sharing the server ingress,
@@ -97,7 +107,7 @@ mod tests {
     #[test]
     fn sum_matches_manual() {
         let data = vec![vec![1.0f32, 2.0], vec![0.5, -1.0], vec![0.0, 3.0]];
-        let (sum, trace) = ps_allreduce_sum(&data);
+        let (sum, trace) = ps_allreduce_sum(&data).unwrap();
         assert_eq!(sum, vec![1.5, 4.0]);
         assert_eq!(trace.num_steps(), 2);
         assert_eq!(trace.total_bytes(), 3 * 8 + 3 * 8);
@@ -109,7 +119,7 @@ mod tests {
         let signs: Vec<SignVec> = (0..5)
             .map(|_| SignVec::bernoulli_uniform(40, 0.5, &mut rng))
             .collect();
-        let (vote, _) = ps_majority_vote(&signs);
+        let (vote, _) = ps_majority_vote(&signs).unwrap();
         for j in 0..40 {
             let s: i32 = signs.iter().map(|v| if v.get(j) { 1 } else { -1 }).sum();
             assert_eq!(vote.get(j), s >= 0);
@@ -124,16 +134,59 @@ mod tests {
         let d = 64;
         let data_small: Vec<Vec<f32>> = (0..2).map(|_| vec![1.0; d]).collect();
         let data_large: Vec<Vec<f32>> = (0..8).map(|_| vec![1.0; d]).collect();
-        let (_, t2) = ps_allreduce_sum(&data_small);
-        let (_, t8) = ps_allreduce_sum(&data_large);
+        let (_, t2) = ps_allreduce_sum(&data_small).unwrap();
+        let (_, t8) = ps_allreduce_sum(&data_large).unwrap();
         assert!(t8.time(link) > 3.0 * t2.time(link));
     }
 
     #[test]
     fn sign_sums_count_workers() {
         let signs: Vec<SignVec> = (0..3).map(|_| SignVec::ones(8)).collect();
-        let (sums, _) = ps_sign_sums(&signs);
+        let (sums, _) = ps_sign_sums(&signs).unwrap();
         assert_eq!(sums.count(), 3);
         assert!(sums.sums().iter().all(|&s| s == 3));
+    }
+
+    /// Degenerate memberships surface as typed errors rather than panics.
+    #[test]
+    fn degenerate_membership_returns_typed_errors() {
+        assert_eq!(
+            ps_allreduce_sum(&[]).unwrap_err(),
+            SyncError::TooFewWorkers { needed: 1, got: 0 }
+        );
+        assert_eq!(
+            ps_majority_vote(&[]).unwrap_err(),
+            SyncError::TooFewWorkers { needed: 1, got: 0 }
+        );
+        assert_eq!(
+            ps_sign_sums(&[]).unwrap_err(),
+            SyncError::TooFewWorkers { needed: 1, got: 0 }
+        );
+        let ragged = vec![vec![1.0f32; 4], vec![1.0f32; 3]];
+        assert_eq!(
+            ps_allreduce_sum(&ragged).unwrap_err(),
+            SyncError::LengthMismatch {
+                expected: 4,
+                got: 3
+            }
+        );
+        let ragged_signs = vec![SignVec::ones(8), SignVec::ones(5)];
+        assert_eq!(
+            ps_majority_vote(&ragged_signs).unwrap_err(),
+            SyncError::LengthMismatch {
+                expected: 8,
+                got: 5
+            }
+        );
+        assert_eq!(
+            ps_sign_sums(&ragged_signs).unwrap_err(),
+            SyncError::LengthMismatch {
+                expected: 8,
+                got: 5
+            }
+        );
+        // A single live worker is fine for PS (it is its own server).
+        let (sum, _) = ps_allreduce_sum(&[vec![2.0f32, 3.0]]).unwrap();
+        assert_eq!(sum, vec![2.0, 3.0]);
     }
 }

@@ -476,6 +476,251 @@ where
     (result, trace)
 }
 
+/// A step-planned one-bit combine operator for
+/// [`ring_allreduce_onebit_planned`].
+///
+/// Splitting the closure-based hook/combine pair into a trait lets the
+/// collective apply one step's combines *concurrently*: `step_begin`
+/// (exclusive) plans and pre-draws a step, then `combine` (shared) applies
+/// individual hops, possibly from several threads at once with distinct
+/// `idx` values.
+///
+/// # Contract
+///
+/// `combine` must touch only the two segment vectors it is handed — the
+/// collective guarantees those are disjoint across the hops of one step, and
+/// concurrent callers rely on `combine` not reaching into shared mutable
+/// state (interior mutability must be thread-safe, e.g. atomics).
+pub trait StepCombine: Sync {
+    /// Called once per reduce step with the step's full hop plan, before any
+    /// of its combines run.
+    fn step_begin(&mut self, plan: &[PlannedHop]);
+
+    /// Applies hop `idx` of the current step's plan (same `ctx` as
+    /// `plan[idx].ctx`). Called exactly once per hop; calls for different
+    /// `idx` may run concurrently.
+    fn combine(&self, idx: usize, received: &SignVec, local: &mut SignVec, ctx: CombineCtx);
+}
+
+/// Reusable buffers for [`ring_allreduce_onebit_planned`]: the per-worker
+/// segment grid, the step plan, and the hop work list. Holding one of these
+/// across rounds makes the clean one-bit ring collective allocation-free in
+/// steady state — only the returned [`Trace`]'s step vectors are freshly
+/// allocated (they escape to the caller).
+#[derive(Debug, Clone, Default)]
+pub struct RingOnebitScratch {
+    /// `state[w][s]`: worker `w`'s working copy of segment `s`.
+    state: Vec<Vec<SignVec>>,
+    /// Segment bit ranges for the current `(d, m)`.
+    segs: Vec<Range<usize>>,
+    /// Plan handed to [`StepCombine::step_begin`] each step.
+    plan: Vec<PlannedHop>,
+    /// Per-step combine work list (raw segment cell pairs).
+    cells: Vec<HopCell>,
+}
+
+impl RingOnebitScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// One hop's source/destination segment cells, captured as raw pointers so
+/// a step's (provably disjoint) combines can be dispatched across threads.
+#[derive(Debug, Clone, Copy)]
+struct HopCell {
+    src: *const SignVec,
+    dst: *mut SignVec,
+    ctx: CombineCtx,
+}
+
+/// SAFETY: a `HopCell` is only dereferenced inside the step dispatch below,
+/// where the cells of one step are pairwise-disjoint `SignVec` objects (see
+/// the disjointness argument at the dispatch site) and each cell is handed
+/// to exactly one thread.
+unsafe impl Send for HopCell {}
+unsafe impl Sync for HopCell {}
+
+/// [`ring_allreduce_onebit_weighted_hooked`] in allocation-free, optionally
+/// multi-threaded form: state buffers come from `scratch`, the consensus is
+/// written into `out` (reusing its buffer), and each reduce step's combines
+/// are spread over up to `intra_threads` OS threads (`<= 1` runs them on the
+/// caller thread in hop order).
+///
+/// Parallelism never changes a bit: within one reduce step, hop `w` reads
+/// cell `(w, s_w)` and writes cell `(w+1 mod m, s_w)` with all `s_w`
+/// distinct, so every source and destination is a distinct `SignVec` and
+/// combines commute. Operators whose randomness is a pure function of the
+/// hop (the frozen per-hop stream contract) therefore produce the same
+/// consensus regardless of thread count — pinned by the differential tests.
+/// Hop telemetry and the returned trace are recorded on the caller thread
+/// before the step's combines run, so their byte streams are identical to
+/// the serial path's.
+///
+/// # Panics
+///
+/// Panics if fewer than 2 workers, `unit == 0`, or sign lengths differ.
+pub fn ring_allreduce_onebit_planned<O: StepCombine>(
+    signs: &[SignVec],
+    unit: usize,
+    scratch: &mut RingOnebitScratch,
+    out: &mut SignVec,
+    intra_threads: usize,
+    op: &mut O,
+) -> Trace {
+    assert!(unit > 0, "unit must be positive");
+    let m = signs.len();
+    assert!(m >= 2, "ring all-reduce needs at least 2 workers");
+    let d = signs[0].len();
+    assert!(signs.iter().all(|v| v.len() == d), "sign lengths differ");
+    if scratch.segs.len() != m
+        || scratch.segs.last().is_none_or(|r| r.end != d)
+        || scratch.state.len() != m
+    {
+        scratch.segs.clear();
+        scratch.segs.extend(segment_ranges(d, m));
+        scratch.state.resize_with(m, Vec::new);
+        for row in &mut scratch.state {
+            row.resize_with(m, || SignVec::zeros(0));
+        }
+    }
+    let segs = &scratch.segs;
+    for (row, v) in scratch.state.iter_mut().zip(signs) {
+        for (cell, r) in row.iter_mut().zip(segs.iter()) {
+            cell.assign_slice_of(v, r.start, r.len());
+        }
+    }
+    let mut trace = Trace::new();
+    let mut rec = HopRecorder::begin();
+    for r in 0..m - 1 {
+        scratch.plan.clear();
+        scratch.plan.extend((0..m).map(|w| {
+            let s = (w + m - (r % m)) % m;
+            PlannedHop {
+                ctx: CombineCtx {
+                    step: r,
+                    receiver: (w + 1) % m,
+                    segment: s,
+                    received_count: (r + 1) * unit,
+                    local_count: unit,
+                },
+                elems: segs[s].len(),
+            }
+        }));
+        op.step_begin(&scratch.plan);
+        // Record the step's wire activity (trace + hop telemetry) on the
+        // caller thread, in hop order, before any combine runs — the byte
+        // streams cannot depend on how the combines are scheduled.
+        let mut step_bytes = Vec::with_capacity(m);
+        for hop in &scratch.plan {
+            let s = hop.ctx.segment;
+            let bytes = segs[s].len().div_ceil(8).max(1);
+            step_bytes.push(bytes);
+            rec.hop(&Hop {
+                expanded_step: r,
+                step: r,
+                phase: "reduce",
+                sender: (hop.ctx.receiver + m - 1) % m,
+                receiver: hop.ctx.receiver,
+                segment: s,
+                elems: segs[s].len(),
+                bytes,
+                attempt: 1,
+                delivered: true,
+            });
+        }
+        trace.push_step(step_bytes);
+        scratch.cells.clear();
+        for (w, hop) in scratch.plan.iter().enumerate() {
+            let s = hop.ctx.segment;
+            let n = hop.ctx.receiver;
+            // Cells captured raw; disjointness argument below.
+            let src: *const SignVec = &raw const scratch.state[w][s];
+            let dst: *mut SignVec = &raw mut scratch.state[n][s];
+            scratch.cells.push(HopCell {
+                src,
+                dst,
+                ctx: hop.ctx,
+            });
+        }
+        // Disjointness: destinations `(w+1, s_w)` are pairwise distinct
+        // (receivers distinct, one segment each); sources `(w, s_w)`
+        // likewise; and a source equals a destination only if
+        // `w = w'+1 ∧ s_w = s_{w'}`, impossible since consecutive hops use
+        // consecutive (distinct) segments. Every cell is therefore a
+        // distinct `SignVec`, and each is dereferenced by exactly one hop.
+        let threads = intra_threads.clamp(1, m);
+        if threads <= 1 {
+            for (i, cell) in scratch.cells.iter().enumerate() {
+                // SAFETY: disjointness above; serial loop, unique access.
+                unsafe { op.combine(i, &*cell.src, &mut *cell.dst, cell.ctx) };
+            }
+        } else {
+            let cells = &scratch.cells;
+            let chunk = m.div_ceil(threads);
+            let shared: &O = op;
+            std::thread::scope(|scope| {
+                for (t, part) in cells.chunks(chunk).enumerate().skip(1) {
+                    let base = t * chunk;
+                    scope.spawn(move || {
+                        for (i, cell) in part.iter().enumerate() {
+                            // SAFETY: disjoint cells; this thread owns them.
+                            unsafe {
+                                shared.combine(base + i, &*cell.src, &mut *cell.dst, cell.ctx);
+                            }
+                        }
+                    });
+                }
+                for (i, cell) in cells.iter().take(chunk).enumerate() {
+                    // SAFETY: disjoint cells; the caller thread owns chunk 0.
+                    unsafe { shared.combine(i, &*cell.src, &mut *cell.dst, cell.ctx) };
+                }
+            });
+        }
+        for hop in &scratch.plan {
+            let s = hop.ctx.segment;
+            assert_eq!(
+                scratch.state[hop.ctx.receiver][s].len(),
+                segs[s].len(),
+                "combine changed segment length"
+            );
+        }
+    }
+    // Assemble the consensus into `out` (every bit of [0, d) is overwritten
+    // by some segment, so stale contents never leak).
+    if out.len() != d {
+        *out = SignVec::zeros(d);
+    }
+    for (s, seg) in segs.iter().enumerate() {
+        let owner = (s + m - 1) % m;
+        out.splice(seg.start, &scratch.state[owner][s]);
+    }
+    for g in 0..m - 1 {
+        let mut step = Vec::with_capacity(m);
+        for (s, seg) in segs.iter().enumerate() {
+            let bytes = seg.len().div_ceil(8).max(1);
+            step.push(bytes);
+            let w = (s + g + m - 1) % m;
+            rec.hop(&Hop {
+                expanded_step: (m - 1) + g,
+                step: g,
+                phase: "gather",
+                sender: w,
+                receiver: (w + 1) % m,
+                segment: s,
+                elems: seg.len(),
+                bytes,
+                attempt: 1,
+                delivered: true,
+            });
+        }
+        trace.push_step(step);
+    }
+    trace
+}
+
 /// [`ring_allreduce_sum`] under fault injection.
 ///
 /// Reduce-phase transfers are best-effort: a transfer whose retry budget is
@@ -924,6 +1169,68 @@ mod tests {
             let owner = (s + m - 1) % m;
             for j in seg.clone() {
                 assert_eq!(result.get(j), signs[owner].get(j), "segment {s} coord {j}");
+            }
+        }
+    }
+
+    /// A [`StepCombine`] whose randomness is a pure function of the hop,
+    /// mirroring the frozen per-hop stream contract of the core crate.
+    struct StreamedWeighted {
+        seed: u64,
+    }
+
+    impl StepCombine for StreamedWeighted {
+        fn step_begin(&mut self, _plan: &[PlannedHop]) {}
+        fn combine(&self, _idx: usize, recv: &SignVec, local: &mut SignVec, ctx: CombineCtx) {
+            let stream =
+                ((ctx.receiver as u64) << 40) | ((ctx.segment as u64) << 20) | ctx.step as u64;
+            let mut rng = FastRng::new(self.seed, stream);
+            let p = ctx.received_count as f64 / (ctx.received_count + ctx.local_count) as f64;
+            SignVec::transient_combine_assign(recv, local, p, &mut rng);
+        }
+    }
+
+    /// The planned collective — serial, threaded, and with a reused
+    /// scratch — is bit-identical (consensus and trace) to the closure
+    /// path when both derive their masks from the per-hop stream id.
+    #[test]
+    fn planned_matches_hooked_across_threads_and_reuse() {
+        for (m, d) in [(8usize, 1024usize), (7, 300), (3, 130)] {
+            let mut rng = FastRng::new(2024, m as u64);
+            let signs: Vec<SignVec> = (0..m)
+                .map(|_| SignVec::bernoulli_uniform(d, 0.5, &mut rng))
+                .collect();
+            let (expected, expected_trace) = ring_allreduce_onebit_weighted_hooked(
+                &signs,
+                1,
+                |_| {},
+                |recv, local, ctx| {
+                    let stream = ((ctx.receiver as u64) << 40)
+                        | ((ctx.segment as u64) << 20)
+                        | ctx.step as u64;
+                    let mut hop_rng = FastRng::new(99, stream);
+                    let p =
+                        ctx.received_count as f64 / (ctx.received_count + ctx.local_count) as f64;
+                    SignVec::transient_combine_assign(recv, local, p, &mut hop_rng);
+                },
+            );
+            let mut scratch = RingOnebitScratch::new();
+            let mut op = StreamedWeighted { seed: 99 };
+            for threads in [1usize, 2, 4, 16] {
+                let mut out = SignVec::zeros(1);
+                let trace = ring_allreduce_onebit_planned(
+                    &signs,
+                    1,
+                    &mut scratch,
+                    &mut out,
+                    threads,
+                    &mut op,
+                );
+                assert_eq!(out, expected, "m={m} d={d} threads={threads}: consensus");
+                assert_eq!(
+                    trace, expected_trace,
+                    "m={m} d={d} threads={threads}: trace"
+                );
             }
         }
     }

@@ -54,9 +54,13 @@ impl Compensation {
 
     /// Squared ℓ2-norm of the residual (the quantity bounded in the proof of
     /// Theorem 1, Eq. 7).
+    ///
+    /// Uses the striped eight-lane fold so the result is bit-identical to the
+    /// fused walk that computes the same norm without materializing `c`
+    /// (`Marsit::mean_compensation_norm_sq` on the deferred path).
     #[must_use]
     pub fn norm_sq(&self) -> f64 {
-        marsit_tensor::stats::norm_l2_sq(&self.c)
+        marsit_tensor::stats::norm_l2_sq_striped(&self.c)
     }
 
     /// Algorithm 1, line 1: returns `update + c` (the compensated local

@@ -21,8 +21,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use marsit_collectives::engine::{compile_plan, run_threaded, PlanTopology};
 use marsit_collectives::ring::{
-    ring_allreduce_onebit_faulty, ring_allreduce_onebit_weighted_hooked, ring_allreduce_sum,
-    ring_allreduce_sum_faulty,
+    ring_allreduce_onebit_faulty, ring_allreduce_onebit_planned,
+    ring_allreduce_onebit_weighted_hooked, ring_allreduce_sum, ring_allreduce_sum_faulty,
+    RingOnebitScratch, StepCombine,
 };
 use marsit_collectives::torus::{
     torus_allreduce_onebit_faulty, torus_allreduce_onebit_hooked, torus_allreduce_sum,
@@ -32,7 +33,7 @@ use marsit_collectives::{
 };
 use marsit_simnet::{Backend, FaultInjector, FaultPlan, FaultStats, LinkModel, Topology};
 use marsit_tensor::rng::{split_seed, FastRng};
-use marsit_tensor::{fill_bernoulli_mask_words, MaskLane, SignVec};
+use marsit_tensor::{fill_bernoulli_masks_indexed, ScaledSignLut, SignVec};
 
 use crate::compensation::Compensation;
 use crate::ominus::{combine_unweighted_assign, combine_weighted_assign};
@@ -75,6 +76,13 @@ pub struct MarsitConfig {
     /// one `Marsit` instance (workers are separate OS processes); drive it
     /// through `marsit_core::transport` instead.
     pub backend: Backend,
+    /// Worker threads for the cache-blocked segment fan-out inside one
+    /// clean simulator-ring reduce step (1 = fully serial). The parallel
+    /// dispatch is bit-identical to the serial one — telemetry and traces
+    /// are recorded before the combines run, and every combine replays a
+    /// pre-sampled mask stream addressed by `(receiver, segment, step)` —
+    /// so this is a pure throughput knob.
+    pub intra_threads: usize,
 }
 
 impl MarsitConfig {
@@ -96,7 +104,17 @@ impl MarsitConfig {
             combine: CombineKind::Weighted,
             fault_plan: FaultPlan::none(),
             backend: Backend::Simulator,
+            intra_threads: 1,
         }
+    }
+
+    /// Fans each clean simulator-ring reduce step out over up to `n` worker
+    /// threads (see [`MarsitConfig::intra_threads`]). Values are clamped to
+    /// the number of hops per step at run time; `0` is treated as `1`.
+    #[must_use]
+    pub fn with_intra_threads(mut self, n: usize) -> Self {
+        self.intra_threads = n.max(1);
+        self
     }
 
     /// Runs the one-bit collectives on the given transport backend.
@@ -169,6 +187,16 @@ struct RoundWorkspace {
     signs: Vec<SignVec>,
     /// Per-worker word staging for the fused prologue's sign packing.
     word_scratch: Vec<u64>,
+    /// Per-worker state and schedule scratch for the planned ring collective.
+    ring: RingOnebitScratch,
+    /// Transient-mask planner, persistent so its buffers amortize to zero
+    /// allocations per round.
+    planner: MaskPlanner,
+    /// Consensus output buffer for the planned ring collective. Ping-pongs
+    /// with [`PendingResidual::consensus`]: the prologue that consumes a
+    /// pending residual returns its (right-sized) sign buffer here, and the
+    /// round's collective fills it before it moves into the next pending.
+    consensus: SignVec,
 }
 
 /// The residual a clean one-bit round leaves behind, absorbed lazily.
@@ -220,7 +248,7 @@ fn prepare_deferred(
     update: &[f32],
     h: &mut [f32],
     consensus: &SignVec,
-    scale: f32,
+    lut: &ScaledSignLut,
     mean_acc: &mut [f32],
     word_scratch: &mut Vec<u64>,
     sign_out: Option<&mut SignVec>,
@@ -228,22 +256,17 @@ fn prepare_deferred(
     debug_assert_eq!(update.len(), h.len());
     debug_assert_eq!(consensus.len(), h.len());
     debug_assert_eq!(mean_acc.len(), h.len());
-    let scale_bits = scale.to_bits();
+    // The residual's scale rides in with the LUT: row 0x01 starts with the
+    // positive scale, so the ragged-tail fallback recovers the exact bits.
+    let scale_bits = lut.row(0x01)[0].to_bits();
     let pack = sign_out.is_some();
     word_scratch.clear();
-    // Per-byte expansion table: row `b` holds the eight `±scale` values the
-    // bits of `b` select. Rebuilding `g` through it keeps the apply loop
-    // free of per-lane bit tests (which defeat auto-vectorization) while
-    // producing the exact same floats as [`scaled_sign`]: `+scale` verbatim,
-    // `−scale` by IEEE sign-bit flip.
-    let pos = f32::from_bits(scale_bits);
-    let neg = f32::from_bits(scale_bits ^ (1 << 31));
-    let mut lut = [[0.0f32; 8]; 256];
-    for (b, row) in lut.iter_mut().enumerate() {
-        for (i, e) in row.iter_mut().enumerate() {
-            *e = if (b >> i) & 1 == 1 { pos } else { neg };
-        }
-    }
+    // `g` is rebuilt through the caller-provided per-byte `±scale` expansion
+    // table (built once per round, shared across workers): row `b` holds the
+    // eight values the bits of `b` select, which keeps the apply loop free
+    // of per-lane bit tests (they defeat auto-vectorization) while producing
+    // the exact same floats as [`scaled_sign`] — `+scale` verbatim, `−scale`
+    // by IEEE sign-bit flip.
     for (((hc, uc), mc), &w) in h
         .chunks_mut(64)
         .zip(update.chunks(64))
@@ -252,7 +275,7 @@ fn prepare_deferred(
     {
         if hc.len() == 64 {
             for k in 0..8 {
-                let row = &lut[((w >> (8 * k)) & 0xff) as usize];
+                let row = lut.row((w >> (8 * k)) as u8);
                 let h8 = &mut hc[k * 8..k * 8 + 8];
                 let u8 = &uc[k * 8..k * 8 + 8];
                 for i in 0..8 {
@@ -333,6 +356,7 @@ fn keep_probability(kind: CombineKind, ctx: &CombineCtx) -> f64 {
 ///
 /// Per stream the words, draw counts, and final RNG states are bit-identical
 /// to the unbatched path, so consensus outputs and telemetry are unchanged.
+#[derive(Debug, Clone)]
 struct MaskSpan {
     start: usize,
     words: usize,
@@ -340,6 +364,12 @@ struct MaskSpan {
     ctx: CombineCtx,
 }
 
+/// Persistent across rounds (it lives in [`RoundWorkspace`]); [`reset`]
+/// re-arms it for a new round seed while every buffer keeps its capacity, so
+/// the steady-state planner performs zero heap allocations per round.
+///
+/// [`reset`]: MaskPlanner::reset
+#[derive(Debug, Clone, Default)]
 struct MaskPlanner {
     round_seed: u64,
     kind: CombineKind,
@@ -348,19 +378,19 @@ struct MaskPlanner {
     spans: Vec<MaskSpan>,
     /// Per-step lane generators (reused allocation).
     rngs: Vec<FastRng>,
+    /// `(offset, len)` windows into `masks`, per lane of the current group.
+    windows: Vec<(usize, usize)>,
+    /// Per-hop "already drawn by an earlier group" flags.
+    grouped: Vec<bool>,
     cursor: usize,
 }
 
 impl MaskPlanner {
-    fn new(round_seed: u64, kind: CombineKind) -> Self {
-        Self {
-            round_seed,
-            kind,
-            masks: Vec::new(),
-            spans: Vec::new(),
-            rngs: Vec::new(),
-            cursor: 0,
-        }
+    /// Re-arms the planner for a new round, keeping every buffer's capacity.
+    fn reset(&mut self, round_seed: u64, kind: CombineKind) {
+        self.round_seed = round_seed;
+        self.kind = kind;
+        self.cursor = 0;
     }
 
     /// Draws every mask the upcoming step's combines will consume.
@@ -388,54 +418,40 @@ impl MaskPlanner {
         }
         self.masks.clear();
         self.masks.resize(total, 0);
-        let kind = self.kind;
-        let round_seed = self.round_seed;
-        // Window the flat buffer per hop, then batch hops that share a keep
-        // probability (all of them, within one clean reduce step).
-        let mut windows: Vec<Option<&mut [u64]>> = Vec::with_capacity(plan.len());
-        let mut rest = self.masks.as_mut_slice();
-        for sp in &self.spans {
-            let (head, tail) = rest.split_at_mut(sp.words);
-            windows.push(Some(head));
-            rest = tail;
-        }
+        // Batch hops that share a keep probability (all of them, within one
+        // clean reduce step) into one interleaved multi-lane fill. Windows
+        // are plain `(offset, len)` pairs into the flat buffer, so grouping
+        // materializes no per-hop borrows.
+        self.grouped.clear();
+        self.grouped.resize(plan.len(), false);
         for i in 0..plan.len() {
-            if self.spans[i].words == 0 {
+            if self.spans[i].words == 0 || self.grouped[i] {
                 continue;
             }
-            let Some(first) = windows[i].take() else {
-                continue;
-            };
-            let p = keep_probability(kind, &plan[i].ctx);
+            let p = keep_probability(self.kind, &plan[i].ctx);
             self.rngs.clear();
-            self.rngs
-                .push(FastRng::new(round_seed, stream_for(&plan[i].ctx)));
-            let mut group: Vec<&mut [u64]> = vec![first];
-            for (j, hop) in plan.iter().enumerate().skip(i + 1) {
+            self.windows.clear();
+            for (j, hop) in plan.iter().enumerate().skip(i) {
                 if self.spans[j].words > 0
-                    && keep_probability(kind, &hop.ctx).to_bits() == p.to_bits()
+                    && !self.grouped[j]
+                    && keep_probability(self.kind, &hop.ctx).to_bits() == p.to_bits()
                 {
-                    if let Some(w) = windows[j].take() {
-                        group.push(w);
-                        self.rngs
-                            .push(FastRng::new(round_seed, stream_for(&hop.ctx)));
-                    }
+                    self.grouped[j] = true;
+                    self.windows
+                        .push((self.spans[j].start, self.spans[j].words));
+                    self.rngs
+                        .push(FastRng::new(self.round_seed, stream_for(&hop.ctx)));
                 }
             }
-            let mut lanes: Vec<MaskLane<'_>> = self
-                .rngs
-                .iter_mut()
-                .zip(group)
-                .map(|(rng, out)| MaskLane { rng, out })
-                .collect();
-            fill_bernoulli_mask_words(p, &mut lanes);
+            fill_bernoulli_masks_indexed(p, &mut self.rngs, &mut self.masks, &self.windows);
         }
     }
 
-    /// Applies the next planned combine; returns the RNG draws it consumed.
-    fn apply(&mut self, recv: &SignVec, local: &mut SignVec, ctx: CombineCtx) -> u64 {
-        let sp = &self.spans[self.cursor];
-        self.cursor += 1;
+    /// Applies the `idx`-th planned combine of the current step; returns the
+    /// RNG draws it consumed. Takes `&self` so the planned collective's
+    /// worker threads can replay disjoint hops of one step concurrently.
+    fn apply_at(&self, idx: usize, recv: &SignVec, local: &mut SignVec, ctx: CombineCtx) -> u64 {
+        let sp = &self.spans[idx];
         debug_assert_eq!(sp.ctx, ctx, "combine order diverged from the plan");
         if sp.words == 0 {
             // Degenerate keep probability: the drawing kernel consumes no
@@ -461,21 +477,37 @@ impl MaskPlanner {
             sp.draws
         }
     }
+
+    /// Applies the next planned combine in cursor order (the hooked torus
+    /// path, which replays hops strictly sequentially).
+    fn apply(&mut self, recv: &SignVec, local: &mut SignVec, ctx: CombineCtx) -> u64 {
+        let idx = self.cursor;
+        self.cursor += 1;
+        self.apply_at(idx, recv, local, ctx)
+    }
 }
 
-/// `‖h − g‖²` in the same accumulation order as
-/// `norm_l2_sq(&materialized_c)`: per-element f32 difference, squared and
-/// summed in f64.
-fn deferred_residual_norm_sq(h: &[f32], consensus: &SignVec, scale: f32) -> f64 {
-    let scale_bits = scale.to_bits();
-    let mut total = 0.0f64;
-    for (hc, &w) in h.chunks(64).zip(consensus.as_words()) {
-        for (j, &hj) in hc.iter().enumerate() {
-            let c = hj - scaled_sign(scale_bits, w, j);
-            total += f64::from(c) * f64::from(c);
-        }
+/// Adapts the workspace's persistent [`MaskPlanner`] to the planned ring
+/// collective's [`StepCombine`] hooks: `step_begin` pre-samples the step's
+/// mask streams serially, and `combine` (possibly racing across worker
+/// threads on disjoint hops) replays them by plan index with atomic
+/// draw/combine accounting.
+struct PlannerOp<'a> {
+    planner: &'a mut MaskPlanner,
+    combines: &'a AtomicU64,
+    rng_draws: &'a AtomicU64,
+}
+
+impl StepCombine for PlannerOp<'_> {
+    fn step_begin(&mut self, plan: &[PlannedHop]) {
+        self.planner.plan_step(plan);
     }
-    total
+
+    fn combine(&self, idx: usize, received: &SignVec, local: &mut SignVec, ctx: CombineCtx) {
+        let draws = self.planner.apply_at(idx, received, local, ctx);
+        self.combines.fetch_add(1, Ordering::Relaxed);
+        self.rng_draws.fetch_add(draws, Ordering::Relaxed);
+    }
 }
 
 /// The link every in-process engine backend prices its fabric with. Only the
@@ -710,6 +742,13 @@ impl Marsit {
         self.cfg.backend = backend;
     }
 
+    /// Replaces the intra-round thread count (see
+    /// [`MarsitConfig::with_intra_threads`]); `n <= 1` runs combines on the
+    /// caller thread. Thread count never changes an output bit.
+    pub fn set_intra_threads(&mut self, n: usize) {
+        self.cfg.intra_threads = n.max(1);
+    }
+
     /// Mean squared compensation norm across workers (the error-accumulation
     /// diagnostic of Theorem 1's proof).
     #[must_use]
@@ -717,12 +756,14 @@ impl Marsit {
         let m = self.compensations.len() as f64;
         if let Some(p) = &self.pending {
             // Deferred form: evaluate ‖h_w − g‖² without materializing c,
-            // in the exact accumulation order of the eager path.
+            // in the exact (striped) accumulation order of the eager path's
+            // `Compensation::norm_sq`. One LUT serves every worker.
+            let lut = ScaledSignLut::new(p.scale);
             let total: f64 = self
                 .workspace
                 .compensated
                 .iter()
-                .map(|h| deferred_residual_norm_sq(h, &p.consensus, p.scale))
+                .map(|h| p.consensus.residual_norm_sq_striped(h, &lut))
                 .sum();
             return total / m;
         }
@@ -800,6 +841,9 @@ impl Marsit {
             fp_buffers,
             signs,
             word_scratch,
+            ring,
+            planner,
+            consensus: consensus_buf,
         } = &mut ws;
 
         // Line 1 (fused prologue): fold compensation into the local update,
@@ -810,8 +854,10 @@ impl Marsit {
             signs.resize_with(m, || SignVec::zeros(0));
         }
         if let Some(p) = self.pending.take() {
-            // Deferred residual: `h ← u + (h − g_prev)` in the same pass.
+            // Deferred residual: `h ← u + (h − g_prev)` in the same pass,
+            // with the ±scale expansion table built once for all workers.
             debug_assert_eq!(compensated.len(), m);
+            let lut = ScaledSignLut::new(p.scale);
             for (w, (h, u)) in compensated.iter_mut().zip(local_updates).enumerate() {
                 let sign_out = if full_precision {
                     None
@@ -822,12 +868,15 @@ impl Marsit {
                     u,
                     h,
                     &p.consensus,
-                    p.scale,
+                    &lut,
                     &mut compensated_mean,
                     word_scratch,
                     sign_out,
                 );
             }
+            // The consumed residual's sign buffer is exactly consensus-sized;
+            // recycle it as this round's collective output buffer.
+            *consensus_buf = p.consensus;
         } else {
             compensated.resize_with(m, Vec::new);
             for (w, (h, u)) in compensated.iter_mut().zip(local_updates).enumerate() {
@@ -880,6 +929,7 @@ impl Marsit {
             // step's transient masks with interleaved RNG chains and the
             // combine closure replays them bit-identically.
             let round_seed = split_seed(self.cfg.seed, t);
+            planner.reset(round_seed, self.cfg.combine);
             let (consensus, trace) = if self.cfg.backend == Backend::Threaded {
                 engine_onebit_clean(
                     signs,
@@ -890,18 +940,40 @@ impl Marsit {
                     &rng_draws,
                 )
             } else {
-                let planner = RefCell::new(MaskPlanner::new(round_seed, self.cfg.combine));
-                let step_begin = |plan: &[PlannedHop]| planner.borrow_mut().plan_step(plan);
-                let combine = |recv: &SignVec, local: &mut SignVec, ctx: CombineCtx| {
-                    let draws = planner.borrow_mut().apply(recv, local, ctx);
-                    combines.set(combines.get() + 1);
-                    rng_draws.set(rng_draws.get() + draws);
-                };
                 match topology {
                     Topology::Ring { .. } => {
-                        ring_allreduce_onebit_weighted_hooked(signs, 1, step_begin, combine)
+                        // Planned, allocation-free form: state buffers come
+                        // from the workspace, the consensus lands in the
+                        // recycled buffer, and each step's combines may fan
+                        // out over `intra_threads` (bit-identical either
+                        // way; see `ring_allreduce_onebit_planned`).
+                        let step_combines = AtomicU64::new(0);
+                        let step_draws = AtomicU64::new(0);
+                        let mut op = PlannerOp {
+                            planner,
+                            combines: &step_combines,
+                            rng_draws: &step_draws,
+                        };
+                        let trace = ring_allreduce_onebit_planned(
+                            signs,
+                            1,
+                            ring,
+                            consensus_buf,
+                            self.cfg.intra_threads,
+                            &mut op,
+                        );
+                        combines.set(combines.get() + step_combines.load(Ordering::Relaxed));
+                        rng_draws.set(rng_draws.get() + step_draws.load(Ordering::Relaxed));
+                        (std::mem::take(consensus_buf), trace)
                     }
                     Topology::Torus { rows, cols } => {
+                        let planner = RefCell::new(planner);
+                        let step_begin = |plan: &[PlannedHop]| planner.borrow_mut().plan_step(plan);
+                        let combine = |recv: &SignVec, local: &mut SignVec, ctx: CombineCtx| {
+                            let draws = planner.borrow_mut().apply(recv, local, ctx);
+                            combines.set(combines.get() + 1);
+                            rng_draws.set(rng_draws.get() + draws);
+                        };
                         torus_allreduce_onebit_hooked(signs, rows, cols, step_begin, combine)
                     }
                     Topology::Star { .. } => {
@@ -909,8 +981,13 @@ impl Marsit {
                     }
                 }
             };
-            // Line 9: g_t = η_s · σ (written once, no zero-fill pass).
-            let global_update = consensus.scaled_signs(self.cfg.global_lr);
+            // Line 9: g_t = η_s · σ, rebuilt through the byte LUT (written
+            // once per element, no zero-fill pass, no per-lane bit tests).
+            let mut global_update = vec![0.0f32; d];
+            consensus.write_scaled_signs_lut(
+                &ScaledSignLut::new(self.cfg.global_lr),
+                &mut global_update,
+            );
             // Line 10: the residual absorb is deferred — the consensus bits
             // and scale fully determine `g_t`, and the next round's apply
             // folds `h − g_t` in without a dedicated M·D pass.
@@ -1295,6 +1372,30 @@ mod tests {
             let a = m1.synchronize(&u, Topology::ring(4));
             let b = m2.synchronize(&u, Topology::ring(4));
             assert_eq!(a, b);
+        }
+    }
+
+    /// The intra-round fan-out is a pure throughput knob: every thread
+    /// count produces the same outcomes — and the same deferred residual
+    /// state — as the serial dispatch, round after round.
+    #[test]
+    fn intra_threads_are_bit_identical() {
+        let u = updates(8, 1000, 11);
+        let run = |threads: usize| {
+            let cfg =
+                MarsitConfig::new(SyncSchedule::every(3), 0.05, 21).with_intra_threads(threads);
+            let mut marsit = Marsit::new(cfg, 8, 1000);
+            let outs: Vec<SyncOutcome> = (0..6)
+                .map(|_| marsit.synchronize(&u, Topology::ring(8)))
+                .collect();
+            let norms: Vec<u64> = (0..8)
+                .map(|w| marsit.compensation(w).norm_sq().to_bits())
+                .collect();
+            (outs, norms)
+        };
+        let serial = run(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(run(threads), serial, "{threads} threads diverged");
         }
     }
 

@@ -21,6 +21,24 @@
 //! - [`json`]: a minimal hand-rolled JSON writer/parser (the workspace's
 //!   serde shim is a no-op, so all machine-readable output is hand-encoded).
 //!
+//! # The batched sink
+//!
+//! Recording must not distort what it measures. The sink therefore does no
+//! string formatting and no per-field allocation inside the timed region:
+//! an event is one fixed-size record pushed into a preallocated batch plus
+//! its fields appended to a flat key/value arena, where keys are `&'static
+//! str` and values are the scalar `CompactValue` repr. Hop events
+//! additionally fold their derived statistics into fixed slots
+//! (`HopStats`) rather than name-keyed map entries. JSONL text and owned
+//! [`Event`] structs are *materialized on demand* — at flush, outside the
+//! timed region. Steady state is allocation-free once the batch capacity
+//! (claimed up front by [`Telemetry::recording`]) covers the run.
+//!
+//! Reading events back is explicit about cost: [`Telemetry::for_each_event`]
+//! visits events without building a vector, [`Telemetry::snapshot_events`]
+//! materializes an owned copy, and [`Telemetry::drain_events`] moves the
+//! events out, resetting the batch while keeping its capacity.
+//!
 //! # Determinism contract
 //!
 //! With the same seed and configuration, two recording runs produce
@@ -150,7 +168,89 @@ impl From<String> for Value {
     }
 }
 
+/// Allocation-free field value as stored in the batch arena. Strings are
+/// either borrowed for `'static` (event schemas use literal keys and phase
+/// labels), shared (the transport tag, cloned per hop as an `Arc` bump), or
+/// owned (caller-provided dynamic strings — the rare case).
+#[derive(Debug, Clone)]
+enum CompactValue {
+    U64(u64),
+    F64(f64),
+    Bool(bool),
+    Static(&'static str),
+    Shared(Arc<str>),
+    Owned(String),
+}
+
+impl CompactValue {
+    fn from_value(v: Value) -> CompactValue {
+        match v {
+            Value::U64(n) => CompactValue::U64(n),
+            Value::F64(x) => CompactValue::F64(x),
+            Value::Bool(b) => CompactValue::Bool(b),
+            Value::Str(s) => CompactValue::Owned(s),
+        }
+    }
+
+    fn to_value(&self) -> Value {
+        match self {
+            CompactValue::U64(n) => Value::U64(*n),
+            CompactValue::F64(x) => Value::F64(*x),
+            CompactValue::Bool(b) => Value::Bool(*b),
+            CompactValue::Static(s) => Value::Str((*s).to_string()),
+            CompactValue::Shared(s) => Value::Str(s.as_ref().to_string()),
+            CompactValue::Owned(s) => Value::Str(s.clone()),
+        }
+    }
+
+    fn write_json(&self, out: &mut String) {
+        match self {
+            CompactValue::U64(n) => {
+                let mut buf = itoa_buf();
+                out.push_str(write_u64(&mut buf, *n));
+            }
+            CompactValue::F64(x) => json::write_f64(out, *x),
+            CompactValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            CompactValue::Static(s) => json::write_str(out, s),
+            CompactValue::Shared(s) => json::write_str(out, s),
+            CompactValue::Owned(s) => json::write_str(out, s),
+        }
+    }
+}
+
+/// Stack buffer for integer formatting (20 digits covers `u64::MAX`).
+fn itoa_buf() -> [u8; 20] {
+    [0u8; 20]
+}
+
+/// Format `n` into `buf` without heap allocation; returns the digits.
+fn write_u64(buf: &mut [u8; 20], mut n: u64) -> &str {
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (n % 10) as u8;
+        n /= 10;
+        if n == 0 {
+            break;
+        }
+    }
+    std::str::from_utf8(&buf[i..]).expect("ascii digits")
+}
+
+/// One fixed-size event record in the batch; its fields live in the shared
+/// key/value arena at `[field_start, field_start + field_len)`.
+#[derive(Debug, Clone, Copy)]
+struct EventRec {
+    time_s: f64,
+    name: &'static str,
+    field_start: u32,
+    field_len: u32,
+}
+
 /// One recorded event: a simulated timestamp, a name, and ordered fields.
+///
+/// This is the *materialized* (owned) view, built on demand from the compact
+/// batch by [`Telemetry::snapshot_events`] and friends.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Event {
     /// Simulated time in seconds when the event was recorded (the last value
@@ -191,7 +291,9 @@ impl Event {
     /// Append this event as one JSON object (no trailing newline) to `out`.
     ///
     /// The timestamp is written first as `"t"`, the name as `"ev"`, then the
-    /// fields in recorded order — so logs are byte-stable.
+    /// fields in recorded order — so logs are byte-stable. This produces the
+    /// same bytes as the batched renderer behind
+    /// [`Telemetry::events_jsonl`].
     pub fn write_jsonl(&self, out: &mut String) {
         out.push_str("{\"t\":");
         json::write_f64(out, self.time_s);
@@ -260,25 +362,102 @@ impl Event {
     }
 }
 
-/// Shared mutable state behind a recording [`Telemetry`] handle.
+/// Derived per-hop statistics, kept in fixed slots instead of name-keyed map
+/// entries so the per-hop cost is a handful of integer adds. They surface
+/// under their historical names (`hop.events`, `hop.bytes`,
+/// `hop.retransmits`, `hop.undelivered` counters; `hop.bytes`,
+/// `hop.wire_bits_per_elem` histograms) through [`Telemetry::counter`],
+/// [`Telemetry::histogram`], and the summary snapshot.
 #[derive(Debug, Default)]
+struct HopStats {
+    events: u64,
+    bytes: u64,
+    retransmits: u64,
+    undelivered: u64,
+    bytes_hist: Histogram,
+    wire_bits_per_elem: Histogram,
+}
+
+/// Initial event-batch capacity claimed by a recording sink: enough for a
+/// typical bench round's hop stream without growth inside the timed region.
+const EVENT_BATCH: usize = 4096;
+/// Initial key/value arena capacity (~12 fields per hop event).
+const KV_BATCH: usize = 12 * EVENT_BATCH;
+
+/// Shared mutable state behind a recording [`Telemetry`] handle.
+#[derive(Debug)]
 struct State {
     now_s: f64,
     next_seq: u64,
-    events: Vec<Event>,
+    events: Vec<EventRec>,
+    kvs: Vec<(&'static str, CompactValue)>,
+    hop: HopStats,
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
     histograms: BTreeMap<String, Histogram>,
     /// `(backend, clock-kind)` tag appended to every `hop` event when set
     /// via [`Telemetry::set_transport_tag`]. `None` (the default) keeps hop
     /// events byte-identical to their pre-transport schema.
-    transport_tag: Option<(String, String)>,
+    transport_tag: Option<(Arc<str>, Arc<str>)>,
+}
+
+impl Default for State {
+    fn default() -> Self {
+        State {
+            now_s: 0.0,
+            next_seq: 0,
+            events: Vec::with_capacity(EVENT_BATCH),
+            kvs: Vec::with_capacity(KV_BATCH),
+            hop: HopStats::default(),
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+            transport_tag: None,
+        }
+    }
+}
+
+impl State {
+    fn fields_of(&self, rec: &EventRec) -> &[(&'static str, CompactValue)] {
+        &self.kvs[rec.field_start as usize..(rec.field_start + rec.field_len) as usize]
+    }
+
+    fn materialize(&self, rec: &EventRec) -> Event {
+        Event {
+            time_s: rec.time_s,
+            name: rec.name.to_string(),
+            fields: self
+                .fields_of(rec)
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), v.to_value()))
+                .collect(),
+        }
+    }
+
+    /// Render one compact record exactly as [`Event::write_jsonl`] would
+    /// render its materialized form.
+    fn write_rec_jsonl(&self, rec: &EventRec, out: &mut String) {
+        out.push_str("{\"t\":");
+        json::write_f64(out, rec.time_s);
+        out.push_str(",\"ev\":");
+        json::write_str(out, rec.name);
+        for (k, v) in self.fields_of(rec) {
+            out.push(',');
+            json::write_str(out, k);
+            out.push(':');
+            v.write_json(out);
+        }
+        out.push('}');
+    }
 }
 
 /// Handle to the telemetry sink: either disabled (no-op) or recording.
 ///
 /// Clones share the same underlying state, so a handle can be stored in a
-/// config struct, passed across layers, and flushed once at the end.
+/// config struct, passed across layers, and flushed once at the end. When
+/// the handle was created with a sink path, dropping the *last* clone
+/// flushes the log there (best-effort; see [`Telemetry::flush_env`] for the
+/// explicit, error-checked form).
 #[derive(Debug, Clone, Default)]
 pub struct Telemetry {
     inner: Option<Arc<Mutex<State>>>,
@@ -297,7 +476,7 @@ impl Telemetry {
         Telemetry::default()
     }
 
-    /// A recording sink with fresh, empty in-memory state.
+    /// A recording sink with fresh, preallocated in-memory state.
     pub fn recording() -> Self {
         Telemetry {
             inner: Some(Arc::new(Mutex::new(State::default()))),
@@ -346,54 +525,92 @@ impl Telemetry {
     }
 
     /// Record an event stamped with the current simulated time.
-    pub fn emit(&self, name: &str, fields: Vec<(&'static str, Value)>) {
+    ///
+    /// Hot paths should check [`Telemetry::is_enabled`] before building
+    /// `fields` — a disabled sink ignores them, but the caller has already
+    /// paid for the vector.
+    pub fn emit(&self, name: &'static str, fields: Vec<(&'static str, Value)>) {
         if let Some(mut st) = self.state() {
-            let ev = Event {
-                time_s: st.now_s,
-                name: name.to_string(),
-                fields: fields
+            let st = &mut *st;
+            let field_start = st.kvs.len() as u32;
+            st.kvs.extend(
+                fields
                     .into_iter()
-                    .map(|(k, v)| (k.to_string(), v))
-                    .collect(),
-            };
-            st.events.push(ev);
+                    .map(|(k, v)| (k, CompactValue::from_value(v))),
+            );
+            st.events.push(EventRec {
+                time_s: st.now_s,
+                name,
+                field_start,
+                field_len: st.kvs.len() as u32 - field_start,
+            });
         }
     }
 
     /// Add `delta` to the named monotone counter.
     pub fn counter_add(&self, name: &str, delta: u64) {
         if let Some(mut st) = self.state() {
-            *st.counters.entry(name.to_string()).or_default() += delta;
+            if let Some(slot) = st.counters.get_mut(name) {
+                *slot += delta;
+            } else {
+                st.counters.insert(name.to_string(), delta);
+            }
         }
     }
 
     /// Set the named gauge to its latest value.
     pub fn gauge_set(&self, name: &str, value: f64) {
         if let Some(mut st) = self.state() {
-            st.gauges.insert(name.to_string(), value);
+            if let Some(slot) = st.gauges.get_mut(name) {
+                *slot = value;
+            } else {
+                st.gauges.insert(name.to_string(), value);
+            }
         }
     }
 
     /// Observe one sample into the named log2-bucket histogram.
     pub fn observe(&self, name: &str, value: f64) {
         if let Some(mut st) = self.state() {
-            st.histograms
-                .entry(name.to_string())
-                .or_default()
-                .observe(value);
+            if let Some(h) = st.histograms.get_mut(name) {
+                h.observe(value);
+            } else {
+                st.histograms
+                    .entry(name.to_string())
+                    .or_default()
+                    .observe(value);
+            }
         }
     }
 
-    /// Current value of a counter (0 when disabled or never touched).
+    /// Current value of a counter (0 when disabled or never touched). The
+    /// derived hop counters (`hop.events`, `hop.bytes`, `hop.retransmits`,
+    /// `hop.undelivered`) are served from their fixed slots.
     pub fn counter(&self, name: &str) -> u64 {
-        self.state()
-            .and_then(|st| st.counters.get(name).copied())
-            .unwrap_or(0)
+        self.state().map_or(0, |st| {
+            let derived = match name {
+                "hop.events" => st.hop.events,
+                "hop.bytes" => st.hop.bytes,
+                "hop.retransmits" => st.hop.retransmits,
+                "hop.undelivered" => st.hop.undelivered,
+                _ => 0,
+            };
+            derived + st.counters.get(name).copied().unwrap_or(0)
+        })
     }
 
     /// Snapshot of a histogram, if it has been observed into.
     pub fn histogram(&self, name: &str) -> Option<Histogram> {
-        self.state().and_then(|st| st.histograms.get(name).cloned())
+        self.state().and_then(|st| {
+            match name {
+                "hop.bytes" if st.hop.events > 0 => return Some(st.hop.bytes_hist.clone()),
+                "hop.wire_bits_per_elem" if st.hop.wire_bits_per_elem.count() > 0 => {
+                    return Some(st.hop.wire_bits_per_elem.clone())
+                }
+                _ => {}
+            }
+            st.histograms.get(name).cloned()
+        })
     }
 
     /// Number of recorded events (0 when disabled — the no-op guarantee).
@@ -401,9 +618,39 @@ impl Telemetry {
         self.state().map_or(0, |st| st.events.len())
     }
 
-    /// Clone of all recorded events, in emission order.
-    pub fn events(&self) -> Vec<Event> {
-        self.state().map_or_else(Vec::new, |st| st.events.clone())
+    /// Visit every recorded event in emission order without materializing a
+    /// vector. Each call of `f` sees a freshly materialized [`Event`].
+    pub fn for_each_event(&self, mut f: impl FnMut(&Event)) {
+        if let Some(st) = self.state() {
+            for rec in &st.events {
+                f(&st.materialize(rec));
+            }
+        }
+    }
+
+    /// Materialize an owned copy of all recorded events, in emission order.
+    ///
+    /// This walks the compact batch and builds owned strings — call it at
+    /// flush/analysis time, not inside a measured region. (The accessor is
+    /// deliberately named for what it costs; there is no implicit
+    /// full-vector clone on the recording path.)
+    pub fn snapshot_events(&self) -> Vec<Event> {
+        self.state().map_or_else(Vec::new, |st| {
+            st.events.iter().map(|rec| st.materialize(rec)).collect()
+        })
+    }
+
+    /// Move all recorded events out of the sink, resetting the batch (its
+    /// capacity is retained) while counters, gauges, histograms, the
+    /// simulated clock, and sequence accounting stay untouched.
+    pub fn drain_events(&self) -> Vec<Event> {
+        self.state().map_or_else(Vec::new, |mut st| {
+            let st = &mut *st;
+            let out = st.events.iter().map(|rec| st.materialize(rec)).collect();
+            st.events.clear();
+            st.kvs.clear();
+            out
+        })
     }
 
     /// Start a span at the current simulated time; finish it with
@@ -416,14 +663,17 @@ impl Telemetry {
     }
 
     /// The full event log as JSONL (one event object per line, trailing
-    /// newline after each). Empty string when disabled.
+    /// newline after each), rendered directly from the compact batch. Empty
+    /// string when disabled.
     pub fn events_jsonl(&self) -> String {
         let Some(st) = self.state() else {
             return String::new();
         };
-        let mut out = String::new();
-        for ev in &st.events {
-            ev.write_jsonl(&mut out);
+        // ~96 bytes is a typical hop line; reserving up front keeps the
+        // flush from reallocating its way through a large log.
+        let mut out = String::with_capacity(st.events.len() * 96);
+        for rec in &st.events {
+            st.write_rec_jsonl(rec, &mut out);
             out.push('\n');
         }
         out
@@ -437,10 +687,32 @@ impl Telemetry {
                     \"counters\":{},\"gauges\":{},\"histograms\":{}}\n"
                 .to_string();
         };
+        // Merge the fixed hop slots back under their historical names so the
+        // snapshot schema is unchanged. BTreeMap keeps the key order stable.
+        let mut counters: BTreeMap<&str, u64> =
+            st.counters.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+        if st.hop.events > 0 {
+            *counters.entry("hop.events").or_default() += st.hop.events;
+            *counters.entry("hop.bytes").or_default() += st.hop.bytes;
+        }
+        if st.hop.retransmits > 0 {
+            *counters.entry("hop.retransmits").or_default() += st.hop.retransmits;
+        }
+        if st.hop.undelivered > 0 {
+            *counters.entry("hop.undelivered").or_default() += st.hop.undelivered;
+        }
+        let mut histograms: BTreeMap<&str, &Histogram> =
+            st.histograms.iter().map(|(k, h)| (k.as_str(), h)).collect();
+        if st.hop.events > 0 {
+            histograms.insert("hop.bytes", &st.hop.bytes_hist);
+        }
+        if st.hop.wire_bits_per_elem.count() > 0 {
+            histograms.insert("hop.wire_bits_per_elem", &st.hop.wire_bits_per_elem);
+        }
         let mut out = String::from("{\"schema\":\"marsit-telemetry-summary/1\",\"events\":");
         out.push_str(&st.events.len().to_string());
         out.push_str(",\"counters\":{");
-        for (i, (k, v)) in st.counters.iter().enumerate() {
+        for (i, (k, v)) in counters.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
@@ -458,7 +730,7 @@ impl Telemetry {
             json::write_f64(&mut out, *v);
         }
         out.push_str("},\"histograms\":{");
-        for (i, (k, h)) in st.histograms.iter().enumerate() {
+        for (i, (k, h)) in histograms.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
@@ -501,13 +773,17 @@ impl Telemetry {
     /// pre-transport schema; [`report::validate`] accepts both forms.
     pub fn set_transport_tag(&self, backend: &str, clock_kind: &str) {
         if let Some(mut st) = self.state() {
-            st.transport_tag = Some((backend.to_string(), clock_kind.to_string()));
+            st.transport_tag = Some((Arc::from(backend), Arc::from(clock_kind)));
         }
     }
 
     /// The `(backend, clock-kind)` transport tag, if one is set.
     pub fn transport_tag(&self) -> Option<(String, String)> {
-        self.state().and_then(|st| st.transport_tag.clone())
+        self.state().and_then(|st| {
+            st.transport_tag
+                .as_ref()
+                .map(|(b, c)| (b.as_ref().to_string(), c.as_ref().to_string()))
+        })
     }
 
     /// Next unassigned expanded-step sequence number (scope bookkeeping).
@@ -523,52 +799,60 @@ impl Telemetry {
     }
 
     /// Record one wire attempt under a single lock: the `hop` event plus the
-    /// derived counters and histograms.
+    /// derived statistics, with no allocation in the steady state.
     pub(crate) fn record_hop(&self, seq: u64, send: usize, recv: usize, hop: &Hop) {
         let Some(mut st) = self.state() else { return };
-        let mut fields = vec![
-            ("seq".to_string(), Value::U64(seq)),
-            ("phase".to_string(), Value::Str(hop.phase.to_string())),
-            ("step".to_string(), Value::U64(hop.step as u64)),
-            ("send".to_string(), Value::U64(send as u64)),
-            ("recv".to_string(), Value::U64(recv as u64)),
-            ("seg".to_string(), Value::U64(hop.segment as u64)),
-            ("elems".to_string(), Value::U64(hop.elems as u64)),
-            ("bytes".to_string(), Value::U64(hop.bytes as u64)),
-            ("attempt".to_string(), Value::U64(u64::from(hop.attempt))),
-            ("delivered".to_string(), Value::Bool(hop.delivered)),
-        ];
+        let st = &mut *st;
+        let field_start = st.kvs.len() as u32;
+        st.kvs.extend([
+            ("seq", CompactValue::U64(seq)),
+            ("phase", CompactValue::Static(hop.phase)),
+            ("step", CompactValue::U64(hop.step as u64)),
+            ("send", CompactValue::U64(send as u64)),
+            ("recv", CompactValue::U64(recv as u64)),
+            ("seg", CompactValue::U64(hop.segment as u64)),
+            ("elems", CompactValue::U64(hop.elems as u64)),
+            ("bytes", CompactValue::U64(hop.bytes as u64)),
+            ("attempt", CompactValue::U64(u64::from(hop.attempt))),
+            ("delivered", CompactValue::Bool(hop.delivered)),
+        ]);
         if let Some((backend, clock)) = &st.transport_tag {
-            fields.push(("backend".to_string(), Value::Str(backend.clone())));
-            fields.push(("clock".to_string(), Value::Str(clock.clone())));
+            st.kvs
+                .push(("backend", CompactValue::Shared(backend.clone())));
+            st.kvs.push(("clock", CompactValue::Shared(clock.clone())));
         }
-        let ev = Event {
+        st.events.push(EventRec {
             time_s: st.now_s,
-            name: "hop".to_string(),
-            fields,
-        };
-        st.events.push(ev);
-        *st.counters.entry("hop.events".to_string()).or_default() += 1;
-        *st.counters.entry("hop.bytes".to_string()).or_default() += hop.bytes as u64;
+            name: "hop",
+            field_start,
+            field_len: st.kvs.len() as u32 - field_start,
+        });
+        st.hop.events += 1;
+        st.hop.bytes += hop.bytes as u64;
         if hop.attempt > 1 {
-            *st.counters
-                .entry("hop.retransmits".to_string())
-                .or_default() += 1;
+            st.hop.retransmits += 1;
         }
         if !hop.delivered {
-            *st.counters
-                .entry("hop.undelivered".to_string())
-                .or_default() += 1;
+            st.hop.undelivered += 1;
         }
-        st.histograms
-            .entry("hop.bytes".to_string())
-            .or_default()
-            .observe(hop.bytes as f64);
+        st.hop.bytes_hist.observe(hop.bytes as f64);
         if hop.elems > 0 {
-            st.histograms
-                .entry("hop.wire_bits_per_elem".to_string())
-                .or_default()
+            st.hop
+                .wire_bits_per_elem
                 .observe(hop.bytes as f64 * 8.0 / hop.elems as f64);
+        }
+    }
+}
+
+impl Drop for Telemetry {
+    /// Dropping the last clone of a path-bound recording handle flushes the
+    /// log (best-effort: I/O errors on this implicit path are swallowed;
+    /// call [`Telemetry::flush_env`] to observe them).
+    fn drop(&mut self) {
+        if let (Some(inner), Some(_)) = (&self.inner, &self.sink_path) {
+            if Arc::strong_count(inner) == 1 {
+                let _ = self.flush_env();
+            }
         }
     }
 }
@@ -686,8 +970,91 @@ mod tests {
         let sp = t.span("phase");
         t.set_time(3.5);
         sp.end(&t);
-        let ev = &t.events()[0];
+        let ev = &t.snapshot_events()[0];
         assert_eq!(ev.name, "span");
         assert_eq!(ev.f64_field("dur_s"), Some(2.5));
+    }
+
+    /// The batched renderer and the materialized per-event renderer agree
+    /// byte for byte.
+    #[test]
+    fn batched_render_matches_materialized_render() {
+        let t = Telemetry::recording();
+        t.set_time(0.25);
+        t.emit(
+            "a",
+            vec![("x", Value::U64(7)), ("s", Value::Str("hi".into()))],
+        );
+        t.set_time(0.5);
+        t.emit(
+            "b",
+            vec![("f", Value::F64(0.1)), ("ok", Value::Bool(false))],
+        );
+        let mut expected = String::new();
+        t.for_each_event(|ev| {
+            ev.write_jsonl(&mut expected);
+            expected.push('\n');
+        });
+        assert_eq!(t.events_jsonl(), expected);
+    }
+
+    /// `drain_events` moves events out, keeps counters, and resets the batch.
+    #[test]
+    fn drain_resets_the_batch_but_not_the_metrics() {
+        let t = Telemetry::recording();
+        t.emit("e", vec![("i", Value::U64(1))]);
+        t.counter_add("c", 9);
+        let drained = t.drain_events();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].u64_field("i"), Some(1));
+        assert_eq!(t.event_count(), 0);
+        assert_eq!(t.events_jsonl(), "");
+        assert_eq!(t.counter("c"), 9);
+        t.emit("e", vec![("i", Value::U64(2))]);
+        assert_eq!(t.snapshot_events()[0].u64_field("i"), Some(2));
+    }
+
+    /// Dropping the last clone of a path-bound handle flushes the JSONL log
+    /// and summary snapshot, with exactly the bytes the live handle renders.
+    #[test]
+    fn drop_of_last_clone_flushes_to_sink_path() {
+        let dir = std::env::temp_dir().join(format!("marsit-flush-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("drop.jsonl");
+        let (expected_log, expected_summary) = {
+            let t = Telemetry::recording_to(&path);
+            t.set_time(0.5);
+            t.emit("e", vec![("i", Value::U64(7))]);
+            t.counter_add("c", 3);
+            let clone = t.clone();
+            drop(t);
+            // An earlier clone dropping must NOT flush (state still live)...
+            assert!(!path.exists(), "flush fired before the last clone dropped");
+            (clone.events_jsonl(), clone.summary_json())
+        }; // ...but the last one here must.
+        let log = std::fs::read_to_string(&path).expect("drop flushed the event log");
+        assert_eq!(log, expected_log);
+        let summary_path = dir.join("drop.jsonl.summary.json");
+        let summary = std::fs::read_to_string(&summary_path).expect("drop flushed the summary");
+        assert_eq!(summary, expected_summary);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A pathless recording handle flushes nowhere on drop.
+    #[test]
+    fn drop_without_sink_path_is_silent() {
+        let t = Telemetry::recording();
+        t.emit("e", vec![]);
+        assert_eq!(t.flush_env().unwrap(), None);
+        drop(t); // must not panic or touch the filesystem
+    }
+
+    /// u64 fields render without the heap round-trip `to_string` takes.
+    #[test]
+    fn u64_formatter_matches_std() {
+        for n in [0u64, 1, 9, 10, 99, 12345, u64::MAX] {
+            let mut buf = itoa_buf();
+            assert_eq!(write_u64(&mut buf, n), n.to_string());
+        }
     }
 }

@@ -260,7 +260,7 @@ mod tests {
             }
         });
         let seqs: Vec<u64> = t
-            .events()
+            .snapshot_events()
             .iter()
             .map(|e| e.u64_field("seq").unwrap())
             .collect();
@@ -285,7 +285,7 @@ mod tests {
             }
             rec.hop(&hop(3, 2, 3, 4)); // outer continues after the merge
         });
-        let evs = t.events();
+        let evs = t.snapshot_events();
         let rows: Vec<(u64, u64, u64)> = evs
             .iter()
             .map(|e| {

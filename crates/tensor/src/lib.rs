@@ -32,7 +32,9 @@ pub mod signvec;
 pub mod stats;
 pub mod tensor;
 
-pub use signvec::{fill_bernoulli_mask_words, MaskLane, SignVec};
+pub use signvec::{
+    fill_bernoulli_mask_words, fill_bernoulli_masks_indexed, MaskLane, ScaledSignLut, SignVec,
+};
 pub use tensor::{ShapeError, Tensor};
 
 #[cfg(test)]

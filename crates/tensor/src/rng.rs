@@ -8,6 +8,8 @@
 //! derive statistically independent child seeds from a parent seed plus a
 //! stream index — e.g. one child per worker, per round, per segment.
 
+use std::sync::OnceLock;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -152,6 +154,21 @@ impl FastRng {
         x.wrapping_mul(0x2545_F491_4F6C_DD1D)
     }
 
+    /// The state transition alone (no output multiply): `state` after one
+    /// step. This map is linear over GF(2) — each output bit is an XOR of
+    /// input bits — which is what makes the [`JumpTables`] jump-ahead exact.
+    /// (The `wrapping_mul` in [`FastRng::step_raw`] is only the *output*
+    /// scrambler; it never feeds back into the state.)
+    #[inline]
+    #[must_use]
+    pub(crate) fn step_state(state: u64) -> u64 {
+        let mut x = state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        x
+    }
+
     /// Number of `u64` words drawn since construction — the generator's
     /// exact entropy consumption, surfaced as an RNG-draw counter by the
     /// telemetry layer.
@@ -237,6 +254,83 @@ impl FastRng {
     }
 }
 
+/// Byte-sliced lookup tables for one fixed power `Aⁿ` of the xorshift64
+/// state transition.
+///
+/// The transition [`FastRng::step_state`] is linear over GF(2), so any power
+/// `Aⁿ` is too, and `Aⁿ(s)` equals the XOR of `Aⁿ(eᵢ)` over the set bits of
+/// `s`. Slicing the 64 basis images by byte gives eight 256-entry tables
+/// (16 KiB) whose XOR-fold evaluates the jump in 8 loads — cheap enough to
+/// run once per leapfrog lane per output word.
+pub(crate) struct JumpTables {
+    t: [[u64; 256]; 8],
+}
+
+impl JumpTables {
+    /// Builds the tables from the 64 basis images `images[i] = Aⁿ(1 << i)`.
+    fn from_basis(images: &[u64; 64]) -> Box<Self> {
+        let mut tables = Box::new(JumpTables { t: [[0; 256]; 8] });
+        for (b, table) in tables.t.iter_mut().enumerate() {
+            for v in 1usize..256 {
+                // Subset-XOR recurrence: strip the lowest set bit.
+                let low = v.trailing_zeros() as usize;
+                table[v] = table[v & (v - 1)] ^ images[8 * b + low];
+            }
+        }
+        tables
+    }
+
+    /// `Aⁿ(s)`: the state `n` transitions ahead of `s`, in 8 table loads.
+    #[inline]
+    #[must_use]
+    pub(crate) fn apply(&self, s: u64) -> u64 {
+        let b = s.to_le_bytes();
+        (self.t[0][usize::from(b[0])] ^ self.t[1][usize::from(b[1])])
+            ^ (self.t[2][usize::from(b[2])] ^ self.t[3][usize::from(b[3])])
+            ^ ((self.t[4][usize::from(b[4])] ^ self.t[5][usize::from(b[5])])
+                ^ (self.t[6][usize::from(b[6])] ^ self.t[7][usize::from(b[7])]))
+    }
+}
+
+/// The two jump powers the leapfrogged Bernoulli sampler needs for a given
+/// per-word draw count `k`: `A^k` seeds the lanes and `A^{7k}` advances each
+/// lane past the other seven lanes' draws between its output words.
+pub(crate) struct JumpPair {
+    pub(crate) step_k: Box<JumpTables>,
+    pub(crate) step_7k: Box<JumpTables>,
+}
+
+/// One cached [`JumpPair`] per draw count `k ∈ [1, 32]` (index 0 unused).
+static JUMP_CACHE: [OnceLock<JumpPair>; 33] = [const { OnceLock::new() }; 33];
+
+/// Returns the cached jump tables for draw count `k`, building them on first
+/// use (~64·k transition steps plus two 4 KiB-entry table fills).
+pub(crate) fn jump_pair(k: u32) -> &'static JumpPair {
+    assert!((1..=32).contains(&k), "draw count out of range: {k}");
+    JUMP_CACHE[k as usize].get_or_init(|| {
+        let mut images_k = [0u64; 64];
+        for (i, img) in images_k.iter_mut().enumerate() {
+            let mut s = 1u64 << i;
+            for _ in 0..k {
+                s = FastRng::step_state(s);
+            }
+            *img = s;
+        }
+        let step_k = JumpTables::from_basis(&images_k);
+        // A^{7k} basis images via seven applications of the A^k tables.
+        let mut images_7k = [0u64; 64];
+        for (i, img) in images_7k.iter_mut().enumerate() {
+            let mut s = 1u64 << i;
+            for _ in 0..7 {
+                s = step_k.apply(s);
+            }
+            *img = s;
+        }
+        let step_7k = JumpTables::from_basis(&images_7k);
+        JumpPair { step_k, step_7k }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -291,6 +385,26 @@ mod tests {
         let a = rng.next_u64();
         let b = rng.next_u64();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn jump_tables_match_sequential_stepping() {
+        for k in [1u32, 2, 3, 17, 32] {
+            let pair = jump_pair(k);
+            for seed in 0..8u64 {
+                let s = split_seed(0xDEAD_BEEF, seed) | 1;
+                let jumped_k = pair.step_k.apply(s);
+                let jumped_7k = pair.step_7k.apply(s);
+                let mut stepped = s;
+                for step in 1..=(7 * k) {
+                    stepped = FastRng::step_state(stepped);
+                    if step == k {
+                        assert_eq!(jumped_k, stepped, "A^{k} mismatch");
+                    }
+                }
+                assert_eq!(jumped_7k, stepped, "A^(7·{k}) mismatch");
+            }
+        }
     }
 
     #[test]

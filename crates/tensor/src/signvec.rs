@@ -132,8 +132,149 @@ pub struct MaskLane<'a> {
 
 /// Chains interleaved per register batch: enough to hide the xorshift
 /// dependency latency on superscalar cores, small enough that states and
-/// accumulators stay in registers.
+/// accumulators stay in registers, and exactly one AVX-512 register (or two
+/// AVX2 registers) of `u64` lanes for the vectorized digit loop.
 const MASK_BATCH_LANES: usize = 8;
+
+/// Minimum buffer size (in words) for the leapfrogged single-stream sampler;
+/// below this the `A^k` lane-seeding jumps cost more than interleaving saves
+/// and the sequential scan wins.
+const JUMP_MIN_WORDS: usize = 4 * MASK_BATCH_LANES;
+
+/// One digit-scan word for up to [`MASK_BATCH_LANES`] independent chains:
+/// advances `st[..n]` by `32 − tz` draws each and returns the Bernoulli
+/// words they produce. Per chain this is bit-identical to `bernoulli_word`
+/// (the branchless select `(a & v) | (m & (a | v))` equals `a | v` under
+/// `m = !0` and `a & v` under `m = 0`, with `v = !u`); only the cross-chain
+/// interleaving differs, which is what converts the 32-draw latency chain
+/// into 8 throughput-bound lanes.
+#[inline(always)]
+fn digit_word_lanes_body(
+    q: u64,
+    tz: u32,
+    st: &mut [u64; MASK_BATCH_LANES],
+    n: usize,
+) -> [u64; MASK_BATCH_LANES] {
+    // Work on a local copy so the states live in registers for the whole
+    // scan instead of round-tripping through `st`'s memory every digit.
+    let mut s = *st;
+    let mut acc = [0u64; MASK_BATCH_LANES];
+    for i in tz..BERNOULLI_FIXED_BITS {
+        let m = 0u64.wrapping_sub((q >> i) & 1);
+        for (a, s) in acc[..n].iter_mut().zip(&mut s[..n]) {
+            let v = !FastRng::step_raw(s);
+            *a = (*a & v) | (m & (*a | v));
+        }
+    }
+    *st = s;
+    acc
+}
+
+/// Full-width monomorphization compiled for AVX2: the fixed 8-lane inner
+/// loop vectorizes to `u64x4` shifts/xors plus the `pmuludq`-decomposed
+/// 64-bit multiply.
+///
+/// # Safety
+///
+/// Caller must have verified AVX2 support at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn digit_word_lanes_avx2(
+    q: u64,
+    tz: u32,
+    st: &mut [u64; MASK_BATCH_LANES],
+) -> [u64; MASK_BATCH_LANES] {
+    digit_word_lanes_body(q, tz, st, MASK_BATCH_LANES)
+}
+
+/// Full-width monomorphization compiled for AVX-512 (`vpmullq` does the
+/// 64-bit output multiply natively).
+///
+/// # Safety
+///
+/// Caller must have verified AVX-512 F + DQ support at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f", enable = "avx512dq")]
+unsafe fn digit_word_lanes_avx512(
+    q: u64,
+    tz: u32,
+    st: &mut [u64; MASK_BATCH_LANES],
+) -> [u64; MASK_BATCH_LANES] {
+    digit_word_lanes_body(q, tz, st, MASK_BATCH_LANES)
+}
+
+/// Dispatches one digit-scan word to the widest available SIMD build of the
+/// lane body (full batches only; ragged groups stay scalar). All builds run
+/// the identical instruction-order recurrence, so the selected ISA never
+/// changes a single output bit.
+#[inline]
+fn digit_word_lanes(
+    q: u64,
+    tz: u32,
+    st: &mut [u64; MASK_BATCH_LANES],
+    n: usize,
+) -> [u64; MASK_BATCH_LANES] {
+    #[cfg(target_arch = "x86_64")]
+    if n == MASK_BATCH_LANES {
+        if is_x86_feature_detected!("avx512f") && is_x86_feature_detected!("avx512dq") {
+            // SAFETY: feature presence just checked.
+            return unsafe { digit_word_lanes_avx512(q, tz, st) };
+        }
+        if is_x86_feature_detected!("avx2") {
+            // SAFETY: feature presence just checked.
+            return unsafe { digit_word_lanes_avx2(q, tz, st) };
+        }
+    }
+    digit_word_lanes_body(q, tz, st, n)
+}
+
+/// Fills `out` with the exact word stream `for w in out { *w =
+/// bernoulli_word(q, rng) }` would produce — same words, same final state,
+/// same draw count — but leapfrogged across [`MASK_BATCH_LANES`] virtual
+/// lanes of the *single* stream so the digit scan runs throughput-bound.
+///
+/// Lane `j` of block `b` starts at the serial state after `(8b + j)·k`
+/// draws (`k` = draws per word): lanes are seeded by `A^k` jumps and hop
+/// `A^{7k}` between their output words via [`crate::rng::JumpTables`], so
+/// every word is computed from exactly the draws the sequential scan would
+/// have given it. Small buffers skip the lane setup and scan sequentially.
+fn fill_bernoulli_words(q: u64, rng: &mut FastRng, out: &mut [u64]) {
+    debug_assert!(q > 0 && q < 1 << BERNOULLI_FIXED_BITS);
+    let tz = q.trailing_zeros();
+    let k = BERNOULLI_FIXED_BITS - tz;
+    if out.len() < JUMP_MIN_WORDS {
+        for w in out.iter_mut() {
+            *w = bernoulli_word(q, rng);
+        }
+        return;
+    }
+    let jump = crate::rng::jump_pair(k);
+    let blocks = out.len() / MASK_BATCH_LANES;
+    let mut st = [0u64; MASK_BATCH_LANES];
+    st[0] = rng.raw_state();
+    for j in 1..MASK_BATCH_LANES {
+        st[j] = jump.step_k.apply(st[j - 1]);
+    }
+    let mut first = true;
+    for chunk in out[..blocks * MASK_BATCH_LANES].chunks_exact_mut(MASK_BATCH_LANES) {
+        if !first {
+            for s in &mut st {
+                *s = jump.step_7k.apply(*s);
+            }
+        }
+        first = false;
+        let acc = digit_word_lanes(q, tz, &mut st, MASK_BATCH_LANES);
+        chunk.copy_from_slice(&acc);
+    }
+    // Lane 7's post-block state is the serial state after all 8B words
+    // (no trailing jump), so write-back plus the sequential tail leaves the
+    // generator indistinguishable from a sequential scan.
+    rng.set_raw_state(st[MASK_BATCH_LANES - 1]);
+    rng.add_draws(blocks as u64 * MASK_BATCH_LANES as u64 * u64::from(k));
+    for w in &mut out[blocks * MASK_BATCH_LANES..] {
+        *w = bernoulli_word(q, rng);
+    }
+}
 
 /// Fills each lane's buffer with Bernoulli(`p`) mask words, drawing the
 /// lanes' independent RNG streams in an interleaved schedule.
@@ -169,16 +310,9 @@ pub fn fill_bernoulli_mask_words(p: f64, lanes: &mut [MaskLane<'_>]) {
         }
         let common = group.iter().map(|l| l.out.len()).min().unwrap_or(0);
         for w in 0..common {
-            let mut acc = [0u64; MASK_BATCH_LANES];
-            for i in tz..BERNOULLI_FIXED_BITS {
-                // Same digit recurrence as `bernoulli_word`, applied to all
-                // lanes before the next (dependent) digit of any lane.
-                let keep_one = (q >> i) & 1 == 1;
-                for (a, s) in acc[..n].iter_mut().zip(&mut st[..n]) {
-                    let u = FastRng::step_raw(s);
-                    *a = if keep_one { *a | !u } else { *a & !u };
-                }
-            }
+            // Same digit recurrence as `bernoulli_word`, applied to all
+            // lanes before the next (dependent) digit of any lane.
+            let acc = digit_word_lanes(q, tz, &mut st, n);
             for (lane, &a) in group.iter_mut().zip(&acc[..n]) {
                 lane.out[w] = a;
             }
@@ -197,6 +331,254 @@ pub fn fill_bernoulli_mask_words(p: f64, lanes: &mut [MaskLane<'_>]) {
     }
 }
 
+/// Allocation-free sibling of [`fill_bernoulli_mask_words`]: lane `i` draws
+/// Bernoulli(`p`) mask words from `rngs[i]` into the window
+/// `flat[windows[i].0 ..][.. windows[i].1]` of one flat buffer, instead of
+/// through per-lane `&mut [u64]` handles. Callers that plan many mask
+/// streams per step (the round mask planner) can therefore describe a whole
+/// step with plain `(offset, len)` pairs and never materialize a `Vec` of
+/// borrows.
+///
+/// Per lane the output, final RNG state, and draw count are bit-identical to
+/// the sequential scan `for w in window { *w = bernoulli_word(q, rng) }`,
+/// exactly as for [`fill_bernoulli_mask_words`]. Windows may overlap or
+/// alias freely — later lanes simply overwrite earlier ones — though in
+/// practice planners pass disjoint windows.
+///
+/// # Panics
+///
+/// Panics if `rngs` and `windows` disagree in length, if any window exceeds
+/// `flat`, or if `p` rounds to a degenerate fixed-point probability.
+pub fn fill_bernoulli_masks_indexed(
+    p: f64,
+    rngs: &mut [FastRng],
+    flat: &mut [u64],
+    windows: &[(usize, usize)],
+) {
+    assert_eq!(rngs.len(), windows.len(), "one RNG stream per window");
+    let q = bernoulli_fixed_point(p);
+    assert!(
+        q > 0 && q < 1 << BERNOULLI_FIXED_BITS,
+        "degenerate probability draws nothing; handle it before batching"
+    );
+    let tz = q.trailing_zeros();
+    let draws_per_word = u64::from(BERNOULLI_FIXED_BITS - tz);
+    for (group, wins) in rngs
+        .chunks_mut(MASK_BATCH_LANES)
+        .zip(windows.chunks(MASK_BATCH_LANES))
+    {
+        let n = group.len();
+        let mut st = [0u64; MASK_BATCH_LANES];
+        for (s, rng) in st.iter_mut().zip(group.iter()) {
+            *s = rng.raw_state();
+        }
+        let common = wins.iter().map(|&(_, len)| len).min().unwrap_or(0);
+        for w in 0..common {
+            let acc = digit_word_lanes(q, tz, &mut st, n);
+            for (&(start, _), &a) in wins.iter().zip(&acc[..n]) {
+                flat[start + w] = a;
+            }
+        }
+        for (rng, &s) in group.iter_mut().zip(&st[..n]) {
+            rng.set_raw_state(s);
+            rng.add_draws(common as u64 * draws_per_word);
+        }
+        for (rng, &(start, len)) in group.iter_mut().zip(wins) {
+            for w in common..len {
+                flat[start + w] = bernoulli_word(q, rng);
+            }
+        }
+    }
+}
+
+/// Width of one explicit SIMD group in the masked `⊙` kernel: four `u64`
+/// words = one AVX2 register (half an AVX-512 register), small enough that
+/// the scalar tail stays trivial.
+const COMBINE_LANES: usize = 4;
+
+/// Word-level masked `⊙` kernel: `l[w] ← (r & l) | ((r ^ l) & (l ^ keep))`
+/// for every word, in explicit `u64x4` groups so the three-operand merge
+/// vectorizes regardless of surrounding loop shape. Grouping only reorders
+/// *which word is computed when*; each word's value is untouched, so the
+/// kernel is bit-identical to the straight zip it replaces.
+#[inline]
+pub(crate) fn combine_words_masked(l: &mut [u64], r: &[u64], keep: &[u64]) {
+    let mut lc = l.chunks_exact_mut(COMBINE_LANES);
+    let mut rc = r.chunks_exact(COMBINE_LANES);
+    let mut kc = keep.chunks_exact(COMBINE_LANES);
+    for ((lg, rg), kg) in (&mut lc).zip(&mut rc).zip(&mut kc) {
+        for j in 0..COMBINE_LANES {
+            let a = lg[j];
+            let b = rg[j];
+            lg[j] = (b & a) | ((b ^ a) & (a ^ kg[j]));
+        }
+    }
+    for ((a, &b), &k) in lc
+        .into_remainder()
+        .iter_mut()
+        .zip(rc.remainder())
+        .zip(kc.remainder())
+    {
+        *a = (b & *a) | ((b ^ *a) & (*a ^ k));
+    }
+}
+
+/// Per-byte `±scale` expansion table for the one-bit sign rebuild.
+///
+/// Row `b` holds the eight `f32` values the bits of `b` select: `+scale`
+/// verbatim for a set bit, `−scale` by IEEE sign-bit flip for a clear one —
+/// exactly the floats the branchless per-lane rebuild produces, so LUT and
+/// branchless paths are interchangeable bit for bit. Expanding a packed
+/// word through the table is eight 32-byte row copies with no per-lane bit
+/// tests, which is what lets the ±η rebuild run at copy bandwidth.
+///
+/// The table is 8 KiB; build it once per scale (e.g. once per round, since
+/// the Marsit scale `η/K` is fixed within a round) and reuse it across
+/// workers and calls.
+pub struct ScaledSignLut {
+    rows: [[f32; 8]; 256],
+}
+
+impl ScaledSignLut {
+    /// Builds the expansion table for `scale`.
+    #[must_use]
+    pub fn new(scale: f32) -> Self {
+        let scale_bits = scale.to_bits();
+        let pos = f32::from_bits(scale_bits);
+        let neg = f32::from_bits(scale_bits ^ (1 << 31));
+        let mut rows = [[0.0f32; 8]; 256];
+        for (b, row) in rows.iter_mut().enumerate() {
+            for (i, e) in row.iter_mut().enumerate() {
+                *e = if (b >> i) & 1 == 1 { pos } else { neg };
+            }
+        }
+        Self { rows }
+    }
+
+    /// The eight `±scale` values selected by `byte`'s bits.
+    #[inline]
+    #[must_use]
+    pub fn row(&self, byte: u8) -> &[f32; 8] {
+        &self.rows[usize::from(byte)]
+    }
+}
+
+/// One (possibly partial) 64-element chunk of the fused residual norm,
+/// accumulated into the eight striped lanes — the scalar reference the SIMD
+/// builds below must match operation-for-operation per lane: f32 subtract,
+/// widen to f64, multiply, then a separate add (never fused).
+#[inline(always)]
+fn residual_chunk_into(lanes: &mut [f64; 8], hc: &[f32], w: u64, lut: &ScaledSignLut) {
+    let mut groups = hc.chunks_exact(8);
+    let mut k = 0u32;
+    for g in &mut groups {
+        let row = lut.row((w >> (8 * k)) as u8);
+        for i in 0..8 {
+            let c = f64::from(g[i] - row[i]);
+            lanes[i] += c * c;
+        }
+        k += 1;
+    }
+    let rem = groups.remainder();
+    if !rem.is_empty() {
+        // `k < 8` here: a full 64-element chunk leaves no remainder, so the
+        // shift below never reaches the word width.
+        let row = lut.row((w >> (8 * k)) as u8);
+        for (i, &hj) in rem.iter().enumerate() {
+            let c = f64::from(hj - row[i]);
+            lanes[i] += c * c;
+        }
+    }
+}
+
+/// Portable body of [`SignVec::residual_norm_sq_striped`].
+fn residual_norm_sq_striped_body(words: &[u64], h: &[f32], lut: &ScaledSignLut) -> f64 {
+    let mut lanes = [0.0f64; 8];
+    for (hc, &w) in h.chunks(WORD_BITS).zip(words) {
+        residual_chunk_into(&mut lanes, hc, w, lut);
+    }
+    lanes.iter().sum()
+}
+
+/// AVX2 build: the eight f64 lanes are two `__m256d` accumulators (lanes
+/// 0–3 / 4–7); each 8-element group is one f32 subtract, two widens, two
+/// multiplies, two adds — the same per-lane sequence as the scalar chunk,
+/// so the result is bit-identical. The final partial chunk (if any) reuses
+/// the scalar chunk on the extracted lanes, preserving the "tail adds last
+/// per lane" order.
+///
+/// # Safety
+///
+/// Caller must have verified AVX2 support at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn residual_norm_sq_striped_avx2(words: &[u64], h: &[f32], lut: &ScaledSignLut) -> f64 {
+    use std::arch::x86_64::{
+        _mm256_add_pd, _mm256_castps256_ps128, _mm256_cvtps_pd, _mm256_extractf128_ps,
+        _mm256_loadu_ps, _mm256_mul_pd, _mm256_setzero_pd, _mm256_storeu_pd, _mm256_sub_ps,
+    };
+    let full = h.len() / WORD_BITS;
+    let mut acc_lo = _mm256_setzero_pd();
+    let mut acc_hi = _mm256_setzero_pd();
+    for (hc, &w) in h[..full * WORD_BITS].chunks_exact(WORD_BITS).zip(words) {
+        for k in 0..8 {
+            // SAFETY: `hc` has exactly 64 elements and rows are 8 floats.
+            let h8 = unsafe { _mm256_loadu_ps(hc.as_ptr().add(k * 8)) };
+            let row = unsafe { _mm256_loadu_ps(lut.row((w >> (8 * k)) as u8).as_ptr()) };
+            let diff = _mm256_sub_ps(h8, row);
+            let lo = _mm256_cvtps_pd(_mm256_castps256_ps128(diff));
+            let hi = _mm256_cvtps_pd(_mm256_extractf128_ps::<1>(diff));
+            acc_lo = _mm256_add_pd(acc_lo, _mm256_mul_pd(lo, lo));
+            acc_hi = _mm256_add_pd(acc_hi, _mm256_mul_pd(hi, hi));
+        }
+    }
+    let mut lanes = [0.0f64; 8];
+    // SAFETY: `lanes` holds exactly 2 × 4 f64.
+    unsafe {
+        _mm256_storeu_pd(lanes.as_mut_ptr(), acc_lo);
+        _mm256_storeu_pd(lanes.as_mut_ptr().add(4), acc_hi);
+    }
+    if h.len() > full * WORD_BITS {
+        residual_chunk_into(&mut lanes, &h[full * WORD_BITS..], words[full], lut);
+    }
+    lanes.iter().sum()
+}
+
+/// AVX-512 build: one `__m512d` accumulator holds all eight lanes; each
+/// 8-element group is one f32 subtract, one widen, one multiply, one add —
+/// per lane the identical operation sequence again.
+///
+/// # Safety
+///
+/// Caller must have verified AVX-512 F + DQ support at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f", enable = "avx512dq")]
+unsafe fn residual_norm_sq_striped_avx512(words: &[u64], h: &[f32], lut: &ScaledSignLut) -> f64 {
+    use std::arch::x86_64::{
+        _mm256_loadu_ps, _mm256_sub_ps, _mm512_add_pd, _mm512_cvtps_pd, _mm512_mul_pd,
+        _mm512_setzero_pd, _mm512_storeu_pd,
+    };
+    let full = h.len() / WORD_BITS;
+    let mut acc = _mm512_setzero_pd();
+    for (hc, &w) in h[..full * WORD_BITS].chunks_exact(WORD_BITS).zip(words) {
+        for k in 0..8 {
+            // SAFETY: `hc` has exactly 64 elements and rows are 8 floats.
+            let h8 = unsafe { _mm256_loadu_ps(hc.as_ptr().add(k * 8)) };
+            let row = unsafe { _mm256_loadu_ps(lut.row((w >> (8 * k)) as u8).as_ptr()) };
+            let diff = _mm256_sub_ps(h8, row);
+            let wide = _mm512_cvtps_pd(diff);
+            acc = _mm512_add_pd(acc, _mm512_mul_pd(wide, wide));
+        }
+    }
+    let mut lanes = [0.0f64; 8];
+    // SAFETY: `lanes` holds exactly 8 f64.
+    unsafe { _mm512_storeu_pd(lanes.as_mut_ptr(), acc) };
+    if h.len() > full * WORD_BITS {
+        residual_chunk_into(&mut lanes, &h[full * WORD_BITS..], words[full], lut);
+    }
+    lanes.iter().sum()
+}
+
 /// A fixed-length, bit-packed vector of signs.
 ///
 /// # Examples
@@ -208,7 +590,7 @@ pub fn fill_bernoulli_mask_words(p: f64, lanes: &mut [MaskLane<'_>]) {
 /// assert_eq!(v.to_signs(), vec![1.0, -1.0, 1.0, -1.0]);
 /// assert_eq!(v.count_ones(), 2);
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub struct SignVec {
     len: usize,
     words: Vec<u64>,
@@ -330,7 +712,11 @@ impl SignVec {
     /// only — so payload lengths within the same word (e.g. 63 vs 64) leave
     /// a shared RNG in the same state, and generating a vector in
     /// word-aligned segments draws the exact same stream as generating it
-    /// in one call.
+    /// in one call. Large buffers run the digit scan leapfrogged across
+    /// 8 jump-ahead lanes of the same stream (see `fill_bernoulli_words`),
+    /// which changes no output bit, state, or draw count — only the wall
+    /// clock, by breaking the 32-draw-per-word latency chain of non-dyadic
+    /// probabilities.
     #[must_use]
     pub fn bernoulli_uniform(len: usize, p: f64, rng: &mut FastRng) -> Self {
         let q = bernoulli_fixed_point(p);
@@ -341,9 +727,7 @@ impl SignVec {
             return Self::ones(len);
         }
         let mut v = Self::zeros(len);
-        for word in &mut v.words {
-            *word = bernoulli_word(q, rng);
-        }
+        fill_bernoulli_words(q, rng, &mut v.words);
         v.mask_tail();
         v
     }
@@ -481,6 +865,65 @@ impl SignVec {
                 *o = f32::from_bits(scale_bits ^ (flip << 31));
             }
         }
+    }
+
+    /// [`SignVec::write_scaled_signs`] through a prebuilt [`ScaledSignLut`]:
+    /// full 64-lane chunks expand as eight 32-byte row copies, the ragged
+    /// tail falls back to the branchless per-lane form. Bit-identical to
+    /// `write_scaled_signs(scale, out)` when `lut` was built for `scale`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.len()`.
+    pub fn write_scaled_signs_lut(&self, lut: &ScaledSignLut, out: &mut [f32]) {
+        assert_eq!(out.len(), self.len, "output length mismatch");
+        for (chunk, &w) in out.chunks_mut(WORD_BITS).zip(&self.words) {
+            if chunk.len() == WORD_BITS {
+                for (k, group) in chunk.chunks_exact_mut(8).enumerate() {
+                    group.copy_from_slice(lut.row((w >> (8 * k)) as u8));
+                }
+            } else {
+                let scale_bits = lut.row(0xFF)[0].to_bits();
+                for (j, o) in chunk.iter_mut().enumerate() {
+                    let flip = (((w >> j) & 1) ^ 1) as u32;
+                    *o = f32::from_bits(scale_bits ^ (flip << 31));
+                }
+            }
+        }
+    }
+
+    /// Striped squared norm of the residual `h − g`, where `g` is the
+    /// `±scale` expansion of this vector's bits, without materializing `g`
+    /// or the difference: the diagnostic norm of the deferred-compensation
+    /// hot path, fused so it reads `h` exactly once.
+    ///
+    /// Bit-identical to
+    /// `stats::norm_l2_sq_striped(&materialized_difference)` — element `j`'s
+    /// f32 difference squares into f64 lane `j % 8` (word chunks start at
+    /// multiples of 64, so the in-chunk lane is the global `j % 8`), with
+    /// the same dispatch guarantee: every ISA build runs the identical
+    /// subtract/widen/multiply/add sequence, no FMA contraction anywhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h.len() != self.len()`.
+    #[must_use]
+    pub fn residual_norm_sq_striped(&self, h: &[f32], lut: &ScaledSignLut) -> f64 {
+        assert_eq!(h.len(), self.len, "residual length mismatch");
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx512f")
+                && std::arch::is_x86_feature_detected!("avx512dq")
+            {
+                // SAFETY: feature presence just checked.
+                return unsafe { residual_norm_sq_striped_avx512(&self.words, h, lut) };
+            }
+            if std::arch::is_x86_feature_detected!("avx2") {
+                // SAFETY: feature presence just checked.
+                return unsafe { residual_norm_sq_striped_avx2(&self.words, h, lut) };
+            }
+        }
+        residual_norm_sq_striped_body(&self.words, h, lut)
     }
 
     /// Word-parallel bitwise AND.
@@ -673,9 +1116,7 @@ impl SignVec {
             keep_words.len() >= local.words.len(),
             "keep mask shorter than operands"
         );
-        for ((l, &r), &keep) in local.words.iter_mut().zip(&received.words).zip(keep_words) {
-            *l = (r & *l) | ((r ^ *l) & (*l ^ keep));
-        }
+        combine_words_masked(&mut local.words, &received.words, keep_words);
     }
 
     /// Number of positions where `self` and `other` agree.
@@ -728,6 +1169,32 @@ impl SignVec {
             }
         }
         out
+    }
+
+    /// Allocation-free [`SignVec::slice`]: replaces `self` with bits
+    /// `[start, start + count)` of `src`, reusing `self`'s word buffer.
+    /// Same fast path for word-aligned `start`, same result bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds `src`'s length.
+    pub fn assign_slice_of(&mut self, src: &SignVec, start: usize, count: usize) {
+        assert!(start + count <= src.len, "slice out of bounds");
+        let nw = count.div_ceil(WORD_BITS);
+        self.len = count;
+        self.words.clear();
+        if start.is_multiple_of(WORD_BITS) {
+            let first = start / WORD_BITS;
+            self.words.extend_from_slice(&src.words[first..first + nw]);
+            self.mask_tail();
+            return;
+        }
+        self.words.resize(nw, 0);
+        for i in 0..count {
+            if src.get(start + i) {
+                self.words[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
+            }
+        }
     }
 
     /// Overwrites bits `[start, start + other.len())` with `other`.
@@ -1371,6 +1838,121 @@ mod tests {
                 let expect = if v.get(i) { 1.0 } else { -1.0 };
                 assert_eq!(signs[i], expect, "len {len} bit {i}");
                 assert_eq!(scaled[i], 2.5 * expect, "len {len} bit {i}");
+            }
+        }
+    }
+
+    /// The leapfrogged single-stream sampler is bit-identical to the
+    /// sequential digit scan: same words, same final RNG state, same draw
+    /// count — across dyadic and non-dyadic probabilities and across
+    /// buffer sizes spanning the sequential/leapfrog threshold and ragged
+    /// block tails.
+    #[test]
+    fn leapfrog_fill_matches_sequential_scan() {
+        for p in [0.5, 0.25, 1.0 / 3.0, 2.0 / 3.0, 0.123] {
+            let q = bernoulli_fixed_point(p);
+            for words in [1usize, 31, 32, 33, 40, 64, 71, 256] {
+                let mut seq_rng = FastRng::new(4242, words as u64);
+                let expected: Vec<u64> = (0..words)
+                    .map(|_| bernoulli_word(q, &mut seq_rng))
+                    .collect();
+                let mut rng = FastRng::new(4242, words as u64);
+                let mut out = vec![0u64; words];
+                fill_bernoulli_words(q, &mut rng, &mut out);
+                assert_eq!(out, expected, "p={p} words={words}: words differ");
+                assert_eq!(rng, seq_rng, "p={p} words={words}: RNG state differs");
+                assert_eq!(
+                    rng.draws(),
+                    seq_rng.draws(),
+                    "p={p} words={words}: draw count differs"
+                );
+            }
+        }
+    }
+
+    /// `fill_bernoulli_masks_indexed` writes the same words to its windows
+    /// and leaves its generators in the same states as the borrow-based
+    /// batch sampler on the same streams.
+    #[test]
+    fn indexed_mask_fill_matches_lane_fill() {
+        for p in [0.5, 1.0 / 3.0, 0.123] {
+            for lane_count in [1usize, 3, 8, 11] {
+                let word_counts: Vec<usize> = (0..lane_count).map(|i| 5 + i % 3).collect();
+                // Reference: the MaskLane-based sampler.
+                let mut ref_rngs: Vec<FastRng> = (0..lane_count)
+                    .map(|i| FastRng::new(91, i as u64))
+                    .collect();
+                let mut ref_outs: Vec<Vec<u64>> =
+                    word_counts.iter().map(|&wc| vec![0; wc]).collect();
+                let mut lanes: Vec<MaskLane<'_>> = ref_rngs
+                    .iter_mut()
+                    .zip(ref_outs.iter_mut())
+                    .map(|(rng, out)| MaskLane {
+                        rng,
+                        out: out.as_mut_slice(),
+                    })
+                    .collect();
+                fill_bernoulli_mask_words(p, &mut lanes);
+                // Indexed: same streams, one flat buffer with gaps between
+                // windows to catch out-of-window writes.
+                let mut rngs: Vec<FastRng> = (0..lane_count)
+                    .map(|i| FastRng::new(91, i as u64))
+                    .collect();
+                let mut windows = Vec::new();
+                let mut cursor = 1usize;
+                for &wc in &word_counts {
+                    windows.push((cursor, wc));
+                    cursor += wc + 1;
+                }
+                let mut flat = vec![u64::MAX; cursor];
+                fill_bernoulli_masks_indexed(p, &mut rngs, &mut flat, &windows);
+                for (i, (&(start, len), expected)) in windows.iter().zip(&ref_outs).enumerate() {
+                    assert_eq!(
+                        &flat[start..start + len],
+                        expected.as_slice(),
+                        "p={p} lane {i}: words differ"
+                    );
+                    assert_eq!(rngs[i], ref_rngs[i], "p={p} lane {i}: state differs");
+                    assert_eq!(rngs[i].draws(), ref_rngs[i].draws());
+                }
+                // Gap words between windows must be untouched.
+                for (i, &(start, _)) in windows.iter().enumerate() {
+                    assert_eq!(flat[start - 1], u64::MAX, "guard before lane {i} clobbered");
+                }
+                assert_eq!(flat[cursor - 1], u64::MAX, "trailing guard clobbered");
+            }
+        }
+    }
+
+    #[test]
+    fn assign_slice_of_matches_slice() {
+        let mut rng = FastRng::new(17, 5);
+        let v = SignVec::bernoulli_uniform(300, 0.4, &mut rng);
+        let mut scratch = SignVec::zeros(1);
+        for (start, count) in [(0usize, 300usize), (64, 128), (64, 100), (37, 99), (299, 1)] {
+            scratch.assign_slice_of(&v, start, count);
+            assert_eq!(
+                scratch,
+                v.slice(start, count),
+                "start={start} count={count}"
+            );
+        }
+    }
+
+    #[test]
+    fn scaled_sign_lut_matches_branchless_rebuild() {
+        let mut rng = FastRng::new(23, 9);
+        for len in [1usize, 63, 64, 65, 200] {
+            let v = SignVec::bernoulli_uniform(len, 0.5, &mut rng);
+            for scale in [1.0f32, 0.01, 2.5] {
+                let lut = ScaledSignLut::new(scale);
+                let mut branchless = vec![0.0f32; len];
+                let mut via_lut = vec![0.0f32; len];
+                v.write_scaled_signs(scale, &mut branchless);
+                v.write_scaled_signs_lut(&lut, &mut via_lut);
+                for (a, b) in branchless.iter().zip(&via_lut) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "len {len} scale {scale}");
+                }
             }
         }
     }

@@ -31,6 +31,73 @@ pub fn norm_l2_sq(xs: &[f32]) -> f64 {
     xs.iter().map(|&x| f64::from(x) * f64::from(x)).sum()
 }
 
+/// Squared ℓ2-norm accumulated over eight interleaved f64 lanes.
+///
+/// Element `j` feeds lane `j % 8`; the eight partials are summed left to
+/// right at the end. The fold order (and therefore the exact rounding) is a
+/// **frozen contract**: every path that must agree bit-for-bit on a residual
+/// norm — whether it materializes the residual or fuses the subtraction into
+/// a sign walk — uses this same lane assignment. Not interchangeable with
+/// [`norm_l2_sq`], whose serial fold rounds differently.
+///
+/// The lane structure exists *for* SIMD: the eight f64 accumulators are two
+/// 4-wide (or one 8-wide) vector registers, and every build — scalar, AVX2,
+/// AVX-512 — performs the identical widen/multiply/add sequence per lane, so
+/// the runtime dispatch never changes a bit (no FMA contraction: multiply
+/// and add stay separate operations everywhere).
+#[must_use]
+pub fn norm_l2_sq_striped(xs: &[f32]) -> f64 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512dq")
+        {
+            // SAFETY: feature presence just checked.
+            return unsafe { norm_l2_sq_striped_avx512(xs) };
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: feature presence just checked.
+            return unsafe { norm_l2_sq_striped_avx2(xs) };
+        }
+    }
+    norm_l2_sq_striped_body(xs)
+}
+
+#[inline(always)]
+fn norm_l2_sq_striped_body(xs: &[f32]) -> f64 {
+    let mut acc = [0.0f64; 8];
+    let mut chunks = xs.chunks_exact(8);
+    for c in &mut chunks {
+        for (a, &x) in acc.iter_mut().zip(c) {
+            let x = f64::from(x);
+            *a += x * x;
+        }
+    }
+    for (a, &x) in acc.iter_mut().zip(chunks.remainder()) {
+        let x = f64::from(x);
+        *a += x * x;
+    }
+    acc.iter().sum()
+}
+
+/// # Safety
+///
+/// Caller must have verified AVX2 support at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn norm_l2_sq_striped_avx2(xs: &[f32]) -> f64 {
+    norm_l2_sq_striped_body(xs)
+}
+
+/// # Safety
+///
+/// Caller must have verified AVX-512 F + DQ support at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f", enable = "avx512dq")]
+unsafe fn norm_l2_sq_striped_avx512(xs: &[f32]) -> f64 {
+    norm_l2_sq_striped_body(xs)
+}
+
 /// Squared Euclidean distance between two slices.
 ///
 /// # Panics

@@ -98,7 +98,7 @@ pub fn train_gossip(cfg: &TrainConfig) -> GossipReport {
                 *x -= cfg.local_lr * g;
             }
         }
-        let _ = gossip_ring_step(&mut params);
+        let _ = gossip_ring_step(&mut params).expect("harness builds a valid ring");
         total_time += round_time;
         let eval = if (cfg.eval_every > 0 && (t + 1) % cfg.eval_every == 0) || t + 1 == cfg.rounds {
             Some(evaluate_mean(&mut scratch, &params, &test_set))
@@ -108,14 +108,14 @@ pub fn train_gossip(cfg: &TrainConfig) -> GossipReport {
         records.push(GossipRound {
             round: t,
             train_loss: loss_sum / m as f64,
-            consensus_error: consensus_error(&params),
+            consensus_error: consensus_error(&params).expect("harness builds a valid ring"),
             time: round_time,
             eval,
         });
     }
     let final_eval = evaluate_mean(&mut scratch, &params, &test_set);
     GossipReport {
-        final_consensus_error: consensus_error(&params),
+        final_consensus_error: consensus_error(&params).expect("harness builds a valid ring"),
         final_eval,
         total_time,
         records,

@@ -323,6 +323,23 @@ impl Synchronizer {
         }
     }
 
+    /// Sets the number of OS threads one reduce step's combines may spread
+    /// over (Marsit's simulator backend; bit-identical at any count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 1` and the strategy is not Marsit — no other
+    /// strategy has an intra-round combine loop to parallelize.
+    pub fn set_intra_threads(&mut self, n: usize) {
+        match &mut self.state {
+            State::Marsit(marsit) => marsit.set_intra_threads(n),
+            _ => assert!(
+                n <= 1,
+                "intra-round threads are only supported for the Marsit strategy"
+            ),
+        }
+    }
+
     /// Performs one global synchronization.
     ///
     /// `local_updates[w]` is worker `w`'s `η_l`-scaled update direction.
@@ -365,7 +382,9 @@ impl Synchronizer {
                     Topology::Torus { rows, cols } => {
                         torus_allreduce_majority(&signs, rows, cols, SumWire::Elias)
                     }
-                    Topology::Star { .. } => ps_majority_vote(&signs),
+                    Topology::Star { .. } => {
+                        ps_majority_vote(&signs).expect("harness builds a valid membership")
+                    }
                 };
                 let mut update = vec![0.0f32; d];
                 vote.write_scaled_signs(self.local_lr, &mut update);
@@ -414,7 +433,9 @@ impl Synchronizer {
                     Topology::Torus { rows, cols } => {
                         torus_allreduce_signsum(&signs, rows, cols, SumWire::Elias)
                     }
-                    Topology::Star { .. } => ps_sign_sums(&signs),
+                    Topology::Star { .. } => {
+                        ps_sign_sums(&signs).expect("harness builds a valid membership")
+                    }
                 };
                 let mut update = Vec::with_capacity(d);
                 for (v, mean_sign) in velocity.iter_mut().zip(sums.mean_signs()) {
@@ -527,7 +548,9 @@ fn allreduce_sum(updates: &[Vec<f32>], topology: Topology) -> (Vec<f32>, Trace) 
             let trace = torus_allreduce_sum(&mut buffers, rows, cols);
             (buffers.swap_remove(0), trace)
         }
-        Topology::Star { .. } => ps_allreduce_sum(updates),
+        Topology::Star { .. } => {
+            ps_allreduce_sum(updates).expect("harness builds a valid membership")
+        }
     }
 }
 
@@ -540,7 +563,7 @@ fn mean_scaled_signs(signs: &[SignVec], scales: &[f32], topology: Topology) -> (
         Topology::Torus { rows, cols } => {
             torus_allreduce_signsum(signs, rows, cols, SumWire::Elias)
         }
-        Topology::Star { .. } => ps_sign_sums(signs),
+        Topology::Star { .. } => ps_sign_sums(signs).expect("harness builds a valid membership"),
     };
     let mean_scale: f32 = scales.iter().sum::<f32>() / m;
     let update: Vec<f32> = sums

@@ -79,6 +79,14 @@ pub struct TrainConfig {
     /// not the default. [`Backend::Process`] is driven externally (see
     /// `marsit_core::transport`) and rejected here.
     pub collective_backend: Backend,
+    /// Number of OS threads one Marsit reduce step's combines may spread
+    /// over (1 = the serial hot path). Orthogonal to `parallel_workers`
+    /// (which parallelizes the compute phase *across* workers, between
+    /// rounds) — this parallelizes *within* one collective round. Every
+    /// count produces bit-identical results: the per-step combine cells are
+    /// provably disjoint and each hop's randomness is a pure function of
+    /// its coordinates.
+    pub marsit_intra_threads: usize,
     /// Telemetry handle. The default ([`Telemetry::disabled`]) records
     /// nothing and adds no per-round work; an enabled handle receives a
     /// `run_meta` event, per-round `round`/`worker`/`marsit_sync` events,
@@ -113,6 +121,7 @@ impl TrainConfig {
             fault_plan: FaultPlan::none(),
             parallel_workers: true,
             collective_backend: Backend::Simulator,
+            marsit_intra_threads: 1,
             telemetry: Telemetry::disabled(),
         }
     }
@@ -383,6 +392,7 @@ impl TrainerState {
         );
         sync.set_fault_plan(cfg.fault_plan.clone());
         sync.set_collective_backend(cfg.collective_backend);
+        sync.set_intra_threads(cfg.marsit_intra_threads);
         if cfg.collective_backend != Backend::Simulator {
             cfg.telemetry.set_transport_tag(
                 cfg.collective_backend.name(),

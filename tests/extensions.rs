@@ -62,11 +62,11 @@ fn gossip_consensus_gap_shrinks_geometrically() {
     let mut data: Vec<Vec<f32>> = (0..6)
         .map(|_| (0..16).map(|_| rng.next_f64() as f32).collect())
         .collect();
-    let e0 = consensus_error(&data);
+    let e0 = consensus_error(&data).unwrap();
     for _ in 0..5 {
-        let _ = gossip_ring_step(&mut data);
+        gossip_ring_step(&mut data).unwrap();
     }
-    let e5 = consensus_error(&data);
+    let e5 = consensus_error(&data).unwrap();
     assert!(e5 < e0 * 0.5);
     assert!(e5 > 0.0);
 }

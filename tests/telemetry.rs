@@ -19,7 +19,8 @@ use marsit::collectives::torus::{
 use marsit::collectives::{CombineCtx, Trace};
 use marsit::prelude::*;
 use marsit::telemetry::report::{analyze, parse_jsonl, schedule_time, validate};
-use marsit::telemetry::{scoped, Telemetry};
+use marsit::telemetry::{active, scoped, Telemetry, Value};
+use proptest::prelude::*;
 
 fn random_data(m: usize, d: usize, seed: u64) -> Vec<Vec<f32>> {
     let mut rng = FastRng::new(seed, 0);
@@ -43,7 +44,7 @@ fn keep_received(recv: &SignVec, local: &mut SignVec, _ctx: CombineCtx) {
 /// Replays the recorded hop events and asserts they rebuild `trace` exactly:
 /// step structure, total bytes, and bit-identical schedule time.
 fn assert_reconstructs(tel: &Telemetry, trace: &Trace) {
-    let analysis = analyze(&tel.events()).expect("hop events analyze cleanly");
+    let analysis = analyze(&tel.snapshot_events()).expect("hop events analyze cleanly");
     assert_eq!(
         analysis.steps.as_slice(),
         trace.steps(),
@@ -236,4 +237,59 @@ fn train_log_roundtrips_validates_and_accounts_bytes() {
     assert_eq!(analysis.total_bytes() as usize, report.total_bytes);
     assert_eq!(analysis.phases.rounds as usize, cfg.rounds);
     assert!((analysis.phases.total_s() - report.total_time.total()).abs() < 1e-9);
+}
+
+proptest! {
+    /// Arbitrary interleavings of nested telemetry scopes never reorder
+    /// events: each sink receives exactly the events emitted while it was
+    /// the innermost scope, in global emission order, and its batched JSONL
+    /// rendering preserves that order byte-for-byte.
+    #[test]
+    fn interleaved_scopes_never_reorder_events(
+        ops in proptest::collection::vec(any::<u8>(), 1..48),
+    ) {
+        let outer = Telemetry::recording();
+        let inner = Telemetry::recording();
+        let mut expect_outer = Vec::new();
+        let mut expect_inner = Vec::new();
+        let mut next = 0u64;
+        scoped(&outer, || {
+            for &op in &ops {
+                let emit_here = |expect: &mut Vec<u64>, next: &mut u64| {
+                    let t = active().expect("a scope is installed");
+                    t.emit("e", vec![("i", Value::U64(*next))]);
+                    expect.push(*next);
+                    *next += 1;
+                };
+                match op % 4 {
+                    // A nested scope swallows a burst of events, then pops.
+                    0 => scoped(&inner, || {
+                        for _ in 0..=(op / 64) {
+                            emit_here(&mut expect_inner, &mut next);
+                        }
+                    }),
+                    // Re-entering the *same* sink nests fine too.
+                    1 => scoped(&outer, || emit_here(&mut expect_outer, &mut next)),
+                    _ => emit_here(&mut expect_outer, &mut next),
+                }
+            }
+        });
+        let ids = |t: &Telemetry| -> Vec<u64> {
+            t.snapshot_events()
+                .iter()
+                .map(|e| e.u64_field("i").expect("payload field"))
+                .collect()
+        };
+        prop_assert_eq!(ids(&outer), expect_outer);
+        prop_assert_eq!(ids(&inner), expect_inner);
+        // The batch renders in the same order it recorded.
+        for t in [&outer, &inner] {
+            let mut per_event = String::new();
+            t.for_each_event(|ev| {
+                ev.write_jsonl(&mut per_event);
+                per_event.push('\n');
+            });
+            prop_assert_eq!(t.events_jsonl(), per_event);
+        }
+    }
 }
