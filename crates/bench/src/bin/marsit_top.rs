@@ -1,0 +1,229 @@
+//! Live cluster-health view over a merged cross-rank trace.
+//!
+//! `top`-style CLI for the observability stack: point it at the merged
+//! telemetry log a traced transport run produces (or any per-rank shard —
+//! the aggregates degrade gracefully) and it renders per-rank send-lag and
+//! per-link transit quantiles, per-round skew, and the health events the
+//! online detector would raise over the same samples.
+//!
+//! ```text
+//! marsit_top <merged.jsonl> [--prom] [--watch SECS]
+//! ```
+//!
+//! - default: render the table once and exit;
+//! - `--watch SECS`: re-read the (possibly still growing) log every `SECS`
+//!   seconds and redraw — the "watch a run live" mode;
+//! - `--prom`: dump the Prometheus-style text exposition instead of the
+//!   table (what a scrape endpoint would serve; used by CI to schema-check
+//!   the metrics).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use marsit_telemetry::health::{
+    aggregate, detect, hop_samples, prometheus_text, HealthEvent, LatencySummary, TraceAggregate,
+};
+use marsit_telemetry::report::parse_jsonl;
+use marsit_telemetry::Event;
+
+fn usage() -> ! {
+    eprintln!("usage: marsit_top <merged.jsonl> [--prom] [--watch SECS]");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path: Option<PathBuf> = None;
+    let mut prom = false;
+    let mut watch: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--prom" => prom = true,
+            "--watch" => {
+                let secs = it.next().unwrap_or_else(|| usage());
+                watch = Some(secs.parse().unwrap_or_else(|_| usage()));
+            }
+            "--help" | "-h" => usage(),
+            _ if path.is_none() => path = Some(PathBuf::from(arg)),
+            _ => usage(),
+        }
+    }
+    let Some(path) = path else { usage() };
+
+    loop {
+        let events = match std::fs::read_to_string(&path).map_err(|e| e.to_string()) {
+            Ok(text) => match parse_jsonl(&text) {
+                Ok(ev) => ev,
+                Err(e) => {
+                    eprintln!("error: {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            },
+            // In watch mode the log may not exist yet (the run is still
+            // starting); keep polling instead of dying.
+            Err(e) if watch.is_some() => {
+                println!("waiting for {}: {e}", path.display());
+                std::thread::sleep(std::time::Duration::from_secs(watch.unwrap_or(1)));
+                continue;
+            }
+            Err(e) => {
+                eprintln!("error: cannot read {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let samples = hop_samples(&events);
+        let agg = aggregate(&samples);
+        let health = detect(&samples);
+
+        if prom {
+            print!("{}", prometheus_text(&agg, &health));
+            return ExitCode::SUCCESS;
+        }
+        if watch.is_some() {
+            // Clear + home, like top(1), so redraws overwrite in place.
+            print!("\x1b[2J\x1b[H");
+        }
+        render(&events, &agg, &health);
+        match watch {
+            Some(secs) => std::thread::sleep(std::time::Duration::from_secs(secs)),
+            None => return ExitCode::SUCCESS,
+        }
+    }
+}
+
+fn render(events: &[Event], agg: &TraceAggregate, health: &[HealthEvent]) {
+    let hops = events.iter().filter(|e| e.name == "hop").count();
+    if let Some(meta) = events.iter().find(|e| e.name == "run_meta") {
+        let s = |k: &str| meta.str_field(k).unwrap_or("?").to_string();
+        let n = |k: &str| meta.u64_field(k).map_or("?".to_string(), |v| v.to_string());
+        println!(
+            "marsit_top — {} on {} x{} (d={})",
+            s("strategy"),
+            s("topology"),
+            n("workers"),
+            n("d")
+        );
+    } else {
+        println!("marsit_top — (no run_meta yet)");
+    }
+    println!(
+        "{} events, {hops} hops, {} rounds observed, {} health events",
+        events.len(),
+        agg.rounds.len(),
+        health.len()
+    );
+
+    println!("\n== ranks (send lag vs fastest) ==");
+    println!(
+        "  {:>4} {:>7} {:>12} {:>8} {:>10} {:>10} {:>10}",
+        "rank", "hops", "bytes", "retrans", "p50", "p95", "p99"
+    );
+    for (rank, r) in &agg.ranks {
+        println!(
+            "  {:>4} {:>7} {:>12} {:>8} {:>10} {:>10} {:>10}",
+            rank,
+            r.hops_sent,
+            r.bytes_sent,
+            r.retransmits,
+            fmt_ns(r.lag.p50_ns),
+            fmt_ns(r.lag.p95_ns),
+            fmt_ns(r.lag.p99_ns)
+        );
+    }
+
+    println!("\n== links (wire transit) ==");
+    println!(
+        "  {:>10} {:>7} {:>12} {:>8} {:>10} {:>10} {:>10}",
+        "link", "hops", "bytes", "retrans", "p50", "p95", "p99"
+    );
+    for (&(send, recv), l) in &agg.links {
+        println!(
+            "  {:>10} {:>7} {:>12} {:>8} {:>10} {:>10} {:>10}",
+            format!("{send} -> {recv}"),
+            l.hops,
+            l.bytes,
+            l.retransmits,
+            fmt_transit(l.transit),
+            fmt_ns(l.transit.p95_ns),
+            fmt_ns(l.transit.p99_ns)
+        );
+    }
+
+    if !agg.rounds.is_empty() {
+        println!("\n== rounds ==");
+        println!(
+            "  {:>5} {:>8} {:>8} {:>8} {:>12}",
+            "round", "skew", "fastest", "slowest", "slowest lag"
+        );
+        for r in &agg.rounds {
+            let slow_lag = r.per_rank_lag_ns.get(&r.slowest).copied().unwrap_or(0.0);
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            let slow_lag_ns = slow_lag.max(0.0) as u64;
+            println!(
+                "  {:>5} {:>7.2}x {:>8} {:>8} {:>12}",
+                r.round,
+                r.skew_ratio,
+                r.fastest,
+                r.slowest,
+                fmt_ns(slow_lag_ns)
+            );
+        }
+    }
+
+    println!("\n== health ==");
+    if health.is_empty() {
+        println!("  all clear");
+    }
+    for ev in health {
+        match ev {
+            HealthEvent::StragglerSuspected {
+                rank,
+                round,
+                lag_ns,
+                ratio,
+            } => println!(
+                "  STRAGGLER  rank {rank} round {round}: lag {} ({ratio:.2}x median)",
+                fmt_ns(*lag_ns)
+            ),
+            HealthEvent::LinkDegraded {
+                send,
+                recv,
+                round,
+                transit_ns,
+                ratio,
+            } => println!(
+                "  LINK-DEGR  {send} -> {recv} round {round}: transit {} ({ratio:.2}x median)",
+                fmt_ns(*transit_ns)
+            ),
+            HealthEvent::RankSilent { rank, round } => {
+                println!("  SILENT     rank {rank} round {round}: no hops observed");
+            }
+        }
+    }
+}
+
+/// p50 transit, falling back to "-" when the link carried no timed hops
+/// (e.g. a shard traced without wall clocks).
+fn fmt_transit(t: LatencySummary) -> String {
+    if t.count == 0 {
+        "-".to_string()
+    } else {
+        fmt_ns(t.p50_ns)
+    }
+}
+
+/// Nanoseconds as a human-scaled string (`417ns`, `23.4us`, `51.2ms`, `1.20s`).
+fn fmt_ns(ns: u64) -> String {
+    #[allow(clippy::cast_precision_loss)]
+    let v = ns as f64;
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}us", v / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", v / 1e6)
+    } else {
+        format!("{:.2}s", v / 1e9)
+    }
+}

@@ -13,25 +13,35 @@
 //!
 //! ```text
 //! telemetry_report <events.jsonl> [--summary PATH] [--json] [--validate]
+//! telemetry_report merge <shard.jsonl>... [--out PATH]
 //! ```
 //!
 //! `--validate` checks the log against the event schema and exits non-zero
 //! on any violation (used by CI). `--json` prints the analysis as a single
 //! machine-readable JSON object instead of tables.
+//!
+//! `merge` combines per-rank trace shards into the one causally-ordered
+//! log (identical run_meta events deduplicated, hops ordered by absolute
+//! expanded-step seq) regardless of the order the shards are listed in,
+//! writing JSONL to stdout or `--out`.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use marsit_telemetry::json::{self, Json};
-use marsit_telemetry::report::{analyze, parse_jsonl, validate, RunAnalysis};
+use marsit_telemetry::report::{analyze, merge_logs, parse_jsonl, validate, RunAnalysis};
 
 fn usage() -> ! {
     eprintln!("usage: telemetry_report <events.jsonl> [--summary PATH] [--json] [--validate]");
+    eprintln!("       telemetry_report merge <shard.jsonl>... [--out PATH]");
     std::process::exit(2);
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("merge") {
+        return merge_main(&args[1..]);
+    }
     let mut events_path: Option<PathBuf> = None;
     let mut summary_path: Option<PathBuf> = None;
     let mut as_json = false;
@@ -104,6 +114,64 @@ fn main() -> ExitCode {
         );
     } else {
         print_report(&analysis, events.len(), summary.as_ref());
+    }
+    ExitCode::SUCCESS
+}
+
+/// `telemetry_report merge`: parse every shard, merge into one causally
+/// ordered log, emit JSONL. File order is irrelevant by construction
+/// ([`merge_logs`] sorts on content), so shell globs are safe inputs.
+fn merge_main(args: &[String]) -> ExitCode {
+    let mut shards: Vec<PathBuf> = Vec::new();
+    let mut out_path: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => out_path = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
+            "--help" | "-h" => usage(),
+            _ => shards.push(PathBuf::from(arg)),
+        }
+    }
+    if shards.is_empty() {
+        usage();
+    }
+    let mut logs: Vec<Vec<marsit_telemetry::Event>> = Vec::with_capacity(shards.len());
+    for path in &shards {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        match parse_jsonl(&text) {
+            Ok(ev) => logs.push(ev),
+            Err(e) => {
+                eprintln!("error: {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let merged = merge_logs(&logs);
+    let mut out = String::new();
+    for ev in &merged {
+        ev.write_jsonl(&mut out);
+        out.push('\n');
+    }
+    match out_path {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &out) {
+                eprintln!("error: cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "merged {} shard(s), {} events -> {}",
+                shards.len(),
+                merged.len(),
+                path.display()
+            );
+        }
+        None => print!("{out}"),
     }
     ExitCode::SUCCESS
 }

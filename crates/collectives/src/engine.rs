@@ -23,15 +23,21 @@
 //! Determinism across backends is the frozen RNG stream contract
 //! (`DESIGN.md` §9): every combine's randomness is addressed by its
 //! [`CombineCtx`], which is fixed at compile time, so arrival timing cannot
-//! perturb the consensus. Telemetry and traces are *not* produced here —
-//! they depend only on the schedule and fault fates, so callers obtain them
-//! byte-identically by replaying the legacy collective on dummy payloads
-//! (see `marsit_core::transport`).
+//! perturb the consensus. Simulated-clock telemetry and traces are *not*
+//! produced here — they depend only on the schedule and fault fates, so
+//! callers obtain them byte-identically by replaying the legacy collective
+//! on dummy payloads (see `marsit_core::transport`). The one exception is
+//! *wall-clock tracing*: when an ambient telemetry scope is active,
+//! [`run_rank`] records each payload it receives as a `hop` event carrying
+//! the propagated trace context (round, absolute seq, sender send-time) plus
+//! its own arrival time, so real-transport runs can be merged into one
+//! causally-ordered cross-rank trace.
 
 use std::ops::Range;
 
 use marsit_simnet::transport::{Backend, ChannelFabric, Transport, TransportError};
 use marsit_simnet::{FaultInjector, LinkModel};
+use marsit_telemetry::{wall_now_ns, Hop, HopRecorder, HopTiming};
 use marsit_tensor::SignVec;
 
 use crate::reconfigure::SyncError;
@@ -458,6 +464,7 @@ where
     let rank = transport.rank();
     assert_eq!(init.len(), plan.d, "payload length disagrees with plan");
     assert_eq!(transport.world(), plan.world, "world disagrees with plan");
+    let mut rec = HopRecorder::begin();
     let mut state = init.clone();
     let mut received = SignVec::zeros(0);
     let mut mine: Vec<Vec<&PlannedTransfer>> = vec![Vec::new(); plan.num_steps];
@@ -469,12 +476,15 @@ where
     for step in &mine {
         for t in step.iter().filter(|t| t.sender == rank) {
             let payload = state.slice(t.start, t.len);
+            let seq = rec.seq_of(t.step).unwrap_or(t.step as u64);
             transport
-                .send_words(t.receiver, payload.as_words())
+                .send_words_traced(t.receiver, payload.as_words(), seq)
                 .map_err(disconnected)?;
         }
         for t in step.iter().filter(|t| t.receiver == rank) {
-            let words = transport.recv_words(t.sender).map_err(disconnected)?;
+            let (words, ctx) = transport
+                .recv_words_traced(t.sender)
+                .map_err(disconnected)?;
             if words.len() != t.len.div_ceil(64) {
                 return Err(SyncError::LengthMismatch {
                     expected: t.len,
@@ -483,16 +493,47 @@ where
             }
             received.assign_from_words(t.len, &words);
             match t.combine {
-                Some(ctx) => {
+                Some(cctx) => {
                     let mut local = state.slice(t.start, t.len);
-                    combine(&received, &mut local, ctx);
+                    combine(&received, &mut local, cctx);
                     assert_eq!(local.len(), t.len, "combine changed segment length");
                     state.splice(t.start, &local);
                 }
                 None => state.splice(t.start, &received),
             }
+            if rec.is_active() {
+                // One hop event per delivered transfer, recorded at the
+                // receiving end where both clocks (sender's send_ns from the
+                // propagated context, our own arrival time) are known.
+                rec.hop_timed(
+                    &Hop {
+                        expanded_step: t.step,
+                        step: t.step,
+                        phase: if t.combine.is_some() {
+                            "reduce"
+                        } else {
+                            "gather"
+                        },
+                        sender: t.sender,
+                        receiver: rank,
+                        segment: t.combine.map_or(0, |c| c.segment),
+                        elems: t.len,
+                        bytes: t.len.div_ceil(8).max(1),
+                        attempt: 1,
+                        delivered: true,
+                    },
+                    HopTiming {
+                        round: ctx.map(|c| c.round),
+                        send_ns: ctx.map(|c| c.send_ns),
+                        recv_ns: ctx.map(|_| wall_now_ns()),
+                    },
+                );
+            }
         }
     }
+    // Ranks receive on different step subsets; claim the full plan width so
+    // every rank's next collective starts at the same absolute seq.
+    rec.reserve_steps(plan.num_steps);
     Ok(state)
 }
 

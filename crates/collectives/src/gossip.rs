@@ -12,6 +12,8 @@
 
 use marsit_tensor::stats::dist_sq;
 
+use marsit_telemetry::{Hop, HopRecorder};
+
 use crate::reconfigure::SyncError;
 use crate::trace::Trace;
 
@@ -48,6 +50,28 @@ pub fn gossip_ring_step(data: &mut [Vec<f32>]) -> Result<Trace, SyncError> {
         for (j, x) in out.iter_mut().enumerate() {
             *x = (left[j] + own[j] + right[j]) / 3.0;
         }
+    }
+    // Telemetry parity with the all-reduce collectives: one hop event per
+    // transfer the trace prices, tagged with the ambient backend/clock.
+    let mut rec = HopRecorder::begin();
+    if rec.is_active() {
+        for w in 0..m {
+            for recv in [(w + 1) % m, (w + m - 1) % m] {
+                rec.hop(&Hop {
+                    expanded_step: 0,
+                    step: 0,
+                    phase: "gossip",
+                    sender: w,
+                    receiver: recv,
+                    segment: 0,
+                    elems: d,
+                    bytes: d * 4,
+                    attempt: 1,
+                    delivered: true,
+                });
+            }
+        }
+        rec.reserve_steps(1);
     }
     let mut trace = Trace::new();
     trace.push_uniform_step(2 * m, d * 4);
@@ -162,6 +186,33 @@ mod tests {
         let trace = gossip_ring_step(&mut data).unwrap();
         assert_eq!(trace.num_steps(), 1);
         assert_eq!(trace.total_bytes(), 2 * 4 * 10 * 4);
+    }
+
+    #[test]
+    fn gossip_emits_one_hop_event_per_priced_transfer() {
+        use marsit_telemetry::{scoped, Telemetry};
+        let t = Telemetry::recording();
+        t.set_transport_tag("simulator", "simulated");
+        let trace = scoped(&t, || {
+            let mut data = payloads(4, 10, 5);
+            gossip_ring_step(&mut data).unwrap()
+        });
+        let hops = t.snapshot_events();
+        assert_eq!(hops.len() as u64, 2 * 4, "one event per transfer");
+        let mut bytes = 0;
+        for ev in &hops {
+            assert_eq!(ev.name, "hop");
+            assert_eq!(ev.u64_field("seq"), Some(0), "gossip is one step");
+            assert_eq!(ev.str_field("phase"), Some("gossip"));
+            assert_eq!(ev.str_field("backend"), Some("simulator"));
+            assert_eq!(ev.str_field("clock"), Some("simulated"));
+            bytes += ev.u64_field("bytes").unwrap();
+        }
+        assert_eq!(
+            bytes,
+            trace.total_bytes() as u64,
+            "hop bytes must match trace"
+        );
     }
 
     /// Degenerate memberships surface as typed errors, not panics: a

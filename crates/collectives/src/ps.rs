@@ -8,6 +8,8 @@
 use marsit_compress::SignSumVec;
 use marsit_tensor::SignVec;
 
+use marsit_telemetry::{Hop, HopRecorder};
+
 use crate::reconfigure::SyncError;
 use crate::trace::Trace;
 
@@ -29,7 +31,7 @@ pub fn ps_allreduce_sum(data: &[Vec<f32>]) -> Result<(Vec<f32>, Trace), SyncErro
             *s += x;
         }
     }
-    let trace = ps_trace(data.len(), d * 4, d * 4);
+    let trace = ps_trace(data.len(), d, d * 4, d * 4);
     Ok((sum, trace))
 }
 
@@ -48,7 +50,7 @@ pub fn ps_majority_vote(signs: &[SignVec]) -> Result<(SignVec, Trace), SyncError
         sums.add_signs(v);
     }
     let bytes = d.div_ceil(8).max(1);
-    Ok((sums.majority_sign(), ps_trace(signs.len(), bytes, bytes)))
+    Ok((sums.majority_sign(), ps_trace(signs.len(), d, bytes, bytes)))
 }
 
 /// PS collection of workers' sign sums (SSDM-style mean aggregation under
@@ -67,7 +69,7 @@ pub fn ps_sign_sums(signs: &[SignVec]) -> Result<(SignSumVec, Trace), SyncError>
     }
     let up = d.div_ceil(8).max(1);
     let down = d * 4;
-    let trace = ps_trace(signs.len(), up, down);
+    let trace = ps_trace(signs.len(), d, up, down);
     Ok((sums, trace))
 }
 
@@ -91,11 +93,49 @@ fn check_payloads(mut lens: impl Iterator<Item = usize>) -> Result<usize, SyncEr
 /// one link per direction — the transfers are recorded in a single step each
 /// but the *sum* of their bytes rides one link, so the per-step entry is one
 /// transfer of `m·bytes`.
-fn ps_trace(m: usize, up_bytes: usize, down_bytes: usize) -> Trace {
+fn ps_trace(m: usize, d: usize, up_bytes: usize, down_bytes: usize) -> Trace {
+    record_ps_hops(m, d, up_bytes, down_bytes);
     let mut trace = Trace::new();
     trace.push_step(vec![m * up_bytes]);
     trace.push_step(vec![m * down_bytes]);
     trace
+}
+
+/// Telemetry parity with the multi-hop collectives: when a telemetry scope
+/// is active, each upload is one `"reduce"` hop to the server (pseudo-rank
+/// `m`, one past the highest worker) and each download one `"gather"` hop
+/// back, in the same two expanded steps the trace prices.
+fn record_ps_hops(m: usize, d: usize, up_bytes: usize, down_bytes: usize) {
+    let mut rec = HopRecorder::begin();
+    if !rec.is_active() {
+        return;
+    }
+    let mut hop = Hop {
+        expanded_step: 0,
+        step: 0,
+        phase: "reduce",
+        sender: 0,
+        receiver: m,
+        segment: 0,
+        elems: d,
+        bytes: up_bytes,
+        attempt: 1,
+        delivered: true,
+    };
+    for w in 0..m {
+        hop.sender = w;
+        rec.hop(&hop);
+    }
+    hop.expanded_step = 1;
+    hop.step = 1;
+    hop.phase = "gather";
+    hop.sender = m;
+    hop.bytes = down_bytes;
+    for w in 0..m {
+        hop.receiver = w;
+        rec.hop(&hop);
+    }
+    rec.reserve_steps(2);
 }
 
 #[cfg(test)]
@@ -145,6 +185,37 @@ mod tests {
         let (sums, _) = ps_sign_sums(&signs).unwrap();
         assert_eq!(sums.count(), 3);
         assert!(sums.sums().iter().all(|&s| s == 3));
+    }
+
+    #[test]
+    fn ps_emits_upload_and_download_hops() {
+        use marsit_telemetry::{scoped, Telemetry};
+        let t = Telemetry::recording();
+        t.set_transport_tag("simulator", "simulated");
+        let signs: Vec<SignVec> = (0..3).map(|_| SignVec::ones(40)).collect();
+        let trace = scoped(&t, || ps_majority_vote(&signs).unwrap().1);
+        let hops = t.snapshot_events();
+        assert_eq!(hops.len(), 6, "3 uploads + 3 downloads");
+        let mut bytes = 0;
+        for (i, ev) in hops.iter().enumerate() {
+            assert_eq!(ev.name, "hop");
+            assert_eq!(ev.str_field("backend"), Some("simulator"));
+            if i < 3 {
+                assert_eq!(ev.u64_field("seq"), Some(0));
+                assert_eq!(ev.str_field("phase"), Some("reduce"));
+                assert_eq!(ev.u64_field("recv"), Some(3), "server is pseudo-rank m");
+            } else {
+                assert_eq!(ev.u64_field("seq"), Some(1));
+                assert_eq!(ev.str_field("phase"), Some("gather"));
+                assert_eq!(ev.u64_field("send"), Some(3));
+            }
+            bytes += ev.u64_field("bytes").unwrap();
+        }
+        assert_eq!(
+            bytes,
+            trace.total_bytes() as u64,
+            "hop bytes must match trace"
+        );
     }
 
     /// Degenerate memberships surface as typed errors rather than panics.

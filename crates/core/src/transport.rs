@@ -39,9 +39,12 @@ use marsit_collectives::torus::{torus_allreduce_onebit_faulty, torus_allreduce_o
 use marsit_collectives::tree::{tree_allreduce_onebit, tree_allreduce_onebit_faulty};
 use marsit_collectives::{CombineCtx, SyncError, Trace};
 use marsit_simnet::{
-    Backend, FaultInjector, FaultPlan, Frame, FrameKind, HubEvent, ProcessTransport, WireHub,
-    DRIVER,
+    Backend, FaultInjector, FaultPlan, FaultStats, Frame, FrameKind, HubEvent, ProcessTransport,
+    WireHub, DRIVER,
 };
+use marsit_telemetry::health::{self, HealthEvent};
+use marsit_telemetry::report::{merge_logs, parse_jsonl};
+use marsit_telemetry::{Event, Telemetry};
 use marsit_tensor::rng::{split_seed, FastRng};
 use marsit_tensor::SignVec;
 
@@ -139,6 +142,50 @@ pub struct Scenario {
     pub drop_p: Option<f64>,
     /// The `⊙` flavour.
     pub combine: CombineKind,
+}
+
+/// Extra knobs for a traced multi-round process run
+/// ([`Scenario::run_process_traced`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceRunConfig {
+    /// Rounds to drive through the hub.
+    pub rounds: usize,
+    /// Real per-round compute sleep at each worker, nanos (0 = none).
+    pub compute_ns: u64,
+    /// `(rank, multiplier)`: that rank sleeps `multiplier × compute_ns` per
+    /// round — the injected ground truth the detector must recover.
+    pub straggler: Option<(usize, f64)>,
+    /// Whether workers trace hops and stream telemetry batches. When false
+    /// the run is wire-identical to [`Scenario::run_process`] rounds.
+    pub collect: bool,
+}
+
+impl Default for TraceRunConfig {
+    fn default() -> Self {
+        Self {
+            rounds: 1,
+            compute_ns: 0,
+            straggler: None,
+            collect: true,
+        }
+    }
+}
+
+/// What a traced process run produced.
+#[derive(Debug, Clone)]
+pub struct TracedRun {
+    /// The causally-ordered cross-rank trace (wall-clock fields included;
+    /// strip with [`marsit_telemetry::report::strip_wall_clock`] before
+    /// byte comparisons).
+    pub merged: Vec<Event>,
+    /// Health events the online detector raised, in round order.
+    pub health: Vec<HealthEvent>,
+    /// Observational health counters (stragglers / links / silent ranks).
+    pub fault_stats: FaultStats,
+    /// Exact bytes the tracing side channel added on the wire: telemetry
+    /// frames plus per-frame trace-context segments. Zero when
+    /// `collect == false`.
+    pub side_channel_bytes: u64,
 }
 
 /// What a backend produced for a scenario; the conformance contract is that
@@ -347,6 +394,120 @@ impl Scenario {
         })
     }
 
+    /// Traced process backend: like [`Self::run_process`], but drives
+    /// `cfg.rounds` rounds with the trace collector enabled, merges every
+    /// rank's streamed telemetry batches into one causally-ordered trace,
+    /// and runs the online straggler detector over it.
+    ///
+    /// `cfg.compute_ns` makes each worker sleep that long per round before
+    /// the collective ("compute"); `cfg.straggler` multiplies one rank's
+    /// sleep, injecting a ground-truth straggler the detector must find.
+    /// With `cfg.collect == false` workers trace nothing and the side
+    /// channel stays at exactly zero bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SyncError::PeerDisconnected`] if any worker failed or died
+    /// mid-round.
+    ///
+    /// # Panics
+    ///
+    /// Panics on harness-level failures: the hub cannot bind, a worker
+    /// cannot be spawned, the session times out, or a worker streams a
+    /// malformed telemetry batch.
+    pub fn run_process_traced(
+        &self,
+        worker_exe: &str,
+        cfg: TraceRunConfig,
+    ) -> Result<TracedRun, SyncError> {
+        let hub = WireHub::bind(self.world).expect("bind traced hub");
+        let addr = hub.addr().expect("hub addr").to_string();
+        let mut children: Vec<std::process::Child> = (0..self.world)
+            .map(|rank| self.spawn_worker_traced(worker_exe, &addr, rank, cfg))
+            .collect();
+        for _ in 0..self.world {
+            hub.accept_worker().expect("worker hello");
+        }
+        let mut outcome = Ok(());
+        for completed in 1..=cfg.rounds {
+            if let Err(e) = drive_round(&hub, self) {
+                outcome = Err(e);
+                break;
+            }
+            if cfg.collect {
+                assert!(
+                    hub.collector()
+                        .wait_batches(self.world, completed, SESSION_TIMEOUT),
+                    "trace collector timed out waiting for round {completed} batches"
+                );
+            }
+        }
+        hub.broadcast(&Frame::control(FrameKind::Stop, DRIVER, DRIVER));
+        for child in &mut children {
+            let _ = child.wait();
+        }
+        outcome?;
+        let side_channel_bytes = hub.collector().side_channel_bytes();
+        let logs: Vec<Vec<Event>> = hub
+            .collector()
+            .take_batches()
+            .iter()
+            .map(|batches| parse_jsonl(&batches.concat()).expect("worker telemetry parses"))
+            .collect();
+        let merged = merge_logs(&logs);
+        let samples = health::hop_samples(&merged);
+        let health = health::detect(&samples);
+        let mut fault_stats = FaultStats::default();
+        for ev in &health {
+            match ev {
+                HealthEvent::StragglerSuspected { .. } => fault_stats.stragglers_suspected += 1,
+                HealthEvent::LinkDegraded { .. } => fault_stats.links_degraded += 1,
+                HealthEvent::RankSilent { .. } => fault_stats.ranks_silent += 1,
+            }
+            // Surface detections into the caller's telemetry stream, where
+            // the same typed record feeds dashboards and `marsit_top`.
+            if let Some(tel) = marsit_telemetry::active() {
+                tel.emit("health", ev.fields());
+            }
+        }
+        Ok(TracedRun {
+            merged,
+            health,
+            fault_stats,
+            side_channel_bytes,
+        })
+    }
+
+    /// [`Self::spawn_worker`] plus the tracing environment from `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process cannot be spawned.
+    #[must_use]
+    pub fn spawn_worker_traced(
+        &self,
+        worker_exe: &str,
+        addr: &str,
+        rank: usize,
+        cfg: TraceRunConfig,
+    ) -> std::process::Child {
+        let mut cmd = self.worker_command(worker_exe, addr, rank);
+        if cfg.collect {
+            cmd.env("MARSIT_TW_COLLECT", "1");
+        }
+        if cfg.compute_ns > 0 {
+            cmd.env("MARSIT_TW_COMPUTE_NS", cfg.compute_ns.to_string());
+        }
+        if let Some((slow_rank, mult)) = cfg.straggler {
+            // f64 → hex bit pattern: exact round-trip, locale-proof.
+            cmd.env(
+                "MARSIT_TW_STRAGGLER",
+                format!("{slow_rank}:{:016x}", mult.to_bits()),
+            );
+        }
+        cmd.spawn().expect("spawn traced transport worker")
+    }
+
     /// Spawns one worker process for `rank`, pointed at the hub.
     ///
     /// # Panics
@@ -354,6 +515,13 @@ impl Scenario {
     /// Panics if the process cannot be spawned.
     #[must_use]
     pub fn spawn_worker(&self, worker_exe: &str, addr: &str, rank: usize) -> std::process::Child {
+        self.worker_command(worker_exe, addr, rank)
+            .spawn()
+            .expect("spawn transport worker")
+    }
+
+    /// The common worker environment both spawn variants share.
+    fn worker_command(&self, worker_exe: &str, addr: &str, rank: usize) -> std::process::Command {
         let mut cmd = std::process::Command::new(worker_exe);
         cmd.env("MARSIT_TW_ADDR", addr)
             .env("MARSIT_TW_RANK", rank.to_string())
@@ -373,7 +541,7 @@ impl Scenario {
         if let Some(p) = self.drop_p {
             cmd.env("MARSIT_TW_DROP", format!("{:016x}", p.to_bits()));
         }
-        cmd.spawn().expect("spawn transport worker")
+        cmd
     }
 
     /// Reads a scenario back out of the worker environment
@@ -498,12 +666,48 @@ pub fn process_worker_main() {
     let addr = std::env::var("MARSIT_TW_ADDR").expect("missing env MARSIT_TW_ADDR");
     let mut transport = ProcessTransport::connect(&addr, rank, sc.world, engine_link())
         .expect("connect to conformance hub");
+    let compute_ns: u64 = std::env::var("MARSIT_TW_COMPUTE_NS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let slow_mult = straggler_multiplier(rank);
+    let telemetry = std::env::var("MARSIT_TW_COLLECT")
+        .is_ok_and(|v| v == "1")
+        .then(|| {
+            let t = Telemetry::recording();
+            t.set_wall_clock(true);
+            t.set_transport_tag(Backend::Process.name(), Backend::Process.clock_kind());
+            t.set_time(0.0);
+            // Every rank emits the identical run_meta; the merge keeps one.
+            t.emit(
+                "run_meta",
+                vec![
+                    ("schema", "marsit-telemetry/1".into()),
+                    ("seed", sc.seed.into()),
+                    ("strategy", "process_trace".into()),
+                    ("topology", sc.topo.encode().into()),
+                    ("workers", sc.world.into()),
+                    ("d", sc.d.into()),
+                ],
+            );
+            transport.set_tracing(true);
+            t
+        });
+    let mut round_idx: u64 = 0;
     loop {
         let frame = transport.recv_control().expect("hub connection");
         match frame.kind {
             FrameKind::Stop => return,
             FrameKind::Round => {
                 transport.reset_round();
+                transport.set_trace_round(round_idx);
+                round_idx += 1;
+                if compute_ns > 0 {
+                    // Real compute: the wall-clock cost the trace observes.
+                    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                    let ns = (compute_ns as f64 * slow_mult) as u64;
+                    std::thread::sleep(Duration::from_nanos(ns));
+                }
                 let inputs = sc.inputs();
                 let mut inj = sc.injector();
                 let plan = compile_plan(sc.topo.plan(), sc.world, sc.d, inj.as_mut())
@@ -511,7 +715,13 @@ pub fn process_worker_main() {
                 let combines = AtomicU64::new(0);
                 let draws = AtomicU64::new(0);
                 let combine = engine_combine(sc.round_seed(), sc.combine, &combines, &draws);
-                match run_rank(&plan, &inputs[rank], &mut transport, combine) {
+                let outcome = match &telemetry {
+                    Some(t) => marsit_telemetry::scoped(t, || {
+                        run_rank(&plan, &inputs[rank], &mut transport, combine)
+                    }),
+                    None => run_rank(&plan, &inputs[rank], &mut transport, combine),
+                };
+                match outcome {
                     Ok(state) => {
                         let mut words = vec![
                             combines.load(Ordering::Relaxed),
@@ -539,10 +749,32 @@ pub fn process_worker_main() {
                     }
                     Err(e) => panic!("conformance collective failed: {e}"),
                 }
+                if let Some(t) = &telemetry {
+                    // One flush point per round, even when the round recorded
+                    // nothing: the collector synchronizes on batch count.
+                    transport
+                        .send_telemetry(&t.drain_events_jsonl())
+                        .expect("send telemetry batch");
+                }
             }
             _ => {}
         }
     }
+}
+
+/// `MARSIT_TW_STRAGGLER` is `rank:mult-bits-hex`; returns the multiplier if
+/// it names this rank, else 1.0.
+fn straggler_multiplier(rank: usize) -> f64 {
+    std::env::var("MARSIT_TW_STRAGGLER")
+        .ok()
+        .and_then(|v| {
+            let (r, hex) = v.split_once(':')?;
+            let r: usize = r.parse().ok()?;
+            let bits = u64::from_str_radix(hex, 16).ok()?;
+            Some((r, f64::from_bits(bits)))
+        })
+        .filter(|&(r, _)| r == rank)
+        .map_or(1.0, |(_, m)| m)
 }
 
 /// Runs [`process_worker_main`] if the worker environment is present.

@@ -479,6 +479,17 @@ pub struct FaultStats {
     /// Extra simulated seconds spent on rejoin catch-up transfers (full
     /// model state over the α–β link, priced by the trainer).
     pub catchup_extra_s: f64,
+    /// `StragglerSuspected` health events raised by the online detector.
+    /// Observational only: kept out of `marsit-checkpoint/1` snapshots
+    /// (restores start them at 0) so the pinned snapshot format is
+    /// unchanged.
+    pub stragglers_suspected: u64,
+    /// `LinkDegraded` health events raised by the online detector
+    /// (observational; not serialized in snapshots).
+    pub links_degraded: u64,
+    /// `RankSilent` health events raised by the online detector
+    /// (observational; not serialized in snapshots).
+    pub ranks_silent: u64,
 }
 
 impl FaultStats {
@@ -493,6 +504,9 @@ impl FaultStats {
         self.rejoins += other.rejoins;
         self.retry_extra_s += other.retry_extra_s;
         self.catchup_extra_s += other.catchup_extra_s;
+        self.stragglers_suspected += other.stragglers_suspected;
+        self.links_degraded += other.links_degraded;
+        self.ranks_silent += other.ranks_silent;
     }
 
     /// Whether nothing fault-related happened.
@@ -778,6 +792,9 @@ mod tests {
             rejoins: 1,
             retry_extra_s: 0.5,
             catchup_extra_s: 0.125,
+            stragglers_suspected: 1,
+            links_degraded: 0,
+            ranks_silent: 0,
         };
         let b = FaultStats {
             retransmits: 3,
@@ -789,6 +806,9 @@ mod tests {
             rejoins: 2,
             retry_extra_s: 0.25,
             catchup_extra_s: 0.25,
+            stragglers_suspected: 2,
+            links_degraded: 1,
+            ranks_silent: 1,
         };
         a.merge(&b);
         assert_eq!(a.retransmits, 5);
@@ -800,6 +820,9 @@ mod tests {
         assert_eq!(a.rejoins, 3);
         assert!((a.retry_extra_s - 0.75).abs() < 1e-12);
         assert!((a.catchup_extra_s - 0.375).abs() < 1e-12);
+        assert_eq!(a.stragglers_suspected, 3);
+        assert_eq!(a.links_degraded, 1);
+        assert_eq!(a.ranks_silent, 1);
     }
 
     #[test]

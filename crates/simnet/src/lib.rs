@@ -38,7 +38,9 @@ pub use fault::{
 };
 pub use link::{LinkModel, RateProfile};
 pub use phase::PhaseBreakdown;
-pub use process::{HubEvent, ProcessTransport, WireHub};
+pub use process::{HubEvent, ProcessTransport, TraceCollector, WireHub};
 pub use topology::Topology;
 pub use transport::{Backend, ChannelFabric, ChannelTransport, Transport, TransportError};
-pub use wire::{Frame, FrameKind, Payload, WireError, DRIVER, WIRE_SCHEMA};
+pub use wire::{
+    Frame, FrameKind, Payload, TraceCtx, WireError, CTX_WIRE_BYTES, DRIVER, WIRE_SCHEMA,
+};

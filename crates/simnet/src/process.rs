@@ -20,12 +20,13 @@
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::link::LinkModel;
 use crate::transport::{Backend, Transport, TransportError};
-use crate::wire::{Frame, FrameKind, WireError, DRIVER};
+use crate::wire::{Frame, FrameKind, Payload, TraceCtx, WireError, CTX_WIRE_BYTES, DRIVER};
 
 fn io_err(e: std::io::Error) -> TransportError {
     TransportError::Io(e.to_string())
@@ -54,11 +55,108 @@ pub enum HubEvent {
     Disconnected(usize),
 }
 
+/// Driver-side sink for the workers' telemetry side channel.
+///
+/// Workers with tracing enabled flush their event batches as `telem` frames
+/// at round boundaries; the hub's reader threads file them here per rank
+/// (never into the control inbox, so tracing cannot perturb round
+/// orchestration). The collector also meters *every* observability byte
+/// that crossed the wire — `telem` frame bytes plus the trace-context
+/// overhead on routed `data` frames — so a disabled-collector run can
+/// assert its side channel stayed at exactly zero.
+#[derive(Debug, Default)]
+pub struct TraceCollector {
+    /// `batches[rank]`: JSONL batch texts in arrival order.
+    batches: Mutex<Vec<Vec<String>>>,
+    signal: Condvar,
+    side_channel_bytes: AtomicU64,
+}
+
+impl TraceCollector {
+    fn with_world(world: usize) -> Self {
+        Self {
+            batches: Mutex::new((0..world).map(|_| Vec::new()).collect()),
+            signal: Condvar::new(),
+            side_channel_bytes: AtomicU64::new(0),
+        }
+    }
+
+    fn push(&self, rank: usize, batch: String) {
+        let mut batches = self.batches.lock().expect("collector batches");
+        if let Some(slot) = batches.get_mut(rank) {
+            slot.push(batch);
+        }
+        drop(batches);
+        self.signal.notify_all();
+    }
+
+    fn add_wire_bytes(&self, n: usize) {
+        self.side_channel_bytes
+            .fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    /// Total observability bytes that crossed the wire: encoded `telem`
+    /// frames plus trace-context segments on `data` frames. Exactly 0 when
+    /// tracing was never enabled.
+    #[must_use]
+    pub fn side_channel_bytes(&self) -> u64 {
+        self.side_channel_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Number of batches received from `rank` so far.
+    #[must_use]
+    pub fn batch_count(&self, rank: usize) -> usize {
+        self.batches.lock().expect("collector batches")[rank].len()
+    }
+
+    /// Blocks until every rank in `0..world` has sent at least `count`
+    /// batches, or `timeout` elapses. Returns whether the target was met.
+    #[must_use]
+    pub fn wait_batches(&self, world: usize, count: usize, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut batches = self.batches.lock().expect("collector batches");
+        loop {
+            if batches.iter().take(world).all(|b| b.len() >= count) {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = self
+                .signal
+                .wait_timeout(batches, deadline - now)
+                .expect("collector wait");
+            batches = guard;
+        }
+    }
+
+    /// The batch each rank sent at flush point `index` (`None` for ranks
+    /// that have not reached it).
+    #[must_use]
+    pub fn batch_at(&self, index: usize) -> Vec<Option<String>> {
+        self.batches
+            .lock()
+            .expect("collector batches")
+            .iter()
+            .map(|b| b.get(index).cloned())
+            .collect()
+    }
+
+    /// Moves all collected batches out, per rank in arrival order.
+    #[must_use]
+    pub fn take_batches(&self) -> Vec<Vec<String>> {
+        let mut batches = self.batches.lock().expect("collector batches");
+        batches.iter_mut().map(std::mem::take).collect()
+    }
+}
+
 struct HubShared {
     /// Writer half per rank; `None` while that rank is down.
     conns: Mutex<Vec<Option<TcpStream>>>,
     inbox: Mutex<VecDeque<HubEvent>>,
     signal: Condvar,
+    collector: TraceCollector,
 }
 
 impl HubShared {
@@ -120,6 +218,7 @@ impl WireHub {
                 conns: Mutex::new((0..world).map(|_| None).collect()),
                 inbox: Mutex::new(VecDeque::new()),
                 signal: Condvar::new(),
+                collector: TraceCollector::with_world(world),
             }),
         })
     }
@@ -234,6 +333,12 @@ impl WireHub {
     pub fn is_up(&self, rank: usize) -> bool {
         self.shared.conns.lock().expect("hub conns")[rank].is_some()
     }
+
+    /// The hub's telemetry side-channel sink.
+    #[must_use]
+    pub fn collector(&self) -> &TraceCollector {
+        &self.shared.collector
+    }
 }
 
 /// Per-connection reader: routes worker frames until EOF, then reports the
@@ -242,6 +347,21 @@ fn hub_reader(shared: &HubShared, rank: usize, mut reader: BufReader<TcpStream>)
     loop {
         match read_frame(&mut reader) {
             Ok(Some(frame)) => {
+                if frame.kind == FrameKind::Telem {
+                    // Telemetry batches go to the collector, never the
+                    // control inbox: the side channel cannot stall or
+                    // reorder round orchestration.
+                    shared.collector.add_wire_bytes(frame.encode().len());
+                    if let Payload::Bytes(bytes) = frame.payload {
+                        shared
+                            .collector
+                            .push(rank, String::from_utf8_lossy(&bytes).into_owned());
+                    }
+                    continue;
+                }
+                if frame.ctx.is_some() {
+                    shared.collector.add_wire_bytes(CTX_WIRE_BYTES);
+                }
                 let to = frame.to;
                 if to == DRIVER {
                     shared.push(HubEvent::Frame(frame));
@@ -266,13 +386,17 @@ pub struct ProcessTransport {
     link: LinkModel,
     reader: BufReader<TcpStream>,
     writer: TcpStream,
-    /// `data` payloads queued per sender (FIFO), filled while draining the
-    /// socket for something else.
-    inbox: Vec<VecDeque<Vec<u64>>>,
+    /// `data` payloads queued per sender (FIFO) with their trace context,
+    /// filled while draining the socket for something else.
+    inbox: Vec<VecDeque<(Vec<u64>, Option<TraceCtx>)>>,
     /// Driver control frames (`round`, `stop`) queued the same way.
     control: VecDeque<Frame>,
     dead: Vec<bool>,
     started: Instant,
+    /// When set, traced sends stamp a [`TraceCtx`] onto their data frames.
+    tracing: bool,
+    /// Round number stamped into outgoing trace contexts.
+    trace_round: u64,
 }
 
 impl ProcessTransport {
@@ -305,7 +429,36 @@ impl ProcessTransport {
             control: VecDeque::new(),
             dead: vec![false; world],
             started: Instant::now(),
+            tracing: false,
+            trace_round: 0,
         })
+    }
+
+    /// Enables (or disables) trace-context stamping on outgoing data
+    /// frames. Off by default: an untraced connection's wire bytes are
+    /// identical to the pre-trace protocol.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+    }
+
+    /// Sets the round number stamped into outgoing trace contexts (call at
+    /// each round start, alongside [`ProcessTransport::reset_round`]).
+    pub fn set_trace_round(&mut self, round: u64) {
+        self.trace_round = round;
+    }
+
+    /// Flushes a telemetry JSONL batch to the hub's [`TraceCollector`] as a
+    /// `telem` frame. Callers gate on their own tracing flag; an empty
+    /// batch is legal (it still marks the flush point).
+    ///
+    /// # Errors
+    ///
+    /// Fails on socket errors.
+    pub fn send_telemetry(&mut self, batch: &str) -> Result<(), TransportError> {
+        write_frame(
+            &mut self.writer,
+            &Frame::telem(self.rank as u32, batch.as_bytes().to_vec()),
+        )
     }
 
     /// Reads one frame and files it (data → per-sender inbox, down → dead
@@ -317,8 +470,8 @@ impl ProcessTransport {
             FrameKind::Data => {
                 let from = frame.from as usize;
                 if from < self.world {
-                    if let crate::wire::Payload::Words(words) = frame.payload {
-                        self.inbox[from].push_back(words);
+                    if let Payload::Words(words) = frame.payload {
+                        self.inbox[from].push_back((words, frame.ctx));
                     }
                 }
             }
@@ -418,12 +571,41 @@ impl Transport for ProcessTransport {
     }
 
     fn recv_words(&mut self, from: usize) -> Result<Vec<u64>, TransportError> {
+        self.recv_words_traced(from).map(|(words, _)| words)
+    }
+
+    fn send_words_traced(
+        &mut self,
+        to: usize,
+        words: &[u64],
+        seq: u64,
+    ) -> Result<(), TransportError> {
+        if !self.tracing {
+            return self.send_words(to, words);
+        }
+        if to >= self.world || self.dead[to] {
+            return Err(TransportError::PeerDisconnected { peer: to });
+        }
+        let frame = Frame::words(FrameKind::Data, self.rank as u32, to as u32, words.to_vec())
+            .with_ctx(TraceCtx {
+                round: self.trace_round,
+                seq,
+                sender: self.rank as u32,
+                send_ns: wall_now_ns(),
+            });
+        write_frame(&mut self.writer, &frame)
+    }
+
+    fn recv_words_traced(
+        &mut self,
+        from: usize,
+    ) -> Result<(Vec<u64>, Option<TraceCtx>), TransportError> {
         if from >= self.world {
             return Err(TransportError::PeerDisconnected { peer: from });
         }
         loop {
-            if let Some(words) = self.inbox[from].pop_front() {
-                return Ok(words);
+            if let Some(entry) = self.inbox[from].pop_front() {
+                return Ok(entry);
             }
             // Any death dooms the whole collective (every plan spans all
             // ranks), so abort on the first one we learn of — even when the
@@ -435,6 +617,13 @@ impl Transport for ProcessTransport {
             self.pump()?;
         }
     }
+}
+
+/// Wall-clock nanos since the UNIX epoch (the trace-context send stamp).
+fn wall_now_ns() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
 }
 
 #[cfg(test)]
@@ -482,6 +671,96 @@ mod tests {
         for w in workers {
             w.join().unwrap();
         }
+    }
+
+    #[test]
+    fn collector_receives_batches_and_meters_the_side_channel() {
+        let hub = WireHub::bind(2).unwrap();
+        let addr = hub.addr().unwrap().to_string();
+        let workers: Vec<_> = (0..2usize)
+            .map(|rank| {
+                let addr = addr.clone();
+                std::thread::spawn(move || {
+                    let mut t = ProcessTransport::connect(&addr, rank, 2, link()).unwrap();
+                    assert_eq!(t.recv_control().unwrap().kind, FrameKind::Round);
+                    t.set_tracing(true);
+                    t.set_trace_round(7);
+                    let peer = 1 - rank;
+                    t.send_words_traced(peer, &[rank as u64], 42).unwrap();
+                    let (words, ctx) = t.recv_words_traced(peer).unwrap();
+                    assert_eq!(words, vec![peer as u64]);
+                    let ctx = ctx.expect("traced frame carries context");
+                    assert_eq!(ctx.round, 7);
+                    assert_eq!(ctx.seq, 42);
+                    assert_eq!(ctx.sender, peer as u32);
+                    assert!(ctx.send_ns > 0);
+                    t.send_telemetry(&format!("{{\"t\":0.0,\"ev\":\"x\",\"rank\":{rank}}}\n"))
+                        .unwrap();
+                })
+            })
+            .collect();
+        hub.accept_worker().unwrap();
+        hub.accept_worker().unwrap();
+        hub.broadcast(&Frame::control(FrameKind::Round, DRIVER, DRIVER));
+        assert!(
+            hub.collector().wait_batches(2, 1, Duration::from_secs(30)),
+            "collector did not see one batch per rank"
+        );
+        for w in workers {
+            w.join().unwrap();
+        }
+        let batches = hub.collector().take_batches();
+        assert!(batches[0][0].contains("\"rank\":0"));
+        assert!(batches[1][0].contains("\"rank\":1"));
+        // Two telem frames + two ctx segments crossed the wire.
+        let bytes = hub.collector().side_channel_bytes();
+        assert!(
+            bytes as usize >= 2 * CTX_WIRE_BYTES,
+            "side channel undercounted: {bytes}"
+        );
+    }
+
+    #[test]
+    fn untraced_run_puts_zero_bytes_on_the_side_channel() {
+        let hub = WireHub::bind(2).unwrap();
+        let addr = hub.addr().unwrap().to_string();
+        let workers: Vec<_> = (0..2usize)
+            .map(|rank| {
+                let addr = addr.clone();
+                std::thread::spawn(move || {
+                    let mut t = ProcessTransport::connect(&addr, rank, 2, link()).unwrap();
+                    assert_eq!(t.recv_control().unwrap().kind, FrameKind::Round);
+                    let peer = 1 - rank;
+                    // Traced entry points with tracing off: nothing extra on
+                    // the wire, no context on arrival.
+                    t.send_words_traced(peer, &[rank as u64], 42).unwrap();
+                    let (_, ctx) = t.recv_words_traced(peer).unwrap();
+                    assert_eq!(ctx, None);
+                    t.send_frame(&Frame::words(
+                        FrameKind::Result,
+                        rank as u32,
+                        DRIVER,
+                        vec![],
+                    ))
+                    .unwrap();
+                })
+            })
+            .collect();
+        hub.accept_worker().unwrap();
+        hub.accept_worker().unwrap();
+        hub.broadcast(&Frame::control(FrameKind::Round, DRIVER, DRIVER));
+        let mut results = 0;
+        while results < 2 {
+            match hub.next_event_timeout(Duration::from_secs(30)) {
+                Some(HubEvent::Frame(f)) if f.kind == FrameKind::Result => results += 1,
+                Some(_) => {}
+                None => panic!("timed out"),
+            }
+        }
+        for w in workers {
+            w.join().unwrap();
+        }
+        assert_eq!(hub.collector().side_channel_bytes(), 0);
     }
 
     #[test]

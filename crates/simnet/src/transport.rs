@@ -23,7 +23,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use crate::link::LinkModel;
-use crate::wire::WireError;
+use crate::wire::{TraceCtx, WireError};
 
 /// Which backend an endpoint belongs to (also the tag telemetry records).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -121,6 +121,36 @@ pub trait Transport {
     /// Fails with [`TransportError::PeerDisconnected`] if `from` died before
     /// sending, or a wire/I/O error on the process backend.
     fn recv_words(&mut self, from: usize) -> Result<Vec<u64>, TransportError>;
+    /// Like [`Transport::send_words`], additionally stamping the frame with
+    /// the hop's absolute expanded-step `seq` for cross-rank tracing.
+    /// Backends without tracing (the default) ignore `seq` and put nothing
+    /// extra on the wire.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Transport::send_words`].
+    fn send_words_traced(
+        &mut self,
+        to: usize,
+        words: &[u64],
+        seq: u64,
+    ) -> Result<(), TransportError> {
+        let _ = seq;
+        self.send_words(to, words)
+    }
+    /// Like [`Transport::recv_words`], additionally returning the sender's
+    /// [`TraceCtx`] when the frame carried one (`None` on untraced backends
+    /// — the default — and untraced frames).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Transport::recv_words`].
+    fn recv_words_traced(
+        &mut self,
+        from: usize,
+    ) -> Result<(Vec<u64>, Option<TraceCtx>), TransportError> {
+        Ok((self.recv_words(from)?, None))
+    }
 }
 
 /// One directed mailbox: a FIFO of word payloads plus a liveness flag.

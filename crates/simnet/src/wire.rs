@@ -13,10 +13,25 @@
 //! marsit-wire/1 <kind> <from> <to> <payload-tag><hex>\n
 //! ```
 //!
-//! where `<payload-tag>` is `w` (u64 words), `f` (f32 bit patterns), or `-`
-//! (empty). Decoding never panics: every malformed input — truncated line,
-//! wrong magic, unsupported version, unknown kind, ragged hex — maps to a
-//! typed [`WireError`].
+//! where `<payload-tag>` is `w` (u64 words), `f` (f32 bit patterns), `b`
+//! (raw bytes, 2 hex chars each), or `-` (empty). Decoding never panics:
+//! every malformed input — truncated line, wrong magic, unsupported
+//! version, unknown kind, ragged hex — maps to a typed [`WireError`].
+//!
+//! # Trace context (optional trailing segment)
+//!
+//! A traced transport appends one space-separated segment after the
+//! payload:
+//!
+//! ```text
+//! marsit-wire/1 data <from> <to> w<hex> c<round:16><seq:16><sender:8><send_ns:16>\n
+//! ```
+//!
+//! carrying the [`TraceCtx`] — (round, absolute expanded-step seq, sender
+//! rank, sender wall-clock nanos) — that lets the receiver emit a
+//! cross-rank-correlatable hop event. The segment is strictly optional: a
+//! frame with `ctx: None` encodes byte-identically to pre-trace
+//! `marsit-wire/1`, so untraced runs put nothing new on the wire.
 
 use std::fmt;
 
@@ -41,6 +56,9 @@ pub enum FrameKind {
     Down,
     /// Hub → worker: shut down cleanly.
     Stop,
+    /// Worker → hub: a batch of telemetry events for the trace collector
+    /// (payload = UTF-8 JSONL as [`Payload::Bytes`]).
+    Telem,
 }
 
 impl FrameKind {
@@ -53,6 +71,7 @@ impl FrameKind {
             Self::Failed => "failed",
             Self::Down => "down",
             Self::Stop => "stop",
+            Self::Telem => "telem",
         }
     }
 
@@ -65,6 +84,7 @@ impl FrameKind {
             "failed" => Self::Failed,
             "down" => Self::Down,
             "stop" => Self::Stop,
+            "telem" => Self::Telem,
             _ => return None,
         })
     }
@@ -79,6 +99,24 @@ pub enum Payload {
     Words(Vec<u64>),
     /// `f32` bit patterns, 8 hex chars each on the wire.
     Floats(Vec<f32>),
+    /// Raw bytes (telemetry batches), 2 hex chars each on the wire.
+    Bytes(Vec<u8>),
+}
+
+/// Trace context a traced transport stamps onto a data frame: enough for
+/// the receiver to emit a hop event keyed to the same absolute
+/// expanded-step slot the sender used, with the sender's wall clock for
+/// cross-rank latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// Training round the hop belongs to.
+    pub round: u64,
+    /// Absolute expanded-step sequence number of the hop.
+    pub seq: u64,
+    /// Sending rank.
+    pub sender: u32,
+    /// Sender wall-clock nanos at send time.
+    pub send_ns: u64,
 }
 
 /// One `marsit-wire/1` frame.
@@ -92,6 +130,9 @@ pub struct Frame {
     pub to: u32,
     /// Bit-exact payload.
     pub payload: Payload,
+    /// Optional trace context (`None` encodes byte-identically to the
+    /// pre-trace wire format).
+    pub ctx: Option<TraceCtx>,
 }
 
 /// Pseudo-rank the hub/driver uses in `from`/`to` fields.
@@ -151,6 +192,10 @@ impl std::error::Error for WireError {}
 
 const HEX_DIGITS: &[u8; 16] = b"0123456789abcdef";
 
+/// Wire overhead of an attached trace context: the separating space, the
+/// `c` tag, and 56 hex chars (round 16 + seq 16 + sender 8 + `send_ns` 16).
+pub const CTX_WIRE_BYTES: usize = 2 + 16 + 16 + 8 + 16;
+
 fn push_hex(out: &mut String, bits: u64, nibbles: u32) {
     for i in (0..nibbles).rev() {
         out.push(HEX_DIGITS[((bits >> (4 * i)) & 0xF) as usize] as char);
@@ -185,6 +230,7 @@ impl Frame {
             from,
             to,
             payload: Payload::Words(words),
+            ctx: None,
         }
     }
 
@@ -196,7 +242,27 @@ impl Frame {
             from,
             to,
             payload: Payload::Empty,
+            ctx: None,
         }
+    }
+
+    /// Convenience constructor for a telemetry-batch frame.
+    #[must_use]
+    pub fn telem(from: u32, bytes: Vec<u8>) -> Self {
+        Self {
+            kind: FrameKind::Telem,
+            from,
+            to: DRIVER,
+            payload: Payload::Bytes(bytes),
+            ctx: None,
+        }
+    }
+
+    /// The same frame with a trace context stamped on.
+    #[must_use]
+    pub fn with_ctx(mut self, ctx: TraceCtx) -> Self {
+        self.ctx = Some(ctx);
+        self
     }
 
     /// Serializes to one wire line, trailing `\n` included.
@@ -209,6 +275,12 @@ impl Frame {
                     Payload::Empty => 1,
                     Payload::Words(w) => 1 + w.len() * 16,
                     Payload::Floats(v) => 1 + v.len() * 8,
+                    Payload::Bytes(b) => 1 + b.len() * 2,
+                }
+                + if self.ctx.is_some() {
+                    CTX_WIRE_BYTES
+                } else {
+                    0
                 },
         );
         out.push_str(WIRE_SCHEMA);
@@ -233,6 +305,20 @@ impl Frame {
                     push_hex(&mut out, u64::from(v.to_bits()), 8);
                 }
             }
+            Payload::Bytes(bytes) => {
+                out.push('b');
+                for &b in bytes {
+                    push_hex(&mut out, u64::from(b), 2);
+                }
+            }
+        }
+        if let Some(ctx) = &self.ctx {
+            out.push(' ');
+            out.push('c');
+            push_hex(&mut out, ctx.round, 16);
+            push_hex(&mut out, ctx.seq, 16);
+            push_hex(&mut out, u64::from(ctx.sender), 8);
+            push_hex(&mut out, ctx.send_ns, 16);
         }
         out.push('\n');
         out
@@ -271,6 +357,10 @@ impl Frame {
         let from = parse_rank(fields.next().ok_or(WireError::Truncated)?)?;
         let to = parse_rank(fields.next().ok_or(WireError::Truncated)?)?;
         let body = fields.next().ok_or(WireError::Truncated)?;
+        let (body, ctx_part) = match body.split_once(' ') {
+            Some((payload, rest)) => (payload, Some(rest)),
+            None => (body, None),
+        };
         let payload = match body.split_at_checked(1) {
             Some(("-", "")) => Payload::Empty,
             Some(("w", hex)) => Payload::Words(parse_hex_words(hex, 16)?),
@@ -278,6 +368,12 @@ impl Frame {
                 parse_hex_words(hex, 8)?
                     .into_iter()
                     .map(|bits| f32::from_bits(bits as u32))
+                    .collect(),
+            ),
+            Some(("b", hex)) => Payload::Bytes(
+                parse_hex_words(hex, 2)?
+                    .into_iter()
+                    .map(|b| b as u8)
                     .collect(),
             ),
             _ => {
@@ -289,11 +385,40 @@ impl Frame {
                 })
             }
         };
+        let ctx = match ctx_part {
+            None => None,
+            Some(part) => Some(Self::decode_ctx(part)?),
+        };
         Ok(Self {
             kind,
             from,
             to,
             payload,
+            ctx,
+        })
+    }
+
+    /// Parses the trailing `c<56 hex>` trace-context segment.
+    fn decode_ctx(part: &str) -> Result<TraceCtx, WireError> {
+        let hex = part
+            .strip_prefix('c')
+            .filter(|h| h.len() == 56 && h.is_ascii())
+            .ok_or_else(|| WireError::BadPayload {
+                reason: format!(
+                    "bad trace-context segment {part:?}",
+                    part = part.chars().take(8).collect::<String>()
+                ),
+            })?;
+        let word = |range: std::ops::Range<usize>| {
+            u64::from_str_radix(&hex[range], 16).map_err(|_| WireError::BadPayload {
+                reason: "bad trace-context hex".to_string(),
+            })
+        };
+        Ok(TraceCtx {
+            round: word(0..16)?,
+            seq: word(16..32)?,
+            sender: word(32..40)? as u32,
+            send_ns: word(40..56)?,
         })
     }
 }
@@ -328,6 +453,7 @@ mod tests {
             from: 0,
             to: 1,
             payload: Payload::Floats(values.clone()),
+            ctx: None,
         };
         let back = Frame::decode(&frame.encode()).unwrap();
         let Payload::Floats(got) = back.payload else {
@@ -335,6 +461,69 @@ mod tests {
         };
         let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
         assert_eq!(bits(&values), bits(&got));
+    }
+
+    /// A frame without trace context must keep encoding the exact pre-trace
+    /// bytes — observability is free when off.
+    #[test]
+    fn ctx_free_frames_are_byte_identical_to_pre_trace_wire() {
+        let frame = Frame::words(FrameKind::Data, 3, 1, vec![0xDEAD_BEEF_0000_0001, 7]);
+        assert_eq!(
+            frame.encode(),
+            "marsit-wire/1 data 3 1 wdeadbeef000000010000000000000007\n"
+        );
+        assert!(!frame.encode().contains(" c"));
+    }
+
+    #[test]
+    fn trace_context_roundtrips() {
+        let ctx = TraceCtx {
+            round: 42,
+            seq: 0x0123_4567_89AB_CDEF,
+            sender: 3,
+            send_ns: u64::MAX,
+        };
+        let frame = Frame::words(FrameKind::Data, 3, 1, vec![7]).with_ctx(ctx);
+        let line = frame.encode();
+        assert_eq!(
+            line,
+            "marsit-wire/1 data 3 1 w0000000000000007 \
+             c000000000000002a0123456789abcdef00000003ffffffffffffffff\n"
+        );
+        assert_eq!(
+            line.len(),
+            Frame::words(FrameKind::Data, 3, 1, vec![7]).encode().len() + CTX_WIRE_BYTES
+        );
+        let back = Frame::decode(&line).unwrap();
+        assert_eq!(back, frame);
+        assert_eq!(back.ctx, Some(ctx));
+    }
+
+    #[test]
+    fn telem_bytes_roundtrip() {
+        let batch = br#"{"t":0.5,"ev":"hop","seq":0}"#.to_vec();
+        let frame = Frame::telem(2, batch.clone());
+        let back = Frame::decode(&frame.encode()).unwrap();
+        assert_eq!(back.kind, FrameKind::Telem);
+        assert_eq!(back.to, DRIVER);
+        assert_eq!(back.payload, Payload::Bytes(batch));
+        // Empty batches are legal (a rank with nothing to flush).
+        let empty = Frame::telem(0, Vec::new());
+        assert_eq!(Frame::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn malformed_trace_context_is_a_typed_error() {
+        for bad in [
+            "marsit-wire/1 data 0 1 w0000000000000007 c1234", // short
+            "marsit-wire/1 data 0 1 w0000000000000007 x\u{ff}", // wrong tag
+            "marsit-wire/1 data 0 1 - c000000000000002a0123456789abcdef00000003ffffffffffffffzz",
+        ] {
+            assert!(
+                matches!(Frame::decode(bad), Err(WireError::BadPayload { .. })),
+                "{bad:?}"
+            );
+        }
     }
 
     #[test]

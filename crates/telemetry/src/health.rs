@@ -1,0 +1,788 @@
+//! Cross-rank hop-latency aggregation and online straggler detection.
+//!
+//! Works on the *merged* trace a [`crate::report::merge_logs`] pass (or the
+//! live `TraceCollector`) produces: `hop` events carrying the trace-context
+//! timing fields (`round`, `send_ns`, `recv_ns`). Everything here uses the
+//! wall clock — these numbers describe a real multi-process run, not the
+//! α–β model — so none of it participates in the determinism contract.
+//!
+//! # What "straggler" means here
+//!
+//! A slow rank does not make its *links* slow: TCP transit time for a
+//! 1-bit-compressed payload is microseconds either way. What a straggler
+//! does is show up *late* — its sends for step `seq` of round `r` start
+//! long after the fastest rank's. The detector therefore scores each rank
+//! by its **send lag**: per (round, seq) group, `lag = send_ns − min
+//! send_ns over the group`, attributed to the sender. Link health uses the
+//! orthogonal **transit** time `recv_ns − send_ns`.
+//!
+//! Both feed an EWMA per rank/link; a rank whose smoothed lag exceeds
+//! [`DetectorConfig::ratio_threshold`] × the median of all ranks' EWMAs
+//! *and* an absolute floor ([`DetectorConfig::min_lag_ns`], which keeps a
+//! fast clean run from flagging noise) raises
+//! [`HealthEvent::StragglerSuspected`]. A rank with no hops at all in a
+//! round raises [`HealthEvent::RankSilent`].
+
+use std::collections::BTreeMap;
+
+use crate::{Event, Value};
+
+/// One timed hop extracted from a merged trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HopSample {
+    /// Round the hop belongs to (from the trace context).
+    pub round: u64,
+    /// Absolute expanded-step sequence number.
+    pub seq: u64,
+    /// Sending rank.
+    pub send: usize,
+    /// Receiving rank.
+    pub recv: usize,
+    /// Payload bytes.
+    pub bytes: u64,
+    /// 1-based attempt number.
+    pub attempt: u64,
+    /// Sender wall-clock nanos, when the frame carried trace context.
+    pub send_ns: Option<u64>,
+    /// Receiver wall-clock nanos, when the receiver stamped arrival.
+    pub recv_ns: Option<u64>,
+}
+
+impl HopSample {
+    /// Wire transit time in nanos (`recv_ns − send_ns`, clamped at 0), when
+    /// both clocks are present.
+    pub fn transit_ns(&self) -> Option<u64> {
+        match (self.send_ns, self.recv_ns) {
+            (Some(s), Some(r)) => Some(r.saturating_sub(s)),
+            _ => None,
+        }
+    }
+}
+
+/// Extract every timed `hop` event (those with a `round` field) from a
+/// parsed event stream. Hops without trace context are skipped — they carry
+/// no cross-rank timing to aggregate.
+pub fn hop_samples(events: &[Event]) -> Vec<HopSample> {
+    let mut out = Vec::new();
+    for ev in events {
+        if ev.name != "hop" {
+            continue;
+        }
+        let Some(round) = ev.u64_field("round") else {
+            continue;
+        };
+        let (Some(seq), Some(send), Some(recv)) = (
+            ev.u64_field("seq"),
+            ev.u64_field("send"),
+            ev.u64_field("recv"),
+        ) else {
+            continue;
+        };
+        out.push(HopSample {
+            round,
+            seq,
+            send: send as usize,
+            recv: recv as usize,
+            bytes: ev.u64_field("bytes").unwrap_or(0),
+            attempt: ev.u64_field("attempt").unwrap_or(1),
+            send_ns: ev.u64_field("send_ns"),
+            recv_ns: ev.u64_field("recv_ns"),
+        });
+    }
+    out
+}
+
+/// Order statistics over a latency population, in nanoseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean_ns: f64,
+    /// Median (nearest-rank).
+    pub p50_ns: u64,
+    /// 95th percentile (nearest-rank).
+    pub p95_ns: u64,
+    /// 99th percentile (nearest-rank).
+    pub p99_ns: u64,
+    /// Maximum.
+    pub max_ns: u64,
+}
+
+impl LatencySummary {
+    /// Summarize a sample population (empty input yields all-zero summary).
+    pub fn of(mut samples: Vec<u64>) -> LatencySummary {
+        if samples.is_empty() {
+            return LatencySummary::default();
+        }
+        samples.sort_unstable();
+        let count = samples.len() as u64;
+        let sum: u128 = samples.iter().map(|&v| u128::from(v)).sum();
+        #[allow(clippy::cast_precision_loss)]
+        let mean_ns = sum as f64 / count as f64;
+        let q = |p: f64| {
+            #[allow(
+                clippy::cast_precision_loss,
+                clippy::cast_possible_truncation,
+                clippy::cast_sign_loss
+            )]
+            let idx = ((p * samples.len() as f64).ceil() as usize).max(1) - 1;
+            samples[idx.min(samples.len() - 1)]
+        };
+        LatencySummary {
+            count,
+            mean_ns,
+            p50_ns: q(0.50),
+            p95_ns: q(0.95),
+            p99_ns: q(0.99),
+            max_ns: *samples.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Per-rank aggregate over a trace (or one round of it).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RankAggregate {
+    /// Send-lag summary: how late this rank's sends start relative to the
+    /// fastest rank in each (round, seq) group.
+    pub lag: LatencySummary,
+    /// Hops this rank sent.
+    pub hops_sent: u64,
+    /// Bytes this rank sent.
+    pub bytes_sent: u64,
+    /// Retransmitted attempts (attempt ≥ 2) this rank sent.
+    pub retransmits: u64,
+}
+
+/// Per-link (sender → receiver) aggregate.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinkAggregate {
+    /// Wire transit summary (`recv_ns − send_ns`).
+    pub transit: LatencySummary,
+    /// Hops carried.
+    pub hops: u64,
+    /// Bytes carried.
+    pub bytes: u64,
+    /// Retransmitted attempts carried.
+    pub retransmits: u64,
+}
+
+/// One round's cross-rank summary: the detector's unit of observation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RoundAggregate {
+    /// Round number.
+    pub round: u64,
+    /// Mean send lag per rank at the round's *first* expanded step — the
+    /// only step whose sends depend on nothing but local compute, so a
+    /// straggler's delay has not yet propagated to its ring neighbours.
+    /// Ranks that send nothing at that step are omitted.
+    pub per_rank_lag_ns: BTreeMap<usize, f64>,
+    /// Slowest rank's mean lag over the fastest's (≥ 1.0; 1.0 when only one
+    /// rank or no timing data).
+    pub skew_ratio: f64,
+    /// Rank with the smallest mean lag.
+    pub fastest: usize,
+    /// Rank with the largest mean lag.
+    pub slowest: usize,
+}
+
+/// Whole-trace aggregate: per round, per rank, per link.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceAggregate {
+    /// Per-round summaries, in round order.
+    pub rounds: Vec<RoundAggregate>,
+    /// Per-rank aggregates over the whole trace.
+    pub ranks: BTreeMap<usize, RankAggregate>,
+    /// Per-link aggregates over the whole trace.
+    pub links: BTreeMap<(usize, usize), LinkAggregate>,
+}
+
+/// Per-(round, seq) send lags: `send_ns − min(send_ns)` over the group,
+/// attributed to the sender rank. Returns `(round, seq, rank, lag)`.
+fn send_lags(samples: &[HopSample]) -> Vec<(u64, u64, usize, u64)> {
+    let mut groups: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+    for s in samples {
+        if let Some(ns) = s.send_ns {
+            let slot = groups.entry((s.round, s.seq)).or_insert(u64::MAX);
+            *slot = (*slot).min(ns);
+        }
+    }
+    let mut out = Vec::new();
+    for s in samples {
+        if let Some(ns) = s.send_ns {
+            let base = groups[&(s.round, s.seq)];
+            out.push((s.round, s.seq, s.send, ns.saturating_sub(base)));
+        }
+    }
+    out
+}
+
+/// Aggregate a sample set into per-round, per-rank, and per-link summaries.
+pub fn aggregate(samples: &[HopSample]) -> TraceAggregate {
+    let mut agg = TraceAggregate::default();
+    let mut rank_lags: BTreeMap<usize, Vec<u64>> = BTreeMap::new();
+    let mut round_rank_lags: BTreeMap<u64, BTreeMap<usize, Vec<u64>>> = BTreeMap::new();
+    // Per-round straggler attribution reads only the round's first expanded
+    // step: later steps inherit the straggler's delay through the dependency
+    // chain (its ring successor cannot send before it hears from the
+    // straggler), which would smear the lag over innocent ranks.
+    let mut first_seq: BTreeMap<u64, u64> = BTreeMap::new();
+    for s in samples {
+        if s.send_ns.is_some() {
+            let slot = first_seq.entry(s.round).or_insert(u64::MAX);
+            *slot = (*slot).min(s.seq);
+        }
+    }
+    for (round, seq, rank, lag) in send_lags(samples) {
+        rank_lags.entry(rank).or_default().push(lag);
+        if first_seq.get(&round) == Some(&seq) {
+            round_rank_lags
+                .entry(round)
+                .or_default()
+                .entry(rank)
+                .or_default()
+                .push(lag);
+        }
+    }
+    let mut link_transits: BTreeMap<(usize, usize), Vec<u64>> = BTreeMap::new();
+    for s in samples {
+        let rank = agg.ranks.entry(s.send).or_default();
+        rank.hops_sent += 1;
+        rank.bytes_sent += s.bytes;
+        if s.attempt > 1 {
+            rank.retransmits += 1;
+        }
+        let link = agg.links.entry((s.send, s.recv)).or_default();
+        link.hops += 1;
+        link.bytes += s.bytes;
+        if s.attempt > 1 {
+            link.retransmits += 1;
+        }
+        if let Some(t) = s.transit_ns() {
+            link_transits.entry((s.send, s.recv)).or_default().push(t);
+        }
+    }
+    for (rank, lags) in rank_lags {
+        if let Some(r) = agg.ranks.get_mut(&rank) {
+            r.lag = LatencySummary::of(lags);
+        }
+    }
+    for (link, transits) in link_transits {
+        if let Some(l) = agg.links.get_mut(&link) {
+            l.transit = LatencySummary::of(transits);
+        }
+    }
+    for (round, per_rank) in round_rank_lags {
+        agg.rounds.push(round_aggregate(round, &per_rank));
+    }
+    agg
+}
+
+/// Build one round's [`RoundAggregate`] from its per-rank lag samples.
+fn round_aggregate(round: u64, per_rank: &BTreeMap<usize, Vec<u64>>) -> RoundAggregate {
+    let mut out = RoundAggregate {
+        round,
+        skew_ratio: 1.0,
+        ..RoundAggregate::default()
+    };
+    for (&rank, lags) in per_rank {
+        #[allow(clippy::cast_precision_loss)]
+        let mean = lags.iter().map(|&v| v as f64).sum::<f64>() / lags.len() as f64;
+        out.per_rank_lag_ns.insert(rank, mean);
+    }
+    if let (Some((&fast, &fast_ns)), Some((&slow, &slow_ns))) = (
+        out.per_rank_lag_ns
+            .iter()
+            .min_by(|a, b| a.1.total_cmp(b.1).then(a.0.cmp(b.0))),
+        out.per_rank_lag_ns
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(a.0))),
+    ) {
+        out.fastest = fast;
+        out.slowest = slow;
+        // Lags are relative to the fastest sender, whose own mean can be ~0;
+        // anchor the ratio at 1µs so it stays finite and ≥ 1.
+        out.skew_ratio = (slow_ns.max(1e3) / fast_ns.max(1e3)).max(1.0);
+    }
+    out
+}
+
+/// A typed health finding raised by the [`StragglerDetector`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum HealthEvent {
+    /// A rank's smoothed send lag exceeds the cross-rank median by the
+    /// configured ratio (and the absolute floor).
+    StragglerSuspected {
+        /// The suspected rank.
+        rank: usize,
+        /// Round of the observation.
+        round: u64,
+        /// The rank's EWMA-smoothed send lag, nanos.
+        lag_ns: u64,
+        /// `lag / median(all ranks' EWMAs)`.
+        ratio: f64,
+    },
+    /// A link's smoothed transit time exceeds the cross-link median by the
+    /// configured ratio (and the absolute floor).
+    LinkDegraded {
+        /// Sending rank.
+        send: usize,
+        /// Receiving rank.
+        recv: usize,
+        /// Round of the observation.
+        round: u64,
+        /// The link's EWMA-smoothed transit, nanos.
+        transit_ns: u64,
+        /// `transit / median(all links' EWMAs)`.
+        ratio: f64,
+    },
+    /// A rank previously seen sending emitted no hops at all this round.
+    RankSilent {
+        /// The silent rank.
+        rank: usize,
+        /// Round of the (non-)observation.
+        round: u64,
+    },
+}
+
+impl HealthEvent {
+    /// Stable lowercase kind label (`"straggler_suspected"`, …) used as the
+    /// telemetry field and Prometheus label value.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            HealthEvent::StragglerSuspected { .. } => "straggler_suspected",
+            HealthEvent::LinkDegraded { .. } => "link_degraded",
+            HealthEvent::RankSilent { .. } => "rank_silent",
+        }
+    }
+
+    /// The health event as telemetry fields, for `emit("health", …)`.
+    pub fn fields(&self) -> Vec<(&'static str, Value)> {
+        match *self {
+            HealthEvent::StragglerSuspected {
+                rank,
+                round,
+                lag_ns,
+                ratio,
+            } => vec![
+                ("kind", Value::Str(self.kind().to_string())),
+                ("rank", Value::U64(rank as u64)),
+                ("round", Value::U64(round)),
+                ("lag_ns", Value::U64(lag_ns)),
+                ("ratio", Value::F64(ratio)),
+            ],
+            HealthEvent::LinkDegraded {
+                send,
+                recv,
+                round,
+                transit_ns,
+                ratio,
+            } => vec![
+                ("kind", Value::Str(self.kind().to_string())),
+                ("send", Value::U64(send as u64)),
+                ("recv", Value::U64(recv as u64)),
+                ("round", Value::U64(round)),
+                ("transit_ns", Value::U64(transit_ns)),
+                ("ratio", Value::F64(ratio)),
+            ],
+            HealthEvent::RankSilent { rank, round } => vec![
+                ("kind", Value::Str(self.kind().to_string())),
+                ("rank", Value::U64(rank as u64)),
+                ("round", Value::U64(round)),
+            ],
+        }
+    }
+}
+
+/// Detector thresholds. The defaults are tuned for CI-grade localhost runs:
+/// a 2.5× compute straggler with ≥ 10 ms base compute produces a lag tens of
+/// milliseconds over the median — far above both gates — while clean-run
+/// scheduling jitter stays below the 5 ms floor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectorConfig {
+    /// EWMA smoothing factor in (0, 1]; higher reacts faster.
+    pub ewma_alpha: f64,
+    /// Flag a rank when its EWMA lag > this × the median EWMA.
+    pub ratio_threshold: f64,
+    /// Absolute lag floor (ns); below it nothing is flagged regardless of
+    /// ratio. Guards against flagging microsecond noise on clean runs.
+    pub min_lag_ns: f64,
+    /// Flag a link when its EWMA transit > this × the median link EWMA.
+    pub link_ratio_threshold: f64,
+    /// Absolute transit floor (ns) for link flagging.
+    pub min_transit_ns: f64,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            ewma_alpha: 0.4,
+            ratio_threshold: 2.0,
+            min_lag_ns: 5.0e6,
+            link_ratio_threshold: 3.0,
+            min_transit_ns: 20.0e6,
+        }
+    }
+}
+
+/// Online EWMA + median-ratio detector over per-round aggregates.
+///
+/// Feed it one [`RoundAggregate`] at a time ([`StragglerDetector::
+/// observe_round`]); it keeps per-rank and per-link EWMAs across rounds and
+/// returns the health events the new observation triggers. For post-hoc
+/// analysis, [`detect`] runs a whole sample set through a fresh detector.
+#[derive(Debug, Clone, Default)]
+pub struct StragglerDetector {
+    cfg: DetectorConfig,
+    ewma_lag: BTreeMap<usize, f64>,
+    ewma_transit: BTreeMap<(usize, usize), f64>,
+    ever_sent: std::collections::BTreeSet<usize>,
+}
+
+impl StragglerDetector {
+    /// Detector with the given thresholds.
+    pub fn new(cfg: DetectorConfig) -> StragglerDetector {
+        StragglerDetector {
+            cfg,
+            ..StragglerDetector::default()
+        }
+    }
+
+    /// Median of the map's values (0.0 when empty).
+    fn median(values: impl Iterator<Item = f64>) -> f64 {
+        let mut v: Vec<f64> = values.collect();
+        if v.is_empty() {
+            return 0.0;
+        }
+        v.sort_by(f64::total_cmp);
+        v[v.len() / 2]
+    }
+
+    /// Feed one round's aggregate (and its per-link transit means, when
+    /// available); returns the health events this observation raises.
+    pub fn observe_round(
+        &mut self,
+        round: &RoundAggregate,
+        link_transit_ns: &BTreeMap<(usize, usize), f64>,
+    ) -> Vec<HealthEvent> {
+        let a = self.cfg.ewma_alpha;
+        for (&rank, &lag) in &round.per_rank_lag_ns {
+            let e = self.ewma_lag.entry(rank).or_insert(lag);
+            *e = a * lag + (1.0 - a) * *e;
+        }
+        for (&link, &t) in link_transit_ns {
+            let e = self.ewma_transit.entry(link).or_insert(t);
+            *e = a * t + (1.0 - a) * *e;
+        }
+        let mut events = Vec::new();
+        // Silence first: a rank that has sent before but not this round.
+        for &rank in &self.ever_sent {
+            if !round.per_rank_lag_ns.contains_key(&rank) {
+                events.push(HealthEvent::RankSilent {
+                    rank,
+                    round: round.round,
+                });
+            }
+        }
+        self.ever_sent.extend(round.per_rank_lag_ns.keys().copied());
+        let median_lag = Self::median(self.ewma_lag.values().copied());
+        for (&rank, &lag) in &self.ewma_lag {
+            if !round.per_rank_lag_ns.contains_key(&rank) {
+                continue; // no fresh observation this round
+            }
+            let ratio = lag / median_lag.max(1.0);
+            if lag >= self.cfg.min_lag_ns && ratio >= self.cfg.ratio_threshold {
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                events.push(HealthEvent::StragglerSuspected {
+                    rank,
+                    round: round.round,
+                    lag_ns: lag as u64,
+                    ratio,
+                });
+            }
+        }
+        let median_transit = Self::median(self.ewma_transit.values().copied());
+        for (&(send, recv), &t) in &self.ewma_transit {
+            if !link_transit_ns.contains_key(&(send, recv)) {
+                continue;
+            }
+            let ratio = t / median_transit.max(1.0);
+            if t >= self.cfg.min_transit_ns && ratio >= self.cfg.link_ratio_threshold {
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                events.push(HealthEvent::LinkDegraded {
+                    send,
+                    recv,
+                    round: round.round,
+                    transit_ns: t as u64,
+                    ratio,
+                });
+            }
+        }
+        events
+    }
+}
+
+/// Run a whole sample set through a fresh default-config detector, round by
+/// round in order; returns every health event raised.
+pub fn detect(samples: &[HopSample]) -> Vec<HealthEvent> {
+    let agg = aggregate(samples);
+    let mut det = StragglerDetector::default();
+    let mut events = Vec::new();
+    for round in &agg.rounds {
+        let link_means = round_link_transits(samples, round.round);
+        events.extend(det.observe_round(round, &link_means));
+    }
+    events
+}
+
+/// Mean transit per link over one round's samples.
+pub fn round_link_transits(samples: &[HopSample], round: u64) -> BTreeMap<(usize, usize), f64> {
+    let mut sums: BTreeMap<(usize, usize), (f64, f64)> = BTreeMap::new();
+    for s in samples.iter().filter(|s| s.round == round) {
+        if let Some(t) = s.transit_ns() {
+            let e = sums.entry((s.send, s.recv)).or_insert((0.0, 0.0));
+            #[allow(clippy::cast_precision_loss)]
+            {
+                e.0 += t as f64;
+            }
+            e.1 += 1.0;
+        }
+    }
+    sums.into_iter().map(|(k, (s, n))| (k, s / n)).collect()
+}
+
+/// Render a [`TraceAggregate`] plus health events as Prometheus text
+/// exposition (the dump `marsit_top --prom` serves to the future job
+/// server). Deterministic ordering: metrics sorted by name, labels by rank/
+/// link.
+pub fn prometheus_text(agg: &TraceAggregate, health: &[HealthEvent]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    out.push_str("# HELP marsit_rank_lag_ns Send-lag quantiles per rank (ns).\n");
+    out.push_str("# TYPE marsit_rank_lag_ns summary\n");
+    for (rank, r) in &agg.ranks {
+        for (q, v) in [
+            ("0.5", r.lag.p50_ns),
+            ("0.95", r.lag.p95_ns),
+            ("0.99", r.lag.p99_ns),
+        ] {
+            let _ = writeln!(
+                out,
+                "marsit_rank_lag_ns{{rank=\"{rank}\",quantile=\"{q}\"}} {v}"
+            );
+        }
+    }
+    out.push_str("# HELP marsit_rank_bytes_sent_total Bytes sent per rank.\n");
+    out.push_str("# TYPE marsit_rank_bytes_sent_total counter\n");
+    for (rank, r) in &agg.ranks {
+        let _ = writeln!(
+            out,
+            "marsit_rank_bytes_sent_total{{rank=\"{rank}\"}} {}",
+            r.bytes_sent
+        );
+    }
+    out.push_str("# HELP marsit_link_transit_ns Wire transit quantiles per link (ns).\n");
+    out.push_str("# TYPE marsit_link_transit_ns summary\n");
+    for (&(send, recv), l) in &agg.links {
+        for (q, v) in [
+            ("0.5", l.transit.p50_ns),
+            ("0.95", l.transit.p95_ns),
+            ("0.99", l.transit.p99_ns),
+        ] {
+            let _ = writeln!(
+                out,
+                "marsit_link_transit_ns{{send=\"{send}\",recv=\"{recv}\",quantile=\"{q}\"}} {v}"
+            );
+        }
+    }
+    out.push_str("# HELP marsit_link_retransmits_total Retransmitted attempts per link.\n");
+    out.push_str("# TYPE marsit_link_retransmits_total counter\n");
+    for (&(send, recv), l) in &agg.links {
+        let _ = writeln!(
+            out,
+            "marsit_link_retransmits_total{{send=\"{send}\",recv=\"{recv}\"}} {}",
+            l.retransmits
+        );
+    }
+    out.push_str("# HELP marsit_round_skew_ratio Slowest/fastest rank lag per round.\n");
+    out.push_str("# TYPE marsit_round_skew_ratio gauge\n");
+    for r in &agg.rounds {
+        let _ = writeln!(
+            out,
+            "marsit_round_skew_ratio{{round=\"{}\"}} {}",
+            r.round, r.skew_ratio
+        );
+    }
+    out.push_str("# HELP marsit_health_events_total Health events by kind.\n");
+    out.push_str("# TYPE marsit_health_events_total counter\n");
+    let mut by_kind: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for h in health {
+        *by_kind.entry(h.kind()).or_default() += 1;
+    }
+    for kind in ["link_degraded", "rank_silent", "straggler_suspected"] {
+        let _ = writeln!(
+            out,
+            "marsit_health_events_total{{kind=\"{kind}\"}} {}",
+            by_kind.get(kind).copied().unwrap_or(0)
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(round: u64, seq: u64, send: usize, recv: usize, send_ns: u64) -> HopSample {
+        HopSample {
+            round,
+            seq,
+            send,
+            recv,
+            bytes: 8,
+            attempt: 1,
+            send_ns: Some(send_ns),
+            recv_ns: Some(send_ns + 50_000), // 50 µs transit
+        }
+    }
+
+    /// Four ranks, rank 2 always 60 ms late: the detector flags exactly
+    /// rank 2 and nothing else.
+    fn straggler_samples(rounds: u64) -> Vec<HopSample> {
+        let mut out = Vec::new();
+        for round in 0..rounds {
+            let t0 = 1_000_000_000 * (round + 1);
+            for seq in 0..6u64 {
+                let step_t = t0 + seq * 200_000;
+                for rank in 0..4usize {
+                    let lag = if rank == 2 {
+                        60_000_000
+                    } else {
+                        100_000 * rank as u64
+                    };
+                    out.push(sample(round, seq, rank, (rank + 1) % 4, step_t + lag));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn detector_flags_exactly_the_straggler() {
+        let samples = straggler_samples(4);
+        let events = detect(&samples);
+        assert!(!events.is_empty(), "straggler went undetected");
+        for ev in &events {
+            match ev {
+                HealthEvent::StragglerSuspected { rank, .. } => assert_eq!(*rank, 2, "{ev:?}"),
+                other => panic!("unexpected health event: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn clean_run_raises_nothing() {
+        // All ranks within 300 µs of each other: below the 5 ms floor.
+        let mut out = Vec::new();
+        for round in 0..4u64 {
+            for seq in 0..6u64 {
+                let t = 1_000_000_000 * (round + 1) + seq * 200_000;
+                for rank in 0..4usize {
+                    out.push(sample(
+                        round,
+                        seq,
+                        rank,
+                        (rank + 1) % 4,
+                        t + 100_000 * rank as u64,
+                    ));
+                }
+            }
+        }
+        assert_eq!(detect(&out), vec![]);
+    }
+
+    #[test]
+    fn silent_rank_is_reported() {
+        let mut samples = straggler_samples(2);
+        // Round 2: rank 3 disappears.
+        let t0 = 4_000_000_000u64;
+        for seq in 0..6u64 {
+            for rank in 0..3usize {
+                samples.push(sample(2, seq, rank, (rank + 1) % 4, t0 + seq * 200_000));
+            }
+        }
+        let silent: Vec<_> = detect(&samples)
+            .into_iter()
+            .filter(|e| matches!(e, HealthEvent::RankSilent { .. }))
+            .collect();
+        assert_eq!(silent, vec![HealthEvent::RankSilent { rank: 3, round: 2 }]);
+    }
+
+    #[test]
+    fn aggregate_orders_rounds_and_computes_skew() {
+        let samples = straggler_samples(3);
+        let agg = aggregate(&samples);
+        assert_eq!(agg.rounds.len(), 3);
+        assert_eq!(
+            agg.rounds.iter().map(|r| r.round).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        for r in &agg.rounds {
+            assert_eq!(r.slowest, 2);
+            assert_eq!(r.fastest, 0);
+            assert!(r.skew_ratio > 10.0, "skew {}", r.skew_ratio);
+        }
+        assert_eq!(agg.ranks.len(), 4);
+        assert_eq!(agg.links.len(), 4);
+        let r2 = &agg.ranks[&2];
+        assert_eq!(r2.lag.p50_ns, 60_000_000);
+        assert_eq!(r2.hops_sent, 18);
+    }
+
+    #[test]
+    fn latency_summary_percentiles() {
+        let s = LatencySummary::of((1..=100).collect());
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50_ns, 50);
+        assert_eq!(s.p95_ns, 95);
+        assert_eq!(s.p99_ns, 99);
+        assert_eq!(s.max_ns, 100);
+        assert_eq!(LatencySummary::of(vec![]), LatencySummary::default());
+    }
+
+    #[test]
+    fn prometheus_dump_is_deterministic_and_labeled() {
+        let samples = straggler_samples(2);
+        let agg = aggregate(&samples);
+        let health = detect(&samples);
+        let a = prometheus_text(&agg, &health);
+        let b = prometheus_text(&agg, &health);
+        assert_eq!(a, b);
+        assert!(a.contains("marsit_rank_lag_ns{rank=\"2\",quantile=\"0.99\"}"));
+        assert!(a.contains("marsit_round_skew_ratio{round=\"0\"}"));
+        assert!(a.contains("marsit_health_events_total{kind=\"straggler_suspected\"}"));
+        let straggler_count: u64 = a
+            .lines()
+            .find(|l| l.starts_with("marsit_health_events_total{kind=\"straggler_suspected\"}"))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|n| n.parse().ok())
+            .unwrap();
+        assert!(straggler_count > 0);
+    }
+
+    #[test]
+    fn hop_samples_skips_untraced_hops() {
+        let traced = Event::parse_jsonl(
+            r#"{"t":0.1,"ev":"hop","seq":3,"phase":"reduce","step":1,"send":0,"recv":1,"seg":0,"elems":64,"bytes":8,"attempt":1,"delivered":true,"round":2,"send_ns":1000,"recv_ns":1500}"#,
+        )
+        .unwrap();
+        let untraced = Event::parse_jsonl(
+            r#"{"t":0.1,"ev":"hop","seq":4,"phase":"reduce","step":1,"send":1,"recv":2,"seg":0,"elems":64,"bytes":8,"attempt":1,"delivered":true}"#,
+        )
+        .unwrap();
+        let samples = hop_samples(&[traced, untraced]);
+        assert_eq!(samples.len(), 1);
+        assert_eq!(samples[0].round, 2);
+        assert_eq!(samples[0].transit_ns(), Some(500));
+    }
+}

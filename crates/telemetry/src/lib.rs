@@ -67,6 +67,7 @@
 //! ```
 #![warn(missing_docs)]
 
+pub mod health;
 pub mod json;
 pub mod metrics;
 pub mod report;
@@ -76,8 +77,25 @@ use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
+pub use health::{HealthEvent, StragglerDetector};
 pub use metrics::Histogram;
-pub use scope::{active, scoped, Hop, HopRecorder};
+pub use scope::{active, scoped, Hop, HopRecorder, HopTiming};
+
+/// Wall-clock nanoseconds since the UNIX epoch.
+///
+/// This is the *dual-clock* timestamp: unlike the simulated clock it is
+/// shared across worker processes on one host, so cross-rank hop latencies
+/// computed from it are meaningful. It only ever reaches the event log when
+/// wall-clock recording is explicitly enabled
+/// ([`Telemetry::set_wall_clock`]) or a caller passes it to a timed hop —
+/// deterministic logs never contain it.
+#[must_use]
+#[allow(clippy::cast_possible_truncation)]
+pub fn wall_now_ns() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_nanos() as u64)
+}
 
 /// A dynamically typed event-field value.
 #[derive(Debug, Clone, PartialEq)]
@@ -339,8 +357,13 @@ impl Event {
                         json::Json::Bool(b) => Value::Bool(b),
                         json::Json::Str(s) => Value::Str(s),
                         json::Json::Num(x) => {
+                            // Non-negative integers parse back as U64 so
+                            // counter-like fields round-trip typed. This must
+                            // cover wall-clock nanos (~2^60; the parse into
+                            // f64 already cost the low bits, converting here
+                            // loses nothing further).
                             #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-                            if x >= 0.0 && x.fract() == 0.0 && x <= 2f64.powi(53) {
+                            if x >= 0.0 && x.fract() == 0.0 && x < u64::MAX as f64 {
                                 Value::U64(x as u64)
                             } else {
                                 Value::F64(x)
@@ -399,6 +422,11 @@ struct State {
     /// via [`Telemetry::set_transport_tag`]. `None` (the default) keeps hop
     /// events byte-identical to their pre-transport schema.
     transport_tag: Option<(Arc<str>, Arc<str>)>,
+    /// When set via [`Telemetry::set_wall_clock`], every event additionally
+    /// carries a `wall_ns` field with [`wall_now_ns`] at emission. Off by
+    /// default — the determinism contract requires logs without wall-clock
+    /// fields to stay byte-identical across same-seed runs.
+    wall_clock: bool,
 }
 
 impl Default for State {
@@ -413,6 +441,7 @@ impl Default for State {
             gauges: BTreeMap::new(),
             histograms: BTreeMap::new(),
             transport_tag: None,
+            wall_clock: false,
         }
     }
 }
@@ -538,6 +567,9 @@ impl Telemetry {
                     .into_iter()
                     .map(|(k, v)| (k, CompactValue::from_value(v))),
             );
+            if st.wall_clock {
+                st.kvs.push(("wall_ns", CompactValue::U64(wall_now_ns())));
+            }
             st.events.push(EventRec {
                 time_s: st.now_s,
                 name,
@@ -777,6 +809,39 @@ impl Telemetry {
         }
     }
 
+    /// Enable (or disable) the wall clock: when on, every subsequent event
+    /// carries a `wall_ns` field with [`wall_now_ns`] at emission time. Off
+    /// by default — deterministic runs must never see wall-clock fields.
+    /// Comparisons strip them with [`report::strip_wall_clock`].
+    pub fn set_wall_clock(&self, on: bool) {
+        if let Some(mut st) = self.state() {
+            st.wall_clock = on;
+        }
+    }
+
+    /// Whether wall-clock stamping is enabled on this sink.
+    pub fn wall_clock(&self) -> bool {
+        self.state().is_some_and(|st| st.wall_clock)
+    }
+
+    /// Drain all recorded events as a JSONL string (same bytes as
+    /// [`Telemetry::events_jsonl`]), resetting the batch while keeping
+    /// metrics and sequence accounting. This is the per-flush payload a
+    /// worker streams to the hub's trace collector.
+    pub fn drain_events_jsonl(&self) -> String {
+        self.state().map_or_else(String::new, |mut st| {
+            let st = &mut *st;
+            let mut out = String::with_capacity(st.events.len() * 96);
+            for rec in &st.events {
+                st.write_rec_jsonl(rec, &mut out);
+                out.push('\n');
+            }
+            st.events.clear();
+            st.kvs.clear();
+            out
+        })
+    }
+
     /// The `(backend, clock-kind)` transport tag, if one is set.
     pub fn transport_tag(&self) -> Option<(String, String)> {
         self.state().and_then(|st| {
@@ -799,8 +864,18 @@ impl Telemetry {
     }
 
     /// Record one wire attempt under a single lock: the `hop` event plus the
-    /// derived statistics, with no allocation in the steady state.
-    pub(crate) fn record_hop(&self, seq: u64, send: usize, recv: usize, hop: &Hop) {
+    /// derived statistics, with no allocation in the steady state. The
+    /// optional [`HopTiming`] fields carry what a traced transport
+    /// propagates; `None` fields are omitted entirely, so an untraced hop
+    /// renders byte-identically to the legacy schema.
+    pub(crate) fn record_hop_timed(
+        &self,
+        seq: u64,
+        send: usize,
+        recv: usize,
+        hop: &Hop,
+        timing: scope::HopTiming,
+    ) {
         let Some(mut st) = self.state() else { return };
         let st = &mut *st;
         let field_start = st.kvs.len() as u32;
@@ -816,6 +891,17 @@ impl Telemetry {
             ("attempt", CompactValue::U64(u64::from(hop.attempt))),
             ("delivered", CompactValue::Bool(hop.delivered)),
         ]);
+        if let Some(r) = timing.round {
+            st.kvs.push(("round", CompactValue::U64(r)));
+        }
+        if let Some(ns) = timing.send_ns {
+            st.kvs.push(("send_ns", CompactValue::U64(ns)));
+        }
+        if let Some(ns) = timing.recv_ns {
+            st.kvs.push(("recv_ns", CompactValue::U64(ns)));
+        } else if st.wall_clock {
+            st.kvs.push(("wall_ns", CompactValue::U64(wall_now_ns())));
+        }
         if let Some((backend, clock)) = &st.transport_tag {
             st.kvs
                 .push(("backend", CompactValue::Shared(backend.clone())));

@@ -297,6 +297,77 @@ pub fn validate(events: &[Event]) -> Vec<String> {
     errors
 }
 
+/// The wall-clock field names stripped by [`strip_wall_clock`]. Everything
+/// else in an event is part of the deterministic schema.
+pub const WALL_CLOCK_FIELDS: [&str; 3] = ["wall_ns", "send_ns", "recv_ns"];
+
+/// Remove the wall-clock timing fields from every event, in place. After
+/// stripping, two same-seed runs' logs are byte-comparable again — this is
+/// what `validate`-mode comparisons and the trace-merge determinism test
+/// apply before diffing.
+pub fn strip_wall_clock(events: &mut [Event]) {
+    for ev in events {
+        ev.fields
+            .retain(|(k, _)| !WALL_CLOCK_FIELDS.contains(&k.as_str()));
+    }
+}
+
+/// Merge per-rank event logs into one causally-ordered run trace.
+///
+/// The merge key is the trace's own causal structure, not arrival order:
+/// `run_meta` events first (deduplicated when byte-identical), then `hop`
+/// events by absolute expanded-step `seq` (the same key that pins
+/// `Trace::steps`), then everything else; ties break on the simulated
+/// timestamp's bit pattern and finally on the event's *wall-clock-stripped*
+/// rendered bytes. Because no key consults input order or wall-clock
+/// values, merging the same logs in any file order yields the identical
+/// event sequence — the determinism contract the trace-merge test pins.
+pub fn merge_logs(logs: &[Vec<Event>]) -> Vec<Event> {
+    fn class(ev: &Event) -> u8 {
+        match ev.name.as_str() {
+            "run_meta" => 0,
+            "hop" => 1,
+            _ => 2,
+        }
+    }
+    fn stripped_line(ev: &Event) -> String {
+        let mut copy = ev.clone();
+        copy.fields
+            .retain(|(k, _)| !WALL_CLOCK_FIELDS.contains(&k.as_str()));
+        let mut s = String::new();
+        copy.write_jsonl(&mut s);
+        s
+    }
+    let mut keyed: Vec<(u8, u64, u64, String, &Event)> = logs
+        .iter()
+        .flatten()
+        .map(|ev| {
+            (
+                class(ev),
+                ev.u64_field("seq").unwrap_or(u64::MAX),
+                ev.time_s.to_bits(),
+                stripped_line(ev),
+                ev,
+            )
+        })
+        .collect();
+    keyed.sort_by(|a, b| (a.0, a.1, a.2, &a.3).cmp(&(b.0, b.1, b.2, &b.3)));
+    let mut out: Vec<Event> = Vec::with_capacity(keyed.len());
+    let mut last_meta_line: Option<String> = None;
+    for (cls, _, _, line, ev) in keyed {
+        if cls == 0 {
+            // Every rank emits the same run_meta; keep one copy per distinct
+            // rendering (ranks that disagree are preserved, not hidden).
+            if last_meta_line.as_deref() == Some(line.as_str()) {
+                continue;
+            }
+            last_meta_line = Some(line);
+        }
+        out.push(ev.clone());
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -390,5 +461,100 @@ mod tests {
     #[test]
     fn empty_log_is_invalid() {
         assert!(!validate(&[]).is_empty());
+    }
+
+    fn rank_log(rank: usize, wall_base: u64) -> Vec<Event> {
+        let t = Telemetry::recording();
+        t.emit(
+            "run_meta",
+            vec![
+                ("schema", Value::Str("marsit-telemetry/1".to_string())),
+                ("seed", Value::U64(7)),
+            ],
+        );
+        scoped(&t, || {
+            let mut rec = HopRecorder::begin();
+            rec.hop_timed(
+                &Hop {
+                    expanded_step: rank, // each rank receives a distinct step
+                    step: rank,
+                    phase: "reduce",
+                    sender: (rank + 2) % 3,
+                    receiver: rank,
+                    segment: 0,
+                    elems: 4,
+                    bytes: 8,
+                    attempt: 1,
+                    delivered: true,
+                },
+                crate::HopTiming {
+                    round: Some(0),
+                    send_ns: Some(wall_base + rank as u64),
+                    recv_ns: Some(wall_base + rank as u64 + 50),
+                },
+            );
+            rec.reserve_steps(3);
+        });
+        t.snapshot_events()
+    }
+
+    /// Merging the same per-rank logs in any file order yields the same
+    /// causally-ordered event sequence, byte-identical once wall-clock
+    /// fields are stripped — even when the wall clocks themselves differ.
+    #[test]
+    fn merge_is_order_invariant_and_wall_clock_free() {
+        let logs_a = vec![rank_log(0, 1000), rank_log(1, 1000), rank_log(2, 1000)];
+        let logs_b = vec![logs_a[2].clone(), logs_a[0].clone(), logs_a[1].clone()];
+        let render = |logs: &[Vec<Event>]| {
+            let mut merged = merge_logs(logs);
+            strip_wall_clock(&mut merged);
+            let mut s = String::new();
+            for ev in &merged {
+                ev.write_jsonl(&mut s);
+                s.push('\n');
+            }
+            s
+        };
+        assert_eq!(render(&logs_a), render(&logs_b));
+        // A re-run with different wall clocks strips to the same bytes.
+        let rerun = vec![rank_log(1, 9999), rank_log(2, 9999), rank_log(0, 9999)];
+        assert_eq!(render(&logs_a), render(&rerun));
+        // The merge is causally ordered and deduplicates run_meta.
+        let merged = merge_logs(&logs_a);
+        assert_eq!(merged[0].name, "run_meta");
+        assert_eq!(merged[1].name, "hop");
+        let seqs: Vec<u64> = merged
+            .iter()
+            .filter(|e| e.name == "hop")
+            .map(|e| e.u64_field("seq").unwrap())
+            .collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+        assert_eq!(
+            merged.iter().filter(|e| e.name == "run_meta").count(),
+            1,
+            "identical run_meta events must deduplicate"
+        );
+        // The merged log passes schema validation.
+        let mut stripped = merged;
+        strip_wall_clock(&mut stripped);
+        assert_eq!(validate(&stripped), Vec::<String>::new());
+    }
+
+    #[test]
+    fn strip_removes_only_wall_fields() {
+        let mut evs = vec![Event {
+            time_s: 0.0,
+            name: "hop".to_string(),
+            fields: vec![
+                ("seq".to_string(), Value::U64(0)),
+                ("wall_ns".to_string(), Value::U64(123)),
+                ("send_ns".to_string(), Value::U64(456)),
+                ("recv_ns".to_string(), Value::U64(789)),
+                ("bytes".to_string(), Value::U64(8)),
+            ],
+        }];
+        strip_wall_clock(&mut evs);
+        let keys: Vec<&str> = evs[0].fields.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["seq", "bytes"]);
     }
 }

@@ -58,6 +58,20 @@ pub struct Hop {
     pub delivered: bool,
 }
 
+/// Optional trace-context timing attached to a hop by a traced transport:
+/// the round it belongs to plus sender/receiver wall-clock nanos. `None`
+/// fields are omitted from the event entirely, so the default (all-`None`)
+/// timing records the legacy schema byte-for-byte.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HopTiming {
+    /// Round the hop belongs to.
+    pub round: Option<u64>,
+    /// Sender wall-clock nanos (from the propagated trace context).
+    pub send_ns: Option<u64>,
+    /// Receiver wall-clock nanos (stamped at arrival).
+    pub recv_ns: Option<u64>,
+}
+
 #[derive(Debug)]
 struct Frame {
     base_seq: u64,
@@ -160,6 +174,12 @@ impl HopRecorder {
 
     /// Record one wire attempt.
     pub fn hop(&mut self, hop: &Hop) {
+        self.hop_timed(hop, HopTiming::default());
+    }
+
+    /// Record one wire attempt carrying trace-context timing. All-`None`
+    /// timing is exactly [`HopRecorder::hop`].
+    pub fn hop_timed(&mut self, hop: &Hop, timing: HopTiming) {
         let Some(inner) = &mut self.inner else {
             return;
         };
@@ -169,7 +189,30 @@ impl HopRecorder {
             Some(map) => (map[hop.sender], map[hop.receiver]),
             None => (hop.sender, hop.receiver),
         };
-        inner.telemetry.record_hop(seq, send, recv, hop);
+        inner
+            .telemetry
+            .record_hop_timed(seq, send, recv, hop, timing);
+    }
+
+    /// The absolute sequence number this recorder would assign to
+    /// `expanded_step`, without recording anything. `None` when inactive.
+    /// Senders stamp this into the outgoing trace context so the receiver's
+    /// hop event and the sender's frame agree on the step key.
+    pub fn seq_of(&self, expanded_step: usize) -> Option<u64> {
+        self.inner
+            .as_ref()
+            .map(|inner| inner.base_seq + expanded_step as u64)
+    }
+
+    /// Mark the first `n` expanded step slots as used even if this rank
+    /// recorded hops for only a subset of them. Ranks in a multi-process run
+    /// receive on different step subsets; reserving the full plan width
+    /// keeps their per-round sequence windows aligned so merged traces share
+    /// one absolute key space.
+    pub fn reserve_steps(&mut self, n: usize) {
+        if let Some(inner) = &mut self.inner {
+            inner.used = inner.used.max(n as u64);
+        }
     }
 
     /// Open a column frame for a sub-collective whose trace will be merged

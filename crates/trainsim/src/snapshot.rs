@@ -355,6 +355,11 @@ fn read_faults(v: &Json) -> Result<FaultStats, String> {
         rejoins: hex_u64_field(v, "rejoins")?,
         retry_extra_s: hex_f64_field(v, "retry_extra_s")?,
         catchup_extra_s: hex_f64_field(v, "catchup_extra_s")?,
+        // Health-observation counters are deliberately not serialized (the
+        // marsit-checkpoint/1 format is pinned); a restore starts them at 0.
+        stragglers_suspected: 0,
+        links_degraded: 0,
+        ranks_silent: 0,
     })
 }
 

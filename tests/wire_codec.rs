@@ -66,6 +66,7 @@ fn float_special_values_round_trip_bit_exact() {
         from: 0,
         to: DRIVER,
         payload: Payload::Floats(specials.to_vec()),
+        ctx: None,
     };
     let decoded = Frame::decode(&frame.encode()).unwrap();
     let Payload::Floats(got) = decoded.payload else {
@@ -137,6 +138,7 @@ proptest! {
             from: 1,
             to: DRIVER,
             payload: Payload::Floats(floats),
+            ctx: None,
         };
         let decoded = Frame::decode(&frame.encode()).unwrap();
         let Payload::Floats(got) = decoded.payload else {
