@@ -8,6 +8,10 @@
 //!   generation (the inner loop of every `⊙` combine), for a dyadic and a
 //!   worst-case non-dyadic probability;
 //! - `pack` — sign extraction (`SignVec::from_signs`) throughput;
+//! - `large` — the same transient/pack kernels at `d = 2^24` (beyond every
+//!   cache level), plus a STREAM-triad-style measurement of the host's
+//!   memory-bandwidth ceiling and the fraction of it the pack kernel
+//!   achieves (`memory_bandwidth_fraction`);
 //! - `round` — end-to-end Marsit rounds/sec on a ring, one-bit and
 //!   full-precision, their ratio, the realized wire bits per transmitted
 //!   element, steady-state heap allocations per round (via a counting
@@ -37,7 +41,7 @@ use std::hint::black_box;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use marsit_core::{Marsit, MarsitConfig, SyncSchedule};
+use marsit_core::{Marsit, MarsitConfig, SyncOutcome, SyncSchedule};
 use marsit_models::{OptimizerKind, Workload};
 use marsit_simnet::{FaultPlan, Topology};
 use marsit_telemetry::{scoped, Telemetry};
@@ -87,6 +91,7 @@ fn allocs_per_call(n: usize, mut f: impl FnMut()) -> f64 {
 struct Sizes {
     mode: &'static str,
     transient_d: usize,
+    large_d: usize,
     round_d: usize,
     samples: usize,
     train_rounds: usize,
@@ -95,6 +100,7 @@ struct Sizes {
 const FULL: Sizes = Sizes {
     mode: "full",
     transient_d: 1 << 20,
+    large_d: 1 << 24,
     round_d: 1 << 16,
     samples: 15,
     train_rounds: 40,
@@ -103,6 +109,7 @@ const FULL: Sizes = Sizes {
 const FAST: Sizes = Sizes {
     mode: "fast",
     transient_d: 1 << 16,
+    large_d: 1 << 20,
     round_d: 1 << 13,
     samples: 5,
     train_rounds: 6,
@@ -125,6 +132,28 @@ fn median_secs(samples: usize, mut f: impl FnMut()) -> f64 {
 
 fn ns_per_elem(secs: f64, elems: usize) -> f64 {
     secs * 1e9 / elems as f64
+}
+
+/// STREAM-triad-style host memory-bandwidth ceiling, in bytes/s.
+///
+/// Runs `a[i] = b[i] + s·c[i]` over three arrays far larger than any cache
+/// level and counts three streamed floats per element (two reads, one
+/// write; write-allocate traffic is ignored, as STREAM does). The `large`
+/// section reports kernel throughput as a fraction of this ceiling so a
+/// regression report can distinguish "kernel got slower" from "host has
+/// slower memory".
+fn stream_triad_bytes_per_sec(n: usize, samples: usize) -> f64 {
+    let b: Vec<f32> = (0..n).map(|i| (i % 1021) as f32 * 0.5).collect();
+    let c: Vec<f32> = (0..n).map(|i| (i % 4093) as f32 * 0.25).collect();
+    let mut a = vec![0.0f32; n];
+    let s = 3.0f32;
+    let secs = median_secs(samples, || {
+        for ((ai, bi), ci) in a.iter_mut().zip(&b).zip(&c) {
+            *ai = *bi + s * *ci;
+        }
+        black_box(&mut a);
+    });
+    (n * 3 * std::mem::size_of::<f32>()) as f64 / secs
 }
 
 /// `git describe` of the tree this binary *runs* in, falling back to the
@@ -216,6 +245,40 @@ fn main() {
         ns_per_elem(pack_s, d)
     );
 
+    // --- Beyond-cache kernels at d = 2^24 against the bandwidth ceiling. ---
+    //
+    // The small-d sections above measure kernels from cache; a serving host
+    // packs models whose gradients never fit there. Re-measure the two
+    // streaming kernels at `large_d` and report the pack kernel's achieved
+    // bytes/s as a fraction of a measured STREAM-triad ceiling.
+    let ld = sizes.large_d;
+    let large_samples = sizes.samples.min(7);
+    let large_word_s = median_secs(large_samples, || {
+        black_box(SignVec::bernoulli_uniform(ld, p_dyadic, &mut rng));
+    });
+    let grad_large: Vec<f32> = {
+        let mut g = FastRng::new(5, 0);
+        (0..ld).map(|_| (g.next_f64() as f32) - 0.5).collect()
+    };
+    let pack_large_s = median_secs(large_samples, || {
+        black_box(SignVec::from_signs(black_box(&grad_large)));
+    });
+    let triad_bytes_per_s = stream_triad_bytes_per_sec(ld, large_samples);
+    // from_signs streams d f32 reads and d/8 packed-sign bytes of writes.
+    let pack_bytes = ld * std::mem::size_of::<f32>() + ld / 8;
+    let pack_achieved_bytes_per_s = pack_bytes as f64 / pack_large_s;
+    let memory_bandwidth_fraction = pack_achieved_bytes_per_s / triad_bytes_per_s;
+    println!(
+        "large d={ld}: transient {:.3} ns/elem, pack {:.3} ns/elem \
+         ({:.2} GB/s, {:.0}% of {:.2} GB/s triad ceiling)",
+        ns_per_elem(large_word_s, ld),
+        ns_per_elem(pack_large_s, ld),
+        pack_achieved_bytes_per_s / 1e9,
+        memory_bandwidth_fraction * 100.0,
+        triad_bytes_per_s / 1e9,
+    );
+    drop(grad_large);
+
     // --- Full Marsit round on a ring of 8. ---
     let m = 8;
     let rd = sizes.round_d;
@@ -230,29 +293,39 @@ fn main() {
             .collect()
     };
     let mut onebit = Marsit::new(MarsitConfig::new(SyncSchedule::never(), 0.01, 7), m, rd);
+    // One outcome reused across rounds: `synchronize_into` recycles its
+    // buffers, which is the steady-state calling convention of the trainer
+    // and of the job server's shard loop.
+    let mut round_out = SyncOutcome::default();
     let wire_bits_per_element = {
-        let out = onebit.synchronize(&updates, Topology::ring(m));
-        out.trace.total_bytes() as f64 * 8.0 / elements_per_round(Topology::ring(m), rd) as f64
+        onebit.synchronize_into(&updates, Topology::ring(m), &mut round_out);
+        round_out.trace.total_bytes() as f64 * 8.0
+            / elements_per_round(Topology::ring(m), rd) as f64
     };
     let onebit_s = median_secs(sizes.samples, || {
-        black_box(onebit.synchronize(black_box(&updates), Topology::ring(m)));
+        onebit.synchronize_into(black_box(&updates), Topology::ring(m), &mut round_out);
+        black_box(&mut round_out);
     });
     let mut fp = Marsit::new(MarsitConfig::new(SyncSchedule::every(1), 0.01, 7), m, rd);
+    let mut fp_out = SyncOutcome::default();
     let fp_s = median_secs(sizes.samples, || {
-        black_box(fp.synchronize(black_box(&updates), Topology::ring(m)));
+        fp.synchronize_into(black_box(&updates), Topology::ring(m), &mut fp_out);
+        black_box(&mut fp_out);
     });
     let onebit_vs_full_ratio = fp_s / onebit_s;
 
-    // Steady-state allocator traffic of the reused-workspace path. Escaping
-    // outcome vectors (`global_update`, `compensated_mean`, trace/telemetry
-    // bookkeeping) are real allocations and are counted honestly; the
-    // workspace keeps the per-hop and per-worker scratch out of this number.
+    // Steady-state allocator traffic of the reused-workspace path. The
+    // recycled-outcome convention keeps even the escaping vectors
+    // (`global_update`, `compensated_mean`, the trace's step slots) out of
+    // the allocator: the clean ring one-bit round must be allocation-free.
     let alloc_iters = sizes.samples.max(10);
     let onebit_allocs = allocs_per_call(alloc_iters, || {
-        black_box(onebit.synchronize(black_box(&updates), Topology::ring(m)));
+        onebit.synchronize_into(black_box(&updates), Topology::ring(m), &mut round_out);
+        black_box(&mut round_out);
     });
     let fp_allocs = allocs_per_call(alloc_iters, || {
-        black_box(fp.synchronize(black_box(&updates), Topology::ring(m)));
+        fp.synchronize_into(black_box(&updates), Topology::ring(m), &mut fp_out);
+        black_box(&mut fp_out);
     });
     println!(
         "round m={m} d={rd}: one-bit {:.1} rounds/s (wire {:.3} bits/elem, {onebit_allocs:.0} allocs), \
@@ -278,8 +351,10 @@ fn main() {
             .collect()
     };
     let mut onebit_nd = Marsit::new(MarsitConfig::new(SyncSchedule::never(), 0.01, 7), m_nd, rd);
+    let mut nd_out = SyncOutcome::default();
     let onebit_nd_s = median_secs(sizes.samples, || {
-        black_box(onebit_nd.synchronize(black_box(&updates_nd), Topology::ring(m_nd)));
+        onebit_nd.synchronize_into(black_box(&updates_nd), Topology::ring(m_nd), &mut nd_out);
+        black_box(&mut nd_out);
     });
     println!(
         "round m={m_nd} d={rd} (non-dyadic weights): one-bit {:.1} rounds/s",
@@ -335,7 +410,8 @@ fn main() {
     let disabled = Telemetry::disabled();
     let tel_off_s = median_secs(sizes.samples, || {
         scoped(&disabled, || {
-            black_box(onebit.synchronize(black_box(&updates), Topology::ring(m)));
+            onebit.synchronize_into(black_box(&updates), Topology::ring(m), &mut round_out);
+            black_box(&mut round_out);
         });
     });
     assert_eq!(
@@ -346,7 +422,8 @@ fn main() {
     let recording = Telemetry::recording();
     let tel_on_s = median_secs(sizes.samples, || {
         scoped(&recording, || {
-            black_box(onebit.synchronize(black_box(&updates), Topology::ring(m)));
+            onebit.synchronize_into(black_box(&updates), Topology::ring(m), &mut round_out);
+            black_box(&mut round_out);
         });
     });
     let events_enabled = recording.event_count();
@@ -380,6 +457,14 @@ fn main() {
         sizes.train_rounds, fstats.retransmits, fstats.dropped_transfers, fstats.retry_extra_s
     );
 
+    let git_stamp = git_describe();
+    if git_stamp.ends_with("-dirty") {
+        eprintln!("=================================================================");
+        eprintln!("WARNING: bench_round is running in a DIRTY tree ({git_stamp}).");
+        eprintln!("The emitted JSON stamps this provenance; do NOT commit numbers");
+        eprintln!("measured from uncommitted code. Commit (or stash) and re-run.");
+        eprintln!("=================================================================");
+    }
     let json = format!(
         r#"{{
   "bench": "round",
@@ -397,6 +482,14 @@ fn main() {
   "pack": {{
     "d": {d},
     "from_signs_ns_per_elem": {pack_ns:.4}
+  }},
+  "large": {{
+    "d": {ld},
+    "transient_word_ns_per_elem": {large_word_ns:.4},
+    "pack_ns_per_elem": {pack_large_ns:.4},
+    "pack_achieved_gb_per_s": {pack_achieved_gbs:.3},
+    "stream_triad_gb_per_s": {triad_gbs:.3},
+    "memory_bandwidth_fraction": {memory_bandwidth_fraction:.4}
   }},
   "round": {{
     "m": {m},
@@ -447,7 +540,7 @@ fn main() {
 "#,
         mode = sizes.mode,
         seed = fault_cfg.seed,
-        git_describe = git_describe(),
+        git_describe = git_stamp,
         f_retransmits = fstats.retransmits,
         f_dropped = fstats.dropped_transfers,
         f_corrupted = fstats.corrupted_transfers,
@@ -458,6 +551,10 @@ fn main() {
         word_ns = ns_per_elem(word_s, d),
         word_nd_ns = ns_per_elem(word_nd_s, d),
         pack_ns = ns_per_elem(pack_s, d),
+        large_word_ns = ns_per_elem(large_word_s, ld),
+        pack_large_ns = ns_per_elem(pack_large_s, ld),
+        pack_achieved_gbs = pack_achieved_bytes_per_s / 1e9,
+        triad_gbs = triad_bytes_per_s / 1e9,
         onebit_rps = 1.0 / onebit_s,
         fp_rps = 1.0 / fp_s,
         onebit_nd_rps = 1.0 / onebit_nd_s,

@@ -1,0 +1,306 @@
+//! **Serving trajectory point**: the sharded job server under a seeded
+//! arrival storm.
+//!
+//! Emits `BENCH_service.json` (override with `--out <path>`) with:
+//!
+//! - `throughput` — jobs/sec over the storm, plus the peak and sustained
+//!   (median-at-completion) number of jobs in flight;
+//! - `latency` — p50/p95/p99 per-round wall latency across every shard,
+//!   measured while jobs time-share shard threads;
+//! - `migration` — median snapshot-serialize and restore cost of the
+//!   seeded migration schedule, and the serialized snapshot size;
+//! - `pool` — workspace-pool hit/miss/return/eviction counters;
+//! - `exactness` — every served job is re-run solo and byte-compared
+//!   (report and telemetry log); **any violation aborts the benchmark**,
+//!   so a committed JSON is itself proof the scheduler never perturbed a
+//!   single output bit;
+//! - `meta` — run provenance.
+//!
+//! The storm is a seeded Poisson process: an initial burst saturates the
+//! shards, then the remaining jobs arrive with exponential gaps. Every
+//! schedule decision downstream of the seed is deterministic; only the
+//! wall-clock numbers vary between hosts.
+//!
+//! ```text
+//! cargo run --release -p marsit-bench --bin bench_service [-- --fast] [-- --out PATH]
+//! ```
+//!
+//! `--fast` shrinks the job count and round budgets for CI smoke runs; the
+//! JSON schema is identical in both modes (`"mode"` records which ran).
+
+use std::time::Instant;
+
+use marsit_models::Workload;
+use marsit_serve::{quantile_ns, verify_outcome, JobServer, JobSpec, MigrationPolicy, ServeConfig};
+use marsit_simnet::{FaultPlan, Topology};
+use marsit_tensor::rng::FastRng;
+
+struct Sizes {
+    mode: &'static str,
+    jobs: usize,
+    burst: usize,
+    rounds: usize,
+    shards: usize,
+    arrival_mean_ms: f64,
+}
+
+const FULL: Sizes = Sizes {
+    mode: "full",
+    jobs: 24,
+    burst: 10,
+    rounds: 16,
+    shards: 4,
+    arrival_mean_ms: 30.0,
+};
+
+const FAST: Sizes = Sizes {
+    mode: "fast",
+    jobs: 10,
+    burst: 8,
+    rounds: 8,
+    shards: 3,
+    arrival_mean_ms: 10.0,
+};
+
+const ARRIVAL_SEED: u64 = 0x5EED_5709;
+const MIGRATION_SEED: u64 = 0xA11_0CA7E;
+const MIGRATION_PER_MILLE: u32 = 250;
+
+/// `git describe` of the tree this binary runs in (see `bench_round`).
+fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty", "--tags"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// The deterministic job mix: three shapes (two ring widths and a torus)
+/// cycled across the storm, every fourth job fault-injected, every job
+/// with its own seed so no two are byte-identical to each other.
+fn job_mix(i: usize, rounds: usize) -> JobSpec {
+    let (workload, topology) = match i % 3 {
+        0 => (Workload::AlexNetMnist, Topology::ring(4)),
+        1 => (Workload::ResNet20Cifar10, Topology::torus(2, 2)),
+        _ => (Workload::AlexNetMnist, Topology::ring(8)),
+    };
+    let mut spec = JobSpec::new(format!("job{i:03}"), workload, topology);
+    spec.rounds = rounds;
+    spec.seed = 100 + i as u64;
+    spec.k = if i.is_multiple_of(2) { Some(5) } else { None };
+    if i % 4 == 3 {
+        spec.fault_plan = FaultPlan::seeded(i as u64).with_link_drop(0.05);
+    }
+    spec
+}
+
+fn median(sorted: &[u64]) -> u64 {
+    if sorted.is_empty() {
+        0
+    } else {
+        sorted[sorted.len() / 2]
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let sizes = if args.iter().any(|a| a == "--fast") {
+        FAST
+    } else {
+        FULL
+    };
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or("BENCH_service.json", String::as_str);
+
+    let mut cfg = ServeConfig::new(sizes.shards);
+    cfg.tick_rounds = 2;
+    cfg.migration = MigrationPolicy::Seeded {
+        seed: MIGRATION_SEED,
+        per_mille: MIGRATION_PER_MILLE,
+    };
+    println!(
+        "bench_service ({}): {} jobs over {} shards, burst {}, mean gap {:.0}ms, \
+         seeded migration {}/1000 per tick",
+        sizes.mode, sizes.jobs, cfg.shards, sizes.burst, sizes.arrival_mean_ms, MIGRATION_PER_MILLE
+    );
+
+    // --- The storm: burst, then seeded Poisson arrivals. ---
+    let specs: Vec<JobSpec> = (0..sizes.jobs).map(|i| job_mix(i, sizes.rounds)).collect();
+    let mut arrivals = FastRng::new(ARRIVAL_SEED, 0);
+    let wall = Instant::now();
+    let mut handle = JobServer::start(cfg);
+    for (i, spec) in specs.iter().enumerate() {
+        if i >= sizes.burst {
+            let u = arrivals.next_f64().clamp(1e-9, 1.0 - 1e-9);
+            let gap_ms = -sizes.arrival_mean_ms * (1.0 - u).ln();
+            std::thread::sleep(std::time::Duration::from_micros((gap_ms * 1e3) as u64));
+        }
+        handle.submit(spec.clone());
+    }
+    let report = handle.finish();
+    let wall_s = wall.elapsed().as_secs_f64();
+    assert_eq!(report.outcomes.len(), sizes.jobs);
+
+    let jobs_per_sec = sizes.jobs as f64 / wall_s;
+    let lat = report.round_latencies_sorted();
+    let (p50, p95, p99) = (
+        quantile_ns(&lat, 0.5),
+        quantile_ns(&lat, 0.95),
+        quantile_ns(&lat, 0.99),
+    );
+    println!(
+        "served {} jobs in {wall_s:.2}s ({jobs_per_sec:.1} jobs/s) | \
+         in flight peak {} sustained {} | round p50/p95/p99 {:.1}/{:.1}/{:.1} us",
+        sizes.jobs,
+        report.peak_in_flight,
+        report.sustained_in_flight,
+        p50 as f64 / 1e3,
+        p95 as f64 / 1e3,
+        p99 as f64 / 1e3,
+    );
+    assert!(
+        report.sustained_in_flight >= 4,
+        "the storm must sustain at least 4 concurrent jobs (got {})",
+        report.sustained_in_flight
+    );
+
+    let samples = report.migration_samples();
+    let mut snap_ns: Vec<u64> = samples.iter().map(|s| s.snapshot_ns).collect();
+    let mut restore_ns: Vec<u64> = samples.iter().map(|s| s.restore_ns).collect();
+    let mut snap_bytes: Vec<u64> = samples.iter().map(|s| s.snapshot_bytes as u64).collect();
+    snap_ns.sort_unstable();
+    restore_ns.sort_unstable();
+    snap_bytes.sort_unstable();
+    let migrations: u32 = report.outcomes.iter().map(|o| o.migrations).sum();
+    println!(
+        "migrations: {migrations} | snapshot p50 {:.1} us, restore p50 {:.1} us, \
+         {} bytes median",
+        median(&snap_ns) as f64 / 1e3,
+        median(&restore_ns) as f64 / 1e3,
+        median(&snap_bytes),
+    );
+
+    let pool = report.pool_stats();
+    println!(
+        "pool: {} hits / {} checkouts ({:.0}%), {} returns, {} evictions",
+        pool.hits,
+        pool.hits + pool.misses,
+        pool.hit_rate() * 100.0,
+        pool.returns,
+        pool.evictions
+    );
+
+    // --- Bit-exactness: every served job vs a fresh solo run. ---
+    //
+    // This is the hard guarantee the whole server stands on. A violation
+    // panics (no JSON is written), so the committed artifact doubles as a
+    // certificate.
+    let verify_wall = Instant::now();
+    let mut violations = 0usize;
+    for outcome in &report.outcomes {
+        if let Err(e) = verify_outcome(outcome) {
+            violations += 1;
+            eprintln!("BIT-EXACTNESS VIOLATION: {e}");
+        }
+    }
+    assert_eq!(
+        violations, 0,
+        "scheduler perturbed {violations} job(s); refusing to write {out_path}"
+    );
+    println!(
+        "exactness: {}/{} jobs byte-identical to solo runs (verified in {:.2}s)",
+        sizes.jobs,
+        sizes.jobs,
+        verify_wall.elapsed().as_secs_f64()
+    );
+
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let git_stamp = git_describe();
+    if git_stamp.ends_with("-dirty") {
+        eprintln!("=================================================================");
+        eprintln!("WARNING: bench_service is running in a DIRTY tree ({git_stamp}).");
+        eprintln!("Do NOT commit numbers measured from uncommitted code.");
+        eprintln!("=================================================================");
+    }
+    let json = format!(
+        r#"{{
+  "bench": "service",
+  "mode": "{mode}",
+  "config": {{
+    "jobs": {jobs},
+    "shards": {shards},
+    "tick_rounds": {tick_rounds},
+    "burst": {burst},
+    "arrival_seed": {arrival_seed},
+    "arrival_mean_ms": {arrival_mean_ms:.1},
+    "rounds_per_job": {rounds},
+    "migration_seed": {migration_seed},
+    "migration_per_mille": {migration_per_mille}
+  }},
+  "throughput": {{
+    "wall_s": {wall_s:.4},
+    "jobs_per_sec": {jobs_per_sec:.2},
+    "peak_in_flight": {peak},
+    "sustained_in_flight": {sustained}
+  }},
+  "latency": {{
+    "rounds_measured": {rounds_measured},
+    "round_p50_ns": {p50},
+    "round_p95_ns": {p95},
+    "round_p99_ns": {p99}
+  }},
+  "migration": {{
+    "count": {migrations},
+    "snapshot_p50_ns": {snap_p50},
+    "restore_p50_ns": {restore_p50},
+    "snapshot_bytes_median": {snap_bytes_median}
+  }},
+  "pool": {{
+    "hits": {pool_hits},
+    "misses": {pool_misses},
+    "returns": {pool_returns},
+    "evictions": {pool_evictions},
+    "hit_rate": {pool_hit_rate:.3}
+  }},
+  "exactness": {{
+    "jobs_verified": {jobs},
+    "violations": 0
+  }},
+  "meta": {{
+    "host_cores": {cores},
+    "git_describe": "{git_describe}"
+  }}
+}}
+"#,
+        mode = sizes.mode,
+        jobs = sizes.jobs,
+        shards = sizes.shards,
+        tick_rounds = 2,
+        burst = sizes.burst,
+        arrival_seed = ARRIVAL_SEED,
+        arrival_mean_ms = sizes.arrival_mean_ms,
+        rounds = sizes.rounds,
+        migration_seed = MIGRATION_SEED,
+        migration_per_mille = MIGRATION_PER_MILLE,
+        peak = report.peak_in_flight,
+        sustained = report.sustained_in_flight,
+        rounds_measured = lat.len(),
+        snap_p50 = median(&snap_ns),
+        restore_p50 = median(&restore_ns),
+        snap_bytes_median = median(&snap_bytes),
+        pool_hits = pool.hits,
+        pool_misses = pool.misses,
+        pool_returns = pool.returns,
+        pool_evictions = pool.evictions,
+        pool_hit_rate = pool.hit_rate(),
+        git_describe = git_stamp,
+    );
+    std::fs::write(out_path, json).expect("write benchmark JSON");
+    println!("wrote {out_path}");
+}

@@ -555,9 +555,13 @@ unsafe impl Sync for HopCell {}
 /// combines commute. Operators whose randomness is a pure function of the
 /// hop (the frozen per-hop stream contract) therefore produce the same
 /// consensus regardless of thread count — pinned by the differential tests.
-/// Hop telemetry and the returned trace are recorded on the caller thread
-/// before the step's combines run, so their byte streams are identical to
-/// the serial path's.
+/// Hop telemetry and the trace are recorded on the caller thread before the
+/// step's combines run, so their byte streams are identical to the serial
+/// path's.
+///
+/// The trace is written into `trace` (reset first, slot allocations
+/// recycled — see [`Trace::reset`]), which keeps the steady state of this
+/// collective allocation-free end to end.
 ///
 /// # Panics
 ///
@@ -567,9 +571,10 @@ pub fn ring_allreduce_onebit_planned<O: StepCombine>(
     unit: usize,
     scratch: &mut RingOnebitScratch,
     out: &mut SignVec,
+    trace: &mut Trace,
     intra_threads: usize,
     op: &mut O,
-) -> Trace {
+) {
     assert!(unit > 0, "unit must be positive");
     let m = signs.len();
     assert!(m >= 2, "ring all-reduce needs at least 2 workers");
@@ -592,7 +597,7 @@ pub fn ring_allreduce_onebit_planned<O: StepCombine>(
             cell.assign_slice_of(v, r.start, r.len());
         }
     }
-    let mut trace = Trace::new();
+    trace.reset();
     let mut rec = HopRecorder::begin();
     for r in 0..m - 1 {
         scratch.plan.clear();
@@ -613,7 +618,7 @@ pub fn ring_allreduce_onebit_planned<O: StepCombine>(
         // Record the step's wire activity (trace + hop telemetry) on the
         // caller thread, in hop order, before any combine runs — the byte
         // streams cannot depend on how the combines are scheduled.
-        let mut step_bytes = Vec::with_capacity(m);
+        let step_bytes = trace.begin_step();
         for hop in &scratch.plan {
             let s = hop.ctx.segment;
             let bytes = segs[s].len().div_ceil(8).max(1);
@@ -631,7 +636,6 @@ pub fn ring_allreduce_onebit_planned<O: StepCombine>(
                 delivered: true,
             });
         }
-        trace.push_step(step_bytes);
         scratch.cells.clear();
         for (w, hop) in scratch.plan.iter().enumerate() {
             let s = hop.ctx.segment;
@@ -698,7 +702,7 @@ pub fn ring_allreduce_onebit_planned<O: StepCombine>(
         out.splice(seg.start, &scratch.state[owner][s]);
     }
     for g in 0..m - 1 {
-        let mut step = Vec::with_capacity(m);
+        let step = trace.begin_step();
         for (s, seg) in segs.iter().enumerate() {
             let bytes = seg.len().div_ceil(8).max(1);
             step.push(bytes);
@@ -716,9 +720,7 @@ pub fn ring_allreduce_onebit_planned<O: StepCombine>(
                 delivered: true,
             });
         }
-        trace.push_step(step);
     }
-    trace
 }
 
 /// [`ring_allreduce_sum`] under fault injection.
@@ -1216,13 +1218,15 @@ mod tests {
             );
             let mut scratch = RingOnebitScratch::new();
             let mut op = StreamedWeighted { seed: 99 };
+            let mut trace = Trace::new();
             for threads in [1usize, 2, 4, 16] {
                 let mut out = SignVec::zeros(1);
-                let trace = ring_allreduce_onebit_planned(
+                ring_allreduce_onebit_planned(
                     &signs,
                     1,
                     &mut scratch,
                     &mut out,
+                    &mut trace,
                     threads,
                     &mut op,
                 );

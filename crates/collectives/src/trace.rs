@@ -11,9 +11,20 @@ use marsit_simnet::{cost, LinkModel};
 ///
 /// Steps are sequential; transfers within a step ride disjoint links in
 /// parallel.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// Internally the step list is a *live prefix* over a recyclable slot
+/// vector: [`Trace::reset`] rewinds the trace to empty while keeping every
+/// allocation (outer list and per-step transfer vectors), and
+/// [`Trace::begin_step`] hands back the next recycled slot. The hot
+/// collectives reuse one `Trace` across rounds and reach a zero-allocation
+/// steady state; every public accessor sees only the live prefix, so the
+/// recycling is invisible to readers.
+#[derive(Default)]
 pub struct Trace {
+    /// Slot storage; only `steps[..live]` is meaningful.
     steps: Vec<Vec<usize>>,
+    /// Number of live steps.
+    live: usize,
 }
 
 impl Trace {
@@ -23,43 +34,69 @@ impl Trace {
         Self::default()
     }
 
+    /// Rewinds to an empty trace, retaining step-slot allocations for reuse.
+    pub fn reset(&mut self) {
+        self.live = 0;
+    }
+
+    /// Opens the next step and returns its (cleared, recycled) transfer
+    /// vector for the caller to fill. Allocation-free once the trace has
+    /// reached its steady-state shape.
+    pub fn begin_step(&mut self) -> &mut Vec<usize> {
+        if self.live == self.steps.len() {
+            self.steps.push(Vec::new());
+        }
+        let slot = &mut self.steps[self.live];
+        slot.clear();
+        self.live += 1;
+        slot
+    }
+
     /// Appends a step whose transfers carry the given byte counts.
     pub fn push_step(&mut self, transfer_bytes: Vec<usize>) {
-        self.steps.push(transfer_bytes);
+        if self.live == self.steps.len() {
+            self.steps.push(transfer_bytes);
+        } else {
+            self.steps[self.live] = transfer_bytes;
+        }
+        self.live += 1;
     }
 
     /// Appends a step of `links` parallel transfers of `bytes` each.
     pub fn push_uniform_step(&mut self, links: usize, bytes: usize) {
-        self.steps.push(vec![bytes; links]);
+        let slot = self.begin_step();
+        slot.resize(links, bytes);
     }
 
     /// Appends all steps of another trace (sequential composition).
-    pub fn extend(&mut self, other: Trace) {
-        self.steps.extend(other.steps);
+    pub fn extend(&mut self, mut other: Trace) {
+        for step in other.steps.drain(..other.live) {
+            self.push_step(step);
+        }
     }
 
     /// Number of sequential steps.
     #[must_use]
     pub fn num_steps(&self) -> usize {
-        self.steps.len()
+        self.live
     }
 
     /// The per-step transfer sizes.
     #[must_use]
     pub fn steps(&self) -> &[Vec<usize>] {
-        &self.steps
+        &self.steps[..self.live]
     }
 
     /// Total bytes moved across all links and steps.
     #[must_use]
     pub fn total_bytes(&self) -> usize {
-        self.steps.iter().flatten().sum()
+        self.steps().iter().flatten().sum()
     }
 
     /// Bytes moved along the critical path (max transfer per step).
     #[must_use]
     pub fn critical_path_bytes(&self) -> usize {
-        self.steps
+        self.steps()
             .iter()
             .map(|s| s.iter().copied().max().unwrap_or(0))
             .sum()
@@ -69,7 +106,42 @@ impl Trace {
     /// transfers within a step).
     #[must_use]
     pub fn time(&self, link: LinkModel) -> f64 {
-        cost::schedule_time(link, &self.steps)
+        cost::schedule_time(link, self.steps())
+    }
+}
+
+impl Clone for Trace {
+    fn clone(&self) -> Self {
+        Self {
+            steps: self.steps().to_vec(),
+            live: self.live,
+        }
+    }
+
+    /// Recycling clone: reuses `self`'s slot allocations, so cloning into a
+    /// warm trace of the same shape performs no allocation.
+    fn clone_from(&mut self, source: &Self) {
+        self.live = 0;
+        for step in source.steps() {
+            let slot = self.begin_step();
+            slot.extend_from_slice(step);
+        }
+    }
+}
+
+impl PartialEq for Trace {
+    fn eq(&self, other: &Self) -> bool {
+        self.steps() == other.steps()
+    }
+}
+
+impl Eq for Trace {}
+
+impl std::fmt::Debug for Trace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Trace")
+            .field("steps", &self.steps())
+            .finish()
     }
 }
 

@@ -43,7 +43,7 @@ pub mod theory;
 pub mod transport;
 
 pub use compensation::Compensation;
-pub use marsit::{CombineKind, Marsit, MarsitConfig, MarsitSnapshot, SyncOutcome};
+pub use marsit::{CombineKind, Marsit, MarsitConfig, MarsitSnapshot, SyncOutcome, WorkspaceHandle};
 pub use schedule::SyncSchedule;
 pub use transport::{
     maybe_run_worker_from_env, process_worker_main, RunArtifacts, Scenario, TopoKind,

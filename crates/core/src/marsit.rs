@@ -171,6 +171,25 @@ pub struct SyncOutcome {
     pub degraded: DegradedMode,
 }
 
+impl Default for SyncOutcome {
+    /// An empty outcome, the canonical argument to
+    /// [`Marsit::synchronize_into`]: reusing one `SyncOutcome` across rounds
+    /// recycles its buffers (`global_update`, `compensated_mean`, `trace`)
+    /// and takes the clean ring one-bit path to zero steady-state
+    /// allocations.
+    fn default() -> Self {
+        Self {
+            global_update: Vec::new(),
+            compensated_mean: Vec::new(),
+            full_precision: false,
+            trace: Trace::new(),
+            round: 0,
+            faults: FaultStats::default(),
+            degraded: DegradedMode::None,
+        }
+    }
+}
+
 /// Reusable per-round scratch (DESIGN.md §9 workspace ownership rules):
 /// owned by the [`Marsit`] instance and recycled across rounds, so the
 /// steady-state synchronize path re-fills existing buffers instead of
@@ -197,6 +216,40 @@ struct RoundWorkspace {
     /// pending residual returns its (right-sized) sign buffer here, and the
     /// round's collective fills it before it moves into the next pending.
     consensus: SignVec,
+}
+
+/// A [`Marsit`] round workspace detached from its owner for pooling.
+///
+/// The job server keeps per-shard pools of these keyed by
+/// `(d, m, topology class)`: a job admitted to a shard adopts a warm
+/// workspace released by an earlier job of the same shape instead of
+/// growing a cold one, which extends the single-job zero-allocation
+/// discipline across job generations.
+///
+/// # Why adoption can never change an output bit
+///
+/// [`Marsit::release_workspace`] flushes any deferred residual first, and
+/// after the flush the workspace carries **no live state**: every
+/// `synchronize` path resizes and fully overwrites each buffer before
+/// reading it (`apply_into` clears and rewrites the compensated updates,
+/// the prologue repacks every sign word, the ring scratch reassigns every
+/// segment cell, the planner is reseeded per round, and the consensus
+/// buffer has every bit spliced in). The only thing that survives the
+/// handoff is buffer *capacity*, and capacity never participates in a
+/// computation — so a job running on an adopted workspace, of any
+/// provenance or shape, is bit-identical to the same job on a fresh one.
+/// The `workspace_reuse` and service determinism tests pin this.
+#[derive(Debug, Default)]
+pub struct WorkspaceHandle {
+    ws: RoundWorkspace,
+}
+
+impl WorkspaceHandle {
+    /// A cold (empty) workspace handle; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// The residual a clean one-bit round leaves behind, absorbed lazily.
@@ -729,6 +782,29 @@ impl Marsit {
         self.cfg.fault_plan = plan;
     }
 
+    /// Detaches the round workspace for pooling, leaving this synchronizer
+    /// with a cold one.
+    ///
+    /// Any deferred residual is flushed first (bit-identical to the eager
+    /// bookkeeping), so the released buffers hold no live state — see
+    /// [`WorkspaceHandle`] for the full determinism argument.
+    #[must_use]
+    pub fn release_workspace(&mut self) -> WorkspaceHandle {
+        self.flush_pending();
+        WorkspaceHandle {
+            ws: std::mem::take(&mut self.workspace),
+        }
+    }
+
+    /// Installs a pooled workspace, replacing (and dropping) the current
+    /// one. Any deferred residual is flushed first, since its deferred form
+    /// reads the outgoing workspace's buffers. Outputs are bit-identical
+    /// whatever the handle previously served — see [`WorkspaceHandle`].
+    pub fn adopt_workspace(&mut self, handle: WorkspaceHandle) {
+        self.flush_pending();
+        self.workspace = handle.ws;
+    }
+
     /// Replaces the collective backend (see [`MarsitConfig::with_backend`]).
     ///
     /// # Panics
@@ -786,6 +862,30 @@ impl Marsit {
     /// dimensions mismatch, or if `topology` is a star (Marsit is defined
     /// for multi-hop all-reduce only) or disagrees with the worker count.
     pub fn synchronize(&mut self, local_updates: &[Vec<f32>], topology: Topology) -> SyncOutcome {
+        let mut out = SyncOutcome::default();
+        self.synchronize_into(local_updates, topology, &mut out);
+        out
+    }
+
+    /// [`Marsit::synchronize`] writing into a caller-owned outcome.
+    ///
+    /// `out`'s buffers are recycled: `global_update` and `compensated_mean`
+    /// are resized and overwritten in place, and the trace's step slots are
+    /// reused ([`Trace::reset`] semantics). Reusing one outcome across
+    /// rounds makes the clean ring one-bit round allocation-free in the
+    /// steady state — the counting-allocator gate in `bench_round` pins
+    /// this. Results are bit-identical to [`Marsit::synchronize`] regardless
+    /// of what `out` previously held.
+    ///
+    /// # Panics
+    ///
+    /// As [`Marsit::synchronize`].
+    pub fn synchronize_into(
+        &mut self,
+        local_updates: &[Vec<f32>],
+        topology: Topology,
+        out: &mut SyncOutcome,
+    ) {
         let m = self.compensations.len();
         assert_eq!(local_updates.len(), m, "update count must match workers");
         assert_eq!(topology.workers(), m, "topology size must match workers");
@@ -827,10 +927,10 @@ impl Marsit {
             {
                 c.apply_into(u, buf);
             }
-            let outcome = self.synchronize_faulty(&mut ws, topology, rejoined.len() as u64);
+            *out = self.synchronize_faulty(&mut ws, topology, rejoined.len() as u64);
             self.workspace = ws;
             self.round += 1;
-            return outcome;
+            return;
         }
 
         let t = self.round;
@@ -849,7 +949,11 @@ impl Marsit {
         // Line 1 (fused prologue): fold compensation into the local update,
         // accumulate the compensated-mean numerator, and — on one-bit rounds
         // — pack each worker's sign words, all while the chunk is cache-hot.
-        let mut compensated_mean = vec![0.0f32; d];
+        // The accumulator recycles the caller's buffer (one zero-fill pass,
+        // exactly what the fresh `vec![0.0; d]` performed).
+        let compensated_mean = &mut out.compensated_mean;
+        compensated_mean.clear();
+        compensated_mean.resize(d, 0.0);
         if !full_precision {
             signs.resize_with(m, || SignVec::zeros(0));
         }
@@ -869,7 +973,7 @@ impl Marsit {
                     h,
                     &p.consensus,
                     &lut,
-                    &mut compensated_mean,
+                    compensated_mean,
                     word_scratch,
                     sign_out,
                 );
@@ -886,17 +990,17 @@ impl Marsit {
                 } else {
                     Some(&mut signs[w])
                 };
-                accumulate_and_pack(h, &mut compensated_mean, word_scratch, sign_out);
+                accumulate_and_pack(h, compensated_mean, word_scratch, sign_out);
             }
         }
-        for a in &mut compensated_mean {
+        for a in compensated_mean.iter_mut() {
             *a *= inv_m;
         }
 
         let combines = Cell::new(0u64);
         let rng_draws = Cell::new(0u64);
         let mut new_pending = None;
-        let outcome = if full_precision {
+        if full_precision {
             // Lines 11–13: exact averaging, compensation reset.
             fp_buffers.resize_with(m, Vec::new);
             for (buf, src) in fp_buffers.iter_mut().zip(&*compensated) {
@@ -910,19 +1014,17 @@ impl Marsit {
                     panic!("Marsit is a multi-hop all-reduce framework; star/PS is unsupported")
                 }
             };
-            let global_update: Vec<f32> = fp_buffers[0].iter().map(|&x| x * inv_m).collect();
+            out.global_update.clear();
+            out.global_update
+                .extend(fp_buffers[0].iter().map(|&x| x * inv_m));
             for c in &mut self.compensations {
                 c.reset();
             }
-            SyncOutcome {
-                compensated_mean,
-                global_update,
-                full_precision: true,
-                trace,
-                round: t,
-                faults: FaultStats::default(),
-                degraded: DegradedMode::None,
-            }
+            out.full_precision = true;
+            out.trace = trace;
+            out.round = t;
+            out.faults = FaultStats::default();
+            out.degraded = DegradedMode::None;
         } else {
             // Lines 4–9: one-bit synchronization via ⊙. Sign buffers were
             // packed by the fused prologue; the planner pre-draws each
@@ -930,23 +1032,26 @@ impl Marsit {
             // combine closure replays them bit-identically.
             let round_seed = split_seed(self.cfg.seed, t);
             planner.reset(round_seed, self.cfg.combine);
-            let (consensus, trace) = if self.cfg.backend == Backend::Threaded {
-                engine_onebit_clean(
+            let consensus = if self.cfg.backend == Backend::Threaded {
+                let (consensus, trace) = engine_onebit_clean(
                     signs,
                     topology,
                     round_seed,
                     self.cfg.combine,
                     &combines,
                     &rng_draws,
-                )
+                );
+                out.trace = trace;
+                consensus
             } else {
                 match topology {
                     Topology::Ring { .. } => {
                         // Planned, allocation-free form: state buffers come
                         // from the workspace, the consensus lands in the
-                        // recycled buffer, and each step's combines may fan
-                        // out over `intra_threads` (bit-identical either
-                        // way; see `ring_allreduce_onebit_planned`).
+                        // recycled buffer, the trace reuses the outcome's
+                        // step slots, and each step's combines may fan out
+                        // over `intra_threads` (bit-identical either way;
+                        // see `ring_allreduce_onebit_planned`).
                         let step_combines = AtomicU64::new(0);
                         let step_draws = AtomicU64::new(0);
                         let mut op = PlannerOp {
@@ -954,17 +1059,18 @@ impl Marsit {
                             combines: &step_combines,
                             rng_draws: &step_draws,
                         };
-                        let trace = ring_allreduce_onebit_planned(
+                        ring_allreduce_onebit_planned(
                             signs,
                             1,
                             ring,
                             consensus_buf,
+                            &mut out.trace,
                             self.cfg.intra_threads,
                             &mut op,
                         );
                         combines.set(combines.get() + step_combines.load(Ordering::Relaxed));
                         rng_draws.set(rng_draws.get() + step_draws.load(Ordering::Relaxed));
-                        (std::mem::take(consensus_buf), trace)
+                        std::mem::take(consensus_buf)
                     }
                     Topology::Torus { rows, cols } => {
                         let planner = RefCell::new(planner);
@@ -974,7 +1080,10 @@ impl Marsit {
                             combines.set(combines.get() + 1);
                             rng_draws.set(rng_draws.get() + draws);
                         };
-                        torus_allreduce_onebit_hooked(signs, rows, cols, step_begin, combine)
+                        let (consensus, trace) =
+                            torus_allreduce_onebit_hooked(signs, rows, cols, step_begin, combine);
+                        out.trace = trace;
+                        consensus
                     }
                     Topology::Star { .. } => {
                         panic!("Marsit is a multi-hop all-reduce framework; star/PS is unsupported")
@@ -983,10 +1092,16 @@ impl Marsit {
             };
             // Line 9: g_t = η_s · σ, rebuilt through the byte LUT (written
             // once per element, no zero-fill pass, no per-lane bit tests).
-            let mut global_update = vec![0.0f32; d];
+            // The output buffer is recycled: when it already has the right
+            // length the LUT write overwrites every element, so no clearing
+            // pass is needed either.
+            if out.global_update.len() != d {
+                out.global_update.clear();
+                out.global_update.resize(d, 0.0);
+            }
             consensus.write_scaled_signs_lut(
                 &ScaledSignLut::new(self.cfg.global_lr),
-                &mut global_update,
+                &mut out.global_update,
             );
             // Line 10: the residual absorb is deferred — the consensus bits
             // and scale fully determine `g_t`, and the next round's apply
@@ -995,21 +1110,15 @@ impl Marsit {
                 consensus,
                 scale: self.cfg.global_lr,
             });
-            SyncOutcome {
-                compensated_mean,
-                global_update,
-                full_precision: false,
-                trace,
-                round: t,
-                faults: FaultStats::default(),
-                degraded: DegradedMode::None,
-            }
-        };
+            out.full_precision = false;
+            out.round = t;
+            out.faults = FaultStats::default();
+            out.degraded = DegradedMode::None;
+        }
         self.workspace = ws;
         self.pending = new_pending;
-        self.emit_sync_event(&outcome, combines.get(), rng_draws.get());
+        self.emit_sync_event(out, combines.get(), rng_draws.get());
         self.round += 1;
-        outcome
     }
 
     /// Reports one completed round to the ambient telemetry scope, if any.

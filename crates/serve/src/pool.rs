@@ -1,0 +1,193 @@
+//! Per-shard workspace pools.
+//!
+//! A shard recycles [`WorkspaceHandle`]s between the jobs it hosts: a
+//! finishing (or migrating-out) job releases its warm round workspace into
+//! the shard's pool, and the next job of the same shape adopts it instead
+//! of growing a cold one. Pools are keyed by [`WorkspaceKey`] — model
+//! dimension, worker count, and topology class — the three quantities that
+//! determine every buffer capacity a Marsit round touches.
+//!
+//! Pooling is purely a capacity optimization: the handle carries no live
+//! state (see [`WorkspaceHandle`]'s determinism argument), so a pool hit
+//! changes allocation traffic and nothing else.
+
+use std::collections::HashMap;
+
+use marsit_core::WorkspaceHandle;
+use marsit_simnet::Topology;
+
+/// Which collective schedule family a workspace was shaped by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TopologyClass {
+    /// Ring all-reduce schedules.
+    Ring,
+    /// Torus (row/column phase) schedules.
+    Torus,
+}
+
+impl TopologyClass {
+    /// The class of `topology`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a star topology (Marsit is multi-hop all-reduce only, so
+    /// no job-server workspace ever has a star shape).
+    #[must_use]
+    pub fn of(topology: Topology) -> Self {
+        match topology {
+            Topology::Ring { .. } => Self::Ring,
+            Topology::Torus { .. } => Self::Torus,
+            Topology::Star { .. } => panic!("Marsit jobs never run on a star topology"),
+        }
+    }
+}
+
+/// Pool key: the shape class of a round workspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WorkspaceKey {
+    /// Model dimension `d`.
+    pub d: usize,
+    /// Worker count `m`.
+    pub m: usize,
+    /// Collective schedule family.
+    pub topology: TopologyClass,
+}
+
+impl WorkspaceKey {
+    /// The key for a job of dimension `d` on `topology`.
+    #[must_use]
+    pub fn new(d: usize, topology: Topology) -> Self {
+        Self {
+            d,
+            m: topology.workers(),
+            topology: TopologyClass::of(topology),
+        }
+    }
+}
+
+/// Cumulative pool activity counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Checkouts served from the pool (warm adoption).
+    pub hits: u64,
+    /// Checkouts that found no pooled workspace of the right shape.
+    pub misses: u64,
+    /// Handles returned to the pool.
+    pub returns: u64,
+    /// Handles dropped because the per-key cap was reached.
+    pub evictions: u64,
+}
+
+impl PoolStats {
+    /// Hit fraction over all checkouts (0 when none happened).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Accumulates another shard's counters into this one.
+    pub fn merge(&mut self, other: &PoolStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.returns += other.returns;
+        self.evictions += other.evictions;
+    }
+}
+
+/// A shard-local pool of released round workspaces, keyed by shape.
+#[derive(Debug)]
+pub struct WorkspacePool {
+    slots: HashMap<WorkspaceKey, Vec<WorkspaceHandle>>,
+    cap_per_key: usize,
+    stats: PoolStats,
+}
+
+impl WorkspacePool {
+    /// A pool holding at most `cap_per_key` workspaces per shape key.
+    #[must_use]
+    pub fn new(cap_per_key: usize) -> Self {
+        Self {
+            slots: HashMap::new(),
+            cap_per_key: cap_per_key.max(1),
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Checks out a warm workspace for `key`, if one is pooled.
+    pub fn checkout(&mut self, key: WorkspaceKey) -> Option<WorkspaceHandle> {
+        let handle = self.slots.get_mut(&key).and_then(Vec::pop);
+        if handle.is_some() {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+        }
+        handle
+    }
+
+    /// Returns a released workspace to the pool (dropped if the key is at
+    /// capacity).
+    pub fn checkin(&mut self, key: WorkspaceKey, handle: WorkspaceHandle) {
+        let slot = self.slots.entry(key).or_default();
+        if slot.len() < self.cap_per_key {
+            slot.push(handle);
+            self.stats.returns += 1;
+        } else {
+            self.stats.evictions += 1;
+        }
+    }
+
+    /// Cumulative activity counters.
+    #[must_use]
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Workspaces currently pooled (all keys).
+    #[must_use]
+    pub fn pooled(&self) -> usize {
+        self.slots.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkout_checkin_cycle_counts_hits_and_misses() {
+        let key = WorkspaceKey::new(128, Topology::ring(4));
+        let mut pool = WorkspacePool::new(2);
+        assert!(pool.checkout(key).is_none());
+        pool.checkin(key, WorkspaceHandle::new());
+        assert!(pool.checkout(key).is_some());
+        let stats = pool.stats();
+        assert_eq!((stats.hits, stats.misses, stats.returns), (1, 1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cap_per_key_evicts_extras() {
+        let key = WorkspaceKey::new(64, Topology::torus(2, 2));
+        let mut pool = WorkspacePool::new(1);
+        pool.checkin(key, WorkspaceHandle::new());
+        pool.checkin(key, WorkspaceHandle::new());
+        assert_eq!(pool.pooled(), 1);
+        assert_eq!(pool.stats().evictions, 1);
+    }
+
+    #[test]
+    fn keys_separate_shapes() {
+        let ring = WorkspaceKey::new(64, Topology::ring(4));
+        let torus = WorkspaceKey::new(64, Topology::torus(2, 2));
+        assert_ne!(ring, torus);
+        let mut pool = WorkspacePool::new(4);
+        pool.checkin(ring, WorkspaceHandle::new());
+        assert!(pool.checkout(torus).is_none());
+        assert!(pool.checkout(ring).is_some());
+    }
+}

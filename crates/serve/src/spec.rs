@@ -1,0 +1,225 @@
+//! Job specifications: what a client submits to the job server.
+//!
+//! A [`JobSpec`] is the serving-side unit of work — one Marsit training run
+//! described by its model proxy, topology, full-precision period `K`, fault
+//! plan, seed, and round budget. Specs arrive over the submission queue as
+//! single `key=value` lines (see [`JobSpec::parse_line`]), the format the
+//! `marsit_serve` binary reads from a file or stdin.
+
+use marsit_models::{OptimizerKind, Workload};
+use marsit_simnet::{FaultPlan, Topology};
+use marsit_telemetry::Telemetry;
+use marsit_trainsim::{StrategyKind, TrainConfig};
+
+/// One training job submitted to the server.
+///
+/// The defaults describe a short serving-sized run (small synthetic split,
+/// no periodic eval) so a storm of jobs exercises the scheduler rather than
+/// the data generator; every field can be overridden per job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Client-chosen job name (unique per submission batch).
+    pub name: String,
+    /// Model/dataset proxy to train.
+    pub workload: Workload,
+    /// Cluster topology the job's collectives run over.
+    pub topology: Topology,
+    /// Full-precision period `K` (`None` = plain one-bit Marsit).
+    pub k: Option<u32>,
+    /// Master seed.
+    pub seed: u64,
+    /// Round budget `T`.
+    pub rounds: usize,
+    /// Deterministic fault plan ([`FaultPlan::none`] by default).
+    pub fault_plan: FaultPlan,
+    /// Training-set size (split IID across the topology's workers).
+    pub train_examples: usize,
+    /// Held-out test-set size.
+    pub test_examples: usize,
+    /// Per-worker minibatch size.
+    pub batch_per_worker: usize,
+    /// Local learning rate `η_l`.
+    pub local_lr: f32,
+    /// Marsit global learning rate `η_s`.
+    pub global_lr: f32,
+}
+
+impl JobSpec {
+    /// A serving-sized job: `workload` on `topology` for `rounds` rounds.
+    #[must_use]
+    pub fn new(name: impl Into<String>, workload: Workload, topology: Topology) -> Self {
+        Self {
+            name: name.into(),
+            workload,
+            topology,
+            k: Some(20),
+            seed: 42,
+            rounds: 30,
+            fault_plan: FaultPlan::none(),
+            train_examples: 512,
+            test_examples: 64,
+            batch_per_worker: 16,
+            local_lr: 0.01,
+            global_lr: 0.002,
+        }
+    }
+
+    /// The trainer configuration for this job, recording into `telemetry`.
+    ///
+    /// The scheduler owns parallelism at the job level (one shard thread
+    /// drives many jobs), so the per-job config keeps the worker compute
+    /// phase and the collectives on the shard thread.
+    #[must_use]
+    pub fn to_train_config(&self, telemetry: Telemetry) -> TrainConfig {
+        let mut cfg = TrainConfig::new(
+            self.workload,
+            self.topology,
+            StrategyKind::Marsit { k: self.k },
+        );
+        cfg.rounds = self.rounds;
+        cfg.seed = self.seed;
+        cfg.fault_plan = self.fault_plan.clone();
+        cfg.train_examples = self.train_examples;
+        cfg.test_examples = self.test_examples;
+        cfg.batch_per_worker = self.batch_per_worker;
+        cfg.local_lr = self.local_lr;
+        cfg.marsit_global_lr = self.global_lr;
+        cfg.optimizer = OptimizerKind::Momentum(0.9);
+        cfg.eval_every = 0;
+        cfg.parallel_workers = false;
+        cfg.marsit_intra_threads = 1;
+        cfg.telemetry = telemetry;
+        cfg
+    }
+
+    /// Parses one submission-queue line of whitespace-separated `key=value`
+    /// tokens, e.g.
+    ///
+    /// ```text
+    /// name=j0 workload=alexnet_mnist topo=ring:4 k=20 seed=7 rounds=40
+    /// ```
+    ///
+    /// Recognized keys: `name`, `workload` (snake-case proxy name), `topo`
+    /// (`ring:M` or `torus:RxC`), `k` (`never` or a period), `seed`,
+    /// `rounds`, `examples`, `test`, `batch`, `lr`, `glr`, and `fault`
+    /// (`SEED:DROP_PERMILLE`). `name` is required; everything else falls
+    /// back to the [`JobSpec::new`] defaults.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed token.
+    pub fn parse_line(line: &str) -> Result<Self, String> {
+        let mut spec = Self::new("", Workload::AlexNetMnist, Topology::ring(4));
+        for token in line.split_whitespace() {
+            let (key, value) = token
+                .split_once('=')
+                .ok_or_else(|| format!("malformed token (expected key=value): {token}"))?;
+            match key {
+                "name" => spec.name = value.to_string(),
+                "workload" => spec.workload = parse_workload(value)?,
+                "topo" => spec.topology = parse_topology(value)?,
+                "k" => {
+                    spec.k = if value == "never" {
+                        None
+                    } else {
+                        Some(parse_num(key, value)?)
+                    };
+                }
+                "seed" => spec.seed = parse_num(key, value)?,
+                "rounds" => spec.rounds = parse_num(key, value)?,
+                "examples" => spec.train_examples = parse_num(key, value)?,
+                "test" => spec.test_examples = parse_num(key, value)?,
+                "batch" => spec.batch_per_worker = parse_num(key, value)?,
+                "lr" => spec.local_lr = parse_num(key, value)?,
+                "glr" => spec.global_lr = parse_num(key, value)?,
+                "fault" => spec.fault_plan = parse_fault(value)?,
+                other => return Err(format!("unknown job-spec key: {other}")),
+            }
+        }
+        if spec.name.is_empty() {
+            return Err("job spec is missing name=".to_string());
+        }
+        Ok(spec)
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("bad value for {key}: {value}"))
+}
+
+fn parse_workload(value: &str) -> Result<Workload, String> {
+    Ok(match value {
+        "alexnet_mnist" => Workload::AlexNetMnist,
+        "alexnet_cifar10" => Workload::AlexNetCifar10,
+        "resnet20_cifar10" => Workload::ResNet20Cifar10,
+        "resnet18_imagenet" => Workload::ResNet18ImageNet,
+        "resnet50_imagenet" => Workload::ResNet50ImageNet,
+        "distilbert_imdb" => Workload::DistilBertImdb,
+        other => return Err(format!("unknown workload: {other}")),
+    })
+}
+
+fn parse_topology(value: &str) -> Result<Topology, String> {
+    if let Some(m) = value.strip_prefix("ring:") {
+        return Ok(Topology::ring(parse_num("topo", m)?));
+    }
+    if let Some(rc) = value.strip_prefix("torus:") {
+        let (r, c) = rc
+            .split_once('x')
+            .ok_or_else(|| format!("bad torus spec (expected torus:RxC): {value}"))?;
+        return Ok(Topology::torus(
+            parse_num("topo", r)?,
+            parse_num("topo", c)?,
+        ));
+    }
+    Err(format!(
+        "unknown topology (expected ring:M or torus:RxC): {value}"
+    ))
+}
+
+fn parse_fault(value: &str) -> Result<FaultPlan, String> {
+    let (seed, drop) = value
+        .split_once(':')
+        .ok_or_else(|| format!("bad fault spec (expected SEED:DROP_PERMILLE): {value}"))?;
+    let seed: u64 = parse_num("fault", seed)?;
+    let drop_permille: u64 = parse_num("fault", drop)?;
+    Ok(FaultPlan::seeded(seed).with_link_drop(drop_permille as f64 / 1000.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_line_round_trips_the_readme_example() {
+        let spec =
+            JobSpec::parse_line("name=j0 workload=alexnet_mnist topo=ring:4 k=20 seed=7 rounds=40")
+                .expect("valid line");
+        assert_eq!(spec.name, "j0");
+        assert_eq!(spec.workload, Workload::AlexNetMnist);
+        assert_eq!(spec.topology, Topology::ring(4));
+        assert_eq!(spec.k, Some(20));
+        assert_eq!(spec.seed, 7);
+        assert_eq!(spec.rounds, 40);
+    }
+
+    #[test]
+    fn parse_line_supports_torus_never_and_fault() {
+        let spec = JobSpec::parse_line(
+            "name=t workload=distilbert_imdb topo=torus:2x3 k=never fault=9:50",
+        )
+        .expect("valid line");
+        assert_eq!(spec.topology, Topology::torus(2, 3));
+        assert_eq!(spec.k, None);
+        assert!(!spec.fault_plan.is_none());
+    }
+
+    #[test]
+    fn parse_line_rejects_garbage() {
+        assert!(JobSpec::parse_line("name=x topo=star:4").is_err());
+        assert!(JobSpec::parse_line("name=x bogus=1").is_err());
+        assert!(JobSpec::parse_line("workload=alexnet_mnist").is_err());
+    }
+}

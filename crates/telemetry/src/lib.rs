@@ -829,17 +829,30 @@ impl Telemetry {
     /// metrics and sequence accounting. This is the per-flush payload a
     /// worker streams to the hub's trace collector.
     pub fn drain_events_jsonl(&self) -> String {
-        self.state().map_or_else(String::new, |mut st| {
+        let mut out = String::new();
+        self.drain_events_jsonl_into(&mut out);
+        out
+    }
+
+    /// [`Telemetry::drain_events_jsonl`] appending into a caller-owned
+    /// buffer — the shard-scoped batch flush: a job-server shard drains
+    /// every job's events into that job's accumulated log once per
+    /// scheduling tick (not once per round), reusing the log's capacity so
+    /// the flush itself allocates nothing in the steady state. The bytes
+    /// appended are identical to what one [`Telemetry::events_jsonl`] call
+    /// at the end of the run would have produced for the same events,
+    /// whatever the flush cadence.
+    pub fn drain_events_jsonl_into(&self, out: &mut String) {
+        if let Some(mut st) = self.state() {
             let st = &mut *st;
-            let mut out = String::with_capacity(st.events.len() * 96);
+            out.reserve(st.events.len() * 96);
             for rec in &st.events {
-                st.write_rec_jsonl(rec, &mut out);
+                st.write_rec_jsonl(rec, out);
                 out.push('\n');
             }
             st.events.clear();
             st.kvs.clear();
-            out
-        })
+        }
     }
 
     /// The `(backend, clock-kind)` transport tag, if one is set.

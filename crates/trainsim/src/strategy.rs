@@ -32,7 +32,7 @@ use marsit_collectives::{SumWire, Trace};
 use marsit_compress::cascading::cascade_reduce_practical;
 use marsit_compress::compressor::{Compressor, EfSign, Ssdm};
 use marsit_compress::powersgd::{orthonormalize_columns, PowerSgd as PowerSgdState};
-use marsit_core::{Marsit, MarsitConfig, MarsitSnapshot, SyncSchedule};
+use marsit_core::{Marsit, MarsitConfig, MarsitSnapshot, SyncSchedule, WorkspaceHandle};
 use marsit_simnet::{Backend, FaultPlan, FaultStats, Topology};
 use marsit_tensor::rng::{split_seed, FastRng};
 use marsit_tensor::SignVec;
@@ -337,6 +337,26 @@ impl Synchronizer {
                 n <= 1,
                 "intra-round threads are only supported for the Marsit strategy"
             ),
+        }
+    }
+
+    /// Detaches the Marsit round workspace for pooling (see
+    /// [`marsit_core::WorkspaceHandle`]); `None` for every other strategy,
+    /// which keeps no poolable scratch.
+    #[must_use]
+    pub fn release_workspace(&mut self) -> Option<WorkspaceHandle> {
+        match &mut self.state {
+            State::Marsit(marsit) => Some(marsit.release_workspace()),
+            _ => None,
+        }
+    }
+
+    /// Installs a pooled Marsit round workspace; a no-op (the handle is
+    /// dropped) for every other strategy. Never changes an output bit —
+    /// see [`marsit_core::WorkspaceHandle`].
+    pub fn adopt_workspace(&mut self, handle: WorkspaceHandle) {
+        if let State::Marsit(marsit) = &mut self.state {
+            marsit.adopt_workspace(handle);
         }
     }
 

@@ -449,6 +449,28 @@ impl TrainerState {
         &self.records
     }
 
+    /// Model dimension `d` (the workspace-pool key component).
+    #[must_use]
+    pub fn model_dim(&self) -> usize {
+        self.d
+    }
+
+    /// Detaches the synchronizer's round workspace for pooling; `None` for
+    /// strategies without poolable scratch. Preemption-safe at any round
+    /// boundary and never changes an output bit — see
+    /// [`marsit_core::WorkspaceHandle`].
+    #[must_use]
+    pub fn release_workspace(&mut self) -> Option<marsit_core::WorkspaceHandle> {
+        self.sync.release_workspace()
+    }
+
+    /// Installs a pooled round workspace (a no-op for strategies without
+    /// poolable scratch). Bit-exactness is unaffected whatever the handle
+    /// previously served.
+    pub fn adopt_workspace(&mut self, handle: marsit_core::WorkspaceHandle) {
+        self.sync.adopt_workspace(handle);
+    }
+
     /// Whether every replica currently holds bit-identical parameters (the
     /// MAR consensus invariant).
     #[must_use]

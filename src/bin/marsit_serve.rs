@@ -1,0 +1,167 @@
+//! Marsit-as-a-service front end.
+//!
+//! Reads a submission queue of job-spec lines (one `key=value` line per
+//! job — see `JobSpec::parse_line`) from a file or stdin, serves them
+//! through the sharded scheduler, and prints one summary row per finished
+//! job plus server-level throughput, pool, and migration counters.
+//!
+//! ```text
+//! cargo run --release --bin marsit_serve -- jobs.txt \
+//!     [--shards N] [--tick ROUNDS] [--migrate none|balance|seeded:SEED:PERMILLE] \
+//!     [--verify] [--out PATH]
+//! ```
+//!
+//! `--verify` re-runs every job solo after serving and hard-fails unless
+//! the served report and telemetry log are byte-identical — the scheduler's
+//! bit-exactness guarantee, checked end to end.
+
+use std::io::Read as _;
+use std::time::Instant;
+
+use marsit::serve::{
+    quantile_ns, verify_outcome, JobServer, JobSpec, MigrationPolicy, ServeConfig,
+};
+
+fn parse_migration(value: &str) -> Result<MigrationPolicy, String> {
+    if value == "none" {
+        return Ok(MigrationPolicy::None);
+    }
+    if value == "balance" {
+        return Ok(MigrationPolicy::LoadBalance { skew: 2 });
+    }
+    if let Some(rest) = value.strip_prefix("seeded:") {
+        let (seed, per_mille) = rest
+            .split_once(':')
+            .ok_or_else(|| format!("bad --migrate (expected seeded:SEED:PERMILLE): {value}"))?;
+        let seed = seed.parse().map_err(|_| format!("bad seed: {seed}"))?;
+        let per_mille = per_mille
+            .parse()
+            .map_err(|_| format!("bad per-mille: {per_mille}"))?;
+        return Ok(MigrationPolicy::Seeded { seed, per_mille });
+    }
+    Err(format!(
+        "unknown --migrate policy (none|balance|seeded:SEED:PERMILLE): {value}"
+    ))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut input: Option<String> = None;
+    let mut shards = 4usize;
+    let mut tick = 4usize;
+    let mut migration = MigrationPolicy::None;
+    let mut verify = false;
+    let mut out_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--shards" => {
+                i += 1;
+                shards = args[i].parse().expect("--shards N");
+            }
+            "--tick" => {
+                i += 1;
+                tick = args[i].parse().expect("--tick ROUNDS");
+            }
+            "--migrate" => {
+                i += 1;
+                migration = parse_migration(&args[i]).unwrap_or_else(|e| panic!("{e}"));
+            }
+            "--verify" => verify = true,
+            "--out" => {
+                i += 1;
+                out_path = Some(args[i].clone());
+            }
+            flag if flag.starts_with("--") => panic!("unknown flag: {flag}"),
+            path => input = Some(path.to_string()),
+        }
+        i += 1;
+    }
+
+    let queue = match input.as_deref() {
+        Some(path) => std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read job queue {path}: {e}")),
+        None => {
+            let mut text = String::new();
+            std::io::stdin()
+                .read_to_string(&mut text)
+                .expect("read job queue from stdin");
+            text
+        }
+    };
+    let specs: Vec<JobSpec> = queue
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| JobSpec::parse_line(l).unwrap_or_else(|e| panic!("bad job spec: {e}")))
+        .collect();
+    assert!(!specs.is_empty(), "job queue is empty");
+
+    let mut cfg = ServeConfig::new(shards);
+    cfg.tick_rounds = tick.max(1);
+    cfg.migration = migration;
+    eprintln!(
+        "marsit_serve: {} jobs over {} shards (tick {} rounds, migration {:?})",
+        specs.len(),
+        cfg.shards,
+        cfg.tick_rounds,
+        cfg.migration
+    );
+
+    let wall = Instant::now();
+    let mut handle = JobServer::start(cfg);
+    for spec in specs {
+        handle.submit(spec);
+    }
+    let report = handle.finish();
+    let wall_s = wall.elapsed().as_secs_f64();
+
+    let mut lines = String::new();
+    lines.push_str("name          rounds  shards(path)      migr  final_loss\n");
+    for outcome in &report.outcomes {
+        let path: Vec<String> = outcome.shard_path.iter().map(usize::to_string).collect();
+        let loss = outcome
+            .report
+            .records
+            .last()
+            .map_or(f64::NAN, |r| r.train_loss);
+        lines.push_str(&format!(
+            "{:<13} {:>6}  {:<17} {:>4}  {:.6}\n",
+            outcome.spec.name,
+            outcome.spec.rounds,
+            path.join("->"),
+            outcome.migrations,
+            loss
+        ));
+    }
+    let lat = report.round_latencies_sorted();
+    let pool = report.pool_stats();
+    lines.push_str(&format!(
+        "served {} jobs in {:.2}s ({:.1} jobs/s) | peak {} in flight | \
+         round p50/p99 {:.1}/{:.1} us | pool hits {}/{} | migrations {}\n",
+        report.outcomes.len(),
+        wall_s,
+        report.outcomes.len() as f64 / wall_s,
+        report.peak_in_flight,
+        quantile_ns(&lat, 0.5) as f64 / 1e3,
+        quantile_ns(&lat, 0.99) as f64 / 1e3,
+        pool.hits,
+        pool.hits + pool.misses,
+        report.migration_samples().len(),
+    ));
+    print!("{lines}");
+    if let Some(path) = out_path {
+        std::fs::write(&path, &lines).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    }
+
+    if verify {
+        eprintln!("marsit_serve: verifying bit-exactness against solo runs...");
+        for outcome in &report.outcomes {
+            verify_outcome(outcome).unwrap_or_else(|e| panic!("BIT-EXACTNESS VIOLATION: {e}"));
+        }
+        eprintln!(
+            "marsit_serve: all {} jobs byte-identical to solo runs",
+            report.outcomes.len()
+        );
+    }
+}

@@ -48,12 +48,14 @@
 //! | [`simnet`] | `marsit-simnet` | topologies, α–β link model, phase accounting |
 //! | [`tensor`] | `marsit-tensor` | dense tensors, bit-packed sign vectors, RNG |
 //! | [`telemetry`] | `marsit-telemetry` | deterministic event tracing, metrics, run reports |
+//! | [`serve`] | `marsit-serve` | sharded multi-job scheduler with bit-exact migration |
 
 pub use marsit_collectives as collectives;
 pub use marsit_compress as compress;
 pub use marsit_core as core;
 pub use marsit_datagen as datagen;
 pub use marsit_models as models;
+pub use marsit_serve as serve;
 pub use marsit_simnet as simnet;
 pub use marsit_telemetry as telemetry;
 pub use marsit_tensor as tensor;

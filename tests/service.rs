@@ -1,0 +1,247 @@
+//! The job server's bit-exactness guarantee, attacked from every angle.
+//!
+//! The scheduler's contract is absolute: no matter how jobs are mixed onto
+//! shards, how often they are preempted, how many times they migrate, or
+//! whose recycled workspace they adopt, every job's final report and
+//! telemetry log must be **byte-identical** to a solo run of the same spec
+//! on a dedicated thread. These tests drive random job mixes, shard counts,
+//! and seeded preemption/migration schedules through the server and verify
+//! exactly that — plus the crash-mid-migration path, where a written
+//! snapshot is restored on a different OS thread after the source state is
+//! gone.
+
+use marsit::models::Workload;
+use marsit::serve::{
+    run_solo, JobServer, JobSpec, MigrationPolicy, ServeConfig, WorkspaceKey, WorkspacePool,
+};
+use marsit::simnet::{FaultPlan, Topology};
+use marsit::telemetry::report::{parse_jsonl, strip_wall_clock};
+use marsit::telemetry::Telemetry;
+use marsit::trainsim::{TrainSnapshot, TrainerState};
+use proptest::prelude::*;
+
+/// A property-scale job: a few rounds on tiny data so each case stays fast.
+fn tiny_spec(name: &str, case: u64, shape: u64) -> JobSpec {
+    let (workload, topology) = match shape % 3 {
+        0 => (Workload::AlexNetMnist, Topology::ring(4)),
+        1 => (Workload::ResNet20Cifar10, Topology::torus(2, 2)),
+        _ => (Workload::AlexNetMnist, Topology::ring(8)),
+    };
+    let mut spec = JobSpec::new(name, workload, topology);
+    spec.rounds = 5;
+    spec.seed = case.wrapping_mul(0x9E37_79B9) ^ shape;
+    spec.train_examples = 128;
+    spec.test_examples = 32;
+    spec.k = if shape.is_multiple_of(2) {
+        Some(3)
+    } else {
+        None
+    };
+    if shape % 4 == 3 {
+        spec.fault_plan = FaultPlan::seeded(case ^ 0xFA_17).with_link_drop(0.05);
+    }
+    spec
+}
+
+proptest! {
+    /// Random (job mix × shard count × seeded preemption/migration
+    /// schedule): every job's report and telemetry log are byte-identical
+    /// to its solo run.
+    #[test]
+    fn served_jobs_are_byte_identical_to_solo_runs(
+        case in any::<u64>(),
+        jobs in 2usize..5,
+        shards in 1usize..4,
+        tick in 1usize..4,
+    ) {
+        let mut cfg = ServeConfig::new(shards);
+        cfg.tick_rounds = tick;
+        cfg.pool_cap_per_key = 2;
+        // An aggressive seeded schedule: roughly every other tick tries to
+        // move the job to a random other shard.
+        cfg.migration = MigrationPolicy::Seeded { seed: case, per_mille: 500 };
+        let mut handle = JobServer::start(cfg);
+        for i in 0..jobs {
+            handle.submit(tiny_spec(&format!("p{i}"), case, case >> 8 | i as u64));
+        }
+        let report = handle.finish();
+        prop_assert_eq!(report.outcomes.len(), jobs);
+        for outcome in &report.outcomes {
+            let solo = run_solo(&outcome.spec);
+            prop_assert_eq!(
+                format!("{:?}", outcome.report),
+                format!("{:?}", solo.report),
+                "report diverged for {} (migrations: {}, path {:?})",
+                outcome.spec.name, outcome.migrations, outcome.shard_path
+            );
+            prop_assert_eq!(
+                &outcome.log, &solo.log,
+                "telemetry bytes diverged for {}", outcome.spec.name
+            );
+            // Belt and braces: the stripped event streams (wall-clock
+            // fields zeroed) must also parse and compare equal.
+            let mut served = parse_jsonl(&outcome.log).expect("served log parses");
+            let mut solo_ev = parse_jsonl(&solo.log).expect("solo log parses");
+            strip_wall_clock(&mut served);
+            strip_wall_clock(&mut solo_ev);
+            prop_assert_eq!(served, solo_ev);
+        }
+    }
+}
+
+/// Crash mid-migration: the snapshot was written (the migration wire
+/// format — serialized snapshot JSON plus the job's telemetry handle and
+/// flushed log), and the shard that owned the live state died before the
+/// hand-off completed. A fresh OS thread — a stand-in for the surviving
+/// shard that picks the job back up, exactly the scheduler's send-failure
+/// recovery path — restores from the written bytes alone, adopts a dirty
+/// pooled workspace from a completely different job, and finishes the run.
+/// Report and concatenated log must match an uninterrupted solo run
+/// exactly.
+#[test]
+fn crash_mid_migration_restores_on_another_shard() {
+    let spec = {
+        let mut s = JobSpec::new("crashed", Workload::AlexNetMnist, Topology::ring(4));
+        s.rounds = 10;
+        s.seed = 77;
+        s.train_examples = 256;
+        s.test_examples = 64;
+        s.k = Some(4);
+        s
+    };
+    let solo = run_solo(&spec);
+
+    // Source shard: run 6 rounds, flush telemetry, write the snapshot.
+    let tel = Telemetry::recording();
+    let cfg = spec.to_train_config(tel.clone());
+    let mut state = TrainerState::new(&cfg);
+    for _ in 0..6 {
+        state.step();
+    }
+    let snapshot_json = state.snapshot().to_json();
+    let mut log = String::new();
+    tel.drain_events_jsonl_into(&mut log);
+    drop(state); // the crash: live trainer state and workspace are gone
+    drop(cfg);
+
+    // A dirty workspace from an unrelated job, waiting in the target
+    // shard's pool.
+    let mut pool = WorkspacePool::new(2);
+    {
+        let donor = {
+            let mut s = JobSpec::new("donor", Workload::AlexNetMnist, Topology::ring(4));
+            s.rounds = 3;
+            s.seed = 991;
+            s.train_examples = 128;
+            s.test_examples = 32;
+            s
+        };
+        let donor_cfg = donor.to_train_config(Telemetry::disabled());
+        let mut donor_state = TrainerState::new(&donor_cfg);
+        while !donor_state.is_done() {
+            donor_state.step();
+        }
+        let key = WorkspaceKey::new(donor_state.model_dim(), donor.topology);
+        let handle = donor_state.release_workspace().expect("marsit releases");
+        pool.checkin(key, handle);
+    }
+
+    // Target shard: restore on a different OS thread from the written
+    // bytes, adopt the dirty workspace, run to completion.
+    let spec2 = spec.clone();
+    let (report, log) = std::thread::spawn(move || {
+        let cfg = spec2.to_train_config(tel.clone());
+        let snapshot = TrainSnapshot::from_json(&snapshot_json).expect("snapshot parses");
+        let mut state = TrainerState::restore(&cfg, &snapshot);
+        let key = WorkspaceKey::new(state.model_dim(), spec2.topology);
+        let handle = pool.checkout(key).expect("donor workspace pooled");
+        state.adopt_workspace(handle);
+        let mut log = log;
+        while !state.is_done() {
+            state.step();
+        }
+        let report = state.finish();
+        tel.drain_events_jsonl_into(&mut log);
+        (report, log)
+    })
+    .join()
+    .expect("target shard thread");
+
+    assert_eq!(
+        format!("{report:?}"),
+        format!("{:?}", solo.report),
+        "crash-recovered report must match the uninterrupted run"
+    );
+    assert_eq!(
+        log, solo.log,
+        "concatenated telemetry across the crash must be byte-identical"
+    );
+}
+
+/// Adopting a workspace dirtied by a different shape (same d, different
+/// worker count / topology class is a different key, so same-key here) and
+/// by a job with different data never changes an output bit.
+#[test]
+fn adopted_dirty_workspace_is_bit_invisible() {
+    let mk = |name: &str, seed: u64| {
+        let mut s = JobSpec::new(name, Workload::AlexNetMnist, Topology::ring(4));
+        s.rounds = 6;
+        s.seed = seed;
+        s.train_examples = 128;
+        s.test_examples = 32;
+        s
+    };
+    // Reference: job B from a cold workspace.
+    let reference = run_solo(&mk("b", 5));
+
+    // Job A runs first and donates its workspace; B adopts it mid-pool.
+    let a_cfg = mk("a", 1).to_train_config(Telemetry::disabled());
+    let mut a = TrainerState::new(&a_cfg);
+    while !a.is_done() {
+        a.step();
+    }
+    let handle = a.release_workspace().expect("marsit releases");
+
+    let spec_b = mk("b", 5);
+    let tel = Telemetry::recording();
+    let b_cfg = spec_b.to_train_config(tel.clone());
+    let mut b = TrainerState::new(&b_cfg);
+    b.adopt_workspace(handle);
+    while !b.is_done() {
+        b.step();
+    }
+    let report = b.finish();
+    let mut log = String::new();
+    tel.drain_events_jsonl_into(&mut log);
+
+    assert_eq!(format!("{report:?}"), format!("{:?}", reference.report));
+    assert_eq!(log, reference.log);
+}
+
+/// The batched (per-tick) telemetry flush produces the same bytes as any
+/// other flush cadence — here, per-round flushing vs one final drain.
+#[test]
+fn flush_cadence_never_changes_the_bytes() {
+    let spec = {
+        let mut s = JobSpec::new("cadence", Workload::AlexNetMnist, Topology::ring(4));
+        s.rounds = 6;
+        s.seed = 13;
+        s.train_examples = 128;
+        s.test_examples = 32;
+        s
+    };
+    // Per-round flushes, concatenated.
+    let tel = Telemetry::recording();
+    let cfg = spec.to_train_config(tel.clone());
+    let mut state = TrainerState::new(&cfg);
+    let mut per_round = String::new();
+    while !state.is_done() {
+        state.step();
+        tel.drain_events_jsonl_into(&mut per_round);
+    }
+    let _ = state.finish();
+    tel.drain_events_jsonl_into(&mut per_round);
+
+    let one_drain = run_solo(&spec).log;
+    assert_eq!(per_round, one_drain);
+}
