@@ -14,6 +14,13 @@
 //!   (report and telemetry log); **any violation aborts the benchmark**,
 //!   so a committed JSON is itself proof the scheduler never perturbed a
 //!   single output bit;
+//! - `recovery` — the crash-safety trajectory point: the same burst is
+//!   served once plain and once with a durable `marsit-journal/1` log
+//!   (their wall ratio is the journal overhead, asserted ≤ 1.25× in full
+//!   mode), then the journal is torn at ~60% of its bytes and replayed
+//!   (records/s), one resumable job is restored and stepped
+//!   (time-to-first-resumed-round), and the recovered serve is
+//!   re-verified bit-exact;
 //! - `meta` — run provenance.
 //!
 //! The storm is a seeded Poisson process: an initial burst saturates the
@@ -28,12 +35,18 @@
 //! `--fast` shrinks the job count and round budgets for CI smoke runs; the
 //! JSON schema is identical in both modes (`"mode"` records which ran).
 
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use marsit_models::Workload;
-use marsit_serve::{quantile_ns, verify_outcome, JobServer, JobSpec, MigrationPolicy, ServeConfig};
+use marsit_serve::{
+    plan_from_replay, quantile_ns, replay_bytes, verify_outcome, verify_recovered, JobServer,
+    JobSpec, JournalWriter, MigrationPolicy, ServeConfig,
+};
 use marsit_simnet::{FaultPlan, Topology};
+use marsit_telemetry::Telemetry;
 use marsit_tensor::rng::FastRng;
+use marsit_trainsim::{TrainSnapshot, TrainerState};
 
 struct Sizes {
     mode: &'static str,
@@ -48,7 +61,7 @@ const FULL: Sizes = Sizes {
     mode: "full",
     jobs: 24,
     burst: 10,
-    rounds: 16,
+    rounds: 24,
     shards: 4,
     arrival_mean_ms: 30.0,
 };
@@ -220,6 +233,157 @@ fn main() {
         verify_wall.elapsed().as_secs_f64()
     );
 
+    // --- Recovery: journal overhead, torn-tail replay, resume latency. ---
+    //
+    // Arrival sleeps would drown the journal cost, so both overhead runs
+    // burst-submit everything and measure pure serving wall time. The
+    // overhead pair runs the untouched default serving config (steady
+    // state: 4-round ticks, a snapshot every 4 ticks), interleaved and
+    // median-of-5 (3 in fast mode) because this box may be a single noisy
+    // core whose baseline wanders between repetitions; a separate
+    // snapshot-every-tick run then produces the snapshot-rich journal the
+    // tear/replay measurements need.
+    let burst_serve = |journal: Option<Arc<Mutex<JournalWriter>>>, cfg: ServeConfig| {
+        let wall = Instant::now();
+        let mut handle = match journal {
+            Some(journal) => JobServer::start_journaled(cfg, journal),
+            None => JobServer::start(cfg),
+        };
+        for spec in &specs {
+            handle.submit(spec.clone());
+        }
+        let report = handle.finish();
+        assert_eq!(report.outcomes.len(), sizes.jobs);
+        wall.elapsed().as_secs_f64()
+    };
+    let journal_dir = std::env::temp_dir().join(format!("marsit-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&journal_dir).expect("create journal scratch dir");
+    let journal_path = journal_dir.join("service.journal");
+    let mut plain_walls = Vec::new();
+    let mut journaled_walls = Vec::new();
+    let overhead_reps = if sizes.mode == "full" { 5 } else { 3 };
+    for _ in 0..overhead_reps {
+        plain_walls.push(burst_serve(None, ServeConfig::new(sizes.shards)));
+        let writer = JournalWriter::create(&journal_path).expect("create journal");
+        journaled_walls.push(burst_serve(
+            Some(Arc::new(Mutex::new(writer))),
+            ServeConfig::new(sizes.shards),
+        ));
+    }
+    let median_wall = |walls: &mut Vec<f64>| {
+        walls.sort_by(f64::total_cmp);
+        walls[walls.len() / 2]
+    };
+    let plain_wall_s = median_wall(&mut plain_walls);
+    let journaled_wall_s = median_wall(&mut journaled_walls);
+    let journal_overhead = journaled_wall_s / plain_wall_s.max(1e-9);
+    let journal_bytes_full = std::fs::metadata(&journal_path)
+        .expect("stat journal")
+        .len();
+    println!(
+        "recovery: journal overhead {journal_overhead:.3}x at the default serving config \
+         ({journaled_wall_s:.3}s journaled vs {plain_wall_s:.3}s plain, {journal_bytes_full} bytes)"
+    );
+    let overhead_cap = if sizes.mode == "full" { 1.25 } else { 3.0 };
+    assert!(
+        journal_overhead <= overhead_cap,
+        "journal overhead {journal_overhead:.3}x exceeds the {overhead_cap}x budget"
+    );
+
+    // A snapshot-every-tick journal for the crash-replay measurements:
+    // maximum snapshot density so a tear anywhere lands between snapshots.
+    let rich_path = journal_dir.join("service-rich.journal");
+    let writer = JournalWriter::create(&rich_path).expect("create rich journal");
+    let mut rich_cfg = ServeConfig::new(sizes.shards);
+    rich_cfg.tick_rounds = 2;
+    rich_cfg.snapshot_every_ticks = 1;
+    burst_serve(Some(Arc::new(Mutex::new(writer))), rich_cfg);
+    let journal_path = rich_path;
+
+    // Tear the journal at ~60% of its bytes — a mid-storm kill — and
+    // replay the valid prefix.
+    let bytes = std::fs::read(&journal_path).expect("read journal");
+    let cut = bytes.len() * 6 / 10;
+    let replay_wall = Instant::now();
+    let replay = replay_bytes(&bytes[..cut]);
+    let replay_s = replay_wall.elapsed().as_secs_f64();
+    let replay_records = replay.records.len();
+    let replay_records_per_sec = replay_records as f64 / replay_s.max(1e-9);
+    let plan = plan_from_replay(&replay);
+    println!(
+        "recovery: torn at byte {cut}/{}: {replay_records} records replayed in {:.2}ms \
+         ({replay_records_per_sec:.0} records/s) -> {} completed, {} resumable, {} fresh",
+        bytes.len(),
+        replay_s * 1e3,
+        plan.completed.len(),
+        plan.resumes.len(),
+        plan.fresh.len(),
+    );
+    assert!(
+        !plan.resumes.is_empty(),
+        "a 60% tear of a snapshot-every-tick journal must leave resumable jobs"
+    );
+
+    // Time-to-first-resumed-round: parse the snapshot, rebuild trainer
+    // state, and step one round — the latency floor of crash recovery.
+    let resume = &plan.resumes[0];
+    let resume_wall = Instant::now();
+    let tel = Telemetry::recording();
+    tel.restore_seq_floor(resume.tel_seq);
+    let train_cfg = resume.spec.to_train_config(tel);
+    let snapshot = TrainSnapshot::from_json(&resume.snapshot_json).expect("journaled snapshot");
+    let mut state = TrainerState::restore(&train_cfg, &snapshot);
+    state.step();
+    let first_round_ms = resume_wall.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "recovery: time to first resumed round {first_round_ms:.2}ms (job {})",
+        resume.spec.name
+    );
+
+    // Finish the recovery end-to-end and re-verify every byte.
+    std::fs::write(&journal_path, &bytes[..cut]).expect("truncate journal");
+    let torn = replay_bytes(&std::fs::read(&journal_path).expect("reread journal"));
+    let writer = JournalWriter::resume(&journal_path, &torn).expect("resume journal");
+    let mut cfg = ServeConfig::new(sizes.shards);
+    cfg.tick_rounds = 2;
+    cfg.snapshot_every_ticks = 1;
+    let mut handle = JobServer::start_journaled(cfg, Arc::new(Mutex::new(writer)));
+    let resumed_jobs = plan.resumes.len();
+    for resume in plan.resumes {
+        handle.submit_resume(resume);
+    }
+    for spec in plan.fresh {
+        handle.submit(spec);
+    }
+    let recovered = handle.finish();
+    let mut recovered_violations = 0usize;
+    for outcome in &plan.completed {
+        if let Err(e) = verify_recovered(outcome) {
+            recovered_violations += 1;
+            eprintln!("RECOVERY BIT-EXACTNESS VIOLATION: {e}");
+        }
+    }
+    for outcome in &recovered.outcomes {
+        if let Err(e) = verify_outcome(outcome) {
+            recovered_violations += 1;
+            eprintln!("RECOVERY BIT-EXACTNESS VIOLATION: {e}");
+        }
+    }
+    assert_eq!(
+        plan.completed.len() + recovered.outcomes.len(),
+        sizes.jobs,
+        "every job must be accounted for across the simulated crash"
+    );
+    assert_eq!(
+        recovered_violations, 0,
+        "crash recovery perturbed {recovered_violations} job(s); refusing to write {out_path}"
+    );
+    println!(
+        "recovery: {}/{} jobs byte-identical after the torn-journal restart",
+        sizes.jobs, sizes.jobs
+    );
+    std::fs::remove_dir_all(&journal_dir).ok();
+
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let git_stamp = git_describe();
     if git_stamp.ends_with("-dirty") {
@@ -271,6 +435,15 @@ fn main() {
   "exactness": {{
     "jobs_verified": {jobs},
     "violations": 0
+  }},
+  "recovery": {{
+    "journal_overhead_ratio": {journal_overhead:.3},
+    "journal_bytes": {journal_bytes_full},
+    "replay_records": {replay_records},
+    "replay_records_per_sec": {replay_records_per_sec:.0},
+    "time_to_first_resumed_round_ms": {first_round_ms:.3},
+    "resumed_jobs": {resumed_jobs},
+    "recovered_violations": 0
   }},
   "meta": {{
     "host_cores": {cores},

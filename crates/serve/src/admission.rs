@@ -1,0 +1,399 @@
+//! Spec-driven admission control: per-tenant token buckets and
+//! backpressure.
+//!
+//! The server front door decides, *before* a [`JobSpec`] touches a shard
+//! or the journal, whether the submitting tenant may run it now. Two
+//! budgets apply per tenant:
+//!
+//! - **job slots** — a cap on concurrently in-flight jobs, released when a
+//!   job completes;
+//! - **round budget** — a token bucket in units of training rounds
+//!   (capacity `round_budget`, refilled at `rounds_per_sec`), debited by
+//!   `spec.rounds` at admission. A 100-round job costs ten times what a
+//!   10-round job costs, so one tenant cannot starve the shards with a
+//!   few enormous submissions while staying under its job-slot cap.
+//!
+//! On top of tenant quotas sits a server-wide bounded queue: at most
+//! `queue_cap` jobs in flight across all tenants. Every rejection is a
+//! typed [`AdmissionError`] carrying a `retry_after_ms` hint — admission
+//! **never panics**, and the CLI renders rejections as per-line
+//! diagnostics with a nonzero exit code.
+//!
+//! Time is passed in explicitly (`now_ms`) so refill behavior is exactly
+//! testable; the CLI feeds it a monotonic clock.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::spec::JobSpec;
+
+/// Per-tenant admission limits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantQuota {
+    /// Maximum concurrently in-flight jobs (0 = reject everything).
+    pub max_in_flight: usize,
+    /// Round-bucket capacity: the largest burst of rounds admissible at
+    /// once. A spec with `rounds` above this can never be admitted.
+    pub round_budget: f64,
+    /// Bucket refill rate, rounds per second.
+    pub rounds_per_sec: f64,
+}
+
+impl TenantQuota {
+    /// Effectively-unlimited quota (the default for unlisted tenants).
+    #[must_use]
+    pub fn unlimited() -> Self {
+        Self {
+            max_in_flight: usize::MAX,
+            round_budget: f64::INFINITY,
+            rounds_per_sec: f64::INFINITY,
+        }
+    }
+}
+
+/// Fallback retry hint when the wait is not computable from a refill rate
+/// (job-slot and queue-cap rejections clear when some job finishes, which
+/// admission cannot predict).
+const RETRY_HINT_MS: u64 = 250;
+
+/// Typed admission rejections. Every variant carries `retry_after_ms`:
+/// when to retry (`u64::MAX` = never; the spec can never be admitted
+/// under the current quota).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdmissionError {
+    /// The tenant is at its concurrent-job cap.
+    TenantJobsExceeded {
+        /// Offending tenant.
+        tenant: String,
+        /// Jobs the tenant has in flight.
+        in_flight: usize,
+        /// The tenant's cap.
+        limit: usize,
+        /// Suggested retry delay.
+        retry_after_ms: u64,
+    },
+    /// The tenant's round bucket cannot cover the spec's round budget.
+    RoundBudgetExhausted {
+        /// Offending tenant.
+        tenant: String,
+        /// Rounds the spec asked for.
+        requested: usize,
+        /// Rounds currently in the bucket.
+        available: f64,
+        /// Time until the bucket holds `requested` rounds (`u64::MAX`
+        /// when `requested` exceeds the bucket capacity outright).
+        retry_after_ms: u64,
+    },
+    /// The server-wide bounded queue is full (backpressure).
+    QueueFull {
+        /// Jobs in flight across all tenants.
+        in_flight: usize,
+        /// The server-wide cap.
+        cap: usize,
+        /// Suggested retry delay.
+        retry_after_ms: u64,
+    },
+}
+
+impl AdmissionError {
+    /// The rejection's retry hint, milliseconds.
+    #[must_use]
+    pub fn retry_after_ms(&self) -> u64 {
+        match self {
+            Self::TenantJobsExceeded { retry_after_ms, .. }
+            | Self::RoundBudgetExhausted { retry_after_ms, .. }
+            | Self::QueueFull { retry_after_ms, .. } => *retry_after_ms,
+        }
+    }
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::TenantJobsExceeded {
+                tenant,
+                in_flight,
+                limit,
+                retry_after_ms,
+            } => write!(
+                f,
+                "tenant {tenant:?} is at its job cap ({in_flight}/{limit} in flight); \
+                 retry in {retry_after_ms}ms"
+            ),
+            Self::RoundBudgetExhausted {
+                tenant,
+                requested,
+                available,
+                retry_after_ms,
+            } => {
+                if *retry_after_ms == u64::MAX {
+                    write!(
+                        f,
+                        "tenant {tenant:?} round budget can never cover {requested} rounds \
+                         (bucket capacity {available:.0})"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "tenant {tenant:?} round budget exhausted ({available:.1} of \
+                         {requested} rounds available); retry in {retry_after_ms}ms"
+                    )
+                }
+            }
+            Self::QueueFull {
+                in_flight,
+                cap,
+                retry_after_ms,
+            } => write!(
+                f,
+                "server queue full ({in_flight}/{cap} jobs in flight); \
+                 retry in {retry_after_ms}ms"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+#[derive(Debug)]
+struct TenantState {
+    in_flight: usize,
+    tokens: f64,
+    last_refill_ms: u64,
+}
+
+/// The admission controller: tenant quotas plus the server-wide bounded
+/// queue. Deterministic given the `now_ms` values fed to it.
+#[derive(Debug, Default)]
+pub struct AdmissionController {
+    quotas: HashMap<String, TenantQuota>,
+    default_quota: Option<TenantQuota>,
+    state: HashMap<String, TenantState>,
+    queue_cap: Option<usize>,
+    total_in_flight: usize,
+    admitted: u64,
+    rejected: u64,
+}
+
+impl AdmissionController {
+    /// A controller that admits everything (no quotas, unbounded queue).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Caps total in-flight jobs across all tenants (backpressure).
+    pub fn set_queue_cap(&mut self, cap: usize) {
+        self.queue_cap = Some(cap);
+    }
+
+    /// Sets `tenant`'s quota. The bucket starts full.
+    pub fn set_quota(&mut self, tenant: impl Into<String>, quota: TenantQuota) {
+        self.quotas.insert(tenant.into(), quota);
+    }
+
+    /// Quota applied to tenants without an explicit [`Self::set_quota`]
+    /// entry (default: unlimited).
+    pub fn set_default_quota(&mut self, quota: TenantQuota) {
+        self.default_quota = Some(quota);
+    }
+
+    fn quota_for(&self, tenant: &str) -> TenantQuota {
+        self.quotas
+            .get(tenant)
+            .copied()
+            .or(self.default_quota)
+            .unwrap_or_else(TenantQuota::unlimited)
+    }
+
+    /// Decides whether `spec` may run now. On `Ok`, the job-slot and
+    /// round tokens are debited; pair every admitted job with exactly one
+    /// [`Self::on_complete`].
+    ///
+    /// # Errors
+    ///
+    /// A typed [`AdmissionError`]; the controller's state is unchanged on
+    /// rejection.
+    pub fn admit(&mut self, spec: &JobSpec, now_ms: u64) -> Result<(), AdmissionError> {
+        if let Some(cap) = self.queue_cap {
+            if self.total_in_flight >= cap {
+                self.rejected += 1;
+                return Err(AdmissionError::QueueFull {
+                    in_flight: self.total_in_flight,
+                    cap,
+                    retry_after_ms: RETRY_HINT_MS,
+                });
+            }
+        }
+        let quota = self.quota_for(&spec.tenant);
+        let state = self
+            .state
+            .entry(spec.tenant.clone())
+            .or_insert(TenantState {
+                in_flight: 0,
+                tokens: quota.round_budget,
+                last_refill_ms: now_ms,
+            });
+        // Refill before judging, so a long-idle tenant starts full.
+        if quota.rounds_per_sec.is_finite() && now_ms > state.last_refill_ms {
+            let dt_s = (now_ms - state.last_refill_ms) as f64 / 1e3;
+            state.tokens = (state.tokens + dt_s * quota.rounds_per_sec).min(quota.round_budget);
+        }
+        state.last_refill_ms = now_ms;
+
+        if state.in_flight >= quota.max_in_flight {
+            self.rejected += 1;
+            return Err(AdmissionError::TenantJobsExceeded {
+                tenant: spec.tenant.clone(),
+                in_flight: state.in_flight,
+                limit: quota.max_in_flight,
+                retry_after_ms: RETRY_HINT_MS,
+            });
+        }
+        let requested = spec.rounds as f64;
+        if quota.round_budget.is_finite() && state.tokens < requested {
+            let retry_after_ms = if requested > quota.round_budget {
+                u64::MAX
+            } else if quota.rounds_per_sec > 0.0 {
+                (((requested - state.tokens) / quota.rounds_per_sec) * 1e3).ceil() as u64
+            } else {
+                u64::MAX
+            };
+            let available = if retry_after_ms == u64::MAX && requested > quota.round_budget {
+                quota.round_budget
+            } else {
+                state.tokens
+            };
+            self.rejected += 1;
+            return Err(AdmissionError::RoundBudgetExhausted {
+                tenant: spec.tenant.clone(),
+                requested: spec.rounds,
+                available,
+                retry_after_ms,
+            });
+        }
+        if quota.round_budget.is_finite() {
+            state.tokens -= requested;
+        }
+        state.in_flight += 1;
+        self.total_in_flight += 1;
+        self.admitted += 1;
+        Ok(())
+    }
+
+    /// Releases the job slot an admitted job held. Round tokens are *not*
+    /// refunded — the work was done; only the refill rate earns them back.
+    pub fn on_complete(&mut self, tenant: &str) {
+        if let Some(state) = self.state.get_mut(tenant) {
+            state.in_flight = state.in_flight.saturating_sub(1);
+        }
+        self.total_in_flight = self.total_in_flight.saturating_sub(1);
+    }
+
+    /// `(admitted, rejected)` counters.
+    #[must_use]
+    pub fn counters(&self) -> (u64, u64) {
+        (self.admitted, self.rejected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marsit_models::Workload;
+    use marsit_simnet::Topology;
+
+    fn spec(name: &str, tenant: &str, rounds: usize) -> JobSpec {
+        let mut s = JobSpec::new(name, Workload::AlexNetMnist, Topology::ring(4));
+        s.tenant = tenant.to_string();
+        s.rounds = rounds;
+        s
+    }
+
+    #[test]
+    fn job_slots_cap_and_release() {
+        let mut ctrl = AdmissionController::new();
+        ctrl.set_quota(
+            "t",
+            TenantQuota {
+                max_in_flight: 2,
+                round_budget: f64::INFINITY,
+                rounds_per_sec: f64::INFINITY,
+            },
+        );
+        ctrl.admit(&spec("a", "t", 5), 0).unwrap();
+        ctrl.admit(&spec("b", "t", 5), 0).unwrap();
+        let err = ctrl.admit(&spec("c", "t", 5), 0).unwrap_err();
+        assert!(matches!(
+            err,
+            AdmissionError::TenantJobsExceeded {
+                in_flight: 2,
+                limit: 2,
+                ..
+            }
+        ));
+        assert!(err.retry_after_ms() > 0);
+        // Other tenants are unaffected; completion frees the slot.
+        ctrl.admit(&spec("d", "other", 5), 0).unwrap();
+        ctrl.on_complete("t");
+        ctrl.admit(&spec("c", "t", 5), 0).unwrap();
+        assert_eq!(ctrl.counters(), (4, 1));
+    }
+
+    #[test]
+    fn round_bucket_debits_and_refills_deterministically() {
+        let mut ctrl = AdmissionController::new();
+        ctrl.set_quota(
+            "t",
+            TenantQuota {
+                max_in_flight: usize::MAX,
+                round_budget: 20.0,
+                rounds_per_sec: 10.0,
+            },
+        );
+        ctrl.admit(&spec("a", "t", 15), 1_000).unwrap();
+        // 5 tokens left; a 10-round job must wait (10-5)/10 = 500ms.
+        let err = ctrl.admit(&spec("b", "t", 10), 1_000).unwrap_err();
+        let AdmissionError::RoundBudgetExhausted { retry_after_ms, .. } = err else {
+            panic!("expected budget rejection, got {err:?}");
+        };
+        assert_eq!(retry_after_ms, 500);
+        // Exactly 500ms later the bucket covers it.
+        ctrl.admit(&spec("b", "t", 10), 1_500).unwrap();
+        // A spec over bucket capacity can never be admitted.
+        let err = ctrl.admit(&spec("huge", "t", 21), 100_000).unwrap_err();
+        assert_eq!(err.retry_after_ms(), u64::MAX);
+    }
+
+    #[test]
+    fn queue_cap_applies_backpressure_across_tenants() {
+        let mut ctrl = AdmissionController::new();
+        ctrl.set_queue_cap(2);
+        ctrl.admit(&spec("a", "t1", 5), 0).unwrap();
+        ctrl.admit(&spec("b", "t2", 5), 0).unwrap();
+        assert!(matches!(
+            ctrl.admit(&spec("c", "t3", 5), 0),
+            Err(AdmissionError::QueueFull {
+                in_flight: 2,
+                cap: 2,
+                ..
+            })
+        ));
+        ctrl.on_complete("t1");
+        ctrl.admit(&spec("c", "t3", 5), 0).unwrap();
+    }
+
+    #[test]
+    fn rejections_display_and_never_panic() {
+        let mut ctrl = AdmissionController::new();
+        ctrl.set_default_quota(TenantQuota {
+            max_in_flight: 0,
+            round_budget: 0.0,
+            rounds_per_sec: 0.0,
+        });
+        let err = ctrl.admit(&spec("a", "anyone", 1), 0).unwrap_err();
+        assert!(err.to_string().contains("job cap"));
+        // Unknown-tenant completion is a no-op, not a panic.
+        ctrl.on_complete("nobody");
+    }
+}

@@ -1,0 +1,1402 @@
+//! The `marsit-journal/1` submission journal: crash-safe serving state.
+//!
+//! The journal is the durability half of the serving determinism contract.
+//! Every accepted [`JobSpec`], every periodic job snapshot (the same
+//! `marsit-checkpoint/1` JSON the migration path ships between shards),
+//! every migration, and every completed outcome is appended as one
+//! CRC-guarded ASCII line; after a `kill -9`, replaying the journal yields
+//! a [`ResumePlan`] from which the server reproduces every job's report
+//! and telemetry log byte-for-byte.
+//!
+//! One record per line, with header fields in the same hex-bit-pattern
+//! discipline as `marsit-checkpoint/1` and `marsit-wire/1`:
+//!
+//! ```text
+//! marsit-journal/1 <seq:16hex> <kind> <crc32:8hex> t<body-escaped>\n
+//! ```
+//!
+//! `seq` is the strictly-increasing record index, `kind` is one of
+//! `submit`/`snap`/`migrate`/`outcome`, and `crc32` is the IEEE CRC-32 of
+//! the raw (unescaped) body bytes. The body is UTF-8 text with `\`, `\n`,
+//! and `\r` escaped as `\\`, `\n`, `\r` (two characters each), so a record
+//! is always exactly one `\n`-terminated line no matter what a telemetry
+//! log contains. Snapshot bodies run to megabytes and are dominated by
+//! payloads that are *already* hex bit patterns (`marsit-checkpoint/1`
+//! JSON), so the body layer escapes rather than re-hex-encodes: the
+//! escaped form is byte-for-byte the raw body except at the three escaped
+//! characters, instead of twice its size. Torn-write detection stays
+//! trivial: replay stops at the first line that is truncated, fails its
+//! CRC, or breaks the sequence, and reports the byte offset the valid
+//! prefix ends at so the writer can truncate and resume appending.
+//!
+//! Durability batching: [`JournalWriter::append`] enqueues the encoded
+//! line to a dedicated writer thread; [`JournalWriter::commit`] requests a
+//! group commit (write + `fsync`) without blocking the serving thread —
+//! consecutive commit requests that pile up behind a large write coalesce
+//! into one `fsync`. The scheduler commits at shard-tick boundaries and
+//! immediately after each accepted submission. Dropping the writer drains
+//! the queue and syncs, so a clean shutdown is always fully durable; after
+//! a crash, whatever suffix had not reached the disk is exactly the torn
+//! tail the replay path truncates — recovery re-derives those rounds
+//! byte-identically from the last durable snapshot (or from the spec).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+
+use crate::scheduler::{report_fingerprint, run_solo};
+use crate::spec::JobSpec;
+
+/// Schema tag at the start of every journal record.
+pub const JOURNAL_SCHEMA: &str = "marsit-journal/1";
+
+/// IEEE CRC-32 (the ubiquitous reflected 0xEDB88320 polynomial),
+/// slicing-by-8, dependency-free. Snapshot records put megabytes through
+/// this per journal append, so the byte-at-a-time loop (one table lookup
+/// per byte, serialized through the crc register) is worth widening: eight
+/// tables let each iteration fold in 8 bytes with independent lookups.
+/// Check value: `crc32(b"123456789") == 0xCBF4_3926`.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    !crc32_update(!0u32, bytes)
+}
+
+/// Streaming form of [`crc32`]: folds `bytes` into a raw (pre-inverted)
+/// CRC state. `!crc32_update(!0, b)` equals `crc32(b)`, and chaining
+/// updates over slices equals one update over their concatenation — the
+/// encoder uses this to checksum a record body without materializing it.
+fn crc32_update(state: u32, bytes: &[u8]) -> u32 {
+    const fn tables() -> [[u32; 256]; 8] {
+        let mut t = [[0u32; 256]; 8];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            t[0][i] = c;
+            i += 1;
+        }
+        let mut slice = 1;
+        while slice < 8 {
+            let mut i = 0;
+            while i < 256 {
+                let prev = t[slice - 1][i];
+                t[slice][i] = t[0][(prev & 0xFF) as usize] ^ (prev >> 8);
+                i += 1;
+            }
+            slice += 1;
+        }
+        t
+    }
+    static TABLES: [[u32; 256]; 8] = tables();
+    let mut crc = state;
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let lo = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]) ^ crc;
+        let hi = u32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]);
+        crc = TABLES[7][(lo & 0xFF) as usize]
+            ^ TABLES[6][((lo >> 8) & 0xFF) as usize]
+            ^ TABLES[5][((lo >> 16) & 0xFF) as usize]
+            ^ TABLES[4][(lo >> 24) as usize]
+            ^ TABLES[3][(hi & 0xFF) as usize]
+            ^ TABLES[2][((hi >> 8) & 0xFF) as usize]
+            ^ TABLES[1][((hi >> 16) & 0xFF) as usize]
+            ^ TABLES[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = TABLES[0][((crc ^ u32::from(b)) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc
+}
+
+/// A periodic (or pre-migration) durability point for one in-flight job:
+/// everything a fresh process needs to resume it bit-exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotRecord {
+    /// Job name.
+    pub name: String,
+    /// Shard hosting the job when the snapshot was taken.
+    pub shard: usize,
+    /// Migrations survived so far.
+    pub migrations: u32,
+    /// Rounds completed (mirrors the snapshot JSON's own `round`).
+    pub round: u64,
+    /// The job's telemetry sequence floor at the snapshot: hop events
+    /// carry absolute sequence numbers, so a resumed job's fresh sink
+    /// must continue numbering here for byte-identical logs.
+    pub tel_seq: u64,
+    /// The `marsit-checkpoint/1` snapshot JSON.
+    pub snapshot_json: String,
+    /// The full telemetry log accumulated up to (and flushed at) the
+    /// snapshot point.
+    pub log: String,
+}
+
+/// A journaled final outcome: the report's exact `Debug` rendering (which
+/// is the bit-exactness fingerprint) plus the complete telemetry log.
+/// [`marsit_trainsim::TrainReport`] itself cannot cross a process or crash
+/// boundary, so this is the durable — and wire — form of a finished job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutcomeRecord {
+    /// Job name.
+    pub name: String,
+    /// Migrations survived.
+    pub migrations: u32,
+    /// Every shard that hosted the job, in order.
+    pub shard_path: Vec<usize>,
+    /// `format!("{report:?}")` of the final [`marsit_trainsim::TrainReport`].
+    pub report_debug: String,
+    /// Concatenated JSONL telemetry log.
+    pub log: String,
+}
+
+/// One `marsit-journal/1` record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalRecord {
+    /// A job was accepted into the server (durable before it runs).
+    Submit {
+        /// The accepted spec.
+        spec: JobSpec,
+    },
+    /// A periodic durability snapshot of an in-flight job.
+    Snapshot(SnapshotRecord),
+    /// A job moved between shards (audit trail; resume state comes from
+    /// the snapshot records that bracket it).
+    Migrate {
+        /// Job name.
+        name: String,
+        /// Source shard.
+        from: usize,
+        /// Destination shard.
+        to: usize,
+    },
+    /// A job finished.
+    Outcome(OutcomeRecord),
+}
+
+impl JournalRecord {
+    fn kind_tag(&self) -> &'static str {
+        match self {
+            Self::Submit { .. } => "submit",
+            Self::Snapshot(_) => "snap",
+            Self::Migrate { .. } => "migrate",
+            Self::Outcome(_) => "outcome",
+        }
+    }
+
+    /// The job name the record is about.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        match self {
+            Self::Submit { spec } => &spec.name,
+            Self::Snapshot(s) => &s.name,
+            Self::Migrate { name, .. } => name,
+            Self::Outcome(o) => &o.name,
+        }
+    }
+}
+
+/// Typed journal failures. Decoding and replay never panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalError {
+    /// The line does not start with `marsit-journal/…`.
+    BadMagic {
+        /// What was found instead.
+        found: String,
+    },
+    /// The schema tag names a version this decoder does not speak.
+    UnsupportedVersion {
+        /// The full schema tag found.
+        found: String,
+    },
+    /// The line ended before all five fields were present (a torn write).
+    Truncated,
+    /// The record kind is unknown.
+    UnknownKind {
+        /// The unrecognized kind tag.
+        found: String,
+    },
+    /// A fixed-width hex field is malformed.
+    BadHex {
+        /// Which field.
+        field: &'static str,
+    },
+    /// The body bytes do not match the recorded CRC (a torn or corrupted
+    /// write).
+    BadCrc {
+        /// CRC stored in the record.
+        recorded: u32,
+        /// CRC of the bytes actually present.
+        actual: u32,
+    },
+    /// The body decoded but its inner grammar is malformed.
+    BadBody {
+        /// What is wrong with it.
+        reason: String,
+    },
+    /// A spec cannot be rendered as a journal line (see
+    /// [`JobSpec::to_line`]).
+    Unrepresentable {
+        /// Why.
+        reason: String,
+    },
+    /// The backing file failed on the writer thread; the journal is
+    /// unusable from here on.
+    Io {
+        /// The latched I/O error message.
+        message: String,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadMagic { found } => write!(f, "bad journal magic {found:?}"),
+            Self::UnsupportedVersion { found } => {
+                write!(
+                    f,
+                    "unsupported journal version {found:?} (want {JOURNAL_SCHEMA:?})"
+                )
+            }
+            Self::Truncated => write!(f, "truncated journal record"),
+            Self::UnknownKind { found } => write!(f, "unknown journal record kind {found:?}"),
+            Self::BadHex { field } => write!(f, "malformed hex in journal field {field}"),
+            Self::BadCrc { recorded, actual } => {
+                write!(
+                    f,
+                    "journal CRC mismatch: recorded {recorded:08x}, actual {actual:08x}"
+                )
+            }
+            Self::BadBody { reason } => write!(f, "bad journal record body: {reason}"),
+            Self::Unrepresentable { reason } => {
+                write!(f, "unrepresentable journal record: {reason}")
+            }
+            Self::Io { message } => write!(f, "journal I/O failure: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+const HEX_DIGITS: &[u8; 16] = b"0123456789abcdef";
+
+fn push_hex(out: &mut String, bits: u64, nibbles: u32) {
+    for i in (0..nibbles).rev() {
+        out.push(HEX_DIGITS[((bits >> (4 * i)) & 0xF) as usize] as char);
+    }
+}
+
+/// Appends the body with `\`, `\n`, `\r` escaped as `\\`, `\n`, `\r`, so
+/// the record stays a single line. Clean runs copy in bulk: all three
+/// escaped bytes are ASCII and therefore always `char` boundaries. The
+/// scan is kept free of side effects so it vectorizes; snapshot bodies
+/// push megabytes through here with typically zero escapes.
+fn push_escaped_body(out: &mut String, body: &str) {
+    let mut rest = body;
+    loop {
+        let Some(i) = rest
+            .bytes()
+            .position(|b| matches!(b, b'\\' | b'\n' | b'\r'))
+        else {
+            out.push_str(rest);
+            return;
+        };
+        out.push_str(&rest[..i]);
+        out.push_str(match rest.as_bytes()[i] {
+            b'\\' => "\\\\",
+            b'\n' => "\\n",
+            _ => "\\r",
+        });
+        rest = &rest[i + 1..];
+    }
+}
+
+/// Reverses [`push_escaped_body`]. A trailing lone `\` or an unknown
+/// escape is a torn or corrupt record.
+fn unescape_body(escaped: &str) -> Result<String, JournalError> {
+    let bytes = escaped.as_bytes();
+    let mut out = String::with_capacity(escaped.len());
+    let mut start = 0;
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'\\' {
+            i += 1;
+            continue;
+        }
+        out.push_str(&escaped[start..i]);
+        let unescaped = match bytes.get(i + 1) {
+            Some(b'\\') => '\\',
+            Some(b'n') => '\n',
+            Some(b'r') => '\r',
+            _ => {
+                return Err(JournalError::BadBody {
+                    reason: "bad or truncated body escape".to_string(),
+                })
+            }
+        };
+        out.push(unescaped);
+        i += 2;
+        start = i;
+    }
+    out.push_str(&escaped[start..]);
+    Ok(out)
+}
+
+fn parse_hex_u64(s: &str, field: &'static str) -> Result<u64, JournalError> {
+    if s.len() != 16 && s.len() != 8 {
+        return Err(JournalError::BadHex { field });
+    }
+    u64::from_str_radix(s, 16).map_err(|_| JournalError::BadHex { field })
+}
+
+/// Encodes one record as its wire line (trailing `\n` included).
+///
+/// # Errors
+///
+/// [`JournalError::Unrepresentable`] when a submit record's spec cannot be
+/// rendered as a queue line (see [`JobSpec::to_line`]).
+pub fn encode_record(seq: u64, record: &JournalRecord) -> Result<String, JournalError> {
+    // Two streaming passes over the body pieces instead of materializing
+    // the body: snapshot payloads run to megabytes, and the intermediate
+    // String costs an allocation plus a full extra copy per record. Pass 1
+    // folds the raw bytes into the CRC (chained updates equal one update
+    // over the concatenation); pass 2 escapes each piece straight into the
+    // wire line (escaping is byte-local, so per-piece escaping equals
+    // escaping the concatenation).
+    let mut crc = !0u32;
+    let mut body_len = 0usize;
+    with_body_pieces(record, |piece| {
+        crc = crc32_update(crc, piece.as_bytes());
+        body_len += piece.len();
+    })?;
+    let mut line = String::with_capacity(JOURNAL_SCHEMA.len() + 48 + body_len);
+    line.push_str(JOURNAL_SCHEMA);
+    line.push(' ');
+    push_hex(&mut line, seq, 16);
+    line.push(' ');
+    line.push_str(record.kind_tag());
+    line.push(' ');
+    push_hex(&mut line, u64::from(!crc), 8);
+    line.push_str(" t");
+    with_body_pieces(record, |piece| push_escaped_body(&mut line, piece))?;
+    line.push('\n');
+    Ok(line)
+}
+
+/// Feeds the record body to `emit` as an ordered sequence of raw
+/// (unescaped) pieces whose concatenation is the body. Large payload
+/// fields are passed through by reference; only the small framing text
+/// around them is formatted.
+fn with_body_pieces(
+    record: &JournalRecord,
+    mut emit: impl FnMut(&str),
+) -> Result<(), JournalError> {
+    match record {
+        JournalRecord::Submit { spec } => {
+            let queue_line = spec
+                .to_line()
+                .map_err(|reason| JournalError::Unrepresentable { reason })?;
+            emit(&queue_line);
+        }
+        JournalRecord::Snapshot(s) => {
+            let mut head = format!(
+                "name={} shard={} migrations={} round={} tel_seq=",
+                s.name, s.shard, s.migrations, s.round
+            );
+            push_hex(&mut head, s.tel_seq, 16);
+            head.push_str(" snapshot=");
+            head.push_str(&s.snapshot_json.len().to_string());
+            head.push(':');
+            emit(&head);
+            emit(&s.snapshot_json);
+            emit(&format!(" log={}:", s.log.len()));
+            emit(&s.log);
+        }
+        JournalRecord::Migrate { name, from, to } => {
+            emit(&format!("name={name} from={from} to={to}"));
+        }
+        JournalRecord::Outcome(o) => {
+            let path = if o.shard_path.is_empty() {
+                "-".to_string()
+            } else {
+                o.shard_path
+                    .iter()
+                    .map(usize::to_string)
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            emit(&format!(
+                "name={} migrations={} path={} report={}:",
+                o.name,
+                o.migrations,
+                path,
+                o.report_debug.len()
+            ));
+            emit(&o.report_debug);
+            emit(&format!(" log={}:", o.log.len()));
+            emit(&o.log);
+        }
+    }
+    Ok(())
+}
+
+/// Decodes one journal line into `(seq, record)`.
+///
+/// # Errors
+///
+/// A typed [`JournalError`] for any malformed input; never panics.
+pub fn decode_line(line: &str) -> Result<(u64, JournalRecord), JournalError> {
+    let line = line.strip_suffix('\n').unwrap_or(line);
+    let mut fields = line.splitn(5, ' ');
+    let magic = fields.next().unwrap_or("");
+    if magic != JOURNAL_SCHEMA {
+        return if magic.starts_with("marsit-journal/") {
+            Err(JournalError::UnsupportedVersion {
+                found: magic.to_string(),
+            })
+        } else {
+            Err(JournalError::BadMagic {
+                found: magic.chars().take(32).collect(),
+            })
+        };
+    }
+    let seq = parse_hex_u64(fields.next().ok_or(JournalError::Truncated)?, "seq")?;
+    let kind = fields.next().ok_or(JournalError::Truncated)?.to_string();
+    let crc_text = fields.next().ok_or(JournalError::Truncated)?;
+    if crc_text.len() != 8 {
+        return Err(JournalError::BadHex { field: "crc" });
+    }
+    let recorded = parse_hex_u64(crc_text, "crc")? as u32;
+    let body_escaped = fields
+        .next()
+        .ok_or(JournalError::Truncated)?
+        .strip_prefix('t')
+        .ok_or(JournalError::BadBody {
+            reason: "missing t payload tag".to_string(),
+        })?;
+    let body = unescape_body(body_escaped)?;
+    let actual = crc32(body.as_bytes());
+    if actual != recorded {
+        return Err(JournalError::BadCrc { recorded, actual });
+    }
+    let record = decode_body(&kind, &body)?;
+    Ok((seq, record))
+}
+
+/// `len:payload` segment parser: returns `(payload, rest)`. Shared with
+/// the supervisor wire bodies, which embed the same free-text segments.
+pub(crate) fn take_len_prefixed<'a>(
+    s: &'a str,
+    field: &str,
+) -> Result<(&'a str, &'a str), JournalError> {
+    let (len, rest) = s.split_once(':').ok_or_else(|| JournalError::BadBody {
+        reason: format!("{field}: missing length prefix"),
+    })?;
+    let len: usize = len.parse().map_err(|_| JournalError::BadBody {
+        reason: format!("{field}: bad length {len:?}"),
+    })?;
+    let payload = rest.get(..len).ok_or_else(|| JournalError::BadBody {
+        reason: format!("{field}: body shorter than declared length {len}"),
+    })?;
+    Ok((payload, &rest[len..]))
+}
+
+fn kv<'a>(token: &'a str, key: &str) -> Result<&'a str, JournalError> {
+    token
+        .strip_prefix(key)
+        .and_then(|t| t.strip_prefix('='))
+        .ok_or_else(|| JournalError::BadBody {
+            reason: format!("expected {key}=..., found {token:?}"),
+        })
+}
+
+fn parse_usize(s: &str, field: &str) -> Result<usize, JournalError> {
+    s.parse().map_err(|_| JournalError::BadBody {
+        reason: format!("bad {field}: {s:?}"),
+    })
+}
+
+fn decode_body(kind: &str, body: &str) -> Result<JournalRecord, JournalError> {
+    match kind {
+        "submit" => JobSpec::parse_line(body)
+            .map(|spec| JournalRecord::Submit { spec })
+            .map_err(|reason| JournalError::BadBody { reason }),
+        "snap" => {
+            let (head, tail) =
+                body.split_once(" snapshot=")
+                    .ok_or_else(|| JournalError::BadBody {
+                        reason: "snap record missing snapshot segment".to_string(),
+                    })?;
+            let mut tokens = head.split_whitespace();
+            let mut next = |key: &'static str| {
+                tokens
+                    .next()
+                    .ok_or(JournalError::Truncated)
+                    .and_then(|t| kv(t, key).map(str::to_string))
+            };
+            let name = next("name")?;
+            let shard = parse_usize(&next("shard")?, "shard")?;
+            let migrations = parse_usize(&next("migrations")?, "migrations")? as u32;
+            let round = parse_usize(&next("round")?, "round")? as u64;
+            let tel_seq = parse_hex_u64(&next("tel_seq")?, "tel_seq")?;
+            let (snapshot_json, tail) = take_len_prefixed(tail, "snapshot")?;
+            let tail = tail
+                .strip_prefix(" log=")
+                .ok_or_else(|| JournalError::BadBody {
+                    reason: "snap record missing log segment".to_string(),
+                })?;
+            let (log, rest) = take_len_prefixed(tail, "log")?;
+            if !rest.is_empty() {
+                return Err(JournalError::BadBody {
+                    reason: format!("trailing bytes after snap record: {rest:?}"),
+                });
+            }
+            Ok(JournalRecord::Snapshot(SnapshotRecord {
+                name,
+                shard,
+                migrations,
+                round,
+                tel_seq,
+                snapshot_json: snapshot_json.to_string(),
+                log: log.to_string(),
+            }))
+        }
+        "migrate" => {
+            let mut tokens = body.split_whitespace();
+            let mut next = |key: &'static str| {
+                tokens
+                    .next()
+                    .ok_or(JournalError::Truncated)
+                    .and_then(|t| kv(t, key).map(str::to_string))
+            };
+            let name = next("name")?;
+            let from = parse_usize(&next("from")?, "from")?;
+            let to = parse_usize(&next("to")?, "to")?;
+            Ok(JournalRecord::Migrate { name, from, to })
+        }
+        "outcome" => {
+            let (head, tail) =
+                body.split_once(" report=")
+                    .ok_or_else(|| JournalError::BadBody {
+                        reason: "outcome record missing report segment".to_string(),
+                    })?;
+            let mut tokens = head.split_whitespace();
+            let mut next = |key: &'static str| {
+                tokens
+                    .next()
+                    .ok_or(JournalError::Truncated)
+                    .and_then(|t| kv(t, key).map(str::to_string))
+            };
+            let name = next("name")?;
+            let migrations = parse_usize(&next("migrations")?, "migrations")? as u32;
+            let path_text = next("path")?;
+            let shard_path = if path_text == "-" {
+                Vec::new()
+            } else {
+                path_text
+                    .split(',')
+                    .map(|p| parse_usize(p, "path"))
+                    .collect::<Result<Vec<_>, _>>()?
+            };
+            let (report_debug, tail) = take_len_prefixed(tail, "report")?;
+            let tail = tail
+                .strip_prefix(" log=")
+                .ok_or_else(|| JournalError::BadBody {
+                    reason: "outcome record missing log segment".to_string(),
+                })?;
+            let (log, rest) = take_len_prefixed(tail, "log")?;
+            if !rest.is_empty() {
+                return Err(JournalError::BadBody {
+                    reason: format!("trailing bytes after outcome record: {rest:?}"),
+                });
+            }
+            Ok(JournalRecord::Outcome(OutcomeRecord {
+                name,
+                migrations,
+                shard_path,
+                report_debug: report_debug.to_string(),
+                log: log.to_string(),
+            }))
+        }
+        other => Err(JournalError::UnknownKind {
+            found: other.to_string(),
+        }),
+    }
+}
+
+/// The result of scanning a journal byte stream: the decodable prefix.
+#[derive(Debug)]
+pub struct Replay {
+    /// Every record in the valid prefix, in journal order.
+    pub records: Vec<(u64, JournalRecord)>,
+    /// Byte length of the valid prefix — a resuming writer truncates the
+    /// file here before appending.
+    pub valid_len: usize,
+    /// The sequence number the next appended record must carry.
+    pub next_seq: u64,
+    /// Why scanning stopped before the end of the input, if it did (a
+    /// torn tail is expected after a crash, not an error).
+    pub torn: Option<String>,
+}
+
+/// Scans journal bytes, decoding records until the first torn or corrupt
+/// line. Never fails: a journal truncated at *any* byte yields the longest
+/// valid prefix (replay of which is a valid resume state).
+#[must_use]
+pub fn replay_bytes(bytes: &[u8]) -> Replay {
+    let mut records = Vec::new();
+    let mut valid_len = 0usize;
+    let mut next_seq = 0u64;
+    let mut torn = None;
+    let mut offset = 0usize;
+    while offset < bytes.len() {
+        let Some(nl) = bytes[offset..].iter().position(|&b| b == b'\n') else {
+            torn = Some("unterminated final line".to_string());
+            break;
+        };
+        let line_bytes = &bytes[offset..offset + nl + 1];
+        let line = match std::str::from_utf8(line_bytes) {
+            Ok(l) => l,
+            Err(e) => {
+                torn = Some(format!("non-UTF-8 line: {e}"));
+                break;
+            }
+        };
+        match decode_line(line) {
+            Ok((seq, record)) => {
+                if seq != next_seq {
+                    torn = Some(format!("sequence break: expected {next_seq}, found {seq}"));
+                    break;
+                }
+                records.push((seq, record));
+                next_seq += 1;
+                offset += nl + 1;
+                valid_len = offset;
+            }
+            Err(e) => {
+                torn = Some(e.to_string());
+                break;
+            }
+        }
+    }
+    Replay {
+        records,
+        valid_len,
+        next_seq,
+        torn,
+    }
+}
+
+/// Reads and scans a journal file (see [`replay_bytes`]).
+///
+/// # Errors
+///
+/// Only on I/O failure opening or reading the file; torn tails are
+/// reported inside the [`Replay`], not as errors.
+pub fn replay_file(path: &Path) -> std::io::Result<Replay> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    Ok(replay_bytes(&bytes))
+}
+
+/// A finished job recovered from the journal (or received over the
+/// supervisor wire): everything [`verify_recovered`] needs to prove the
+/// crash changed no output bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveredOutcome {
+    /// The spec the job ran under.
+    pub spec: JobSpec,
+    /// `Debug` fingerprint of the final report.
+    pub report_debug: String,
+    /// Full telemetry log.
+    pub log: String,
+    /// Migrations survived.
+    pub migrations: u32,
+    /// Shards that hosted the job (empty when unknown).
+    pub shard_path: Vec<usize>,
+}
+
+/// An in-flight job recovered from its last journaled snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResumeJob {
+    /// The spec the job runs under.
+    pub spec: JobSpec,
+    /// `marsit-checkpoint/1` snapshot JSON to restore from.
+    pub snapshot_json: String,
+    /// Telemetry log accumulated up to the snapshot.
+    pub log: String,
+    /// Telemetry sequence floor at the snapshot (see
+    /// [`marsit_telemetry::Telemetry::restore_seq_floor`]).
+    pub tel_seq: u64,
+    /// Migrations survived before the snapshot.
+    pub migrations: u32,
+}
+
+/// What a restarted server does with each journaled job.
+#[derive(Debug, Default)]
+pub struct ResumePlan {
+    /// Jobs whose outcome record landed: nothing to re-run.
+    pub completed: Vec<RecoveredOutcome>,
+    /// Jobs with a snapshot but no outcome: restore and finish.
+    pub resumes: Vec<ResumeJob>,
+    /// Jobs submitted but never snapshotted: run from scratch.
+    pub fresh: Vec<JobSpec>,
+    /// Names of snap/migrate/outcome records whose submit record is
+    /// missing (possible only with a corrupted head; surfaced, not
+    /// silently dropped).
+    pub orphaned: Vec<String>,
+}
+
+/// Replay state: a pure, idempotent fold over journal records. Applying
+/// the same journal twice yields the same [`ResumePlan`] as applying it
+/// once — the property the recovery proptests pin.
+#[derive(Debug, Default)]
+pub struct ReplayState {
+    jobs: BTreeMap<String, JobReplay>,
+    orphaned: Vec<String>,
+}
+
+#[derive(Debug, Default)]
+struct JobReplay {
+    spec: Option<JobSpec>,
+    snap: Option<SnapshotRecord>,
+    outcome: Option<OutcomeRecord>,
+}
+
+impl ReplayState {
+    /// Empty state (no journal yet).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one record in. Idempotent: re-applying a record the state
+    /// already reflects changes nothing.
+    pub fn apply(&mut self, record: &JournalRecord) {
+        match record {
+            JournalRecord::Submit { spec } => {
+                let job = self.jobs.entry(spec.name.clone()).or_default();
+                if job.spec.is_none() {
+                    job.spec = Some(spec.clone());
+                }
+            }
+            JournalRecord::Snapshot(s) => {
+                if !self.jobs.contains_key(&s.name) {
+                    self.note_orphan(&s.name);
+                    return;
+                }
+                let job = self.jobs.entry(s.name.clone()).or_default();
+                // Later snapshots supersede earlier ones; an equal round
+                // is the same snapshot re-applied (idempotence).
+                if job.snap.as_ref().is_none_or(|cur| s.round >= cur.round) {
+                    job.snap = Some(s.clone());
+                }
+            }
+            JournalRecord::Migrate { name, .. } => {
+                // Audit trail only: resume state comes from snapshots, so
+                // replaying a migrate record twice is trivially idempotent.
+                if !self.jobs.contains_key(name) {
+                    self.note_orphan(name);
+                }
+            }
+            JournalRecord::Outcome(o) => {
+                if !self.jobs.contains_key(&o.name) {
+                    self.note_orphan(&o.name);
+                    return;
+                }
+                let job = self.jobs.entry(o.name.clone()).or_default();
+                if job.outcome.is_none() {
+                    job.outcome = Some(o.clone());
+                }
+            }
+        }
+    }
+
+    fn note_orphan(&mut self, name: &str) {
+        if !self.orphaned.iter().any(|n| n == name) {
+            self.orphaned.push(name.to_string());
+        }
+    }
+
+    /// The resume plan for the current state, jobs sorted by name.
+    #[must_use]
+    pub fn plan(&self) -> ResumePlan {
+        let mut plan = ResumePlan {
+            orphaned: self.orphaned.clone(),
+            ..ResumePlan::default()
+        };
+        for (name, job) in &self.jobs {
+            let Some(spec) = &job.spec else {
+                plan.orphaned.push(name.clone());
+                continue;
+            };
+            if let Some(outcome) = &job.outcome {
+                plan.completed.push(RecoveredOutcome {
+                    spec: spec.clone(),
+                    report_debug: outcome.report_debug.clone(),
+                    log: outcome.log.clone(),
+                    migrations: outcome.migrations,
+                    shard_path: outcome.shard_path.clone(),
+                });
+            } else if let Some(snap) = &job.snap {
+                plan.resumes.push(ResumeJob {
+                    spec: spec.clone(),
+                    snapshot_json: snap.snapshot_json.clone(),
+                    log: snap.log.clone(),
+                    tel_seq: snap.tel_seq,
+                    migrations: snap.migrations,
+                });
+            } else {
+                plan.fresh.push(spec.clone());
+            }
+        }
+        plan
+    }
+}
+
+/// Folds a scanned [`Replay`] into its [`ResumePlan`].
+#[must_use]
+pub fn plan_from_replay(replay: &Replay) -> ResumePlan {
+    let mut state = ReplayState::new();
+    for (_, record) in &replay.records {
+        state.apply(record);
+    }
+    state.plan()
+}
+
+/// Checks a recovered outcome against a fresh solo run of its spec — the
+/// cross-crash bit-exactness guarantee: the report fingerprint and the
+/// full telemetry byte stream of a job that survived a `kill -9` (or came
+/// back from a shard subprocess) must match a run that never crashed.
+///
+/// # Errors
+///
+/// Returns which artifact diverged.
+pub fn verify_recovered(outcome: &RecoveredOutcome) -> Result<(), String> {
+    let solo = run_solo(&outcome.spec);
+    if outcome.report_debug != report_fingerprint(&solo.report) {
+        return Err(format!(
+            "job {}: recovered report diverged from solo run\n  recovered: {}\n  solo:      {:?}",
+            outcome.spec.name, outcome.report_debug, solo.report
+        ));
+    }
+    if outcome.log != solo.log {
+        return Err(format!(
+            "job {}: recovered telemetry log diverged from solo run \
+             ({} vs {} bytes)",
+            outcome.spec.name,
+            outcome.log.len(),
+            solo.log.len()
+        ));
+    }
+    Ok(())
+}
+
+/// Append-only journal writer with group commit (write + `fsync`)
+/// batching on a dedicated writer thread. `append` enqueues an encoded
+/// line; `commit` requests an `fsync` without blocking (consecutive
+/// requests coalesce). Dropping the writer drains the queue and syncs, so
+/// a clean shutdown is always fully durable; a crash loses at most the
+/// not-yet-synced suffix, which replay truncates as a torn tail.
+#[derive(Debug)]
+pub struct JournalWriter {
+    tx: Option<std::sync::mpsc::SyncSender<WriterMsg>>,
+    thread: Option<std::thread::JoinHandle<()>>,
+    shared: std::sync::Arc<WriterShared>,
+    path: PathBuf,
+    next_seq: u64,
+    records_appended: u64,
+}
+
+enum WriterMsg {
+    /// One encoded record line to append.
+    Line(String),
+    /// Group-commit request: `fsync` everything appended so far.
+    Commit,
+}
+
+/// Counters and error state shared with the writer thread.
+#[derive(Debug)]
+struct WriterShared {
+    commits: std::sync::atomic::AtomicU64,
+    bytes_committed: std::sync::atomic::AtomicU64,
+    error: std::sync::Mutex<Option<String>>,
+}
+
+/// How many encoded lines may queue between the serving threads and the
+/// writer thread before appends block (bounded memory under bursts; disk
+/// backpressure instead of unbounded buffering).
+const WRITER_QUEUE_DEPTH: usize = 64;
+
+/// Minimum spacing between `fsync`s. Every shard requests a commit at
+/// every tick boundary; honoring each request individually makes the
+/// writer thread fsync-latency-bound (one barrier per tick per shard).
+/// Group commit instead: requests landing inside the window coalesce into
+/// the next sync, so the durability window is bounded by this interval
+/// (plus write time) while the fsync rate stays bandwidth-bound. A crash
+/// inside the window loses only the unsynced suffix, which replay
+/// truncates as a torn tail and recovery re-derives byte-identically.
+const MIN_SYNC_INTERVAL: std::time::Duration = std::time::Duration::from_millis(20);
+
+fn writer_thread(mut file: File, rx: &std::sync::mpsc::Receiver<WriterMsg>, shared: &WriterShared) {
+    use std::sync::atomic::Ordering;
+    use std::sync::mpsc::RecvTimeoutError;
+    let mut dirty = false;
+    let mut failed = false;
+    let mut commit_requested = false;
+    let mut last_sync = std::time::Instant::now();
+    let latch = |e: std::io::Error, failed: &mut bool| {
+        *shared.error.lock().expect("journal error lock") = Some(e.to_string());
+        *failed = true;
+    };
+    let apply = |msg: WriterMsg,
+                 file: &mut File,
+                 dirty: &mut bool,
+                 failed: &mut bool,
+                 commit_requested: &mut bool| {
+        // Past the first failure, drain and discard so senders never
+        // wedge on a full queue; the latched error surfaces on the
+        // serving side at the next append or commit.
+        if *failed {
+            return;
+        }
+        match msg {
+            WriterMsg::Line(line) => {
+                if let Err(e) = file.write_all(line.as_bytes()) {
+                    latch(e, failed);
+                    return;
+                }
+                shared
+                    .bytes_committed
+                    .fetch_add(line.len() as u64, Ordering::Relaxed);
+                *dirty = true;
+            }
+            WriterMsg::Commit => *commit_requested = *dirty,
+        }
+    };
+    loop {
+        // With a commit pending, wait only until the sync window opens;
+        // otherwise block until there is work.
+        let received = if commit_requested {
+            let wait = MIN_SYNC_INTERVAL.saturating_sub(last_sync.elapsed());
+            match rx.recv_timeout(wait) {
+                Ok(msg) => Some(Some(msg)),
+                Err(RecvTimeoutError::Timeout) => Some(None),
+                Err(RecvTimeoutError::Disconnected) => None,
+            }
+        } else {
+            rx.recv().ok().map(Some)
+        };
+        let Some(received) = received else { break };
+        if let Some(msg) = received {
+            apply(
+                msg,
+                &mut file,
+                &mut dirty,
+                &mut failed,
+                &mut commit_requested,
+            );
+            // Batch everything already queued before considering a sync.
+            while let Ok(next) = rx.try_recv() {
+                apply(
+                    next,
+                    &mut file,
+                    &mut dirty,
+                    &mut failed,
+                    &mut commit_requested,
+                );
+            }
+        }
+        if commit_requested && !failed && last_sync.elapsed() >= MIN_SYNC_INTERVAL {
+            match file.sync_data() {
+                Ok(()) => {
+                    dirty = false;
+                    commit_requested = false;
+                    last_sync = std::time::Instant::now();
+                    shared.commits.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e) => latch(e, &mut failed),
+            }
+        }
+    }
+    // Channel closed (writer dropped): final sync so a clean shutdown is
+    // always fully durable.
+    if dirty && !failed {
+        if let Err(e) = file.sync_data() {
+            latch(e, &mut failed);
+        } else {
+            shared.commits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl JournalWriter {
+    fn start(file: File, path: &Path, next_seq: u64) -> Self {
+        let shared = std::sync::Arc::new(WriterShared {
+            commits: std::sync::atomic::AtomicU64::new(0),
+            bytes_committed: std::sync::atomic::AtomicU64::new(0),
+            error: std::sync::Mutex::new(None),
+        });
+        let (tx, rx) = std::sync::mpsc::sync_channel(WRITER_QUEUE_DEPTH);
+        let thread_shared = std::sync::Arc::clone(&shared);
+        let thread = std::thread::Builder::new()
+            .name("marsit-journal".to_string())
+            .spawn(move || writer_thread(file, &rx, &thread_shared))
+            .expect("spawn journal writer thread");
+        Self {
+            tx: Some(tx),
+            thread: Some(thread),
+            shared,
+            path: path.to_path_buf(),
+            next_seq,
+            records_appended: 0,
+        }
+    }
+
+    /// Creates (truncating) a fresh journal at `path`.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure creating the file.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Self::start(file, path, 0))
+    }
+
+    /// Reopens a journal after [`replay_file`]: truncates the torn tail
+    /// (everything past `replay.valid_len`) and resumes appending with
+    /// `replay.next_seq`.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure opening, truncating, or seeking.
+    pub fn resume(path: &Path, replay: &Replay) -> std::io::Result<Self> {
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        file.set_len(replay.valid_len as u64)?;
+        file.seek(SeekFrom::End(0))?;
+        file.sync_data()?;
+        Ok(Self::start(file, path, replay.next_seq))
+    }
+
+    fn latched_error(&self) -> Option<String> {
+        self.shared
+            .error
+            .lock()
+            .expect("journal error lock")
+            .clone()
+    }
+
+    /// Encodes one record and hands it to the writer thread. Blocks only
+    /// when the writer queue is full (64 lines; disk backpressure).
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Unrepresentable`] for specs that cannot round-trip
+    /// the line format (rejected at admission, so this is defensive), or
+    /// [`JournalError::Io`] once the writer thread has latched a failure.
+    pub fn append(&mut self, record: &JournalRecord) -> Result<(), JournalError> {
+        if let Some(message) = self.latched_error() {
+            return Err(JournalError::Io { message });
+        }
+        let line = encode_record(self.next_seq, record)?;
+        let tx = self.tx.as_ref().expect("writer thread alive");
+        if tx.send(WriterMsg::Line(line)).is_err() {
+            return Err(JournalError::Io {
+                message: self
+                    .latched_error()
+                    .unwrap_or_else(|| "journal writer thread exited".to_string()),
+            });
+        }
+        self.next_seq += 1;
+        self.records_appended += 1;
+        Ok(())
+    }
+
+    /// Requests a group commit: the writer thread writes and `fsync`s
+    /// everything appended so far. Non-blocking — consecutive requests
+    /// queued behind one large write coalesce into a single `fsync`. A
+    /// no-op when nothing is pending, so callers commit unconditionally
+    /// at tick boundaries.
+    ///
+    /// # Errors
+    ///
+    /// A latched writer-thread I/O failure (from any earlier write or
+    /// sync).
+    pub fn commit(&mut self) -> std::io::Result<()> {
+        if let Some(message) = self.latched_error() {
+            return Err(std::io::Error::other(message));
+        }
+        let tx = self.tx.as_ref().expect("writer thread alive");
+        if tx.send(WriterMsg::Commit).is_err() {
+            return Err(std::io::Error::other(
+                self.latched_error()
+                    .unwrap_or_else(|| "journal writer thread exited".to_string()),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Journal file path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// `(records appended, fsyncs performed, bytes written)` counters.
+    /// The latter two race the writer thread; they are exact only after
+    /// drop (or for a single-threaded test that pauses).
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64, u64) {
+        use std::sync::atomic::Ordering;
+        (
+            self.records_appended,
+            self.shared.commits.load(Ordering::Relaxed),
+            self.shared.bytes_committed.load(Ordering::Relaxed),
+        )
+    }
+}
+
+impl Drop for JournalWriter {
+    /// Drains the queue and syncs: a clean shutdown is fully durable.
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marsit_models::Workload;
+    use marsit_simnet::Topology;
+
+    fn spec(name: &str) -> JobSpec {
+        let mut s = JobSpec::new(name, Workload::AlexNetMnist, Topology::ring(4));
+        s.rounds = 6;
+        s.seed = 11;
+        s.train_examples = 128;
+        s.test_examples = 32;
+        s
+    }
+
+    #[test]
+    fn crc32_matches_ieee_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn golden_fixture_submit_record() {
+        // Pinned journal bytes: if this moves, marsit-journal/1 is broken.
+        let record = JournalRecord::Submit { spec: spec("g0") };
+        let line = encode_record(7, &record).expect("representable");
+        assert_eq!(
+            line,
+            "marsit-journal/1 0000000000000007 submit e3a56db2 \
+             tname=g0 workload=alexnet_mnist topo=ring:4 k=20 seed=11 rounds=6 \
+             examples=128 test=32 batch=16 lr=0.01 glr=0.002\n"
+        );
+        let (seq, back) = decode_line(&line).expect("golden line decodes");
+        assert_eq!(seq, 7);
+        assert_eq!(back, record);
+    }
+
+    #[test]
+    fn golden_fixture_migrate_record() {
+        let record = JournalRecord::Migrate {
+            name: "g0".to_string(),
+            from: 2,
+            to: 0,
+        };
+        let line = encode_record(0, &record).expect("representable");
+        assert_eq!(
+            line,
+            "marsit-journal/1 0000000000000000 migrate e11b232f tname=g0 from=2 to=0\n"
+        );
+        assert_eq!(decode_line(&line).expect("decodes"), (0, record));
+    }
+
+    #[test]
+    fn records_round_trip() {
+        let records = [
+            JournalRecord::Submit { spec: spec("a") },
+            JournalRecord::Snapshot(SnapshotRecord {
+                name: "a".to_string(),
+                shard: 1,
+                migrations: 2,
+                round: 4,
+                tel_seq: 0xDEAD_BEEF,
+                snapshot_json: r#"{"schema":"marsit-checkpoint/1","round":4}"#.to_string(),
+                log: "{\"ev\":\"x\"}\n{\"ev\":\"y\"}\n".to_string(),
+            }),
+            JournalRecord::Migrate {
+                name: "a".to_string(),
+                from: 1,
+                to: 0,
+            },
+            JournalRecord::Outcome(OutcomeRecord {
+                name: "a".to_string(),
+                migrations: 3,
+                shard_path: vec![1, 0],
+                report_debug: "TrainReport { rounds: 6 }".to_string(),
+                log: "line1\nline2\n".to_string(),
+            }),
+        ];
+        for (i, record) in records.iter().enumerate() {
+            let line = encode_record(i as u64, record).expect("representable");
+            assert_eq!(
+                decode_line(&line).expect("round trip"),
+                (i as u64, record.clone()),
+                "record {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_body_fails_crc() {
+        let line = encode_record(0, &JournalRecord::Submit { spec: spec("c") }).unwrap();
+        // Flip one nibble of the body hex.
+        let mut bytes: Vec<u8> = line.into_bytes();
+        let n = bytes.len() - 3;
+        bytes[n] = if bytes[n] == b'0' { b'1' } else { b'0' };
+        let corrupted = String::from_utf8(bytes).unwrap();
+        assert!(matches!(
+            decode_line(&corrupted),
+            Err(JournalError::BadCrc { .. })
+        ));
+    }
+
+    #[test]
+    fn replay_stops_at_torn_tail_and_sequence_breaks() {
+        let mut text = String::new();
+        text.push_str(&encode_record(0, &JournalRecord::Submit { spec: spec("a") }).unwrap());
+        text.push_str(&encode_record(1, &JournalRecord::Submit { spec: spec("b") }).unwrap());
+        let full_len = text.len();
+        // Torn mid-line: only the first record survives.
+        let torn = &text.as_bytes()[..full_len - 10];
+        let replay = replay_bytes(torn);
+        assert_eq!(replay.records.len(), 1);
+        assert!(replay.torn.is_some());
+        assert_eq!(
+            replay.valid_len,
+            encode_record(0, &JournalRecord::Submit { spec: spec("a") })
+                .unwrap()
+                .len()
+        );
+        // Sequence break (a record skipped wholesale) also stops replay.
+        let mut skipped = encode_record(0, &JournalRecord::Submit { spec: spec("a") }).unwrap();
+        skipped.push_str(&encode_record(5, &JournalRecord::Submit { spec: spec("b") }).unwrap());
+        let replay = replay_bytes(skipped.as_bytes());
+        assert_eq!(replay.records.len(), 1);
+        assert!(replay.torn.unwrap().contains("sequence break"));
+    }
+
+    #[test]
+    fn writer_commit_then_replay_round_trips() {
+        let dir = std::env::temp_dir().join(format!("marsit-journal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("j.log");
+        {
+            let mut writer = JournalWriter::create(&path).unwrap();
+            writer
+                .append(&JournalRecord::Submit { spec: spec("w") })
+                .unwrap();
+            writer.commit().unwrap();
+            // Drop drains the writer thread's queue and syncs.
+        }
+        let replay = replay_file(&path).unwrap();
+        assert_eq!(replay.records.len(), 1);
+        assert!(replay.torn.is_none());
+
+        // Simulate a torn tail, then resume: the tail is truncated and the
+        // next record continues the sequence.
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"marsit-journal/1 0000").unwrap();
+        }
+        let replay = replay_file(&path).unwrap();
+        assert!(replay.torn.is_some());
+        {
+            let mut writer = JournalWriter::resume(&path, &replay).unwrap();
+            writer
+                .append(&JournalRecord::Migrate {
+                    name: "w".to_string(),
+                    from: 0,
+                    to: 1,
+                })
+                .unwrap();
+            writer.commit().unwrap();
+        }
+        let replay = replay_file(&path).unwrap();
+        assert!(replay.torn.is_none());
+        assert_eq!(replay.records.len(), 2);
+        assert_eq!(replay.records[1].0, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_plan_classifies_jobs() {
+        let mut state = ReplayState::new();
+        state.apply(&JournalRecord::Submit { spec: spec("done") });
+        state.apply(&JournalRecord::Submit {
+            spec: spec("midway"),
+        });
+        state.apply(&JournalRecord::Submit {
+            spec: spec("queued"),
+        });
+        state.apply(&JournalRecord::Snapshot(SnapshotRecord {
+            name: "midway".to_string(),
+            shard: 0,
+            migrations: 0,
+            round: 2,
+            tel_seq: 40,
+            snapshot_json: "{}".to_string(),
+            log: "l".to_string(),
+        }));
+        // A later snapshot supersedes; an earlier replayed one does not.
+        state.apply(&JournalRecord::Snapshot(SnapshotRecord {
+            name: "midway".to_string(),
+            shard: 1,
+            migrations: 1,
+            round: 4,
+            tel_seq: 80,
+            snapshot_json: "{later}".to_string(),
+            log: "ll".to_string(),
+        }));
+        state.apply(&JournalRecord::Outcome(OutcomeRecord {
+            name: "done".to_string(),
+            migrations: 0,
+            shard_path: vec![0],
+            report_debug: "r".to_string(),
+            log: "g".to_string(),
+        }));
+        state.apply(&JournalRecord::Outcome(OutcomeRecord {
+            name: "ghost".to_string(),
+            migrations: 0,
+            shard_path: vec![],
+            report_debug: "r".to_string(),
+            log: "g".to_string(),
+        }));
+        let plan = state.plan();
+        assert_eq!(plan.completed.len(), 1);
+        assert_eq!(plan.completed[0].spec.name, "done");
+        assert_eq!(plan.resumes.len(), 1);
+        assert_eq!(plan.resumes[0].tel_seq, 80);
+        assert_eq!(plan.resumes[0].snapshot_json, "{later}");
+        assert_eq!(plan.fresh.len(), 1);
+        assert_eq!(plan.fresh[0].name, "queued");
+        assert_eq!(plan.orphaned, vec!["ghost".to_string()]);
+    }
+}

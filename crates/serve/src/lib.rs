@@ -23,13 +23,25 @@
 //! that every job's final report and telemetry log are byte-identical to a
 //! solo run of the same spec on a dedicated thread.
 
+pub mod admission;
+pub mod journal;
 pub mod pool;
 pub mod scheduler;
 pub mod spec;
+pub mod supervisor;
 
+pub use admission::{AdmissionController, AdmissionError, TenantQuota};
+pub use journal::{
+    crc32, decode_line, encode_record, plan_from_replay, replay_bytes, replay_file,
+    verify_recovered, JournalError, JournalRecord, JournalWriter, OutcomeRecord, RecoveredOutcome,
+    Replay, ReplayState, ResumeJob, ResumePlan, SnapshotRecord, JOURNAL_SCHEMA,
+};
 pub use pool::{PoolStats, TopologyClass, WorkspaceKey, WorkspacePool};
 pub use scheduler::{
     quantile_ns, report_fingerprint, run_solo, verify_outcome, JobOutcome, JobServer,
     MigrationPolicy, MigrationSample, ServeConfig, ServeReport, ServerHandle, ShardSummary,
 };
-pub use spec::JobSpec;
+pub use spec::{parse_queue, JobSpec, QueueDiagnostic, DEFAULT_TENANT};
+pub use supervisor::{
+    shard_worker_main, SupervisorConfig, SupervisorError, SupervisorHandle, SupervisorReport,
+};

@@ -34,8 +34,15 @@ use marsit_telemetry::Telemetry;
 use marsit_tensor::rng::FastRng;
 use marsit_trainsim::{TrainReport, TrainSnapshot, TrainerState};
 
+use crate::admission::{AdmissionController, AdmissionError};
+use crate::journal::{JournalRecord, JournalWriter, OutcomeRecord, ResumeJob, SnapshotRecord};
 use crate::pool::{PoolStats, WorkspaceKey, WorkspacePool};
 use crate::spec::JobSpec;
+
+/// Shared handle to the submission journal: the handle side commits
+/// accepted submissions, the shard side commits snapshots and outcomes at
+/// tick boundaries.
+type Journal = Arc<Mutex<JournalWriter>>;
 
 /// How the scheduler decides to move a running job to another shard.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,11 +78,24 @@ pub struct ServeConfig {
     pub pool_cap_per_key: usize,
     /// Migration policy.
     pub migration: MigrationPolicy,
+    /// Shortest idle wait (milliseconds) when a shard has nothing to run.
+    pub idle_wait_min_ms: u64,
+    /// Longest idle wait: consecutive empty waits double the timeout from
+    /// `idle_wait_min_ms` up to this cap (reset the moment work arrives),
+    /// so an idle shard makes ~1/16th the wakeups of a fixed 1 ms poll.
+    /// Set equal to `idle_wait_min_ms` to disable the backoff.
+    pub idle_wait_max_ms: u64,
+    /// When journaling, snapshot each in-flight job every this many of its
+    /// ticks (0 = only the pre-migration snapshots are journaled). Smaller
+    /// values bound replayed work after a crash at the cost of more
+    /// journal bytes per job.
+    pub snapshot_every_ticks: usize,
 }
 
 impl ServeConfig {
     /// A server with `shards` shard threads and serving defaults
-    /// (4-round ticks, pool capacity 4, no migration).
+    /// (4-round ticks, pool capacity 4, no migration, 1→16 ms idle
+    /// backoff, a journal snapshot every 4 ticks when journaling).
     #[must_use]
     pub fn new(shards: usize) -> Self {
         Self {
@@ -83,6 +103,9 @@ impl ServeConfig {
             tick_rounds: 4,
             pool_cap_per_key: 4,
             migration: MigrationPolicy::None,
+            idle_wait_min_ms: 1,
+            idle_wait_max_ms: 16,
+            snapshot_every_ticks: 4,
         }
     }
 }
@@ -134,6 +157,9 @@ pub struct ShardSummary {
     pub migrations_out: u64,
     /// Migrations that landed on this shard (timed end-to-end).
     pub migrations_in: Vec<MigrationSample>,
+    /// Times the shard woke from an idle wait with nothing to do — the
+    /// busy-wait cost the exponential idle backoff exists to bound.
+    pub idle_wakeups: u64,
 }
 
 /// The aggregate result of a serve session.
@@ -207,6 +233,8 @@ struct ActiveJob {
     log: String,
     shard_path: Vec<usize>,
     migrations: u32,
+    /// Ticks since the last journaled snapshot (periodic-snapshot cadence).
+    ticks_since_snap: usize,
 }
 
 /// A job in transit between shards: the spec plus the serialized snapshot
@@ -224,6 +252,9 @@ struct MigratingJob {
 enum ShardMsg {
     Admit(Box<JobSpec>),
     MigrateIn(Box<MigratingJob>),
+    /// Crash recovery: resume a job from its last journaled snapshot on a
+    /// fresh telemetry sink (sequence floor restored from the journal).
+    Restore(Box<ResumeJob>),
     /// No more submissions: finish resident jobs, refuse new migrations,
     /// then exit.
     Drain,
@@ -257,6 +288,7 @@ struct ShardCtx {
     peers: Vec<Sender<ShardMsg>>,
     results: Sender<JobOutcome>,
     flight: Arc<Mutex<Flight>>,
+    journal: Option<Journal>,
 }
 
 /// A running job server. Dropping the handle without calling
@@ -269,6 +301,10 @@ pub struct ServerHandle {
     flight: Arc<Mutex<Flight>>,
     outcomes: Vec<JobOutcome>,
     submitted: usize,
+    journal: Option<Journal>,
+    admission: Option<AdmissionController>,
+    /// Outcomes whose admission job slot has been released already.
+    slots_released: usize,
 }
 
 /// The job server entry point.
@@ -278,6 +314,21 @@ impl JobServer {
     /// Starts the shard threads and returns a handle for submissions.
     #[must_use]
     pub fn start(cfg: ServeConfig) -> ServerHandle {
+        Self::start_inner(cfg, None)
+    }
+
+    /// Starts the shard threads with a submission journal: every accepted
+    /// spec is committed (written + fsynced) before it is dispatched,
+    /// shards journal periodic and pre-migration snapshots plus final
+    /// outcomes, and commits are batched at shard-tick boundaries. A
+    /// `kill -9` at any instant leaves a journal whose replay resumes
+    /// every job bit-exactly (see [`crate::journal`]).
+    #[must_use]
+    pub fn start_journaled(cfg: ServeConfig, journal: Journal) -> ServerHandle {
+        Self::start_inner(cfg, Some(journal))
+    }
+
+    fn start_inner(cfg: ServeConfig, journal: Option<Journal>) -> ServerHandle {
         let shards = cfg.shards;
         let flight = Arc::new(Mutex::new(Flight::new(shards)));
         let (results_tx, results_rx) = std::sync::mpsc::channel();
@@ -297,6 +348,7 @@ impl JobServer {
                 peers: txs.clone(),
                 results: results_tx.clone(),
                 flight: Arc::clone(&flight),
+                journal: journal.clone(),
             };
             threads.push(
                 std::thread::Builder::new()
@@ -312,13 +364,68 @@ impl JobServer {
             flight,
             outcomes: Vec::new(),
             submitted: 0,
+            journal,
+            admission: None,
+            slots_released: 0,
         }
     }
 }
 
 impl ServerHandle {
-    /// Submits a job to the least-loaded shard.
+    /// Installs an admission controller: subsequent [`Self::try_submit`]
+    /// calls are quota-checked, and completed jobs release their tenant's
+    /// job slot.
+    pub fn set_admission(&mut self, admission: AdmissionController) {
+        self.admission = Some(admission);
+    }
+
+    /// The admission counters `(admitted, rejected)`, when a controller
+    /// is installed.
+    #[must_use]
+    pub fn admission_counters(&self) -> Option<(u64, u64)> {
+        self.admission.as_ref().map(AdmissionController::counters)
+    }
+
+    /// Submits a job to the least-loaded shard, bypassing admission
+    /// control. With a journal, the submission is durable before this
+    /// returns.
     pub fn submit(&mut self, spec: JobSpec) {
+        if let Some(journal) = &self.journal {
+            let mut journal = journal.lock().expect("journal lock");
+            journal
+                .append(&JournalRecord::Submit { spec: spec.clone() })
+                .expect("journal-representable spec (parse_line round-trip)");
+            journal.commit().expect("journal commit");
+        }
+        self.dispatch(ShardMsg::Admit(Box::new(spec)));
+    }
+
+    /// Quota-checked submission: consults the installed
+    /// [`AdmissionController`] (releasing slots of jobs that finished
+    /// since the last call first), then submits. Without a controller
+    /// this is plain [`Self::submit`].
+    ///
+    /// # Errors
+    ///
+    /// The typed [`AdmissionError`] for over-quota or backpressured
+    /// submissions; the job is not accepted and nothing is journaled.
+    pub fn try_submit(&mut self, spec: JobSpec, now_ms: u64) -> Result<(), AdmissionError> {
+        self.release_completed_slots();
+        if let Some(admission) = &mut self.admission {
+            admission.admit(&spec, now_ms)?;
+        }
+        self.submit(spec);
+        Ok(())
+    }
+
+    /// Resumes a crash-recovered job from its journaled snapshot on the
+    /// least-loaded shard. The job was journaled as submitted before the
+    /// crash, so no new submit record is written.
+    pub fn submit_resume(&mut self, resume: ResumeJob) {
+        self.dispatch(ShardMsg::Restore(Box::new(resume)));
+    }
+
+    fn dispatch(&mut self, msg: ShardMsg) {
         let target = {
             let mut flight = self.flight.lock().expect("flight lock");
             let target = flight
@@ -333,16 +440,24 @@ impl ServerHandle {
             target
         };
         self.submitted += 1;
-        self.txs[target]
-            .send(ShardMsg::Admit(Box::new(spec)))
-            .expect("shard alive");
+        self.txs[target].send(msg).expect("shard alive");
+    }
+
+    fn release_completed_slots(&mut self) {
+        while let Ok(outcome) = self.results.try_recv() {
+            self.outcomes.push(outcome);
+        }
+        if let Some(admission) = &mut self.admission {
+            for outcome in &self.outcomes[self.slots_released..] {
+                admission.on_complete(&outcome.spec.tenant);
+            }
+        }
+        self.slots_released = self.outcomes.len();
     }
 
     /// Jobs finished so far (drains the results channel without blocking).
     pub fn completed(&mut self) -> usize {
-        while let Ok(outcome) = self.results.try_recv() {
-            self.outcomes.push(outcome);
-        }
+        self.release_completed_slots();
         self.outcomes.len()
     }
 
@@ -406,8 +521,17 @@ fn shard_main(ctx: ShardCtx) -> ShardSummary {
         pooled_at_exit: 0,
         migrations_out: 0,
         migrations_in: Vec::new(),
+        idle_wakeups: 0,
     };
     let mut draining = false;
+    let idle_min = Duration::from_millis(ctx.cfg.idle_wait_min_ms.max(1));
+    let idle_max = Duration::from_millis(
+        ctx.cfg
+            .idle_wait_max_ms
+            .max(ctx.cfg.idle_wait_min_ms)
+            .max(1),
+    );
+    let mut idle_wait = idle_min;
     let mut rng = match ctx.cfg.migration {
         MigrationPolicy::Seeded { seed, .. } => FastRng::new(seed, ctx.shard as u64),
         _ => FastRng::new(0, ctx.shard as u64),
@@ -441,20 +565,27 @@ fn shard_main(ctx: ShardCtx) -> ShardSummary {
             if draining && ctx.flight.lock().expect("flight lock").current == 0 {
                 break;
             }
-            match ctx.rx.recv_timeout(Duration::from_millis(1)) {
-                Ok(msg) => handle_msg(
-                    msg,
-                    &ctx,
-                    &mut active,
-                    &mut pool,
-                    &mut summary,
-                    &mut draining,
-                ),
-                Err(RecvTimeoutError::Timeout) => {}
+            match ctx.rx.recv_timeout(idle_wait) {
+                Ok(msg) => {
+                    idle_wait = idle_min;
+                    handle_msg(
+                        msg,
+                        &ctx,
+                        &mut active,
+                        &mut pool,
+                        &mut summary,
+                        &mut draining,
+                    );
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    summary.idle_wakeups += 1;
+                    idle_wait = (idle_wait * 2).min(idle_max);
+                }
                 Err(RecvTimeoutError::Disconnected) => draining = true,
             }
             continue;
         };
+        idle_wait = idle_min;
 
         // One tick: a burst of rounds, preemptible only at its end.
         let mut ran = 0;
@@ -467,6 +598,7 @@ fn shard_main(ctx: ShardCtx) -> ShardSummary {
         summary.ticks += 1;
         // Batched telemetry: one sink flush per shard tick, not per round.
         job.tel.drain_events_jsonl_into(&mut job.log);
+        job.ticks_since_snap += 1;
 
         if job.state.is_done() {
             complete(job, &ctx, &mut pool);
@@ -474,8 +606,19 @@ fn shard_main(ctx: ShardCtx) -> ShardSummary {
         } else if let Some(target) = migration_target(&ctx, active.len(), &mut rng) {
             migrate_out(job, target, &ctx, &mut pool, &mut summary);
         } else {
+            // Periodic durability point: snapshot at the configured tick
+            // cadence and commit at this tick boundary. Snapshotting
+            // mid-run is bit-invisible (`TrainerState::snapshot`
+            // materializes pending state exactly as the next step would).
+            if ctx.journal.is_some()
+                && ctx.cfg.snapshot_every_ticks > 0
+                && job.ticks_since_snap >= ctx.cfg.snapshot_every_ticks
+            {
+                journal_snapshot(&mut job, &ctx);
+            }
             active.push_back(job);
         }
+        journal_commit(&ctx);
     }
 
     summary.pool = pool.stats();
@@ -500,7 +643,44 @@ fn handle_msg(
             let job = land_migration(*mj, ctx.shard, pool, summary);
             active.push_back(job);
         }
+        ShardMsg::Restore(resume) => {
+            let job = land_restore(*resume, ctx.shard, pool);
+            active.push_back(job);
+        }
         ShardMsg::Drain => *draining = true,
+    }
+}
+
+/// Appends a snapshot record for `job` (everything a fresh process needs
+/// to resume it bit-exactly) to the shard's journal.
+fn journal_snapshot(job: &mut ActiveJob, ctx: &ShardCtx) {
+    let Some(journal) = &ctx.journal else { return };
+    let snapshot = job.state.snapshot();
+    let record = JournalRecord::Snapshot(SnapshotRecord {
+        name: job.spec.name.clone(),
+        shard: ctx.shard,
+        migrations: job.migrations,
+        round: snapshot.round,
+        tel_seq: job.tel.seq_floor(),
+        snapshot_json: snapshot.to_json(),
+        log: job.log.clone(),
+    });
+    journal
+        .lock()
+        .expect("journal lock")
+        .append(&record)
+        .expect("journal-representable snapshot");
+    job.ticks_since_snap = 0;
+}
+
+/// Commits (writes + fsyncs) everything shards appended this tick.
+fn journal_commit(ctx: &ShardCtx) {
+    if let Some(journal) = &ctx.journal {
+        journal
+            .lock()
+            .expect("journal lock")
+            .commit()
+            .expect("journal commit");
     }
 }
 
@@ -520,6 +700,34 @@ fn admit(spec: JobSpec, shard: usize, pool: &mut WorkspacePool) -> ActiveJob {
         log: String::new(),
         shard_path: vec![shard],
         migrations: 0,
+        ticks_since_snap: 0,
+    }
+}
+
+/// Rebuilds a crash-recovered job from its journaled snapshot: a fresh
+/// telemetry sink with the journaled sequence floor restored, so the hop
+/// events of the resumed rounds continue the dead process's absolute
+/// numbering and the concatenated log stays byte-identical to an
+/// uninterrupted run.
+fn land_restore(resume: ResumeJob, shard: usize, pool: &mut WorkspacePool) -> ActiveJob {
+    let tel = Telemetry::recording();
+    tel.restore_seq_floor(resume.tel_seq);
+    let cfg = resume.spec.to_train_config(tel.clone());
+    let snapshot = TrainSnapshot::from_json(&resume.snapshot_json)
+        .expect("journaled snapshot is CRC-guarded and must parse");
+    let mut state = TrainerState::restore(&cfg, &snapshot);
+    let key = WorkspaceKey::new(state.model_dim(), resume.spec.topology);
+    if let Some(handle) = pool.checkout(key) {
+        state.adopt_workspace(handle);
+    }
+    ActiveJob {
+        spec: resume.spec,
+        state,
+        tel,
+        log: resume.log,
+        shard_path: vec![shard],
+        migrations: resume.migrations,
+        ticks_since_snap: 0,
     }
 }
 
@@ -553,6 +761,7 @@ fn land_migration(
         log: mj.log,
         shard_path,
         migrations: mj.migrations + 1,
+        ticks_since_snap: 0,
     }
 }
 
@@ -565,6 +774,19 @@ fn complete(mut job: ActiveJob, ctx: &ShardCtx, pool: &mut WorkspacePool) {
     }
     let report = job.state.finish();
     job.tel.drain_events_jsonl_into(&mut job.log);
+    if let Some(journal) = &ctx.journal {
+        journal
+            .lock()
+            .expect("journal lock")
+            .append(&JournalRecord::Outcome(OutcomeRecord {
+                name: job.spec.name.clone(),
+                migrations: job.migrations,
+                shard_path: job.shard_path.clone(),
+                report_debug: report_fingerprint(&report),
+                log: job.log.clone(),
+            }))
+            .expect("journal-representable outcome");
+    }
     {
         let mut flight = ctx.flight.lock().expect("flight lock");
         let current = flight.current;
@@ -635,8 +857,33 @@ fn migrate_out(
         pool.checkin(key, handle);
     }
     let t0 = Instant::now();
-    let snapshot_json = job.state.snapshot().to_json();
+    let snapshot = job.state.snapshot();
+    let snapshot_json = snapshot.to_json();
     let snapshot_ns = t0.elapsed().as_nanos() as u64;
+    // The migration hand-off doubles as a durability point: the snapshot
+    // and the move are journaled before the job leaves this shard, so a
+    // crash mid-migration resumes from exactly these bytes.
+    if let Some(journal) = &ctx.journal {
+        let mut journal = journal.lock().expect("journal lock");
+        journal
+            .append(&JournalRecord::Snapshot(SnapshotRecord {
+                name: job.spec.name.clone(),
+                shard: ctx.shard,
+                migrations: job.migrations,
+                round: snapshot.round,
+                tel_seq: job.tel.seq_floor(),
+                snapshot_json: snapshot_json.clone(),
+                log: job.log.clone(),
+            }))
+            .expect("journal-representable snapshot");
+        journal
+            .append(&JournalRecord::Migrate {
+                name: job.spec.name.clone(),
+                from: ctx.shard,
+                to: target,
+            })
+            .expect("journal-representable migration");
+    }
     drop(job.state);
     {
         let mut flight = ctx.flight.lock().expect("flight lock");

@@ -1,0 +1,1355 @@
+//! Process-per-shard serving: a supervisor, shard subprocesses, and the
+//! `marsit-wire/1` serving protocol between them.
+//!
+//! The thread scheduler ([`crate::scheduler`]) dies with its process. This
+//! module splits the shards out: a [`SupervisorHandle`] spawns one shard
+//! *subprocess* per shard (the `marsit_serve` binary in its hidden
+//! `--shard-worker` mode), speaks [`Frame`]s over localhost TCP, and
+//! supervises:
+//!
+//! - **Submission** — `submit` frames carry a fresh job's canonical spec
+//!   line, or a restore body (spec + `marsit-checkpoint/1` snapshot +
+//!   telemetry sequence floor) for a job resuming from a durability point.
+//! - **Durability** — shards push `snapshot` frames at the configured tick
+//!   cadence; each carries the snapshot JSON plus the telemetry **delta**
+//!   since the last push. The supervisor accumulates deltas in order, so
+//!   its log-at-snapshot is exactly the job's log at that round — the
+//!   rollback point — and journals every snapshot when a journal is
+//!   attached.
+//! - **Liveness** — a shard death is detected as EOF on its connection
+//!   (the same EOF→`down` protocol as [`marsit_simnet::process`]). The
+//!   supervisor restarts the shard with bounded exponential backoff and
+//!   re-delivers its in-flight jobs from their last snapshots; a job with
+//!   no snapshot yet simply restarts from scratch. Telemetry the dead
+//!   shard never pushed is discarded *by construction* (deltas ride only
+//!   on snapshot/outcome frames), so the resumed job's concatenated log is
+//!   byte-identical to an uninterrupted run.
+//! - **Migration** — the supervisor asks a shard to `evict` a job; the
+//!   shard answers with a final snapshot frame at the next tick boundary
+//!   and drops the job; the supervisor restores it on another shard.
+//!
+//! A shard subprocess that loses its supervisor (EOF on its socket) exits
+//! immediately, so a `kill -9` of the supervisor leaves no orphans.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{BufRead as _, BufReader, ErrorKind, Write as _};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use marsit_simnet::wire::{Frame, FrameKind, Payload, DRIVER};
+use marsit_telemetry::Telemetry;
+use marsit_tensor::rng::FastRng;
+use marsit_trainsim::{TrainSnapshot, TrainerState};
+
+use crate::journal::{
+    take_len_prefixed, JournalRecord, JournalWriter, OutcomeRecord, RecoveredOutcome, ResumeJob,
+    SnapshotRecord,
+};
+use crate::scheduler::{report_fingerprint, MigrationPolicy};
+use crate::spec::JobSpec;
+
+/// Environment variable naming the shard-worker executable. Tests point
+/// it at the `marsit_serve` test binary; production leaves it unset and
+/// the supervisor re-execs itself (`current_exe`).
+pub const WORKER_BIN_ENV: &str = "MARSIT_SHARD_WORKER_BIN";
+
+/// Supervisor configuration.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Number of shard subprocesses.
+    pub shards: usize,
+    /// Rounds per preemption tick inside each shard.
+    pub tick_rounds: usize,
+    /// Shard pushes a durability snapshot for each job every this many of
+    /// its ticks (0 = only eviction snapshots).
+    pub snapshot_every_ticks: usize,
+    /// Migration policy, evaluated supervisor-side on periodic snapshot
+    /// arrivals (the supervisor owns placement; shards just evict on
+    /// request).
+    pub migration: MigrationPolicy,
+    /// Shard-worker executable (`None` = [`WORKER_BIN_ENV`], else the
+    /// current executable).
+    pub worker_bin: Option<PathBuf>,
+    /// Restart budget per shard before its jobs are reassigned for good.
+    pub max_restarts_per_shard: u32,
+    /// First restart delay; doubles per consecutive restart of the same
+    /// shard up to [`Self::backoff_cap_ms`].
+    pub backoff_base_ms: u64,
+    /// Restart delay cap.
+    pub backoff_cap_ms: u64,
+}
+
+impl SupervisorConfig {
+    /// Defaults: `shards` subprocesses, 4-round ticks, snapshot every 2
+    /// ticks, no migration, 50 ms → 2 s restart backoff, 5 restarts per
+    /// shard.
+    #[must_use]
+    pub fn new(shards: usize) -> Self {
+        Self {
+            shards: shards.max(1),
+            tick_rounds: 4,
+            snapshot_every_ticks: 2,
+            migration: MigrationPolicy::None,
+            worker_bin: None,
+            max_restarts_per_shard: 5,
+            backoff_base_ms: 50,
+            backoff_cap_ms: 2_000,
+        }
+    }
+}
+
+/// Aggregate result of a supervised serve session.
+#[derive(Debug)]
+pub struct SupervisorReport {
+    /// Every finished job, sorted by name. Reports cross the process
+    /// boundary as fingerprints, so outcomes are [`RecoveredOutcome`]s —
+    /// verify with [`crate::verify_recovered`].
+    pub outcomes: Vec<RecoveredOutcome>,
+    /// Shard subprocess deaths observed (EOF before Stop).
+    pub shard_deaths: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Supervisor-driven migrations completed.
+    pub migrations: u64,
+}
+
+/// Typed supervisor failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SupervisorError {
+    /// Socket/listener I/O failed.
+    Io(String),
+    /// A shard subprocess could not be spawned.
+    Spawn(String),
+    /// A shard exhausted its restart budget and no other shard is
+    /// available to take its jobs.
+    ShardUnrecoverable {
+        /// The shard.
+        shard: usize,
+        /// Restarts attempted.
+        restarts: u32,
+    },
+    /// A shard sent a frame the protocol does not allow.
+    Protocol(String),
+}
+
+impl fmt::Display for SupervisorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "supervisor I/O error: {e}"),
+            Self::Spawn(e) => write!(f, "cannot spawn shard worker: {e}"),
+            Self::ShardUnrecoverable { shard, restarts } => write!(
+                f,
+                "shard {shard} unrecoverable after {restarts} restarts \
+                 and no peer can absorb its jobs"
+            ),
+            Self::Protocol(e) => write!(f, "serving protocol violation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SupervisorError {}
+
+impl From<std::io::Error> for SupervisorError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e.to_string())
+    }
+}
+
+type Journal = Arc<Mutex<JournalWriter>>;
+
+enum CtlMsg {
+    Submit(JobSpec),
+    Resume(ResumeJob),
+    Finish,
+}
+
+/// A running supervised server.
+pub struct SupervisorHandle {
+    ctl: Sender<CtlMsg>,
+    thread: std::thread::JoinHandle<Result<SupervisorReport, SupervisorError>>,
+    pids: Arc<Mutex<Vec<Option<u32>>>>,
+    submitted: usize,
+    completed: Arc<Mutex<usize>>,
+}
+
+impl SupervisorHandle {
+    /// Starts the listener, spawns the shard subprocesses, and returns
+    /// the handle. `journal` (optional) receives submit/snapshot/migrate/
+    /// outcome records exactly like the thread scheduler's journal.
+    ///
+    /// # Errors
+    ///
+    /// [`SupervisorError::Io`] if the localhost listener cannot bind.
+    pub fn start(cfg: SupervisorConfig, journal: Option<Journal>) -> Result<Self, SupervisorError> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?.to_string();
+        let (ctl_tx, ctl_rx) = std::sync::mpsc::channel();
+        let (ev_tx, ev_rx) = std::sync::mpsc::channel();
+        let pids = Arc::new(Mutex::new(vec![None; cfg.shards]));
+        let completed = Arc::new(Mutex::new(0usize));
+        spawn_accept_loop(listener, &ev_tx);
+        let loop_pids = Arc::clone(&pids);
+        let loop_completed = Arc::clone(&completed);
+        let thread = std::thread::Builder::new()
+            .name("marsit-supervisor".to_string())
+            .spawn(move || {
+                supervisor_main(
+                    &cfg,
+                    &addr,
+                    &ctl_rx,
+                    &ev_rx,
+                    &loop_pids,
+                    &loop_completed,
+                    journal,
+                )
+            })
+            .expect("spawn supervisor thread");
+        Ok(Self {
+            ctl: ctl_tx,
+            thread,
+            pids,
+            submitted: 0,
+            completed,
+        })
+    }
+
+    /// Submits a fresh job.
+    pub fn submit(&mut self, spec: JobSpec) {
+        self.submitted += 1;
+        self.ctl
+            .send(CtlMsg::Submit(spec))
+            .expect("supervisor alive");
+    }
+
+    /// Re-submits a crash-recovered job from its journaled snapshot.
+    pub fn submit_resume(&mut self, resume: ResumeJob) {
+        self.submitted += 1;
+        self.ctl
+            .send(CtlMsg::Resume(resume))
+            .expect("supervisor alive");
+    }
+
+    /// Jobs finished so far.
+    #[must_use]
+    pub fn completed(&self) -> usize {
+        *self.completed.lock().expect("completed lock")
+    }
+
+    /// OS pid of shard `i`'s current subprocess (None while down) — lets
+    /// the recovery tests SIGKILL one shard mid-storm.
+    #[must_use]
+    pub fn shard_pid(&self, shard: usize) -> Option<u32> {
+        self.pids
+            .lock()
+            .expect("pids lock")
+            .get(shard)
+            .copied()
+            .flatten()
+    }
+
+    /// Waits for every submitted job to finish, stops the shards, and
+    /// returns the report.
+    ///
+    /// # Errors
+    ///
+    /// The [`SupervisorError`] the event loop died with, if it did.
+    pub fn finish(self) -> Result<SupervisorReport, SupervisorError> {
+        self.ctl.send(CtlMsg::Finish).expect("supervisor alive");
+        self.thread.join().expect("supervisor thread panicked")
+    }
+}
+
+enum SupEvent {
+    Connected { shard: usize, stream: TcpStream },
+    Frame { shard: usize, frame: Frame },
+    Disconnected { shard: usize },
+}
+
+fn spawn_accept_loop(listener: TcpListener, ev_tx: &Sender<SupEvent>) {
+    let ev_tx = ev_tx.clone();
+    std::thread::Builder::new()
+        .name("marsit-sup-accept".to_string())
+        .spawn(move || {
+            while let Ok((stream, _)) = listener.accept() {
+                let ev_tx = ev_tx.clone();
+                std::thread::spawn(move || conn_reader(stream, &ev_tx));
+            }
+        })
+        .expect("spawn accept thread");
+}
+
+/// Per-connection reader: first frame must be `hello` (from = shard id);
+/// every further frame is forwarded; EOF or a malformed line becomes
+/// `Disconnected` — the liveness signal.
+fn conn_reader(stream: TcpStream, ev_tx: &Sender<SupEvent>) {
+    stream.set_nodelay(true).ok();
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut line = String::new();
+    let shard = match read_frame(&mut reader, &mut line) {
+        Some(frame) if frame.kind == FrameKind::Hello => frame.from as usize,
+        _ => return,
+    };
+    if ev_tx.send(SupEvent::Connected { shard, stream }).is_err() {
+        return;
+    }
+    loop {
+        match read_frame(&mut reader, &mut line) {
+            Some(frame) => {
+                if ev_tx.send(SupEvent::Frame { shard, frame }).is_err() {
+                    return;
+                }
+            }
+            None => {
+                ev_tx.send(SupEvent::Disconnected { shard }).ok();
+                return;
+            }
+        }
+    }
+}
+
+/// Reads one frame; `None` on EOF or any read/decode error (a torn
+/// trailing line from a killed process decodes as an error, which is the
+/// same liveness signal as EOF).
+fn read_frame(reader: &mut BufReader<TcpStream>, line: &mut String) -> Option<Frame> {
+    line.clear();
+    match reader.read_line(line) {
+        Ok(0) => None,
+        Ok(_) if line.ends_with('\n') => Frame::decode(line).ok(),
+        _ => None,
+    }
+}
+
+fn write_frame(stream: &mut TcpStream, frame: &Frame) -> std::io::Result<()> {
+    stream.write_all(frame.encode().as_bytes())
+}
+
+fn bytes_frame(kind: FrameKind, from: u32, to: u32, body: String) -> Frame {
+    Frame {
+        kind,
+        from,
+        to,
+        payload: Payload::Bytes(body.into_bytes()),
+        ctx: None,
+    }
+}
+
+fn body_text(frame: &Frame) -> Result<&str, SupervisorError> {
+    match &frame.payload {
+        Payload::Bytes(bytes) => std::str::from_utf8(bytes)
+            .map_err(|e| SupervisorError::Protocol(format!("non-UTF-8 frame body: {e}"))),
+        other => Err(SupervisorError::Protocol(format!(
+            "expected bytes payload, got {other:?}"
+        ))),
+    }
+}
+
+/// A shard's view from the supervisor.
+struct Shard {
+    child: Option<Child>,
+    stream: Option<TcpStream>,
+    restarts: u32,
+    respawn_at: Option<Instant>,
+    /// Permanently abandoned (restart budget exhausted).
+    dead: bool,
+}
+
+/// One supervised job.
+struct SupJob {
+    spec: JobSpec,
+    assigned: usize,
+    delivered: bool,
+    done: bool,
+    /// Set while an evict request is outstanding (no double-eviction, no
+    /// redelivery race).
+    evicting: bool,
+    migrations: u32,
+    shard_path: Vec<usize>,
+    /// Accumulated telemetry (deltas arrive in-order on snapshot/outcome
+    /// frames, so this is exact at every snapshot point).
+    log: String,
+    /// Last durability point: `(snapshot_json, tel_seq, round)`.
+    last_snap: Option<(String, u64, u64)>,
+}
+
+#[allow(clippy::too_many_lines)]
+fn supervisor_main(
+    cfg: &SupervisorConfig,
+    addr: &str,
+    ctl: &Receiver<CtlMsg>,
+    events: &Receiver<SupEvent>,
+    pids: &Arc<Mutex<Vec<Option<u32>>>>,
+    completed: &Arc<Mutex<usize>>,
+    journal: Option<Journal>,
+) -> Result<SupervisorReport, SupervisorError> {
+    let mut shards: Vec<Shard> = (0..cfg.shards)
+        .map(|_| Shard {
+            child: None,
+            stream: None,
+            restarts: 0,
+            respawn_at: Some(Instant::now()),
+            dead: false,
+        })
+        .collect();
+    let mut jobs: HashMap<String, SupJob> = HashMap::new();
+    let mut order: Vec<String> = Vec::new();
+    let mut draining = false;
+    let mut report = SupervisorReport {
+        outcomes: Vec::new(),
+        shard_deaths: 0,
+        restarts: 0,
+        migrations: 0,
+    };
+    let mut rng = match cfg.migration {
+        MigrationPolicy::Seeded { seed, .. } => FastRng::new(seed, u64::from(DRIVER)),
+        _ => FastRng::new(0, 0),
+    };
+
+    loop {
+        // Respawn any shard whose backoff elapsed.
+        for (i, shard) in shards.iter_mut().enumerate() {
+            if shard.dead || shard.child.is_some() {
+                continue;
+            }
+            if shard.respawn_at.is_some_and(|t| t <= Instant::now()) {
+                shard.respawn_at = None;
+                match spawn_worker(cfg, addr, i) {
+                    Ok(child) => {
+                        pids.lock().expect("pids lock")[i] = Some(child.id());
+                        shard.child = Some(child);
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+
+        // Control-plane intake.
+        loop {
+            match ctl.try_recv() {
+                Ok(CtlMsg::Submit(spec)) => {
+                    journal_submit(journal.as_ref(), &spec);
+                    let assigned = least_loaded(&shards, &jobs);
+                    order.push(spec.name.clone());
+                    jobs.insert(
+                        spec.name.clone(),
+                        SupJob {
+                            spec,
+                            assigned,
+                            delivered: false,
+                            done: false,
+                            evicting: false,
+                            migrations: 0,
+                            shard_path: vec![assigned],
+                            log: String::new(),
+                            last_snap: None,
+                        },
+                    );
+                }
+                Ok(CtlMsg::Resume(resume)) => {
+                    let assigned = least_loaded(&shards, &jobs);
+                    order.push(resume.spec.name.clone());
+                    jobs.insert(
+                        resume.spec.name.clone(),
+                        SupJob {
+                            spec: resume.spec,
+                            assigned,
+                            delivered: false,
+                            done: false,
+                            evicting: false,
+                            migrations: resume.migrations,
+                            shard_path: vec![assigned],
+                            log: resume.log,
+                            last_snap: Some((resume.snapshot_json, resume.tel_seq, 0)),
+                        },
+                    );
+                }
+                Ok(CtlMsg::Finish) => draining = true,
+                Err(_) => break,
+            }
+        }
+
+        // Deliver undelivered jobs whose shard is up.
+        for name in &order {
+            let job = jobs.get_mut(name).expect("job recorded");
+            if job.done || job.delivered || job.evicting {
+                continue;
+            }
+            let shard = &mut shards[job.assigned];
+            let Some(stream) = shard.stream.as_mut() else {
+                continue;
+            };
+            let frame = deliver_frame(job)?;
+            if write_frame(stream, &frame).is_ok() {
+                job.delivered = true;
+            }
+            // A failed write surfaces as Disconnected from the reader;
+            // the job stays undelivered and is retried after restart.
+        }
+
+        if draining && jobs.values().all(|j| j.done) {
+            break;
+        }
+
+        // Data plane: shard frames and deaths.
+        match events.recv_timeout(Duration::from_millis(5)) {
+            Ok(SupEvent::Connected { shard, stream }) => {
+                if shard < shards.len() {
+                    shards[shard].stream = Some(stream);
+                    shards[shard].restarts = 0;
+                }
+            }
+            Ok(SupEvent::Frame { shard, frame }) => {
+                handle_shard_frame(
+                    cfg,
+                    shard,
+                    &frame,
+                    &mut shards,
+                    &mut jobs,
+                    &mut report,
+                    &mut rng,
+                    journal.as_ref(),
+                    completed,
+                )?;
+            }
+            Ok(SupEvent::Disconnected { shard }) => {
+                on_shard_death(cfg, shard, &mut shards, &mut jobs, &mut report, pids)?;
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => {
+                return Err(SupervisorError::Io("accept loop died".to_string()))
+            }
+        }
+        journal_commit(journal.as_ref());
+    }
+
+    // Orderly shutdown: stop frames, then reap.
+    for (i, shard) in shards.iter_mut().enumerate() {
+        if let Some(stream) = shard.stream.as_mut() {
+            write_frame(stream, &Frame::control(FrameKind::Stop, DRIVER, i as u32)).ok();
+        }
+    }
+    for (i, shard) in shards.iter_mut().enumerate() {
+        if let Some(mut child) = shard.child.take() {
+            child.wait().ok();
+        }
+        pids.lock().expect("pids lock")[i] = None;
+    }
+    journal_commit(journal.as_ref());
+    report
+        .outcomes
+        .sort_by(|a, b| a.spec.name.cmp(&b.spec.name));
+    Ok(report)
+}
+
+fn least_loaded(shards: &[Shard], jobs: &HashMap<String, SupJob>) -> usize {
+    let mut counts = vec![0usize; shards.len()];
+    for job in jobs.values() {
+        if !job.done {
+            counts[job.assigned] += 1;
+        }
+    }
+    (0..shards.len())
+        .filter(|&i| !shards[i].dead)
+        .min_by_key(|&i| counts[i])
+        .unwrap_or(0)
+}
+
+/// The submit frame (re)delivering `job` to its assigned shard: a restore
+/// body when a durability point exists, a fresh run body otherwise.
+fn deliver_frame(job: &SupJob) -> Result<Frame, SupervisorError> {
+    let line = job
+        .spec
+        .to_line()
+        .map_err(|e| SupervisorError::Protocol(format!("unrepresentable spec: {e}")))?;
+    let body = match &job.last_snap {
+        Some((snapshot_json, tel_seq, _)) => format!(
+            "restore tel_seq={tel_seq:016x} migrations={} spec={}:{line} snapshot={}:{snapshot_json}",
+            job.migrations,
+            line.len(),
+            snapshot_json.len(),
+        ),
+        None => format!("run {line}"),
+    };
+    Ok(bytes_frame(
+        FrameKind::Submit,
+        DRIVER,
+        job.assigned as u32,
+        body,
+    ))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn handle_shard_frame(
+    cfg: &SupervisorConfig,
+    shard: usize,
+    frame: &Frame,
+    shards: &mut [Shard],
+    jobs: &mut HashMap<String, SupJob>,
+    report: &mut SupervisorReport,
+    rng: &mut FastRng,
+    journal: Option<&Journal>,
+    completed: &Arc<Mutex<usize>>,
+) -> Result<(), SupervisorError> {
+    match frame.kind {
+        FrameKind::Snapshot => {
+            let push = SnapshotPush::parse(body_text(frame)?)?;
+            {
+                let Some(job) = jobs.get_mut(&push.name) else {
+                    return Ok(()); // stale frame from a job already reassigned
+                };
+                if job.done || job.assigned != shard {
+                    return Ok(());
+                }
+                job.log.push_str(&push.log_delta);
+                job.last_snap = Some((push.snapshot_json.clone(), push.tel_seq, push.round));
+                job.migrations = push.migrations;
+                journal_snapshot(journal, shard, job, &push);
+            }
+            if push.evicted {
+                // The shard dropped the job; restore it elsewhere (or back
+                // on `shard` when it is the only one left alive).
+                report.migrations += 1;
+                let target = pick_other_shard(shards, shard);
+                if let Some(target) = target {
+                    journal_migrate(journal, &push.name, shard, target);
+                }
+                let job = jobs.get_mut(&push.name).expect("job still recorded");
+                job.evicting = false;
+                job.delivered = false;
+                job.migrations += 1;
+                if let Some(target) = target {
+                    job.assigned = target;
+                    job.shard_path.push(target);
+                }
+            } else {
+                let already_evicting = jobs[&push.name].evicting;
+                if !already_evicting && wants_eviction(cfg, shards, jobs, shard, rng) {
+                    jobs.get_mut(&push.name)
+                        .expect("job still recorded")
+                        .evicting = true;
+                    if let Some(stream) = shards[shard].stream.as_mut() {
+                        write_frame(
+                            stream,
+                            &bytes_frame(
+                                FrameKind::Snapshot,
+                                DRIVER,
+                                shard as u32,
+                                format!("evict {}", push.name),
+                            ),
+                        )
+                        .ok();
+                    }
+                }
+            }
+            Ok(())
+        }
+        FrameKind::Outcome => {
+            let done = OutcomePush::parse(body_text(frame)?)?;
+            let Some(job) = jobs.get_mut(&done.name) else {
+                return Ok(());
+            };
+            if job.done || job.assigned != shard {
+                return Ok(());
+            }
+            job.log.push_str(&done.log_delta);
+            job.done = true;
+            job.migrations = done.migrations;
+            let outcome = RecoveredOutcome {
+                spec: job.spec.clone(),
+                report_debug: done.report_debug,
+                log: job.log.clone(),
+                migrations: job.migrations,
+                shard_path: job.shard_path.clone(),
+            };
+            if let Some(journal) = journal {
+                journal
+                    .lock()
+                    .expect("journal lock")
+                    .append(&JournalRecord::Outcome(OutcomeRecord {
+                        name: outcome.spec.name.clone(),
+                        migrations: outcome.migrations,
+                        shard_path: outcome.shard_path.clone(),
+                        report_debug: outcome.report_debug.clone(),
+                        log: outcome.log.clone(),
+                    }))
+                    .expect("journal-representable outcome");
+            }
+            report.outcomes.push(outcome);
+            *completed.lock().expect("completed lock") += 1;
+            Ok(())
+        }
+        FrameKind::Hello | FrameKind::Telem => Ok(()),
+        other => Err(SupervisorError::Protocol(format!(
+            "unexpected {other:?} frame from shard {shard}"
+        ))),
+    }
+}
+
+fn jobs_len(jobs: &HashMap<String, SupJob>, shard: usize) -> usize {
+    jobs.values()
+        .filter(|j| !j.done && j.assigned == shard)
+        .count()
+}
+
+fn pick_other_shard(shards: &[Shard], not: usize) -> Option<usize> {
+    (0..shards.len()).find(|&i| i != not && !shards[i].dead)
+}
+
+/// Supervisor-side migration policy: should the job whose periodic
+/// snapshot just landed on `shard` be evicted? Evaluated only at
+/// snapshot arrivals — the one moment a job is known to have a fresh
+/// durability point, which is exactly what the eviction hand-off ships.
+fn wants_eviction(
+    cfg: &SupervisorConfig,
+    shards: &[Shard],
+    jobs: &HashMap<String, SupJob>,
+    shard: usize,
+    rng: &mut FastRng,
+) -> bool {
+    if shards.iter().filter(|s| !s.dead).count() < 2 {
+        return false;
+    }
+    match cfg.migration {
+        MigrationPolicy::None => false,
+        MigrationPolicy::LoadBalance { skew } => {
+            let min_other = (0..shards.len())
+                .filter(|&i| i != shard && !shards[i].dead)
+                .map(|i| jobs_len(jobs, i))
+                .min()
+                .unwrap_or(0);
+            jobs_len(jobs, shard) >= min_other + skew.max(1)
+        }
+        MigrationPolicy::Seeded { per_mille, .. } => rng.next_range(1000) < u64::from(per_mille),
+    }
+}
+
+fn on_shard_death(
+    cfg: &SupervisorConfig,
+    shard: usize,
+    shards: &mut [Shard],
+    jobs: &mut HashMap<String, SupJob>,
+    report: &mut SupervisorReport,
+    pids: &Arc<Mutex<Vec<Option<u32>>>>,
+) -> Result<(), SupervisorError> {
+    let s = &mut shards[shard];
+    if s.stream.is_none() && s.child.is_none() {
+        return Ok(()); // duplicate signal
+    }
+    s.stream = None;
+    if let Some(mut child) = s.child.take() {
+        child.kill().ok();
+        child.wait().ok();
+    }
+    pids.lock().expect("pids lock")[shard] = None;
+    report.shard_deaths += 1;
+
+    // Roll every resident job back to its last pushed snapshot. Deltas
+    // ride only on snapshot/outcome frames, so the accumulated log is
+    // already exactly the log at that snapshot — nothing to unwind.
+    for job in jobs.values_mut() {
+        if !job.done && job.assigned == shard {
+            job.delivered = false;
+            job.evicting = false;
+        }
+    }
+
+    if shards[shard].restarts >= cfg.max_restarts_per_shard {
+        shards[shard].dead = true;
+        let Some(target) = pick_other_shard(shards, shard) else {
+            return Err(SupervisorError::ShardUnrecoverable {
+                shard,
+                restarts: shards[shard].restarts,
+            });
+        };
+        for job in jobs.values_mut() {
+            if !job.done && job.assigned == shard {
+                job.assigned = target;
+                job.shard_path.push(target);
+            }
+        }
+        return Ok(());
+    }
+    let exp = shards[shard].restarts.min(16);
+    let delay = cfg
+        .backoff_base_ms
+        .saturating_mul(1u64 << exp)
+        .min(cfg.backoff_cap_ms);
+    shards[shard].restarts += 1;
+    report.restarts += 1;
+    shards[shard].respawn_at = Some(Instant::now() + Duration::from_millis(delay));
+    Ok(())
+}
+
+fn spawn_worker(
+    cfg: &SupervisorConfig,
+    addr: &str,
+    shard: usize,
+) -> Result<Child, SupervisorError> {
+    let bin = std::env::var_os(WORKER_BIN_ENV)
+        .map(PathBuf::from)
+        .or_else(|| cfg.worker_bin.clone())
+        .or_else(|| std::env::current_exe().ok())
+        .ok_or_else(|| SupervisorError::Spawn("no worker binary".to_string()))?;
+    Command::new(&bin)
+        .args([
+            "--shard-worker",
+            "--addr",
+            addr,
+            "--shard",
+            &shard.to_string(),
+            "--tick",
+            &cfg.tick_rounds.to_string(),
+            "--snapshot-every",
+            &cfg.snapshot_every_ticks.to_string(),
+        ])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .map_err(|e| SupervisorError::Spawn(format!("{}: {e}", bin.display())))
+}
+
+fn journal_submit(journal: Option<&Journal>, spec: &JobSpec) {
+    if let Some(journal) = journal {
+        let mut journal = journal.lock().expect("journal lock");
+        journal
+            .append(&JournalRecord::Submit { spec: spec.clone() })
+            .expect("journal-representable spec");
+        journal.commit().expect("journal commit");
+    }
+}
+
+fn journal_snapshot(journal: Option<&Journal>, shard: usize, job: &SupJob, push: &SnapshotPush) {
+    if let Some(journal) = journal {
+        journal
+            .lock()
+            .expect("journal lock")
+            .append(&JournalRecord::Snapshot(SnapshotRecord {
+                name: job.spec.name.clone(),
+                shard,
+                migrations: job.migrations,
+                round: push.round,
+                tel_seq: push.tel_seq,
+                snapshot_json: push.snapshot_json.clone(),
+                log: job.log.clone(),
+            }))
+            .expect("journal-representable snapshot");
+    }
+}
+
+fn journal_migrate(journal: Option<&Journal>, name: &str, from: usize, to: usize) {
+    if let Some(journal) = journal {
+        journal
+            .lock()
+            .expect("journal lock")
+            .append(&JournalRecord::Migrate {
+                name: name.to_string(),
+                from,
+                to,
+            })
+            .expect("journal-representable migration");
+    }
+}
+
+fn journal_commit(journal: Option<&Journal>) {
+    if let Some(journal) = journal {
+        journal
+            .lock()
+            .expect("journal lock")
+            .commit()
+            .expect("journal commit");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire bodies (UTF-8 text inside `Payload::Bytes`).
+// ---------------------------------------------------------------------------
+
+fn proto_err(reason: String) -> SupervisorError {
+    SupervisorError::Protocol(reason)
+}
+
+fn kv_token<'a>(
+    tokens: &mut std::str::SplitWhitespace<'a>,
+    key: &str,
+) -> Result<&'a str, SupervisorError> {
+    let token = tokens
+        .next()
+        .ok_or_else(|| proto_err(format!("missing {key}= field")))?;
+    token
+        .strip_prefix(key)
+        .and_then(|t| t.strip_prefix('='))
+        .ok_or_else(|| proto_err(format!("expected {key}=..., found {token:?}")))
+}
+
+/// A shard's snapshot push (`periodic …` or `evicted …`).
+struct SnapshotPush {
+    evicted: bool,
+    name: String,
+    round: u64,
+    tel_seq: u64,
+    migrations: u32,
+    snapshot_json: String,
+    log_delta: String,
+}
+
+impl SnapshotPush {
+    fn encode(&self) -> String {
+        format!(
+            "{} name={} round={} tel_seq={:016x} migrations={} snapshot={}:{} log={}:{}",
+            if self.evicted { "evicted" } else { "periodic" },
+            self.name,
+            self.round,
+            self.tel_seq,
+            self.migrations,
+            self.snapshot_json.len(),
+            self.snapshot_json,
+            self.log_delta.len(),
+            self.log_delta,
+        )
+    }
+
+    fn parse(body: &str) -> Result<Self, SupervisorError> {
+        let (head, tail) = body
+            .split_once(" snapshot=")
+            .ok_or_else(|| proto_err("snapshot push missing snapshot segment".to_string()))?;
+        let mut tokens = head.split_whitespace();
+        let verb = tokens.next().unwrap_or("");
+        let evicted = match verb {
+            "periodic" => false,
+            "evicted" => true,
+            other => return Err(proto_err(format!("unknown snapshot verb {other:?}"))),
+        };
+        let name = kv_token(&mut tokens, "name")?.to_string();
+        let round = kv_token(&mut tokens, "round")?
+            .parse()
+            .map_err(|_| proto_err("bad round".to_string()))?;
+        let tel_seq = u64::from_str_radix(kv_token(&mut tokens, "tel_seq")?, 16)
+            .map_err(|_| proto_err("bad tel_seq".to_string()))?;
+        let migrations = kv_token(&mut tokens, "migrations")?
+            .parse()
+            .map_err(|_| proto_err("bad migrations".to_string()))?;
+        let (snapshot_json, tail) =
+            take_len_prefixed(tail, "snapshot").map_err(|e| proto_err(e.to_string()))?;
+        let tail = tail
+            .strip_prefix(" log=")
+            .ok_or_else(|| proto_err("snapshot push missing log segment".to_string()))?;
+        let (log_delta, rest) =
+            take_len_prefixed(tail, "log").map_err(|e| proto_err(e.to_string()))?;
+        if !rest.is_empty() {
+            return Err(proto_err("trailing bytes after snapshot push".to_string()));
+        }
+        Ok(Self {
+            evicted,
+            name,
+            round,
+            tel_seq,
+            migrations,
+            snapshot_json: snapshot_json.to_string(),
+            log_delta: log_delta.to_string(),
+        })
+    }
+}
+
+/// A shard's outcome push (`done …`).
+struct OutcomePush {
+    name: String,
+    migrations: u32,
+    report_debug: String,
+    log_delta: String,
+}
+
+impl OutcomePush {
+    fn encode(&self) -> String {
+        format!(
+            "done name={} migrations={} report={}:{} log={}:{}",
+            self.name,
+            self.migrations,
+            self.report_debug.len(),
+            self.report_debug,
+            self.log_delta.len(),
+            self.log_delta,
+        )
+    }
+
+    fn parse(body: &str) -> Result<Self, SupervisorError> {
+        let (head, tail) = body
+            .split_once(" report=")
+            .ok_or_else(|| proto_err("outcome push missing report segment".to_string()))?;
+        let mut tokens = head.split_whitespace();
+        match tokens.next() {
+            Some("done") => {}
+            other => return Err(proto_err(format!("unknown outcome verb {other:?}"))),
+        }
+        let name = kv_token(&mut tokens, "name")?.to_string();
+        let migrations = kv_token(&mut tokens, "migrations")?
+            .parse()
+            .map_err(|_| proto_err("bad migrations".to_string()))?;
+        let (report_debug, tail) =
+            take_len_prefixed(tail, "report").map_err(|e| proto_err(e.to_string()))?;
+        let tail = tail
+            .strip_prefix(" log=")
+            .ok_or_else(|| proto_err("outcome push missing log segment".to_string()))?;
+        let (log_delta, rest) =
+            take_len_prefixed(tail, "log").map_err(|e| proto_err(e.to_string()))?;
+        if !rest.is_empty() {
+            return Err(proto_err("trailing bytes after outcome push".to_string()));
+        }
+        Ok(Self {
+            name,
+            migrations,
+            report_debug: report_debug.to_string(),
+            log_delta: log_delta.to_string(),
+        })
+    }
+}
+
+/// A submit-frame body: `run <spec-line>` or `restore …`.
+enum SubmitBody {
+    Run(JobSpec),
+    Restore {
+        spec: JobSpec,
+        tel_seq: u64,
+        migrations: u32,
+        snapshot_json: String,
+    },
+}
+
+impl SubmitBody {
+    fn parse(body: &str) -> Result<Self, SupervisorError> {
+        if let Some(line) = body.strip_prefix("run ") {
+            return JobSpec::parse_line(line).map(Self::Run).map_err(proto_err);
+        }
+        let rest = body
+            .strip_prefix("restore ")
+            .ok_or_else(|| proto_err(format!("unknown submit verb in {body:?}")))?;
+        let (head, tail) = rest
+            .split_once(" spec=")
+            .ok_or_else(|| proto_err("restore body missing spec segment".to_string()))?;
+        let mut tokens = head.split_whitespace();
+        let tel_seq = u64::from_str_radix(kv_token(&mut tokens, "tel_seq")?, 16)
+            .map_err(|_| proto_err("bad tel_seq".to_string()))?;
+        let migrations = kv_token(&mut tokens, "migrations")?
+            .parse()
+            .map_err(|_| proto_err("bad migrations".to_string()))?;
+        let (line, tail) = take_len_prefixed(tail, "spec").map_err(|e| proto_err(e.to_string()))?;
+        let spec = JobSpec::parse_line(line).map_err(proto_err)?;
+        let tail = tail
+            .strip_prefix(" snapshot=")
+            .ok_or_else(|| proto_err("restore body missing snapshot segment".to_string()))?;
+        let (snapshot_json, rest) =
+            take_len_prefixed(tail, "snapshot").map_err(|e| proto_err(e.to_string()))?;
+        if !rest.is_empty() {
+            return Err(proto_err("trailing bytes after restore body".to_string()));
+        }
+        Ok(Self::Restore {
+            spec,
+            tel_seq,
+            migrations,
+            snapshot_json: snapshot_json.to_string(),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The shard-worker side (runs inside the subprocess).
+// ---------------------------------------------------------------------------
+
+struct WorkerJob {
+    spec: JobSpec,
+    state: TrainerState,
+    tel: Telemetry,
+    /// Telemetry drained but not yet shipped (deltas ride only on
+    /// snapshot/outcome frames — see the module docs).
+    pending_log: String,
+    migrations: u32,
+    ticks_since_snap: usize,
+}
+
+/// The shard-worker event loop: the body of `marsit_serve --shard-worker`.
+/// Connects to the supervisor, runs submitted jobs tick-by-tick, pushes
+/// periodic snapshot frames and final outcomes, and exits the moment the
+/// supervisor socket reaches EOF (no orphans after a supervisor
+/// `kill -9`). Returns the process exit code.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn shard_worker_main(
+    addr: &str,
+    shard: usize,
+    tick_rounds: usize,
+    snapshot_every_ticks: usize,
+) -> i32 {
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        return 1;
+    };
+    stream.set_nodelay(true).ok();
+    let Ok(read_half) = stream.try_clone() else {
+        return 1;
+    };
+    let mut reader = BufReader::new(read_half);
+    let hello = Frame::control(FrameKind::Hello, shard as u32, DRIVER);
+    if write_frame(&mut stream, &hello).is_err() {
+        return 1;
+    }
+
+    let mut jobs: std::collections::VecDeque<WorkerJob> = std::collections::VecDeque::new();
+    let mut evict_requests: Vec<String> = Vec::new();
+    let mut partial = String::new();
+    let idle_min = Duration::from_millis(1);
+    let idle_max = Duration::from_millis(16);
+    let mut idle_wait = idle_min;
+    let tick_rounds = tick_rounds.max(1);
+
+    loop {
+        // Frame intake. Block up to `idle_wait` when idle, poll briefly
+        // when jobs are runnable. A read timeout may cut a line in half;
+        // `partial` carries the prefix to the next attempt, so frames are
+        // never torn by timing.
+        let wait = if jobs.is_empty() {
+            idle_wait
+        } else {
+            Duration::from_micros(200)
+        };
+        reader.get_ref().set_read_timeout(Some(wait)).ok();
+        loop {
+            match reader.read_line(&mut partial) {
+                Ok(0) => return 0, // supervisor gone: exit immediately
+                Ok(_) if partial.ends_with('\n') => {
+                    let Ok(frame) = Frame::decode(&partial) else {
+                        return 1;
+                    };
+                    partial.clear();
+                    match frame.kind {
+                        FrameKind::Stop => return 0,
+                        FrameKind::Submit => {
+                            let Ok(body) = body_text(&frame) else {
+                                return 1;
+                            };
+                            match SubmitBody::parse(body) {
+                                Ok(SubmitBody::Run(spec)) => {
+                                    let tel = Telemetry::recording();
+                                    let cfg = spec.to_train_config(tel.clone());
+                                    let state = TrainerState::new(&cfg);
+                                    jobs.push_back(WorkerJob {
+                                        spec,
+                                        state,
+                                        tel,
+                                        pending_log: String::new(),
+                                        migrations: 0,
+                                        ticks_since_snap: 0,
+                                    });
+                                }
+                                Ok(SubmitBody::Restore {
+                                    spec,
+                                    tel_seq,
+                                    migrations,
+                                    snapshot_json,
+                                }) => {
+                                    let tel = Telemetry::recording();
+                                    tel.restore_seq_floor(tel_seq);
+                                    let cfg = spec.to_train_config(tel.clone());
+                                    let Ok(snapshot) = TrainSnapshot::from_json(&snapshot_json)
+                                    else {
+                                        return 1;
+                                    };
+                                    let state = TrainerState::restore(&cfg, &snapshot);
+                                    jobs.push_back(WorkerJob {
+                                        spec,
+                                        state,
+                                        tel,
+                                        pending_log: String::new(),
+                                        migrations,
+                                        ticks_since_snap: 0,
+                                    });
+                                }
+                                Err(_) => return 1,
+                            }
+                            idle_wait = idle_min;
+                        }
+                        FrameKind::Snapshot => {
+                            let Ok(body) = body_text(&frame) else {
+                                return 1;
+                            };
+                            if let Some(name) = body.strip_prefix("evict ") {
+                                evict_requests.push(name.to_string());
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                Ok(_) => {} // partial line: keep accumulating
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    break;
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return 0, // connection reset: supervisor gone
+            }
+            // Drain whatever is already buffered without re-blocking.
+            if reader.buffer().is_empty() {
+                break;
+            }
+        }
+
+        let Some(mut job) = jobs.pop_front() else {
+            idle_wait = (idle_wait * 2).min(idle_max);
+            continue;
+        };
+        idle_wait = idle_min;
+
+        // Eviction requested: snapshot at this tick boundary and hand the
+        // job back instead of running it further.
+        if let Some(pos) = evict_requests.iter().position(|n| *n == job.spec.name) {
+            evict_requests.remove(pos);
+            let snapshot = job.state.snapshot();
+            job.tel.drain_events_jsonl_into(&mut job.pending_log);
+            let push = SnapshotPush {
+                evicted: true,
+                name: job.spec.name.clone(),
+                round: snapshot.round,
+                tel_seq: job.tel.seq_floor(),
+                migrations: job.migrations,
+                snapshot_json: snapshot.to_json(),
+                log_delta: std::mem::take(&mut job.pending_log),
+            };
+            let frame = bytes_frame(FrameKind::Snapshot, shard as u32, DRIVER, push.encode());
+            if write_frame(&mut stream, &frame).is_err() {
+                return 0;
+            }
+            continue; // job dropped: it now lives in the snapshot
+        }
+
+        // One tick.
+        let mut ran = 0;
+        while ran < tick_rounds && !job.state.is_done() {
+            job.state.step();
+            ran += 1;
+        }
+        job.tel.drain_events_jsonl_into(&mut job.pending_log);
+        job.ticks_since_snap += 1;
+
+        if job.state.is_done() {
+            let report = job.state.finish();
+            job.tel.drain_events_jsonl_into(&mut job.pending_log);
+            let push = OutcomePush {
+                name: job.spec.name.clone(),
+                migrations: job.migrations,
+                report_debug: report_fingerprint(&report),
+                log_delta: std::mem::take(&mut job.pending_log),
+            };
+            let frame = bytes_frame(FrameKind::Outcome, shard as u32, DRIVER, push.encode());
+            if write_frame(&mut stream, &frame).is_err() {
+                return 0;
+            }
+            continue;
+        }
+        if snapshot_every_ticks > 0 && job.ticks_since_snap >= snapshot_every_ticks {
+            let snapshot = job.state.snapshot();
+            let push = SnapshotPush {
+                evicted: false,
+                name: job.spec.name.clone(),
+                round: snapshot.round,
+                tel_seq: job.tel.seq_floor(),
+                migrations: job.migrations,
+                snapshot_json: snapshot.to_json(),
+                log_delta: std::mem::take(&mut job.pending_log),
+            };
+            job.ticks_since_snap = 0;
+            let frame = bytes_frame(FrameKind::Snapshot, shard as u32, DRIVER, push.encode());
+            if write_frame(&mut stream, &frame).is_err() {
+                return 0;
+            }
+        }
+        jobs.push_back(job);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marsit_models::Workload;
+    use marsit_simnet::Topology;
+
+    #[test]
+    fn snapshot_push_round_trips() {
+        let push = SnapshotPush {
+            evicted: false,
+            name: "j0".to_string(),
+            round: 6,
+            tel_seq: 0xAB,
+            migrations: 2,
+            snapshot_json: r#"{"round":6}"#.to_string(),
+            log_delta: "l1\nl2 with spaces\n".to_string(),
+        };
+        let back = SnapshotPush::parse(&push.encode()).expect("round trip");
+        assert!(!back.evicted);
+        assert_eq!(back.name, push.name);
+        assert_eq!(back.tel_seq, 0xAB);
+        assert_eq!(back.snapshot_json, push.snapshot_json);
+        assert_eq!(back.log_delta, push.log_delta);
+
+        let evicted = SnapshotPush {
+            evicted: true,
+            ..push
+        };
+        assert!(
+            SnapshotPush::parse(&evicted.encode())
+                .expect("parses")
+                .evicted
+        );
+    }
+
+    #[test]
+    fn outcome_push_round_trips() {
+        let push = OutcomePush {
+            name: "j1".to_string(),
+            migrations: 1,
+            report_debug: "TrainReport { x: 1 }".to_string(),
+            log_delta: String::new(),
+        };
+        let back = OutcomePush::parse(&push.encode()).expect("round trip");
+        assert_eq!(back.name, "j1");
+        assert_eq!(back.report_debug, push.report_debug);
+        assert_eq!(back.log_delta, "");
+    }
+
+    #[test]
+    fn submit_body_parses_run_and_restore() {
+        let mut spec = JobSpec::new("s", Workload::AlexNetMnist, Topology::ring(4));
+        spec.rounds = 9;
+        let line = spec.to_line().expect("representable");
+        let SubmitBody::Run(parsed) = SubmitBody::parse(&format!("run {line}")).expect("run body")
+        else {
+            panic!("wrong verb");
+        };
+        assert_eq!(parsed, spec);
+
+        let body = format!(
+            "restore tel_seq={:016x} migrations=3 spec={}:{line} snapshot={}:{}",
+            0x42u64,
+            line.len(),
+            7,
+            "{\"x\":1}"
+        );
+        let SubmitBody::Restore {
+            spec: rspec,
+            tel_seq,
+            migrations,
+            snapshot_json,
+        } = SubmitBody::parse(&body).expect("restore body")
+        else {
+            panic!("wrong verb");
+        };
+        assert_eq!(rspec, spec);
+        assert_eq!(tel_seq, 0x42);
+        assert_eq!(migrations, 3);
+        assert_eq!(snapshot_json, "{\"x\":1}");
+        assert!(SubmitBody::parse("launch x").is_err());
+    }
+}

@@ -59,6 +59,17 @@ pub enum FrameKind {
     /// Worker → hub: a batch of telemetry events for the trace collector
     /// (payload = UTF-8 JSONL as [`Payload::Bytes`]).
     Telem,
+    /// Supervisor → shard: run a job (payload = UTF-8 submission body as
+    /// [`Payload::Bytes`] — a fresh job's canonical spec line, or a
+    /// restore body carrying spec + snapshot + telemetry floor).
+    Submit,
+    /// Shard → supervisor: a job finished (payload = UTF-8 outcome body:
+    /// report fingerprint plus log delta).
+    Outcome,
+    /// Shard ↔ supervisor: a durability snapshot of an in-flight job
+    /// (periodic, or the final state of an evicted job), or the
+    /// supervisor's eviction request.
+    Snapshot,
 }
 
 impl FrameKind {
@@ -72,6 +83,9 @@ impl FrameKind {
             Self::Down => "down",
             Self::Stop => "stop",
             Self::Telem => "telem",
+            Self::Submit => "submit",
+            Self::Outcome => "outcome",
+            Self::Snapshot => "snapshot",
         }
     }
 
@@ -85,6 +99,9 @@ impl FrameKind {
             "down" => Self::Down,
             "stop" => Self::Stop,
             "telem" => Self::Telem,
+            "submit" => Self::Submit,
+            "outcome" => Self::Outcome,
+            "snapshot" => Self::Snapshot,
             _ => return None,
         })
     }
@@ -443,6 +460,43 @@ mod tests {
         let frame = Frame::control(FrameKind::Stop, DRIVER, 2);
         assert_eq!(frame.encode(), "marsit-wire/1 stop 4294967295 2 -\n");
         assert_eq!(Frame::decode(&frame.encode()).unwrap(), frame);
+    }
+
+    #[test]
+    fn golden_fixture_serving_frames() {
+        // Pinned wire bytes for the process-per-shard serving protocol:
+        // a supervisor submitting a spec line to shard 2, the shard's
+        // outcome, and a snapshot frame. If these move, marsit-wire/1 is
+        // broken for mixed-version supervisor/shard pairs.
+        let submit = Frame {
+            kind: FrameKind::Submit,
+            from: DRIVER,
+            to: 2,
+            payload: Payload::Bytes(b"name=j0".to_vec()),
+            ctx: None,
+        };
+        assert_eq!(
+            submit.encode(),
+            "marsit-wire/1 submit 4294967295 2 b6e616d653d6a30\n"
+        );
+        assert_eq!(Frame::decode(&submit.encode()).unwrap(), submit);
+
+        let outcome = Frame {
+            kind: FrameKind::Outcome,
+            from: 2,
+            to: DRIVER,
+            payload: Payload::Bytes(b"ok".to_vec()),
+            ctx: None,
+        };
+        assert_eq!(
+            outcome.encode(),
+            "marsit-wire/1 outcome 2 4294967295 b6f6b\n"
+        );
+        assert_eq!(Frame::decode(&outcome.encode()).unwrap(), outcome);
+
+        let snapshot = Frame::control(FrameKind::Snapshot, 1, DRIVER);
+        assert_eq!(snapshot.encode(), "marsit-wire/1 snapshot 1 4294967295 -\n");
+        assert_eq!(Frame::decode(&snapshot.encode()).unwrap(), snapshot);
     }
 
     #[test]

@@ -9,21 +9,35 @@
 //! for the event log and summary schemas.
 
 /// Escape and write `s` as a JSON string literal (with surrounding quotes).
+///
+/// Runs of bytes that need no escaping are copied in bulk: every byte that
+/// does need escaping is ASCII, so byte indices of such bytes are always
+/// `char` boundaries and the clean spans between them can be appended as-is.
+/// (Snapshot payloads push megabyte hex strings through here; a per-char
+/// loop dominates serialization time.)
 pub fn write_str(out: &mut String, s: &str) {
     out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
+    let bytes = s.as_bytes();
+    let mut start = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        let escape: &str = match b {
+            b'"' => "\\\"",
+            b'\\' => "\\\\",
+            b'\n' => "\\n",
+            b'\r' => "\\r",
+            b'\t' => "\\t",
+            b if b < 0x20 => "",
+            _ => continue,
+        };
+        out.push_str(&s[start..i]);
+        if escape.is_empty() {
+            out.push_str(&format!("\\u{:04x}", u32::from(b)));
+        } else {
+            out.push_str(escape);
         }
+        start = i + 1;
     }
+    out.push_str(&s[start..]);
     out.push('"');
 }
 
@@ -204,6 +218,22 @@ impl Parser<'_> {
         self.expect(b'"')?;
         let mut out = String::new();
         loop {
+            // Bulk-copy the run up to the next quote or backslash: both are
+            // ASCII, so in the (valid UTF-8) input they always lie on char
+            // boundaries, and everything between them copies verbatim.
+            let run_start = self.pos;
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > run_start {
+                out.push_str(
+                    std::str::from_utf8(&self.bytes[run_start..self.pos])
+                        .map_err(|_| "invalid UTF-8 in string".to_string())?,
+                );
+            }
             let Some(b) = self.peek() else {
                 return Err("unterminated string".to_string());
             };
@@ -248,25 +278,7 @@ impl Parser<'_> {
                         }
                     }
                 }
-                _ if b < 0x80 => out.push(b as char),
-                _ => {
-                    // Multibyte character: step back and decode just this
-                    // sequence (at most 4 bytes — validating the whole
-                    // remaining input here would make parsing quadratic).
-                    self.pos -= 1;
-                    let end = (self.pos + 4).min(self.bytes.len());
-                    let slice = &self.bytes[self.pos..end];
-                    let valid = match std::str::from_utf8(slice) {
-                        Ok(s) => s,
-                        Err(e) if e.valid_up_to() > 0 => {
-                            std::str::from_utf8(&slice[..e.valid_up_to()]).expect("validated")
-                        }
-                        Err(_) => return Err("invalid UTF-8 in string".to_string()),
-                    };
-                    let c = valid.chars().next().ok_or("unterminated string")?;
-                    out.push(c);
-                    self.pos += c.len_utf8();
-                }
+                _ => unreachable!("bulk copy stops only at quote or backslash"),
             }
         }
     }

@@ -876,6 +876,24 @@ impl Telemetry {
         }
     }
 
+    /// The next unassigned expanded-step sequence number. Crash-safe
+    /// serving journals this alongside a trainer snapshot: hop events
+    /// carry absolute sequence numbers, so a job resumed onto a *fresh*
+    /// sink after a process crash must start numbering where the dead
+    /// sink left off for the concatenated log to stay byte-identical to
+    /// an uninterrupted run.
+    #[must_use]
+    pub fn seq_floor(&self) -> u64 {
+        self.peek_seq()
+    }
+
+    /// Raises this sink's sequence floor to `seq` (never lowers it) —
+    /// the restore half of [`Telemetry::seq_floor`]. Call on a fresh
+    /// sink before stepping a crash-restored job.
+    pub fn restore_seq_floor(&self, seq: u64) {
+        self.advance_seq(seq);
+    }
+
     /// Record one wire attempt under a single lock: the `hop` event plus the
     /// derived statistics, with no allocation in the steady state. The
     /// optional [`HopTiming`] fields carry what a traced transport

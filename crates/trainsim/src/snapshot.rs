@@ -68,6 +68,36 @@ pub struct TrainSnapshot {
 
 const HEX_DIGITS: &[u8; 16] = b"0123456789abcdef";
 
+/// Two lowercase hex digits per byte value, for bulk encoding without a
+/// per-nibble branch.
+const HEX_PAIRS: [[u8; 2]; 256] = {
+    let mut table = [[0u8; 2]; 256];
+    let mut i = 0;
+    while i < 256 {
+        table[i] = [HEX_DIGITS[i >> 4], HEX_DIGITS[i & 0xF]];
+        i += 1;
+    }
+    table
+};
+
+/// Nibble value of each ASCII byte, or -1 for non-hex bytes, for bulk
+/// decoding without `from_str_radix`'s per-word UTF-8 and radix checks.
+const HEX_VALUES: [i8; 256] = {
+    let mut table = [-1i8; 256];
+    let mut i = 0u8;
+    while i < 16 {
+        table[HEX_DIGITS[i as usize] as usize] = i as i8;
+        i += 1;
+    }
+    table[b'A' as usize] = 10;
+    table[b'B' as usize] = 11;
+    table[b'C' as usize] = 12;
+    table[b'D' as usize] = 13;
+    table[b'E' as usize] = 14;
+    table[b'F' as usize] = 15;
+    table
+};
+
 /// Appends `nibbles` lowercase hex digits of `bits` (most significant
 /// first). Hand-rolled because snapshots hex-encode millions of parameter
 /// words — a `format!` per element dominates serialization time.
@@ -88,11 +118,17 @@ fn hex_f64(v: f64) -> String {
 }
 
 fn hex_f32s(values: &[f32]) -> String {
-    let mut out = String::with_capacity(values.len() * 8);
+    let mut out = Vec::with_capacity(values.len() * 8);
     for v in values {
-        push_hex(&mut out, u64::from(v.to_bits()), 8);
+        let [b0, b1, b2, b3] = v.to_bits().to_be_bytes();
+        let [h0, h1] = HEX_PAIRS[b0 as usize];
+        let [h2, h3] = HEX_PAIRS[b1 as usize];
+        let [h4, h5] = HEX_PAIRS[b2 as usize];
+        let [h6, h7] = HEX_PAIRS[b3 as usize];
+        out.extend_from_slice(&[h0, h1, h2, h3, h4, h5, h6, h7]);
     }
-    out
+    // Every byte comes from HEX_DIGITS, so the buffer is ASCII.
+    String::from_utf8(out).expect("hex output is ASCII")
 }
 
 fn parse_hex_u64(s: &str) -> Result<u64, String> {
@@ -110,15 +146,21 @@ fn parse_hex_f32s(s: &str) -> Result<Vec<f32>, String> {
     if !s.len().is_multiple_of(8) {
         return Err(format!("f32 vector hex length {} is not 8k", s.len()));
     }
-    s.as_bytes()
-        .chunks(8)
-        .map(|chunk| {
-            let word = std::str::from_utf8(chunk).map_err(|e| e.to_string())?;
-            u32::from_str_radix(word, 16)
-                .map(f32::from_bits)
-                .map_err(|e| format!("bad hex f32 {word:?}: {e}"))
-        })
-        .collect()
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len() / 8);
+    for chunk in bytes.chunks_exact(8) {
+        let mut word = 0u32;
+        for &c in chunk {
+            let nibble = HEX_VALUES[c as usize];
+            if nibble < 0 {
+                let word = String::from_utf8_lossy(chunk);
+                return Err(format!("bad hex f32 {word:?}: invalid digit"));
+            }
+            word = (word << 4) | nibble as u32;
+        }
+        out.push(f32::from_bits(word));
+    }
+    Ok(out)
 }
 
 // --- JSON navigation helpers ------------------------------------------------

@@ -8,19 +8,62 @@
 //! ```text
 //! cargo run --release --bin marsit_serve -- jobs.txt \
 //!     [--shards N] [--tick ROUNDS] [--migrate none|balance|seeded:SEED:PERMILLE] \
-//!     [--verify] [--out PATH]
+//!     [--journal PATH] [--snapshot-every TICKS] \
+//!     [--quota TENANT:JOBS:BUDGET:PER_SEC]... [--max-in-flight N] \
+//!     [--supervise] [--verify] [--out PATH]
 //! ```
 //!
+//! `--journal PATH` makes serving crash-safe: every accepted submission,
+//! periodic job snapshot, migration, and outcome is appended to a durable
+//! `marsit-journal/1` log (fsynced at shard-tick boundaries). If PATH
+//! already holds a journal — say, because the previous server was
+//! `kill -9`ed mid-storm — the server replays it first, reports finished
+//! jobs without re-running them, resumes in-flight jobs from their last
+//! snapshots, and restarts never-snapshotted jobs from scratch.
+//!
+//! `--supervise` runs each shard as a subprocess (restarted with backoff
+//! if it dies) instead of a thread.
+//!
 //! `--verify` re-runs every job solo after serving and hard-fails unless
-//! the served report and telemetry log are byte-identical — the scheduler's
-//! bit-exactness guarantee, checked end to end.
+//! the served report and telemetry log are byte-identical — the bit-
+//! exactness guarantee, checked end to end, including across crashes.
+//!
+//! Exit codes: 0 success; 2 malformed queue (one diagnostic per bad line
+//! on stderr); 3 jobs permanently rejected by admission control; 4 bit-
+//! exactness violation under `--verify`; 1 anything else.
 
 use std::io::Read as _;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use marsit::serve::{
-    quantile_ns, verify_outcome, JobServer, JobSpec, MigrationPolicy, ServeConfig,
+    parse_queue, plan_from_replay, quantile_ns, replay_file, shard_worker_main, verify_outcome,
+    verify_recovered, AdmissionController, AdmissionError, JobServer, JobSpec, JournalWriter,
+    MigrationPolicy, RecoveredOutcome, ServeConfig, SupervisorConfig, SupervisorHandle,
+    TenantQuota,
 };
+
+const EXIT_OK: i32 = 0;
+const EXIT_FAIL: i32 = 1;
+const EXIT_BAD_QUEUE: i32 = 2;
+const EXIT_REJECTED: i32 = 3;
+const EXIT_VIOLATION: i32 = 4;
+
+/// Everything that can end the run early, with its exit code.
+struct CliError {
+    message: String,
+    code: i32,
+}
+
+impl CliError {
+    fn fail(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            code: EXIT_FAIL,
+        }
+    }
+}
 
 fn parse_migration(value: &str) -> Result<MigrationPolicy, String> {
     if value == "none" {
@@ -44,124 +87,571 @@ fn parse_migration(value: &str) -> Result<MigrationPolicy, String> {
     ))
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut input: Option<String> = None;
-    let mut shards = 4usize;
+/// `TENANT:JOBS:BUDGET:PER_SEC` — e.g. `team-a:4:200:10` caps tenant
+/// `team-a` at 4 concurrent jobs, a 200-round token bucket refilled at
+/// 10 rounds/s.
+fn parse_quota(value: &str) -> Result<(String, TenantQuota), String> {
+    let parts: Vec<&str> = value.split(':').collect();
+    let [tenant, jobs, budget, per_sec] = parts[..] else {
+        return Err(format!(
+            "bad --quota (expected TENANT:JOBS:BUDGET:PER_SEC): {value}"
+        ));
+    };
+    if tenant.is_empty() {
+        return Err(format!("bad --quota (empty tenant): {value}"));
+    }
+    let max_in_flight = jobs
+        .parse()
+        .map_err(|_| format!("bad --quota job cap: {jobs}"))?;
+    let round_budget = budget
+        .parse()
+        .map_err(|_| format!("bad --quota round budget: {budget}"))?;
+    let rounds_per_sec = per_sec
+        .parse()
+        .map_err(|_| format!("bad --quota refill rate: {per_sec}"))?;
+    Ok((
+        tenant.to_string(),
+        TenantQuota {
+            max_in_flight,
+            round_budget,
+            rounds_per_sec,
+        },
+    ))
+}
+
+struct Options {
+    input: Option<String>,
+    shards: usize,
+    tick: usize,
+    migration: MigrationPolicy,
+    verify: bool,
+    out_path: Option<String>,
+    journal_path: Option<PathBuf>,
+    snapshot_every: usize,
+    quotas: Vec<(String, TenantQuota)>,
+    max_in_flight: Option<usize>,
+    supervise: bool,
+}
+
+/// The hidden `--shard-worker` mode: this process is a shard subprocess
+/// spawned by a supervisor. Never reached by user-driven invocations.
+fn run_shard_worker(args: &[String]) -> i32 {
+    let mut addr = None;
+    let mut shard = 0usize;
     let mut tick = 4usize;
-    let mut migration = MigrationPolicy::None;
-    let mut verify = false;
-    let mut out_path: Option<String> = None;
+    let mut snapshot_every = 2usize;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--shards" => {
+            "--addr" => {
                 i += 1;
-                shards = args[i].parse().expect("--shards N");
+                addr = args.get(i).cloned();
+            }
+            "--shard" => {
+                i += 1;
+                shard = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(0);
             }
             "--tick" => {
                 i += 1;
-                tick = args[i].parse().expect("--tick ROUNDS");
+                tick = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(4);
             }
-            "--migrate" => {
+            "--snapshot-every" => {
                 i += 1;
-                migration = parse_migration(&args[i]).unwrap_or_else(|e| panic!("{e}"));
+                snapshot_every = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(2);
             }
-            "--verify" => verify = true,
-            "--out" => {
-                i += 1;
-                out_path = Some(args[i].clone());
-            }
-            flag if flag.starts_with("--") => panic!("unknown flag: {flag}"),
-            path => input = Some(path.to_string()),
+            _ => {}
         }
         i += 1;
     }
+    let Some(addr) = addr else {
+        eprintln!("marsit_serve: --shard-worker requires --addr");
+        return EXIT_FAIL;
+    };
+    shard_worker_main(&addr, shard, tick, snapshot_every)
+}
 
-    let queue = match input.as_deref() {
+#[allow(clippy::too_many_lines)]
+fn parse_options(args: &[String]) -> Result<Options, CliError> {
+    let mut opts = Options {
+        input: None,
+        shards: 4,
+        tick: 4,
+        migration: MigrationPolicy::None,
+        verify: false,
+        out_path: None,
+        journal_path: None,
+        snapshot_every: 4,
+        quotas: Vec::new(),
+        max_in_flight: None,
+        supervise: false,
+    };
+    let mut i = 0;
+    let value = |args: &[String], i: &mut usize, flag: &str| -> Result<String, CliError> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| CliError::fail(format!("{flag} needs a value")))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--shards" => {
+                let v = value(args, &mut i, "--shards")?;
+                opts.shards = v
+                    .parse()
+                    .map_err(|_| CliError::fail(format!("bad --shards: {v}")))?;
+            }
+            "--tick" => {
+                let v = value(args, &mut i, "--tick")?;
+                opts.tick = v
+                    .parse()
+                    .map_err(|_| CliError::fail(format!("bad --tick: {v}")))?;
+            }
+            "--migrate" => {
+                let v = value(args, &mut i, "--migrate")?;
+                opts.migration = parse_migration(&v).map_err(CliError::fail)?;
+            }
+            "--journal" => {
+                let v = value(args, &mut i, "--journal")?;
+                opts.journal_path = Some(PathBuf::from(v));
+            }
+            "--snapshot-every" => {
+                let v = value(args, &mut i, "--snapshot-every")?;
+                opts.snapshot_every = v
+                    .parse()
+                    .map_err(|_| CliError::fail(format!("bad --snapshot-every: {v}")))?;
+            }
+            "--quota" => {
+                let v = value(args, &mut i, "--quota")?;
+                opts.quotas.push(parse_quota(&v).map_err(CliError::fail)?);
+            }
+            "--max-in-flight" => {
+                let v = value(args, &mut i, "--max-in-flight")?;
+                opts.max_in_flight = Some(
+                    v.parse()
+                        .map_err(|_| CliError::fail(format!("bad --max-in-flight: {v}")))?,
+                );
+            }
+            "--supervise" => opts.supervise = true,
+            "--verify" => opts.verify = true,
+            "--out" => opts.out_path = Some(value(args, &mut i, "--out")?),
+            flag if flag.starts_with("--") => {
+                return Err(CliError::fail(format!("unknown flag: {flag}")));
+            }
+            path => opts.input = Some(path.to_string()),
+        }
+        i += 1;
+    }
+    Ok(opts)
+}
+
+fn read_queue(input: Option<&str>) -> Result<String, CliError> {
+    match input {
         Some(path) => std::fs::read_to_string(path)
-            .unwrap_or_else(|e| panic!("cannot read job queue {path}: {e}")),
+            .map_err(|e| CliError::fail(format!("cannot read job queue {path}: {e}"))),
         None => {
             let mut text = String::new();
             std::io::stdin()
                 .read_to_string(&mut text)
-                .expect("read job queue from stdin");
-            text
+                .map_err(|e| CliError::fail(format!("cannot read job queue from stdin: {e}")))?;
+            Ok(text)
         }
-    };
-    let specs: Vec<JobSpec> = queue
-        .lines()
-        .map(str::trim)
-        .filter(|l| !l.is_empty() && !l.starts_with('#'))
-        .map(|l| JobSpec::parse_line(l).unwrap_or_else(|e| panic!("bad job spec: {e}")))
-        .collect();
-    assert!(!specs.is_empty(), "job queue is empty");
-
-    let mut cfg = ServeConfig::new(shards);
-    cfg.tick_rounds = tick.max(1);
-    cfg.migration = migration;
-    eprintln!(
-        "marsit_serve: {} jobs over {} shards (tick {} rounds, migration {:?})",
-        specs.len(),
-        cfg.shards,
-        cfg.tick_rounds,
-        cfg.migration
-    );
-
-    let wall = Instant::now();
-    let mut handle = JobServer::start(cfg);
-    for spec in specs {
-        handle.submit(spec);
     }
-    let report = handle.finish();
-    let wall_s = wall.elapsed().as_secs_f64();
+}
 
+fn admission_from(opts: &Options) -> Option<AdmissionController> {
+    if opts.quotas.is_empty() && opts.max_in_flight.is_none() {
+        return None;
+    }
+    let mut admission = AdmissionController::new();
+    if let Some(cap) = opts.max_in_flight {
+        admission.set_queue_cap(cap);
+    }
+    for (tenant, quota) in &opts.quotas {
+        admission.set_quota(tenant.clone(), *quota);
+    }
+    Some(admission)
+}
+
+/// Milliseconds since this process's own epoch — monotonic, which is all
+/// the token buckets need.
+fn now_ms(epoch: Instant) -> u64 {
+    u64::try_from(epoch.elapsed().as_millis()).unwrap_or(u64::MAX)
+}
+
+struct Recovery {
+    writer: JournalWriter,
+    completed: Vec<RecoveredOutcome>,
+    resumes: Vec<marsit::serve::ResumeJob>,
+    fresh: Vec<JobSpec>,
+}
+
+/// Opens the journal: replaying an existing file into a resume plan, or
+/// creating a fresh one.
+fn open_journal(path: &Path) -> Result<Recovery, CliError> {
+    let exists = std::fs::metadata(path)
+        .map(|m| m.len() > 0)
+        .unwrap_or(false);
+    if !exists {
+        let writer = JournalWriter::create(path).map_err(|e| {
+            CliError::fail(format!("cannot create journal {}: {e}", path.display()))
+        })?;
+        return Ok(Recovery {
+            writer,
+            completed: Vec::new(),
+            resumes: Vec::new(),
+            fresh: Vec::new(),
+        });
+    }
+    let replay = replay_file(path)
+        .map_err(|e| CliError::fail(format!("cannot read journal {}: {e}", path.display())))?;
+    if let Some(reason) = &replay.torn {
+        eprintln!(
+            "marsit_serve: journal tail torn ({reason}); resuming from {} valid records",
+            replay.records.len()
+        );
+    }
+    let plan = plan_from_replay(&replay);
+    for name in &plan.orphaned {
+        eprintln!("marsit_serve: journal records for {name} have no submit record; dropped");
+    }
+    eprintln!(
+        "marsit_serve: recovered: {} completed, {} resumable, {} fresh",
+        plan.completed.len(),
+        plan.resumes.len(),
+        plan.fresh.len()
+    );
+    let writer = JournalWriter::resume(path, &replay)
+        .map_err(|e| CliError::fail(format!("cannot resume journal {}: {e}", path.display())))?;
+    Ok(Recovery {
+        writer,
+        completed: plan.completed,
+        resumes: plan.resumes,
+        fresh: plan.fresh,
+    })
+}
+
+/// A finished job as the summary table wants it, whichever engine ran it.
+struct Row {
+    name: String,
+    rounds: usize,
+    shard_path: Vec<usize>,
+    migrations: u32,
+    detail: String,
+}
+
+fn render_rows(rows: &[Row], tail: &str) -> String {
     let mut lines = String::new();
-    lines.push_str("name          rounds  shards(path)      migr  final_loss\n");
-    for outcome in &report.outcomes {
-        let path: Vec<String> = outcome.shard_path.iter().map(usize::to_string).collect();
-        let loss = outcome
-            .report
-            .records
-            .last()
-            .map_or(f64::NAN, |r| r.train_loss);
+    lines.push_str("name          rounds  shards(path)      migr  detail\n");
+    for row in rows {
+        let path: Vec<String> = row.shard_path.iter().map(usize::to_string).collect();
         lines.push_str(&format!(
-            "{:<13} {:>6}  {:<17} {:>4}  {:.6}\n",
-            outcome.spec.name,
-            outcome.spec.rounds,
+            "{:<13} {:>6}  {:<17} {:>4}  {}\n",
+            row.name,
+            row.rounds,
             path.join("->"),
-            outcome.migrations,
-            loss
+            row.migrations,
+            row.detail
         ));
     }
-    let lat = report.round_latencies_sorted();
-    let pool = report.pool_stats();
-    lines.push_str(&format!(
-        "served {} jobs in {:.2}s ({:.1} jobs/s) | peak {} in flight | \
-         round p50/p99 {:.1}/{:.1} us | pool hits {}/{} | migrations {}\n",
-        report.outcomes.len(),
-        wall_s,
-        report.outcomes.len() as f64 / wall_s,
-        report.peak_in_flight,
-        quantile_ns(&lat, 0.5) as f64 / 1e3,
-        quantile_ns(&lat, 0.99) as f64 / 1e3,
-        pool.hits,
-        pool.hits + pool.misses,
-        report.migration_samples().len(),
-    ));
-    print!("{lines}");
-    if let Some(path) = out_path {
-        std::fs::write(&path, &lines).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    lines.push_str(tail);
+    lines
+}
+
+/// Runs one admission-gated submission attempt per loop iteration,
+/// honouring `RetryAfter` backpressure hints for a bounded window before
+/// declaring the job rejected. The closure performs the actual submit and
+/// returns the typed admission verdict.
+fn submit_with_retry(
+    name: &str,
+    epoch: Instant,
+    rejected: &mut Vec<String>,
+    mut attempt: impl FnMut(u64) -> Result<(), AdmissionError>,
+) {
+    let deadline = Instant::now() + std::time::Duration::from_secs(30);
+    loop {
+        match attempt(now_ms(epoch)) {
+            Ok(()) => return,
+            Err(e) => {
+                let hint = e.retry_after_ms();
+                if hint == u64::MAX || Instant::now() >= deadline {
+                    eprintln!("marsit_serve: job {name} rejected: {e}");
+                    rejected.push(name.to_string());
+                    return;
+                }
+                eprintln!("marsit_serve: job {name} deferred: {e}");
+                std::thread::sleep(std::time::Duration::from_millis(hint.clamp(1, 1000)));
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn real_main() -> Result<i32, CliError> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--shard-worker") {
+        return Ok(run_shard_worker(&args[1..]));
+    }
+    let opts = parse_options(&args)?;
+
+    let queue = read_queue(opts.input.as_deref())?;
+    let (mut specs, diagnostics) = parse_queue(&queue);
+    if !diagnostics.is_empty() {
+        for diag in &diagnostics {
+            eprintln!("marsit_serve: {diag}");
+        }
+        return Err(CliError {
+            message: format!(
+                "{} malformed line(s) in the job queue; nothing submitted",
+                diagnostics.len()
+            ),
+            code: EXIT_BAD_QUEUE,
+        });
     }
 
-    if verify {
-        eprintln!("marsit_serve: verifying bit-exactness against solo runs...");
-        for outcome in &report.outcomes {
-            verify_outcome(outcome).unwrap_or_else(|e| panic!("BIT-EXACTNESS VIOLATION: {e}"));
+    // Crash recovery: jobs the journal already knows about take their
+    // journaled role; queue lines only introduce genuinely new jobs.
+    let mut recovery = match &opts.journal_path {
+        Some(path) => Some(open_journal(path)?),
+        None => None,
+    };
+    if let Some(rec) = &recovery {
+        let known: std::collections::HashSet<&str> = rec
+            .completed
+            .iter()
+            .map(|o| o.spec.name.as_str())
+            .chain(rec.resumes.iter().map(|r| r.spec.name.as_str()))
+            .chain(rec.fresh.iter().map(|s| s.name.as_str()))
+            .collect();
+        specs.retain(|s| !known.contains(s.name.as_str()));
+    }
+    let recovered_done = recovery.as_ref().map_or(0, |r| r.completed.len());
+    let total_jobs = specs.len()
+        + recovery
+            .as_ref()
+            .map_or(0, |r| r.completed.len() + r.resumes.len() + r.fresh.len());
+    if total_jobs == 0 {
+        return Err(CliError {
+            message: "job queue is empty".to_string(),
+            code: EXIT_BAD_QUEUE,
+        });
+    }
+
+    eprintln!(
+        "marsit_serve: {} jobs over {} shards (tick {} rounds, migration {:?}{}{})",
+        total_jobs,
+        opts.shards,
+        opts.tick.max(1),
+        opts.migration,
+        if opts.journal_path.is_some() {
+            ", journaled"
+        } else {
+            ""
+        },
+        if opts.supervise {
+            ", process-per-shard"
+        } else {
+            ""
+        },
+    );
+
+    let epoch = Instant::now();
+    let journal = recovery.take().map(|rec| {
+        (
+            Arc::new(Mutex::new(rec.writer)),
+            rec.completed,
+            rec.resumes,
+            rec.fresh,
+        )
+    });
+    let (journal_handle, completed_before, resumes, fresh) = match journal {
+        Some((handle, completed, resumes, fresh)) => (Some(handle), completed, resumes, fresh),
+        None => (None, Vec::new(), Vec::new(), Vec::new()),
+    };
+
+    let mut rejected: Vec<String> = Vec::new();
+    let wall = Instant::now();
+    let (mut rows, tail, verify_failures) = if opts.supervise {
+        let mut cfg = SupervisorConfig::new(opts.shards);
+        cfg.tick_rounds = opts.tick.max(1);
+        cfg.snapshot_every_ticks = opts.snapshot_every;
+        cfg.migration = opts.migration;
+        let mut handle = SupervisorHandle::start(cfg, journal_handle.clone())
+            .map_err(|e| CliError::fail(format!("cannot start supervisor: {e}")))?;
+        let mut admission = admission_from(&opts);
+        for resume in resumes {
+            handle.submit_resume(resume);
         }
+        for spec in fresh.into_iter().chain(specs) {
+            let name = spec.name.clone();
+            submit_with_retry(&name, epoch, &mut rejected, |now| {
+                if let Some(adm) = admission.as_mut() {
+                    adm.admit(&spec, now)?;
+                }
+                handle.submit(spec.clone());
+                Ok(())
+            });
+        }
+        let report = handle
+            .finish()
+            .map_err(|e| CliError::fail(format!("supervisor failed: {e}")))?;
+        let wall_s = wall.elapsed().as_secs_f64();
+        let mut failures = Vec::new();
+        let all: Vec<&RecoveredOutcome> = completed_before
+            .iter()
+            .chain(report.outcomes.iter())
+            .collect();
+        if opts.verify {
+            eprintln!("marsit_serve: verifying bit-exactness against solo runs...");
+            for outcome in &all {
+                if let Err(e) = verify_recovered(outcome) {
+                    failures.push(format!("BIT-EXACTNESS VIOLATION: {e}"));
+                }
+            }
+        }
+        let rows: Vec<Row> = all
+            .iter()
+            .map(|o| Row {
+                name: o.spec.name.clone(),
+                rounds: o.spec.rounds,
+                shard_path: o.shard_path.clone(),
+                migrations: o.migrations,
+                detail: o.report_debug.chars().take(24).collect(),
+            })
+            .collect();
+        let tail = format!(
+            "served {} jobs in {:.2}s ({:.1} jobs/s) | {} recovered | \
+             shard deaths {} | restarts {} | migrations {}\n",
+            all.len(),
+            wall_s,
+            report.outcomes.len() as f64 / wall_s.max(1e-9),
+            recovered_done,
+            report.shard_deaths,
+            report.restarts,
+            report.migrations,
+        );
+        (rows, tail, failures)
+    } else {
+        let mut cfg = ServeConfig::new(opts.shards);
+        cfg.tick_rounds = opts.tick.max(1);
+        cfg.migration = opts.migration;
+        cfg.snapshot_every_ticks = opts.snapshot_every;
+        let mut handle = match &journal_handle {
+            Some(journal) => JobServer::start_journaled(cfg, Arc::clone(journal)),
+            None => JobServer::start(cfg),
+        };
+        if let Some(admission) = admission_from(&opts) {
+            handle.set_admission(admission);
+        }
+        for resume in resumes {
+            handle.submit_resume(resume);
+        }
+        for spec in fresh.into_iter().chain(specs) {
+            let name = spec.name.clone();
+            submit_with_retry(&name, epoch, &mut rejected, |now| {
+                handle.try_submit(spec.clone(), now)
+            });
+        }
+        let report = handle.finish();
+        let wall_s = wall.elapsed().as_secs_f64();
+        let mut failures = Vec::new();
+        if opts.verify {
+            eprintln!("marsit_serve: verifying bit-exactness against solo runs...");
+            for outcome in &completed_before {
+                if let Err(e) = verify_recovered(outcome) {
+                    failures.push(format!("BIT-EXACTNESS VIOLATION: {e}"));
+                }
+            }
+            for outcome in &report.outcomes {
+                if let Err(e) = verify_outcome(outcome) {
+                    failures.push(format!("BIT-EXACTNESS VIOLATION: {e}"));
+                }
+            }
+        }
+        let mut rows: Vec<Row> = completed_before
+            .iter()
+            .map(|o| Row {
+                name: o.spec.name.clone(),
+                rounds: o.spec.rounds,
+                shard_path: o.shard_path.clone(),
+                migrations: o.migrations,
+                detail: "(recovered)".to_string(),
+            })
+            .collect();
+        for outcome in &report.outcomes {
+            let loss = outcome
+                .report
+                .records
+                .last()
+                .map_or(f64::NAN, |r| r.train_loss);
+            rows.push(Row {
+                name: outcome.spec.name.clone(),
+                rounds: outcome.spec.rounds,
+                shard_path: outcome.shard_path.clone(),
+                migrations: outcome.migrations,
+                detail: format!("{loss:.6}"),
+            });
+        }
+        let lat = report.round_latencies_sorted();
+        let pool = report.pool_stats();
+        let tail = format!(
+            "served {} jobs in {:.2}s ({:.1} jobs/s) | {} recovered | peak {} in flight | \
+             round p50/p99 {:.1}/{:.1} us | pool hits {}/{} | migrations {}\n",
+            report.outcomes.len() + recovered_done,
+            wall_s,
+            report.outcomes.len() as f64 / wall_s.max(1e-9),
+            recovered_done,
+            report.peak_in_flight,
+            quantile_ns(&lat, 0.5) as f64 / 1e3,
+            quantile_ns(&lat, 0.99) as f64 / 1e3,
+            pool.hits,
+            pool.hits + pool.misses,
+            report.migration_samples().len(),
+        );
+        (rows, tail, failures)
+    };
+
+    rows.sort_by(|a, b| a.name.cmp(&b.name));
+    let lines = render_rows(&rows, &tail);
+    print!("{lines}");
+    if let Some(path) = &opts.out_path {
+        std::fs::write(path, &lines)
+            .map_err(|e| CliError::fail(format!("cannot write {path}: {e}")))?;
+    }
+
+    if !verify_failures.is_empty() {
+        for failure in &verify_failures {
+            eprintln!("marsit_serve: {failure}");
+        }
+        return Err(CliError {
+            message: format!("{} bit-exactness violation(s)", verify_failures.len()),
+            code: EXIT_VIOLATION,
+        });
+    }
+    if opts.verify {
         eprintln!(
             "marsit_serve: all {} jobs byte-identical to solo runs",
-            report.outcomes.len()
+            rows.len()
         );
+    }
+    if !rejected.is_empty() {
+        return Err(CliError {
+            message: format!(
+                "{} job(s) rejected by admission control: {}",
+                rejected.len(),
+                rejected.join(", ")
+            ),
+            code: EXIT_REJECTED,
+        });
+    }
+    Ok(EXIT_OK)
+}
+
+fn main() {
+    match real_main() {
+        Ok(code) => std::process::exit(code),
+        Err(e) => {
+            eprintln!("marsit_serve: error: {e}", e = e.message);
+            std::process::exit(e.code);
+        }
     }
 }
